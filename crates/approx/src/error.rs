@@ -1,0 +1,59 @@
+//! Errors raised by the approximation rewriters.
+
+use std::error::Error;
+use std::fmt;
+
+use paraprox_ir::EvalError;
+
+/// Errors from building or applying an approximation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApproxError {
+    /// Lookup-table construction or bit tuning failed to evaluate the
+    /// target function.
+    Eval(EvalError),
+    /// The requested configuration is not applicable, with a reason.
+    NotApplicable(String),
+    /// No training samples were provided for a function that needs them.
+    NoTrainingData,
+}
+
+impl fmt::Display for ApproxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApproxError::Eval(e) => write!(f, "function evaluation failed: {e}"),
+            ApproxError::NotApplicable(why) => {
+                write!(f, "approximation not applicable: {why}")
+            }
+            ApproxError::NoTrainingData => write!(f, "no training samples provided"),
+        }
+    }
+}
+
+impl Error for ApproxError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ApproxError::Eval(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EvalError> for ApproxError {
+    fn from(e: EvalError) -> Self {
+        ApproxError::Eval(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ApproxError::from(EvalError::DivisionByZero);
+        assert!(!e.to_string().is_empty());
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&ApproxError::NoTrainingData).is_none());
+        assert!(!ApproxError::NotApplicable("x".into()).to_string().is_empty());
+    }
+}

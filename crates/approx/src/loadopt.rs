@@ -1,0 +1,466 @@
+//! Redundant-load elimination for one read-only buffer.
+//!
+//! The stencil optimization (paper §3.2) snaps neighboring accesses to a
+//! representative element, which leaves several loads with *identical*
+//! index expressions. The actual saving comes from removing those memory
+//! instructions; this pass does that with two classic transformations,
+//! restricted to a single buffer that the kernel never writes:
+//!
+//! * **CSE**: within a block, repeated loads with structurally equal
+//!   indices collapse to one `let`,
+//! * **hoisting**: loads inside a `for` body whose index does not depend on
+//!   the loop variable (or anything assigned in the body) move in front of
+//!   the loop.
+//!
+//! Scoping follows SIMT masking rules: a binding introduced inside an `if`
+//! arm or loop body is not reused outside of it, and loads under a `Select`
+//! arm are left untouched (they execute under a refined mask).
+
+use paraprox_ir::{Expr, Kernel, LocalDecl, MemRef, Stmt, Ty, VarId};
+
+struct Ctx<'k> {
+    buffer: MemRef,
+    locals: &'k mut Vec<LocalDecl>,
+}
+
+impl Ctx<'_> {
+    fn fresh(&mut self) -> VarId {
+        let id = VarId(self.locals.len() as u32);
+        self.locals.push(LocalDecl {
+            name: format!("ld{}", self.locals.len()),
+            ty: Ty::F32,
+        });
+        id
+    }
+}
+
+type Env = Vec<(Expr, VarId)>;
+
+/// Does the loop provably execute its body at least once? Requires constant
+/// `init` and bound with a satisfied comparison. Conservative: anything
+/// non-constant returns `false`.
+fn provably_runs_once(
+    init: &Expr,
+    cond: &paraprox_ir::LoopCond,
+    _step: &paraprox_ir::LoopStep,
+) -> bool {
+    use paraprox_ir::{LoopCond, Scalar};
+    let as_i64 = |e: &Expr| match e {
+        Expr::Const(Scalar::I32(v)) => Some(i64::from(*v)),
+        Expr::Const(Scalar::U32(v)) => Some(i64::from(*v)),
+        _ => None,
+    };
+    let (Some(start), Some(bound)) = (as_i64(init), as_i64(cond.bound())) else {
+        return false;
+    };
+    match cond {
+        LoopCond::Lt(_) => start < bound,
+        LoopCond::Le(_) => start <= bound,
+        LoopCond::Gt(_) => start > bound,
+        LoopCond::Ge(_) => start >= bound,
+    }
+}
+
+/// Replace loads from the target buffer in `e`, using `env` for known
+/// indices and emitting new `let`s into `prelude` for unknown ones.
+/// `Select` arms are not descended into (their loads are conditional).
+fn replace_loads(e: Expr, ctx: &mut Ctx<'_>, env: &mut Env, prelude: &mut Vec<Stmt>) -> Expr {
+    match e {
+        Expr::Load { mem, index } if mem == ctx.buffer => {
+            let index = replace_loads(*index, ctx, env, prelude);
+            if let Some((_, var)) = env.iter().find(|(idx, _)| *idx == index) {
+                return Expr::Var(*var);
+            }
+            let var = ctx.fresh();
+            prelude.push(Stmt::Let {
+                var,
+                init: Expr::Load {
+                    mem,
+                    index: Box::new(index.clone()),
+                },
+            });
+            env.push((index, var));
+            Expr::Var(var)
+        }
+        Expr::Load { mem, index } => Expr::Load {
+            mem,
+            index: Box::new(replace_loads(*index, ctx, env, prelude)),
+        },
+        Expr::Unary(op, a) => Expr::Unary(op, Box::new(replace_loads(*a, ctx, env, prelude))),
+        Expr::Cast(ty, a) => Expr::Cast(ty, Box::new(replace_loads(*a, ctx, env, prelude))),
+        Expr::Binary(op, a, b) => Expr::Binary(
+            op,
+            Box::new(replace_loads(*a, ctx, env, prelude)),
+            Box::new(replace_loads(*b, ctx, env, prelude)),
+        ),
+        Expr::Cmp(op, a, b) => Expr::Cmp(
+            op,
+            Box::new(replace_loads(*a, ctx, env, prelude)),
+            Box::new(replace_loads(*b, ctx, env, prelude)),
+        ),
+        // Select arms execute under refined masks; leave them alone.
+        e @ Expr::Select { .. } => e,
+        Expr::Call { func, args } => Expr::Call {
+            func,
+            args: args
+                .into_iter()
+                .map(|a| replace_loads(a, ctx, env, prelude))
+                .collect(),
+        },
+        other => other,
+    }
+}
+
+/// Variables assigned anywhere in a statement list (including `Let`s, loop
+/// variables, and nested bodies).
+fn assigned_vars(stmts: &[Stmt], out: &mut Vec<VarId>) {
+    paraprox_ir::for_each_stmt(stmts, &mut |stmt| match stmt {
+        Stmt::Let { var, .. } | Stmt::Assign { var, .. }
+            if !out.contains(var) => {
+                out.push(*var);
+            }
+        Stmt::For { var, .. }
+            if !out.contains(var) => {
+                out.push(*var);
+            }
+        _ => {}
+    });
+}
+
+fn expr_uses_any(e: &Expr, vars: &[VarId]) -> bool {
+    let mut uses = false;
+    paraprox_ir::for_each_expr(e, &mut |node| {
+        if let Expr::Var(v) = node {
+            if vars.contains(v) {
+                uses = true;
+            }
+        }
+    });
+    uses
+}
+
+/// Collect the index expressions of loads from `buffer` that appear in the
+/// unconditional (non-`If`) part of a loop body and do not reference any
+/// variable assigned in it — these are safe and profitable to hoist.
+fn hoistable_indices(stmts: &[Stmt], buffer: MemRef, forbidden: &[VarId], out: &mut Vec<Expr>) {
+    fn scan_expr(e: &Expr, buffer: MemRef, forbidden: &[VarId], out: &mut Vec<Expr>) {
+        paraprox_ir::for_each_expr(e, &mut |node| {
+            if let Expr::Load { mem, index } = node {
+                if *mem == buffer
+                    && !expr_uses_any(index, forbidden)
+                    && !out.iter().any(|i| i == index.as_ref())
+                {
+                    // The index itself must not contain loads (would change
+                    // evaluation order) — conservative.
+                    let mut has_load = false;
+                    paraprox_ir::for_each_expr(index, &mut |n| {
+                        if matches!(n, Expr::Load { .. }) {
+                            has_load = true;
+                        }
+                    });
+                    if !has_load {
+                        out.push((**index).clone());
+                    }
+                }
+            }
+        });
+    }
+    for stmt in stmts {
+        match stmt {
+            Stmt::Let { init, .. } | Stmt::Assign { value: init, .. } => {
+                scan_expr(init, buffer, forbidden, out)
+            }
+            Stmt::Store { index, value, .. } | Stmt::Atomic { index, value, .. } => {
+                scan_expr(index, buffer, forbidden, out);
+                scan_expr(value, buffer, forbidden, out);
+            }
+            // Do not descend into `If` (conditional execution) — but nested
+            // unconditional loops are fair game.
+            Stmt::For { body, .. } => hoistable_indices(body, buffer, forbidden, out),
+            _ => {}
+        }
+    }
+}
+
+fn process_block(stmts: Vec<Stmt>, ctx: &mut Ctx<'_>, env: &mut Env) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for stmt in stmts {
+        let mut prelude = Vec::new();
+        match stmt {
+            Stmt::Let { var, init } => {
+                let init = replace_loads(init, ctx, env, &mut prelude);
+                out.extend(prelude);
+                out.push(Stmt::Let { var, init });
+            }
+            Stmt::Assign { var, value } => {
+                let value = replace_loads(value, ctx, env, &mut prelude);
+                out.extend(prelude);
+                out.push(Stmt::Assign { var, value });
+            }
+            Stmt::Store { mem, index, value } => {
+                let index = replace_loads(index, ctx, env, &mut prelude);
+                let value = replace_loads(value, ctx, env, &mut prelude);
+                out.extend(prelude);
+                out.push(Stmt::Store { mem, index, value });
+            }
+            Stmt::Atomic {
+                op,
+                mem,
+                index,
+                value,
+            } => {
+                let index = replace_loads(index, ctx, env, &mut prelude);
+                let value = replace_loads(value, ctx, env, &mut prelude);
+                out.extend(prelude);
+                out.push(Stmt::Atomic {
+                    op,
+                    mem,
+                    index,
+                    value,
+                });
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let cond = replace_loads(cond, ctx, env, &mut prelude);
+                out.extend(prelude);
+                let mark = env.len();
+                let then_body = process_block(then_body, ctx, env);
+                env.truncate(mark);
+                let else_body = process_block(else_body, ctx, env);
+                env.truncate(mark);
+                out.push(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                });
+            }
+            Stmt::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                let init = replace_loads(init, ctx, env, &mut prelude);
+                out.extend(prelude);
+                // Hoist loop-invariant loads in front of the loop — but
+                // only when the loop provably executes at least once: a
+                // zero-trip loop's loads never run, and hoisting them could
+                // turn a never-executed out-of-bounds index into a fault.
+                let hoist_safe = provably_runs_once(&init, &cond, &step);
+                let mut forbidden = vec![var];
+                assigned_vars(&body, &mut forbidden);
+                let mut hoistable = Vec::new();
+                if hoist_safe {
+                    hoistable_indices(&body, ctx.buffer, &forbidden, &mut hoistable);
+                }
+                for index in hoistable {
+                    if !env.iter().any(|(idx, _)| *idx == index) {
+                        let v = ctx.fresh();
+                        out.push(Stmt::Let {
+                            var: v,
+                            init: Expr::Load {
+                                mem: ctx.buffer,
+                                index: Box::new(index.clone()),
+                            },
+                        });
+                        env.push((index, v));
+                    }
+                }
+                let mark = env.len();
+                let body = process_block(body, ctx, env);
+                env.truncate(mark);
+                out.push(Stmt::For {
+                    var,
+                    init,
+                    cond,
+                    step,
+                    body,
+                });
+            }
+            Stmt::Sync => out.push(Stmt::Sync),
+            Stmt::Return(e) => {
+                let e = replace_loads(e, ctx, env, &mut prelude);
+                out.extend(prelude);
+                out.push(Stmt::Return(e));
+            }
+        }
+    }
+    out
+}
+
+/// Eliminate redundant loads of one buffer in a kernel.
+///
+/// The pass is a no-op when the kernel ever stores to `buffer` (the value
+/// could change between loads) or when `buffer` is a shared array
+/// (barrier interactions).
+pub fn optimize_buffer_loads(kernel: &mut Kernel, buffer: MemRef) {
+    if matches!(buffer, MemRef::Shared(_)) {
+        return;
+    }
+    let mut written = false;
+    paraprox_ir::for_each_stmt(&kernel.body, &mut |stmt| match stmt {
+        Stmt::Store { mem, .. } | Stmt::Atomic { mem, .. } if *mem == buffer => written = true,
+        _ => {}
+    });
+    if written {
+        return;
+    }
+    let body = std::mem::take(&mut kernel.body);
+    let mut locals = std::mem::take(&mut kernel.locals);
+    let mut ctx = Ctx {
+        buffer,
+        locals: &mut locals,
+    };
+    let mut env = Env::new();
+    kernel.body = process_block(body, &mut ctx, &mut env);
+    kernel.locals = locals;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paraprox_ir::{count_ops, KernelBuilder, MemSpace};
+    use paraprox_vgpu::{Device, DeviceProfile, Dim2};
+
+    fn run_kernel(program: &paraprox_ir::Program, kid: paraprox_ir::KernelId, n: usize) -> (Vec<f32>, u64) {
+        let mut device = Device::new(DeviceProfile::gtx560());
+        let data: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let input = device.alloc_f32(MemSpace::Global, &data);
+        let output = device.alloc_f32(MemSpace::Global, &vec![0.0; n]);
+        let stats = device
+            .launch(
+                program,
+                kid,
+                Dim2::linear(n / 32),
+                Dim2::linear(32),
+                &[input.into(), output.into()],
+            )
+            .unwrap();
+        (device.read_f32(output).unwrap(), stats.total_cycles())
+    }
+
+    #[test]
+    fn cse_collapses_duplicate_loads() {
+        let mut program = paraprox_ir::Program::new();
+        let mut kb = KernelBuilder::new("dup");
+        let input = kb.buffer("in", Ty::F32, MemSpace::Global);
+        let output = kb.buffer("out", Ty::F32, MemSpace::Global);
+        let gid = kb.let_("gid", KernelBuilder::global_id_x());
+        // Same load three times.
+        let sum = kb.load(input, gid.clone())
+            + kb.load(input, gid.clone())
+            + kb.load(input, gid.clone());
+        kb.store(output, gid, sum);
+        let kid = program.add_kernel(kb.finish());
+
+        let (exact_out, exact_cycles) = run_kernel(&program, kid, 64);
+
+        let mut optimized = program.clone();
+        optimize_buffer_loads(optimized.kernel_mut(kid), MemRef::Param(0));
+        let counts = count_ops(&optimized.kernel(kid).body);
+        assert_eq!(counts.loads, 1, "three identical loads must become one");
+
+        let (opt_out, opt_cycles) = run_kernel(&optimized, kid, 64);
+        assert_eq!(exact_out, opt_out, "semantics preserved");
+        assert!(opt_cycles < exact_cycles);
+    }
+
+    #[test]
+    fn loop_invariant_load_is_hoisted() {
+        let mut program = paraprox_ir::Program::new();
+        let mut kb = KernelBuilder::new("inv");
+        let input = kb.buffer("in", Ty::F32, MemSpace::Global);
+        let output = kb.buffer("out", Ty::F32, MemSpace::Global);
+        let gid = kb.let_("gid", KernelBuilder::global_id_x());
+        let acc = kb.let_mut("acc", Ty::F32, Expr::f32(0.0));
+        kb.for_up("i", Expr::i32(0), Expr::i32(8), Expr::i32(1), |kb, _i| {
+            // Index does not depend on the loop variable.
+            let v = kb.load(input, gid.clone());
+            kb.assign(acc, Expr::Var(acc) + v);
+        });
+        kb.store(output, gid, Expr::Var(acc));
+        let kid = program.add_kernel(kb.finish());
+
+        let (exact_out, exact_cycles) = run_kernel(&program, kid, 64);
+
+        let mut optimized = program.clone();
+        optimize_buffer_loads(optimized.kernel_mut(kid), MemRef::Param(0));
+        let (opt_out, opt_cycles) = run_kernel(&optimized, kid, 64);
+        assert_eq!(exact_out, opt_out);
+        // 8 loads per thread -> 1: memory instructions must drop.
+        assert!(opt_cycles < exact_cycles, "{opt_cycles} vs {exact_cycles}");
+        // The hoisted load sits before the loop.
+        let body = &optimized.kernel(kid).body;
+        let pos_load = body
+            .iter()
+            .position(|s| matches!(s, Stmt::Let { init: Expr::Load { .. }, .. }));
+        let pos_for = body.iter().position(|s| matches!(s, Stmt::For { .. }));
+        assert!(pos_load.unwrap() < pos_for.unwrap());
+    }
+
+    #[test]
+    fn loop_variant_load_stays_in_loop() {
+        let mut program = paraprox_ir::Program::new();
+        let mut kb = KernelBuilder::new("variant");
+        let input = kb.buffer("in", Ty::F32, MemSpace::Global);
+        let output = kb.buffer("out", Ty::F32, MemSpace::Global);
+        let gid = kb.let_("gid", KernelBuilder::global_id_x());
+        let acc = kb.let_mut("acc", Ty::F32, Expr::f32(0.0));
+        kb.for_up("i", Expr::i32(0), Expr::i32(4), Expr::i32(1), |kb, i| {
+            let v = kb.load(input, (gid.clone() + i).rem(Expr::i32(64)));
+            kb.assign(acc, Expr::Var(acc) + v);
+        });
+        kb.store(output, gid, Expr::Var(acc));
+        let kid = program.add_kernel(kb.finish());
+        let (exact_out, _) = run_kernel(&program, kid, 64);
+        let mut optimized = program.clone();
+        optimize_buffer_loads(optimized.kernel_mut(kid), MemRef::Param(0));
+        let (opt_out, _) = run_kernel(&optimized, kid, 64);
+        assert_eq!(exact_out, opt_out, "loop-variant loads must not be hoisted");
+    }
+
+    #[test]
+    fn written_buffer_is_left_alone() {
+        let mut program = paraprox_ir::Program::new();
+        let mut kb = KernelBuilder::new("rw");
+        let data = kb.buffer("data", Ty::F32, MemSpace::Global);
+        let out = kb.buffer("out", Ty::F32, MemSpace::Global);
+        let gid = kb.let_("gid", KernelBuilder::global_id_x());
+        let v = kb.let_("v", kb.load(data, gid.clone()));
+        kb.store(data, gid.clone(), v.clone() + Expr::f32(1.0));
+        let v2 = kb.let_("v2", kb.load(data, gid.clone()));
+        kb.store(out, gid, v2);
+        let kid = program.add_kernel(kb.finish());
+        let before = program.kernel(kid).clone();
+        optimize_buffer_loads(program.kernel_mut(kid), MemRef::Param(0));
+        assert_eq!(&before, program.kernel(kid), "pass must be a no-op");
+    }
+
+    #[test]
+    fn if_arm_bindings_do_not_leak() {
+        let mut program = paraprox_ir::Program::new();
+        let mut kb = KernelBuilder::new("arms");
+        let input = kb.buffer("in", Ty::F32, MemSpace::Global);
+        let output = kb.buffer("out", Ty::F32, MemSpace::Global);
+        let gid = kb.let_("gid", KernelBuilder::global_id_x());
+        let flag = gid.clone().rem(Expr::i32(2)).eq_(Expr::i32(0));
+        kb.if_(flag, |kb| {
+            let v = kb.load(input, gid.clone());
+            kb.store(output, gid.clone(), v);
+        });
+        // Same load after the if: must NOT reuse the masked binding.
+        let v2 = kb.load(input, gid.clone());
+        kb.store(output, gid.clone(), v2 * Expr::f32(2.0));
+        let kid = program.add_kernel(kb.finish());
+
+        let (exact_out, _) = run_kernel(&program, kid, 64);
+        let mut optimized = program.clone();
+        optimize_buffer_loads(optimized.kernel_mut(kid), MemRef::Param(0));
+        let (opt_out, _) = run_kernel(&optimized, kid, 64);
+        assert_eq!(exact_out, opt_out);
+    }
+}

@@ -1,0 +1,199 @@
+//! Safety instrumentation for approximate kernels (paper §5).
+//!
+//! Approximation can surface values the exact program never produces —
+//! most dangerously a zero flowing into a divisor. The paper sketches the
+//! remedy: "for a division that uses an approximated output and may raise
+//! a divide by zero exception, it is possible to instrument the code to
+//! skip this calculation where the approximated divisor is zero."
+//!
+//! [`guard_divisions`] implements that instrumentation: every division or
+//! remainder whose divisor is not a provably nonzero constant is wrapped in
+//! a select that substitutes a fallback when the divisor is zero (the
+//! dividend for `x/0 → x`-style pass-through would change magnitudes, so
+//! the fallback is 0 — the value the paper's "skip this calculation"
+//! produces for an additive context).
+
+use paraprox_ir::{
+    rewrite_exprs_in_stmts, BinOp, Expr, Kernel, KernelId, Program, Scalar,
+};
+
+/// Is this expression a constant that can never be zero?
+fn provably_nonzero(e: &Expr) -> bool {
+    match e {
+        Expr::Const(Scalar::F32(v)) => *v != 0.0,
+        Expr::Const(Scalar::I32(v)) => *v != 0,
+        Expr::Const(Scalar::U32(v)) => *v != 0,
+        _ => false,
+    }
+}
+
+/// Infer the scalar type of an expression within a kernel (locals and
+/// parameters provide the ground truth; unknown constructs default to f32,
+/// the dominant type in the benchmarks).
+fn infer_ty(e: &Expr, kernel: &Kernel) -> paraprox_ir::Ty {
+    use paraprox_ir::{MemRef, Ty};
+    match e {
+        Expr::Const(s) => s.ty(),
+        Expr::Var(v) => kernel
+            .locals
+            .get(v.index())
+            .map(|d| d.ty)
+            .unwrap_or(Ty::F32),
+        Expr::Param(i) => kernel.params.get(*i).map(|p| p.ty()).unwrap_or(Ty::F32),
+        Expr::Special(_) => Ty::I32,
+        Expr::Cast(ty, _) => *ty,
+        Expr::Cmp(..) => Ty::Bool,
+        Expr::Unary(_, a) => infer_ty(a, kernel),
+        Expr::Binary(_, a, _) => infer_ty(a, kernel),
+        Expr::Select { if_true, .. } => infer_ty(if_true, kernel),
+        Expr::Load { mem, .. } => match mem {
+            MemRef::Param(i) => kernel.params.get(*i).map(|p| p.ty()).unwrap_or(Ty::F32),
+            MemRef::Shared(s) => kernel
+                .shared
+                .get(s.index())
+                .map(|d| d.ty)
+                .unwrap_or(Ty::F32),
+        },
+        Expr::Call { .. } => Ty::F32,
+    }
+}
+
+fn zero_like(ty: paraprox_ir::Ty) -> (Expr, Expr) {
+    match ty {
+        paraprox_ir::Ty::I32 => (Expr::i32(0), Expr::i32(0)),
+        paraprox_ir::Ty::U32 => (Expr::u32(0), Expr::u32(0)),
+        _ => (Expr::f32(0.0), Expr::f32(0.0)),
+    }
+}
+
+/// Count the divisions a guard pass would instrument.
+pub fn unguarded_divisions(kernel: &Kernel) -> usize {
+    let mut count = 0;
+    paraprox_ir::for_each_expr_in_stmts(&kernel.body, &mut |e| {
+        if let Expr::Binary(BinOp::Div | BinOp::Rem, _, b) = e {
+            if !provably_nonzero(b) {
+                count += 1;
+            }
+        }
+    });
+    count
+}
+
+/// Instrument every division/remainder in `kernel` whose divisor is not a
+/// provably nonzero constant: `a / b` becomes `b == 0 ? 0 : a / b`.
+///
+/// Returns the number of divisions guarded. Typed guards follow the
+/// divisor's type; float divisions by zero are IEEE-defined but produce
+/// infinities that poison downstream quality, so they are guarded too.
+pub fn guard_divisions(program: &mut Program, kernel: KernelId) -> usize {
+    let snapshot = program.kernel(kernel).clone();
+    let k = program.kernel_mut(kernel);
+    let mut guarded = 0;
+    let body = std::mem::take(&mut k.body);
+    k.body = rewrite_exprs_in_stmts(body, &mut |e| match e {
+        Expr::Binary(op @ (BinOp::Div | BinOp::Rem), a, b) => {
+            if provably_nonzero(&b) {
+                return Expr::Binary(op, a, b);
+            }
+            guarded += 1;
+            let (zero, fallback) = zero_like(infer_ty(&b, &snapshot));
+            Expr::Select {
+                cond: Box::new((*b.clone()).eq_(zero)),
+                if_true: Box::new(fallback),
+                if_false: Box::new(Expr::Binary(op, a, b)),
+            }
+        }
+        other => other,
+    });
+    guarded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paraprox_ir::{KernelBuilder, MemSpace, Ty};
+    use paraprox_vgpu::{Device, DeviceProfile, Dim2};
+
+    fn ratio_kernel() -> (Program, KernelId) {
+        let mut program = Program::new();
+        let mut kb = KernelBuilder::new("ratio");
+        let num = kb.buffer("num", Ty::F32, MemSpace::Global);
+        let den = kb.buffer("den", Ty::F32, MemSpace::Global);
+        let out = kb.buffer("out", Ty::F32, MemSpace::Global);
+        let gid = kb.let_("gid", KernelBuilder::global_id_x());
+        let a = kb.let_("a", kb.load(num, gid.clone()));
+        let b = kb.let_("b", kb.load(den, gid.clone()));
+        kb.store(out, gid, a / b);
+        let kid = program.add_kernel(kb.finish());
+        (program, kid)
+    }
+
+    #[test]
+    fn guards_replace_zero_divisions_with_fallback() {
+        let (mut program, kid) = ratio_kernel();
+        assert_eq!(unguarded_divisions(program.kernel(kid)), 1);
+        let guarded = guard_divisions(&mut program, kid);
+        assert_eq!(guarded, 1);
+        assert_eq!(unguarded_divisions(program.kernel(kid)), 1, "div still present (inside the guard)");
+
+        let mut device = Device::new(DeviceProfile::gtx560());
+        let num = device.alloc_f32(MemSpace::Global, &[6.0, 5.0, 4.0, 3.0]);
+        let den = device.alloc_f32(MemSpace::Global, &[2.0, 0.0, 4.0, 0.0]);
+        let out = device.alloc_f32(MemSpace::Global, &[0.0; 4]);
+        device
+            .launch(
+                &program,
+                kid,
+                Dim2::linear(1),
+                Dim2::linear(4),
+                &[num.into(), den.into(), out.into()],
+            )
+            .unwrap();
+        assert_eq!(device.read_f32(out).unwrap(), vec![3.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn constant_divisors_not_guarded() {
+        let mut program = Program::new();
+        let mut kb = KernelBuilder::new("halve");
+        let buf = kb.buffer("b", Ty::F32, MemSpace::Global);
+        let gid = kb.let_("gid", KernelBuilder::global_id_x());
+        let v = kb.let_("v", kb.load(buf, gid.clone()));
+        kb.store(buf, gid, v / paraprox_ir::Expr::f32(2.0));
+        let kid = program.add_kernel(kb.finish());
+        assert_eq!(unguarded_divisions(program.kernel(kid)), 0);
+        assert_eq!(guard_divisions(&mut program, kid), 0);
+    }
+
+    #[test]
+    fn integer_division_guard_prevents_trap() {
+        let mut program = Program::new();
+        let mut kb = KernelBuilder::new("idiv");
+        let num = kb.buffer("num", Ty::I32, MemSpace::Global);
+        let den = kb.buffer("den", Ty::I32, MemSpace::Global);
+        let out = kb.buffer("out", Ty::I32, MemSpace::Global);
+        let gid = kb.let_("gid", KernelBuilder::global_id_x());
+        let a = kb.let_("a", kb.load(num, gid.clone()));
+        let b = kb.let_typed("b", Ty::I32, Expr::Cast(Ty::I32, Box::new(kb.load(den, gid.clone()))));
+        kb.store(out, gid, a / b);
+        let kid = program.add_kernel(kb.finish());
+
+        // Unguarded: the interpreter traps on the zero divisor.
+        let mut device = Device::new(DeviceProfile::gtx560());
+        let num_b = device.alloc_i32(MemSpace::Global, &[8, 9]);
+        let den_b = device.alloc_i32(MemSpace::Global, &[2, 0]);
+        let out_b = device.alloc_i32(MemSpace::Global, &[0, 0]);
+        let args = [num_b.into(), den_b.into(), out_b.into()];
+        assert!(device
+            .launch(&program, kid, Dim2::linear(1), Dim2::linear(2), &args)
+            .is_err());
+
+        // Guarded: the zero divisor selects the fallback instead.
+        let guarded = guard_divisions(&mut program, kid);
+        assert!(guarded >= 1);
+        device
+            .launch(&program, kid, Dim2::linear(1), Dim2::linear(2), &args)
+            .unwrap();
+        assert_eq!(device.read_i32(out_b).unwrap(), vec![4, 0]);
+    }
+}

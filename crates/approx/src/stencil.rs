@@ -1,0 +1,757 @@
+//! Stencil & partition approximation (paper §3.2).
+//!
+//! Based on the value-locality assumption (neighboring elements are
+//! similar, paper Figure 5), the rewriter accesses only a *subset* of each
+//! tile and reuses those values for the rest:
+//!
+//! * **center** scheme — the element at the tile center stands in for all
+//!   neighbors within the reaching distance (paper Figure 6a),
+//! * **row** scheme — one row per reaching-distance band is accessed and
+//!   replicated to the other rows (Figure 6b),
+//! * **column** scheme — same, per column (Figure 6c).
+//!
+//! The rewrite snaps each access's tile offset to its band representative
+//! (`rep(d) = min(⌊d/s⌋·s + r, n−1)`, `s = 2r+1`) and then runs
+//! [`crate::optimize_buffer_loads`] so collapsed accesses actually
+//! disappear from the instruction stream.
+
+use paraprox_ir::{rewrite_exprs_in_stmts, Expr, KernelId, Program, Ty};
+use paraprox_patterns::affine::decompose;
+use paraprox_patterns::stencil::{inline_index_lets, LoopInfo};
+use paraprox_patterns::StencilCandidate;
+
+use crate::error::ApproxError;
+use crate::loadopt::optimize_buffer_loads;
+
+/// Which subset of the tile is actually accessed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StencilScheme {
+    /// Access only band centers on both axes (Figure 6a).
+    Center,
+    /// Access one row per band; replicate across rows (Figure 6b).
+    Row,
+    /// Access one column per band; replicate across columns (Figure 6c).
+    Column,
+}
+
+impl StencilScheme {
+    /// Label for variant names.
+    pub fn label(self) -> &'static str {
+        match self {
+            StencilScheme::Center => "center",
+            StencilScheme::Row => "row",
+            StencilScheme::Column => "column",
+        }
+    }
+
+    fn snaps_rows(self) -> bool {
+        matches!(self, StencilScheme::Center | StencilScheme::Row)
+    }
+
+    fn snaps_cols(self) -> bool {
+        matches!(self, StencilScheme::Center | StencilScheme::Column)
+    }
+}
+
+/// Band representative of offset `d` within `[0, n)` for reaching distance
+/// `r`: offsets in the same `2r+1`-wide band share one representative — the
+/// *center of the band*, clamped to the band's actual extent when the last
+/// band is truncated (so a reaching distance larger than the tile picks the
+/// tile center, never an edge).
+fn rep_offset(d: i64, n: i64, r: i64) -> i64 {
+    let s = 2 * r + 1;
+    let band_start = (d / s) * s;
+    let band_len = s.min(n - band_start);
+    band_start + (band_len - 1) / 2
+}
+
+/// Build the runtime snapping expression for a loop variable: the loop
+/// value `v` (ranging over `start + k·step`) is replaced by the value at
+/// its band representative. Exact via f32 arithmetic (trip counts are ≤ 32,
+/// far below f32's integer range), which avoids the expensive integer
+/// division subroutine on the GPU.
+fn snap_var_expr(v: Expr, info: &LoopInfo, reach: i64) -> Expr {
+    let s = 2 * reach + 1;
+    if s >= info.trip {
+        // Whole range collapses to the center: a compile-time constant,
+        // which also unlocks loop-invariant hoisting downstream.
+        return Expr::i32(info.center() as i32);
+    }
+    // k = (v - start) / step;  krep = min(floor(k/s)*s + r, trip-1)
+    let k = if info.step == 1 && info.start == 0 {
+        v
+    } else {
+        (v - Expr::i32(info.start as i32)) / Expr::i32(info.step as i32)
+    };
+    let k_f = Expr::Cast(Ty::F32, Box::new(k));
+    let band = (k_f * Expr::f32(1.0 / s as f32)).floor();
+    let krep = (band * Expr::f32(s as f32) + Expr::f32(reach as f32))
+        .min(Expr::f32((info.trip - 1) as f32));
+    let krep_i = Expr::Cast(Ty::I32, Box::new(krep));
+    if info.step == 1 && info.start == 0 {
+        krep_i
+    } else {
+        Expr::i32(info.start as i32) + krep_i * Expr::i32(info.step as i32)
+    }
+}
+
+/// Collect loads from `buffer` with their guard signatures (the chain of
+/// enclosing `if` arms), in the exact traversal order of
+/// [`paraprox_ir::rewrite_exprs_in_stmts`]. `next_if_id` numbers the `if`
+/// statements in traversal order so signatures are unique per branch site.
+fn collect_loads_with_guard_sig(
+    stmts: &[paraprox_ir::Stmt],
+    buffer: paraprox_ir::MemRef,
+    sig: &mut Vec<u32>,
+    next_if_id: &mut u32,
+    out: &mut Vec<(Expr, Vec<u32>)>,
+) {
+    use paraprox_ir::Stmt;
+    fn from_expr(
+        e: &Expr,
+        buffer: paraprox_ir::MemRef,
+        sig: &[u32],
+        out: &mut Vec<(Expr, Vec<u32>)>,
+    ) {
+        paraprox_ir::for_each_expr(e, &mut |node| {
+            if let Expr::Load { mem, index } = node {
+                if *mem == buffer {
+                    out.push(((**index).clone(), sig.to_vec()));
+                }
+            }
+        });
+    }
+    for stmt in stmts {
+        match stmt {
+            Stmt::Let { init, .. } | Stmt::Assign { value: init, .. } => {
+                from_expr(init, buffer, sig, out)
+            }
+            Stmt::Store { index, value, .. } | Stmt::Atomic { index, value, .. } => {
+                from_expr(index, buffer, sig, out);
+                from_expr(value, buffer, sig, out);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                from_expr(cond, buffer, sig, out);
+                let id = *next_if_id;
+                *next_if_id += 1;
+                sig.push(id * 2);
+                collect_loads_with_guard_sig(then_body, buffer, sig, next_if_id, out);
+                sig.pop();
+                sig.push(id * 2 + 1);
+                collect_loads_with_guard_sig(else_body, buffer, sig, next_if_id, out);
+                sig.pop();
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                from_expr(init, buffer, sig, out);
+                from_expr(cond.bound(), buffer, sig, out);
+                from_expr(step.amount(), buffer, sig, out);
+                collect_loads_with_guard_sig(body, buffer, sig, next_if_id, out);
+            }
+            Stmt::Sync => {}
+            Stmt::Return(e) => from_expr(e, buffer, sig, out),
+        }
+    }
+}
+
+fn substitute_in_expr(e: Expr, var: paraprox_ir::VarId, replacement: &Expr) -> Expr {
+    paraprox_ir::rewrite_expr(e, &mut |node| match &node {
+        Expr::Var(v) if *v == var => replacement.clone(),
+        _ => node,
+    })
+}
+
+/// Substitute a snapped loop variable into an expression: occurrences
+/// inside the *index of loads from the target buffer* become the band
+/// representative `rep`; all other occurrences become the true iteration
+/// `value` (so filter weights etc. stay exact).
+fn subst_expr_snap(
+    e: Expr,
+    var: paraprox_ir::VarId,
+    value: i32,
+    rep: i32,
+    buffer: paraprox_ir::MemRef,
+) -> Expr {
+    match e {
+        Expr::Load { mem, index } if mem == buffer => Expr::Load {
+            mem,
+            index: Box::new(substitute_in_expr(*index, var, &Expr::i32(rep))),
+        },
+        Expr::Load { mem, index } => Expr::Load {
+            mem,
+            index: Box::new(subst_expr_snap(*index, var, value, rep, buffer)),
+        },
+        Expr::Var(v) if v == var => Expr::i32(value),
+        Expr::Unary(op, a) => {
+            Expr::Unary(op, Box::new(subst_expr_snap(*a, var, value, rep, buffer)))
+        }
+        Expr::Cast(ty, a) => {
+            Expr::Cast(ty, Box::new(subst_expr_snap(*a, var, value, rep, buffer)))
+        }
+        Expr::Binary(op, a, b) => Expr::Binary(
+            op,
+            Box::new(subst_expr_snap(*a, var, value, rep, buffer)),
+            Box::new(subst_expr_snap(*b, var, value, rep, buffer)),
+        ),
+        Expr::Cmp(op, a, b) => Expr::Cmp(
+            op,
+            Box::new(subst_expr_snap(*a, var, value, rep, buffer)),
+            Box::new(subst_expr_snap(*b, var, value, rep, buffer)),
+        ),
+        Expr::Select {
+            cond,
+            if_true,
+            if_false,
+        } => Expr::Select {
+            cond: Box::new(subst_expr_snap(*cond, var, value, rep, buffer)),
+            if_true: Box::new(subst_expr_snap(*if_true, var, value, rep, buffer)),
+            if_false: Box::new(subst_expr_snap(*if_false, var, value, rep, buffer)),
+        },
+        Expr::Call { func, args } => Expr::Call {
+            func,
+            args: args
+                .into_iter()
+                .map(|a| subst_expr_snap(a, var, value, rep, buffer))
+                .collect(),
+        },
+        other => other,
+    }
+}
+
+fn subst_stmts_snap(
+    stmts: Vec<paraprox_ir::Stmt>,
+    var: paraprox_ir::VarId,
+    value: i32,
+    rep: i32,
+    buffer: paraprox_ir::MemRef,
+) -> Vec<paraprox_ir::Stmt> {
+    use paraprox_ir::Stmt;
+    stmts
+        .into_iter()
+        .map(|stmt| match stmt {
+            Stmt::Let { var: v, init } => Stmt::Let {
+                var: v,
+                init: subst_expr_snap(init, var, value, rep, buffer),
+            },
+            Stmt::Assign { var: v, value: e } => Stmt::Assign {
+                var: v,
+                value: subst_expr_snap(e, var, value, rep, buffer),
+            },
+            Stmt::Store { mem, index, value: e } => Stmt::Store {
+                mem,
+                index: subst_expr_snap(index, var, value, rep, buffer),
+                value: subst_expr_snap(e, var, value, rep, buffer),
+            },
+            Stmt::Atomic {
+                op,
+                mem,
+                index,
+                value: e,
+            } => Stmt::Atomic {
+                op,
+                mem,
+                index: subst_expr_snap(index, var, value, rep, buffer),
+                value: subst_expr_snap(e, var, value, rep, buffer),
+            },
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => Stmt::If {
+                cond: subst_expr_snap(cond, var, value, rep, buffer),
+                then_body: subst_stmts_snap(then_body, var, value, rep, buffer),
+                else_body: subst_stmts_snap(else_body, var, value, rep, buffer),
+            },
+            Stmt::For {
+                var: lv,
+                init,
+                cond,
+                step,
+                body,
+            } => Stmt::For {
+                var: lv,
+                init: subst_expr_snap(init, var, value, rep, buffer),
+                cond: cond.map_bound(|e| subst_expr_snap(e, var, value, rep, buffer)),
+                step: step.map_amount(|e| subst_expr_snap(e, var, value, rep, buffer)),
+                body: subst_stmts_snap(body, var, value, rep, buffer),
+            },
+            Stmt::Sync => Stmt::Sync,
+            Stmt::Return(e) => Stmt::Return(subst_expr_snap(e, var, value, rep, buffer)),
+        })
+        .collect()
+}
+
+/// Unroll every `for` loop over `info.var` in a statement tree, snapping
+/// target-buffer load offsets to their band representatives. Unrolling is
+/// what lets the CSE pass actually delete the skipped accesses — mirroring
+/// the specialized code the paper's rewriter emits.
+fn unroll_snapped_loop(
+    stmts: Vec<paraprox_ir::Stmt>,
+    info: &LoopInfo,
+    buffer: paraprox_ir::MemRef,
+    reach: i64,
+) -> Vec<paraprox_ir::Stmt> {
+    use paraprox_ir::Stmt;
+    let mut out = Vec::with_capacity(stmts.len());
+    for stmt in stmts {
+        match stmt {
+            Stmt::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+            } if var == info.var => {
+                for k in 0..info.trip {
+                    let value = (info.start + k * info.step) as i32;
+                    let rep_k = rep_offset(k, info.trip, reach);
+                    let rep = (info.start + rep_k * info.step) as i32;
+                    out.extend(subst_stmts_snap(body.clone(), var, value, rep, buffer));
+                }
+                let _ = (init, cond, step);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => out.push(Stmt::If {
+                cond,
+                then_body: unroll_snapped_loop(then_body, info, buffer, reach),
+                else_body: unroll_snapped_loop(else_body, info, buffer, reach),
+            }),
+            Stmt::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+            } => out.push(Stmt::For {
+                var,
+                init,
+                cond,
+                step,
+                body: unroll_snapped_loop(body, info, buffer, reach),
+            }),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Apply the stencil/partition approximation to `kernel`, returning the
+/// rewritten program.
+///
+/// # Errors
+///
+/// Returns [`ApproxError::NotApplicable`] when the reaching distance is
+/// zero (no approximation) or the candidate has nothing to snap under the
+/// chosen scheme.
+pub fn approximate_stencil(
+    program: &Program,
+    kernel: KernelId,
+    cand: &StencilCandidate,
+    scheme: StencilScheme,
+    reach: u32,
+) -> Result<Program, ApproxError> {
+    if reach == 0 {
+        return Err(ApproxError::NotApplicable(
+            "reaching distance must be at least 1".to_string(),
+        ));
+    }
+    let reach = i64::from(reach);
+    let snap_rows = scheme.snaps_rows() && cand.tile_h > 1;
+    let snap_cols = scheme.snaps_cols() && cand.tile_w > 1;
+    if !snap_rows && !snap_cols {
+        return Err(ApproxError::NotApplicable(format!(
+            "scheme {} has no axis to snap on a {}x{} tile",
+            scheme.label(),
+            cand.tile_h,
+            cand.tile_w
+        )));
+    }
+
+    let mut out = program.clone();
+    let original_kernel = program.kernel(kernel);
+    let k = out.kernel_mut(kernel);
+    let buffer = cand.buffer;
+
+    // Pass A: snap loop variables (loop-based tiles). Constant-trip loops
+    // are *unrolled* with snapped load offsets, so the CSE/hoist pass can
+    // actually remove the skipped accesses (this mirrors the specialized
+    // kernels Paraprox generates). Loops too large to unroll fall back to a
+    // runtime snapping expression.
+    const UNROLL_LIMIT: i64 = 32;
+    let mut snapped_loops: Vec<&LoopInfo> = Vec::new();
+    if snap_rows {
+        snapped_loops.extend(cand.row_loops.iter());
+    }
+    if snap_cols {
+        snapped_loops.extend(cand.col_loops.iter());
+    }
+    let mut pass_a_ran = false;
+    let mut loop_substitutions: Vec<(&LoopInfo, Expr)> = Vec::new();
+    for info in snapped_loops {
+        pass_a_ran = true;
+        if info.trip <= UNROLL_LIMIT {
+            let body = std::mem::take(&mut k.body);
+            k.body = unroll_snapped_loop(body, info, buffer, reach);
+        } else {
+            loop_substitutions.push((
+                info,
+                snap_var_expr(Expr::Var(info.var), info, reach),
+            ));
+        }
+    }
+    if !loop_substitutions.is_empty() {
+        let body = std::mem::take(&mut k.body);
+        k.body = rewrite_exprs_in_stmts(body, &mut |e| match e {
+            Expr::Load { mem, index } if mem == buffer => {
+                let mut idx = *index;
+                for (info, replacement) in &loop_substitutions {
+                    idx = substitute_in_expr(idx, info.var, replacement);
+                }
+                Expr::Load {
+                    mem,
+                    index: Box::new(idx),
+                }
+            }
+            other => other,
+        });
+    }
+
+    // Pass B: snap unrolled offsets on axes without loops.
+    // Pass B rebuilds indices from the ORIGINAL kernel's combinations, so
+    // it must not run after pass A has already substituted loop variables
+    // (it would undo them). Tiles mixing looped rows with hand-unrolled
+    // columns (or vice versa) are snapped on their looped axes only.
+    let rows_unrolled = snap_rows && cand.row_loops.is_empty() && !pass_a_ran;
+    let cols_unrolled = snap_cols && cand.col_loops.is_empty() && !pass_a_ran;
+    if rows_unrolled || cols_unrolled {
+        // Derive per-load offsets exactly as the detector did, against the
+        // ORIGINAL kernel (pass A does not touch unrolled axes). Each load
+        // carries its guard signature — the chain of `if` arms enclosing it
+        // — so that only the loads of the dominant (tile) region get
+        // snapped: a boundary-handling branch reading the same buffer must
+        // not have its accesses shifted (that could walk off the array).
+        let mut indices: Vec<(Expr, Vec<u32>)> = Vec::new();
+        collect_loads_with_guard_sig(
+            &original_kernel.body,
+            buffer,
+            &mut Vec::new(),
+            &mut 0,
+            &mut indices,
+        );
+        let majority_sig = {
+            let mut counts: Vec<(&Vec<u32>, usize)> = Vec::new();
+            for (_, sig) in &indices {
+                match counts.iter_mut().find(|(s, _)| *s == sig) {
+                    Some(entry) => entry.1 += 1,
+                    None => counts.push((sig, 1)),
+                }
+            }
+            counts
+                .iter()
+                .max_by_key(|(_, n)| *n)
+                .map(|(s, _)| (*s).clone())
+                .unwrap_or_default()
+        };
+        let in_tile_region: Vec<bool> =
+            indices.iter().map(|(_, sig)| *sig == majority_sig).collect();
+        let indices: Vec<Expr> = indices.into_iter().map(|(e, _)| e).collect();
+        let combs: Vec<_> = indices
+            .iter()
+            .map(|i| decompose(&inline_index_lets(original_kernel, i)))
+            .collect();
+        let reference = combs
+            .first()
+            .cloned()
+            .ok_or_else(|| ApproxError::NotApplicable("no loads found".to_string()))?;
+        let offsets: Vec<(i64, i64)> = combs
+            .iter()
+            .map(|c| {
+                let diff = c.clone().sub(reference.clone());
+                let dy = cand
+                    .w_term
+                    .as_ref()
+                    .map(|w| diff.coeff_of(w))
+                    .unwrap_or(0);
+                (dy, diff.constant)
+            })
+            .collect();
+        let min_dy = offsets.iter().map(|o| o.0).min().unwrap_or(0);
+        let min_dx = offsets.iter().map(|o| o.1).min().unwrap_or(0);
+        // For each load (in traversal order), the delta to add.
+        let deltas: Vec<(i64, i64)> = offsets
+            .iter()
+            .map(|&(dy, dx)| {
+                let ndy = dy - min_dy;
+                let ndx = dx - min_dx;
+                let sdy = if rows_unrolled {
+                    rep_offset(ndy, cand.tile_h as i64, reach)
+                } else {
+                    ndy
+                };
+                let sdx = if cols_unrolled {
+                    rep_offset(ndx, cand.tile_w as i64, reach)
+                } else {
+                    ndx
+                };
+                (sdy - ndy, sdx - ndx)
+            })
+            .collect();
+        // Rebuild each index from its snapped linear combination. This
+        // canonicalizes the expressions, so loads snapped to the same tile
+        // element become *structurally identical* and the CSE pass below
+        // can collapse them.
+        let w_term = cand.w_term.clone();
+        let mut load_counter = 0usize;
+        let body = std::mem::take(&mut k.body);
+        k.body = rewrite_exprs_in_stmts(body, &mut |e| match e {
+            Expr::Load { mem, index } if mem == buffer => {
+                let counter = load_counter;
+                load_counter += 1;
+                if !in_tile_region.get(counter).copied().unwrap_or(false) {
+                    // A minority-region access (e.g. a boundary-handling
+                    // branch): leave it untouched.
+                    return Expr::Load { mem, index };
+                }
+                let (ddy, ddx) = deltas.get(counter).copied().unwrap_or((0, 0));
+                let mut comb = combs[counter].clone();
+                if ddy != 0 {
+                    if let Some(w) = &w_term {
+                        comb = comb.add(
+                            paraprox_patterns::affine::LinComb::term(w.clone()).scale(ddy),
+                        );
+                    }
+                }
+                comb.constant += ddx;
+                Expr::Load {
+                    mem,
+                    index: Box::new(comb.to_expr()),
+                }
+            }
+            other => other,
+        });
+    }
+
+    // Make the savings real: collapse the now-identical loads.
+    optimize_buffer_loads(k, buffer);
+    k.name = format!("{}__stencil_{}_r{}", k.name, scheme.label(), reach);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paraprox_ir::{count_ops, KernelBuilder, MemSpace, Program};
+    use paraprox_patterns::stencil::find_stencils;
+    use paraprox_quality::Metric;
+    use paraprox_vgpu::{Device, DeviceProfile, Dim2};
+
+    /// Smooth image: neighboring pixels similar (the paper's Fig. 5
+    /// assumption).
+    fn smooth_image(w: usize, h: usize) -> Vec<f32> {
+        (0..w * h)
+            .map(|i| {
+                let x = (i % w) as f32;
+                let y = (i / w) as f32;
+                ((x * 0.07).sin() + (y * 0.05).cos() + 2.0) * 50.0
+            })
+            .collect()
+    }
+
+    fn mean3x3_unrolled(program: &mut Program) -> paraprox_ir::KernelId {
+        let mut kb = KernelBuilder::new("mean3x3");
+        let img = kb.buffer("img", Ty::F32, MemSpace::Global);
+        let out = kb.buffer("out", Ty::F32, MemSpace::Global);
+        let w = kb.scalar("w", Ty::I32);
+        let h = kb.scalar("h", Ty::I32);
+        let x = kb.let_("x", KernelBuilder::global_id_x());
+        let y = kb.let_("y", KernelBuilder::global_id_y());
+        let interior = x.clone().gt(Expr::i32(0))
+            & x.clone().lt(w.clone() - Expr::i32(1))
+            & y.clone().gt(Expr::i32(0))
+            & y.clone().lt(h.clone() - Expr::i32(1));
+        kb.if_else(
+            interior,
+            |kb| {
+                let mut sum = Expr::f32(0.0);
+                for dy in -1..=1 {
+                    for dx in -1..=1 {
+                        let idx =
+                            (y.clone() + Expr::i32(dy)) * w.clone() + x.clone() + Expr::i32(dx);
+                        sum = sum + kb.load(img, idx);
+                    }
+                }
+                kb.store(out, y.clone() * w.clone() + x.clone(), sum / Expr::f32(9.0));
+            },
+            |kb| {
+                let idx = y.clone() * w.clone() + x.clone();
+                let v = kb.load(img, idx.clone());
+                kb.store(out, idx, v);
+            },
+        );
+        program.add_kernel(kb.finish())
+    }
+
+    fn gauss3x3_looped(program: &mut Program) -> paraprox_ir::KernelId {
+        let mut kb = KernelBuilder::new("gauss3x3");
+        let img = kb.buffer("img", Ty::F32, MemSpace::Global);
+        let out = kb.buffer("out", Ty::F32, MemSpace::Global);
+        let w = kb.scalar("w", Ty::I32);
+        let h = kb.scalar("h", Ty::I32);
+        let x = kb.let_("x", KernelBuilder::global_id_x());
+        let y = kb.let_("y", KernelBuilder::global_id_y());
+        let interior = x.clone().gt(Expr::i32(0))
+            & x.clone().lt(w.clone() - Expr::i32(1))
+            & y.clone().gt(Expr::i32(0))
+            & y.clone().lt(h.clone() - Expr::i32(1));
+        kb.if_(interior, |kb| {
+            let acc = kb.let_mut("acc", Ty::F32, Expr::f32(0.0));
+            kb.for_up("i", Expr::i32(0), Expr::i32(3), Expr::i32(1), |kb, i| {
+                kb.for_up("j", Expr::i32(0), Expr::i32(3), Expr::i32(1), |kb, j| {
+                    let idx = (y.clone() + i.clone() - Expr::i32(1)) * w.clone() + x.clone() + j
+                        - Expr::i32(1);
+                    let v = kb.load(img, idx);
+                    kb.assign(acc, Expr::Var(acc) + v);
+                });
+            });
+            kb.store(
+                out,
+                y.clone() * w.clone() + x.clone(),
+                Expr::Var(acc) / Expr::f32(9.0),
+            );
+        });
+        program.add_kernel(kb.finish())
+    }
+
+    fn run(
+        program: &Program,
+        kid: paraprox_ir::KernelId,
+        w: usize,
+        h: usize,
+        img: &[f32],
+    ) -> (Vec<f32>, u64) {
+        let mut device = Device::new(DeviceProfile::gtx560());
+        let input = device.alloc_f32(MemSpace::Global, img);
+        let output = device.alloc_f32(MemSpace::Global, &vec![0.0; w * h]);
+        let stats = device
+            .launch(
+                program,
+                kid,
+                Dim2::new(w / 16, h / 8),
+                Dim2::new(16, 8),
+                &[
+                    input.into(),
+                    output.into(),
+                    paraprox_ir::Scalar::I32(w as i32).into(),
+                    paraprox_ir::Scalar::I32(h as i32).into(),
+                ],
+            )
+            .unwrap();
+        (device.read_f32(output).unwrap(), stats.total_cycles())
+    }
+
+    fn check_scheme(
+        build: fn(&mut Program) -> paraprox_ir::KernelId,
+        scheme: StencilScheme,
+    ) -> (f64, f64) {
+        let (w, h) = (64, 32);
+        let img = smooth_image(w, h);
+        let mut program = Program::new();
+        let kid = build(&mut program);
+        let cands = find_stencils(program.kernel(kid));
+        assert_eq!(cands.len(), 1, "stencil must be detected");
+        let approx_program =
+            approximate_stencil(&program, kid, &cands[0], scheme, 1).unwrap();
+
+        let (exact_out, exact_cycles) = run(&program, kid, w, h, &img);
+        let (approx_out, approx_cycles) = run(&approx_program, kid, w, h, &img);
+        let quality = Metric::MeanRelative.quality_f32(&exact_out, &approx_out);
+        let speedup = exact_cycles as f64 / approx_cycles as f64;
+        (quality, speedup)
+    }
+
+    #[test]
+    fn center_scheme_on_unrolled_tile() {
+        let (quality, speedup) = check_scheme(mean3x3_unrolled, StencilScheme::Center);
+        assert!(quality > 90.0, "quality = {quality}");
+        assert!(speedup > 1.2, "speedup = {speedup}");
+    }
+
+    #[test]
+    fn row_scheme_on_unrolled_tile() {
+        let (quality, speedup) = check_scheme(mean3x3_unrolled, StencilScheme::Row);
+        assert!(quality > 90.0, "quality = {quality}");
+        assert!(speedup > 1.0, "speedup = {speedup}");
+    }
+
+    #[test]
+    fn center_scheme_on_looped_tile() {
+        let (quality, speedup) = check_scheme(gauss3x3_looped, StencilScheme::Center);
+        assert!(quality > 90.0, "quality = {quality}");
+        assert!(speedup > 1.2, "speedup = {speedup}");
+    }
+
+    #[test]
+    fn column_scheme_on_looped_tile() {
+        let (quality, speedup) = check_scheme(gauss3x3_looped, StencilScheme::Column);
+        assert!(quality > 85.0, "quality = {quality}");
+        assert!(speedup > 1.0, "speedup = {speedup}");
+    }
+
+    #[test]
+    fn center_collapses_unrolled_loads_to_one() {
+        let mut program = Program::new();
+        let kid = mean3x3_unrolled(&mut program);
+        let cands = find_stencils(program.kernel(kid));
+        let approx = approximate_stencil(&program, kid, &cands[0], StencilScheme::Center, 1)
+            .unwrap();
+        let before = count_ops(&program.kernel(kid).body).loads;
+        let after = count_ops(&approx.kernel(kid).body).loads;
+        assert!(
+            after < before,
+            "loads must drop: before={before} after={after}"
+        );
+        // 9 tile loads + 1 border load -> 1 tile load + 1 border load.
+        assert!(after <= 3, "after = {after}");
+    }
+
+    #[test]
+    fn zero_reach_rejected() {
+        let mut program = Program::new();
+        let kid = mean3x3_unrolled(&mut program);
+        let cands = find_stencils(program.kernel(kid));
+        assert!(matches!(
+            approximate_stencil(&program, kid, &cands[0], StencilScheme::Center, 0),
+            Err(ApproxError::NotApplicable(_))
+        ));
+    }
+
+    #[test]
+    fn rep_offset_bands() {
+        // n=17, r=1 -> bands of 3 with representatives 1,4,7,10,13,16.
+        assert_eq!(rep_offset(0, 17, 1), 1);
+        assert_eq!(rep_offset(2, 17, 1), 1);
+        assert_eq!(rep_offset(3, 17, 1), 4);
+        // Truncated final band (15,16): representative is its center, 15.
+        assert_eq!(rep_offset(16, 17, 1), 15);
+        // Reaching distance covering the whole 3-wide tile: always the
+        // tile center, never a clamped edge.
+        for d in 0..3 {
+            assert_eq!(rep_offset(d, 3, 2), 1);
+        }
+        // r large enough collapses everything to the clamped center.
+        assert_eq!(rep_offset(0, 3, 1), 1);
+        assert_eq!(rep_offset(2, 3, 1), 1);
+    }
+}

@@ -1,0 +1,190 @@
+//! The memoized kernel's IR-level quantization must agree bit-for-bit with
+//! the host-side quantization used to build the table — otherwise lookups
+//! read the wrong entry near level boundaries.
+
+use paraprox_approx::{
+    build_table, memoize_kernel, InputRange, LookupMode, MemoConfig, TablePlacement,
+};
+use paraprox_ir::{Expr, FuncBuilder, KernelBuilder, MemSpace, Program, Scalar, Ty};
+use paraprox_vgpu::{Device, DeviceProfile, Dim2};
+use proptest::prelude::*;
+
+/// Build a single-input heavy function with a known analytic form.
+fn make_program() -> (Program, paraprox_ir::FuncId, paraprox_ir::KernelId) {
+    let mut program = Program::new();
+    let mut fb = FuncBuilder::new("f", Ty::F32);
+    let x = fb.scalar("x", Ty::F32);
+    fb.ret((x.clone() * x.clone() + Expr::f32(1.0)).sqrt() / (x + Expr::f32(3.0)));
+    let func = program.add_func(fb.finish());
+
+    let mut kb = KernelBuilder::new("map");
+    let input = kb.buffer("in", Ty::F32, MemSpace::Global);
+    let output = kb.buffer("out", Ty::F32, MemSpace::Global);
+    let gid = kb.let_("gid", KernelBuilder::global_id_x());
+    let v = kb.let_("v", kb.load(input, gid.clone()));
+    kb.store(
+        output,
+        gid,
+        Expr::Call {
+            func,
+            args: vec![v],
+        },
+    );
+    let kernel = program.add_kernel(kb.finish());
+    (program, func, kernel)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every lane's memoized output equals `table[level_of(input)]` exactly.
+    #[test]
+    fn kernel_lookup_matches_host_quantization(
+        min in -10.0f32..10.0,
+        width in 0.5f32..20.0,
+        q in 2u32..10,
+        xs in prop::collection::vec(-40.0f32..40.0, 16..=16),
+    ) {
+        let (program, func, kernel) = make_program();
+        let range = InputRange { min, max: min + width };
+        let config = MemoConfig {
+            func,
+            split: vec![q],
+            mode: LookupMode::Nearest,
+            placement: TablePlacement::Global,
+            ranges: vec![range],
+        };
+        let table = build_table(&program, &config).expect("table");
+        let variant = memoize_kernel(&program, kernel, &config).expect("memoize");
+
+        let mut device = Device::new(DeviceProfile::gtx560());
+        let in_b = device.alloc_f32(MemSpace::Global, &xs);
+        let out_b = device.alloc_f32(MemSpace::Global, &vec![0.0; xs.len()]);
+        let lut_b = device.alloc_f32(MemSpace::Global, &variant.table);
+        device
+            .launch(
+                &variant.program,
+                kernel,
+                Dim2::linear(1),
+                Dim2::linear(xs.len()),
+                &[in_b.into(), out_b.into(), lut_b.into()],
+            )
+            .expect("launch");
+        let out = device.read_f32(out_b).expect("read");
+        for (i, &x) in xs.iter().enumerate() {
+            let expected = table[range.level_of(x, q) as usize];
+            prop_assert_eq!(
+                out[i], expected,
+                "lane {} (x={}, level={})", i, x, range.level_of(x, q)
+            );
+        }
+    }
+
+    /// Linear mode never reads out of the table and interpolates within the
+    /// two neighboring entries' value range.
+    #[test]
+    fn linear_lookup_bounded_by_neighbor_entries(
+        q in 3u32..10,
+        xs in prop::collection::vec(0.0f32..1.0, 16..=16),
+    ) {
+        let (program, func, kernel) = make_program();
+        let range = InputRange { min: 0.0, max: 1.0 };
+        let config = MemoConfig {
+            func,
+            split: vec![q],
+            mode: LookupMode::Linear,
+            placement: TablePlacement::Global,
+            ranges: vec![range],
+        };
+        let table = build_table(&program, &config).expect("table");
+        let variant = memoize_kernel(&program, kernel, &config).expect("memoize");
+
+        let mut device = Device::new(DeviceProfile::gtx560());
+        let in_b = device.alloc_f32(MemSpace::Global, &xs);
+        let out_b = device.alloc_f32(MemSpace::Global, &vec![0.0; xs.len()]);
+        let lut_b = device.alloc_f32(MemSpace::Global, &variant.table);
+        device
+            .launch(
+                &variant.program,
+                kernel,
+                Dim2::linear(1),
+                Dim2::linear(xs.len()),
+                &[in_b.into(), out_b.into(), lut_b.into()],
+            )
+            .expect("launch");
+        let out = device.read_f32(out_b).expect("read");
+        for (i, _) in xs.iter().enumerate() {
+            let lo = table
+                .iter()
+                .cloned()
+                .fold(f32::INFINITY, f32::min);
+            let hi = table
+                .iter()
+                .cloned()
+                .fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(
+                out[i] >= lo - 1e-6 && out[i] <= hi + 1e-6,
+                "lane {}: {} outside table range [{}, {}]",
+                i, out[i], lo, hi
+            );
+        }
+    }
+
+    /// The training-set quality predicted by bit tuning's model (function
+    /// re-evaluation on representatives) agrees with the actual table-based
+    /// kernel within a small tolerance.
+    #[test]
+    fn predicted_quality_matches_measured(
+        q in 4u32..10,
+        seed_vals in prop::collection::vec(0.05f32..0.95, 32..=32),
+    ) {
+        let (program, func, kernel) = make_program();
+        let range = InputRange { min: 0.0, max: 1.0 };
+        let samples: Vec<Vec<Scalar>> =
+            seed_vals.iter().map(|&v| vec![Scalar::F32(v)]).collect();
+        let f = program.func(func).clone();
+        let tuned = paraprox_approx::bit_tune(&program, &f, &samples, &[range], q)
+            .expect("bit tune");
+        let config = MemoConfig {
+            func,
+            split: tuned.split.clone(),
+            mode: LookupMode::Nearest,
+            placement: TablePlacement::Global,
+            ranges: vec![range],
+        };
+        let variant = memoize_kernel(&program, kernel, &config).expect("memoize");
+
+        // Measure on the same training points via the actual kernel.
+        let mut device = Device::new(DeviceProfile::gtx560());
+        let in_b = device.alloc_f32(MemSpace::Global, &seed_vals);
+        let out_b = device.alloc_f32(MemSpace::Global, &vec![0.0; seed_vals.len()]);
+        let lut_b = device.alloc_f32(MemSpace::Global, &variant.table);
+        device
+            .launch(
+                &variant.program,
+                kernel,
+                Dim2::linear(1),
+                Dim2::linear(seed_vals.len()),
+                &[in_b.into(), out_b.into(), lut_b.into()],
+            )
+            .expect("launch");
+        let approx_out = device.read_f32(out_b).expect("read");
+        let exact_out: Vec<f32> = seed_vals
+            .iter()
+            .map(|&x| {
+                paraprox_ir::eval_func(&program, &f, &[Scalar::F32(x)])
+                    .expect("eval")
+                    .as_f32()
+                    .expect("f32")
+            })
+            .collect();
+        let measured =
+            paraprox_quality::Metric::MeanRelative.quality_f32(&exact_out, &approx_out);
+        prop_assert!(
+            (measured - tuned.quality).abs() < 1.0,
+            "predicted {} vs measured {}",
+            tuned.quality,
+            measured
+        );
+    }
+}

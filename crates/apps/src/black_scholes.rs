@@ -1,0 +1,222 @@
+//! BlackScholes — European option pricing (Financial, Map, L1-norm).
+//!
+//! The paper's flagship memoization example (its Figures 3 and 4): the
+//! kernel calls `BlackScholesBody`-style pure functions with five inputs of
+//! which two — the riskless rate `R` and volatility `V` — are constant, so
+//! bit tuning assigns them zero quantization bits.
+
+use paraprox::{Metric, Workload};
+use paraprox_ir::{MemSpace, Scalar, Ty};
+use paraprox_vgpu::{BufferInit, BufferSpec, Dim2, LaunchPlan, Pipeline, PlanArg};
+
+use crate::inputs;
+use crate::{App, AppSpec, Scale};
+
+/// Riskless rate (constant across the input set, as in the CUDA SDK).
+pub const RISKLESS_RATE: f32 = 0.02;
+/// Volatility (constant across the input set).
+pub const VOLATILITY: f32 = 0.30;
+
+fn sizes(scale: Scale) -> usize {
+    match scale {
+        Scale::Test => 512,
+        Scale::Paper => 4096,
+    }
+}
+
+const BLOCK: usize = 64;
+
+/// The application's kernel source (built through the `paraprox-lang`
+/// frontend, as the original system consumes CUDA through Clang). `Cnd()`
+/// is deliberately below the Eq. (1) memoization threshold; the two body
+/// functions are far above it, and their `R`/`V` arguments are constants —
+/// the setup of the paper's Figure 4.
+pub const SOURCE: &str = r#"
+__device__ float cnd(float d) {
+    float k = 1.0f / (1.0f + 0.2316419f * fabsf(d));
+    float poly = k * (0.31938153f + k * (-0.356563782f + k * (1.781477937f
+        + k * (-1.821255978f + k * 1.330274429f))));
+    float w = 0.39894228f * expf(-0.5f * d * d) * poly;
+    return d >= 0.0f ? 1.0f - w : w;
+}
+
+__device__ float bs_call(float s, float x, float t, float r, float v) {
+    float sqrt_t = sqrtf(t);
+    float d1 = (logf(s / x) + (r + v * v * 0.5f) * t) / (v * sqrt_t);
+    float d2 = d1 - v * sqrt_t;
+    float exp_rt = expf(-(r * t));
+    return s * cnd(d1) - x * exp_rt * cnd(d2);
+}
+
+__device__ float bs_put(float s, float x, float t, float r, float v) {
+    float sqrt_t = sqrtf(t);
+    float d1 = (logf(s / x) + (r + v * v * 0.5f) * t) / (v * sqrt_t);
+    float d2 = d1 - v * sqrt_t;
+    float exp_rt = expf(-(r * t));
+    return x * exp_rt * cnd(-d2) - s * cnd(-d1);
+}
+
+__global__ void black_scholes(float* price, float* strike, float* years,
+                              float* call, float* put) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    float s = price[gid];
+    float x = strike[gid];
+    float t = years[gid];
+    call[gid] = bs_call(s, x, t, 0.02f, 0.3f);
+    put[gid] = bs_put(s, x, t, 0.02f, 0.3f);
+}
+"#;
+
+/// Host reference implementation (for tests).
+pub fn reference(s: f32, x: f32, t: f32) -> (f32, f32) {
+    fn cnd(d: f32) -> f32 {
+        let k = 1.0 / (1.0 + 0.231_641_9 * d.abs());
+        let poly = k
+            * (0.319_381_53
+                + k * (-0.356_563_78
+                    + k * (1.781_477_9 + k * (-1.821_255_9 + k * 1.330_274_5))));
+        let w = 0.398_942_3 * (-0.5 * d * d).exp() * poly;
+        if d >= 0.0 {
+            1.0 - w
+        } else {
+            w
+        }
+    }
+    let (r, v) = (RISKLESS_RATE, VOLATILITY);
+    let sqrt_t = t.sqrt();
+    let d1 = ((s / x).ln() + (r + v * v * 0.5) * t) / (v * sqrt_t);
+    let d2 = d1 - v * sqrt_t;
+    let exp_rt = (-(r * t)).exp();
+    let call = s * cnd(d1) - x * exp_rt * cnd(d2);
+    let put = x * exp_rt * cnd(-d2) - s * cnd(-d1);
+    (call, put)
+}
+
+/// Generate the three input buffers (stock price, strike, time).
+pub fn gen_inputs(scale: Scale, seed: u64) -> Vec<BufferInit> {
+    let n = sizes(scale);
+    let mut r = inputs::rng(seed ^ 0xB5);
+    vec![
+        BufferInit::F32(inputs::uniform_f32(&mut r, n, 5.0, 30.0)),
+        BufferInit::F32(inputs::uniform_f32(&mut r, n, 1.0, 100.0)),
+        BufferInit::F32(inputs::uniform_f32(&mut r, n, 0.25, 10.0)),
+    ]
+}
+
+/// Build the workload (parsing [`SOURCE`] through the language frontend).
+pub fn build(scale: Scale, seed: u64) -> Workload {
+    let n = sizes(scale);
+    let program = paraprox_lang::parse_program(SOURCE).expect("embedded source is valid");
+    let call_f = program.func_by_name("bs_call").expect("declared");
+    let put_f = program.func_by_name("bs_put").expect("declared");
+    let kernel = program.kernel_by_name("black_scholes").expect("declared");
+
+    let data = gen_inputs(scale, seed);
+    let mut pipeline = Pipeline::default();
+    let mut slots = Vec::new();
+    for (name, init) in ["price", "strike", "years"].iter().zip(data) {
+        slots.push(pipeline.add_buffer(BufferSpec {
+            name: (*name).to_string(),
+            ty: Ty::F32,
+            space: MemSpace::Global,
+            init,
+        }));
+    }
+    let call_b = pipeline.add_buffer(BufferSpec::zeroed_f32("call", n));
+    let put_b = pipeline.add_buffer(BufferSpec::zeroed_f32("put", n));
+    pipeline.launches.push(LaunchPlan {
+        kernel,
+        grid: Dim2::linear(n / BLOCK),
+        block: Dim2::linear(BLOCK),
+        args: vec![
+            PlanArg::Buffer(slots[0]),
+            PlanArg::Buffer(slots[1]),
+            PlanArg::Buffer(slots[2]),
+            PlanArg::Buffer(call_b),
+            PlanArg::Buffer(put_b),
+        ],
+    });
+    pipeline.outputs = vec![call_b, put_b];
+
+    // Training tuples for memoization: drawn from the same distributions,
+    // with R and V constant (the paper's Figure 4 setup).
+    let mut trng = inputs::rng(0xDEAD_BEEF);
+    let samples: Vec<Vec<Scalar>> = (0..96)
+        .map(|_| {
+            vec![
+                Scalar::F32(trng.random_range(5.0f32..30.0)),
+                Scalar::F32(trng.random_range(1.0f32..100.0)),
+                Scalar::F32(trng.random_range(0.25f32..10.0)),
+                Scalar::F32(RISKLESS_RATE),
+                Scalar::F32(VOLATILITY),
+            ]
+        })
+        .collect();
+
+    Workload::new("BlackScholes", program, pipeline, Metric::L1Norm)
+        .with_training(call_f, samples.clone())
+        .with_training(put_f, samples)
+        .with_input_slots(slots)
+}
+
+/// Registry entry.
+pub fn app() -> App {
+    App {
+        spec: AppSpec {
+            name: "BlackScholes",
+            domain: "Financial",
+            input_desc: "4K options (paper: 4M)",
+            patterns: "Map",
+            metric: Metric::L1Norm,
+        },
+        build,
+        gen_inputs,
+    }
+}
+
+// `random_range` comes from rand::Rng.
+use rand::Rng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paraprox_vgpu::{Device, DeviceProfile};
+
+    #[test]
+    fn exact_pipeline_matches_host_reference() {
+        let w = build(Scale::Test, 42);
+        let mut device = Device::new(DeviceProfile::gtx560());
+        let run = w.pipeline.execute(&mut device, &w.program).unwrap();
+        let inputs = gen_inputs(Scale::Test, 42);
+        let (BufferInit::F32(s), BufferInit::F32(x), BufferInit::F32(t)) =
+            (&inputs[0], &inputs[1], &inputs[2])
+        else {
+            panic!("unexpected input kinds");
+        };
+        for i in 0..s.len() {
+            let (call, put) = reference(s[i], x[i], t[i]);
+            let sim_call = run.outputs[0][i] as f32;
+            let sim_put = run.outputs[1][i] as f32;
+            assert!(
+                (sim_call - call).abs() < 1e-3 * call.abs().max(1.0),
+                "call {i}: {sim_call} vs {call}"
+            );
+            assert!(
+                (sim_put - put).abs() < 1e-3 * put.abs().max(1.0),
+                "put {i}: {sim_put} vs {put}"
+            );
+        }
+    }
+
+    #[test]
+    fn map_pattern_detected_on_both_body_functions() {
+        let w = build(Scale::Test, 1);
+        let table = paraprox::latency_table_for(&DeviceProfile::gtx560());
+        let compiled =
+            paraprox::compile(&w, &table, &paraprox::CompileOptions::minimal()).unwrap();
+        assert!(compiled.pattern_names().contains(&"map"));
+        let maps: usize = compiled.patterns.iter().map(|kp| kp.maps().count()).sum();
+        assert_eq!(maps, 2, "bs_call and bs_put must both be candidates");
+        assert!(!compiled.variants.is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! Gaussian Filter — 3×3 smoothing (Image Processing, Stencil, mean
+//! relative error). Loop-based tile with weights in constant memory.
+
+use paraprox::{Metric, Workload};
+use paraprox_ir::{Expr, KernelBuilder, MemSpace, Program, Scalar, Ty};
+use paraprox_vgpu::{BufferInit, BufferSpec, Dim2, LaunchPlan, Pipeline, PlanArg};
+
+use crate::inputs;
+use crate::{App, AppSpec, Scale};
+
+fn dims(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Test => (64, 32),
+        Scale::Paper => (96, 96),
+    }
+}
+
+/// The 3×3 Gaussian weights.
+pub const WEIGHTS: [f32; 9] = [
+    1.0 / 16.0,
+    2.0 / 16.0,
+    1.0 / 16.0,
+    2.0 / 16.0,
+    4.0 / 16.0,
+    2.0 / 16.0,
+    1.0 / 16.0,
+    2.0 / 16.0,
+    1.0 / 16.0,
+];
+
+/// Host reference.
+pub fn reference(img: &[f32], w: usize, h: usize) -> Vec<f32> {
+    let mut out = img.to_vec();
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let mut acc = 0.0f32;
+            for i in 0..3 {
+                for j in 0..3 {
+                    acc += img[(y + i - 1) * w + (x + j - 1)] * WEIGHTS[i * 3 + j];
+                }
+            }
+            out[y * w + x] = acc;
+        }
+    }
+    out
+}
+
+/// Generate the image input.
+pub fn gen_inputs(scale: Scale, seed: u64) -> Vec<BufferInit> {
+    let (w, h) = dims(scale);
+    let mut r = inputs::rng(seed ^ 0x6A5);
+    vec![BufferInit::F32(inputs::smooth_image(&mut r, w, h))]
+}
+
+/// Build the workload.
+pub fn build(scale: Scale, seed: u64) -> Workload {
+    let (w, h) = dims(scale);
+    let mut program = Program::new();
+
+    let mut kb = KernelBuilder::new("gaussian3x3");
+    let img = kb.buffer("img", Ty::F32, MemSpace::Global);
+    let coef = kb.buffer("coef", Ty::F32, MemSpace::Constant);
+    let out = kb.buffer("out", Ty::F32, MemSpace::Global);
+    let width = kb.scalar("w", Ty::I32);
+    let height = kb.scalar("h", Ty::I32);
+    let x = kb.let_("x", KernelBuilder::global_id_x());
+    let y = kb.let_("y", KernelBuilder::global_id_y());
+    let center = kb.let_("center", y.clone() * width.clone() + x.clone());
+    let interior = x.clone().gt(Expr::i32(0))
+        & x.clone().lt(width.clone() - Expr::i32(1))
+        & y.clone().gt(Expr::i32(0))
+        & y.clone().lt(height.clone() - Expr::i32(1));
+    kb.if_else(
+        interior,
+        |kb| {
+            let acc = kb.let_mut("acc", Ty::F32, Expr::f32(0.0));
+            kb.for_up("i", Expr::i32(0), Expr::i32(3), Expr::i32(1), |kb, i| {
+                kb.for_up("j", Expr::i32(0), Expr::i32(3), Expr::i32(1), |kb, j| {
+                    let idx = (y.clone() + i.clone() - Expr::i32(1)) * width.clone()
+                        + x.clone()
+                        + j.clone()
+                        - Expr::i32(1);
+                    let v = kb.load(img, idx);
+                    let wgt = kb.load(coef, i * Expr::i32(3) + j);
+                    kb.assign(acc, Expr::Var(acc) + v * wgt);
+                });
+            });
+            kb.store(out, center.clone(), Expr::Var(acc));
+        },
+        |kb| {
+            let v = kb.let_("vb", kb.load(img, center.clone()));
+            kb.store(out, center.clone(), v);
+        },
+    );
+    let kernel = program.add_kernel(kb.finish());
+
+    let mut pipeline = Pipeline::default();
+    let img_b = pipeline.add_buffer(BufferSpec {
+        name: "img".to_string(),
+        ty: Ty::F32,
+        space: MemSpace::Global,
+        init: gen_inputs(scale, seed).remove(0),
+    });
+    let coef_b = pipeline.add_buffer(BufferSpec {
+        name: "coef".to_string(),
+        ty: Ty::F32,
+        space: MemSpace::Constant,
+        init: BufferInit::F32(WEIGHTS.to_vec()),
+    });
+    let out_b = pipeline.add_buffer(BufferSpec::zeroed_f32("out", w * h));
+    pipeline.launches.push(LaunchPlan {
+        kernel,
+        grid: Dim2::new(w / 16, h / 8),
+        block: Dim2::new(16, 8),
+        args: vec![
+            PlanArg::Buffer(img_b),
+            PlanArg::Buffer(coef_b),
+            PlanArg::Buffer(out_b),
+            PlanArg::Scalar(Scalar::I32(w as i32)),
+            PlanArg::Scalar(Scalar::I32(h as i32)),
+        ],
+    });
+    pipeline.outputs = vec![out_b];
+
+    Workload::new("Gaussian Filter", program, pipeline, Metric::MeanRelative)
+        .with_input_slots(vec![img_b])
+}
+
+/// Registry entry.
+pub fn app() -> App {
+    App {
+        spec: AppSpec {
+            name: "Gaussian Filter",
+            domain: "Image Processing",
+            input_desc: "96x96 image (paper: 512x512)",
+            patterns: "Stencil",
+            metric: Metric::MeanRelative,
+        },
+        build,
+        gen_inputs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paraprox_vgpu::{Device, DeviceProfile};
+
+    #[test]
+    fn exact_pipeline_matches_host_reference() {
+        let w = build(Scale::Test, 21);
+        let (wd, ht) = dims(Scale::Test);
+        let mut device = Device::new(DeviceProfile::gtx560());
+        let run = w.pipeline.execute(&mut device, &w.program).unwrap();
+        let BufferInit::F32(img) = &gen_inputs(Scale::Test, 21)[0] else {
+            panic!()
+        };
+        let expected = reference(img, wd, ht);
+        for (i, e) in expected.iter().enumerate() {
+            assert!(
+                (run.outputs[0][i] as f32 - e).abs() < 1e-3,
+                "pixel {i}: {} vs {e}",
+                run.outputs[0][i]
+            );
+        }
+    }
+
+    #[test]
+    fn detected_as_looped_3x3_stencil_with_reduction() {
+        let w = build(Scale::Test, 1);
+        let table = paraprox::latency_table_for(&DeviceProfile::gtx560());
+        let compiled =
+            paraprox::compile(&w, &table, &paraprox::CompileOptions::minimal()).unwrap();
+        let names = compiled.pattern_names();
+        assert!(names.contains(&"stencil"), "{names:?}");
+        let cand = compiled
+            .patterns
+            .iter()
+            .flat_map(|kp| kp.stencils())
+            .next()
+            .unwrap();
+        assert_eq!((cand.tile_h, cand.tile_w), (3, 3));
+        assert_eq!(cand.row_loops.len(), 1);
+        assert_eq!(cand.col_loops.len(), 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! The 13 soft data-parallel benchmark applications of the Paraprox
+//! evaluation (paper Table 1), implemented as kernel-IR workloads.
+//!
+//! | Application | Domain | Patterns | Error metric |
+//! |---|---|---|---|
+//! | BlackScholes | Financial | Map | L1-norm |
+//! | Quasirandom Generator | Statistics | Map | L1-norm |
+//! | Gamma Correction | Image Processing | Map | Mean relative |
+//! | BoxMuller | Statistics | Scatter/Gather | L1-norm |
+//! | HotSpot | Physics | Stencil | Mean relative |
+//! | Convolution Separable | Image Processing | Stencil + Reduction | L2-norm |
+//! | Gaussian Filter | Image Processing | Stencil | Mean relative |
+//! | Mean Filter | Image Processing | Stencil | Mean relative |
+//! | Matrix Multiply | Signal Processing | Reduction + Partition | Mean relative |
+//! | Image Denoising | Image Processing | Reduction | Mean relative |
+//! | Naive Bayes | Machine Learning | Reduction (atomics) | Mean relative |
+//! | Kernel Density Estimation | Machine Learning | Reduction | Mean relative |
+//! | Cumulative Frequency Histogram | Signal Processing | Scan | Mean relative |
+//!
+//! Input sizes are scaled down from the paper's (e.g. 2048² images → 128²)
+//! because the kernels execute under an interpreted SIMT simulator; exact
+//! and approximate versions scale identically, so speedup ratios are
+//! preserved. Every application regenerates its inputs deterministically
+//! from a seed, enabling the train-then-deploy protocol of the paper
+//! (10 training runs, then measurement runs on fresh inputs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod black_scholes;
+pub mod box_muller;
+pub mod convolution;
+pub mod cumulative_histogram;
+pub mod functions;
+pub mod gamma_correction;
+pub mod gaussian_filter;
+pub mod hotspot;
+pub mod image_denoising;
+pub mod inputs;
+pub mod kde;
+pub mod matmul;
+pub mod mean_filter;
+pub mod naive_bayes;
+pub mod quasirandom;
+
+use paraprox::Workload;
+use paraprox_quality::Metric;
+use paraprox_vgpu::BufferInit;
+
+/// Problem-size scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small inputs for fast unit/integration tests.
+    Test,
+    /// The default experiment size (scaled-down analogue of the paper's).
+    Paper,
+}
+
+/// Static description of an application (paper Table 1's row).
+#[derive(Debug, Clone)]
+pub struct AppSpec {
+    /// Application name as in the paper.
+    pub name: &'static str,
+    /// Domain column of Table 1.
+    pub domain: &'static str,
+    /// Input-size description (at [`Scale::Paper`]).
+    pub input_desc: &'static str,
+    /// Patterns column of Table 1.
+    pub patterns: &'static str,
+    /// Error metric.
+    pub metric: Metric,
+}
+
+/// A registered benchmark application.
+#[derive(Clone)]
+pub struct App {
+    /// Table-1 row.
+    pub spec: AppSpec,
+    /// Build the full workload (program + pipeline + training data) for a
+    /// scale and input seed.
+    pub build: fn(Scale, u64) -> Workload,
+    /// Regenerate just the input buffers for a seed (same order as the
+    /// workload's `input_slots`).
+    pub gen_inputs: fn(Scale, u64) -> Vec<BufferInit>,
+}
+
+impl std::fmt::Debug for App {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("App").field("spec", &self.spec).finish()
+    }
+}
+
+impl App {
+    /// An input generator closure suitable for
+    /// [`paraprox::DeviceApp::new`].
+    pub fn input_gen(&self, scale: Scale) -> Box<dyn FnMut(u64) -> Vec<BufferInit>> {
+        let f = self.gen_inputs;
+        Box::new(move |seed| f(scale, seed))
+    }
+}
+
+/// All 13 applications, in the paper's Table 1 order.
+pub fn registry() -> Vec<App> {
+    vec![
+        black_scholes::app(),
+        quasirandom::app(),
+        gamma_correction::app(),
+        box_muller::app(),
+        hotspot::app(),
+        convolution::app(),
+        gaussian_filter::app(),
+        mean_filter::app(),
+        matmul::app(),
+        image_denoising::app(),
+        naive_bayes::app(),
+        kde::app(),
+        cumulative_histogram::app(),
+    ]
+}
+
+/// Find a registered application by (case-insensitive) name prefix.
+pub fn find(name: &str) -> Option<App> {
+    let lower = name.to_lowercase();
+    registry()
+        .into_iter()
+        .find(|a| a.spec.name.to_lowercase().starts_with(&lower))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_thirteen_apps_in_table1_order() {
+        let apps = registry();
+        assert_eq!(apps.len(), 13);
+        assert_eq!(apps[0].spec.name, "BlackScholes");
+        assert_eq!(apps[12].spec.name, "Cumulative Frequency Histogram");
+        // Names unique.
+        let mut names: Vec<&str> = apps.iter().map(|a| a.spec.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 13);
+    }
+
+    #[test]
+    fn find_by_prefix() {
+        assert!(find("black").is_some());
+        assert!(find("HotSpot").is_some());
+        assert!(find("nonexistent").is_none());
+    }
+
+    #[test]
+    fn every_app_builds_and_regenerates_inputs() {
+        for app in registry() {
+            let w = (app.build)(Scale::Test, 1);
+            assert!(!w.pipeline.launches.is_empty(), "{}", app.spec.name);
+            assert!(!w.pipeline.outputs.is_empty(), "{}", app.spec.name);
+            let inputs = (app.gen_inputs)(Scale::Test, 1);
+            assert_eq!(
+                inputs.len(),
+                w.input_slots.len(),
+                "{}: input generator arity",
+                app.spec.name
+            );
+            // Shapes must match the declared slots.
+            for (init, &slot) in inputs.iter().zip(&w.input_slots) {
+                assert_eq!(
+                    init.len(),
+                    w.pipeline.buffers[slot].init.len(),
+                    "{}: input shape for slot {slot}",
+                    app.spec.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inputs_are_deterministic_per_seed() {
+        for app in registry() {
+            let a = (app.gen_inputs)(Scale::Test, 7);
+            let b = (app.gen_inputs)(Scale::Test, 7);
+            let c = (app.gen_inputs)(Scale::Test, 8);
+            assert_eq!(a, b, "{}: same seed must reproduce", app.spec.name);
+            assert_ne!(a, c, "{}: different seed must differ", app.spec.name);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! The TOQ knob actually grades aggressiveness: raising the target must
+//! never produce a *faster* (more aggressive) choice, and quality must not
+//! decrease — the monotonicity that makes the paper's runtime policy
+//! coherent.
+
+use paraprox::{compile, latency_table_for, CompileOptions, Device, DeviceApp, DeviceProfile};
+use paraprox_apps::Scale;
+use paraprox_runtime::{Toq, Tuner};
+
+fn tune_at(app: &paraprox_apps::App, toq: f64) -> (f64, f64) {
+    let workload = (app.build)(Scale::Test, 0);
+    let profile = DeviceProfile::gtx560();
+    let compiled = compile(
+        &workload,
+        &latency_table_for(&profile),
+        &CompileOptions::default(),
+    )
+    .expect("compile");
+    let mut device_app = DeviceApp::new(Device::new(profile), &compiled, app.input_gen(Scale::Test));
+    let tuner = Tuner {
+        toq: Toq::new(toq).expect("valid toq"),
+        training_seeds: vec![0, 1],
+    };
+    let report = tuner.tune(&mut device_app).expect("tune");
+    (report.chosen_speedup(), report.chosen_quality())
+}
+
+#[test]
+fn stricter_toq_never_yields_faster_or_worse_choices() {
+    for name in [
+        "BlackScholes",
+        "Kernel Density",
+        "Mean Filter",
+        "Cumulative",
+    ] {
+        let app = paraprox_apps::find(name).expect("known app");
+        let (s90, q90) = tune_at(&app, 90.0);
+        let (s97, q97) = tune_at(&app, 97.0);
+        let (s999, q999) = tune_at(&app, 99.9);
+        assert!(
+            s97 <= s90 + 1e-9,
+            "{name}: stricter TOQ must not speed up ({s90} -> {s97})"
+        );
+        assert!(
+            s999 <= s97 + 1e-9,
+            "{name}: stricter TOQ must not speed up ({s97} -> {s999})"
+        );
+        assert!(
+            q97 >= q90 - 1e-9,
+            "{name}: stricter TOQ must not lower quality ({q90} -> {q97})"
+        );
+        assert!(q999 >= q97 - 1e-9, "{name}: ({q97} -> {q999})");
+        // At 99.9% almost nothing qualifies: quality must be essentially
+        // exact.
+        assert!(q999 >= 99.9, "{name}: q999 = {q999}");
+    }
+}
+
+#[test]
+fn toq_zero_accepts_the_most_aggressive_variant() {
+    let app = paraprox_apps::find("Kernel Density").expect("known app");
+    let (s0, _) = tune_at(&app, 0.0);
+    let (s90, _) = tune_at(&app, 90.0);
+    assert!(
+        s0 >= s90,
+        "an unconstrained target must allow at least the TOQ-90 speedup ({s0} vs {s90})"
+    );
+}

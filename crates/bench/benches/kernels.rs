@@ -1,0 +1,109 @@
+//! Criterion wall-clock benchmarks of the simulator executing exact vs
+//! approximate kernels.
+//!
+//! Simulated *cycles* (the paper's metric) are measured by the harness
+//! binaries in `src/bin/`; these benches track the real-time cost of the
+//! reproduction itself — how long the SIMT interpreter takes to execute
+//! representative exact and approximate pipelines — so regressions in the
+//! simulator or the rewriters show up in CI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paraprox::{CompileOptions, Device, DeviceProfile};
+use paraprox_apps::Scale;
+use paraprox_bench::compile_app;
+use std::hint::black_box;
+
+/// Benchmark one app's exact pipeline and its first generated variant.
+fn bench_app(c: &mut Criterion, name: &str) {
+    let app = paraprox_apps::find(name).expect("known app");
+    let profile = DeviceProfile::gtx560();
+    let compiled = compile_app(&app, Scale::Test, &profile, &CompileOptions::minimal());
+    let workload = &compiled.workload;
+    let mut group = c.benchmark_group(app.spec.name.replace(' ', "_"));
+    group.sample_size(10);
+    group.bench_function("exact", |b| {
+        b.iter(|| {
+            let mut device = Device::new(profile.clone());
+            let run = workload
+                .pipeline
+                .execute(&mut device, &workload.program)
+                .expect("execute");
+            black_box(run.stats.total_cycles())
+        })
+    });
+    if let Some(variant) = compiled.variants.first() {
+        group.bench_function("approx", |b| {
+            b.iter(|| {
+                let mut device = Device::new(profile.clone());
+                let run = variant
+                    .pipeline
+                    .execute(&mut device, &variant.program)
+                    .expect("execute");
+                black_box(run.stats.total_cycles())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    // One representative per optimization: map (memoization), stencil,
+    // reduction, scan.
+    bench_app(c, "BlackScholes"); // Fig. 11/12 map kernel
+    bench_app(c, "Mean Filter"); // Fig. 11 stencil kernel
+    bench_app(c, "Kernel Density"); // Fig. 11 reduction kernel
+    bench_app(c, "Cumulative"); // Fig. 11/18 scan pipeline
+}
+
+/// Compile-time (detection + rewriting + bit tuning) cost.
+fn bench_compile(c: &mut Criterion) {
+    let app = paraprox_apps::find("BlackScholes").expect("known app");
+    let profile = DeviceProfile::gtx560();
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(10);
+    group.bench_function("blackscholes_minimal", |b| {
+        b.iter(|| {
+            black_box(compile_app(
+                &app,
+                Scale::Test,
+                &profile,
+                &CompileOptions::minimal(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+/// Frontend throughput: parsing + lowering a representative kernel file.
+fn bench_frontend(c: &mut Criterion) {
+    let source = r#"
+        __device__ float heavy(float x) {
+            return logf(x + 1.5f) / sqrtf(x * x + 1.0f) / (x + 2.0f);
+        }
+        __global__ void apply(float* in, float* out, int n) {
+            int gid = blockIdx.x * blockDim.x + threadIdx.x;
+            if (gid < n) { out[gid] = heavy(in[gid]); }
+        }
+        __global__ void blur(float* img, float* out, int w, int h) {
+            int x = blockIdx.x * blockDim.x + threadIdx.x;
+            int y = blockIdx.y * blockDim.y + threadIdx.y;
+            if (x > 0 && x < w - 1 && y > 0 && y < h - 1) {
+                float s = 0.0f;
+                for (int i = 0; i < 3; i++) {
+                    for (int j = 0; j < 3; j++) {
+                        s += img[(y + i - 1) * w + x + j - 1];
+                    }
+                }
+                out[y * w + x] = s / 9.0f;
+            }
+        }
+    "#;
+    let mut group = c.benchmark_group("frontend");
+    group.bench_function("parse_and_lower", |b| {
+        b.iter(|| black_box(paraprox_lang::parse_program(black_box(source)).expect("parses")))
+    });
+    group.finish();
+}
+
+criterion_group!(kernels, benches, bench_compile, bench_frontend);
+criterion_main!(kernels);

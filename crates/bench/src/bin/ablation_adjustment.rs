@@ -1,0 +1,106 @@
+//! Ablation: the reduction optimization's *adjustment* step (paper §3.3.3).
+//!
+//! Sampling every N-th iteration without scaling the partial sum back up
+//! by N produces outputs that are ~N× too small; the adjustment is what
+//! makes sampling usable. This harness perforates the reduction loops of
+//! the reduction benchmarks with and without adjustment and compares
+//! output quality.
+//!
+//! ```sh
+//! cargo run --release -p paraprox-bench --bin ablation_adjustment
+//! ```
+
+use paraprox::{Device, DeviceProfile};
+use paraprox_apps::Scale;
+use paraprox_ir::{Expr, LoopStep, Stmt};
+use paraprox_patterns::path::container_mut;
+use paraprox_patterns::reduction::find_reduction_loops;
+use paraprox_quality::Metric;
+
+const SKIP: u32 = 4;
+
+/// Perforate a loop *without* any adjustment — the naive version the
+/// paper's adjustment fixes.
+fn perforate_without_adjustment(
+    program: &paraprox_ir::Program,
+    kernel: paraprox_ir::KernelId,
+    path: &paraprox_patterns::StmtPath,
+) -> paraprox_ir::Program {
+    let mut out = program.clone();
+    let k = out.kernel_mut(kernel);
+    let (container, idx) = container_mut(&mut k.body, path).expect("loop path resolves");
+    let Stmt::For { step, .. } = &mut container[idx] else {
+        panic!("path must address a for loop");
+    };
+    let old = std::mem::replace(step, LoopStep::Add(Expr::i32(0)));
+    *step = old.map_amount(|e| e * Expr::i32(SKIP as i32));
+    out
+}
+
+fn main() {
+    let profile = DeviceProfile::gtx560();
+    println!(
+        "Ablation: reduction sampling with vs WITHOUT the x{SKIP} adjustment (GPU)\n"
+    );
+    println!(
+        "{:<32} {:>12} {:>14}",
+        "application", "adjusted", "unadjusted"
+    );
+    for name in ["Matrix Multiply", "Kernel Density", "Image Denoising"] {
+        let app = paraprox_apps::find(name).expect("known app");
+        let workload = (app.build)(Scale::Paper, 0);
+        let mut device = Device::new(profile.clone());
+        let exact = workload
+            .pipeline
+            .execute(&mut device, &workload.program)
+            .expect("exact");
+
+        // Locate the innermost reduction loop of the first kernel with one.
+        let (kid, red) = workload
+            .program
+            .kernels()
+            .find_map(|(kid, k)| {
+                let loops = find_reduction_loops(k);
+                loops
+                    .iter()
+                    .max_by_key(|l| l.path.depth())
+                    .map(|l| (kid, l.clone()))
+            })
+            .expect("app has a reduction loop");
+
+        // Adjusted: the real optimization, applied to the whole group.
+        let loops = find_reduction_loops(workload.program.kernel(kid));
+        let group: Vec<_> = loops
+            .iter()
+            .filter(|l| l.path == red.path)
+            .cloned()
+            .collect();
+        let adjusted = paraprox_approx::approximate_reduction_group(
+            &workload.program,
+            kid,
+            &group,
+            SKIP,
+        )
+        .expect("adjusted rewrite");
+        let run_adj = workload
+            .pipeline
+            .execute(&mut device, &adjusted)
+            .expect("adjusted run");
+
+        // Unadjusted: perforation only.
+        let unadjusted = perforate_without_adjustment(&workload.program, kid, &red.path);
+        let run_raw = workload
+            .pipeline
+            .execute(&mut device, &unadjusted)
+            .expect("unadjusted run");
+
+        let q_adj = Metric::MeanRelative.quality(&exact.flat_output(), &run_adj.flat_output());
+        let q_raw = Metric::MeanRelative.quality(&exact.flat_output(), &run_raw.flat_output());
+        println!("{:<32} {:>11.2}% {:>13.2}%", app.spec.name, q_adj, q_raw);
+    }
+    println!(
+        "\nWithout the adjustment the sampled sums are ~{SKIP}x too small, cratering\n\
+         quality — except where a ratio of two sampled sums cancels the factor\n\
+         (Image Denoising divides value-sum by weight-sum)."
+    );
+}

@@ -1,0 +1,48 @@
+//! Figure 5: the value-locality assumption behind the stencil
+//! optimization — the average percent difference between adjacent pixels
+//! across ten images. The paper finds >70% of pixels differ from their
+//! neighbors by less than 10%.
+//!
+//! ```sh
+//! cargo run --release -p paraprox-bench --bin fig05_pixel_similarity
+//! ```
+
+use paraprox_apps::inputs;
+use paraprox_bench::bar;
+
+fn main() {
+    let (w, h) = (128usize, 128usize);
+    let mut all_diffs: Vec<f64> = Vec::new();
+    for seed in 0..10u64 {
+        let img = inputs::smooth_image(&mut inputs::rng(seed), w, h);
+        all_diffs.extend(inputs::neighbor_percent_differences(&img, w, h));
+    }
+    println!(
+        "Figure 5: mean percent difference of each pixel vs its 8 neighbors\n(10 synthetic {w}x{h} images, {} pixels)\n",
+        all_diffs.len()
+    );
+    let edges: Vec<(f64, f64, &str)> = vec![
+        (0.0, 10.0, "0-10%"),
+        (10.0, 20.0, "10-20%"),
+        (20.0, 30.0, "20-30%"),
+        (30.0, 40.0, "30-40%"),
+        (40.0, 50.0, "40-50%"),
+        (50.0, 100.0, "50-100%"),
+        (100.0, f64::INFINITY, ">100%"),
+    ];
+    let total = all_diffs.len() as f64;
+    let mut first_bin_pct = 0.0;
+    for (lo, hi, label) in edges {
+        let count = all_diffs.iter().filter(|&&d| d >= lo && d < hi).count();
+        let pct = 100.0 * count as f64 / total;
+        if lo == 0.0 {
+            first_bin_pct = pct;
+        }
+        println!("  {:<8} {:>6.2}%  {}", label, pct, bar(pct, 100.0, 40));
+    }
+    println!(
+        "\npixels <10% different from neighbors: {:.1}% (paper: >70%)",
+        first_bin_pct
+    );
+    assert!(first_bin_pct > 70.0, "locality assumption must hold");
+}

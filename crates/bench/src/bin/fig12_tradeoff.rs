@@ -1,0 +1,54 @@
+//! Figure 12: controlling the speedup / output-quality trade-off by
+//! varying each optimization's tuning parameters, for six benchmarks
+//! (BlackScholes, Quasirandom, Matrix Multiplication, Kernel Density,
+//! Gaussian Filter, Convolution Separable) on the GPU profile.
+//!
+//! ```sh
+//! cargo run --release -p paraprox-bench --bin fig12_tradeoff
+//! ```
+
+use paraprox::{CompileOptions, Device, DeviceApp, DeviceProfile};
+use paraprox_apps::Scale;
+use paraprox_bench::compile_app;
+use paraprox_runtime::{Toq, Tuner};
+
+const APPS: [&str; 6] = [
+    "BlackScholes",
+    "Quasirandom",
+    "Matrix Multiply",
+    "Kernel Density",
+    "Gaussian Filter",
+    "Convolution Separable",
+];
+
+fn main() {
+    let profile = DeviceProfile::gtx560();
+    println!("Figure 12: speedup vs output quality while sweeping each knob (GPU)\n");
+    for name in APPS {
+        let app = paraprox_apps::find(name).expect("known app");
+        let compiled = compile_app(&app, Scale::Paper, &profile, &CompileOptions::default());
+        let mut device_app = DeviceApp::new(
+            Device::new(profile.clone()),
+            &compiled,
+            app.input_gen(Scale::Paper),
+        );
+        // Profile ALL variants (TOQ 0 so nothing is filtered out of the
+        // report); the curve is the (quality, speedup) frontier.
+        let tuner = Tuner {
+            toq: Toq::new(0.0).expect("valid"),
+            training_seeds: (0..3).collect(),
+        };
+        let report = tuner.tune(&mut device_app).expect("tune");
+        println!("{}:", app.spec.name);
+        let mut points: Vec<(f64, f64, String)> = report
+            .profiles
+            .iter()
+            .map(|p| (p.mean_quality, p.speedup, p.label.clone()))
+            .collect();
+        points.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        for (quality, speedup, label) in points {
+            println!("  quality {quality:6.2}%  speedup {speedup:5.2}x   {label}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,70 @@
+//! Figure 13: the cumulative distribution of per-element output error for
+//! each application at TOQ = 90%. The paper finds 70–100% of output
+//! elements below 10% error.
+//!
+//! ```sh
+//! cargo run --release -p paraprox-bench --bin fig13_error_cdf
+//! ```
+
+use paraprox::CompileOptions;
+use paraprox_apps::Scale;
+use paraprox_bench::tune_app;
+use paraprox_quality::ErrorCdf;
+use paraprox_runtime::{Approximable, Toq};
+
+/// The applications plotted in the paper's Figure 13.
+const APPS: [&str; 9] = [
+    "Cumulative",
+    "Gamma Correction",
+    "Matrix Multiply",
+    "Image Denoising",
+    "Naive Bayes",
+    "Kernel Density",
+    "HotSpot",
+    "Gaussian Filter",
+    "Mean Filter",
+];
+
+fn main() {
+    let profile = paraprox::DeviceProfile::gtx560();
+    println!("Figure 13: CDF of per-element output error at TOQ = 90% (GPU)\n");
+    println!(
+        "{:<32} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "application", "<=1%", "<=5%", "<=10%", "<=25%", "<=50%"
+    );
+    let mut under10_all = Vec::new();
+    for name in APPS {
+        let app = paraprox_apps::find(name).expect("known app");
+        let (report, mut device_app) = tune_app(
+            &app,
+            Scale::Paper,
+            &profile,
+            &CompileOptions::default(),
+            Toq::paper_default(),
+            3,
+        );
+        // Fresh (non-training) input.
+        let seed = 1000u64;
+        let exact = device_app.run_exact(seed).expect("exact run");
+        let approx = match report.chosen {
+            Some(i) => device_app.run_variant(i, seed).expect("variant run"),
+            None => exact.clone(),
+        };
+        let cdf = ErrorCdf::from_outputs(&exact.output, &approx.output);
+        let at = |t: f64| 100.0 * cdf.fraction_at_most(t);
+        under10_all.push(at(0.10));
+        println!(
+            "{:<32} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
+            app.spec.name,
+            at(0.01),
+            at(0.05),
+            at(0.10),
+            at(0.25),
+            at(0.50)
+        );
+    }
+    let min10 = under10_all.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "\nminimum fraction of elements with <=10% error: {min10:.1}% (paper: 70-100%)"
+    );
+}

@@ -1,0 +1,73 @@
+//! Figure 14: one optimization does not fit all — applying only the
+//! reduction optimization (≈ classic loop perforation) to benchmarks that
+//! do not contain a reduction pattern, versus Paraprox's pattern-matched
+//! optimizations. The paper measures ~1.25x for reduction-only vs ~2.3x
+//! for pattern-based on these benchmarks (GPU, TOQ = 90%).
+//!
+//! ```sh
+//! cargo run --release -p paraprox-bench --bin fig14_one_size
+//! ```
+
+use paraprox::CompileOptions;
+use paraprox_apps::Scale;
+use paraprox_bench::{geomean, mean, tune_app};
+use paraprox_runtime::Toq;
+
+/// Benchmarks whose primary pattern is NOT a reduction.
+const APPS: [&str; 8] = [
+    "BlackScholes",
+    "Quasirandom",
+    "Gamma Correction",
+    "BoxMuller",
+    "HotSpot",
+    "Gaussian Filter",
+    "Mean Filter",
+    "Cumulative",
+];
+
+fn main() {
+    let profile = paraprox::DeviceProfile::gtx560();
+    let toq = Toq::paper_default();
+    // "Reduction only": disable every other optimization.
+    let reduction_only = CompileOptions {
+        memo_bits: vec![],
+        memo_modes: vec![],
+        memo_placements: vec![],
+        stencil_schemes: vec![],
+        stencil_reaches: vec![],
+        reduction_skips: vec![2, 4, 8],
+        scan_skip_fractions: vec![],
+        guard_divisions: false,
+    };
+    let pattern_based = CompileOptions::default();
+    println!(
+        "Figure 14: reduction-only (loop perforation) vs pattern-based (GPU, TOQ = {toq})\n"
+    );
+    println!(
+        "{:<32} {:>16} {:>16}",
+        "application", "reduction-only", "pattern-based"
+    );
+    let mut ro = Vec::new();
+    let mut pb = Vec::new();
+    for name in APPS {
+        let app = paraprox_apps::find(name).expect("known app");
+        let (r1, _) = tune_app(&app, Scale::Paper, &profile, &reduction_only, toq, 3);
+        let (r2, _) = tune_app(&app, Scale::Paper, &profile, &pattern_based, toq, 3);
+        ro.push(r1.chosen_speedup());
+        pb.push(r2.chosen_speedup());
+        println!(
+            "{:<32} {:>15.2}x {:>15.2}x",
+            app.spec.name,
+            r1.chosen_speedup(),
+            r2.chosen_speedup()
+        );
+    }
+    println!(
+        "\nmean: reduction-only {:.2}x (geomean {:.2}x) vs pattern-based {:.2}x (geomean {:.2}x)",
+        mean(&ro),
+        geomean(&ro),
+        mean(&pb),
+        geomean(&pb)
+    );
+    println!("paper: ~1.25x vs ~2.3x");
+}

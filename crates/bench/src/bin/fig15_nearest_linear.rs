@@ -1,0 +1,68 @@
+//! Figure 15: approximate memoization of the four §4.4.2 case-study
+//! functions (credit card, shifted Gompertz, lgamma, Bass) with the
+//! *nearest* vs *linear* schemes, sweeping the table size — speedup vs
+//! output quality on the GPU profile.
+//!
+//! Paper shape: nearest is always faster than linear at equal table size
+//! but less accurate; linear reaches ~99% quality; Gompertz shows the
+//! lowest speedup (its exponentials run on the SFU, so the exact version
+//! is already cheap).
+//!
+//! ```sh
+//! cargo run --release -p paraprox-bench --bin fig15_nearest_linear
+//! ```
+
+use paraprox::DeviceProfile;
+use paraprox_approx::{LookupMode, TablePlacement};
+use paraprox_apps::functions::{build, CaseStudy};
+use paraprox_apps::Scale;
+use paraprox_bench::{force_memo, run_once};
+use paraprox_quality::Metric;
+
+fn main() {
+    let profile = DeviceProfile::gtx560();
+    println!("Figure 15: nearest vs linear memoization, four map functions (GPU)\n");
+    let mut gompertz_best = f64::INFINITY;
+    let mut others_best = Vec::new();
+    for which in CaseStudy::all() {
+        let workload = build(which, Scale::Paper, 0);
+        let (exact_out, exact_cycles, _) =
+            run_once(&workload.program, &workload.pipeline, &profile);
+        println!("{} (exact = 1.0x):", which.name());
+        let mut best_nearest: f64 = 0.0;
+        for mode in [LookupMode::Nearest, LookupMode::Linear] {
+            for bits in [6u32, 8, 10, 12] {
+                let (program, pipeline) =
+                    force_memo(&workload, bits, mode, TablePlacement::Global);
+                let (out, cycles, _) = run_once(&program, &pipeline, &profile);
+                let quality = Metric::MeanRelative.quality(&exact_out, &out);
+                let speedup = exact_cycles as f64 / cycles as f64;
+                if mode == LookupMode::Nearest {
+                    best_nearest = best_nearest.max(speedup);
+                }
+                println!(
+                    "  {:<8} {:>2} bits  quality {quality:6.2}%  speedup {speedup:5.2}x",
+                    match mode {
+                        LookupMode::Nearest => "nearest",
+                        LookupMode::Linear => "linear",
+                    },
+                    bits
+                );
+            }
+        }
+        if which == CaseStudy::Gompertz {
+            gompertz_best = best_nearest;
+        } else {
+            others_best.push(best_nearest);
+        }
+        println!();
+    }
+    println!(
+        "Gompertz best nearest speedup {gompertz_best:.2}x vs other functions' best {:?} — \
+         the SFU makes Gompertz's exact exponentials cheap (paper's observation)",
+        others_best
+            .iter()
+            .map(|v| format!("{v:.2}x"))
+            .collect::<Vec<_>>()
+    );
+}

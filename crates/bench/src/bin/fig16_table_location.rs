@@ -1,0 +1,53 @@
+//! Figure 16: where should the lookup table live? Speedup of the
+//! memoized Bass function with the table in constant, shared, and global
+//! memory, as the table size grows.
+//!
+//! Paper shape: constant memory is never optimal; small tables perform
+//! similarly in shared and global; at the largest sizes the shared
+//! version pays a growing per-block staging cost and global wins.
+//!
+//! ```sh
+//! cargo run --release -p paraprox-bench --bin fig16_table_location
+//! ```
+
+use paraprox::DeviceProfile;
+use paraprox_approx::{LookupMode, TablePlacement};
+use paraprox_apps::functions::{build, CaseStudy};
+use paraprox_apps::Scale;
+use paraprox_bench::{force_memo, run_once};
+use paraprox_quality::Metric;
+
+fn main() {
+    let profile = DeviceProfile::gtx560();
+    let workload = build(CaseStudy::Bass, Scale::Paper, 0);
+    let (exact_out, exact_cycles, _) =
+        run_once(&workload.program, &workload.pipeline, &profile);
+    println!("Figure 16: Bass-function memoization, table placement vs size (GPU)\n");
+    println!(
+        "{:>7} {:>10} {:>10} {:>10}   quality",
+        "entries", "constant", "shared", "global"
+    );
+    for bits in 3u32..=13 {
+        let mut row = format!("{:>7}", 1usize << bits);
+        let mut quality = 0.0;
+        for placement in [
+            TablePlacement::Constant,
+            TablePlacement::Shared,
+            TablePlacement::Global,
+        ] {
+            let (program, pipeline) =
+                force_memo(&workload, bits, LookupMode::Nearest, placement);
+            let mut device = paraprox::Device::new(profile.clone());
+            match pipeline.execute(&mut device, &program) {
+                Ok(run) => {
+                    let speedup = exact_cycles as f64 / run.stats.total_cycles() as f64;
+                    quality = Metric::MeanRelative.quality(&exact_out, &run.flat_output());
+                    row.push_str(&format!(" {speedup:>9.2}x"));
+                }
+                Err(_) => row.push_str(&format!(" {:>10}", "n/a")), // e.g. exceeds shared memory
+            }
+        }
+        println!("{row}   {quality:6.2}%");
+    }
+    println!("\n(n/a = table no longer fits the placement, as on real hardware)");
+}

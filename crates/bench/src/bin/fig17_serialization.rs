@@ -1,0 +1,50 @@
+//! Figure 17: why speedup falls as the lookup table grows — the fraction
+//! of serialized (uncoalesced) memory transactions rises with the table
+//! size, because data-dependent table addresses spread across more cache
+//! lines.
+//!
+//! ```sh
+//! cargo run --release -p paraprox-bench --bin fig17_serialization
+//! ```
+
+use paraprox::DeviceProfile;
+use paraprox_approx::{LookupMode, TablePlacement};
+use paraprox_apps::functions::{build, CaseStudy};
+use paraprox_apps::Scale;
+use paraprox_bench::{bar, force_memo, run_once};
+
+fn main() {
+    let profile = DeviceProfile::gtx560();
+    let workload = build(CaseStudy::Bass, Scale::Paper, 0);
+    let (_, exact_cycles, _) = run_once(&workload.program, &workload.pipeline, &profile);
+    println!(
+        "Figure 17: lookup-table size vs serialization overhead and speedup (Bass, GPU)\n"
+    );
+    println!(
+        "{:>7} {:>14} {:>9}  {:>8}",
+        "entries", "serialization", "speedup", "l1 hit"
+    );
+    let mut prev_ser = -1.0f64;
+    let mut rows = Vec::new();
+    for bits in 3u32..=13 {
+        let (program, pipeline) =
+            force_memo(&workload, bits, LookupMode::Nearest, TablePlacement::Global);
+        let (_, cycles, stats) = run_once(&program, &pipeline, &profile);
+        let ser = 100.0 * stats.serialization_overhead();
+        let speedup = exact_cycles as f64 / cycles as f64;
+        rows.push((1usize << bits, ser, speedup, 100.0 * stats.l1_hit_rate()));
+        prev_ser = prev_ser.max(ser);
+    }
+    for (entries, ser, speedup, hit) in &rows {
+        println!(
+            "{entries:>7} {ser:>13.1}% {speedup:>8.2}x {hit:>7.1}%  {}",
+            bar(*ser, 100.0, 30)
+        );
+    }
+    let first = rows.first().expect("rows");
+    let last = rows.last().expect("rows");
+    println!(
+        "\nserialization grows {:.1}% -> {:.1}% while speedup falls {:.2}x -> {:.2}x (paper's shape)",
+        first.1, last.1, first.2, last.2
+    );
+}

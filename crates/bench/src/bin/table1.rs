@@ -1,0 +1,32 @@
+//! Table 1: the 13 applications — domain, input size, patterns (as
+//! *detected* by Paraprox, next to the paper's labels), and error metric.
+//!
+//! ```sh
+//! cargo run --release -p paraprox-bench --bin table1
+//! ```
+
+use paraprox::{CompileOptions, DeviceProfile};
+use paraprox_apps::Scale;
+use paraprox_bench::compile_app;
+
+fn main() {
+    let profile = DeviceProfile::gtx560();
+    println!("Table 1: applications used in this study\n");
+    println!(
+        "{:<32} {:<18} {:<34} {:<22} {:<22} Error Metric",
+        "Application", "Domain", "Input Size", "Patterns (paper)", "Patterns (detected)"
+    );
+    for app in paraprox_apps::registry() {
+        let compiled = compile_app(&app, Scale::Paper, &profile, &CompileOptions::minimal());
+        let detected = compiled.pattern_names().join("+");
+        println!(
+            "{:<32} {:<18} {:<34} {:<22} {:<22} {}",
+            app.spec.name,
+            app.spec.domain,
+            app.spec.input_desc,
+            app.spec.patterns,
+            detected,
+            app.spec.metric
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! Hand-rolled argument parsing (no external dependencies).
+
+/// Usage text shown on argument errors.
+pub const USAGE: &str = "\
+usage:
+  paraprox list
+      Print the benchmark registry (the paper's Table 1).
+
+  paraprox tune <app> [--device gpu|cpu] [--toq <percent>] [--scale paper|test]
+                      [--seeds <n>] [--all]
+      Compile an application, profile every approximate variant, and report
+      the tuner's choice. --all prints every variant, not just qualifying
+      ones.
+
+  paraprox inspect <file.cu>
+      Parse CUDA-flavored kernel source and report the data-parallel
+      patterns Paraprox detects in each kernel.
+";
+
+/// Which device profile to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceArg {
+    /// Simulated GTX 560.
+    Gpu,
+    /// Simulated Core i7 965.
+    Cpu,
+}
+
+/// Parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `paraprox list`
+    List,
+    /// `paraprox tune <app> ...`
+    Tune {
+        /// Application name (prefix match).
+        app: String,
+        /// Device profile.
+        device: DeviceArg,
+        /// Target output quality (percent).
+        toq: f64,
+        /// Use the small test-scale inputs.
+        test_scale: bool,
+        /// Training seeds.
+        seeds: usize,
+        /// Print all variants.
+        all: bool,
+    },
+    /// `paraprox inspect <file>`
+    Inspect {
+        /// Path to the kernel source file.
+        file: String,
+    },
+}
+
+/// Parse an argument vector.
+///
+/// # Errors
+///
+/// Returns a human-readable message on unknown commands, missing values,
+/// or malformed options.
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter();
+    match it.next().map(String::as_str) {
+        Some("list") => {
+            if it.next().is_some() {
+                return Err("`list` takes no arguments".to_string());
+            }
+            Ok(Command::List)
+        }
+        Some("tune") => {
+            let app = it
+                .next()
+                .ok_or_else(|| "`tune` needs an application name".to_string())?
+                .clone();
+            let mut device = DeviceArg::Gpu;
+            let mut toq = 90.0f64;
+            let mut test_scale = false;
+            let mut seeds = 3usize;
+            let mut all = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--device" => {
+                        device = match it.next().map(String::as_str) {
+                            Some("gpu") => DeviceArg::Gpu,
+                            Some("cpu") => DeviceArg::Cpu,
+                            other => {
+                                return Err(format!(
+                                    "--device needs `gpu` or `cpu`, got {other:?}"
+                                ))
+                            }
+                        };
+                    }
+                    "--toq" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| "--toq needs a value".to_string())?;
+                        toq = v
+                            .parse::<f64>()
+                            .map_err(|_| format!("bad --toq value `{v}`"))?;
+                        if !(0.0..=100.0).contains(&toq) {
+                            return Err("--toq must be between 0 and 100".to_string());
+                        }
+                    }
+                    "--scale" => {
+                        test_scale = match it.next().map(String::as_str) {
+                            Some("paper") => false,
+                            Some("test") => true,
+                            other => {
+                                return Err(format!(
+                                    "--scale needs `paper` or `test`, got {other:?}"
+                                ))
+                            }
+                        };
+                    }
+                    "--seeds" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| "--seeds needs a value".to_string())?;
+                        seeds = v
+                            .parse::<usize>()
+                            .map_err(|_| format!("bad --seeds value `{v}`"))?;
+                        if seeds == 0 {
+                            return Err("--seeds must be at least 1".to_string());
+                        }
+                    }
+                    "--all" => all = true,
+                    other => return Err(format!("unknown option `{other}`")),
+                }
+            }
+            Ok(Command::Tune {
+                app,
+                device,
+                toq,
+                test_scale,
+                seeds,
+                all,
+            })
+        }
+        Some("inspect") => {
+            let file = it
+                .next()
+                .ok_or_else(|| "`inspect` needs a source file".to_string())?
+                .clone();
+            if it.next().is_some() {
+                return Err("`inspect` takes one argument".to_string());
+            }
+            Ok(Command::Inspect { file })
+        }
+        Some(other) => Err(format!("unknown command `{other}`")),
+        None => Err("no command given".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_list() {
+        assert_eq!(parse(&v(&["list"])).unwrap(), Command::List);
+        assert!(parse(&v(&["list", "extra"])).is_err());
+    }
+
+    #[test]
+    fn parses_tune_with_defaults() {
+        let cmd = parse(&v(&["tune", "blackscholes"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Tune {
+                app: "blackscholes".into(),
+                device: DeviceArg::Gpu,
+                toq: 90.0,
+                test_scale: false,
+                seeds: 3,
+                all: false,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_tune_with_options() {
+        let cmd = parse(&v(&[
+            "tune", "kde", "--device", "cpu", "--toq", "95", "--scale", "test", "--seeds", "5",
+            "--all",
+        ]))
+        .unwrap();
+        let Command::Tune {
+            device,
+            toq,
+            test_scale,
+            seeds,
+            all,
+            ..
+        } = cmd
+        else {
+            panic!()
+        };
+        assert_eq!(device, DeviceArg::Cpu);
+        assert_eq!(toq, 95.0);
+        assert!(test_scale);
+        assert_eq!(seeds, 5);
+        assert!(all);
+    }
+
+    #[test]
+    fn rejects_bad_options() {
+        assert!(parse(&v(&["tune"])).is_err());
+        assert!(parse(&v(&["tune", "x", "--device", "tpu"])).is_err());
+        assert!(parse(&v(&["tune", "x", "--toq", "150"])).is_err());
+        assert!(parse(&v(&["tune", "x", "--seeds", "0"])).is_err());
+        assert!(parse(&v(&["tune", "x", "--bogus"])).is_err());
+        assert!(parse(&v(&["frobnicate"])).is_err());
+        assert!(parse(&v(&[])).is_err());
+    }
+
+    #[test]
+    fn parses_inspect() {
+        assert_eq!(
+            parse(&v(&["inspect", "k.cu"])).unwrap(),
+            Command::Inspect { file: "k.cu".into() }
+        );
+        assert!(parse(&v(&["inspect"])).is_err());
+    }
+}

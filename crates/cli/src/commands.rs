@@ -1,0 +1,161 @@
+//! Command implementations.
+
+use std::error::Error;
+
+use paraprox::{compile, latency_table_for, CompileOptions, Device, DeviceApp, DeviceProfile};
+use paraprox_apps::Scale;
+use paraprox_runtime::{Toq, Tuner};
+
+use crate::args::{Command, DeviceArg};
+
+pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
+    match cmd {
+        Command::List => list(),
+        Command::Tune {
+            app,
+            device,
+            toq,
+            test_scale,
+            seeds,
+            all,
+        } => tune(&app, device, toq, test_scale, seeds, all),
+        Command::Inspect { file } => inspect(&file),
+    }
+}
+
+fn profile_of(device: DeviceArg) -> DeviceProfile {
+    match device {
+        DeviceArg::Gpu => DeviceProfile::gtx560(),
+        DeviceArg::Cpu => DeviceProfile::core_i7_965(),
+    }
+}
+
+fn list() -> Result<(), Box<dyn Error>> {
+    println!(
+        "{:<32} {:<18} {:<22} metric",
+        "application", "domain", "patterns"
+    );
+    for app in paraprox_apps::registry() {
+        println!(
+            "{:<32} {:<18} {:<22} {}",
+            app.spec.name, app.spec.domain, app.spec.patterns, app.spec.metric
+        );
+    }
+    Ok(())
+}
+
+fn tune(
+    name: &str,
+    device: DeviceArg,
+    toq: f64,
+    test_scale: bool,
+    seeds: usize,
+    all: bool,
+) -> Result<(), Box<dyn Error>> {
+    let app = paraprox_apps::find(name)
+        .ok_or_else(|| format!("no application matching `{name}` (try `paraprox list`)"))?;
+    let scale = if test_scale { Scale::Test } else { Scale::Paper };
+    let profile = profile_of(device);
+    println!("{} on {}", app.spec.name, profile.name);
+
+    let workload = (app.build)(scale, 0);
+    let compiled = compile(
+        &workload,
+        &latency_table_for(&profile),
+        &CompileOptions::default(),
+    )?;
+    println!(
+        "patterns: {}; variants: {}",
+        compiled.pattern_names().join("+"),
+        compiled.variants.len()
+    );
+    let mut device_app = DeviceApp::new(Device::new(profile), &compiled, app.input_gen(scale));
+    let toq = Toq::new(toq)?;
+    let tuner = Tuner {
+        toq,
+        training_seeds: (0..seeds as u64).collect(),
+    };
+    let report = tuner.tune(&mut device_app)?;
+    println!("\n{:<30} {:>8} {:>9}  status", "variant", "quality", "speedup");
+    for p in &report.profiles {
+        if !all && !p.meets_toq {
+            continue;
+        }
+        println!(
+            "{:<30} {:>7.2}% {:>8.2}x  {}",
+            p.label,
+            p.mean_quality,
+            p.speedup,
+            if p.meets_toq { "ok" } else { "below TOQ" }
+        );
+    }
+    match report.chosen {
+        Some(i) => println!(
+            "\nchosen: {} ({:.2}x at {:.1}%)",
+            report.profiles[i].label,
+            report.chosen_speedup(),
+            report.chosen_quality()
+        ),
+        None => println!("\nno variant met the TOQ with a speedup; exact execution retained"),
+    }
+    Ok(())
+}
+
+fn inspect(file: &str) -> Result<(), Box<dyn Error>> {
+    let source = std::fs::read_to_string(file)?;
+    let program = paraprox_lang::parse_program(&source)?;
+    println!(
+        "{file}: {} device function(s), {} kernel(s)\n",
+        program.func_count(),
+        program.kernel_count()
+    );
+    let table = latency_table_for(&DeviceProfile::gtx560());
+    let detected = paraprox_patterns::detect(
+        &program,
+        &table,
+        &paraprox_patterns::DetectOptions::default(),
+    );
+    for kp in &detected {
+        let kernel = program.kernel(kp.kernel);
+        println!("kernel `{}`:", kernel.name);
+        if kp.instances.is_empty() {
+            println!("  (no approximable patterns)");
+        }
+        for inst in &kp.instances {
+            match inst {
+                paraprox_patterns::PatternInstance::Map(c) => {
+                    let func = program.func(c.func);
+                    println!(
+                        "  {}: function `{}` is pure and costs ~{} cycles (Eq. 1) -> approximate memoization",
+                        inst.name(),
+                        func.name,
+                        c.cycles_needed
+                    );
+                }
+                paraprox_patterns::PatternInstance::Stencil(s) => {
+                    println!(
+                        "  {}: {}x{} tile over buffer {:?} -> center/row/column value replication",
+                        inst.name(),
+                        s.tile_h,
+                        s.tile_w,
+                        s.buffer
+                    );
+                }
+                paraprox_patterns::PatternInstance::Reduction(r) => {
+                    println!(
+                        "  reduction: loop at depth {} ({:?}) -> sampling + adjustment",
+                        r.path.depth(),
+                        r.kind
+                    );
+                }
+                paraprox_patterns::PatternInstance::Scan(m) => {
+                    println!(
+                        "  scan: phase-I template over {}-element subarrays -> subarray prediction",
+                        m.subarray_len
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}

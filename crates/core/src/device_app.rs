@@ -1,0 +1,130 @@
+//! Adapter: compiled workloads as tunable applications on a device.
+
+use std::sync::Arc;
+
+use paraprox_quality::Metric;
+use paraprox_runtime::{Approximable, RunOutcome, RuntimeError};
+use paraprox_vgpu::{BufferInit, Device, Pipeline};
+
+use crate::compile::Compiled;
+
+/// An input generator: given a seed, produce fresh contents for each of the
+/// workload's declared input slots, in `input_slots` order.
+pub type InputGen = Box<dyn FnMut(u64) -> Vec<BufferInit>>;
+
+/// A compiled workload bound to a device, exposing the
+/// [`Approximable`] interface for the runtime tuner and deployment.
+pub struct DeviceApp {
+    device: Device,
+    metric: Metric,
+    input_slots: Vec<usize>,
+    exact: (Arc<paraprox_ir::Program>, Pipeline),
+    variants: Vec<(String, Arc<paraprox_ir::Program>, Pipeline)>,
+    input_gen: InputGen,
+}
+
+impl std::fmt::Debug for DeviceApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceApp")
+            .field("metric", &self.metric)
+            .field("variants", &self.variants.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DeviceApp {
+    /// Bind a compiled workload to a device.
+    ///
+    /// `input_gen` produces buffer contents for the workload's input slots
+    /// from a seed; pass a generator returning an empty vector to always
+    /// run on the workload's baked-in inputs.
+    pub fn new(device: Device, compiled: &Compiled, input_gen: InputGen) -> DeviceApp {
+        DeviceApp {
+            device,
+            metric: compiled.workload.metric,
+            input_slots: compiled.workload.input_slots.clone(),
+            exact: (
+                Arc::new(compiled.workload.program.clone()),
+                compiled.workload.pipeline.clone(),
+            ),
+            variants: compiled
+                .variants
+                .iter()
+                .map(|v| {
+                    (
+                        v.label.clone(),
+                        Arc::new(v.program.clone()),
+                        v.pipeline.clone(),
+                    )
+                })
+                .collect(),
+            input_gen,
+        }
+    }
+
+    /// Access the underlying device (e.g. to flush caches between
+    /// experiments).
+    pub fn device_mut(&mut self) -> &mut Device {
+        &mut self.device
+    }
+
+    fn run(
+        &mut self,
+        program_pipeline: (Arc<paraprox_ir::Program>, Pipeline),
+        seed: u64,
+    ) -> Result<RunOutcome, RuntimeError> {
+        let (program, mut pipeline) = program_pipeline;
+        let inputs = (self.input_gen)(seed);
+        if !inputs.is_empty() {
+            if inputs.len() != self.input_slots.len() {
+                return Err(RuntimeError(format!(
+                    "input generator produced {} buffers for {} slots",
+                    inputs.len(),
+                    self.input_slots.len()
+                )));
+            }
+            for (&slot, init) in self.input_slots.iter().zip(inputs) {
+                pipeline.set_input(slot, init);
+            }
+        }
+        // Each invocation gets a fresh buffer arena (and cold caches, as a
+        // new launch context would): reclaim afterwards so long tuning and
+        // deployment loops do not grow device memory without bound.
+        let mark = self.device.buffer_mark();
+        let result = pipeline
+            .execute(&mut self.device, &program)
+            .map_err(|e| RuntimeError(e.to_string()));
+        self.device.reclaim_buffers(mark);
+        let run = result?;
+        Ok(RunOutcome {
+            output: run.flat_output(),
+            cycles: run.stats.total_cycles(),
+        })
+    }
+}
+
+impl Approximable for DeviceApp {
+    fn variant_count(&self) -> usize {
+        self.variants.len()
+    }
+
+    fn variant_label(&self, index: usize) -> String {
+        self.variants[index].0.clone()
+    }
+
+    fn run_exact(&mut self, seed: u64) -> Result<RunOutcome, RuntimeError> {
+        // Arc clone: the program itself is shared, not copied.
+        let pair = (Arc::clone(&self.exact.0), self.exact.1.clone());
+        self.run(pair, seed)
+    }
+
+    fn run_variant(&mut self, index: usize, seed: u64) -> Result<RunOutcome, RuntimeError> {
+        let (_, program, pipeline) = &self.variants[index];
+        let pair = (Arc::clone(program), pipeline.clone());
+        self.run(pair, seed)
+    }
+
+    fn quality(&self, exact: &[f64], approx: &[f64]) -> f64 {
+        self.metric.quality(exact, approx)
+    }
+}

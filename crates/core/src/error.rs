@@ -1,0 +1,65 @@
+//! Compile-time errors.
+
+use std::error::Error;
+use std::fmt;
+
+use paraprox_approx::ApproxError;
+use paraprox_ir::IrError;
+
+/// Errors raised while compiling a workload into approximate variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// An approximation rewriter failed.
+    Approx(ApproxError),
+    /// The workload's IR was malformed.
+    Ir(IrError),
+    /// Structural problem in the workload (message explains).
+    Workload(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Approx(e) => write!(f, "approximation failed: {e}"),
+            CompileError::Ir(e) => write!(f, "invalid IR: {e}"),
+            CompileError::Workload(msg) => write!(f, "invalid workload: {msg}"),
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Approx(e) => Some(e),
+            CompileError::Ir(e) => Some(e),
+            CompileError::Workload(_) => None,
+        }
+    }
+}
+
+impl From<ApproxError> for CompileError {
+    fn from(e: ApproxError) -> Self {
+        CompileError::Approx(e)
+    }
+}
+
+impl From<IrError> for CompileError {
+    fn from(e: IrError) -> Self {
+        CompileError::Ir(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = CompileError::from(ApproxError::NoTrainingData);
+        assert!(!e.to_string().is_empty());
+        assert!(Error::source(&e).is_some());
+        let w = CompileError::Workload("bad".into());
+        assert!(Error::source(&w).is_none());
+        assert!(!w.to_string().is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! Bridging device profiles to the pattern detector's latency tables.
+
+use paraprox_patterns::LatencyTable;
+use paraprox_vgpu::DeviceProfile;
+
+/// Build the Eq. (1) latency table for a device profile.
+///
+/// The paper passes per-architecture instruction latencies (measured with
+/// the microbenchmarks of Wong et al.) into Paraprox; here they come
+/// straight from the simulated device's own cost model, so the candidacy
+/// heuristic and the simulator can never disagree.
+pub fn latency_table_for(profile: &DeviceProfile) -> LatencyTable {
+    LatencyTable {
+        alu: profile.alu_lat,
+        transcendental: profile.transcendental_lat,
+        div: profile.div_lat,
+        sqrt: profile.sqrt_lat,
+        int_div: profile.int_div_lat,
+        l1_read: profile.l1_hit_lat,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_track_profiles() {
+        let gpu = latency_table_for(&DeviceProfile::gtx560());
+        let cpu = latency_table_for(&DeviceProfile::core_i7_965());
+        assert_eq!(gpu.div, DeviceProfile::gtx560().div_lat);
+        assert!(gpu.transcendental < cpu.transcendental);
+        assert!(gpu.l1_read > cpu.l1_read);
+    }
+}

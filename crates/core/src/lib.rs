@@ -1,0 +1,45 @@
+//! Paraprox: pattern-based approximation for data-parallel programs.
+//!
+//! A Rust reproduction of *Paraprox: Pattern-Based Approximation for Data
+//! Parallel Applications* (Samadi, Jamshidi, Lee, Mahlke — ASPLOS 2014),
+//! running on the deterministic SIMT virtual device of [`paraprox_vgpu`].
+//!
+//! The flow mirrors the paper's Figure 2:
+//!
+//! 1. An application is expressed as a [`Workload`]: a kernel-IR
+//!    [`paraprox_ir::Program`], an execution [`paraprox_vgpu::Pipeline`],
+//!    an error [`Metric`], and training data for memoization candidates.
+//! 2. [`compile`] detects the data-parallel patterns (map, scatter/gather,
+//!    reduction, scan, stencil, partition) and generates approximate kernel
+//!    [`Variant`]s, each with a tuning [`Knob`].
+//! 3. A [`DeviceApp`] adapts the compiled bundle to the
+//!    [`paraprox_runtime::Tuner`], which profiles every variant and picks
+//!    the fastest one meeting the target output quality
+//!    ([`paraprox_quality::Toq`]); [`paraprox_runtime::Deployment`] then
+//!    watches quality in production and backs off on violations.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` in the repository root for a complete
+//! end-to-end walk-through on a BlackScholes-style kernel.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compile;
+mod device_app;
+mod error;
+mod latency;
+mod workload;
+
+pub use compile::{compile, Compiled, CompileOptions, Knob, Variant};
+pub use device_app::DeviceApp;
+pub use error::CompileError;
+pub use latency::latency_table_for;
+pub use workload::Workload;
+
+// The pieces users need to build and run workloads, re-exported for
+// one-import ergonomics.
+pub use paraprox_quality::{Metric, Toq};
+pub use paraprox_runtime::{Deployment, Tuner};
+pub use paraprox_vgpu::{Device, DeviceProfile};

@@ -1,0 +1,79 @@
+//! Workloads: the unit Paraprox compiles.
+
+use paraprox_ir::{FuncId, Program, Scalar};
+use paraprox_quality::Metric;
+use paraprox_vgpu::Pipeline;
+
+/// A complete, runnable application: program, execution plan, error
+/// metric, and the offline training data that memoization needs.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Application name.
+    pub name: String,
+    /// Kernels and device functions.
+    pub program: Program,
+    /// The exact execution plan.
+    pub pipeline: Pipeline,
+    /// Error metric used to score output quality (paper Table 1).
+    pub metric: Metric,
+    /// Training argument tuples per memoization-candidate function. The
+    /// paper applies training inputs offline to derive input ranges and
+    /// drive bit tuning; functions without samples are not memoized.
+    pub memo_training: Vec<(FuncId, Vec<Vec<Scalar>>)>,
+    /// Pipeline buffer slots that constitute the (re-generable) input.
+    pub input_slots: Vec<usize>,
+}
+
+impl Workload {
+    /// Create a workload with no training data and no declared inputs.
+    pub fn new(name: &str, program: Program, pipeline: Pipeline, metric: Metric) -> Workload {
+        Workload {
+            name: name.to_string(),
+            program,
+            pipeline,
+            metric,
+            memo_training: Vec::new(),
+            input_slots: Vec::new(),
+        }
+    }
+
+    /// Attach training samples for a function (builder style).
+    pub fn with_training(mut self, func: FuncId, samples: Vec<Vec<Scalar>>) -> Workload {
+        self.memo_training.push((func, samples));
+        self
+    }
+
+    /// Declare which buffer slots are inputs (builder style).
+    pub fn with_input_slots(mut self, slots: Vec<usize>) -> Workload {
+        self.input_slots = slots;
+        self
+    }
+
+    /// Training samples for `func`, if any.
+    pub fn training_for(&self, func: FuncId) -> Option<&[Vec<Scalar>]> {
+        self.memo_training
+            .iter()
+            .find(|(f, _)| *f == func)
+            .map(|(_, s)| s.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let w = Workload::new(
+            "t",
+            Program::new(),
+            Pipeline::default(),
+            Metric::MeanRelative,
+        )
+        .with_training(FuncId(0), vec![vec![Scalar::F32(1.0)]])
+        .with_input_slots(vec![0, 2]);
+        assert_eq!(w.input_slots, vec![0, 2]);
+        assert!(w.training_for(FuncId(0)).is_some());
+        assert!(w.training_for(FuncId(1)).is_none());
+    }
+}

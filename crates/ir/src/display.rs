@@ -1,0 +1,257 @@
+//! A CUDA-flavored pretty printer for IR items.
+//!
+//! The printer exists for debugging, documentation, and examples; it is not
+//! a parseable serialization format.
+
+use std::fmt;
+
+use crate::expr::Expr;
+use crate::program::{Func, Kernel, Program};
+use crate::stmt::{LoopCond, LoopStep, Stmt};
+
+fn write_expr(f: &mut fmt::Formatter<'_>, e: &Expr) -> fmt::Result {
+    match e {
+        Expr::Const(v) => write!(f, "{v}"),
+        Expr::Var(v) => write!(f, "{v}"),
+        Expr::Param(i) => write!(f, "arg{i}"),
+        Expr::Special(s) => write!(f, "{s}"),
+        Expr::Unary(op, a) => {
+            write!(f, "{op}(")?;
+            write_expr(f, a)?;
+            write!(f, ")")
+        }
+        Expr::Binary(op, a, b) => {
+            write!(f, "{op}(")?;
+            write_expr(f, a)?;
+            write!(f, ", ")?;
+            write_expr(f, b)?;
+            write!(f, ")")
+        }
+        Expr::Cmp(op, a, b) => {
+            write!(f, "{op}(")?;
+            write_expr(f, a)?;
+            write!(f, ", ")?;
+            write_expr(f, b)?;
+            write!(f, ")")
+        }
+        Expr::Select {
+            cond,
+            if_true,
+            if_false,
+        } => {
+            write!(f, "(")?;
+            write_expr(f, cond)?;
+            write!(f, " ? ")?;
+            write_expr(f, if_true)?;
+            write!(f, " : ")?;
+            write_expr(f, if_false)?;
+            write!(f, ")")
+        }
+        Expr::Cast(ty, a) => {
+            write!(f, "({ty})(")?;
+            write_expr(f, a)?;
+            write!(f, ")")
+        }
+        Expr::Load { mem, index } => {
+            write!(f, "{mem}[")?;
+            write_expr(f, index)?;
+            write!(f, "]")
+        }
+        Expr::Call { func, args } => {
+            write!(f, "{func}(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write_expr(f, a)?;
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+fn write_stmts(f: &mut fmt::Formatter<'_>, stmts: &[Stmt], indent: usize) -> fmt::Result {
+    let pad = "  ".repeat(indent);
+    for stmt in stmts {
+        match stmt {
+            Stmt::Let { var, init } => {
+                write!(f, "{pad}let {var} = ")?;
+                write_expr(f, init)?;
+                writeln!(f, ";")?;
+            }
+            Stmt::Assign { var, value } => {
+                write!(f, "{pad}{var} = ")?;
+                write_expr(f, value)?;
+                writeln!(f, ";")?;
+            }
+            Stmt::Store { mem, index, value } => {
+                write!(f, "{pad}{mem}[")?;
+                write_expr(f, index)?;
+                write!(f, "] = ")?;
+                write_expr(f, value)?;
+                writeln!(f, ";")?;
+            }
+            Stmt::Atomic {
+                op,
+                mem,
+                index,
+                value,
+            } => {
+                write!(f, "{pad}{op}(&{mem}[")?;
+                write_expr(f, index)?;
+                write!(f, "], ")?;
+                write_expr(f, value)?;
+                writeln!(f, ");")?;
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                write!(f, "{pad}if (")?;
+                write_expr(f, cond)?;
+                writeln!(f, ") {{")?;
+                write_stmts(f, then_body, indent + 1)?;
+                if else_body.is_empty() {
+                    writeln!(f, "{pad}}}")?;
+                } else {
+                    writeln!(f, "{pad}}} else {{")?;
+                    write_stmts(f, else_body, indent + 1)?;
+                    writeln!(f, "{pad}}}")?;
+                }
+            }
+            Stmt::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                write!(f, "{pad}for ({var} = ")?;
+                write_expr(f, init)?;
+                let (cmp, bound) = match cond {
+                    LoopCond::Lt(e) => ("<", e),
+                    LoopCond::Le(e) => ("<=", e),
+                    LoopCond::Gt(e) => (">", e),
+                    LoopCond::Ge(e) => (">=", e),
+                };
+                write!(f, "; {var} {cmp} ")?;
+                write_expr(f, bound)?;
+                let (update, amount) = match step {
+                    LoopStep::Add(e) => ("+=", e),
+                    LoopStep::Sub(e) => ("-=", e),
+                    LoopStep::Mul(e) => ("*=", e),
+                    LoopStep::Shl(e) => ("<<=", e),
+                    LoopStep::Shr(e) => (">>=", e),
+                };
+                write!(f, "; {var} {update} ")?;
+                write_expr(f, amount)?;
+                writeln!(f, ") {{")?;
+                write_stmts(f, body, indent + 1)?;
+                writeln!(f, "{pad}}}")?;
+            }
+            Stmt::Sync => writeln!(f, "{pad}__syncthreads();")?,
+            Stmt::Return(e) => {
+                write!(f, "{pad}return ")?;
+                write_expr(f, e)?;
+                writeln!(f, ";")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "__global__ void {}(", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match p {
+                crate::Param::Buffer { name, ty, space } => {
+                    write!(f, "{space} {ty}* {name}")?
+                }
+                crate::Param::Scalar { name, ty } => write!(f, "{ty} {name}")?,
+            }
+        }
+        writeln!(f, ") {{")?;
+        for s in &self.shared {
+            writeln!(f, "  __shared__ {} {}[{}];", s.ty, s.name, s.len)?;
+        }
+        write_stmts(f, &self.body, 1)?;
+        writeln!(f, "}}")
+    }
+}
+
+impl fmt::Display for Func {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "__device__ {} {}(", self.ret, self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", p.ty(), p.name())?;
+        }
+        writeln!(f, ") {{")?;
+        write_stmts(f, &self.body, 1)?;
+        writeln!(f, "}}")
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (_, func) in self.funcs() {
+            writeln!(f, "{func}")?;
+        }
+        for (_, kernel) in self.kernels() {
+            writeln!(f, "{kernel}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::{FuncBuilder, KernelBuilder};
+    use crate::types::{MemSpace, Ty};
+    use crate::{Expr, Program};
+
+    #[test]
+    fn kernel_prints_cuda_flavored_text() {
+        let mut kb = KernelBuilder::new("scale");
+        let buf = kb.buffer("data", Ty::F32, MemSpace::Global);
+        let gid = kb.let_("gid", KernelBuilder::global_id_x());
+        let v = kb.let_("v", kb.load(buf, gid.clone()));
+        kb.store(buf, gid, v * Expr::f32(0.5));
+        let text = kb.finish().to_string();
+        assert!(text.contains("__global__ void scale"));
+        assert!(text.contains("threadIdx.x"));
+        assert!(text.contains("p0["));
+    }
+
+    #[test]
+    fn func_and_program_print() {
+        let mut p = Program::new();
+        let mut fb = FuncBuilder::new("inc", Ty::F32);
+        let x = fb.scalar("x", Ty::F32);
+        fb.ret(x + Expr::f32(1.0));
+        p.add_func(fb.finish());
+        let text = p.to_string();
+        assert!(text.contains("__device__ f32 inc"));
+        assert!(text.contains("return"));
+    }
+
+    #[test]
+    fn control_flow_prints_structure() {
+        let mut kb = KernelBuilder::new("k");
+        let n = kb.scalar("n", Ty::I32);
+        kb.for_up("i", Expr::i32(0), n.clone(), Expr::i32(1), |kb, i| {
+            kb.if_(i.clone().lt(n.clone()), |kb| kb.sync());
+        });
+        let text = kb.finish().to_string();
+        assert!(text.contains("for ("));
+        assert!(text.contains("if ("));
+        assert!(text.contains("__syncthreads()"));
+    }
+}

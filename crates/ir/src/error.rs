@@ -1,0 +1,171 @@
+//! Error types for IR construction and evaluation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::types::Ty;
+
+/// Errors produced while constructing or validating IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// A kernel or function referenced a name that does not exist.
+    UnknownName(String),
+    /// A parameter index was out of range for the item it targets.
+    ParamOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of parameters actually declared.
+        len: usize,
+    },
+    /// A structural validation failed (message describes the violation).
+    Invalid(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::UnknownName(name) => write!(f, "unknown item name `{name}`"),
+            IrError::ParamOutOfRange { index, len } => {
+                write!(f, "parameter index {index} out of range for {len} parameters")
+            }
+            IrError::Invalid(msg) => write!(f, "invalid IR: {msg}"),
+        }
+    }
+}
+
+impl Error for IrError {}
+
+/// Errors produced while evaluating IR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// An operand had the wrong type for the operation applied to it.
+    TypeMismatch {
+        /// Type the operation required.
+        expected: Ty,
+        /// Type that was actually supplied.
+        found: Ty,
+    },
+    /// Two operands of a binary operation disagreed on type.
+    OperandTypeMismatch {
+        /// Left operand type.
+        lhs: Ty,
+        /// Right operand type.
+        rhs: Ty,
+    },
+    /// An operation is not defined for the given type (e.g. `exp` of `i32`).
+    UnsupportedOp {
+        /// Human-readable operation name.
+        op: &'static str,
+        /// The operand type it was applied to.
+        ty: Ty,
+    },
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// A memory access fell outside the bounds of its buffer.
+    OutOfBounds {
+        /// Index that was accessed.
+        index: i64,
+        /// Length of the buffer.
+        len: usize,
+    },
+    /// A local variable was read before being written.
+    UninitializedVar(u32),
+    /// A loop exceeded the evaluator's iteration budget.
+    IterationLimit,
+    /// A function call referenced a function that does not exist.
+    UnknownFunc(usize),
+    /// A function returned without executing a `Return` statement.
+    MissingReturn(String),
+    /// The expression used a construct not available in this context
+    /// (e.g. a thread ID or memory access in a pure function).
+    NotPure(&'static str),
+    /// Barrier executed while the block's threads were divergent.
+    DivergentBarrier,
+    /// Wrong number of arguments passed to a function or kernel.
+    ArityMismatch {
+        /// Number of parameters expected.
+        expected: usize,
+        /// Number of arguments supplied.
+        found: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            EvalError::OperandTypeMismatch { lhs, rhs } => {
+                write!(f, "operand types disagree: {lhs} vs {rhs}")
+            }
+            EvalError::UnsupportedOp { op, ty } => {
+                write!(f, "operation `{op}` is not defined for type {ty}")
+            }
+            EvalError::DivisionByZero => write!(f, "integer division by zero"),
+            EvalError::OutOfBounds { index, len } => {
+                write!(f, "memory access at index {index} out of bounds (len {len})")
+            }
+            EvalError::UninitializedVar(v) => write!(f, "read of uninitialized local v{v}"),
+            EvalError::IterationLimit => write!(f, "loop iteration limit exceeded"),
+            EvalError::UnknownFunc(id) => write!(f, "call to unknown function #{id}"),
+            EvalError::MissingReturn(name) => {
+                write!(f, "function `{name}` finished without returning a value")
+            }
+            EvalError::NotPure(what) => {
+                write!(f, "construct `{what}` is not allowed in a pure context")
+            }
+            EvalError::DivergentBarrier => {
+                write!(f, "barrier executed while threads were divergent")
+            }
+            EvalError::ArityMismatch { expected, found } => {
+                write!(f, "arity mismatch: expected {expected} arguments, found {found}")
+            }
+        }
+    }
+}
+
+impl Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_nonempty() {
+        let errors: Vec<EvalError> = vec![
+            EvalError::TypeMismatch {
+                expected: Ty::F32,
+                found: Ty::I32,
+            },
+            EvalError::OperandTypeMismatch {
+                lhs: Ty::F32,
+                rhs: Ty::U32,
+            },
+            EvalError::UnsupportedOp { op: "exp", ty: Ty::I32 },
+            EvalError::DivisionByZero,
+            EvalError::OutOfBounds { index: 9, len: 4 },
+            EvalError::UninitializedVar(3),
+            EvalError::IterationLimit,
+            EvalError::UnknownFunc(0),
+            EvalError::MissingReturn("f".into()),
+            EvalError::NotPure("load"),
+            EvalError::DivergentBarrier,
+            EvalError::ArityMismatch {
+                expected: 2,
+                found: 3,
+            },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+        let ir_errors = vec![
+            IrError::UnknownName("x".into()),
+            IrError::ParamOutOfRange { index: 4, len: 2 },
+            IrError::Invalid("msg".into()),
+        ];
+        for e in ir_errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,765 @@
+//! Expressions: the pure, value-producing part of the IR.
+
+use std::fmt;
+use std::ops;
+
+use crate::error::EvalError;
+use crate::program::FuncId;
+use crate::stmt::MemRef;
+use crate::types::{Scalar, Ty, VarId};
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition (`f32`, `i32`, `u32`).
+    Add,
+    /// Subtraction (`f32`, `i32`, `u32`; unsigned wraps).
+    Sub,
+    /// Multiplication (`f32`, `i32`, `u32`).
+    Mul,
+    /// Division (`f32` IEEE; integers trap on zero).
+    Div,
+    /// Remainder (integers only; traps on zero).
+    Rem,
+    /// Minimum of two values.
+    Min,
+    /// Maximum of two values.
+    Max,
+    /// `x^y` for floats (`powf`).
+    Pow,
+    /// Bitwise/logical AND (`i32`, `u32`, `bool`).
+    And,
+    /// Bitwise/logical OR (`i32`, `u32`, `bool`).
+    Or,
+    /// Bitwise/logical XOR (`i32`, `u32`, `bool`).
+    Xor,
+    /// Left shift (integers; shift amount masked to 31 bits).
+    Shl,
+    /// Right shift (logical for `u32`, arithmetic for `i32`).
+    Shr,
+}
+
+impl BinOp {
+    /// Apply this operator to two runtime scalars.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::OperandTypeMismatch`] if the operand types
+    /// differ, [`EvalError::UnsupportedOp`] if the operator is not defined
+    /// for the operand type, and [`EvalError::DivisionByZero`] for integer
+    /// division/remainder by zero.
+    pub fn apply(self, lhs: Scalar, rhs: Scalar) -> Result<Scalar, EvalError> {
+        if lhs.ty() != rhs.ty() {
+            return Err(EvalError::OperandTypeMismatch {
+                lhs: lhs.ty(),
+                rhs: rhs.ty(),
+            });
+        }
+        let unsupported = || EvalError::UnsupportedOp {
+            op: self.name(),
+            ty: lhs.ty(),
+        };
+        Ok(match (lhs, rhs) {
+            (Scalar::F32(a), Scalar::F32(b)) => Scalar::F32(match self {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => a / b,
+                BinOp::Min => a.min(b),
+                BinOp::Max => a.max(b),
+                BinOp::Pow => a.powf(b),
+                BinOp::Rem => a % b,
+                BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr => {
+                    return Err(unsupported())
+                }
+            }),
+            (Scalar::I32(a), Scalar::I32(b)) => Scalar::I32(match self {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::Div => {
+                    if b == 0 {
+                        return Err(EvalError::DivisionByZero);
+                    }
+                    a.wrapping_div(b)
+                }
+                BinOp::Rem => {
+                    if b == 0 {
+                        return Err(EvalError::DivisionByZero);
+                    }
+                    a.wrapping_rem(b)
+                }
+                BinOp::Min => a.min(b),
+                BinOp::Max => a.max(b),
+                BinOp::And => a & b,
+                BinOp::Or => a | b,
+                BinOp::Xor => a ^ b,
+                BinOp::Shl => a.wrapping_shl(b as u32),
+                BinOp::Shr => a.wrapping_shr(b as u32),
+                BinOp::Pow => return Err(unsupported()),
+            }),
+            (Scalar::U32(a), Scalar::U32(b)) => Scalar::U32(match self {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::Div => {
+                    if b == 0 {
+                        return Err(EvalError::DivisionByZero);
+                    }
+                    a / b
+                }
+                BinOp::Rem => {
+                    if b == 0 {
+                        return Err(EvalError::DivisionByZero);
+                    }
+                    a % b
+                }
+                BinOp::Min => a.min(b),
+                BinOp::Max => a.max(b),
+                BinOp::And => a & b,
+                BinOp::Or => a | b,
+                BinOp::Xor => a ^ b,
+                BinOp::Shl => a.wrapping_shl(b),
+                BinOp::Shr => a.wrapping_shr(b),
+                BinOp::Pow => return Err(unsupported()),
+            }),
+            (Scalar::Bool(a), Scalar::Bool(b)) => Scalar::Bool(match self {
+                BinOp::And => a && b,
+                BinOp::Or => a || b,
+                BinOp::Xor => a ^ b,
+                _ => return Err(unsupported()),
+            }),
+            _ => unreachable!("operand types already checked equal"),
+        })
+    }
+
+    /// Human-readable operator name used in diagnostics and printing.
+    pub fn name(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+            BinOp::Pow => "pow",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+        }
+    }
+
+    /// True when the operator is both associative and commutative for the
+    /// purposes of reduction parallelization (the paper's §2 "Reduction"
+    /// requirement). Floating-point `Add`/`Mul` are treated as associative,
+    /// exactly as the tree-reduction implementations in the benchmarks do.
+    pub fn is_reduction_compatible(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add
+                | BinOp::Mul
+                | BinOp::Min
+                | BinOp::Max
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::Xor
+        )
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical/bitwise NOT.
+    Not,
+    /// `e^x` (floats).
+    Exp,
+    /// Natural logarithm (floats).
+    Log,
+    /// Square root (floats).
+    Sqrt,
+    /// Reciprocal square root (floats). Modeled separately because GPUs
+    /// implement it on the special function unit.
+    Rsqrt,
+    /// Sine (floats).
+    Sin,
+    /// Cosine (floats).
+    Cos,
+    /// Absolute value.
+    Abs,
+    /// Floor (floats).
+    Floor,
+}
+
+impl UnOp {
+    /// Apply this operator to a runtime scalar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::UnsupportedOp`] when the operator is undefined
+    /// for the operand type.
+    pub fn apply(self, v: Scalar) -> Result<Scalar, EvalError> {
+        let unsupported = || EvalError::UnsupportedOp {
+            op: self.name(),
+            ty: v.ty(),
+        };
+        Ok(match v {
+            Scalar::F32(x) => Scalar::F32(match self {
+                UnOp::Neg => -x,
+                UnOp::Exp => x.exp(),
+                UnOp::Log => x.ln(),
+                UnOp::Sqrt => x.sqrt(),
+                UnOp::Rsqrt => 1.0 / x.sqrt(),
+                UnOp::Sin => x.sin(),
+                UnOp::Cos => x.cos(),
+                UnOp::Abs => x.abs(),
+                UnOp::Floor => x.floor(),
+                UnOp::Not => return Err(unsupported()),
+            }),
+            Scalar::I32(x) => Scalar::I32(match self {
+                UnOp::Neg => x.wrapping_neg(),
+                UnOp::Not => !x,
+                UnOp::Abs => x.wrapping_abs(),
+                _ => return Err(unsupported()),
+            }),
+            Scalar::U32(x) => Scalar::U32(match self {
+                UnOp::Not => !x,
+                _ => return Err(unsupported()),
+            }),
+            Scalar::Bool(x) => Scalar::Bool(match self {
+                UnOp::Not => !x,
+                _ => return Err(unsupported()),
+            }),
+        })
+    }
+
+    /// Human-readable operator name.
+    pub fn name(self) -> &'static str {
+        match self {
+            UnOp::Neg => "neg",
+            UnOp::Not => "not",
+            UnOp::Exp => "exp",
+            UnOp::Log => "log",
+            UnOp::Sqrt => "sqrt",
+            UnOp::Rsqrt => "rsqrt",
+            UnOp::Sin => "sin",
+            UnOp::Cos => "cos",
+            UnOp::Abs => "abs",
+            UnOp::Floor => "floor",
+        }
+    }
+
+    /// True for the transcendental operations that a GPU's special function
+    /// unit accelerates (`exp`, `log`, `sin`, `cos`, `rsqrt`).
+    pub fn is_transcendental(self) -> bool {
+        matches!(
+            self,
+            UnOp::Exp | UnOp::Log | UnOp::Sin | UnOp::Cos | UnOp::Rsqrt
+        )
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Comparison operators (always produce `Bool`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Strictly less.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Strictly greater.
+    Gt,
+    /// Greater or equal.
+    Ge,
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+}
+
+impl CmpOp {
+    /// Apply this comparison to two runtime scalars.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::OperandTypeMismatch`] when operand types differ.
+    pub fn apply(self, lhs: Scalar, rhs: Scalar) -> Result<Scalar, EvalError> {
+        if lhs.ty() != rhs.ty() {
+            return Err(EvalError::OperandTypeMismatch {
+                lhs: lhs.ty(),
+                rhs: rhs.ty(),
+            });
+        }
+        fn cmp<T: PartialOrd>(op: CmpOp, a: T, b: T) -> bool {
+            match op {
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Gt => a > b,
+                CmpOp::Ge => a >= b,
+                CmpOp::Eq => a == b,
+                CmpOp::Ne => a != b,
+            }
+        }
+        let out = match (lhs, rhs) {
+            (Scalar::F32(a), Scalar::F32(b)) => cmp(self, a, b),
+            (Scalar::I32(a), Scalar::I32(b)) => cmp(self, a, b),
+            (Scalar::U32(a), Scalar::U32(b)) => cmp(self, a, b),
+            (Scalar::Bool(a), Scalar::Bool(b)) => cmp(self, a, b),
+            _ => unreachable!("operand types already checked equal"),
+        };
+        Ok(Scalar::Bool(out))
+    }
+
+    /// Human-readable operator name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Thread/block coordinate specials available inside kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Special {
+    /// `threadIdx.x`
+    ThreadIdX,
+    /// `threadIdx.y`
+    ThreadIdY,
+    /// `blockIdx.x`
+    BlockIdX,
+    /// `blockIdx.y`
+    BlockIdY,
+    /// `blockDim.x`
+    BlockDimX,
+    /// `blockDim.y`
+    BlockDimY,
+    /// `gridDim.x`
+    GridDimX,
+    /// `gridDim.y`
+    GridDimY,
+}
+
+impl fmt::Display for Special {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Special::ThreadIdX => "threadIdx.x",
+            Special::ThreadIdY => "threadIdx.y",
+            Special::BlockIdX => "blockIdx.x",
+            Special::BlockIdY => "blockIdx.y",
+            Special::BlockDimX => "blockDim.x",
+            Special::BlockDimY => "blockDim.y",
+            Special::GridDimX => "gridDim.x",
+            Special::GridDimY => "gridDim.y",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An expression tree.
+///
+/// Expressions are pure except for [`Expr::Load`], which reads device
+/// memory. Paraprox's purity analysis (in `paraprox-patterns`) rejects
+/// functions whose bodies contain loads or thread specials.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal constant.
+    Const(Scalar),
+    /// Read of a local variable.
+    Var(VarId),
+    /// Read of a scalar parameter of the enclosing kernel or function, by
+    /// parameter index.
+    Param(usize),
+    /// A thread/block coordinate (kernels only; type `i32`).
+    Special(Special),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Comparison (produces `Bool`).
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Ternary select: `cond ? if_true : if_false`.
+    Select {
+        /// Boolean condition.
+        cond: Box<Expr>,
+        /// Value when the condition holds.
+        if_true: Box<Expr>,
+        /// Value when it does not.
+        if_false: Box<Expr>,
+    },
+    /// Type conversion.
+    Cast(Ty, Box<Expr>),
+    /// Memory read: `mem[index]` (index type `i32`).
+    Load {
+        /// The buffer or shared array being read.
+        mem: MemRef,
+        /// Element index.
+        index: Box<Expr>,
+    },
+    /// Call of a device function with scalar arguments.
+    Call {
+        /// Callee.
+        func: FuncId,
+        /// Argument expressions, one per function parameter.
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// `f32` literal.
+    pub fn f32(v: f32) -> Expr {
+        Expr::Const(Scalar::F32(v))
+    }
+
+    /// `i32` literal.
+    pub fn i32(v: i32) -> Expr {
+        Expr::Const(Scalar::I32(v))
+    }
+
+    /// `u32` literal.
+    pub fn u32(v: u32) -> Expr {
+        Expr::Const(Scalar::U32(v))
+    }
+
+    /// `bool` literal.
+    pub fn bool(v: bool) -> Expr {
+        Expr::Const(Scalar::Bool(v))
+    }
+
+    /// Comparison helper: `self < rhs`.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Lt, Box::new(self), Box::new(rhs))
+    }
+
+    /// Comparison helper: `self <= rhs`.
+    pub fn le(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Le, Box::new(self), Box::new(rhs))
+    }
+
+    /// Comparison helper: `self > rhs`.
+    pub fn gt(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Gt, Box::new(self), Box::new(rhs))
+    }
+
+    /// Comparison helper: `self >= rhs`.
+    pub fn ge(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ge, Box::new(self), Box::new(rhs))
+    }
+
+    /// Comparison helper: `self == rhs`.
+    pub fn eq_(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Eq, Box::new(self), Box::new(rhs))
+    }
+
+    /// Comparison helper: `self != rhs`.
+    pub fn ne_(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ne, Box::new(self), Box::new(rhs))
+    }
+
+    /// Elementwise minimum.
+    pub fn min(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Min, Box::new(self), Box::new(rhs))
+    }
+
+    /// Elementwise maximum.
+    pub fn max(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Max, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self ^ rhs` for floats (`powf`).
+    pub fn pow(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Pow, Box::new(self), Box::new(rhs))
+    }
+
+    /// Integer remainder.
+    ///
+    /// Named like the operation (we deliberately do not implement
+    /// `std::ops::Rem`, keeping `%`-free builder code explicit).
+    #[allow(clippy::should_implement_trait)]
+    pub fn rem(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Rem, Box::new(self), Box::new(rhs))
+    }
+
+    /// `e^self`.
+    pub fn exp(self) -> Expr {
+        Expr::Unary(UnOp::Exp, Box::new(self))
+    }
+
+    /// Natural logarithm.
+    pub fn log(self) -> Expr {
+        Expr::Unary(UnOp::Log, Box::new(self))
+    }
+
+    /// Square root.
+    pub fn sqrt(self) -> Expr {
+        Expr::Unary(UnOp::Sqrt, Box::new(self))
+    }
+
+    /// Reciprocal square root.
+    pub fn rsqrt(self) -> Expr {
+        Expr::Unary(UnOp::Rsqrt, Box::new(self))
+    }
+
+    /// Sine.
+    pub fn sin(self) -> Expr {
+        Expr::Unary(UnOp::Sin, Box::new(self))
+    }
+
+    /// Cosine.
+    pub fn cos(self) -> Expr {
+        Expr::Unary(UnOp::Cos, Box::new(self))
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Expr {
+        Expr::Unary(UnOp::Abs, Box::new(self))
+    }
+
+    /// Floor.
+    pub fn floor(self) -> Expr {
+        Expr::Unary(UnOp::Floor, Box::new(self))
+    }
+
+    /// Type conversion.
+    pub fn cast(self, ty: Ty) -> Expr {
+        Expr::Cast(ty, Box::new(self))
+    }
+
+    /// Ternary select with `self` as the condition.
+    pub fn select(self, if_true: Expr, if_false: Expr) -> Expr {
+        Expr::Select {
+            cond: Box::new(self),
+            if_true: Box::new(if_true),
+            if_false: Box::new(if_false),
+        }
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:expr) => {
+        impl ops::$trait for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                Expr::Binary($op, Box::new(self), Box::new(rhs))
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, BinOp::Add);
+impl_binop!(Sub, sub, BinOp::Sub);
+impl_binop!(Mul, mul, BinOp::Mul);
+impl_binop!(Div, div, BinOp::Div);
+impl_binop!(BitAnd, bitand, BinOp::And);
+impl_binop!(BitOr, bitor, BinOp::Or);
+impl_binop!(BitXor, bitxor, BinOp::Xor);
+impl_binop!(Shl, shl, BinOp::Shl);
+impl_binop!(Shr, shr, BinOp::Shr);
+
+impl ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::Unary(UnOp::Neg, Box::new(self))
+    }
+}
+
+impl ops::Not for Expr {
+    type Output = Expr;
+    fn not(self) -> Expr {
+        Expr::Unary(UnOp::Not, Box::new(self))
+    }
+}
+
+impl From<Scalar> for Expr {
+    fn from(v: Scalar) -> Expr {
+        Expr::Const(v)
+    }
+}
+
+impl From<f32> for Expr {
+    fn from(v: f32) -> Expr {
+        Expr::f32(v)
+    }
+}
+
+impl From<i32> for Expr {
+    fn from(v: i32) -> Expr {
+        Expr::i32(v)
+    }
+}
+
+impl From<u32> for Expr {
+    fn from(v: u32) -> Expr {
+        Expr::u32(v)
+    }
+}
+
+impl From<VarId> for Expr {
+    fn from(v: VarId) -> Expr {
+        Expr::Var(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_applies_float_arithmetic() {
+        let a = Scalar::F32(6.0);
+        let b = Scalar::F32(3.0);
+        assert_eq!(BinOp::Add.apply(a, b).unwrap(), Scalar::F32(9.0));
+        assert_eq!(BinOp::Sub.apply(a, b).unwrap(), Scalar::F32(3.0));
+        assert_eq!(BinOp::Mul.apply(a, b).unwrap(), Scalar::F32(18.0));
+        assert_eq!(BinOp::Div.apply(a, b).unwrap(), Scalar::F32(2.0));
+        assert_eq!(BinOp::Min.apply(a, b).unwrap(), Scalar::F32(3.0));
+        assert_eq!(BinOp::Max.apply(a, b).unwrap(), Scalar::F32(6.0));
+    }
+
+    #[test]
+    fn binop_rejects_mixed_types() {
+        let err = BinOp::Add.apply(Scalar::F32(1.0), Scalar::I32(1));
+        assert!(matches!(err, Err(EvalError::OperandTypeMismatch { .. })));
+    }
+
+    #[test]
+    fn integer_division_by_zero_traps() {
+        assert_eq!(
+            BinOp::Div.apply(Scalar::I32(1), Scalar::I32(0)),
+            Err(EvalError::DivisionByZero)
+        );
+        assert_eq!(
+            BinOp::Rem.apply(Scalar::U32(1), Scalar::U32(0)),
+            Err(EvalError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn float_division_by_zero_is_ieee() {
+        let v = BinOp::Div
+            .apply(Scalar::F32(1.0), Scalar::F32(0.0))
+            .unwrap()
+            .as_f32()
+            .unwrap();
+        assert!(v.is_infinite());
+    }
+
+    #[test]
+    fn shifts_and_bitwise_on_integers() {
+        assert_eq!(
+            BinOp::Shl.apply(Scalar::U32(1), Scalar::U32(4)).unwrap(),
+            Scalar::U32(16)
+        );
+        assert_eq!(
+            BinOp::Shr.apply(Scalar::I32(-8), Scalar::I32(1)).unwrap(),
+            Scalar::I32(-4)
+        );
+        assert_eq!(
+            BinOp::Or.apply(Scalar::U32(0b01), Scalar::U32(0b10)).unwrap(),
+            Scalar::U32(0b11)
+        );
+        assert!(BinOp::Shl.apply(Scalar::F32(1.0), Scalar::F32(1.0)).is_err());
+    }
+
+    #[test]
+    fn bool_logic() {
+        assert_eq!(
+            BinOp::And
+                .apply(Scalar::Bool(true), Scalar::Bool(false))
+                .unwrap(),
+            Scalar::Bool(false)
+        );
+        assert_eq!(
+            BinOp::Xor
+                .apply(Scalar::Bool(true), Scalar::Bool(false))
+                .unwrap(),
+            Scalar::Bool(true)
+        );
+        assert!(BinOp::Add.apply(Scalar::Bool(true), Scalar::Bool(true)).is_err());
+    }
+
+    #[test]
+    fn unop_transcendentals() {
+        let x = Scalar::F32(1.0);
+        assert!(
+            (UnOp::Exp.apply(x).unwrap().as_f32().unwrap() - std::f32::consts::E).abs() < 1e-6
+        );
+        assert_eq!(UnOp::Log.apply(x).unwrap(), Scalar::F32(0.0));
+        assert_eq!(UnOp::Sqrt.apply(Scalar::F32(4.0)).unwrap(), Scalar::F32(2.0));
+        assert_eq!(UnOp::Rsqrt.apply(Scalar::F32(4.0)).unwrap(), Scalar::F32(0.5));
+        assert!(UnOp::Exp.apply(Scalar::I32(1)).is_err());
+    }
+
+    #[test]
+    fn unop_integer_cases() {
+        assert_eq!(UnOp::Neg.apply(Scalar::I32(4)).unwrap(), Scalar::I32(-4));
+        assert_eq!(UnOp::Abs.apply(Scalar::I32(-4)).unwrap(), Scalar::I32(4));
+        assert_eq!(UnOp::Not.apply(Scalar::U32(0)).unwrap(), Scalar::U32(u32::MAX));
+        assert_eq!(UnOp::Not.apply(Scalar::Bool(true)).unwrap(), Scalar::Bool(false));
+    }
+
+    #[test]
+    fn comparisons_produce_bool() {
+        assert_eq!(
+            CmpOp::Lt.apply(Scalar::F32(1.0), Scalar::F32(2.0)).unwrap(),
+            Scalar::Bool(true)
+        );
+        assert_eq!(
+            CmpOp::Ge.apply(Scalar::I32(3), Scalar::I32(3)).unwrap(),
+            Scalar::Bool(true)
+        );
+        assert!(CmpOp::Eq.apply(Scalar::I32(1), Scalar::U32(1)).is_err());
+    }
+
+    #[test]
+    fn operator_overloads_build_trees() {
+        let e = (Expr::f32(1.0) + Expr::f32(2.0)) * Expr::f32(3.0);
+        match e {
+            Expr::Binary(BinOp::Mul, lhs, _) => {
+                assert!(matches!(*lhs, Expr::Binary(BinOp::Add, _, _)));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reduction_compatibility_classification() {
+        assert!(BinOp::Add.is_reduction_compatible());
+        assert!(BinOp::Xor.is_reduction_compatible());
+        assert!(!BinOp::Sub.is_reduction_compatible());
+        assert!(!BinOp::Div.is_reduction_compatible());
+    }
+
+    #[test]
+    fn transcendental_classification() {
+        assert!(UnOp::Exp.is_transcendental());
+        assert!(!UnOp::Sqrt.is_transcendental());
+        assert!(!UnOp::Neg.is_transcendental());
+    }
+}

@@ -1,0 +1,63 @@
+//! A typed intermediate representation for data-parallel kernels.
+//!
+//! This crate is the substrate that stands in for the CUDA/OpenCL abstract
+//! syntax trees that Paraprox (ASPLOS 2014) analyzes and rewrites. Programs
+//! are built with [`KernelBuilder`]/[`FuncBuilder`], analyzed by
+//! `paraprox-patterns`, rewritten by `paraprox-approx`, and executed by the
+//! SIMT interpreter in `paraprox-vgpu`.
+//!
+//! The IR models exactly the features the paper's analyses need:
+//!
+//! * scalar types ([`Ty`], [`Scalar`]) and memory spaces ([`MemSpace`]),
+//! * pure expressions ([`Expr`]) including loads, calls, and thread/block
+//!   specials,
+//! * structured statements ([`Stmt`]): bindings, stores, atomics, `if`,
+//!   counted `for` loops, barriers, and returns,
+//! * device functions ([`Func`]) callable from kernels — the unit of the
+//!   paper's approximate memoization,
+//! * kernels ([`Kernel`]) with buffer/scalar parameters and block-shared
+//!   memory arrays,
+//! * a [`Program`] holding functions and kernels together.
+//!
+//! # Example
+//!
+//! Build a map kernel that squares every element of a buffer:
+//!
+//! ```
+//! use paraprox_ir::{KernelBuilder, MemSpace, Program, Ty};
+//!
+//! let mut program = Program::new();
+//! let mut kb = KernelBuilder::new("square");
+//! let input = kb.buffer("input", Ty::F32, MemSpace::Global);
+//! let output = kb.buffer("output", Ty::F32, MemSpace::Global);
+//! let gid = kb.let_("gid", KernelBuilder::global_id_x());
+//! let x = kb.let_("x", kb.load(input, gid.clone()));
+//! kb.store(output, gid, x.clone() * x);
+//! let kernel = program.add_kernel(kb.finish());
+//! assert_eq!(program.kernel(kernel).name, "square");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod display;
+mod error;
+mod eval;
+mod expr;
+mod program;
+mod stmt;
+mod types;
+mod visit;
+
+pub use builder::{FuncBuilder, KernelBuilder};
+pub use error::{EvalError, IrError};
+pub use eval::{eval_expr_pure, eval_func, EvalLimits};
+pub use expr::{BinOp, CmpOp, Expr, Special, UnOp};
+pub use program::{Func, FuncId, Kernel, KernelId, LocalDecl, Param, Program, SharedDecl};
+pub use stmt::{AtomicOp, LoopCond, LoopStep, MemRef, SharedId, Stmt};
+pub use types::{MemSpace, Scalar, Ty, VarId};
+pub use visit::{
+    count_ops, for_each_expr, for_each_expr_in_stmts, for_each_stmt, rewrite_expr,
+    rewrite_exprs_in_stmts, OpCounts,
+};

@@ -1,0 +1,277 @@
+//! Statements: the effectful, structured part of the IR.
+
+use std::fmt;
+
+use crate::expr::{BinOp, Expr};
+use crate::types::VarId;
+
+/// Identifier of a shared-memory array declared by a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SharedId(pub u32);
+
+impl SharedId {
+    /// Index into the kernel's `shared` declarations.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SharedId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A reference to an addressable memory object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemRef {
+    /// A buffer parameter of the enclosing kernel, by parameter index.
+    /// The parameter's declaration supplies the memory space.
+    Param(usize),
+    /// A block-shared scratchpad array declared by the kernel.
+    Shared(SharedId),
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemRef::Param(i) => write!(f, "p{i}"),
+            MemRef::Shared(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Atomic read-modify-write operations.
+///
+/// The paper's reduction detection (§3.3.2) treats loops containing atomic
+/// add/min/max/inc/and/or/xor as reduction loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomicOp {
+    /// `atomicAdd`
+    Add,
+    /// `atomicMin`
+    Min,
+    /// `atomicMax`
+    Max,
+    /// `atomicInc` (modeled as add of the operand)
+    Inc,
+    /// `atomicAnd`
+    And,
+    /// `atomicOr`
+    Or,
+    /// `atomicXor`
+    Xor,
+}
+
+impl AtomicOp {
+    /// The plain binary operator with the same combining semantics.
+    pub fn to_bin_op(self) -> BinOp {
+        match self {
+            AtomicOp::Add | AtomicOp::Inc => BinOp::Add,
+            AtomicOp::Min => BinOp::Min,
+            AtomicOp::Max => BinOp::Max,
+            AtomicOp::And => BinOp::And,
+            AtomicOp::Or => BinOp::Or,
+            AtomicOp::Xor => BinOp::Xor,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AtomicOp::Add => "atomic_add",
+            AtomicOp::Min => "atomic_min",
+            AtomicOp::Max => "atomic_max",
+            AtomicOp::Inc => "atomic_inc",
+            AtomicOp::And => "atomic_and",
+            AtomicOp::Or => "atomic_or",
+            AtomicOp::Xor => "atomic_xor",
+        }
+    }
+}
+
+impl fmt::Display for AtomicOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The continuation condition of a counted loop, compared against the loop
+/// variable each iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoopCond {
+    /// `var < bound`
+    Lt(Expr),
+    /// `var <= bound`
+    Le(Expr),
+    /// `var > bound`
+    Gt(Expr),
+    /// `var >= bound`
+    Ge(Expr),
+}
+
+impl LoopCond {
+    /// The bound expression, regardless of comparison direction.
+    pub fn bound(&self) -> &Expr {
+        match self {
+            LoopCond::Lt(e) | LoopCond::Le(e) | LoopCond::Gt(e) | LoopCond::Ge(e) => e,
+        }
+    }
+
+    /// Map the bound expression, preserving the comparison direction.
+    pub fn map_bound(self, f: impl FnOnce(Expr) -> Expr) -> LoopCond {
+        match self {
+            LoopCond::Lt(e) => LoopCond::Lt(f(e)),
+            LoopCond::Le(e) => LoopCond::Le(f(e)),
+            LoopCond::Gt(e) => LoopCond::Gt(f(e)),
+            LoopCond::Ge(e) => LoopCond::Ge(f(e)),
+        }
+    }
+}
+
+/// The per-iteration update of a counted loop's variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoopStep {
+    /// `var += step`
+    Add(Expr),
+    /// `var -= step`
+    Sub(Expr),
+    /// `var *= step`
+    Mul(Expr),
+    /// `var <<= step`
+    Shl(Expr),
+    /// `var >>= step`
+    Shr(Expr),
+}
+
+impl LoopStep {
+    /// The step expression.
+    pub fn amount(&self) -> &Expr {
+        match self {
+            LoopStep::Add(e)
+            | LoopStep::Sub(e)
+            | LoopStep::Mul(e)
+            | LoopStep::Shl(e)
+            | LoopStep::Shr(e) => e,
+        }
+    }
+
+    /// Map the step expression, preserving the update kind.
+    ///
+    /// This is the hook used by the reduction optimization, which multiplies
+    /// an additive step by the skipping rate.
+    pub fn map_amount(self, f: impl FnOnce(Expr) -> Expr) -> LoopStep {
+        match self {
+            LoopStep::Add(e) => LoopStep::Add(f(e)),
+            LoopStep::Sub(e) => LoopStep::Sub(f(e)),
+            LoopStep::Mul(e) => LoopStep::Mul(f(e)),
+            LoopStep::Shl(e) => LoopStep::Shl(f(e)),
+            LoopStep::Shr(e) => LoopStep::Shr(f(e)),
+        }
+    }
+}
+
+/// A structured statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Bind a local variable to the value of an expression. A `Let` may
+    /// later be re-assigned with [`Stmt::Assign`] (locals are mutable, as in
+    /// the C kernels the IR mirrors).
+    Let {
+        /// Variable being bound.
+        var: VarId,
+        /// Initializer.
+        init: Expr,
+    },
+    /// Overwrite an existing local variable.
+    Assign {
+        /// Variable being assigned.
+        var: VarId,
+        /// New value.
+        value: Expr,
+    },
+    /// Write `value` to `mem[index]`.
+    Store {
+        /// Destination memory object.
+        mem: MemRef,
+        /// Element index (type `i32`).
+        index: Expr,
+        /// Value to write.
+        value: Expr,
+    },
+    /// Atomic read-modify-write of `mem[index]`.
+    Atomic {
+        /// Combining operation.
+        op: AtomicOp,
+        /// Destination memory object.
+        mem: MemRef,
+        /// Element index (type `i32`).
+        index: Expr,
+        /// Operand value.
+        value: Expr,
+    },
+    /// Two-armed conditional.
+    If {
+        /// Boolean condition, evaluated per thread.
+        cond: Expr,
+        /// Statements executed where the condition holds.
+        then_body: Vec<Stmt>,
+        /// Statements executed where it does not.
+        else_body: Vec<Stmt>,
+    },
+    /// Counted loop: `for (var = init; var COND; var STEP) body`.
+    For {
+        /// Loop variable (must be a declared local).
+        var: VarId,
+        /// Initial value.
+        init: Expr,
+        /// Continuation condition.
+        cond: LoopCond,
+        /// Per-iteration update.
+        step: LoopStep,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Block-wide barrier (`__syncthreads`).
+    Sync,
+    /// Return a value from a device function (not valid in kernels).
+    Return(Expr),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_maps_to_binop() {
+        assert_eq!(AtomicOp::Add.to_bin_op(), BinOp::Add);
+        assert_eq!(AtomicOp::Inc.to_bin_op(), BinOp::Add);
+        assert_eq!(AtomicOp::Min.to_bin_op(), BinOp::Min);
+        assert_eq!(AtomicOp::Xor.to_bin_op(), BinOp::Xor);
+    }
+
+    #[test]
+    fn loop_step_map_preserves_kind() {
+        let step = LoopStep::Add(Expr::i32(1));
+        let scaled = step.map_amount(|e| e * Expr::i32(4));
+        match scaled {
+            LoopStep::Add(e) => assert!(matches!(e, Expr::Binary(BinOp::Mul, _, _))),
+            other => panic!("kind changed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_cond_bound_access() {
+        let cond = LoopCond::Lt(Expr::i32(10));
+        assert_eq!(cond.bound(), &Expr::i32(10));
+        let mapped = cond.map_bound(|e| e - Expr::i32(2));
+        assert!(matches!(mapped, LoopCond::Lt(_)));
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert!(!MemRef::Param(0).to_string().is_empty());
+        assert!(!MemRef::Shared(SharedId(1)).to_string().is_empty());
+        assert!(!AtomicOp::Add.to_string().is_empty());
+    }
+}

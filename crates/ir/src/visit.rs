@@ -1,0 +1,339 @@
+//! Traversal and rewriting utilities over expressions and statements.
+
+use crate::expr::Expr;
+use crate::stmt::{LoopCond, LoopStep, Stmt};
+
+/// Visit every node of an expression tree, parents before children.
+pub fn for_each_expr(expr: &Expr, f: &mut impl FnMut(&Expr)) {
+    f(expr);
+    match expr {
+        Expr::Const(_) | Expr::Var(_) | Expr::Param(_) | Expr::Special(_) => {}
+        Expr::Unary(_, a) | Expr::Cast(_, a) => for_each_expr(a, f),
+        Expr::Binary(_, a, b) | Expr::Cmp(_, a, b) => {
+            for_each_expr(a, f);
+            for_each_expr(b, f);
+        }
+        Expr::Select {
+            cond,
+            if_true,
+            if_false,
+        } => {
+            for_each_expr(cond, f);
+            for_each_expr(if_true, f);
+            for_each_expr(if_false, f);
+        }
+        Expr::Load { index, .. } => for_each_expr(index, f),
+        Expr::Call { args, .. } => {
+            for arg in args {
+                for_each_expr(arg, f);
+            }
+        }
+    }
+}
+
+/// Visit every statement in a body, outer statements before nested ones.
+pub fn for_each_stmt(stmts: &[Stmt], f: &mut impl FnMut(&Stmt)) {
+    for stmt in stmts {
+        f(stmt);
+        match stmt {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                for_each_stmt(then_body, f);
+                for_each_stmt(else_body, f);
+            }
+            Stmt::For { body, .. } => for_each_stmt(body, f),
+            _ => {}
+        }
+    }
+}
+
+/// Visit every expression appearing anywhere in a statement body, including
+/// loop bounds and conditions.
+pub fn for_each_expr_in_stmts(stmts: &[Stmt], f: &mut impl FnMut(&Expr)) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Let { init, .. } => for_each_expr(init, f),
+            Stmt::Assign { value, .. } => for_each_expr(value, f),
+            Stmt::Store { index, value, .. } => {
+                for_each_expr(index, f);
+                for_each_expr(value, f);
+            }
+            Stmt::Atomic { index, value, .. } => {
+                for_each_expr(index, f);
+                for_each_expr(value, f);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                for_each_expr(cond, f);
+                for_each_expr_in_stmts(then_body, f);
+                for_each_expr_in_stmts(else_body, f);
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                for_each_expr(init, f);
+                for_each_expr(cond.bound(), f);
+                for_each_expr(step.amount(), f);
+                for_each_expr_in_stmts(body, f);
+            }
+            Stmt::Sync => {}
+            Stmt::Return(e) => for_each_expr(e, f),
+        }
+    }
+}
+
+/// Rewrite an expression bottom-up: children are rewritten first, then the
+/// rebuilt node is passed to `f`.
+pub fn rewrite_expr(expr: Expr, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
+    let rebuilt = match expr {
+        e @ (Expr::Const(_) | Expr::Var(_) | Expr::Param(_) | Expr::Special(_)) => e,
+        Expr::Unary(op, a) => Expr::Unary(op, Box::new(rewrite_expr(*a, f))),
+        Expr::Cast(ty, a) => Expr::Cast(ty, Box::new(rewrite_expr(*a, f))),
+        Expr::Binary(op, a, b) => Expr::Binary(
+            op,
+            Box::new(rewrite_expr(*a, f)),
+            Box::new(rewrite_expr(*b, f)),
+        ),
+        Expr::Cmp(op, a, b) => Expr::Cmp(
+            op,
+            Box::new(rewrite_expr(*a, f)),
+            Box::new(rewrite_expr(*b, f)),
+        ),
+        Expr::Select {
+            cond,
+            if_true,
+            if_false,
+        } => Expr::Select {
+            cond: Box::new(rewrite_expr(*cond, f)),
+            if_true: Box::new(rewrite_expr(*if_true, f)),
+            if_false: Box::new(rewrite_expr(*if_false, f)),
+        },
+        Expr::Load { mem, index } => Expr::Load {
+            mem,
+            index: Box::new(rewrite_expr(*index, f)),
+        },
+        Expr::Call { func, args } => Expr::Call {
+            func,
+            args: args.into_iter().map(|a| rewrite_expr(a, f)).collect(),
+        },
+    };
+    f(rebuilt)
+}
+
+/// Rewrite every expression in a statement body bottom-up with `f`.
+pub fn rewrite_exprs_in_stmts(stmts: Vec<Stmt>, f: &mut impl FnMut(Expr) -> Expr) -> Vec<Stmt> {
+    stmts
+        .into_iter()
+        .map(|stmt| match stmt {
+            Stmt::Let { var, init } => Stmt::Let {
+                var,
+                init: rewrite_expr(init, f),
+            },
+            Stmt::Assign { var, value } => Stmt::Assign {
+                var,
+                value: rewrite_expr(value, f),
+            },
+            Stmt::Store { mem, index, value } => Stmt::Store {
+                mem,
+                index: rewrite_expr(index, f),
+                value: rewrite_expr(value, f),
+            },
+            Stmt::Atomic {
+                op,
+                mem,
+                index,
+                value,
+            } => Stmt::Atomic {
+                op,
+                mem,
+                index: rewrite_expr(index, f),
+                value: rewrite_expr(value, f),
+            },
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => Stmt::If {
+                cond: rewrite_expr(cond, f),
+                then_body: rewrite_exprs_in_stmts(then_body, f),
+                else_body: rewrite_exprs_in_stmts(else_body, f),
+            },
+            Stmt::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+            } => Stmt::For {
+                var,
+                init: rewrite_expr(init, f),
+                cond: match cond {
+                    LoopCond::Lt(e) => LoopCond::Lt(rewrite_expr(e, f)),
+                    LoopCond::Le(e) => LoopCond::Le(rewrite_expr(e, f)),
+                    LoopCond::Gt(e) => LoopCond::Gt(rewrite_expr(e, f)),
+                    LoopCond::Ge(e) => LoopCond::Ge(rewrite_expr(e, f)),
+                },
+                step: match step {
+                    LoopStep::Add(e) => LoopStep::Add(rewrite_expr(e, f)),
+                    LoopStep::Sub(e) => LoopStep::Sub(rewrite_expr(e, f)),
+                    LoopStep::Mul(e) => LoopStep::Mul(rewrite_expr(e, f)),
+                    LoopStep::Shl(e) => LoopStep::Shl(rewrite_expr(e, f)),
+                    LoopStep::Shr(e) => LoopStep::Shr(rewrite_expr(e, f)),
+                },
+                body: rewrite_exprs_in_stmts(body, f),
+            },
+            Stmt::Sync => Stmt::Sync,
+            Stmt::Return(e) => Stmt::Return(rewrite_expr(e, f)),
+        })
+        .collect()
+}
+
+/// Static operation counts for a statement body.
+///
+/// Used by the paper's Eq. (1) heuristic (`cycles_needed = Σ latency`) in
+/// `paraprox-patterns` and by tests that assert rewrites shrink kernels.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Arithmetic/logic expression nodes.
+    pub alu: usize,
+    /// Transcendental unary ops (`exp`, `log`, `sin`, `cos`, `rsqrt`).
+    pub transcendental: usize,
+    /// Division and `pow` operations (subroutine-class on GPUs).
+    pub div_like: usize,
+    /// Memory loads.
+    pub loads: usize,
+    /// Memory stores.
+    pub stores: usize,
+    /// Atomic operations.
+    pub atomics: usize,
+    /// Function calls.
+    pub calls: usize,
+    /// Barriers.
+    pub syncs: usize,
+}
+
+/// Count the operations appearing statically in a statement body.
+pub fn count_ops(stmts: &[Stmt]) -> OpCounts {
+    use crate::expr::BinOp;
+    let mut counts = OpCounts::default();
+    for_each_expr_in_stmts(stmts, &mut |e| match e {
+        Expr::Unary(op, _) => {
+            if op.is_transcendental() {
+                counts.transcendental += 1;
+            } else {
+                counts.alu += 1;
+            }
+        }
+        Expr::Binary(op, _, _) => match op {
+            BinOp::Div | BinOp::Pow | BinOp::Rem => counts.div_like += 1,
+            _ => counts.alu += 1,
+        },
+        Expr::Cmp(..) | Expr::Select { .. } | Expr::Cast(..) => counts.alu += 1,
+        Expr::Load { .. } => counts.loads += 1,
+        Expr::Call { .. } => counts.calls += 1,
+        _ => {}
+    });
+    for_each_stmt(stmts, &mut |s| match s {
+        Stmt::Store { .. } => counts.stores += 1,
+        Stmt::Atomic { .. } => counts.atomics += 1,
+        Stmt::Sync => counts.syncs += 1,
+        _ => {}
+    });
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, UnOp};
+    use crate::stmt::MemRef;
+    use crate::types::VarId;
+
+    fn sample_body() -> Vec<Stmt> {
+        vec![
+            Stmt::Let {
+                var: VarId(0),
+                init: Expr::Load {
+                    mem: MemRef::Param(0),
+                    index: Box::new(Expr::i32(0)),
+                },
+            },
+            Stmt::If {
+                cond: Expr::Var(VarId(0)).gt(Expr::f32(0.0)),
+                then_body: vec![Stmt::Store {
+                    mem: MemRef::Param(1),
+                    index: Expr::i32(0),
+                    value: Expr::Var(VarId(0)).exp(),
+                }],
+                else_body: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn counts_cover_nested_statements() {
+        let counts = count_ops(&sample_body());
+        assert_eq!(counts.loads, 1);
+        assert_eq!(counts.stores, 1);
+        assert_eq!(counts.transcendental, 1);
+        assert!(counts.alu >= 1); // the comparison
+    }
+
+    #[test]
+    fn rewrite_replaces_nodes_bottom_up() {
+        // Replace every f32 constant with 1.0.
+        let e = (Expr::f32(3.0) + Expr::f32(4.0)).sqrt();
+        let out = rewrite_expr(e, &mut |e| match e {
+            Expr::Const(crate::Scalar::F32(_)) => Expr::f32(1.0),
+            other => other,
+        });
+        match out {
+            Expr::Unary(UnOp::Sqrt, inner) => match *inner {
+                Expr::Binary(BinOp::Add, a, b) => {
+                    assert_eq!(*a, Expr::f32(1.0));
+                    assert_eq!(*b, Expr::f32(1.0));
+                }
+                other => panic!("unexpected: {other:?}"),
+            },
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rewrite_stmts_reaches_loop_bounds() {
+        let body = vec![Stmt::For {
+            var: VarId(0),
+            init: Expr::i32(0),
+            cond: crate::LoopCond::Lt(Expr::i32(10)),
+            step: crate::LoopStep::Add(Expr::i32(1)),
+            body: vec![],
+        }];
+        let mut seen = 0;
+        let rewritten = rewrite_exprs_in_stmts(body, &mut |e| {
+            if matches!(e, Expr::Const(_)) {
+                seen += 1;
+            }
+            e
+        });
+        assert_eq!(seen, 3); // init, bound, step
+        assert_eq!(rewritten.len(), 1);
+    }
+
+    #[test]
+    fn visitor_sees_every_expr() {
+        let mut n = 0;
+        for_each_expr_in_stmts(&sample_body(), &mut |_| n += 1);
+        // load + idx const, cmp + var + const, store idx + exp + var
+        assert!(n >= 7, "saw only {n} nodes");
+    }
+}

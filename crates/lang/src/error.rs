@@ -1,0 +1,56 @@
+//! Frontend errors with source positions.
+
+use std::error::Error;
+use std::fmt;
+
+/// A source location (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A lexing, parsing, or lowering error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    /// Where the problem was found.
+    pub pos: Pos,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl LangError {
+    pub(crate) fn new(pos: Pos, message: impl Into<String>) -> LangError {
+        LangError {
+            pos,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = LangError::new(Pos { line: 3, col: 7 }, "unexpected token");
+        assert_eq!(e.to_string(), "3:7: unexpected token");
+    }
+}

@@ -1,0 +1,262 @@
+//! Tokenizer for the kernel dialect.
+
+use crate::error::{LangError, Pos};
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal (a `.`, exponent, or `f` suffix present).
+    Float(f32),
+    /// Punctuation / operator, e.g. `+`, `<<=`, `&&`.
+    Punct(&'static str),
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Kind and payload.
+    pub tok: Tok,
+    /// Position of the first character.
+    pub pos: Pos,
+}
+
+/// Multi-character operators, longest first.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=", "%=",
+    "|=", "&=", "^=", "++", "--", "?", ":", ";", ",", ".", "(", ")", "{", "}", "[", "]", "+",
+    "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+];
+
+/// Tokenize `source`.
+///
+/// # Errors
+///
+/// Fails on unknown characters or malformed numeric literals.
+pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    let advance = |c: char, line: &mut u32, col: &mut u32| {
+        if c == '\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+    };
+    while i < bytes.len() {
+        let c = bytes[i];
+        let pos = Pos { line, col };
+        // Whitespace.
+        if c.is_whitespace() {
+            advance(c, &mut line, &mut col);
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == '/' {
+            while i < bytes.len() && bytes[i] != '\n' {
+                advance(bytes[i], &mut line, &mut col);
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == '*' {
+            i += 2;
+            col += 2;
+            while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                advance(bytes[i], &mut line, &mut col);
+                i += 1;
+            }
+            if i + 1 >= bytes.len() {
+                return Err(LangError::new(pos, "unterminated block comment"));
+            }
+            i += 2;
+            col += 2;
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                advance(bytes[i], &mut line, &mut col);
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            out.push(Token {
+                tok: Tok::Ident(text),
+                pos,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_digit()
+                    || bytes[i] == '.'
+                    || bytes[i] == 'e'
+                    || bytes[i] == 'E'
+                    || ((bytes[i] == '+' || bytes[i] == '-')
+                        && matches!(bytes[i - 1], 'e' | 'E')))
+            {
+                if bytes[i] == '.' || bytes[i] == 'e' || bytes[i] == 'E' {
+                    is_float = true;
+                }
+                advance(bytes[i], &mut line, &mut col);
+                i += 1;
+            }
+            let mut text: String = bytes[start..i].iter().collect();
+            // Optional `f` suffix marks a float.
+            if i < bytes.len() && (bytes[i] == 'f' || bytes[i] == 'F') {
+                is_float = true;
+                advance(bytes[i], &mut line, &mut col);
+                i += 1;
+            }
+            // Optional `u` suffix is accepted and ignored (uint literal).
+            if !is_float && i < bytes.len() && (bytes[i] == 'u' || bytes[i] == 'U') {
+                advance(bytes[i], &mut line, &mut col);
+                i += 1;
+            }
+            if is_float {
+                if text.ends_with('.') {
+                    text.push('0');
+                }
+                let value: f32 = text
+                    .parse()
+                    .map_err(|_| LangError::new(pos, format!("bad float literal `{text}`")))?;
+                out.push(Token {
+                    tok: Tok::Float(value),
+                    pos,
+                });
+            } else {
+                let value: i64 = text
+                    .parse()
+                    .map_err(|_| LangError::new(pos, format!("bad integer literal `{text}`")))?;
+                out.push(Token {
+                    tok: Tok::Int(value),
+                    pos,
+                });
+            }
+            continue;
+        }
+        // Punctuation.
+        let rest: String = bytes[i..(i + 3).min(bytes.len())].iter().collect();
+        let mut matched = None;
+        for p in PUNCTS {
+            if rest.starts_with(p) {
+                matched = Some(*p);
+                break;
+            }
+        }
+        match matched {
+            Some(p) => {
+                out.push(Token {
+                    tok: Tok::Punct(p),
+                    pos,
+                });
+                for _ in 0..p.len() {
+                    advance(bytes[i], &mut line, &mut col);
+                    i += 1;
+                }
+            }
+            None => {
+                return Err(LangError::new(pos, format!("unexpected character `{c}`")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn identifiers_numbers_punct() {
+        assert_eq!(
+            kinds("x1 = 42 + 3.5f;"),
+            vec![
+                Tok::Ident("x1".into()),
+                Tok::Punct("="),
+                Tok::Int(42),
+                Tok::Punct("+"),
+                Tok::Float(3.5),
+                Tok::Punct(";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_char_operators_are_greedy() {
+        assert_eq!(
+            kinds("a <<= 1; b >>= 2; c == d; e != f;"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<<="),
+                Tok::Int(1),
+                Tok::Punct(";"),
+                Tok::Ident("b".into()),
+                Tok::Punct(">>="),
+                Tok::Int(2),
+                Tok::Punct(";"),
+                Tok::Ident("c".into()),
+                Tok::Punct("=="),
+                Tok::Ident("d".into()),
+                Tok::Punct(";"),
+                Tok::Ident("e".into()),
+                Tok::Punct("!="),
+                Tok::Ident("f".into()),
+                Tok::Punct(";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // line comment\n /* block \n comment */ b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn float_forms() {
+        assert_eq!(kinds("1.0"), vec![Tok::Float(1.0)]);
+        assert_eq!(kinds("2f"), vec![Tok::Float(2.0)]);
+        assert_eq!(kinds("1e3"), vec![Tok::Float(1000.0)]);
+        assert_eq!(kinds("1.5e-2"), vec![Tok::Float(0.015)]);
+        assert_eq!(kinds("7"), vec![Tok::Int(7)]);
+        assert_eq!(kinds("7u"), vec![Tok::Int(7)]);
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn bad_character_reported() {
+        let err = lex("a @ b").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.pos.col, 3);
+    }
+
+    #[test]
+    fn unterminated_comment_reported() {
+        assert!(lex("/* nope").is_err());
+    }
+}

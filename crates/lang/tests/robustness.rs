@@ -1,0 +1,89 @@
+//! Robustness: the frontend must never panic — any input, however
+//! mangled, must produce either a program or a positioned error.
+
+use paraprox_lang::parse_program;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup: no panics.
+    #[test]
+    fn arbitrary_strings_never_panic(input in "\\PC*") {
+        let _ = parse_program(&input);
+    }
+
+    /// Token-shaped soup (identifiers, numbers, operators): no panics.
+    #[test]
+    fn token_soup_never_panics(tokens in prop::collection::vec(
+        prop_oneof![
+            Just("__global__".to_string()),
+            Just("__device__".to_string()),
+            Just("float".to_string()),
+            Just("int".to_string()),
+            Just("void".to_string()),
+            Just("if".to_string()),
+            Just("for".to_string()),
+            Just("return".to_string()),
+            Just("(".to_string()),
+            Just(")".to_string()),
+            Just("{".to_string()),
+            Just("}".to_string()),
+            Just("[".to_string()),
+            Just("]".to_string()),
+            Just(";".to_string()),
+            Just("=".to_string()),
+            Just("+".to_string()),
+            Just("*".to_string()),
+            Just("x".to_string()),
+            Just("1".to_string()),
+            Just("2.5f".to_string()),
+        ],
+        0..64,
+    )) {
+        let input = tokens.join(" ");
+        let _ = parse_program(&input);
+    }
+
+    /// Truncating a valid program at any byte boundary: no panics, and the
+    /// full program still parses.
+    #[test]
+    fn truncated_programs_never_panic(cut in 0usize..400) {
+        let full = r#"
+            __device__ float f(float x) { return x * x + 1.0f; }
+            __global__ void k(float* a, int n) {
+                int gid = blockIdx.x * blockDim.x + threadIdx.x;
+                if (gid < n) {
+                    for (int i = 0; i < 4; i++) { a[gid] += f(a[gid]); }
+                }
+            }
+        "#;
+        prop_assume!(full.is_char_boundary(cut.min(full.len())));
+        let _ = parse_program(&full[..cut.min(full.len())]);
+        parse_program(full).expect("the full program is valid");
+    }
+}
+
+#[test]
+fn deeply_nested_expressions_do_not_overflow() {
+    // Reasonable depths parse; pathological depths get a clean error
+    // instead of a stack overflow (the parser caps expression nesting).
+    let nest = |n: usize| {
+        let mut expr = "x".to_string();
+        for _ in 0..n {
+            expr = format!("({expr})");
+        }
+        format!("__device__ float f(float x) {{ return {expr}; }}")
+    };
+    parse_program(&nest(40)).expect("40-deep parens parse");
+    let err = parse_program(&nest(500)).unwrap_err();
+    assert!(err.message.contains("nesting"), "{}", err.message);
+}
+
+#[test]
+fn error_positions_point_into_the_source() {
+    let src = "__global__ void k(float* a) {\n    a[0] = ;\n}";
+    let err = parse_program(src).unwrap_err();
+    assert_eq!(err.pos.line, 2);
+    assert!(err.pos.col >= 11, "col = {}", err.pos.col);
+}

@@ -1,0 +1,281 @@
+//! Linear decomposition of index expressions.
+//!
+//! Stencil detection needs to recognize accesses of the form
+//! `(f + i) * w + g + j` (paper §3.2.2). We decompose an index expression
+//! into a *linear combination* `Σ cᵢ·Tᵢ + k`, where each `Tᵢ` is an opaque
+//! sub-expression (compared structurally) and `k` is an integer constant.
+//! Two accesses to the same buffer belong to one tile when their
+//! combinations differ only in coefficients — e.g. `y*w + x` vs
+//! `y*w + w + x + 1` differ by one `w` (a row) and one `1` (a column).
+
+use paraprox_ir::{BinOp, Expr, Scalar};
+
+/// A linear combination of opaque sub-expressions with integer coefficients
+/// plus an integer constant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinComb {
+    /// Terms `(expression, coefficient)`, coefficient ≠ 0, deduplicated by
+    /// structural equality and kept in first-seen order.
+    pub terms: Vec<(Expr, i64)>,
+    /// The constant part.
+    pub constant: i64,
+}
+
+impl LinComb {
+    /// The zero combination.
+    pub fn zero() -> LinComb {
+        LinComb {
+            terms: Vec::new(),
+            constant: 0,
+        }
+    }
+
+    /// A pure constant.
+    pub fn constant(k: i64) -> LinComb {
+        LinComb {
+            terms: Vec::new(),
+            constant: k,
+        }
+    }
+
+    /// A single opaque term with coefficient 1.
+    pub fn term(e: Expr) -> LinComb {
+        LinComb {
+            terms: vec![(e, 1)],
+            constant: 0,
+        }
+    }
+
+    /// Coefficient of a structurally-equal term (0 when absent).
+    pub fn coeff_of(&self, e: &Expr) -> i64 {
+        self.terms
+            .iter()
+            .find(|(t, _)| t == e)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+
+    /// True when the combination is a bare constant.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    fn add_term(&mut self, e: Expr, c: i64) {
+        if c == 0 {
+            return;
+        }
+        if let Some(slot) = self.terms.iter_mut().find(|(t, _)| *t == e) {
+            slot.1 += c;
+            if slot.1 == 0 {
+                self.terms.retain(|(_, c)| *c != 0);
+            }
+        } else {
+            self.terms.push((e, c));
+        }
+    }
+
+    /// `self + other`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(mut self, other: LinComb) -> LinComb {
+        self.constant += other.constant;
+        for (t, c) in other.terms {
+            self.add_term(t, c);
+        }
+        self
+    }
+
+    /// `self - other`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, other: LinComb) -> LinComb {
+        self.add(other.scale(-1))
+    }
+
+    /// `self * k`.
+    pub fn scale(mut self, k: i64) -> LinComb {
+        if k == 0 {
+            return LinComb::zero();
+        }
+        self.constant *= k;
+        for (_, c) in &mut self.terms {
+            *c *= k;
+        }
+        self
+    }
+
+    /// Rebuild an `i32` expression computing this combination.
+    ///
+    /// Terms are emitted in a canonical (debug-representation) order, so
+    /// two equal-as-sets combinations produce *structurally identical*
+    /// expressions — which is what lets common-subexpression elimination
+    /// merge accesses that were snapped to the same tile element.
+    pub fn to_expr(&self) -> Expr {
+        let mut sorted: Vec<&(Expr, i64)> = self.terms.iter().collect();
+        sorted.sort_by_key(|(t, _)| format!("{t:?}"));
+        let mut acc: Option<Expr> = None;
+        for (t, c) in sorted {
+            let piece = if *c == 1 {
+                t.clone()
+            } else {
+                t.clone() * Expr::i32(*c as i32)
+            };
+            acc = Some(match acc {
+                None => piece,
+                Some(a) => a + piece,
+            });
+        }
+        match acc {
+            None => Expr::i32(self.constant as i32),
+            Some(a) => {
+                if self.constant == 0 {
+                    a
+                } else {
+                    a + Expr::i32(self.constant as i32)
+                }
+            }
+        }
+    }
+}
+
+/// `comb * factor`, where `factor` is a single opaque expression: each term
+/// becomes `term * factor` (opaque), the constant becomes `k · factor`.
+fn distribute(comb: LinComb, factor: &Expr) -> LinComb {
+    let mut out = LinComb::zero();
+    for (t, c) in comb.terms {
+        out.add_term(t * factor.clone(), c);
+    }
+    out.add_term(factor.clone(), comb.constant);
+    out
+}
+
+fn const_of(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::Const(Scalar::I32(v)) => Some(i64::from(*v)),
+        Expr::Const(Scalar::U32(v)) => Some(i64::from(*v)),
+        _ => None,
+    }
+}
+
+/// Decompose an integer index expression into a [`LinComb`].
+///
+/// Unrecognized operations become opaque single terms, so decomposition
+/// never fails; it only loses granularity.
+pub fn decompose(e: &Expr) -> LinComb {
+    if let Some(k) = const_of(e) {
+        return LinComb::constant(k);
+    }
+    match e {
+        Expr::Binary(BinOp::Add, a, b) => decompose(a).add(decompose(b)),
+        Expr::Binary(BinOp::Sub, a, b) => decompose(a).sub(decompose(b)),
+        Expr::Binary(BinOp::Mul, a, b) => {
+            let da = decompose(a);
+            let db = decompose(b);
+            if db.is_constant() {
+                da.scale(db.constant)
+            } else if da.is_constant() {
+                db.scale(da.constant)
+            } else if db.terms.len() == 1 && db.constant == 0 && db.terms[0].1 == 1 {
+                // Distribute a linear combination over an opaque factor:
+                // (Σ cᵢ·Tᵢ + k)·w  =  Σ cᵢ·(Tᵢ·w) + k·w.
+                // This is what turns `(y + 1) * w` into `y·w + 1·w`, letting
+                // two stencil accesses one row apart differ by exactly `w`.
+                distribute(da, b)
+            } else if da.terms.len() == 1 && da.constant == 0 && da.terms[0].1 == 1 {
+                distribute(db, a)
+            } else {
+                LinComb::term(e.clone())
+            }
+        }
+        Expr::Binary(BinOp::Shl, a, b) => {
+            if let Some(k) = const_of(b) {
+                if (0..31).contains(&k) {
+                    return decompose(a).scale(1 << k);
+                }
+            }
+            LinComb::term(e.clone())
+        }
+        _ => LinComb::term(e.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paraprox_ir::VarId;
+
+    fn v(n: u32) -> Expr {
+        Expr::Var(VarId(n))
+    }
+
+    #[test]
+    fn constants_fold() {
+        let c = decompose(&(Expr::i32(3) + Expr::i32(4)));
+        assert!(c.is_constant());
+        assert_eq!(c.constant, 7);
+    }
+
+    #[test]
+    fn stencil_index_shape() {
+        // (y + 1) * w + x + 2 where w is a scalar param.
+        let w = Expr::Param(0);
+        let idx = (v(0) + Expr::i32(1)) * w.clone() + v(1) + Expr::i32(2);
+        let c = decompose(&idx);
+        // Terms: (y*w opaque? No: (y+1)*w = y*w + w; y*w is opaque product.)
+        assert_eq!(c.constant, 2);
+        assert_eq!(c.coeff_of(&w), 1);
+        assert_eq!(c.coeff_of(&(v(0) * w.clone())), 1);
+        assert_eq!(c.coeff_of(&v(1)), 1);
+    }
+
+    #[test]
+    fn differences_between_neighbors() {
+        let w = Expr::Param(0);
+        let base = v(0) * w.clone() + v(1);
+        let north = v(0) * w.clone() + v(1) - w.clone();
+        let east = v(0) * w.clone() + v(1) + Expr::i32(1);
+        let d_north = decompose(&north).sub(decompose(&base));
+        assert_eq!(d_north.coeff_of(&w), -1);
+        assert_eq!(d_north.constant, 0);
+        let d_east = decompose(&east).sub(decompose(&base));
+        assert!(d_east.is_constant());
+        assert_eq!(d_east.constant, 1);
+    }
+
+    #[test]
+    fn scaling_and_shift() {
+        let c = decompose(&(v(0) << Expr::i32(3)));
+        assert_eq!(c.coeff_of(&v(0)), 8);
+        let c = decompose(&(v(0) * Expr::i32(4) + v(0)));
+        assert_eq!(c.coeff_of(&v(0)), 5);
+    }
+
+    #[test]
+    fn cancelling_terms_disappear() {
+        let c = decompose(&(v(0) - v(0) + Expr::i32(1)));
+        assert!(c.is_constant());
+        assert_eq!(c.constant, 1);
+    }
+
+    #[test]
+    fn to_expr_roundtrips_through_decompose() {
+        let w = Expr::Param(0);
+        let original = v(0) * w.clone() + w.clone() * Expr::i32(2) + Expr::i32(5);
+        let c = decompose(&original);
+        let rebuilt = c.to_expr();
+        let c2 = decompose(&rebuilt);
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn opaque_products_stay_opaque() {
+        let c = decompose(&(v(0) * v(1)));
+        assert_eq!(c.terms.len(), 1);
+        assert_eq!(c.coeff_of(&(v(0) * v(1))), 1);
+    }
+
+    #[test]
+    fn zero_scale_clears() {
+        let c = decompose(&(v(0) * Expr::i32(0)));
+        assert!(c.is_constant());
+        assert_eq!(c.constant, 0);
+    }
+}

@@ -1,0 +1,304 @@
+//! Static cycle estimation — the paper's Eq. (1).
+//!
+//! `cycles_needed = Σ_{inst ∈ f} latency(inst)`
+//!
+//! Paraprox receives the per-architecture instruction latencies as a table
+//! (the paper measured them with the microbenchmarks of Wong et al.) and
+//! only memoizes functions whose estimated cycles exceed one order of
+//! magnitude above the L1 read latency.
+
+use paraprox_ir::{BinOp, Expr, Func, LoopCond, LoopStep, Program, Scalar, Stmt, UnOp};
+
+/// Per-instruction latencies used by the static estimator.
+///
+/// Mirrors the latency fields of a device profile; `paraprox` (the core
+/// crate) constructs one from a `DeviceProfile`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyTable {
+    /// Basic ALU op.
+    pub alu: u64,
+    /// Transcendental (`exp`, `log`, `sin`, `cos`, `rsqrt`).
+    pub transcendental: u64,
+    /// Float division / remainder / `pow`.
+    pub div: u64,
+    /// Square root.
+    pub sqrt: u64,
+    /// Integer division / remainder.
+    pub int_div: u64,
+    /// L1 read latency — the threshold anchor of §3.1.2.
+    pub l1_read: u64,
+}
+
+impl LatencyTable {
+    /// Latencies matching the simulated GTX 560 device profile; kept
+    /// here (duplicated by construction in the core crate) so this crate
+    /// stays independent of the simulator.
+    pub fn gpu_defaults() -> LatencyTable {
+        LatencyTable {
+            alu: 2,
+            transcendental: 20,
+            div: 180,
+            sqrt: 22,
+            int_div: 70,
+            l1_read: 30,
+        }
+    }
+
+    fn unop(&self, op: UnOp) -> u64 {
+        if op.is_transcendental() {
+            self.transcendental
+        } else if op == UnOp::Sqrt {
+            self.sqrt
+        } else {
+            self.alu
+        }
+    }
+
+    fn binop(&self, op: BinOp) -> u64 {
+        match op {
+            // Static estimation cannot always know operand types; float
+            // division latency is the conservative choice the paper's
+            // heuristic needs (it looks for *expensive* functions).
+            BinOp::Div | BinOp::Rem => self.div,
+            BinOp::Pow => 2 * self.div,
+            _ => self.alu,
+        }
+    }
+}
+
+/// Trip-count estimate used for loops whose bounds are not compile-time
+/// constants. Eq. (1) only needs an order-of-magnitude signal.
+const DEFAULT_TRIP: u64 = 8;
+
+fn const_i64(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::Const(Scalar::I32(v)) => Some(i64::from(*v)),
+        Expr::Const(Scalar::U32(v)) => Some(i64::from(*v)),
+        _ => None,
+    }
+}
+
+/// Estimate the trip count of a counted loop with constant bounds; falls
+/// back to [`DEFAULT_TRIP`].
+fn trip_estimate(init: &Expr, cond: &LoopCond, step: &LoopStep) -> u64 {
+    let (Some(start), Some(bound), Some(amount)) = (
+        const_i64(init),
+        const_i64(cond.bound()),
+        const_i64(step.amount()),
+    ) else {
+        return DEFAULT_TRIP;
+    };
+    match (cond, step) {
+        (LoopCond::Lt(_), LoopStep::Add(_)) if amount > 0 && bound > start => {
+            ((bound - start) as u64).div_ceil(amount as u64)
+        }
+        (LoopCond::Le(_), LoopStep::Add(_)) if amount > 0 && bound >= start => {
+            ((bound - start + 1) as u64).div_ceil(amount as u64)
+        }
+        (LoopCond::Gt(_), LoopStep::Sub(_)) if amount > 0 && start > bound => {
+            ((start - bound) as u64).div_ceil(amount as u64)
+        }
+        (LoopCond::Gt(_), LoopStep::Shr(_)) if amount > 0 && start > bound && start > 0 => {
+            // Halving loop: ~log2(start/bound).
+            let mut v = start;
+            let mut n = 0;
+            while v > bound && n < 64 {
+                v >>= amount as u32;
+                n += 1;
+            }
+            n
+        }
+        _ => DEFAULT_TRIP,
+    }
+}
+
+fn expr_cycles(table: &LatencyTable, program: &Program, e: &Expr) -> u64 {
+    match e {
+        Expr::Const(_) | Expr::Var(_) | Expr::Param(_) | Expr::Special(_) => 0,
+        Expr::Unary(op, a) => table.unop(*op) + expr_cycles(table, program, a),
+        Expr::Binary(op, a, b) => {
+            table.binop(*op) + expr_cycles(table, program, a) + expr_cycles(table, program, b)
+        }
+        Expr::Cmp(_, a, b) => {
+            table.alu + expr_cycles(table, program, a) + expr_cycles(table, program, b)
+        }
+        Expr::Select {
+            cond,
+            if_true,
+            if_false,
+        } => {
+            table.alu
+                + expr_cycles(table, program, cond)
+                + expr_cycles(table, program, if_true)
+                + expr_cycles(table, program, if_false)
+        }
+        Expr::Cast(_, a) => table.alu + expr_cycles(table, program, a),
+        // Loads are excluded: Eq. (1) measures *computation* replaced by
+        // the lookup (candidate functions contain no loads anyway).
+        Expr::Load { index, .. } => expr_cycles(table, program, index),
+        Expr::Call { func, args } => {
+            let args_cost: u64 = args.iter().map(|a| expr_cycles(table, program, a)).sum();
+            let callee_cost = program
+                .funcs()
+                .nth(func.0)
+                .map(|(_, f)| stmts_cycles(table, program, &f.body))
+                .unwrap_or(0);
+            args_cost + callee_cost
+        }
+    }
+}
+
+fn stmts_cycles(table: &LatencyTable, program: &Program, stmts: &[Stmt]) -> u64 {
+    let mut total = 0;
+    for stmt in stmts {
+        total += match stmt {
+            Stmt::Let { init, .. } => expr_cycles(table, program, init),
+            Stmt::Assign { value, .. } => expr_cycles(table, program, value),
+            Stmt::Store { index, value, .. } | Stmt::Atomic { index, value, .. } => {
+                expr_cycles(table, program, index) + expr_cycles(table, program, value)
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                // Both arms may execute under SIMT; sum them (conservative,
+                // and what a warp pays under divergence).
+                table.alu
+                    + expr_cycles(table, program, cond)
+                    + stmts_cycles(table, program, then_body)
+                    + stmts_cycles(table, program, else_body)
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                let trips = trip_estimate(init, cond, step);
+                expr_cycles(table, program, init)
+                    + trips
+                        * (table.alu
+                            + expr_cycles(table, program, cond.bound())
+                            + expr_cycles(table, program, step.amount())
+                            + stmts_cycles(table, program, body))
+            }
+            Stmt::Sync => 0,
+            Stmt::Return(e) => expr_cycles(table, program, e),
+        };
+    }
+    total
+}
+
+/// Estimate `cycles_needed` (Eq. 1) for a device function.
+pub fn estimate_func_cycles(table: &LatencyTable, program: &Program, func: &Func) -> u64 {
+    stmts_cycles(table, program, &func.body)
+}
+
+/// The paper's candidacy test: a function benefits from memoization when
+/// its estimated cycles are at least one order of magnitude above the L1
+/// read latency.
+pub fn worth_memoizing(table: &LatencyTable, cycles_needed: u64) -> bool {
+    cycles_needed >= 10 * table.l1_read
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paraprox_ir::{Expr, FuncBuilder, Ty};
+
+    fn table() -> LatencyTable {
+        LatencyTable::gpu_defaults()
+    }
+
+    #[test]
+    fn heavy_function_exceeds_threshold() {
+        let mut p = Program::new();
+        let mut fb = FuncBuilder::new("heavy", Ty::F32);
+        let x = fb.scalar("x", Ty::F32);
+        // Two divisions plus transcendentals: well past 10x L1 (300 cycles).
+        fb.ret((x.clone().log() / x.clone().sqrt()).exp() / x.clone().sin());
+        let f = fb.finish();
+        let cycles = estimate_func_cycles(&table(), &p, &f);
+        assert!(cycles >= 2 * 180, "cycles = {cycles}");
+        assert!(worth_memoizing(&table(), cycles));
+        p.add_func(f);
+    }
+
+    #[test]
+    fn light_function_fails_threshold() {
+        let p = Program::new();
+        let mut fb = FuncBuilder::new("light", Ty::F32);
+        let x = fb.scalar("x", Ty::F32);
+        fb.ret(x.clone() + x);
+        let f = fb.finish();
+        let cycles = estimate_func_cycles(&table(), &p, &f);
+        assert!(!worth_memoizing(&table(), cycles), "cycles = {cycles}");
+    }
+
+    #[test]
+    fn loops_multiply_body_cost() {
+        let p = Program::new();
+        let mut fb = FuncBuilder::new("loopy", Ty::F32);
+        let x = fb.scalar("x", Ty::F32);
+        let acc = fb.let_mut("acc", Ty::F32, Expr::f32(0.0));
+        fb.for_up("i", Expr::i32(0), Expr::i32(100), Expr::i32(1), |fb, _| {
+            fb.assign(acc, Expr::Var(acc) + x.clone().exp());
+        });
+        fb.ret(Expr::Var(acc));
+        let f = fb.finish();
+        let cycles = estimate_func_cycles(&table(), &p, &f);
+        // 100 iterations x (exp + add + loop overhead) >= 100 * 8.
+        assert!(cycles >= 100 * table().transcendental, "cycles = {cycles}");
+    }
+
+    #[test]
+    fn trip_estimates() {
+        use paraprox_ir::{LoopCond, LoopStep};
+        assert_eq!(
+            trip_estimate(
+                &Expr::i32(0),
+                &LoopCond::Lt(Expr::i32(10)),
+                &LoopStep::Add(Expr::i32(2))
+            ),
+            5
+        );
+        assert_eq!(
+            trip_estimate(
+                &Expr::i32(64),
+                &LoopCond::Gt(Expr::i32(0)),
+                &LoopStep::Shr(Expr::i32(1))
+            ),
+            7
+        );
+        // Non-constant bound falls back to the default.
+        assert_eq!(
+            trip_estimate(
+                &Expr::i32(0),
+                &LoopCond::Lt(Expr::Param(0)),
+                &LoopStep::Add(Expr::i32(1))
+            ),
+            DEFAULT_TRIP
+        );
+    }
+
+    #[test]
+    fn nested_call_costs_include_callee() {
+        let mut p = Program::new();
+        let mut inner = FuncBuilder::new("inner", Ty::F32);
+        let x = inner.scalar("x", Ty::F32);
+        inner.ret(x.exp());
+        let inner_id = p.add_func(inner.finish());
+
+        let mut outer = FuncBuilder::new("outer", Ty::F32);
+        let y = outer.scalar("y", Ty::F32);
+        outer.ret(Expr::Call {
+            func: inner_id,
+            args: vec![y],
+        });
+        let f = outer.finish();
+        let cycles = estimate_func_cycles(&table(), &p, &f);
+        assert!(cycles >= table().transcendental);
+    }
+}

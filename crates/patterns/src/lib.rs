@@ -1,0 +1,41 @@
+//! Detection of the six data-parallel patterns Paraprox targets.
+//!
+//! Given a [`paraprox_ir::Program`], this crate finds the computation idioms
+//! that the paper's §3 optimizations apply to:
+//!
+//! * **Map / Scatter-Gather** (§3.1.2) — kernels calling *pure*,
+//!   compute-heavy device functions. Purity is established by
+//!   [`purity::purity_of`]; "compute-heavy" by the paper's Eq. (1)
+//!   (`cycles_needed = Σ latency(inst)`, via [`cost::estimate_func_cycles`])
+//!   compared against one order of magnitude above the L1 read latency.
+//! * **Stencil / Partition** (§3.2.2) — groups of affine accesses
+//!   `(f+i)*w + (g+j)` to one array forming a tile, found by the linear
+//!   decomposition in [`affine`].
+//! * **Reduction** (§3.3.2) — loops with an accumulative instruction
+//!   `a = a ⊕ b` whose reduction variable is otherwise untouched, plus
+//!   loops performing atomic read-modify-writes.
+//! * **Scan** (§3.4.2) — template matching against the canonical
+//!   three-phase data-parallel scan implementation.
+//!
+//! The entry point is [`detect`], which returns every [`PatternInstance`]
+//! found in each kernel.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod affine;
+pub mod cost;
+mod detect;
+pub mod path;
+pub mod purity;
+pub mod reduction;
+pub mod scan;
+pub mod stencil;
+
+pub use cost::LatencyTable;
+pub use detect::{detect, DetectOptions, KernelPatterns, MapCandidate, MapKind, PatternInstance};
+pub use path::StmtPath;
+pub use purity::{purity_of, Purity};
+pub use reduction::{ReductionKind, ReductionLoop};
+pub use scan::ScanMatch;
+pub use stencil::{StencilCandidate, StencilKind, TileOffset};

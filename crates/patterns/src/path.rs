@@ -1,0 +1,296 @@
+//! Statement paths: stable addresses of statements inside a kernel body.
+//!
+//! Detectors report *where* a pattern lives (e.g. which loop is a reduction
+//! loop) so that the rewriters in `paraprox-approx` can mutate exactly that
+//! statement. A [`StmtPath`] is the sequence of child indices from the
+//! kernel body root; `If` bodies count the then-arm and else-arm as flat
+//! continuations (then first).
+
+use paraprox_ir::Stmt;
+
+/// Address of a statement within a statement tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StmtPath(pub Vec<usize>);
+
+impl StmtPath {
+    /// The root path (empty).
+    pub fn root() -> StmtPath {
+        StmtPath(Vec::new())
+    }
+
+    /// Extend the path by one child index.
+    pub fn child(&self, index: usize) -> StmtPath {
+        let mut v = self.0.clone();
+        v.push(index);
+        StmtPath(v)
+    }
+
+    /// Depth of the path.
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+}
+
+fn children_mut(stmt: &mut Stmt) -> Vec<&mut Vec<Stmt>> {
+    match stmt {
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => vec![then_body, else_body],
+        Stmt::For { body, .. } => vec![body],
+        _ => vec![],
+    }
+}
+
+fn children(stmt: &Stmt) -> Vec<&Vec<Stmt>> {
+    match stmt {
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => vec![then_body, else_body],
+        Stmt::For { body, .. } => vec![body],
+        _ => vec![],
+    }
+}
+
+/// Resolve a path to a statement reference.
+///
+/// The path alternates: an index into the current statement list, then — if
+/// deeper — an implicit descent into the statement's concatenated child
+/// lists (then-arm statements first, then else-arm).
+pub fn stmt_at<'s>(stmts: &'s [Stmt], path: &StmtPath) -> Option<&'s Stmt> {
+    let current: &[Stmt] = stmts;
+    let mut result: Option<&Stmt> = None;
+    for (level, &idx) in path.0.iter().enumerate() {
+        // Build the flattened child view of the current list.
+        let stmt = current.get(idx)?;
+        result = Some(stmt);
+        if level + 1 < path.0.len() {
+            // Descend: concatenate child lists logically. We re-resolve by
+            // walking each child list with an adjusted index.
+            let lists = children(stmt);
+            let next_idx = path.0[level + 1];
+            let mut offset = 0;
+            let mut found: Option<&Vec<Stmt>> = None;
+            for list in lists {
+                if next_idx < offset + list.len() {
+                    found = Some(list);
+                    break;
+                }
+                offset += list.len();
+            }
+            let list = found?;
+            // Rewrite the remaining traversal: we simulate by recursing.
+            let mut sub_path = StmtPath(path.0[level + 1..].to_vec());
+            sub_path.0[0] -= offset;
+            return stmt_at(list, &sub_path);
+        }
+    }
+    result
+}
+
+/// Resolve a path to a mutable statement reference.
+pub fn stmt_at_mut<'s>(stmts: &'s mut [Stmt], path: &StmtPath) -> Option<&'s mut Stmt> {
+    if path.0.is_empty() {
+        return None;
+    }
+    let idx = path.0[0];
+    if path.0.len() == 1 {
+        return stmts.get_mut(idx);
+    }
+    let stmt = stmts.get_mut(idx)?;
+    let next_idx = path.0[1];
+    let mut offset = 0;
+    for list in children_mut(stmt) {
+        if next_idx < offset + list.len() {
+            let mut sub_path = StmtPath(path.0[1..].to_vec());
+            sub_path.0[0] -= offset;
+            return stmt_at_mut(list, &sub_path);
+        }
+        offset += list.len();
+    }
+    None
+}
+
+/// Resolve a path to the statement list *containing* the addressed
+/// statement plus the statement's index in that list — the handle needed to
+/// splice new statements before or after it.
+pub fn container_mut<'s>(
+    stmts: &'s mut Vec<Stmt>,
+    path: &StmtPath,
+) -> Option<(&'s mut Vec<Stmt>, usize)> {
+    match path.0.len() {
+        0 => None,
+        1 => {
+            let idx = path.0[0];
+            if idx < stmts.len() {
+                Some((stmts, idx))
+            } else {
+                None
+            }
+        }
+        _ => {
+            let idx = path.0[0];
+            let stmt = stmts.get_mut(idx)?;
+            let next_idx = path.0[1];
+            let mut offset = 0;
+            for list in children_mut(stmt) {
+                if next_idx < offset + list.len() {
+                    let mut sub_path = StmtPath(path.0[1..].to_vec());
+                    sub_path.0[0] -= offset;
+                    return container_mut(list, &sub_path);
+                }
+                offset += list.len();
+            }
+            None
+        }
+    }
+}
+
+/// Visit every statement with its path, outer-first.
+pub fn walk_with_paths(stmts: &[Stmt], f: &mut impl FnMut(&StmtPath, &Stmt)) {
+    fn go(stmts: &[Stmt], base: &StmtPath, f: &mut impl FnMut(&StmtPath, &Stmt)) {
+        for (i, stmt) in stmts.iter().enumerate() {
+            let path = base.child(i);
+            f(&path, stmt);
+            let lists = children(stmt);
+            let mut offset = 0;
+            for list in lists {
+                // Flattened child indexing, consistent with `stmt_at`.
+                for (j, child) in list.iter().enumerate() {
+                    let child_path = path.child(offset + j);
+                    f(&child_path, child);
+                    go_inner(child, &child_path, f);
+                }
+                offset += list.len();
+            }
+        }
+    }
+    fn go_inner(stmt: &Stmt, path: &StmtPath, f: &mut impl FnMut(&StmtPath, &Stmt)) {
+        let lists = children(stmt);
+        let mut offset = 0;
+        for list in lists {
+            for (j, child) in list.iter().enumerate() {
+                let child_path = path.child(offset + j);
+                f(&child_path, child);
+                go_inner(child, &child_path, f);
+            }
+            offset += list.len();
+        }
+    }
+    go(stmts, &StmtPath::root(), f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paraprox_ir::{Expr, VarId};
+
+    fn let_(n: u32) -> Stmt {
+        Stmt::Let {
+            var: VarId(n),
+            init: Expr::i32(n as i32),
+        }
+    }
+
+    fn sample() -> Vec<Stmt> {
+        vec![
+            let_(0),
+            Stmt::If {
+                cond: Expr::bool(true),
+                then_body: vec![let_(1), let_(2)],
+                else_body: vec![let_(3)],
+            },
+            Stmt::For {
+                var: VarId(4),
+                init: Expr::i32(0),
+                cond: paraprox_ir::LoopCond::Lt(Expr::i32(4)),
+                step: paraprox_ir::LoopStep::Add(Expr::i32(1)),
+                body: vec![let_(5)],
+            },
+        ]
+    }
+
+    fn var_of(stmt: &Stmt) -> u32 {
+        match stmt {
+            Stmt::Let { var, .. } => var.0,
+            _ => panic!("expected let"),
+        }
+    }
+
+    #[test]
+    fn top_level_resolution() {
+        let stmts = sample();
+        assert_eq!(var_of(stmt_at(&stmts, &StmtPath(vec![0])).unwrap()), 0);
+        assert!(matches!(
+            stmt_at(&stmts, &StmtPath(vec![1])).unwrap(),
+            Stmt::If { .. }
+        ));
+        assert!(stmt_at(&stmts, &StmtPath(vec![9])).is_none());
+    }
+
+    #[test]
+    fn nested_resolution_flattens_if_arms() {
+        let stmts = sample();
+        // If children: then[0]=let1, then[1]=let2, else[0] -> flat index 2.
+        assert_eq!(var_of(stmt_at(&stmts, &StmtPath(vec![1, 0])).unwrap()), 1);
+        assert_eq!(var_of(stmt_at(&stmts, &StmtPath(vec![1, 1])).unwrap()), 2);
+        assert_eq!(var_of(stmt_at(&stmts, &StmtPath(vec![1, 2])).unwrap()), 3);
+        assert_eq!(var_of(stmt_at(&stmts, &StmtPath(vec![2, 0])).unwrap()), 5);
+    }
+
+    #[test]
+    fn mutable_resolution_matches() {
+        let mut stmts = sample();
+        if let Some(Stmt::Let { init, .. }) = stmt_at_mut(&mut stmts, &StmtPath(vec![2, 0])) {
+            *init = Expr::i32(99);
+        } else {
+            panic!("path resolution failed");
+        }
+        match stmt_at(&stmts, &StmtPath(vec![2, 0])).unwrap() {
+            Stmt::Let { init, .. } => assert_eq!(*init, Expr::i32(99)),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn walk_visits_all_statements_with_resolvable_paths() {
+        let stmts = sample();
+        let mut seen = Vec::new();
+        walk_with_paths(&stmts, &mut |path, stmt| {
+            // Every reported path must resolve to the same statement.
+            let resolved = stmt_at(&stmts, path).expect("path resolves");
+            assert_eq!(resolved, stmt);
+            seen.push(path.clone());
+        });
+        // 3 top-level + 3 lets inside the if + 1 let inside the for.
+        assert_eq!(seen.len(), 7);
+    }
+
+    #[test]
+    fn container_resolution_allows_splicing() {
+        let mut stmts = sample();
+        // Container of the let inside the for loop.
+        {
+            let (list, idx) = container_mut(&mut stmts, &StmtPath(vec![2, 0])).unwrap();
+            assert_eq!(idx, 0);
+            list.insert(0, let_(9));
+        }
+        // The for body now starts with let 9.
+        assert_eq!(var_of(stmt_at(&stmts, &StmtPath(vec![2, 0])).unwrap()), 9);
+        // Top-level container.
+        let (list, idx) = container_mut(&mut stmts, &StmtPath(vec![0])).unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(list.len(), 3);
+        assert!(container_mut(&mut stmts, &StmtPath(vec![])).is_none());
+    }
+
+    #[test]
+    fn path_helpers() {
+        let p = StmtPath::root().child(2).child(0);
+        assert_eq!(p, StmtPath(vec![2, 0]));
+        assert_eq!(p.depth(), 2);
+    }
+}

@@ -1,0 +1,231 @@
+//! Purity analysis for device functions (paper §3.1.2).
+//!
+//! A function is a memoization candidate only if it is *pure*: its output
+//! depends only on its arguments. The paper's conditions map onto the IR as
+//! follows — the function must not:
+//!
+//! * read or write device memory (`Load`, `Store`, `Atomic`),
+//! * use thread/block specials (output would depend on the thread ID),
+//! * execute barriers,
+//! * call an impure function.
+
+use paraprox_ir::{Expr, Func, FuncId, Program, Stmt};
+
+/// The result of analyzing one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Purity {
+    /// The function is pure and may be memoized.
+    Pure,
+    /// The function is impure; the payload names the first offending
+    /// construct (for diagnostics).
+    Impure(&'static str),
+}
+
+impl Purity {
+    /// True for [`Purity::Pure`].
+    pub fn is_pure(&self) -> bool {
+        matches!(self, Purity::Pure)
+    }
+}
+
+fn check_expr(program: &Program, e: &Expr) -> Purity {
+    match e {
+        Expr::Const(_) | Expr::Var(_) | Expr::Param(_) => Purity::Pure,
+        Expr::Special(_) => Purity::Impure("thread/block special"),
+        Expr::Unary(_, a) | Expr::Cast(_, a) => check_expr(program, a),
+        Expr::Binary(_, a, b) | Expr::Cmp(_, a, b) => {
+            let pa = check_expr(program, a);
+            if !pa.is_pure() {
+                return pa;
+            }
+            check_expr(program, b)
+        }
+        Expr::Select {
+            cond,
+            if_true,
+            if_false,
+        } => {
+            for part in [cond, if_true, if_false] {
+                let p = check_expr(program, part);
+                if !p.is_pure() {
+                    return p;
+                }
+            }
+            Purity::Pure
+        }
+        Expr::Load { .. } => Purity::Impure("memory load"),
+        Expr::Call { func, args } => {
+            for a in args {
+                let p = check_expr(program, a);
+                if !p.is_pure() {
+                    return p;
+                }
+            }
+            // A call is pure only if the callee is pure.
+            match program.funcs().nth(func.0) {
+                Some((_, callee)) => purity_of_func(program, callee),
+                None => Purity::Impure("call to unknown function"),
+            }
+        }
+    }
+}
+
+fn check_stmts(program: &Program, stmts: &[Stmt]) -> Purity {
+    for stmt in stmts {
+        let p = match stmt {
+            Stmt::Let { init, .. } => check_expr(program, init),
+            Stmt::Assign { value, .. } => check_expr(program, value),
+            Stmt::Store { .. } => Purity::Impure("memory store"),
+            Stmt::Atomic { .. } => Purity::Impure("atomic operation"),
+            Stmt::Sync => Purity::Impure("barrier"),
+            Stmt::Return(e) => check_expr(program, e),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let p = check_expr(program, cond);
+                if !p.is_pure() {
+                    return p;
+                }
+                let p = check_stmts(program, then_body);
+                if !p.is_pure() {
+                    return p;
+                }
+                check_stmts(program, else_body)
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                for e in [init, cond.bound(), step.amount()] {
+                    let p = check_expr(program, e);
+                    if !p.is_pure() {
+                        return p;
+                    }
+                }
+                check_stmts(program, body)
+            }
+        };
+        if !p.is_pure() {
+            return p;
+        }
+    }
+    Purity::Pure
+}
+
+fn purity_of_func(program: &Program, func: &Func) -> Purity {
+    check_stmts(program, &func.body)
+}
+
+/// Analyze the purity of function `id` in `program`.
+///
+/// # Panics
+///
+/// Panics if `id` does not belong to `program`.
+pub fn purity_of(program: &Program, id: FuncId) -> Purity {
+    purity_of_func(program, program.func(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paraprox_ir::{Expr, FuncBuilder, Special, Ty};
+
+    #[test]
+    fn arithmetic_function_is_pure() {
+        let mut p = Program::new();
+        let mut fb = FuncBuilder::new("poly", Ty::F32);
+        let x = fb.scalar("x", Ty::F32);
+        let y = fb.let_("y", x.clone() * x + Expr::f32(1.0));
+        fb.ret(y.exp());
+        let id = p.add_func(fb.finish());
+        assert!(purity_of(&p, id).is_pure());
+    }
+
+    #[test]
+    fn thread_special_makes_impure() {
+        let mut p = Program::new();
+        let f = paraprox_ir::Func {
+            name: "tid".into(),
+            params: vec![],
+            ret: Ty::I32,
+            locals: vec![],
+            body: vec![Stmt::Return(Expr::Special(Special::ThreadIdX))],
+        };
+        let id = p.add_func(f);
+        assert_eq!(purity_of(&p, id), Purity::Impure("thread/block special"));
+    }
+
+    #[test]
+    fn load_makes_impure() {
+        let mut p = Program::new();
+        let f = paraprox_ir::Func {
+            name: "reads".into(),
+            params: vec![],
+            ret: Ty::F32,
+            locals: vec![],
+            body: vec![Stmt::Return(Expr::Load {
+                mem: paraprox_ir::MemRef::Param(0),
+                index: Box::new(Expr::i32(0)),
+            })],
+        };
+        let id = p.add_func(f);
+        assert_eq!(purity_of(&p, id), Purity::Impure("memory load"));
+    }
+
+    #[test]
+    fn call_to_pure_callee_is_pure_and_transitive() {
+        let mut p = Program::new();
+        let mut inner = FuncBuilder::new("sq", Ty::F32);
+        let x = inner.scalar("x", Ty::F32);
+        inner.ret(x.clone() * x);
+        let inner_id = p.add_func(inner.finish());
+
+        let mut outer = FuncBuilder::new("outer", Ty::F32);
+        let y = outer.scalar("y", Ty::F32);
+        outer.ret(Expr::Call {
+            func: inner_id,
+            args: vec![y],
+        });
+        let outer_id = p.add_func(outer.finish());
+        assert!(purity_of(&p, outer_id).is_pure());
+    }
+
+    #[test]
+    fn call_to_impure_callee_is_impure() {
+        let mut p = Program::new();
+        let impure = paraprox_ir::Func {
+            name: "impure".into(),
+            params: vec![],
+            ret: Ty::I32,
+            locals: vec![],
+            body: vec![Stmt::Return(Expr::Special(Special::BlockIdX))],
+        };
+        let impure_id = p.add_func(impure);
+        let mut outer = FuncBuilder::new("outer", Ty::I32);
+        outer.ret(Expr::Call {
+            func: impure_id,
+            args: vec![],
+        });
+        let outer_id = p.add_func(outer.finish());
+        assert!(!purity_of(&p, outer_id).is_pure());
+    }
+
+    #[test]
+    fn control_flow_is_inspected() {
+        let mut p = Program::new();
+        let mut fb = FuncBuilder::new("branchy", Ty::F32);
+        let x = fb.scalar("x", Ty::F32);
+        fb.if_else(
+            x.clone().gt(Expr::f32(0.0)),
+            |fb| fb.ret(x.clone()),
+            |fb| fb.ret(-x.clone()),
+        );
+        let id = p.add_func(fb.finish());
+        assert!(purity_of(&p, id).is_pure());
+    }
+}

@@ -1,0 +1,560 @@
+//! Stencil / Partition detection (paper §3.2.2).
+//!
+//! Paraprox looks for a constant number of affine accesses
+//! `(f + i) * w + (g + j)` to the same array — hand-unrolled or inside
+//! loops with constant trip counts — and derives the tile's size and
+//! dimensionality from the dynamic range of `i` and `j`.
+//!
+//! Implementation: every load's index is decomposed into a linear
+//! combination (see [`crate::affine`]); enclosing constant-trip loop
+//! variables are substituted over their ranges to obtain the *virtual*
+//! access set; accesses whose combinations differ only in the coefficient
+//! of one shared "row pitch" term (`w`) and in the constant form a tile.
+
+use paraprox_ir::{rewrite_expr, Expr, Kernel, MemRef, MemSpace, Param, Stmt, VarId};
+
+use crate::affine::{decompose, LinComb};
+
+/// Whether the tile group looks like a stencil (neighborhood window) or a
+/// partition (block-staged tile). The distinction follows the benchmarks:
+/// partition-style kernels stage their tile through shared memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StencilKind {
+    /// Neighborhood window around each output element.
+    Stencil,
+    /// Shared-memory staged tile (e.g. tiled matrix multiply).
+    Partition,
+}
+
+/// One element of a tile, as a (row, column) offset from the tile origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TileOffset {
+    /// Row offset (coefficient of the row-pitch term).
+    pub dy: i64,
+    /// Column offset (constant part).
+    pub dx: i64,
+}
+
+/// A constant-trip enclosing loop contributing to a tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopInfo {
+    /// The loop variable.
+    pub var: VarId,
+    /// First value of the loop variable.
+    pub start: i64,
+    /// Increment per iteration.
+    pub step: i64,
+    /// Number of iterations.
+    pub trip: i64,
+}
+
+impl LoopInfo {
+    /// The loop variable's values.
+    pub fn values(&self) -> impl Iterator<Item = i64> + '_ {
+        (0..self.trip).map(move |k| self.start + k * self.step)
+    }
+
+    /// The middle value of the range (used by center/row/column snapping).
+    pub fn center(&self) -> i64 {
+        self.start + (self.trip / 2) * self.step
+    }
+}
+
+/// A detected stencil or partition access group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StencilCandidate {
+    /// The accessed buffer (a kernel buffer parameter).
+    pub buffer: MemRef,
+    /// Stencil or partition classification.
+    pub kind: StencilKind,
+    /// Tile height (distinct row offsets).
+    pub tile_h: usize,
+    /// Tile width (distinct column offsets).
+    pub tile_w: usize,
+    /// The row-pitch term (`w`); `None` for one-dimensional tiles.
+    pub w_term: Option<Expr>,
+    /// Enclosing constant loops whose variable moves the access by rows.
+    pub row_loops: Vec<LoopInfo>,
+    /// Enclosing constant loops whose variable moves the access by columns.
+    pub col_loops: Vec<LoopInfo>,
+    /// The normalized tile offsets (min row/col at 0).
+    pub offsets: Vec<TileOffset>,
+}
+
+/// Inline single-assignment `Let` definitions into an expression so that
+/// index analysis sees through helper locals. Only pure arithmetic
+/// definitions (no loads, calls, or re-assigned variables) are inlined.
+fn inline_lets(e: &Expr, defs: &[(VarId, Expr)]) -> Expr {
+    let mut depth = 0;
+    let mut current = e.clone();
+    loop {
+        let mut changed = false;
+        current = rewrite_expr(current, &mut |node| {
+            if let Expr::Var(v) = &node {
+                if let Some((_, def)) = defs.iter().find(|(dv, _)| dv == v) {
+                    changed = true;
+                    return def.clone();
+                }
+            }
+            node
+        });
+        depth += 1;
+        if !changed || depth > 8 {
+            return current;
+        }
+    }
+}
+
+fn is_pure_arith(e: &Expr) -> bool {
+    let mut pure = true;
+    paraprox_ir::for_each_expr(e, &mut |node| {
+        if matches!(node, Expr::Load { .. } | Expr::Call { .. }) {
+            pure = false;
+        }
+    });
+    pure
+}
+
+/// Gather inlinable definitions: vars with exactly one `Let` and no
+/// `Assign`, whose initializer is pure arithmetic.
+fn gather_defs(kernel: &Kernel) -> Vec<(VarId, Expr)> {
+    let mut lets: Vec<(VarId, Expr, usize)> = Vec::new();
+    let mut assigns: Vec<VarId> = Vec::new();
+    paraprox_ir::for_each_stmt(&kernel.body, &mut |stmt| match stmt {
+        Stmt::Let { var, init } => {
+            if let Some(entry) = lets.iter_mut().find(|(v, _, _)| v == var) {
+                entry.2 += 1;
+            } else {
+                lets.push((*var, init.clone(), 1));
+            }
+        }
+        Stmt::Assign { var, .. } => assigns.push(*var),
+        Stmt::For { var, .. } => assigns.push(*var),
+        _ => {}
+    });
+    lets.into_iter()
+        .filter(|(v, init, n)| *n == 1 && !assigns.contains(v) && is_pure_arith(init))
+        .map(|(v, init, _)| (v, init))
+        .collect()
+}
+
+struct RawLoad {
+    index: Expr,
+    loops: Vec<LoopInfo>,
+}
+
+fn const_i64(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::Const(paraprox_ir::Scalar::I32(v)) => Some(i64::from(*v)),
+        Expr::Const(paraprox_ir::Scalar::U32(v)) => Some(i64::from(*v)),
+        _ => None,
+    }
+}
+
+fn const_loop_info(stmt: &Stmt) -> Option<LoopInfo> {
+    let Stmt::For {
+        var,
+        init,
+        cond,
+        step,
+        ..
+    } = stmt
+    else {
+        return None;
+    };
+    let start = const_i64(init)?;
+    let bound = const_i64(cond.bound())?;
+    let amount = const_i64(step.amount())?;
+    use paraprox_ir::{LoopCond, LoopStep};
+    let trip = match (cond, step) {
+        (LoopCond::Lt(_), LoopStep::Add(_)) if amount > 0 && bound > start => {
+            (bound - start + amount - 1) / amount
+        }
+        (LoopCond::Le(_), LoopStep::Add(_)) if amount > 0 && bound >= start => {
+            (bound - start + amount) / amount
+        }
+        _ => return None,
+    };
+    if !(1..=32).contains(&trip) {
+        return None;
+    }
+    Some(LoopInfo {
+        var: *var,
+        start,
+        step: amount,
+        trip,
+    })
+}
+
+fn collect_loads(
+    stmts: &[Stmt],
+    loops: &mut Vec<LoopInfo>,
+    out: &mut Vec<(usize, RawLoad)>,
+) {
+    fn collect_from_expr(e: &Expr, loops: &[LoopInfo], out: &mut Vec<(usize, RawLoad)>) {
+        paraprox_ir::for_each_expr(e, &mut |node| {
+            if let Expr::Load {
+                mem: MemRef::Param(p),
+                index,
+            } = node
+            {
+                out.push((
+                    *p,
+                    RawLoad {
+                        index: (**index).clone(),
+                        loops: loops.to_vec(),
+                    },
+                ));
+            }
+        });
+    }
+    for stmt in stmts {
+        match stmt {
+            Stmt::Let { init, .. } | Stmt::Assign { value: init, .. } => {
+                collect_from_expr(init, loops, out)
+            }
+            Stmt::Store { index, value, .. } | Stmt::Atomic { index, value, .. } => {
+                collect_from_expr(index, loops, out);
+                collect_from_expr(value, loops, out);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                collect_from_expr(cond, loops, out);
+                collect_loads(then_body, loops, out);
+                collect_loads(else_body, loops, out);
+            }
+            Stmt::For { body, .. } => {
+                let info = const_loop_info(stmt);
+                if let Some(info) = info {
+                    loops.push(info);
+                    collect_loads(body, loops, out);
+                    loops.pop();
+                } else {
+                    collect_loads(body, loops, out);
+                }
+            }
+            Stmt::Sync => {}
+            Stmt::Return(e) => collect_from_expr(e, loops, out),
+        }
+    }
+}
+
+fn substitute_var(e: &Expr, var: VarId, value: i64) -> Expr {
+    rewrite_expr(e.clone(), &mut |node| match &node {
+        Expr::Var(v) if *v == var => Expr::i32(value as i32),
+        _ => node,
+    })
+}
+
+/// Expand one raw load over its enclosing loop ranges into concrete
+/// combinations. Returns `None` when the expansion would be too large.
+fn expand(load: &RawLoad, defs: &[(VarId, Expr)]) -> Option<Vec<LinComb>> {
+    let inlined = inline_lets(&load.index, defs);
+    // Only loops whose variable actually appears matter.
+    let used: Vec<&LoopInfo> = load
+        .loops
+        .iter()
+        .filter(|info| {
+            let mut appears = false;
+            paraprox_ir::for_each_expr(&inlined, &mut |node| {
+                if matches!(node, Expr::Var(v) if *v == info.var) {
+                    appears = true;
+                }
+            });
+            appears
+        })
+        .collect();
+    let combos: i64 = used.iter().map(|l| l.trip).product();
+    if combos > 256 {
+        return None;
+    }
+    let mut result = vec![inlined];
+    for info in used {
+        let mut next = Vec::new();
+        for expr in &result {
+            for value in info.values() {
+                next.push(substitute_var(expr, info.var, value));
+            }
+        }
+        result = next;
+    }
+    Some(result.iter().map(decompose).collect())
+}
+
+/// Derive the tile structure of a set of concrete access combinations.
+///
+/// Returns `(w_term, offsets)` where every access equals
+/// `ref + dy*w_term + dx`.
+fn derive_tile(combs: &[LinComb]) -> Option<(Option<Expr>, Vec<TileOffset>)> {
+    let reference = combs.first()?;
+    let mut w_term: Option<Expr> = None;
+    let mut raw: Vec<(i64, i64)> = Vec::new();
+    for comb in combs {
+        let diff = comb.clone().sub(reference.clone());
+        match diff.terms.len() {
+            0 => raw.push((0, diff.constant)),
+            1 => {
+                let (term, coeff) = &diff.terms[0];
+                match &w_term {
+                    None => w_term = Some(term.clone()),
+                    Some(w) if w == term => {}
+                    Some(_) => return None, // inconsistent pitch terms
+                }
+                raw.push((*coeff, diff.constant));
+            }
+            _ => return None,
+        }
+    }
+    let min_dy = raw.iter().map(|r| r.0).min()?;
+    let min_dx = raw.iter().map(|r| r.1).min()?;
+    let mut offsets: Vec<TileOffset> = raw
+        .iter()
+        .map(|&(dy, dx)| TileOffset {
+            dy: dy - min_dy,
+            dx: dx - min_dx,
+        })
+        .collect();
+    offsets.sort();
+    offsets.dedup();
+    Some((w_term, offsets))
+}
+
+/// Find stencil/partition candidates in a kernel.
+pub fn find_stencils(kernel: &Kernel) -> Vec<StencilCandidate> {
+    let defs = gather_defs(kernel);
+    let mut raw_loads: Vec<(usize, RawLoad)> = Vec::new();
+    collect_loads(&kernel.body, &mut Vec::new(), &mut raw_loads);
+
+    let mut candidates = Vec::new();
+    let buffer_params: Vec<usize> = kernel.buffer_param_indices().collect();
+    for &param in &buffer_params {
+        // Skip non-global buffers (stencil approximation targets the data
+        // arrays, not constant filter weights).
+        match &kernel.params[param] {
+            Param::Buffer { space, .. } if *space == MemSpace::Global => {}
+            _ => continue,
+        }
+        let loads: Vec<&RawLoad> = raw_loads
+            .iter()
+            .filter(|(p, _)| *p == param)
+            .map(|(_, l)| l)
+            .collect();
+        if loads.is_empty() {
+            continue;
+        }
+        let mut combs: Vec<LinComb> = Vec::new();
+        let mut ok = true;
+        for load in &loads {
+            match expand(load, &defs) {
+                Some(mut c) => combs.append(&mut c),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok || combs.len() < 3 {
+            continue;
+        }
+        let Some((w_term, offsets)) = derive_tile(&combs) else {
+            continue;
+        };
+        if offsets.len() < 3 {
+            continue;
+        }
+        let tile_h = (offsets.iter().map(|o| o.dy).max().unwrap_or(0) + 1) as usize;
+        let tile_w = (offsets.iter().map(|o| o.dx).max().unwrap_or(0) + 1) as usize;
+        if tile_h > 64 || tile_w > 64 {
+            continue;
+        }
+        // Classify enclosing loop variables by which axis they move.
+        let mut row_loops: Vec<LoopInfo> = Vec::new();
+        let mut col_loops: Vec<LoopInfo> = Vec::new();
+        for load in &loads {
+            let inlined = inline_lets(&load.index, &defs);
+            for info in &load.loops {
+                let a = decompose(&substitute_var(&inlined, info.var, info.start));
+                let b = decompose(&substitute_var(
+                    &inlined,
+                    info.var,
+                    info.start + info.step,
+                ));
+                let diff = b.sub(a);
+                if diff.terms.is_empty() && diff.constant == 0 {
+                    continue; // variable does not affect this load
+                }
+                let is_row = match (&w_term, diff.terms.len()) {
+                    (Some(w), 1) => diff.terms[0].0 == *w,
+                    _ => false,
+                };
+                let target = if is_row { &mut row_loops } else { &mut col_loops };
+                if !target.iter().any(|l| l.var == info.var) {
+                    target.push(*info);
+                }
+            }
+        }
+        let kind = if kernel.shared.is_empty() {
+            StencilKind::Stencil
+        } else {
+            StencilKind::Partition
+        };
+        candidates.push(StencilCandidate {
+            buffer: MemRef::Param(param),
+            kind,
+            tile_h,
+            tile_w,
+            w_term,
+            row_loops,
+            col_loops,
+            offsets,
+        });
+    }
+    candidates
+}
+
+/// Re-export of the let-inlining used by the stencil rewriter in
+/// `paraprox-approx`, which must see the same view of index expressions as
+/// the detector.
+pub fn inline_index_lets(kernel: &Kernel, index: &Expr) -> Expr {
+    inline_lets(index, &gather_defs(kernel))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paraprox_ir::{Expr, KernelBuilder, Ty};
+
+    /// 3x3 unrolled mean-filter-style kernel.
+    fn unrolled_3x3() -> Kernel {
+        let mut kb = KernelBuilder::new("mean3x3");
+        let img = kb.buffer("img", Ty::F32, MemSpace::Global);
+        let out = kb.buffer("out", Ty::F32, MemSpace::Global);
+        let w = kb.scalar("w", Ty::I32);
+        let x = kb.let_("x", KernelBuilder::global_id_x());
+        let y = kb.let_("y", KernelBuilder::global_id_y());
+        let mut sum = Expr::f32(0.0);
+        for dy in -1..=1 {
+            for dx in -1..=1 {
+                let idx = (y.clone() + Expr::i32(dy)) * w.clone() + x.clone() + Expr::i32(dx);
+                sum = sum + kb.load(img, idx);
+            }
+        }
+        let center = y * w + x;
+        kb.store(out, center, sum / Expr::f32(9.0));
+        kb.finish()
+    }
+
+    #[test]
+    fn detects_unrolled_3x3_tile() {
+        let k = unrolled_3x3();
+        let found = find_stencils(&k);
+        assert_eq!(found.len(), 1);
+        let c = &found[0];
+        assert_eq!(c.tile_h, 3);
+        assert_eq!(c.tile_w, 3);
+        assert_eq!(c.offsets.len(), 9);
+        assert_eq!(c.kind, StencilKind::Stencil);
+        assert!(c.w_term.is_some());
+        assert!(c.row_loops.is_empty() && c.col_loops.is_empty());
+    }
+
+    /// Loop-based 1x5 row convolution.
+    fn looped_1x5() -> Kernel {
+        let mut kb = KernelBuilder::new("conv_row");
+        let img = kb.buffer("img", Ty::F32, MemSpace::Global);
+        let out = kb.buffer("out", Ty::F32, MemSpace::Global);
+        let w = kb.scalar("w", Ty::I32);
+        let x = kb.let_("x", KernelBuilder::global_id_x());
+        let y = kb.let_("y", KernelBuilder::global_id_y());
+        let acc = kb.let_mut("acc", Ty::F32, Expr::f32(0.0));
+        let img_ref = img;
+        kb.for_up("j", Expr::i32(-2), Expr::i32(3), Expr::i32(1), |kb, j| {
+            let idx = y.clone() * w.clone() + x.clone() + j;
+            let v = kb.load(img_ref, idx);
+            kb.assign(acc, Expr::Var(acc) + v);
+        });
+        kb.store(out, y * w + x, Expr::Var(acc));
+        kb.finish()
+    }
+
+    #[test]
+    fn detects_loop_based_1d_tile() {
+        let k = looped_1x5();
+        let found = find_stencils(&k);
+        assert_eq!(found.len(), 1);
+        let c = &found[0];
+        assert_eq!(c.tile_h, 1);
+        assert_eq!(c.tile_w, 5);
+        assert!(c.w_term.is_none());
+        assert_eq!(c.col_loops.len(), 1);
+        assert_eq!(c.col_loops[0].trip, 5);
+        assert!(c.row_loops.is_empty());
+    }
+
+    #[test]
+    fn detects_2d_loop_tile_with_row_and_col_vars() {
+        let mut kb = KernelBuilder::new("gauss");
+        let img = kb.buffer("img", Ty::F32, MemSpace::Global);
+        let out = kb.buffer("out", Ty::F32, MemSpace::Global);
+        let w = kb.scalar("w", Ty::I32);
+        let x = kb.let_("x", KernelBuilder::global_id_x());
+        let y = kb.let_("y", KernelBuilder::global_id_y());
+        let acc = kb.let_mut("acc", Ty::F32, Expr::f32(0.0));
+        kb.for_up("i", Expr::i32(0), Expr::i32(3), Expr::i32(1), |kb, i| {
+            kb.for_up("j", Expr::i32(0), Expr::i32(3), Expr::i32(1), |kb, j| {
+                let idx = (y.clone() + i.clone() - Expr::i32(1)) * w.clone()
+                    + x.clone()
+                    + j
+                    - Expr::i32(1);
+                let v = kb.load(img, idx);
+                kb.assign(acc, Expr::Var(acc) + v);
+            });
+        });
+        kb.store(out, y * w + x, Expr::Var(acc));
+        let k = kb.finish();
+        let found = find_stencils(&k);
+        assert_eq!(found.len(), 1);
+        let c = &found[0];
+        assert_eq!((c.tile_h, c.tile_w), (3, 3));
+        assert_eq!(c.row_loops.len(), 1);
+        assert_eq!(c.col_loops.len(), 1);
+        assert_ne!(c.row_loops[0].var, c.col_loops[0].var);
+    }
+
+    #[test]
+    fn single_access_is_not_a_tile() {
+        let mut kb = KernelBuilder::new("copy");
+        let img = kb.buffer("img", Ty::F32, MemSpace::Global);
+        let out = kb.buffer("out", Ty::F32, MemSpace::Global);
+        let gid = kb.let_("gid", KernelBuilder::global_id_x());
+        let v = kb.let_("v", kb.load(img, gid.clone()));
+        kb.store(out, gid, v);
+        let k = kb.finish();
+        assert!(find_stencils(&k).is_empty());
+    }
+
+    #[test]
+    fn shared_memory_classifies_as_partition() {
+        let mut kb = KernelBuilder::new("tiled");
+        let a = kb.buffer("a", Ty::F32, MemSpace::Global);
+        let out = kb.buffer("out", Ty::F32, MemSpace::Global);
+        let w = kb.scalar("w", Ty::I32);
+        let tile = kb.shared_array("tile", Ty::F32, 16);
+        let x = kb.let_("x", KernelBuilder::global_id_x());
+        let tid = kb.let_("tid", KernelBuilder::thread_id_x());
+        kb.for_up("t", Expr::i32(0), Expr::i32(4), Expr::i32(1), |kb, t| {
+            let idx = x.clone() * w.clone() + t;
+            let v = kb.load(a, idx);
+            kb.store(tile, tid.clone(), v);
+            kb.sync();
+        });
+        kb.store(out, x, kb.load(tile, tid));
+        let k = kb.finish();
+        let found = find_stencils(&k);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].kind, StencilKind::Partition);
+    }
+}

@@ -1,0 +1,118 @@
+//! Per-element error distributions (the paper's Figure 13).
+
+/// Relative error of each element of `approx` against `exact`, clamped to
+/// `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics when the slices differ in length.
+pub fn per_element_errors(exact: &[f64], approx: &[f64]) -> Vec<f64> {
+    assert_eq!(exact.len(), approx.len(), "outputs must have identical shape");
+    exact
+        .iter()
+        .zip(approx)
+        .map(|(e, a)| ((a - e).abs() / e.abs().max(1e-9)).min(1.0))
+        .collect()
+}
+
+/// An empirical cumulative distribution of per-element errors.
+///
+/// The paper's Figure 13 plots, for each error level x, the fraction of
+/// output elements whose error is ≤ x.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorCdf {
+    sorted_errors: Vec<f64>,
+}
+
+impl ErrorCdf {
+    /// Build a CDF from per-element errors (any order).
+    pub fn new(mut errors: Vec<f64>) -> ErrorCdf {
+        errors.sort_by(|a, b| a.partial_cmp(b).expect("errors must not be NaN"));
+        ErrorCdf {
+            sorted_errors: errors,
+        }
+    }
+
+    /// Build directly from exact/approx outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices differ in length.
+    pub fn from_outputs(exact: &[f64], approx: &[f64]) -> ErrorCdf {
+        ErrorCdf::new(per_element_errors(exact, approx))
+    }
+
+    /// Fraction of elements with error ≤ `threshold` (in `[0, 1]`).
+    pub fn fraction_at_most(&self, threshold: f64) -> f64 {
+        if self.sorted_errors.is_empty() {
+            return 1.0;
+        }
+        let count = self
+            .sorted_errors
+            .partition_point(|&e| e <= threshold);
+        count as f64 / self.sorted_errors.len() as f64
+    }
+
+    /// Evaluate the CDF at evenly spaced thresholds `0, 1/steps, …, 1`,
+    /// returning `(threshold, fraction)` pairs — the series plotted in the
+    /// paper's Figure 13.
+    pub fn series(&self, steps: usize) -> Vec<(f64, f64)> {
+        (0..=steps)
+            .map(|i| {
+                let t = i as f64 / steps as f64;
+                (t, self.fraction_at_most(t))
+            })
+            .collect()
+    }
+
+    /// Number of elements in the distribution.
+    pub fn len(&self) -> usize {
+        self.sorted_errors.len()
+    }
+
+    /// True when the distribution is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted_errors.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_element_errors_are_relative_and_clamped() {
+        let errors = per_element_errors(&[2.0, 1e-15, 4.0], &[1.0, 7.0, 4.0]);
+        assert!((errors[0] - 0.5).abs() < 1e-12);
+        assert_eq!(errors[1], 1.0); // clamped
+        assert_eq!(errors[2], 0.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_reaches_one() {
+        let cdf = ErrorCdf::new(vec![0.05, 0.2, 0.4, 0.0]);
+        let series = cdf.series(10);
+        for w in series.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF must be monotone");
+        }
+        assert_eq!(series.last().unwrap().1, 1.0);
+        assert_eq!(cdf.fraction_at_most(0.05), 0.5);
+    }
+
+    #[test]
+    fn empty_cdf_is_total() {
+        let cdf = ErrorCdf::new(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_at_most(0.0), 1.0);
+    }
+
+    #[test]
+    fn from_outputs_matches_manual_path() {
+        let exact = [1.0, 2.0];
+        let approx = [1.1, 2.0];
+        let a = ErrorCdf::from_outputs(&exact, &approx);
+        let b = ErrorCdf::new(per_element_errors(&exact, &approx));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,160 @@
+//! Whole-output error metrics.
+
+use std::fmt;
+
+/// Guard added to denominators so exactly-zero references do not blow up
+/// relative errors.
+const EPS: f64 = 1e-9;
+
+/// An application-level error metric, as named in the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Relative L1 norm: `Σ|a−e| / Σ|e|`.
+    L1Norm,
+    /// Relative L2 norm: `‖a−e‖₂ / ‖e‖₂`.
+    L2Norm,
+    /// Mean relative error: `mean(|a−e| / max(|e|, ε))`, with each element's
+    /// relative error clamped to 1 so single near-zero reference values do
+    /// not dominate the mean.
+    MeanRelative,
+}
+
+impl Metric {
+    /// Compute the error of `approx` against `exact`, in `[0, +∞)` (and in
+    /// `[0, 1]` for [`Metric::MeanRelative`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or are empty — comparing
+    /// differently-shaped outputs is a harness bug, not a data condition.
+    pub fn error(self, exact: &[f64], approx: &[f64]) -> f64 {
+        assert_eq!(
+            exact.len(),
+            approx.len(),
+            "outputs must have identical shape"
+        );
+        assert!(!exact.is_empty(), "outputs must be nonempty");
+        match self {
+            Metric::L1Norm => {
+                let num: f64 = exact
+                    .iter()
+                    .zip(approx)
+                    .map(|(e, a)| (a - e).abs())
+                    .sum();
+                let den: f64 = exact.iter().map(|e| e.abs()).sum();
+                num / den.max(EPS)
+            }
+            Metric::L2Norm => {
+                let num: f64 = exact
+                    .iter()
+                    .zip(approx)
+                    .map(|(e, a)| (a - e) * (a - e))
+                    .sum::<f64>()
+                    .sqrt();
+                let den: f64 = exact.iter().map(|e| e * e).sum::<f64>().sqrt();
+                num / den.max(EPS)
+            }
+            Metric::MeanRelative => {
+                let sum: f64 = exact
+                    .iter()
+                    .zip(approx)
+                    .map(|(e, a)| ((a - e).abs() / e.abs().max(EPS)).min(1.0))
+                    .sum();
+                sum / exact.len() as f64
+            }
+        }
+    }
+
+    /// Output quality on the paper's percentage scale:
+    /// `100 × (1 − error)`, clamped to `[0, 100]`.
+    pub fn quality(self, exact: &[f64], approx: &[f64]) -> f64 {
+        (100.0 * (1.0 - self.error(exact, approx))).clamp(0.0, 100.0)
+    }
+
+    /// Convenience for `f32` outputs (device buffers are `f32`).
+    pub fn quality_f32(self, exact: &[f32], approx: &[f32]) -> f64 {
+        let e: Vec<f64> = exact.iter().map(|&v| f64::from(v)).collect();
+        let a: Vec<f64> = approx.iter().map(|&v| f64::from(v)).collect();
+        self.quality(&e, &a)
+    }
+
+    /// Metric name as printed in the paper's Table 1.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Metric::L1Norm => "L1-norm",
+            Metric::L2Norm => "L2-norm",
+            Metric::MeanRelative => "Mean relative error",
+        }
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_outputs_have_full_quality() {
+        let x = [1.0, -2.0, 3.5, 0.0];
+        for m in [Metric::L1Norm, Metric::L2Norm, Metric::MeanRelative] {
+            assert_eq!(m.error(&x, &x), 0.0);
+            assert_eq!(m.quality(&x, &x), 100.0);
+        }
+    }
+
+    #[test]
+    fn l1_norm_is_sum_ratio() {
+        let exact = [2.0, 2.0];
+        let approx = [1.0, 3.0];
+        // |1|+|1| over |2|+|2| = 0.5
+        assert!((Metric::L1Norm.error(&exact, &approx) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l2_norm_is_euclidean_ratio() {
+        let exact = [3.0, 4.0];
+        let approx = [0.0, 0.0];
+        assert!((Metric::L2Norm.error(&exact, &approx) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_relative_clamps_per_element() {
+        let exact = [1e-12, 1.0];
+        let approx = [5.0, 1.0];
+        // First element clamps to 1.0, second is 0: mean = 0.5.
+        assert!((Metric::MeanRelative.error(&exact, &approx) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_clamps_to_percentage_range() {
+        let exact = [1.0];
+        let approx = [100.0];
+        assert_eq!(Metric::L1Norm.quality(&exact, &approx), 0.0);
+    }
+
+    #[test]
+    fn f32_wrapper_matches_f64() {
+        let exact = [1.0f32, 2.0];
+        let approx = [1.1f32, 2.0];
+        let q32 = Metric::L1Norm.quality_f32(&exact, &approx);
+        let q64 = Metric::L1Norm.quality(&[1.0, 2.0], &[f64::from(1.1f32), 2.0]);
+        assert!((q32 - q64).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical shape")]
+    fn shape_mismatch_panics() {
+        Metric::L1Norm.error(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn names_are_paper_names() {
+        assert_eq!(Metric::L1Norm.to_string(), "L1-norm");
+        assert_eq!(Metric::MeanRelative.to_string(), "Mean relative error");
+    }
+}

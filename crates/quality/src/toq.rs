@@ -1,0 +1,106 @@
+//! The target output quality (TOQ) supplied by the user.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error constructing a [`Toq`] from an out-of-range value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ToqError(f64);
+
+impl fmt::Display for ToqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "target output quality must be a percentage in [0, 100], got {}",
+            self.0
+        )
+    }
+}
+
+impl Error for ToqError {}
+
+/// A target output quality, in percent.
+///
+/// The runtime tuner selects the fastest approximate kernel whose measured
+/// output quality stays at or above this target. The paper uses 90% as the
+/// default, justified by the LIVE image-quality user study (its §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Toq(f64);
+
+impl Toq {
+    /// Construct a TOQ from a percentage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToqError`] when `percent` is not a finite value in
+    /// `[0, 100]`.
+    pub fn new(percent: f64) -> Result<Toq, ToqError> {
+        if percent.is_finite() && (0.0..=100.0).contains(&percent) {
+            Ok(Toq(percent))
+        } else {
+            Err(ToqError(percent))
+        }
+    }
+
+    /// The paper's default target of 90%.
+    pub fn paper_default() -> Toq {
+        Toq(90.0)
+    }
+
+    /// The target as a percentage.
+    pub fn percent(self) -> f64 {
+        self.0
+    }
+
+    /// True when a measured quality percentage meets the target.
+    pub fn is_met(self, quality_percent: f64) -> bool {
+        quality_percent >= self.0
+    }
+}
+
+impl Default for Toq {
+    fn default() -> Self {
+        Toq::paper_default()
+    }
+}
+
+impl fmt::Display for Toq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}%", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_range_accepted() {
+        assert!(Toq::new(0.0).is_ok());
+        assert!(Toq::new(100.0).is_ok());
+        assert!(Toq::new(-0.1).is_err());
+        assert!(Toq::new(100.1).is_err());
+        assert!(Toq::new(f64::NAN).is_err());
+        assert!(Toq::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn default_is_paper_default() {
+        assert_eq!(Toq::default(), Toq::paper_default());
+        assert_eq!(Toq::default().percent(), 90.0);
+    }
+
+    #[test]
+    fn met_is_inclusive() {
+        let toq = Toq::new(90.0).unwrap();
+        assert!(toq.is_met(90.0));
+        assert!(toq.is_met(95.0));
+        assert!(!toq.is_met(89.999));
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Toq::paper_default().to_string(), "90%");
+        assert!(!ToqError(123.0).to_string().is_empty());
+    }
+}

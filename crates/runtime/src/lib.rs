@@ -1,0 +1,490 @@
+//! The tuning runtime: choose and monitor approximate kernels.
+//!
+//! Paraprox generates approximate kernels and tuning knobs; a Green/SAGE
+//! style runtime (paper §2, Figure 2) then:
+//!
+//! 1. **profiles** every candidate on training inputs,
+//! 2. **selects** the fastest candidate whose measured output quality meets
+//!    the user's target output quality (TOQ),
+//! 3. in deployment, **checks** quality every N-th invocation (the paper
+//!    cites 40–50 as keeping overhead under 5%, §5) and **backs off** to a
+//!    less aggressive candidate — ultimately exact execution — whenever the
+//!    TOQ is violated.
+//!
+//! The runtime is deliberately independent of the simulator: anything that
+//! implements [`Approximable`] can be tuned, which also makes the policy
+//! directly testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+pub use paraprox_quality::Toq;
+
+/// Error type for runtime operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeError(pub String);
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "runtime error: {}", self.0)
+    }
+}
+
+impl Error for RuntimeError {}
+
+/// The observable result of one execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Flattened output values.
+    pub output: Vec<f64>,
+    /// Simulated cost in device cycles.
+    pub cycles: u64,
+}
+
+/// An application with one exact implementation and a set of approximate
+/// variants, runnable on seeded inputs.
+pub trait Approximable {
+    /// Number of approximate variants.
+    fn variant_count(&self) -> usize;
+
+    /// Human-readable label of variant `index`.
+    ///
+    /// # Panics
+    ///
+    /// May panic when `index` is out of range.
+    fn variant_label(&self, index: usize) -> String;
+
+    /// Run the exact implementation on the input derived from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution failures.
+    fn run_exact(&mut self, seed: u64) -> Result<RunOutcome, RuntimeError>;
+
+    /// Run approximate variant `index` on the input derived from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution failures.
+    fn run_variant(&mut self, index: usize, seed: u64) -> Result<RunOutcome, RuntimeError>;
+
+    /// Output quality (%) of `approx` relative to `exact`.
+    fn quality(&self, exact: &[f64], approx: &[f64]) -> f64;
+}
+
+/// Profiling results for one candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateProfile {
+    /// Variant index.
+    pub index: usize,
+    /// Variant label.
+    pub label: String,
+    /// Mean output quality (%) over the training seeds.
+    pub mean_quality: f64,
+    /// Worst output quality (%) over the training seeds.
+    pub min_quality: f64,
+    /// Mean speedup over exact execution (cycles ratio).
+    pub speedup: f64,
+    /// Whether the candidate met the TOQ on every training input.
+    pub meets_toq: bool,
+}
+
+/// The outcome of a tuning pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneReport {
+    /// Per-candidate profiles, in variant order.
+    pub profiles: Vec<CandidateProfile>,
+    /// The selected variant (fastest meeting the TOQ), or `None` when no
+    /// candidate qualifies and exact execution should be used.
+    pub chosen: Option<usize>,
+    /// Mean exact cycles over the training seeds (the speedup baseline).
+    pub exact_cycles: f64,
+}
+
+impl TuneReport {
+    /// Speedup of the chosen candidate (1.0 when falling back to exact).
+    pub fn chosen_speedup(&self) -> f64 {
+        self.chosen
+            .and_then(|i| self.profiles.iter().find(|p| p.index == i))
+            .map(|p| p.speedup)
+            .unwrap_or(1.0)
+    }
+
+    /// Quality of the chosen candidate (100.0 when falling back to exact).
+    pub fn chosen_quality(&self) -> f64 {
+        self.chosen
+            .and_then(|i| self.profiles.iter().find(|p| p.index == i))
+            .map(|p| p.mean_quality)
+            .unwrap_or(100.0)
+    }
+
+    /// Qualifying candidates ordered most-aggressive (fastest) first — the
+    /// back-off ladder used by [`Deployment`].
+    pub fn backoff_ladder(&self) -> Vec<usize> {
+        let mut qualifying: Vec<&CandidateProfile> =
+            self.profiles.iter().filter(|p| p.meets_toq).collect();
+        qualifying.sort_by(|a, b| {
+            b.speedup
+                .partial_cmp(&a.speedup)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        qualifying.iter().map(|p| p.index).collect()
+    }
+}
+
+/// The offline/training-phase tuner.
+#[derive(Debug, Clone)]
+pub struct Tuner {
+    /// Target output quality.
+    pub toq: Toq,
+    /// Seeds of the training inputs (the paper uses 10 training runs).
+    pub training_seeds: Vec<u64>,
+}
+
+impl Tuner {
+    /// A tuner with the paper's defaults: TOQ = 90%, 10 training inputs.
+    pub fn paper_default() -> Tuner {
+        Tuner {
+            toq: Toq::paper_default(),
+            training_seeds: (0..10).collect(),
+        }
+    }
+
+    /// Profile every variant and select the fastest one meeting the TOQ.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution failures from the application. A variant that
+    /// fails to execute is treated as non-qualifying rather than aborting
+    /// the tune.
+    pub fn tune(&self, app: &mut dyn Approximable) -> Result<TuneReport, RuntimeError> {
+        if self.training_seeds.is_empty() {
+            return Err(RuntimeError("no training seeds".to_string()));
+        }
+        let mut exact_runs = Vec::with_capacity(self.training_seeds.len());
+        for &seed in &self.training_seeds {
+            exact_runs.push(app.run_exact(seed)?);
+        }
+        let exact_cycles =
+            exact_runs.iter().map(|r| r.cycles as f64).sum::<f64>() / exact_runs.len() as f64;
+
+        let mut profiles = Vec::with_capacity(app.variant_count());
+        for index in 0..app.variant_count() {
+            let label = app.variant_label(index);
+            let mut qualities = Vec::new();
+            let mut cycles = Vec::new();
+            let mut failed = false;
+            for (&seed, exact) in self.training_seeds.iter().zip(&exact_runs) {
+                match app.run_variant(index, seed) {
+                    Ok(run) => {
+                        qualities.push(app.quality(&exact.output, &run.output));
+                        cycles.push(run.cycles as f64);
+                    }
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            let profile = if failed || qualities.is_empty() {
+                CandidateProfile {
+                    index,
+                    label,
+                    mean_quality: 0.0,
+                    min_quality: 0.0,
+                    speedup: 0.0,
+                    meets_toq: false,
+                }
+            } else {
+                let mean_quality = qualities.iter().sum::<f64>() / qualities.len() as f64;
+                let min_quality = qualities.iter().cloned().fold(f64::INFINITY, f64::min);
+                let mean_cycles = cycles.iter().sum::<f64>() / cycles.len() as f64;
+                let speedup = exact_cycles / mean_cycles.max(1.0);
+                CandidateProfile {
+                    index,
+                    label,
+                    mean_quality,
+                    min_quality,
+                    speedup,
+                    meets_toq: qualities.iter().all(|&q| self.toq.is_met(q)),
+                }
+            };
+            profiles.push(profile);
+        }
+        let chosen = profiles
+            .iter()
+            .filter(|p| p.meets_toq && p.speedup > 1.0)
+            .max_by(|a, b| {
+                a.speedup
+                    .partial_cmp(&b.speedup)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|p| p.index);
+        Ok(TuneReport {
+            profiles,
+            chosen,
+            exact_cycles,
+        })
+    }
+}
+
+/// Result of one deployed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvokeResult {
+    /// The produced output.
+    pub output: Vec<f64>,
+    /// Cycles spent on the approximate (or exact) execution.
+    pub cycles: u64,
+    /// The variant used (`None` = exact).
+    pub variant: Option<usize>,
+    /// Measured quality when this invocation was a calibration check.
+    pub checked_quality: Option<f64>,
+    /// Whether this invocation triggered a back-off.
+    pub backed_off: bool,
+}
+
+/// Deployed-mode execution: run the chosen kernel, periodically verify
+/// quality, and back off on TOQ violations.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    toq: Toq,
+    check_every: u64,
+    ladder: Vec<usize>,
+    /// Position in the ladder; `ladder.len()` means exact execution.
+    position: usize,
+    invocations: u64,
+}
+
+impl Deployment {
+    /// Create a deployment from a tune report.
+    ///
+    /// `check_every` controls calibration frequency; the paper's §5 cites
+    /// checks every 40–50 invocations costing under 5%.
+    pub fn new(report: &TuneReport, toq: Toq, check_every: u64) -> Deployment {
+        Deployment {
+            toq,
+            check_every: check_every.max(1),
+            ladder: report.backoff_ladder(),
+            position: 0,
+            invocations: 0,
+        }
+    }
+
+    /// The variant the next invocation will use (`None` = exact).
+    pub fn current_variant(&self) -> Option<usize> {
+        self.ladder.get(self.position).copied()
+    }
+
+    /// Number of invocations executed so far.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// Execute one invocation on the input derived from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution failures.
+    pub fn invoke(
+        &mut self,
+        app: &mut dyn Approximable,
+        seed: u64,
+    ) -> Result<InvokeResult, RuntimeError> {
+        self.invocations += 1;
+        let variant = self.current_variant();
+        let run = match variant {
+            Some(v) => app.run_variant(v, seed)?,
+            None => app.run_exact(seed)?,
+        };
+        let mut checked_quality = None;
+        let mut backed_off = false;
+        let is_check =
+            variant.is_some() && self.invocations.is_multiple_of(self.check_every);
+        if is_check {
+            let exact = app.run_exact(seed)?;
+            let q = app.quality(&exact.output, &run.output);
+            checked_quality = Some(q);
+            if !self.toq.is_met(q) {
+                // Back off to the next less aggressive candidate.
+                self.position += 1;
+                backed_off = true;
+            }
+        }
+        Ok(InvokeResult {
+            output: run.output,
+            cycles: run.cycles,
+            variant,
+            checked_quality,
+            backed_off,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A mock application whose variants have configurable (quality,
+    /// cycles); quality can degrade over time to exercise the watchdog.
+    struct Mock {
+        /// (quality, cycles) per variant.
+        variants: Vec<(f64, u64)>,
+        exact_cycles: u64,
+        /// Quality drop applied after `drift_after` total runs.
+        drift_after: Option<u64>,
+        runs: u64,
+    }
+
+    impl Mock {
+        fn new(variants: Vec<(f64, u64)>) -> Mock {
+            Mock {
+                variants,
+                exact_cycles: 1000,
+                drift_after: None,
+                runs: 0,
+            }
+        }
+    }
+
+    impl Approximable for Mock {
+        fn variant_count(&self) -> usize {
+            self.variants.len()
+        }
+        fn variant_label(&self, index: usize) -> String {
+            format!("variant{index}")
+        }
+        fn run_exact(&mut self, _seed: u64) -> Result<RunOutcome, RuntimeError> {
+            self.runs += 1;
+            Ok(RunOutcome {
+                output: vec![100.0],
+                cycles: self.exact_cycles,
+            })
+        }
+        fn run_variant(&mut self, index: usize, _seed: u64) -> Result<RunOutcome, RuntimeError> {
+            self.runs += 1;
+            let (quality, cycles) = self.variants[index];
+            let effective = match self.drift_after {
+                Some(t) if self.runs > t => quality - 20.0,
+                _ => quality,
+            };
+            // Encode quality as the output error: quality() below recovers it.
+            Ok(RunOutcome {
+                output: vec![effective],
+                cycles,
+            })
+        }
+        fn quality(&self, _exact: &[f64], approx: &[f64]) -> f64 {
+            approx[0]
+        }
+    }
+
+    #[test]
+    fn tuner_picks_fastest_qualifying_candidate() {
+        // v0: high quality, modest speedup; v1: qualifying and faster;
+        // v2: fastest but below TOQ.
+        let mut app = Mock::new(vec![(99.0, 800), (95.0, 400), (70.0, 100)]);
+        let report = Tuner::paper_default().tune(&mut app).unwrap();
+        assert_eq!(report.chosen, Some(1));
+        assert!(report.profiles[2].speedup > report.profiles[1].speedup);
+        assert!(!report.profiles[2].meets_toq);
+        assert!((report.chosen_speedup() - 2.5).abs() < 1e-9);
+        assert_eq!(report.chosen_quality(), 95.0);
+    }
+
+    #[test]
+    fn tuner_falls_back_to_exact_when_nothing_qualifies() {
+        let mut app = Mock::new(vec![(50.0, 100), (60.0, 200)]);
+        let report = Tuner::paper_default().tune(&mut app).unwrap();
+        assert_eq!(report.chosen, None);
+        assert_eq!(report.chosen_speedup(), 1.0);
+        assert_eq!(report.chosen_quality(), 100.0);
+    }
+
+    #[test]
+    fn slower_than_exact_variants_are_not_chosen() {
+        let mut app = Mock::new(vec![(99.0, 2000)]);
+        let report = Tuner::paper_default().tune(&mut app).unwrap();
+        assert_eq!(report.chosen, None);
+    }
+
+    #[test]
+    fn backoff_ladder_orders_by_speedup() {
+        let mut app = Mock::new(vec![(95.0, 800), (95.0, 200), (95.0, 400)]);
+        let report = Tuner::paper_default().tune(&mut app).unwrap();
+        assert_eq!(report.backoff_ladder(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn deployment_checks_periodically_and_backs_off_on_drift() {
+        let mut app = Mock::new(vec![(95.0, 200), (96.0, 500)]);
+        app.drift_after = Some(30);
+        let report = Tuner::paper_default().tune(&mut app).unwrap();
+        assert_eq!(report.chosen, Some(0));
+        let mut deploy = Deployment::new(&report, Toq::paper_default(), 5);
+        assert_eq!(deploy.current_variant(), Some(0));
+
+        let mut backed_off_at = None;
+        for i in 0..40 {
+            let result = deploy.invoke(&mut app, i).unwrap();
+            if result.backed_off {
+                backed_off_at = Some(i);
+                break;
+            }
+        }
+        // Drift starts after 30 total runs; the next periodic check (every
+        // 5th invocation) must catch it and back off to variant 1.
+        assert!(backed_off_at.is_some(), "watchdog must catch the drift");
+        assert_eq!(deploy.current_variant(), Some(1));
+    }
+
+    #[test]
+    fn deployment_exhausts_ladder_to_exact() {
+        let mut app = Mock::new(vec![(95.0, 200)]);
+        app.drift_after = Some(0); // always drifted: checks always fail
+        let report = {
+            // Tune on a pristine copy so the variant qualifies.
+            let mut clean = Mock::new(vec![(95.0, 200)]);
+            Tuner::paper_default().tune(&mut clean).unwrap()
+        };
+        let mut deploy = Deployment::new(&report, Toq::paper_default(), 1);
+        let first = deploy.invoke(&mut app, 0).unwrap();
+        assert_eq!(first.variant, Some(0));
+        assert!(first.backed_off);
+        let second = deploy.invoke(&mut app, 1).unwrap();
+        assert_eq!(second.variant, None, "ladder exhausted -> exact");
+        // Exact runs are never "checked".
+        assert!(second.checked_quality.is_none());
+    }
+
+    #[test]
+    fn check_cadence_respected() {
+        let mut app = Mock::new(vec![(95.0, 200)]);
+        let report = Tuner::paper_default().tune(&mut app).unwrap();
+        let mut deploy = Deployment::new(&report, Toq::paper_default(), 10);
+        let mut checks = 0;
+        for i in 0..50 {
+            if deploy.invoke(&mut app, i).unwrap().checked_quality.is_some() {
+                checks += 1;
+            }
+        }
+        assert_eq!(checks, 5);
+    }
+
+    #[test]
+    fn empty_training_rejected() {
+        let tuner = Tuner {
+            toq: Toq::paper_default(),
+            training_seeds: vec![],
+        };
+        let mut app = Mock::new(vec![]);
+        assert!(tuner.tune(&mut app).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(!RuntimeError("x".into()).to_string().is_empty());
+    }
+}

@@ -1,0 +1,548 @@
+//! The virtual device: buffer management and kernel launching.
+
+use paraprox_ir::{KernelId, MemSpace, Program, Scalar, Ty};
+
+use crate::cache::Cache;
+use crate::error::LaunchError;
+use crate::exec::ExecCtx;
+use crate::profile::DeviceProfile;
+use crate::stats::LaunchStats;
+
+/// A two-dimensional grid or block shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dim2 {
+    /// Extent in x (the fast axis; threads of a warp are consecutive in x).
+    pub x: usize,
+    /// Extent in y.
+    pub y: usize,
+}
+
+impl Dim2 {
+    /// Create a shape.
+    pub fn new(x: usize, y: usize) -> Dim2 {
+        Dim2 { x, y }
+    }
+
+    /// A one-dimensional shape.
+    pub fn linear(x: usize) -> Dim2 {
+        Dim2 { x, y: 1 }
+    }
+
+    /// Total element count.
+    pub fn count(&self) -> usize {
+        self.x * self.y
+    }
+}
+
+impl std::fmt::Display for Dim2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// Handle to a device buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferId(pub(crate) usize);
+
+impl BufferId {
+    /// Raw index of the buffer on its device.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A kernel launch argument.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArgValue {
+    /// A device buffer, bound to a buffer parameter.
+    Buffer(BufferId),
+    /// A scalar, bound to a scalar parameter.
+    Scalar(Scalar),
+}
+
+impl From<BufferId> for ArgValue {
+    fn from(b: BufferId) -> ArgValue {
+        ArgValue::Buffer(b)
+    }
+}
+
+impl From<Scalar> for ArgValue {
+    fn from(s: Scalar) -> ArgValue {
+        ArgValue::Scalar(s)
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct BufferStorage {
+    pub ty: Ty,
+    pub space: MemSpace,
+    pub base_addr: u64,
+    pub data: Vec<Scalar>,
+}
+
+/// A virtual device: owns buffers, caches, and a [`DeviceProfile`], and
+/// executes kernel launches.
+#[derive(Debug)]
+pub struct Device {
+    profile: DeviceProfile,
+    buffers: Vec<BufferStorage>,
+    next_addr: u64,
+    l1: Cache,
+    constant_cache: Cache,
+}
+
+impl Device {
+    /// Create a device with the given profile.
+    pub fn new(profile: DeviceProfile) -> Device {
+        let l1 = Cache::new(profile.cache.l1);
+        let constant_cache = Cache::new(profile.cache.constant);
+        Device {
+            profile,
+            buffers: Vec::new(),
+            next_addr: 0,
+            l1,
+            constant_cache,
+        }
+    }
+
+    /// The device's profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Allocate a zero-initialized buffer of `len` elements of `ty` in
+    /// `space`.
+    pub fn alloc_zeroed(&mut self, space: MemSpace, ty: Ty, len: usize) -> BufferId {
+        self.alloc_scalars(space, ty, vec![Scalar::zero(ty); len])
+    }
+
+    /// Allocate a buffer initialized from `f32` data.
+    pub fn alloc_f32(&mut self, space: MemSpace, data: &[f32]) -> BufferId {
+        self.alloc_scalars(space, Ty::F32, data.iter().map(|&v| Scalar::F32(v)).collect())
+    }
+
+    /// Allocate a buffer initialized from `i32` data.
+    pub fn alloc_i32(&mut self, space: MemSpace, data: &[i32]) -> BufferId {
+        self.alloc_scalars(space, Ty::I32, data.iter().map(|&v| Scalar::I32(v)).collect())
+    }
+
+    /// Allocate a buffer initialized from `u32` data.
+    pub fn alloc_u32(&mut self, space: MemSpace, data: &[u32]) -> BufferId {
+        self.alloc_scalars(space, Ty::U32, data.iter().map(|&v| Scalar::U32(v)).collect())
+    }
+
+    fn alloc_scalars(&mut self, space: MemSpace, ty: Ty, data: Vec<Scalar>) -> BufferId {
+        let id = BufferId(self.buffers.len());
+        // Align each buffer to a 256-byte boundary so buffers never share
+        // cache lines.
+        let bytes = (data.len() as u64) * 4;
+        let base_addr = self.next_addr;
+        self.next_addr = (base_addr + bytes + 255) & !255;
+        self.buffers.push(BufferStorage {
+            ty,
+            space,
+            base_addr,
+            data,
+        });
+        id
+    }
+
+    /// Overwrite a buffer's contents with `f32` data.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the buffer is unknown, has a different element type, or a
+    /// different length.
+    pub fn write_f32(&mut self, id: BufferId, data: &[f32]) -> Result<(), LaunchError> {
+        let buf = self
+            .buffers
+            .get_mut(id.0)
+            .ok_or(LaunchError::UnknownBuffer(id.0))?;
+        if buf.ty != Ty::F32 {
+            return Err(LaunchError::BufferTypeMismatch {
+                expected: Ty::F32,
+                found: buf.ty,
+            });
+        }
+        if buf.data.len() != data.len() {
+            return Err(LaunchError::BufferSizeMismatch {
+                supplied: data.len(),
+                len: buf.data.len(),
+            });
+        }
+        for (slot, &v) in buf.data.iter_mut().zip(data) {
+            *slot = Scalar::F32(v);
+        }
+        Ok(())
+    }
+
+    /// Read a buffer back as `f32`s.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the buffer is unknown or holds a different element type.
+    pub fn read_f32(&self, id: BufferId) -> Result<Vec<f32>, LaunchError> {
+        let buf = self
+            .buffers
+            .get(id.0)
+            .ok_or(LaunchError::UnknownBuffer(id.0))?;
+        if buf.ty != Ty::F32 {
+            return Err(LaunchError::BufferTypeMismatch {
+                expected: Ty::F32,
+                found: buf.ty,
+            });
+        }
+        buf.data
+            .iter()
+            .map(|s| s.as_f32().map_err(|_| LaunchError::BufferTypeMismatch {
+                expected: Ty::F32,
+                found: s.ty(),
+            }))
+            .collect()
+    }
+
+    /// Read a buffer back as `i32`s.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the buffer is unknown or holds a different element type.
+    pub fn read_i32(&self, id: BufferId) -> Result<Vec<i32>, LaunchError> {
+        let buf = self
+            .buffers
+            .get(id.0)
+            .ok_or(LaunchError::UnknownBuffer(id.0))?;
+        if buf.ty != Ty::I32 {
+            return Err(LaunchError::BufferTypeMismatch {
+                expected: Ty::I32,
+                found: buf.ty,
+            });
+        }
+        buf.data
+            .iter()
+            .map(|s| s.as_i32().map_err(|_| LaunchError::BufferTypeMismatch {
+                expected: Ty::I32,
+                found: s.ty(),
+            }))
+            .collect()
+    }
+
+    /// Read a buffer back as raw scalars.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the buffer id is unknown.
+    pub fn read_scalars(&self, id: BufferId) -> Result<&[Scalar], LaunchError> {
+        self.buffers
+            .get(id.0)
+            .map(|b| b.data.as_slice())
+            .ok_or(LaunchError::UnknownBuffer(id.0))
+    }
+
+    /// Number of elements in a buffer.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the buffer id is unknown.
+    pub fn buffer_len(&self, id: BufferId) -> Result<usize, LaunchError> {
+        self.buffers
+            .get(id.0)
+            .map(|b| b.data.len())
+            .ok_or(LaunchError::UnknownBuffer(id.0))
+    }
+
+    /// An opaque marker of the current buffer arena, for
+    /// [`Device::reclaim_buffers`].
+    pub fn buffer_mark(&self) -> (usize, u64) {
+        (self.buffers.len(), self.next_addr)
+    }
+
+    /// Free every buffer allocated after `mark` and flush the caches —
+    /// the moral equivalent of tearing down a context after a kernel
+    /// invocation. Long-running tuning/deployment loops call this between
+    /// pipeline executions so the buffer arena does not grow without bound.
+    ///
+    /// Handles returned by allocations after the mark become invalid.
+    pub fn reclaim_buffers(&mut self, mark: (usize, u64)) {
+        let (len, next_addr) = mark;
+        self.buffers.truncate(len);
+        self.next_addr = next_addr;
+        self.flush_caches();
+    }
+
+    /// Drop all cache contents (between independent experiments).
+    pub fn flush_caches(&mut self) {
+        self.l1.flush();
+        self.constant_cache.flush();
+    }
+
+    /// Launch `kernel` of `program` over `grid` blocks of `block` threads.
+    ///
+    /// Returns the accumulated [`LaunchStats`]. Buffer contents are mutated
+    /// in place. Caches stay warm across launches; call
+    /// [`Device::flush_caches`] for cold-cache experiments.
+    ///
+    /// # Errors
+    ///
+    /// Fails on arity/type mismatches between `args` and the kernel's
+    /// parameters, zero-sized launches, shared-memory oversubscription, or
+    /// any runtime evaluation error (out-of-bounds access, divergent
+    /// barrier, type error, division by zero).
+    pub fn launch(
+        &mut self,
+        program: &Program,
+        kernel: KernelId,
+        grid: Dim2,
+        block: Dim2,
+        args: &[ArgValue],
+    ) -> Result<LaunchStats, LaunchError> {
+        let k = program.kernel(kernel);
+        if grid.count() == 0 || block.count() == 0 {
+            return Err(LaunchError::EmptyLaunch);
+        }
+        if args.len() != k.params.len() {
+            return Err(LaunchError::ArityMismatch {
+                kernel: k.name.clone(),
+                expected: k.params.len(),
+                found: args.len(),
+            });
+        }
+        for (i, (arg, param)) in args.iter().zip(&k.params).enumerate() {
+            match (arg, param) {
+                (ArgValue::Buffer(id), paraprox_ir::Param::Buffer { ty, space, .. }) => {
+                    let buf = self
+                        .buffers
+                        .get(id.0)
+                        .ok_or(LaunchError::UnknownBuffer(id.0))?;
+                    if buf.ty != *ty {
+                        return Err(LaunchError::ArgMismatch {
+                            kernel: k.name.clone(),
+                            index: i,
+                            reason: format!(
+                                "buffer element type {} does not match parameter type {ty}",
+                                buf.ty
+                            ),
+                        });
+                    }
+                    if buf.space != *space {
+                        return Err(LaunchError::ArgMismatch {
+                            kernel: k.name.clone(),
+                            index: i,
+                            reason: format!(
+                                "buffer lives in {} memory, parameter declares {space}",
+                                buf.space
+                            ),
+                        });
+                    }
+                }
+                (ArgValue::Scalar(s), paraprox_ir::Param::Scalar { ty, .. }) => {
+                    if s.ty() != *ty {
+                        return Err(LaunchError::ArgMismatch {
+                            kernel: k.name.clone(),
+                            index: i,
+                            reason: format!(
+                                "scalar argument type {} does not match parameter type {ty}",
+                                s.ty()
+                            ),
+                        });
+                    }
+                }
+                _ => {
+                    return Err(LaunchError::ArgMismatch {
+                        kernel: k.name.clone(),
+                        index: i,
+                        reason: "argument kind (buffer vs scalar) mismatch".to_string(),
+                    });
+                }
+            }
+        }
+        let shared_bytes: usize = k.shared.iter().map(|s| s.len * 4).sum();
+        if shared_bytes > self.profile.shared_mem_bytes {
+            return Err(LaunchError::SharedMemoryExceeded {
+                requested: shared_bytes,
+                available: self.profile.shared_mem_bytes,
+            });
+        }
+        let ctx = ExecCtx::new(
+            &self.profile,
+            &mut self.buffers,
+            &mut self.l1,
+            &mut self.constant_cache,
+            program,
+            k,
+            args,
+            grid,
+            block,
+        );
+        ctx.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paraprox_ir::{Expr, KernelBuilder};
+
+    #[test]
+    fn dim2_counts() {
+        assert_eq!(Dim2::new(4, 3).count(), 12);
+        assert_eq!(Dim2::linear(7).count(), 7);
+        assert!(!Dim2::new(1, 1).to_string().is_empty());
+    }
+
+    #[test]
+    fn alloc_read_roundtrip() {
+        let mut d = Device::new(DeviceProfile::gtx560());
+        let b = d.alloc_f32(MemSpace::Global, &[1.0, 2.0]);
+        assert_eq!(d.read_f32(b).unwrap(), vec![1.0, 2.0]);
+        assert_eq!(d.buffer_len(b).unwrap(), 2);
+        let i = d.alloc_i32(MemSpace::Global, &[3, 4]);
+        assert_eq!(d.read_i32(i).unwrap(), vec![3, 4]);
+        assert!(d.read_f32(i).is_err());
+    }
+
+    #[test]
+    fn write_validates_shape_and_type() {
+        let mut d = Device::new(DeviceProfile::gtx560());
+        let b = d.alloc_f32(MemSpace::Global, &[0.0; 4]);
+        assert!(d.write_f32(b, &[1.0; 4]).is_ok());
+        assert!(d.write_f32(b, &[1.0; 3]).is_err());
+        let i = d.alloc_i32(MemSpace::Global, &[0; 2]);
+        assert!(d.write_f32(i, &[0.0; 2]).is_err());
+    }
+
+    #[test]
+    fn launch_validates_args() {
+        let mut program = Program::new();
+        let mut kb = KernelBuilder::new("k");
+        let _buf = kb.buffer("b", Ty::F32, MemSpace::Global);
+        let _n = kb.scalar("n", Ty::I32);
+        let kid = program.add_kernel(kb.finish());
+
+        let mut d = Device::new(DeviceProfile::gtx560());
+        let b = d.alloc_f32(MemSpace::Global, &[0.0; 4]);
+        let wrong_ty = d.alloc_i32(MemSpace::Global, &[0; 4]);
+
+        // Correct launch.
+        assert!(d
+            .launch(
+                &program,
+                kid,
+                Dim2::linear(1),
+                Dim2::linear(4),
+                &[b.into(), Scalar::I32(4).into()]
+            )
+            .is_ok());
+        // Arity.
+        assert!(matches!(
+            d.launch(&program, kid, Dim2::linear(1), Dim2::linear(4), &[b.into()]),
+            Err(LaunchError::ArityMismatch { .. })
+        ));
+        // Buffer type.
+        assert!(matches!(
+            d.launch(
+                &program,
+                kid,
+                Dim2::linear(1),
+                Dim2::linear(4),
+                &[wrong_ty.into(), Scalar::I32(4).into()]
+            ),
+            Err(LaunchError::ArgMismatch { .. })
+        ));
+        // Scalar type.
+        assert!(matches!(
+            d.launch(
+                &program,
+                kid,
+                Dim2::linear(1),
+                Dim2::linear(4),
+                &[b.into(), Scalar::F32(4.0).into()]
+            ),
+            Err(LaunchError::ArgMismatch { .. })
+        ));
+        // Kind mismatch.
+        assert!(matches!(
+            d.launch(
+                &program,
+                kid,
+                Dim2::linear(1),
+                Dim2::linear(4),
+                &[Scalar::I32(0).into(), Scalar::I32(4).into()]
+            ),
+            Err(LaunchError::ArgMismatch { .. })
+        ));
+        // Empty launch.
+        assert!(matches!(
+            d.launch(&program, kid, Dim2::new(0, 1), Dim2::linear(4), &[
+                b.into(),
+                Scalar::I32(4).into()
+            ]),
+            Err(LaunchError::EmptyLaunch)
+        ));
+    }
+
+    #[test]
+    fn space_mismatch_rejected() {
+        let mut program = Program::new();
+        let mut kb = KernelBuilder::new("k");
+        let buf = kb.buffer("b", Ty::F32, MemSpace::Constant);
+        let gid = kb.let_("gid", KernelBuilder::global_id_x());
+        let _ = kb.let_("v", kb.load(buf, gid));
+        let kid = program.add_kernel(kb.finish());
+        let mut d = Device::new(DeviceProfile::gtx560());
+        let global_buf = d.alloc_f32(MemSpace::Global, &[0.0; 4]);
+        assert!(matches!(
+            d.launch(
+                &program,
+                kid,
+                Dim2::linear(1),
+                Dim2::linear(4),
+                &[global_buf.into()]
+            ),
+            Err(LaunchError::ArgMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn shared_memory_limit_enforced() {
+        let mut program = Program::new();
+        let mut kb = KernelBuilder::new("k");
+        let _ = kb.shared_array("big", Ty::F32, 1 << 20);
+        let kid = program.add_kernel(kb.finish());
+        let mut d = Device::new(DeviceProfile::gtx560());
+        assert!(matches!(
+            d.launch(&program, kid, Dim2::linear(1), Dim2::linear(32), &[]),
+            Err(LaunchError::SharedMemoryExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn buffers_do_not_share_cache_lines() {
+        let mut d = Device::new(DeviceProfile::gtx560());
+        let _a = d.alloc_f32(MemSpace::Global, &[0.0; 3]);
+        let b = d.alloc_f32(MemSpace::Global, &[0.0; 3]);
+        // Second buffer starts at a 256-byte boundary.
+        assert_eq!(d.buffers[b.0].base_addr % 256, 0);
+        assert!(d.buffers[b.0].base_addr >= 256);
+    }
+
+    #[test]
+    fn launch_stats_returned() {
+        let mut program = Program::new();
+        let mut kb = KernelBuilder::new("k");
+        let buf = kb.buffer("b", Ty::F32, MemSpace::Global);
+        let gid = kb.let_("gid", KernelBuilder::global_id_x());
+        let v = kb.let_("v", kb.load(buf, gid.clone()));
+        kb.store(buf, gid, v + Expr::f32(1.0));
+        let kid = program.add_kernel(kb.finish());
+        let mut d = Device::new(DeviceProfile::gtx560());
+        let b = d.alloc_f32(MemSpace::Global, &[0.0; 64]);
+        let stats = d
+            .launch(&program, kid, Dim2::linear(2), Dim2::linear(32), &[b.into()])
+            .unwrap();
+        assert_eq!(stats.blocks, 2);
+        assert_eq!(stats.warps, 2);
+        assert!(stats.loads > 0);
+        assert!(stats.total_cycles() > 0);
+        assert_eq!(d.read_f32(b).unwrap(), vec![1.0; 64]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Launch-time errors.
+
+use std::error::Error;
+use std::fmt;
+
+use paraprox_ir::{EvalError, Ty};
+
+/// Errors raised while preparing or executing a kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LaunchError {
+    /// Argument count did not match the kernel's parameter list.
+    ArityMismatch {
+        /// Kernel name.
+        kernel: String,
+        /// Parameters declared.
+        expected: usize,
+        /// Arguments supplied.
+        found: usize,
+    },
+    /// An argument's kind or type did not match its parameter.
+    ArgMismatch {
+        /// Kernel name.
+        kernel: String,
+        /// Parameter index.
+        index: usize,
+        /// Explanation of the mismatch.
+        reason: String,
+    },
+    /// A buffer id did not belong to this device.
+    UnknownBuffer(usize),
+    /// A host read/write did not match the buffer's length.
+    BufferSizeMismatch {
+        /// Elements supplied.
+        supplied: usize,
+        /// Elements in the buffer.
+        len: usize,
+    },
+    /// A buffer was read back as the wrong element type.
+    BufferTypeMismatch {
+        /// Requested element type.
+        expected: Ty,
+        /// Actual element type.
+        found: Ty,
+    },
+    /// The kernel requested more shared memory than the device has.
+    SharedMemoryExceeded {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes available per block.
+        available: usize,
+    },
+    /// Grid or block dimensions were zero.
+    EmptyLaunch,
+    /// A runtime evaluation error inside the kernel, with thread context.
+    Eval {
+        /// Kernel name.
+        kernel: String,
+        /// Underlying evaluation error.
+        source: EvalError,
+    },
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaunchError::ArityMismatch {
+                kernel,
+                expected,
+                found,
+            } => write!(
+                f,
+                "kernel `{kernel}` expects {expected} arguments, got {found}"
+            ),
+            LaunchError::ArgMismatch {
+                kernel,
+                index,
+                reason,
+            } => write!(f, "kernel `{kernel}` argument {index}: {reason}"),
+            LaunchError::UnknownBuffer(id) => write!(f, "unknown buffer id {id}"),
+            LaunchError::BufferSizeMismatch { supplied, len } => {
+                write!(f, "host data of {supplied} elements does not match buffer of {len}")
+            }
+            LaunchError::BufferTypeMismatch { expected, found } => {
+                write!(f, "buffer holds {found}, requested {expected}")
+            }
+            LaunchError::SharedMemoryExceeded {
+                requested,
+                available,
+            } => write!(
+                f,
+                "kernel requests {requested} bytes of shared memory, device has {available}"
+            ),
+            LaunchError::EmptyLaunch => write!(f, "grid and block dimensions must be nonzero"),
+            LaunchError::Eval { kernel, source } => {
+                write!(f, "evaluation error in kernel `{kernel}`: {source}")
+            }
+        }
+    }
+}
+
+impl Error for LaunchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LaunchError::Eval { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty_and_source_wired() {
+        let e = LaunchError::Eval {
+            kernel: "k".into(),
+            source: EvalError::DivisionByZero,
+        };
+        assert!(!e.to_string().is_empty());
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&LaunchError::EmptyLaunch).is_none());
+    }
+}

@@ -1,0 +1,911 @@
+//! The lockstep SIMT interpreter.
+//!
+//! A block's threads execute each statement together under an active-lane
+//! mask. `if` and `for` refine the mask (divergence); `Sync` validates that
+//! the block has reconverged. Costs are charged per *warp*: every warp with
+//! at least one active lane pays the instruction's latency, exactly like
+//! SIMT issue on real hardware — so a divergent branch pays for both arms
+//! and a warp looping for its slowest lane pays every iteration.
+
+use paraprox_ir::{
+    BinOp, CmpOp, EvalError, Expr, Func, Kernel, LoopCond, LoopStep, MemRef, MemSpace,
+    Program, Scalar, Special, Stmt, Ty,
+};
+
+use crate::cache::Cache;
+use crate::device::{ArgValue, BufferStorage, Dim2};
+use crate::error::LaunchError;
+use crate::profile::DeviceProfile;
+use crate::stats::LaunchStats;
+
+/// Maximum total loop iterations (summed over lanes' warps) per launch;
+/// guards against non-terminating loops in malformed IR.
+const ITERATION_BUDGET: u64 = 1 << 33;
+
+type Mask = Vec<bool>;
+
+fn any(mask: &Mask) -> bool {
+    mask.iter().any(|&b| b)
+}
+
+/// Lane-indexed values; entries for inactive lanes hold an arbitrary filler.
+type Lanes = Vec<Scalar>;
+
+const FILLER: Scalar = Scalar::I32(0);
+
+enum FrameArgs<'v> {
+    /// Kernel frame: scalar arguments come from the launch's `ArgValue`s.
+    Kernel,
+    /// Function frame: per-lane argument vectors.
+    Func(&'v [Lanes]),
+}
+
+struct Frame<'v> {
+    args: FrameArgs<'v>,
+    locals: Vec<Option<Lanes>>,
+    /// Set only for function frames: lanes that have executed `Return`,
+    /// plus their values.
+    returned: Option<(Mask, Lanes)>,
+}
+
+impl<'v> Frame<'v> {
+    fn for_kernel(local_count: usize) -> Frame<'static> {
+        Frame {
+            args: FrameArgs::Kernel,
+            locals: vec![None; local_count],
+            returned: None,
+        }
+    }
+
+    fn for_func(args: &'v [Lanes], local_count: usize, lanes: usize) -> Frame<'v> {
+        Frame {
+            args: FrameArgs::Func(args),
+            locals: vec![None; local_count],
+            returned: Some((vec![false; lanes], vec![FILLER; lanes])),
+        }
+    }
+
+    /// Lanes of `mask` that are still executing (not yet returned).
+    fn live(&self, mask: &Mask) -> Mask {
+        match &self.returned {
+            Some((returned, _)) => mask
+                .iter()
+                .zip(returned)
+                .map(|(&m, &r)| m && !r)
+                .collect(),
+            None => mask.clone(),
+        }
+    }
+}
+
+pub(crate) struct ExecCtx<'a> {
+    profile: &'a DeviceProfile,
+    buffers: &'a mut Vec<BufferStorage>,
+    l1: &'a mut Cache,
+    constant_cache: &'a mut Cache,
+    program: &'a Program,
+    kernel: &'a Kernel,
+    args: &'a [ArgValue],
+    grid: Dim2,
+    block: Dim2,
+    stats: LaunchStats,
+    lanes: usize,
+    // Per-block state:
+    shared: Vec<Vec<Scalar>>,
+    block_x: i32,
+    block_y: i32,
+    iterations: u64,
+}
+
+impl<'a> ExecCtx<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        profile: &'a DeviceProfile,
+        buffers: &'a mut Vec<BufferStorage>,
+        l1: &'a mut Cache,
+        constant_cache: &'a mut Cache,
+        program: &'a Program,
+        kernel: &'a Kernel,
+        args: &'a [ArgValue],
+        grid: Dim2,
+        block: Dim2,
+    ) -> ExecCtx<'a> {
+        let lanes = block.count();
+        ExecCtx {
+            profile,
+            buffers,
+            l1,
+            constant_cache,
+            program,
+            kernel,
+            args,
+            grid,
+            block,
+            stats: LaunchStats::default(),
+            lanes,
+            shared: Vec::new(),
+            block_x: 0,
+            block_y: 0,
+            iterations: 0,
+        }
+    }
+
+    pub(crate) fn run(mut self) -> Result<LaunchStats, LaunchError> {
+        let warps_per_block = self.lanes.div_ceil(self.profile.warp_width) as u64;
+        for by in 0..self.grid.y {
+            for bx in 0..self.grid.x {
+                self.block_x = bx as i32;
+                self.block_y = by as i32;
+                self.shared = self
+                    .kernel
+                    .shared
+                    .iter()
+                    .map(|decl| vec![Scalar::zero(decl.ty); decl.len])
+                    .collect();
+                self.stats.blocks += 1;
+                self.stats.warps += warps_per_block;
+                self.stats.overhead_cycles += self.profile.block_overhead;
+                let mask = vec![true; self.lanes];
+                let mut frame = Frame::for_kernel(self.kernel.locals.len());
+                let body = &self.kernel.body;
+                self.run_block(body, &mask, &mut frame)
+                    .map_err(|source| LaunchError::Eval {
+                        kernel: self.kernel.name.clone(),
+                        source,
+                    })?;
+            }
+        }
+        Ok(self.stats)
+    }
+
+    // ---- cost charging ------------------------------------------------
+
+    /// Iterate warp lane-ranges that contain at least one active lane.
+    fn active_warp_ranges(&self, mask: &Mask) -> Vec<(usize, usize)> {
+        let w = self.profile.warp_width;
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < self.lanes {
+            let end = (start + w).min(self.lanes);
+            if mask[start..end].iter().any(|&b| b) {
+                out.push((start, end));
+            }
+            start = end;
+        }
+        out
+    }
+
+    fn charge_compute(&mut self, lat: u64, mask: &Mask) {
+        let warps = self.active_warp_ranges(mask).len() as u64;
+        self.stats.compute_cycles += lat * warps;
+        self.stats.instructions += warps;
+    }
+
+    // ---- expression evaluation ----------------------------------------
+
+    fn eval(&mut self, e: &Expr, mask: &Mask, frame: &mut Frame<'_>) -> Result<Lanes, EvalError> {
+        match e {
+            Expr::Const(v) => Ok(vec![*v; self.lanes]),
+            Expr::Var(v) => {
+                let lanes = frame.locals[v.index()]
+                    .as_ref()
+                    .ok_or(EvalError::UninitializedVar(v.0))?;
+                Ok(lanes.clone())
+            }
+            Expr::Param(i) => match &frame.args {
+                FrameArgs::Kernel => match self.args.get(*i) {
+                    Some(ArgValue::Scalar(s)) => Ok(vec![*s; self.lanes]),
+                    Some(ArgValue::Buffer(_)) => {
+                        Err(EvalError::NotPure("buffer parameter read as a scalar"))
+                    }
+                    None => Err(EvalError::ArityMismatch {
+                        expected: *i + 1,
+                        found: self.args.len(),
+                    }),
+                },
+                FrameArgs::Func(args) => args
+                    .get(*i)
+                    .cloned()
+                    .ok_or(EvalError::ArityMismatch {
+                        expected: *i + 1,
+                        found: 0,
+                    }),
+            },
+            Expr::Special(s) => {
+                if matches!(frame.args, FrameArgs::Func(_)) {
+                    return Err(EvalError::NotPure("thread special"));
+                }
+                let bx = self.block_x;
+                let by = self.block_y;
+                let bdx = self.block.x as i32;
+                let bdy = self.block.y as i32;
+                let gdx = self.grid.x as i32;
+                let gdy = self.grid.y as i32;
+                let mut out = vec![FILLER; self.lanes];
+                for (lane, slot) in out.iter_mut().enumerate() {
+                    let tx = (lane % self.block.x) as i32;
+                    let ty = (lane / self.block.x) as i32;
+                    *slot = Scalar::I32(match s {
+                        Special::ThreadIdX => tx,
+                        Special::ThreadIdY => ty,
+                        Special::BlockIdX => bx,
+                        Special::BlockIdY => by,
+                        Special::BlockDimX => bdx,
+                        Special::BlockDimY => bdy,
+                        Special::GridDimX => gdx,
+                        Special::GridDimY => gdy,
+                    });
+                }
+                Ok(out)
+            }
+            Expr::Unary(op, a) => {
+                let va = self.eval(a, mask, frame)?;
+                self.charge_compute(self.profile.unop_lat(*op), mask);
+                let mut out = vec![FILLER; self.lanes];
+                for lane in 0..self.lanes {
+                    if mask[lane] {
+                        out[lane] = op.apply(va[lane])?;
+                    }
+                }
+                Ok(out)
+            }
+            Expr::Binary(op, a, b) => {
+                let va = self.eval(a, mask, frame)?;
+                let vb = self.eval(b, mask, frame)?;
+                let float = mask
+                    .iter()
+                    .position(|&m| m)
+                    .map(|l| va[l].ty() == Ty::F32)
+                    .unwrap_or(false);
+                self.charge_compute(self.profile.binop_lat(*op, float), mask);
+                let mut out = vec![FILLER; self.lanes];
+                for lane in 0..self.lanes {
+                    if mask[lane] {
+                        out[lane] = op.apply(va[lane], vb[lane])?;
+                    }
+                }
+                Ok(out)
+            }
+            Expr::Cmp(op, a, b) => {
+                let va = self.eval(a, mask, frame)?;
+                let vb = self.eval(b, mask, frame)?;
+                self.charge_compute(self.profile.alu_lat, mask);
+                let mut out = vec![FILLER; self.lanes];
+                for lane in 0..self.lanes {
+                    if mask[lane] {
+                        out[lane] = op.apply(va[lane], vb[lane])?;
+                    }
+                }
+                Ok(out)
+            }
+            Expr::Select {
+                cond,
+                if_true,
+                if_false,
+            } => {
+                let c = self.eval(cond, mask, frame)?;
+                self.charge_compute(self.profile.alu_lat, mask);
+                let mut t_mask = vec![false; self.lanes];
+                let mut f_mask = vec![false; self.lanes];
+                for lane in 0..self.lanes {
+                    if mask[lane] {
+                        if c[lane].as_bool()? {
+                            t_mask[lane] = true;
+                        } else {
+                            f_mask[lane] = true;
+                        }
+                    }
+                }
+                let mut out = vec![FILLER; self.lanes];
+                if any(&t_mask) {
+                    let tv = self.eval(if_true, &t_mask, frame)?;
+                    for lane in 0..self.lanes {
+                        if t_mask[lane] {
+                            out[lane] = tv[lane];
+                        }
+                    }
+                }
+                if any(&f_mask) {
+                    let fv = self.eval(if_false, &f_mask, frame)?;
+                    for lane in 0..self.lanes {
+                        if f_mask[lane] {
+                            out[lane] = fv[lane];
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Expr::Cast(ty, a) => {
+                let va = self.eval(a, mask, frame)?;
+                self.charge_compute(self.profile.alu_lat, mask);
+                let mut out = vec![FILLER; self.lanes];
+                for lane in 0..self.lanes {
+                    if mask[lane] {
+                        out[lane] = va[lane].cast(*ty);
+                    }
+                }
+                Ok(out)
+            }
+            Expr::Load { mem, index } => {
+                let idx = self.eval(index, mask, frame)?;
+                if matches!(frame.args, FrameArgs::Func(_)) {
+                    return Err(EvalError::NotPure("load"));
+                }
+                self.do_load(*mem, &idx, mask)
+            }
+            Expr::Call { func, args } => {
+                let callee = self
+                    .program
+                    .funcs()
+                    .find(|(id, _)| id == func)
+                    .map(|(_, f)| f)
+                    .ok_or(EvalError::UnknownFunc(func.0))?;
+                let mut arg_lanes = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_lanes.push(self.eval(a, mask, frame)?);
+                }
+                self.call_func(callee, &arg_lanes, mask)
+            }
+        }
+    }
+
+    fn call_func(
+        &mut self,
+        func: &Func,
+        args: &[Lanes],
+        mask: &Mask,
+    ) -> Result<Lanes, EvalError> {
+        if args.len() != func.params.len() {
+            return Err(EvalError::ArityMismatch {
+                expected: func.params.len(),
+                found: args.len(),
+            });
+        }
+        for (arg, param) in args.iter().zip(&func.params) {
+            for lane in 0..self.lanes {
+                if mask[lane] && arg[lane].ty() != param.ty() {
+                    return Err(EvalError::TypeMismatch {
+                        expected: param.ty(),
+                        found: arg[lane].ty(),
+                    });
+                }
+            }
+        }
+        // Call overhead (argument setup / jump).
+        self.charge_compute(self.profile.alu_lat, mask);
+        let mut frame = Frame::for_func(args, func.locals.len(), self.lanes);
+        self.run_block(&func.body, mask, &mut frame)?;
+        let (returned, values) = frame.returned.expect("function frame has returned set");
+        for lane in 0..self.lanes {
+            if mask[lane] && !returned[lane] {
+                return Err(EvalError::MissingReturn(func.name.clone()));
+            }
+        }
+        Ok(values)
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn run_block(
+        &mut self,
+        stmts: &[Stmt],
+        mask: &Mask,
+        frame: &mut Frame<'_>,
+    ) -> Result<(), EvalError> {
+        for stmt in stmts {
+            let live = frame.live(mask);
+            if !any(&live) {
+                break;
+            }
+            self.run_stmt(stmt, &live, frame)?;
+        }
+        Ok(())
+    }
+
+    fn run_stmt(
+        &mut self,
+        stmt: &Stmt,
+        mask: &Mask,
+        frame: &mut Frame<'_>,
+    ) -> Result<(), EvalError> {
+        match stmt {
+            Stmt::Let { var, init } | Stmt::Assign { var, value: init } => {
+                let v = self.eval(init, mask, frame)?;
+                match &mut frame.locals[var.index()] {
+                    Some(existing) => {
+                        for lane in 0..self.lanes {
+                            if mask[lane] {
+                                existing[lane] = v[lane];
+                            }
+                        }
+                    }
+                    slot @ None => *slot = Some(v),
+                }
+                Ok(())
+            }
+            Stmt::Store { mem, index, value } => {
+                if matches!(frame.args, FrameArgs::Func(_)) {
+                    return Err(EvalError::NotPure("store"));
+                }
+                let idx = self.eval(index, mask, frame)?;
+                let val = self.eval(value, mask, frame)?;
+                self.do_store(*mem, &idx, &val, mask)
+            }
+            Stmt::Atomic {
+                op,
+                mem,
+                index,
+                value,
+            } => {
+                if matches!(frame.args, FrameArgs::Func(_)) {
+                    return Err(EvalError::NotPure("atomic"));
+                }
+                let idx = self.eval(index, mask, frame)?;
+                let val = self.eval(value, mask, frame)?;
+                self.do_atomic(*op, *mem, &idx, &val, mask)
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let c = self.eval(cond, mask, frame)?;
+                self.charge_compute(self.profile.alu_lat, mask); // branch
+                let mut t_mask = vec![false; self.lanes];
+                let mut f_mask = vec![false; self.lanes];
+                for lane in 0..self.lanes {
+                    if mask[lane] {
+                        if c[lane].as_bool()? {
+                            t_mask[lane] = true;
+                        } else {
+                            f_mask[lane] = true;
+                        }
+                    }
+                }
+                if any(&t_mask) {
+                    self.run_block(then_body, &t_mask, frame)?;
+                }
+                if any(&f_mask) {
+                    self.run_block(else_body, &f_mask, frame)?;
+                }
+                Ok(())
+            }
+            Stmt::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                let init_v = self.eval(init, mask, frame)?;
+                match &mut frame.locals[var.index()] {
+                    Some(existing) => {
+                        for lane in 0..self.lanes {
+                            if mask[lane] {
+                                existing[lane] = init_v[lane];
+                            }
+                        }
+                    }
+                    slot @ None => *slot = Some(init_v),
+                }
+                let cmp_op = match cond {
+                    LoopCond::Lt(_) => CmpOp::Lt,
+                    LoopCond::Le(_) => CmpOp::Le,
+                    LoopCond::Gt(_) => CmpOp::Gt,
+                    LoopCond::Ge(_) => CmpOp::Ge,
+                };
+                let step_op = match step {
+                    LoopStep::Add(_) => BinOp::Add,
+                    LoopStep::Sub(_) => BinOp::Sub,
+                    LoopStep::Mul(_) => BinOp::Mul,
+                    LoopStep::Shl(_) => BinOp::Shl,
+                    LoopStep::Shr(_) => BinOp::Shr,
+                };
+                let mut loop_mask = frame.live(mask);
+                loop {
+                    if !any(&loop_mask) {
+                        break;
+                    }
+                    // Evaluate the continuation condition for lanes still in
+                    // the loop.
+                    let bound = self.eval(cond.bound(), &loop_mask, frame)?;
+                    self.charge_compute(self.profile.alu_lat, &loop_mask); // cmp+branch
+                    let current = frame.locals[var.index()]
+                        .as_ref()
+                        .ok_or(EvalError::UninitializedVar(var.0))?;
+                    let mut next_mask = vec![false; self.lanes];
+                    for lane in 0..self.lanes {
+                        if loop_mask[lane] && cmp_op.apply(current[lane], bound[lane])?.as_bool()? {
+                            next_mask[lane] = true;
+                        }
+                    }
+                    loop_mask = next_mask;
+                    if !any(&loop_mask) {
+                        break;
+                    }
+                    self.iterations += 1;
+                    if self.iterations > ITERATION_BUDGET {
+                        return Err(EvalError::IterationLimit);
+                    }
+                    self.run_block(body, &loop_mask, frame)?;
+                    // Lanes that returned inside the body leave the loop.
+                    loop_mask = frame.live(&loop_mask);
+                    if !any(&loop_mask) {
+                        break;
+                    }
+                    let amount = self.eval(step.amount(), &loop_mask, frame)?;
+                    self.charge_compute(self.profile.alu_lat, &loop_mask); // update
+                    let current = frame.locals[var.index()]
+                        .as_mut()
+                        .ok_or(EvalError::UninitializedVar(var.0))?;
+                    for lane in 0..self.lanes {
+                        if loop_mask[lane] {
+                            current[lane] = step_op.apply(current[lane], amount[lane])?;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Sync => {
+                if matches!(frame.args, FrameArgs::Func(_)) {
+                    return Err(EvalError::NotPure("sync"));
+                }
+                if mask.iter().all(|&b| b) {
+                    Ok(())
+                } else {
+                    Err(EvalError::DivergentBarrier)
+                }
+            }
+            Stmt::Return(e) => {
+                if frame.returned.is_none() {
+                    return Err(EvalError::NotPure("return in kernel body"));
+                }
+                let v = self.eval(e, mask, frame)?;
+                let (returned, values) = frame.returned.as_mut().expect("checked above");
+                for lane in 0..self.lanes {
+                    if mask[lane] {
+                        returned[lane] = true;
+                        values[lane] = v[lane];
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    // ---- memory --------------------------------------------------------
+
+    fn resolve_buffer(&self, mem: MemRef) -> Result<usize, EvalError> {
+        match mem {
+            MemRef::Param(i) => match self.args.get(i) {
+                Some(ArgValue::Buffer(id)) => Ok(id.index()),
+                Some(ArgValue::Scalar(_)) => {
+                    Err(EvalError::NotPure("scalar parameter used as a buffer"))
+                }
+                None => Err(EvalError::ArityMismatch {
+                    expected: i + 1,
+                    found: self.args.len(),
+                }),
+            },
+            MemRef::Shared(_) => unreachable!("shared handled by caller"),
+        }
+    }
+
+    fn index_to_i64(idx: Scalar) -> Result<i64, EvalError> {
+        match idx {
+            Scalar::I32(v) => Ok(i64::from(v)),
+            Scalar::U32(v) => Ok(i64::from(v)),
+            other => Err(EvalError::TypeMismatch {
+                expected: Ty::I32,
+                found: other.ty(),
+            }),
+        }
+    }
+
+    fn do_load(&mut self, mem: MemRef, idx: &Lanes, mask: &Mask) -> Result<Lanes, EvalError> {
+        let mut out = vec![FILLER; self.lanes];
+        match mem {
+            MemRef::Shared(sid) => {
+                let len = self
+                    .shared
+                    .get(sid.index())
+                    .map(|s| s.len())
+                    .ok_or(EvalError::UnknownFunc(sid.index()))?;
+                // Values first (immutable borrow of shared).
+                for lane in 0..self.lanes {
+                    if mask[lane] {
+                        let i = Self::index_to_i64(idx[lane])?;
+                        if i < 0 || i as usize >= len {
+                            return Err(EvalError::OutOfBounds { index: i, len });
+                        }
+                        out[lane] = self.shared[sid.index()][i as usize];
+                    }
+                }
+                self.charge_shared_access(idx, mask)?;
+            }
+            MemRef::Param(_) => {
+                let b = self.resolve_buffer(mem)?;
+                let space = self.buffers[b].space;
+                let base = self.buffers[b].base_addr;
+                let len = self.buffers[b].data.len();
+                for lane in 0..self.lanes {
+                    if mask[lane] {
+                        let i = Self::index_to_i64(idx[lane])?;
+                        if i < 0 || i as usize >= len {
+                            return Err(EvalError::OutOfBounds { index: i, len });
+                        }
+                        out[lane] = self.buffers[b].data[i as usize];
+                    }
+                }
+                match space {
+                    MemSpace::Global | MemSpace::Shared => {
+                        self.charge_global_load(base, idx, mask)?;
+                    }
+                    MemSpace::Constant => {
+                        self.charge_constant_load(base, idx, mask)?;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn charge_shared_access(&mut self, idx: &Lanes, mask: &Mask) -> Result<(), EvalError> {
+        const BANKS: usize = 32;
+        for (start, end) in self.active_warp_ranges(mask) {
+            // Conflict degree: max number of *distinct word addresses*
+            // mapping to the same bank within the warp.
+            let mut per_bank: Vec<Vec<i64>> = vec![Vec::new(); BANKS];
+            for lane in start..end {
+                if mask[lane] {
+                    let word = Self::index_to_i64(idx[lane])?;
+                    let bank = (word.rem_euclid(BANKS as i64)) as usize;
+                    if !per_bank[bank].contains(&word) {
+                        per_bank[bank].push(word);
+                    }
+                }
+            }
+            let degree = per_bank.iter().map(|v| v.len()).max().unwrap_or(1).max(1) as u64;
+            self.stats.shared_accesses += 1;
+            self.stats.bank_conflict_extra += degree - 1;
+            self.stats.memory_cycles += self.profile.shared_lat * degree;
+            self.stats.instructions += 1;
+        }
+        Ok(())
+    }
+
+    fn charge_global_load(
+        &mut self,
+        base: u64,
+        idx: &Lanes,
+        mask: &Mask,
+    ) -> Result<(), EvalError> {
+        let line = self.l1.line() as u64;
+        for (start, end) in self.active_warp_ranges(mask) {
+            let mut segments: Vec<u64> = Vec::new();
+            for lane in start..end {
+                if mask[lane] {
+                    let i = Self::index_to_i64(idx[lane])?;
+                    let addr = base + (i as u64) * 4;
+                    let seg = addr / line;
+                    if !segments.contains(&seg) {
+                        segments.push(seg);
+                    }
+                }
+            }
+            let transactions = segments.len() as u64;
+            self.stats.loads += 1;
+            self.stats.instructions += 1;
+            self.stats.load_transactions += transactions;
+            self.stats.serialized_transactions += transactions.saturating_sub(1);
+            let mut hits = 0u64;
+            let mut misses = 0u64;
+            for seg in segments {
+                if self.l1.access(seg * line) {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+            }
+            self.stats.l1_hits += hits;
+            self.stats.l1_misses += misses;
+            // Exposed latency once (the slowest class present), plus a
+            // pipelined issue cost for every further transaction —
+            // memory-level parallelism overlaps their latencies.
+            let (base, first_issue) = if misses > 0 {
+                (self.profile.mem_lat, self.profile.mem_issue)
+            } else if hits > 0 {
+                (self.profile.l1_hit_lat, self.profile.l1_issue)
+            } else {
+                (0, 0)
+            };
+            let issue = hits * self.profile.l1_issue + misses * self.profile.mem_issue;
+            let exposed = base / self.profile.latency_hiding.max(1);
+            self.stats.memory_cycles += exposed + issue.saturating_sub(first_issue);
+        }
+        Ok(())
+    }
+
+    fn charge_constant_load(
+        &mut self,
+        base: u64,
+        idx: &Lanes,
+        mask: &Mask,
+    ) -> Result<(), EvalError> {
+        let line = self.constant_cache.line() as u64;
+        for (start, end) in self.active_warp_ranges(mask) {
+            // The constant cache broadcasts one word per cycle: distinct
+            // word addresses within a warp serialize.
+            let mut words: Vec<u64> = Vec::new();
+            for lane in start..end {
+                if mask[lane] {
+                    let i = Self::index_to_i64(idx[lane])?;
+                    let addr = base + (i as u64) * 4;
+                    if !words.contains(&addr) {
+                        words.push(addr);
+                    }
+                }
+            }
+            self.stats.loads += 1;
+            self.stats.instructions += 1;
+            self.stats.load_transactions += words.len() as u64;
+            self.stats.serialized_transactions += (words.len() as u64).saturating_sub(1);
+            let mut hits = 0u64;
+            let mut misses = 0u64;
+            for addr in words {
+                if self.constant_cache.access((addr / line) * line) {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+            }
+            self.stats.const_hits += hits;
+            self.stats.const_misses += misses;
+            let (base, first_issue) = if misses > 0 {
+                (self.profile.mem_lat, self.profile.mem_issue)
+            } else if hits > 0 {
+                (self.profile.const_hit_lat, self.profile.const_hit_lat)
+            } else {
+                (0, 0)
+            };
+            // The constant port broadcasts one word per cycle: every
+            // distinct word serializes at `const_hit_lat`; misses also pay
+            // the pipelined DRAM issue cost.
+            let issue =
+                hits * self.profile.const_hit_lat + misses * self.profile.mem_issue;
+            let exposed = base / self.profile.latency_hiding.max(1);
+            self.stats.memory_cycles += exposed + issue.saturating_sub(first_issue);
+        }
+        Ok(())
+    }
+
+    fn do_store(
+        &mut self,
+        mem: MemRef,
+        idx: &Lanes,
+        val: &Lanes,
+        mask: &Mask,
+    ) -> Result<(), EvalError> {
+        match mem {
+            MemRef::Shared(sid) => {
+                let len = self
+                    .shared
+                    .get(sid.index())
+                    .map(|s| s.len())
+                    .ok_or(EvalError::UnknownFunc(sid.index()))?;
+                for lane in 0..self.lanes {
+                    if mask[lane] {
+                        let i = Self::index_to_i64(idx[lane])?;
+                        if i < 0 || i as usize >= len {
+                            return Err(EvalError::OutOfBounds { index: i, len });
+                        }
+                        let arr = &mut self.shared[sid.index()];
+                        let expected = arr[i as usize].ty();
+                        if val[lane].ty() != expected {
+                            return Err(EvalError::TypeMismatch {
+                                expected,
+                                found: val[lane].ty(),
+                            });
+                        }
+                        arr[i as usize] = val[lane];
+                    }
+                }
+                self.charge_shared_access(idx, mask)?;
+                self.stats.stores += self.active_warp_ranges(mask).len() as u64;
+            }
+            MemRef::Param(_) => {
+                let b = self.resolve_buffer(mem)?;
+                if self.buffers[b].space == MemSpace::Constant {
+                    return Err(EvalError::NotPure("store to constant memory"));
+                }
+                let base = self.buffers[b].base_addr;
+                let len = self.buffers[b].data.len();
+                let elem_ty = self.buffers[b].ty;
+                for lane in 0..self.lanes {
+                    if mask[lane] {
+                        let i = Self::index_to_i64(idx[lane])?;
+                        if i < 0 || i as usize >= len {
+                            return Err(EvalError::OutOfBounds { index: i, len });
+                        }
+                        if val[lane].ty() != elem_ty {
+                            return Err(EvalError::TypeMismatch {
+                                expected: elem_ty,
+                                found: val[lane].ty(),
+                            });
+                        }
+                        self.buffers[b].data[i as usize] = val[lane];
+                    }
+                }
+                // Coalescing for stores: one transaction per distinct line.
+                let line = self.l1.line() as u64;
+                for (start, end) in self.active_warp_ranges(mask) {
+                    let mut segments: Vec<u64> = Vec::new();
+                    for lane in start..end {
+                        if mask[lane] {
+                            let i = Self::index_to_i64(idx[lane])?;
+                            let addr = base + (i as u64) * 4;
+                            let seg = addr / line;
+                            if !segments.contains(&seg) {
+                                segments.push(seg);
+                            }
+                        }
+                    }
+                    self.stats.stores += 1;
+                    self.stats.instructions += 1;
+                    self.stats.memory_cycles +=
+                        self.profile.store_lat * segments.len() as u64;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn do_atomic(
+        &mut self,
+        op: paraprox_ir::AtomicOp,
+        mem: MemRef,
+        idx: &Lanes,
+        val: &Lanes,
+        mask: &Mask,
+    ) -> Result<(), EvalError> {
+        let bin = op.to_bin_op();
+        let mut active = 0u64;
+        for lane in 0..self.lanes {
+            if mask[lane] {
+                active += 1;
+                let i = Self::index_to_i64(idx[lane])?;
+                match mem {
+                    MemRef::Shared(sid) => {
+                        let arr = self
+                            .shared
+                            .get_mut(sid.index())
+                            .ok_or(EvalError::UnknownFunc(sid.index()))?;
+                        let len = arr.len();
+                        if i < 0 || i as usize >= len {
+                            return Err(EvalError::OutOfBounds { index: i, len });
+                        }
+                        let old = arr[i as usize];
+                        arr[i as usize] = bin.apply(old, val[lane])?;
+                    }
+                    MemRef::Param(_) => {
+                        let b = self.resolve_buffer(mem)?;
+                        if self.buffers[b].space == MemSpace::Constant {
+                            return Err(EvalError::NotPure("atomic on constant memory"));
+                        }
+                        let len = self.buffers[b].data.len();
+                        if i < 0 || i as usize >= len {
+                            return Err(EvalError::OutOfBounds { index: i, len });
+                        }
+                        let old = self.buffers[b].data[i as usize];
+                        self.buffers[b].data[i as usize] = bin.apply(old, val[lane])?;
+                    }
+                }
+            }
+        }
+        // Atomics fully serialize across active lanes.
+        self.stats.atomics += active;
+        self.stats.memory_cycles += self.profile.atomic_lat * active;
+        self.stats.instructions += self.active_warp_ranges(mask).len() as u64;
+        Ok(())
+    }
+}

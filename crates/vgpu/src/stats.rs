@@ -1,0 +1,185 @@
+//! Launch statistics: the cost side of a simulated kernel execution.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters accumulated while executing one kernel launch (or summed over a
+/// multi-launch pipeline).
+///
+/// Cycle counters are *warp-cycles*: each cost is charged once per warp that
+/// executes the instruction, mirroring SIMT issue. Speedup between two
+/// launches on the same [`crate::DeviceProfile`] is
+/// `baseline.total_cycles() / variant.total_cycles()`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaunchStats {
+    /// Cycles spent in arithmetic/logic/control instructions.
+    pub compute_cycles: u64,
+    /// Cycles spent in memory instructions (loads, stores, atomics).
+    pub memory_cycles: u64,
+    /// Fixed block-scheduling overhead cycles.
+    pub overhead_cycles: u64,
+    /// Dynamic warp-instructions issued.
+    pub instructions: u64,
+    /// Load instructions executed (per warp).
+    pub loads: u64,
+    /// Store instructions executed (per warp).
+    pub stores: u64,
+    /// Atomic operations executed (per lane).
+    pub atomics: u64,
+    /// Global-memory transactions issued for loads.
+    pub load_transactions: u64,
+    /// Extra transactions beyond one per warp load (the paper's Fig. 17
+    /// "instruction serialization overhead" counts these).
+    pub serialized_transactions: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// Constant-cache hits.
+    pub const_hits: u64,
+    /// Constant-cache misses.
+    pub const_misses: u64,
+    /// Shared-memory accesses (per warp transaction, conflict-free unit).
+    pub shared_accesses: u64,
+    /// Extra shared transactions caused by bank conflicts.
+    pub bank_conflict_extra: u64,
+    /// Warps launched.
+    pub warps: u64,
+    /// Blocks launched.
+    pub blocks: u64,
+}
+
+impl LaunchStats {
+    /// Total simulated cycles for the launch.
+    pub fn total_cycles(&self) -> u64 {
+        self.compute_cycles + self.memory_cycles + self.overhead_cycles
+    }
+
+    /// Fraction of load transactions that were serialized beyond the ideal
+    /// one-per-warp access (0.0 when no loads happened). This is the metric
+    /// plotted in the paper's Fig. 17.
+    pub fn serialization_overhead(&self) -> f64 {
+        if self.load_transactions == 0 {
+            0.0
+        } else {
+            self.serialized_transactions as f64 / self.load_transactions as f64
+        }
+    }
+
+    /// L1 hit rate over global loads (1.0 when no L1 accesses happened).
+    pub fn l1_hit_rate(&self) -> f64 {
+        let total = self.l1_hits + self.l1_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.l1_hits as f64 / total as f64
+        }
+    }
+
+    /// Speedup of `self` relative to `baseline` measured in total cycles
+    /// (values > 1.0 mean `self` is faster).
+    pub fn speedup_vs(&self, baseline: &LaunchStats) -> f64 {
+        baseline.total_cycles() as f64 / self.total_cycles().max(1) as f64
+    }
+}
+
+impl AddAssign for LaunchStats {
+    fn add_assign(&mut self, rhs: LaunchStats) {
+        self.compute_cycles += rhs.compute_cycles;
+        self.memory_cycles += rhs.memory_cycles;
+        self.overhead_cycles += rhs.overhead_cycles;
+        self.instructions += rhs.instructions;
+        self.loads += rhs.loads;
+        self.stores += rhs.stores;
+        self.atomics += rhs.atomics;
+        self.load_transactions += rhs.load_transactions;
+        self.serialized_transactions += rhs.serialized_transactions;
+        self.l1_hits += rhs.l1_hits;
+        self.l1_misses += rhs.l1_misses;
+        self.const_hits += rhs.const_hits;
+        self.const_misses += rhs.const_misses;
+        self.shared_accesses += rhs.shared_accesses;
+        self.bank_conflict_extra += rhs.bank_conflict_extra;
+        self.warps += rhs.warps;
+        self.blocks += rhs.blocks;
+    }
+}
+
+impl fmt::Display for LaunchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycles={} (compute={}, memory={}, overhead={}) instr={} loads={} l1={:.0}% ser={:.0}%",
+            self.total_cycles(),
+            self.compute_cycles,
+            self.memory_cycles,
+            self.overhead_cycles,
+            self.instructions,
+            self.loads,
+            self.l1_hit_rate() * 100.0,
+            self.serialization_overhead() * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_ratios() {
+        let a = LaunchStats {
+            compute_cycles: 600,
+            memory_cycles: 300,
+            overhead_cycles: 100,
+            ..Default::default()
+        };
+        let b = LaunchStats {
+            compute_cycles: 200,
+            memory_cycles: 200,
+            overhead_cycles: 100,
+            ..Default::default()
+        };
+        assert_eq!(a.total_cycles(), 1000);
+        assert!((b.speedup_vs(&a) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let s = LaunchStats::default();
+        assert_eq!(s.serialization_overhead(), 0.0);
+        assert_eq!(s.l1_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn add_assign_accumulates_everything() {
+        let mut a = LaunchStats {
+            compute_cycles: 1,
+            memory_cycles: 2,
+            overhead_cycles: 3,
+            instructions: 4,
+            loads: 5,
+            stores: 6,
+            atomics: 7,
+            load_transactions: 8,
+            serialized_transactions: 9,
+            l1_hits: 10,
+            l1_misses: 11,
+            const_hits: 12,
+            const_misses: 13,
+            shared_accesses: 14,
+            bank_conflict_extra: 15,
+            warps: 16,
+            blocks: 17,
+        };
+        a += a;
+        assert_eq!(a.compute_cycles, 2);
+        assert_eq!(a.blocks, 34);
+        assert_eq!(a.bank_conflict_extra, 30);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!LaunchStats::default().to_string().is_empty());
+    }
+}

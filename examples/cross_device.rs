@@ -1,0 +1,73 @@
+//! The paper's transparency story: write the kernel once, let Paraprox
+//! pick a *different* approximation per platform. Convolution Separable
+//! contains both a stencil and a reduction pattern; the tuner weighs the
+//! generated variants against each device's cost profile.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example cross_device
+//! ```
+
+use paraprox::{compile, latency_table_for, CompileOptions, Device, DeviceApp, DeviceProfile};
+use paraprox_apps::Scale;
+use paraprox_runtime::{Toq, Tuner};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = paraprox_apps::find("Convolution").expect("registered app");
+    println!(
+        "{}: contains {} patterns; one source, two devices\n",
+        app.spec.name, app.spec.patterns
+    );
+    for profile in [DeviceProfile::gtx560(), DeviceProfile::core_i7_965()] {
+        let workload = (app.build)(Scale::Paper, 0);
+        let table = latency_table_for(&profile);
+        let compiled = compile(&workload, &table, &CompileOptions::default())?;
+        let mut device_app = DeviceApp::new(
+            Device::new(profile.clone()),
+            &compiled,
+            app.input_gen(Scale::Paper),
+        );
+        let tuner = Tuner {
+            toq: Toq::paper_default(),
+            training_seeds: (0..3).collect(),
+        };
+        let report = tuner.tune(&mut device_app)?;
+        println!("{}:", profile.name);
+        // Show the best candidate of each optimization family.
+        let mut best_stencil: Option<&paraprox_runtime::CandidateProfile> = None;
+        let mut best_reduction: Option<&paraprox_runtime::CandidateProfile> = None;
+        for p in report.profiles.iter().filter(|p| p.meets_toq) {
+            if p.label.starts_with("stencil")
+                && best_stencil.map(|b| p.speedup > b.speedup).unwrap_or(true)
+            {
+                best_stencil = Some(p);
+            }
+            if p.label.starts_with("reduction")
+                && best_reduction.map(|b| p.speedup > b.speedup).unwrap_or(true)
+            {
+                best_reduction = Some(p);
+            }
+        }
+        for (family, best) in [("stencil", best_stencil), ("reduction", best_reduction)] {
+            match best {
+                Some(p) => println!(
+                    "  best {family:<10} {:<22} {:.2}x at {:.1}% quality",
+                    p.label, p.speedup, p.mean_quality
+                ),
+                None => println!("  best {family:<10} (none met the TOQ)"),
+            }
+        }
+        match report.chosen {
+            Some(i) => println!(
+                "  -> runtime selects: {} ({:.2}x)\n",
+                report.profiles[i].label, report.profiles[i].speedup
+            ),
+            None => println!("  -> runtime keeps exact execution\n"),
+        }
+    }
+    println!(
+        "The same source program was approximated differently per platform,\n\
+         with no per-device programmer effort — the paper's central claim."
+    );
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! The runtime quality watchdog in action (paper §2 + §5): a deployed
+//! approximate kernel faces an input-distribution shift, a periodic
+//! calibration check catches the quality drop, and the runtime backs off
+//! toward exact execution.
+//!
+//! Scenario: Kernel Density Estimation tuned on clustered data; mid-
+//! deployment the data becomes adversarial for iteration skipping (density
+//! mass alternating between strides), violating the TOQ.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example deployment_watchdog
+//! ```
+
+use paraprox::{compile, latency_table_for, CompileOptions, Device, DeviceApp, DeviceProfile};
+use paraprox_apps::{kde, Scale};
+use paraprox_runtime::{Deployment, Toq, Tuner};
+use paraprox_vgpu::BufferInit;
+
+/// Seeds at and above this value produce the shifted distribution.
+const SHIFT_AT: u64 = 100;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = DeviceProfile::gtx560();
+    let workload = kde::build(Scale::Paper, 0);
+    let table = latency_table_for(&profile);
+    let compiled = compile(&workload, &table, &CompileOptions::default())?;
+
+    // Input generator with a mid-deployment distribution shift: after
+    // SHIFT_AT, every odd-indexed sample carries the density mass, which a
+    // stride-2 (or 4, or 8) sampler systematically misses.
+    let input_gen = Box::new(move |seed: u64| -> Vec<BufferInit> {
+        if seed < SHIFT_AT {
+            return kde::gen_inputs(Scale::Paper, seed);
+        }
+        let base = kde::gen_inputs(Scale::Paper, seed);
+        let BufferInit::F32(queries) = base[0].clone() else { unreachable!() };
+        let BufferInit::F32(samples) = base[1].clone() else { unreachable!() };
+        let shifted: Vec<f32> = samples
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i % 2 == 1 { 0.5 } else { 0.0 })
+            .collect();
+        let focused: Vec<f32> = queries.iter().map(|_| 0.5).collect();
+        vec![BufferInit::F32(focused), BufferInit::F32(shifted)]
+    });
+
+    let mut app = DeviceApp::new(Device::new(profile), &compiled, input_gen);
+    let tuner = Tuner {
+        toq: Toq::paper_default(),
+        training_seeds: (0..4).collect(),
+    };
+    let report = tuner.tune(&mut app)?;
+    println!("tuned on clustered data:");
+    for p in report.profiles.iter().filter(|p| p.meets_toq) {
+        println!(
+            "  {:<20} {:.2}x at {:.1}%",
+            p.label, p.speedup, p.mean_quality
+        );
+    }
+    let ladder = report.backoff_ladder();
+    println!("back-off ladder: {ladder:?} then exact\n");
+
+    let mut deployment = Deployment::new(&report, Toq::paper_default(), 4);
+    println!("deploying with a calibration check every 4th invocation;");
+    println!("the input distribution shifts at invocation 21:\n");
+    for i in 0..40u64 {
+        let seed = if i < 20 { 10 + i } else { SHIFT_AT + i };
+        let before = deployment.current_variant();
+        let result = deployment.invoke(&mut app, seed)?;
+        if let Some(q) = result.checked_quality {
+            println!(
+                "  invocation {:>2}: variant {:<8} check {:>6.2}% {}",
+                i + 1,
+                before
+                    .map(|v| report.profiles[v].label.clone())
+                    .unwrap_or_else(|| "exact".into()),
+                q,
+                if result.backed_off { "-> BACK OFF" } else { "ok" }
+            );
+        }
+        if before.is_none() {
+            println!("  invocation {:>2}: running exact — ladder exhausted", i + 1);
+            break;
+        }
+    }
+    println!(
+        "\nthe watchdog caught the violation and walked down the ladder, exactly\n\
+         the Green/SAGE recalibration loop the paper delegates to its runtime."
+    );
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! Quickstart: approximate BlackScholes end to end.
+//!
+//! Builds the BlackScholes workload, compiles it with Paraprox (pattern
+//! detection + approximate kernel generation), tunes the variants against
+//! a 90% target output quality on the simulated GTX 560, and reports the
+//! chosen kernel, its speedup, and its quality.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use paraprox::{compile, latency_table_for, CompileOptions, Device, DeviceApp, DeviceProfile};
+use paraprox_apps::{black_scholes, Scale};
+use paraprox_runtime::{Deployment, Toq, Tuner};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = DeviceProfile::gtx560();
+    println!("device: {}", profile.name);
+
+    // 1. Build the workload (program + pipeline + training data).
+    let workload = black_scholes::build(Scale::Paper, 0);
+    println!(
+        "workload: {} ({} kernels, {} functions)",
+        workload.name,
+        workload.program.kernel_count(),
+        workload.program.func_count()
+    );
+
+    // 2. Compile: detect patterns, generate approximate variants.
+    let table = latency_table_for(&profile);
+    let compiled = compile(&workload, &table, &CompileOptions::default())?;
+    println!("patterns detected: {:?}", compiled.pattern_names());
+    println!("variants generated: {}", compiled.variants.len());
+    for v in &compiled.variants {
+        println!("  - {}", v.label);
+    }
+
+    // 3. Tune: profile every variant on training inputs, pick the fastest
+    //    one meeting the TOQ.
+    let app = paraprox_apps::black_scholes::app();
+    let mut device_app = DeviceApp::new(
+        Device::new(profile),
+        &compiled,
+        app.input_gen(Scale::Paper),
+    );
+    let tuner = Tuner {
+        toq: Toq::paper_default(),
+        training_seeds: (0..5).collect(),
+    };
+    let report = tuner.tune(&mut device_app)?;
+    println!("\ntuning report (TOQ = {}):", tuner.toq);
+    for p in &report.profiles {
+        println!(
+            "  {:<28} quality {:6.2}%  speedup {:5.2}x  {}",
+            p.label,
+            p.mean_quality,
+            p.speedup,
+            if p.meets_toq { "ok" } else { "below TOQ" }
+        );
+    }
+    match report.chosen {
+        Some(i) => println!(
+            "\nchosen: {} ({:.2}x speedup at {:.1}% quality)",
+            report.profiles[i].label,
+            report.chosen_speedup(),
+            report.chosen_quality()
+        ),
+        None => println!("\nno variant qualified; exact execution retained"),
+    }
+
+    // 4. Deploy with the quality watchdog: run 20 production invocations
+    //    on fresh inputs, checking quality every 5th.
+    let mut deployment = Deployment::new(&report, Toq::paper_default(), 5);
+    let mut total_cycles = 0u64;
+    for seed in 100..120 {
+        let result = deployment.invoke(&mut device_app, seed)?;
+        total_cycles += result.cycles;
+        if let Some(q) = result.checked_quality {
+            println!(
+                "  invocation {:>3}: calibration check, quality {:.2}%{}",
+                deployment.invocations(),
+                q,
+                if result.backed_off { " -> backed off" } else { "" }
+            );
+        }
+    }
+    println!(
+        "deployed 20 invocations, mean cycles {} (variant {:?})",
+        total_cycles / 20,
+        deployment.current_variant()
+    );
+    Ok(())
+}

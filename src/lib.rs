@@ -1,0 +1,18 @@
+//! Workspace façade for the Paraprox reproduction.
+//!
+//! This crate exists to host the workspace-level integration tests in
+//! `tests/` and the runnable examples in `examples/`. The actual library
+//! surface lives in the member crates, most importantly [`paraprox`].
+//!
+//! See the repository `README.md` for a tour and `DESIGN.md` for the system
+//! inventory and per-experiment index.
+
+pub use paraprox;
+pub use paraprox_approx as approx;
+pub use paraprox_apps as apps;
+pub use paraprox_ir as ir;
+pub use paraprox_lang as lang;
+pub use paraprox_patterns as patterns;
+pub use paraprox_quality as quality;
+pub use paraprox_runtime as runtime;
+pub use paraprox_vgpu as vgpu;

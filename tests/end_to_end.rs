@@ -1,0 +1,144 @@
+//! Workspace-level integration tests: the full Paraprox flow — build →
+//! detect → rewrite → tune → deploy — for every benchmark application, on
+//! both device profiles, at test scale.
+
+use paraprox::{compile, latency_table_for, CompileOptions, Device, DeviceApp, DeviceProfile};
+use paraprox_apps::{registry, Scale};
+use paraprox_runtime::{Deployment, Toq, Tuner};
+
+fn tune(
+    app: &paraprox_apps::App,
+    profile: DeviceProfile,
+) -> (paraprox_runtime::TuneReport, DeviceApp) {
+    let workload = (app.build)(Scale::Test, 0);
+    let table = latency_table_for(&profile);
+    let compiled = compile(&workload, &table, &CompileOptions::default())
+        .unwrap_or_else(|e| panic!("{}: compile failed: {e}", app.spec.name));
+    let mut device_app = DeviceApp::new(Device::new(profile), &compiled, app.input_gen(Scale::Test));
+    let tuner = Tuner {
+        toq: Toq::paper_default(),
+        training_seeds: vec![0, 1],
+    };
+    let report = tuner
+        .tune(&mut device_app)
+        .unwrap_or_else(|e| panic!("{}: tuning failed: {e}", app.spec.name));
+    (report, device_app)
+}
+
+#[test]
+fn every_app_generates_variants_and_tunes_on_gpu() {
+    for app in registry() {
+        let (report, _) = tune(&app, DeviceProfile::gtx560());
+        assert!(
+            !report.profiles.is_empty(),
+            "{}: no variants generated",
+            app.spec.name
+        );
+        // Whatever is chosen must respect the TOQ and actually be faster.
+        if let Some(i) = report.chosen {
+            let p = &report.profiles[i];
+            assert!(p.meets_toq, "{}: chosen variant violates TOQ", app.spec.name);
+            assert!(
+                p.speedup > 1.0,
+                "{}: chosen variant is no faster ({}x)",
+                app.spec.name,
+                p.speedup
+            );
+        }
+    }
+}
+
+#[test]
+fn most_apps_find_a_qualifying_variant_on_both_devices() {
+    // At test scale a couple of apps may legitimately fall back to exact
+    // (smaller inputs mean relatively larger sampling error), but the
+    // majority must approximate successfully on both devices.
+    for profile in [DeviceProfile::gtx560(), DeviceProfile::core_i7_965()] {
+        let mut chosen = 0;
+        let mut total = 0;
+        for app in registry() {
+            let (report, _) = tune(&app, profile.clone());
+            total += 1;
+            if report.chosen.is_some() {
+                chosen += 1;
+            }
+        }
+        assert!(
+            chosen * 10 >= total * 7,
+            "only {chosen}/{total} apps approximated on {}",
+            profile.name
+        );
+    }
+}
+
+#[test]
+fn deployment_watchdog_stays_healthy_on_fresh_inputs() {
+    let app = paraprox_apps::find("BlackScholes").expect("app");
+    let (report, mut device_app) = tune(&app, DeviceProfile::gtx560());
+    assert!(report.chosen.is_some(), "BlackScholes must approximate");
+    let mut deployment = Deployment::new(&report, Toq::paper_default(), 3);
+    for seed in 50..65u64 {
+        let result = deployment.invoke(&mut device_app, seed).expect("invoke");
+        if let Some(q) = result.checked_quality {
+            assert!(q > 80.0, "quality collapsed to {q}");
+        }
+    }
+    // Training distribution == deployment distribution: no back-off.
+    assert!(
+        deployment.current_variant().is_some(),
+        "watchdog should not have exhausted the ladder"
+    );
+}
+
+#[test]
+fn approximate_outputs_track_exact_outputs_in_magnitude() {
+    use paraprox_runtime::Approximable;
+    // Guards against adjustment bugs (e.g. double-scaled reductions): the
+    // chosen variant's output mean must be within 25% of the exact mean.
+    for app in registry() {
+        let (report, mut device_app) = tune(&app, DeviceProfile::gtx560());
+        let Some(chosen) = report.chosen else { continue };
+        let exact = device_app.run_exact(9).expect("exact");
+        let approx = device_app.run_variant(chosen, 9).expect("variant");
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let em = mean(&exact.output);
+        let am = mean(&approx.output);
+        assert!(
+            (am - em).abs() <= 0.25 * em.abs().max(1e-9),
+            "{}: mean drifted {em} -> {am}",
+            app.spec.name
+        );
+    }
+}
+
+#[test]
+fn cross_device_shapes_match_the_paper() {
+    // The qualitative cross-platform observations of paper §4.3 that our
+    // cost model encodes structurally.
+    let gpu = DeviceProfile::gtx560();
+    let cpu = DeviceProfile::core_i7_965();
+
+    // Naive Bayes: atomics make the GPU exact version slow, so the GPU
+    // gains at least as much as the CPU.
+    let nb = paraprox_apps::find("Naive Bayes").expect("app");
+    let (gpu_report, _) = tune(&nb, gpu.clone());
+    let (cpu_report, _) = tune(&nb, cpu.clone());
+    assert!(
+        gpu_report.chosen_speedup() >= 0.9 * cpu_report.chosen_speedup(),
+        "NaiveBayes: GPU {}x should be at least comparable to CPU {}x",
+        gpu_report.chosen_speedup(),
+        cpu_report.chosen_speedup()
+    );
+
+    // KDE: exp is SFU-cheap on the GPU, so skipping exp-heavy iterations
+    // helps the CPU at least as much.
+    let kde = paraprox_apps::find("Kernel Density").expect("app");
+    let (gpu_report, _) = tune(&kde, gpu);
+    let (cpu_report, _) = tune(&kde, cpu);
+    assert!(
+        cpu_report.chosen_speedup() >= 0.9 * gpu_report.chosen_speedup(),
+        "KDE: CPU {}x should be at least comparable to GPU {}x",
+        cpu_report.chosen_speedup(),
+        gpu_report.chosen_speedup()
+    );
+}

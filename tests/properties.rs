@@ -1,0 +1,186 @@
+//! Property-based tests (proptest) on the core invariants of the
+//! reproduction: quantization, metrics, affine decomposition, reduction
+//! adjustment, scan prefix structure, and the cache model.
+
+use paraprox_approx::InputRange;
+use paraprox_ir::{BinOp, CmpOp, Expr, Scalar, UnOp};
+use paraprox_patterns::affine::{decompose, LinComb};
+use paraprox_quality::{ErrorCdf, Metric};
+use proptest::prelude::*;
+
+proptest! {
+    /// Quantization levels are always in range and monotone in the value.
+    #[test]
+    fn quantization_levels_in_range_and_monotone(
+        min in -1000.0f32..1000.0,
+        width in 0.001f32..1000.0,
+        q in 1u32..16,
+        a in -2000.0f32..2000.0,
+        b in -2000.0f32..2000.0,
+    ) {
+        let r = InputRange { min, max: min + width };
+        let la = r.level_of(a, q);
+        let lb = r.level_of(b, q);
+        prop_assert!(la < (1u64 << q) as u32);
+        prop_assert!(lb < (1u64 << q) as u32);
+        if a <= b {
+            prop_assert!(la <= lb, "levels must be monotone: {a}->{la}, {b}->{lb}");
+        }
+    }
+
+    /// A representative value re-quantizes to its own level, and lies
+    /// inside the input range.
+    #[test]
+    fn representative_roundtrip(
+        min in -100.0f32..100.0,
+        width in 0.01f32..100.0,
+        q in 1u32..12,
+        level_frac in 0.0f64..1.0,
+    ) {
+        let r = InputRange { min, max: min + width };
+        let levels = 1u64 << q;
+        let level = ((level_frac * levels as f64) as u64).min(levels - 1) as u32;
+        let rep = r.rep_of(level, q);
+        prop_assert!(rep >= r.min && rep <= r.max);
+        prop_assert_eq!(r.level_of(rep, q), level);
+    }
+
+    /// Quality is 100% iff outputs match; always within [0, 100].
+    #[test]
+    fn metric_quality_bounds(values in prop::collection::vec(-1e3f64..1e3, 1..64)) {
+        for m in [Metric::L1Norm, Metric::L2Norm, Metric::MeanRelative] {
+            let q_same = m.quality(&values, &values);
+            prop_assert!((q_same - 100.0).abs() < 1e-9);
+            let perturbed: Vec<f64> = values.iter().map(|v| v * 1.01 + 0.01).collect();
+            let q = m.quality(&values, &perturbed);
+            prop_assert!((0.0..=100.0).contains(&q));
+        }
+    }
+
+    /// The error CDF is monotone and normalized.
+    #[test]
+    fn cdf_monotone_normalized(errors in prop::collection::vec(0.0f64..1.0, 1..128)) {
+        let cdf = ErrorCdf::new(errors);
+        let series = cdf.series(20);
+        for w in series.windows(2) {
+            prop_assert!(w[1].1 >= w[0].1);
+        }
+        prop_assert!((series.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    /// Affine decomposition is a semantic identity: rebuilding the linear
+    /// combination evaluates to the same value as the original expression.
+    #[test]
+    fn lincomb_roundtrip_preserves_value(
+        a in -50i32..50,
+        b in -50i32..50,
+        c in -50i32..50,
+        x in -100i32..100,
+        w in -100i32..100,
+    ) {
+        // Build (x + a) * w + b * x + c with x, w as opaque "variables"
+        // represented by constants wrapped in casts (so decompose treats
+        // them as opaque terms but evaluation still works).
+        let xv = Expr::Cast(paraprox_ir::Ty::I32, Box::new(Expr::i32(x)));
+        let wv = Expr::Cast(paraprox_ir::Ty::I32, Box::new(Expr::i32(w)));
+        let original = (xv.clone() + Expr::i32(a)) * wv.clone()
+            + Expr::i32(b) * xv.clone()
+            + Expr::i32(c);
+        let comb: LinComb = decompose(&original);
+        let rebuilt = comb.to_expr();
+        let program = paraprox_ir::Program::new();
+        let v1 = paraprox_ir::eval_expr_pure(&program, &original).unwrap().as_i32().unwrap();
+        let v2 = paraprox_ir::eval_expr_pure(&program, &rebuilt).unwrap().as_i32().unwrap();
+        prop_assert_eq!(v1, v2);
+    }
+
+    /// Scalar binary ops on same-typed operands never panic, and produce
+    /// the operand type (comparisons produce bool).
+    #[test]
+    fn scalar_ops_type_stable(a in any::<f32>(), b in any::<f32>()) {
+        prop_assume!(a.is_finite() && b.is_finite());
+        for op in [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Min, BinOp::Max] {
+            let out = op.apply(Scalar::F32(a), Scalar::F32(b)).unwrap();
+            prop_assert_eq!(out.ty(), paraprox_ir::Ty::F32);
+        }
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Eq] {
+            let out = op.apply(Scalar::F32(a), Scalar::F32(b)).unwrap();
+            prop_assert_eq!(out.ty(), paraprox_ir::Ty::Bool);
+        }
+        let neg = UnOp::Neg.apply(Scalar::F32(a)).unwrap();
+        prop_assert_eq!(neg, Scalar::F32(-a));
+    }
+
+    /// Reduction sampling + adjustment is exact for constant arrays
+    /// (the paper's uniform-distribution assumption, in the limit).
+    #[test]
+    fn adjustment_exact_for_constant_data(
+        value in -100.0f32..100.0,
+        len_pow in 3u32..8,
+        skip_pow in 1u32..3,
+    ) {
+        let n = 1usize << len_pow;
+        let skip = 1usize << skip_pow;
+        let data = vec![value; n];
+        let exact: f32 = data.iter().sum();
+        let sampled: f32 = data.iter().step_by(skip).sum::<f32>() * skip as f32;
+        prop_assert!((exact - sampled).abs() <= 1e-3 * exact.abs().max(1.0));
+    }
+
+    /// The scan approximation's prediction formula is exact when all
+    /// subarrays have identical contents.
+    #[test]
+    fn scan_prediction_exact_for_identical_subarrays(
+        subarray in prop::collection::vec(0.0f64..10.0, 4..32),
+        g in 4usize..10,
+        skip_frac in 1usize..3,
+    ) {
+        let b = subarray.len();
+        let skip = (g / (2 * skip_frac)).max(1);
+        let kept = g - skip;
+        // Full input: g copies of the subarray.
+        let input: Vec<f64> = (0..g).flat_map(|_| subarray.iter().copied()).collect();
+        // Exact prefix sums.
+        let mut exact = Vec::with_capacity(g * b);
+        let mut acc = 0.0;
+        for v in &input {
+            acc += v;
+            exact.push(acc);
+        }
+        // Predicted tail: result of subarray (j - kept) plus the running
+        // total of the kept prefix.
+        let total_kept = exact[kept * b - 1];
+        for j in kept..g {
+            let src = j - kept;
+            for t in 0..b {
+                let predicted = exact[src * b + t] + total_kept;
+                let actual = exact[j * b + t];
+                prop_assert!(
+                    (predicted - actual).abs() < 1e-6 * actual.abs().max(1.0),
+                    "block {j} elem {t}: {predicted} vs {actual}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cache_hit_rate_monotone_in_size() {
+    use paraprox_vgpu::{Cache, CacheConfig};
+    // A fixed pseudo-random trace; bigger caches never hit less.
+    let trace: Vec<u64> = (0..4000u64).map(|i| (i * 2654435761) % 65536).collect();
+    let mut prev_hits = 0u64;
+    for bytes in [1024usize, 4096, 16384, 65536] {
+        let mut cfg = CacheConfig::gpu_l1_16k();
+        cfg.l1.bytes = bytes;
+        let mut cache = Cache::new(cfg.l1);
+        for &addr in &trace {
+            cache.access(addr);
+        }
+        assert!(
+            cache.hits() >= prev_hits,
+            "{bytes}B cache hit less than a smaller one"
+        );
+        prev_hits = cache.hits();
+    }
+}
