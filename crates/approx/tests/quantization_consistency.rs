@@ -6,8 +6,8 @@ use paraprox_approx::{
     build_table, memoize_kernel, InputRange, LookupMode, MemoConfig, TablePlacement,
 };
 use paraprox_ir::{Expr, FuncBuilder, KernelBuilder, MemSpace, Program, Scalar, Ty};
+use paraprox_prng::Rng;
 use paraprox_vgpu::{Device, DeviceProfile, Dim2};
-use proptest::prelude::*;
 
 /// Build a single-input heavy function with a known analytic form.
 fn make_program() -> (Program, paraprox_ir::FuncId, paraprox_ir::KernelId) {
@@ -34,17 +34,15 @@ fn make_program() -> (Program, paraprox_ir::FuncId, paraprox_ir::KernelId) {
     (program, func, kernel)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Every lane's memoized output equals `table[level_of(input)]` exactly.
-    #[test]
-    fn kernel_lookup_matches_host_quantization(
-        min in -10.0f32..10.0,
-        width in 0.5f32..20.0,
-        q in 2u32..10,
-        xs in prop::collection::vec(-40.0f32..40.0, 16..=16),
-    ) {
+/// Every lane's memoized output equals `table[level_of(input)]` exactly.
+#[test]
+fn kernel_lookup_matches_host_quantization() {
+    for case in 0..32u64 {
+        let mut r = Rng::seed_from_u64(0x9_0001 ^ case);
+        let min = r.random_range(-10.0f32..10.0);
+        let width = r.random_range(0.5f32..20.0);
+        let q = r.random_range(2u32..10);
+        let xs: Vec<f32> = (0..16).map(|_| r.random_range(-40.0f32..40.0)).collect();
         let (program, func, kernel) = make_program();
         let range = InputRange { min, max: min + width };
         let config = MemoConfig {
@@ -73,20 +71,22 @@ proptest! {
         let out = device.read_f32(out_b).expect("read");
         for (i, &x) in xs.iter().enumerate() {
             let expected = table[range.level_of(x, q) as usize];
-            prop_assert_eq!(
+            assert_eq!(
                 out[i], expected,
                 "lane {} (x={}, level={})", i, x, range.level_of(x, q)
             );
         }
     }
+}
 
-    /// Linear mode never reads out of the table and interpolates within the
-    /// two neighboring entries' value range.
-    #[test]
-    fn linear_lookup_bounded_by_neighbor_entries(
-        q in 3u32..10,
-        xs in prop::collection::vec(0.0f32..1.0, 16..=16),
-    ) {
+/// Linear mode never reads out of the table and interpolates within the
+/// two neighboring entries' value range.
+#[test]
+fn linear_lookup_bounded_by_neighbor_entries() {
+    for case in 0..32u64 {
+        let mut r = Rng::seed_from_u64(0x9_0002 ^ case);
+        let q = r.random_range(3u32..10);
+        let xs: Vec<f32> = (0..16).map(|_| r.random_range(0.0f32..1.0)).collect();
         let (program, func, kernel) = make_program();
         let range = InputRange { min: 0.0, max: 1.0 };
         let config = MemoConfig {
@@ -122,22 +122,24 @@ proptest! {
                 .iter()
                 .cloned()
                 .fold(f32::NEG_INFINITY, f32::max);
-            prop_assert!(
+            assert!(
                 out[i] >= lo - 1e-6 && out[i] <= hi + 1e-6,
                 "lane {}: {} outside table range [{}, {}]",
                 i, out[i], lo, hi
             );
         }
     }
+}
 
-    /// The training-set quality predicted by bit tuning's model (function
-    /// re-evaluation on representatives) agrees with the actual table-based
-    /// kernel within a small tolerance.
-    #[test]
-    fn predicted_quality_matches_measured(
-        q in 4u32..10,
-        seed_vals in prop::collection::vec(0.05f32..0.95, 32..=32),
-    ) {
+/// The training-set quality predicted by bit tuning's model (function
+/// re-evaluation on representatives) agrees with the actual table-based
+/// kernel within a small tolerance.
+#[test]
+fn predicted_quality_matches_measured() {
+    for case in 0..32u64 {
+        let mut r = Rng::seed_from_u64(0x9_0003 ^ case);
+        let q = r.random_range(4u32..10);
+        let seed_vals: Vec<f32> = (0..32).map(|_| r.random_range(0.05f32..0.95)).collect();
         let (program, func, kernel) = make_program();
         let range = InputRange { min: 0.0, max: 1.0 };
         let samples: Vec<Vec<Scalar>> =
@@ -180,7 +182,7 @@ proptest! {
             .collect();
         let measured =
             paraprox_quality::Metric::MeanRelative.quality_f32(&exact_out, &approx_out);
-        prop_assert!(
+        assert!(
             (measured - tuned.quality).abs() < 1.0,
             "predicted {} vs measured {}",
             tuned.quality,

@@ -174,8 +174,6 @@ pub fn app() -> App {
     }
 }
 
-// `random_range` comes from rand::Rng.
-use rand::Rng;
 
 #[cfg(test)]
 mod tests {

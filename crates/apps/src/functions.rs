@@ -7,7 +7,6 @@
 use paraprox::{Metric, Workload};
 use paraprox_ir::{Expr, FuncBuilder, FuncId, KernelBuilder, MemSpace, Program, Scalar, Ty};
 use paraprox_vgpu::{BufferInit, BufferSpec, Dim2, LaunchPlan, Pipeline, PlanArg};
-use rand::Rng;
 
 use crate::inputs;
 use crate::Scale;

@@ -8,7 +8,6 @@
 use paraprox::{Metric, Workload};
 use paraprox_ir::{MemSpace, Program, Scalar, Ty};
 use paraprox_vgpu::{BufferInit, BufferSpec, Dim2, LaunchPlan, Pipeline, PlanArg};
-use rand::Rng;
 
 use crate::inputs;
 use crate::{App, AppSpec, Scale};

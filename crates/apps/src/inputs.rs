@@ -1,32 +1,31 @@
 //! Deterministic input generators shared by the benchmark applications.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use paraprox_prng::Rng;
 
 /// A seeded RNG for reproducible inputs.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> Rng {
+    Rng::seed_from_u64(seed)
 }
 
 /// `n` uniform floats in `[lo, hi)`.
-pub fn uniform_f32(rng: &mut StdRng, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+pub fn uniform_f32(rng: &mut Rng, n: usize, lo: f32, hi: f32) -> Vec<f32> {
     (0..n).map(|_| rng.random_range(lo..hi)).collect()
 }
 
 /// `n` uniform floats in the *open* interval `(0, 1)` — safe to take logs.
-pub fn uniform_open01(rng: &mut StdRng, n: usize) -> Vec<f32> {
+pub fn uniform_open01(rng: &mut Rng, n: usize) -> Vec<f32> {
     (0..n)
         .map(|_| rng.random_range(1e-6f32..1.0 - 1e-6))
         .collect()
 }
 
 /// `n` uniform integers in `[lo, hi)`.
-pub fn uniform_i32(rng: &mut StdRng, n: usize, lo: i32, hi: i32) -> Vec<i32> {
+pub fn uniform_i32(rng: &mut Rng, n: usize, lo: i32, hi: i32) -> Vec<i32> {
     (0..n).map(|_| rng.random_range(lo..hi)).collect()
 }
 
 /// A random permutation of `0..n` (for gather index buffers).
-pub fn permutation(rng: &mut StdRng, n: usize) -> Vec<i32> {
+pub fn permutation(rng: &mut Rng, n: usize) -> Vec<i32> {
     let mut idx: Vec<i32> = (0..n as i32).collect();
     // Fisher-Yates.
     for i in (1..n).rev() {
@@ -41,7 +40,7 @@ pub fn permutation(rng: &mut StdRng, n: usize) -> Vec<i32> {
 /// per-pixel noise. This reproduces the value-locality statistics that the
 /// paper's Figure 5 measures on natural images — most pixels differ from
 /// their neighbors by less than 10%.
-pub fn smooth_image(rng: &mut StdRng, w: usize, h: usize) -> Vec<f32> {
+pub fn smooth_image(rng: &mut Rng, w: usize, h: usize) -> Vec<f32> {
     // Random low frequencies and phases.
     let waves: Vec<(f32, f32, f32, f32, f32)> = (0..4)
         .map(|_| {

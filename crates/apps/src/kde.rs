@@ -41,7 +41,6 @@ pub fn reference(queries: &[f32], samples: &[f32]) -> Vec<f32> {
 /// mixture — skipping samples must actually cost density accuracy, or the
 /// tuner would crank the skipping rate arbitrarily high).
 pub fn gen_inputs(scale: Scale, seed: u64) -> Vec<BufferInit> {
-    use rand::Rng;
     let (m, n) = sizes(scale);
     let mut r = inputs::rng(seed ^ 0x4D5);
     let queries = inputs::uniform_f32(&mut r, m, 0.0, 1.0);
@@ -50,7 +49,7 @@ pub fn gen_inputs(scale: Scale, seed: u64) -> Vec<BufferInit> {
         .map(|_| {
             let mode = modes[r.random_range(0..modes.len())];
             // Box-Muller-free bounded jitter around the mode.
-            let jitter: f32 = r.random_range(-0.06..0.06) + r.random_range(-0.06..0.06);
+            let jitter: f32 = r.random_range(-0.06f32..0.06) + r.random_range(-0.06f32..0.06);
             (mode + jitter).clamp(0.0, 1.0)
         })
         .collect();

@@ -1,0 +1,188 @@
+//! Host-parallelism benchmark: wall-clock cost of executing one 512x512
+//! 3x3 convolution launch at different worker counts, with a bit-identity
+//! check between every worker count and the serial baseline.
+//!
+//! ```sh
+//! cargo run --release -p paraprox-bench --bin bench_parallel
+//! ```
+//!
+//! Writes `BENCH_parallel.json` into the current directory. The simulated
+//! results (buffer contents, cycle counts, cache statistics) are required
+//! to be identical at every parallelism level — the benchmark fails loudly
+//! if they are not — so the JSON records pure host-side throughput.
+//!
+//! Note: wall-clock *speedup* from block parallelism requires physical
+//! cores. The JSON records `host_cores` so a 1-core CI box reporting ~1.0x
+//! (or slightly below, from thread overhead) is interpretable rather than
+//! alarming.
+
+use std::time::Instant;
+
+use paraprox_ir::{Expr, KernelBuilder, LoopCond, LoopStep, MemSpace, Program, Ty};
+use paraprox_vgpu::{Device, DeviceProfile, Dim2, LaunchStats};
+
+const W: usize = 512;
+const H: usize = 512;
+const BLOCK: usize = 16; // 16x16 = 256 threads/block, 32x32 = 1024 blocks
+const RUNS: usize = 5;
+
+/// 3x3 mean convolution over a `W`x`H` image, one thread per pixel.
+fn conv_program() -> (Program, paraprox_ir::KernelId) {
+    let mut program = Program::new();
+    let mut kb = KernelBuilder::new("conv3x3");
+    let input = kb.buffer("in", Ty::F32, MemSpace::Global);
+    let output = kb.buffer("out", Ty::F32, MemSpace::Global);
+    let x = kb.let_("x", KernelBuilder::global_id_x());
+    let y = kb.let_("y", KernelBuilder::global_id_y());
+    let w = Expr::i32(W as i32);
+    let h = Expr::i32(H as i32);
+    let inside = x.clone().gt(Expr::i32(0))
+        & x.clone().lt(w.clone() - Expr::i32(1))
+        & y.clone().gt(Expr::i32(0))
+        & y.clone().lt(h - Expr::i32(1));
+    kb.if_(inside, |kb| {
+        let acc = kb.let_mut("acc", Ty::F32, Expr::f32(0.0));
+        kb.for_loop(
+            "dy",
+            Expr::i32(-1),
+            LoopCond::Le(Expr::i32(1)),
+            LoopStep::Add(Expr::i32(1)),
+            |kb, dy| {
+                kb.for_loop(
+                    "dx",
+                    Expr::i32(-1),
+                    LoopCond::Le(Expr::i32(1)),
+                    LoopStep::Add(Expr::i32(1)),
+                    |kb, dx| {
+                        let idx = kb.let_(
+                            "idx",
+                            (y.clone() + dy.clone()) * Expr::i32(W as i32) + x.clone() + dx,
+                        );
+                        let v = kb.let_("v", kb.load(input, idx));
+                        kb.assign(acc, Expr::Var(acc) + v);
+                    },
+                );
+            },
+        );
+        kb.store(
+            output,
+            y.clone() * Expr::i32(W as i32) + x.clone(),
+            Expr::Var(acc) / Expr::f32(9.0),
+        );
+    });
+    let kid = program.add_kernel(kb.finish());
+    (program, kid)
+}
+
+struct Measurement {
+    parallelism: usize,
+    workers: u64,
+    wall_ms_best: f64,
+    wall_ms_all: Vec<f64>,
+    stats: LaunchStats,
+    output: Vec<f32>,
+}
+
+fn run_at(parallelism: usize, program: &Program, kid: paraprox_ir::KernelId) -> Measurement {
+    let profile = DeviceProfile::gtx560().with_parallelism(parallelism);
+    let data: Vec<f32> = (0..W * H).map(|i| ((i * 37) % 251) as f32 * 0.01).collect();
+    let mut wall_ms_all = Vec::with_capacity(RUNS);
+    let mut last: Option<(LaunchStats, Vec<f32>)> = None;
+    for _ in 0..RUNS {
+        let mut d = Device::new(profile.clone());
+        let input = d.alloc_f32(MemSpace::Global, &data);
+        let output = d.alloc_f32(MemSpace::Global, &vec![0.0f32; W * H]);
+        let started = Instant::now();
+        let stats = d
+            .launch(
+                program,
+                kid,
+                Dim2::new(W / BLOCK, H / BLOCK),
+                Dim2::new(BLOCK, BLOCK),
+                &[input.into(), output.into()],
+            )
+            .expect("launch");
+        wall_ms_all.push(started.elapsed().as_secs_f64() * 1e3);
+        last = Some((stats, d.read_f32(output).expect("read")));
+    }
+    let (stats, output) = last.expect("at least one run");
+    let best = wall_ms_all.iter().copied().fold(f64::INFINITY, f64::min);
+    Measurement {
+        parallelism,
+        workers: stats.workers,
+        wall_ms_best: best,
+        wall_ms_all,
+        stats,
+        output,
+    }
+}
+
+fn main() {
+    let (program, kid) = conv_program();
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!(
+        "block-parallel executor: 512x512 conv3x3, {} blocks of {} threads, host has {host_cores} core(s)\n",
+        (W / BLOCK) * (H / BLOCK),
+        BLOCK * BLOCK
+    );
+
+    let levels = [1usize, 2, 4];
+    let results: Vec<Measurement> = levels
+        .iter()
+        .map(|&p| run_at(p, &program, kid))
+        .collect();
+    let baseline = &results[0];
+
+    println!(
+        "{:>11} {:>8} {:>12} {:>10} {:>10} {:>10}",
+        "parallelism", "workers", "wall (best)", "speedup", "identical", "cycles"
+    );
+    let mut entries = Vec::new();
+    for m in &results {
+        // Hard determinism gate: every level must reproduce the serial
+        // results bit for bit.
+        let same_output = m
+            .output
+            .iter()
+            .zip(&baseline.output)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        let same_stats = m.stats == baseline.stats;
+        assert!(same_output, "parallelism {} changed outputs", m.parallelism);
+        assert!(same_stats, "parallelism {} changed stats", m.parallelism);
+        let speedup = baseline.wall_ms_best / m.wall_ms_best;
+        println!(
+            "{:>11} {:>8} {:>9.2} ms {:>9.2}x {:>10} {:>10}",
+            m.parallelism,
+            m.workers,
+            m.wall_ms_best,
+            speedup,
+            "yes",
+            m.stats.total_cycles()
+        );
+        let runs = m
+            .wall_ms_all
+            .iter()
+            .map(|v| format!("{v:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        entries.push(format!(
+            "    {{\n      \"parallelism\": {},\n      \"workers\": {},\n      \"wall_ms_best\": {:.3},\n      \"wall_ms_runs\": [{}],\n      \"speedup_vs_serial\": {:.3},\n      \"total_cycles\": {},\n      \"bit_identical_to_serial\": true\n    }}",
+            m.parallelism,
+            m.workers,
+            m.wall_ms_best,
+            runs,
+            speedup,
+            m.stats.total_cycles()
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"block_parallel_executor\",\n  \"kernel\": \"conv3x3\",\n  \"image\": [{W}, {H}],\n  \"block\": [{BLOCK}, {BLOCK}],\n  \"blocks\": {},\n  \"host_cores\": {host_cores},\n  \"runs_per_level\": {RUNS},\n  \"note\": \"wall-clock speedup requires physical cores; on a 1-core host parallel levels measure scheduler overhead only. Simulated cycles and outputs are verified bit-identical across all levels.\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        (W / BLOCK) * (H / BLOCK),
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("\nwrote BENCH_parallel.json");
+}

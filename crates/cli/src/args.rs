@@ -12,6 +12,13 @@ usage:
       the tuner's choice. --all prints every variant, not just qualifying
       ones.
 
+  paraprox run <app> [--device gpu|cpu] [--scale paper|test] [--threads <n>]
+      Execute an application's exact pipeline once and print the launch
+      report: blocks, warps, occupancy, host workers, and wall-clock time.
+      --threads 0 (the default) uses every available core; the
+      PARAPROX_THREADS environment variable overrides the flag. Results are
+      bit-identical for every thread count.
+
   paraprox inspect <file.cu>
       Parse CUDA-flavored kernel source and report the data-parallel
       patterns Paraprox detects in each kernel.
@@ -45,6 +52,17 @@ pub enum Command {
         seeds: usize,
         /// Print all variants.
         all: bool,
+    },
+    /// `paraprox run <app> ...`
+    Run {
+        /// Application name (prefix match).
+        app: String,
+        /// Device profile.
+        device: DeviceArg,
+        /// Use the small test-scale inputs.
+        test_scale: bool,
+        /// Host worker threads (0 = all available cores).
+        threads: usize,
     },
     /// `paraprox inspect <file>`
     Inspect {
@@ -137,6 +155,56 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 all,
             })
         }
+        Some("run") => {
+            let app = it
+                .next()
+                .ok_or_else(|| "`run` needs an application name".to_string())?
+                .clone();
+            let mut device = DeviceArg::Gpu;
+            let mut test_scale = false;
+            let mut threads = 0usize;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--device" => {
+                        device = match it.next().map(String::as_str) {
+                            Some("gpu") => DeviceArg::Gpu,
+                            Some("cpu") => DeviceArg::Cpu,
+                            other => {
+                                return Err(format!(
+                                    "--device needs `gpu` or `cpu`, got {other:?}"
+                                ))
+                            }
+                        };
+                    }
+                    "--scale" => {
+                        test_scale = match it.next().map(String::as_str) {
+                            Some("paper") => false,
+                            Some("test") => true,
+                            other => {
+                                return Err(format!(
+                                    "--scale needs `paper` or `test`, got {other:?}"
+                                ))
+                            }
+                        };
+                    }
+                    "--threads" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| "--threads needs a value".to_string())?;
+                        threads = v
+                            .parse::<usize>()
+                            .map_err(|_| format!("bad --threads value `{v}`"))?;
+                    }
+                    other => return Err(format!("unknown option `{other}`")),
+                }
+            }
+            Ok(Command::Run {
+                app,
+                device,
+                test_scale,
+                threads,
+            })
+        }
         Some("inspect") => {
             let file = it
                 .next()
@@ -216,6 +284,35 @@ mod tests {
         assert!(parse(&v(&["tune", "x", "--bogus"])).is_err());
         assert!(parse(&v(&["frobnicate"])).is_err());
         assert!(parse(&v(&[])).is_err());
+    }
+
+    #[test]
+    fn parses_run() {
+        let cmd = parse(&v(&["run", "sobel"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                app: "sobel".into(),
+                device: DeviceArg::Gpu,
+                test_scale: false,
+                threads: 0,
+            }
+        );
+        let cmd = parse(&v(&[
+            "run", "sobel", "--device", "cpu", "--scale", "test", "--threads", "4",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                app: "sobel".into(),
+                device: DeviceArg::Cpu,
+                test_scale: true,
+                threads: 4,
+            }
+        );
+        assert!(parse(&v(&["run"])).is_err());
+        assert!(parse(&v(&["run", "x", "--threads", "many"])).is_err());
     }
 
     #[test]

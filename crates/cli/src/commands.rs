@@ -19,6 +19,12 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
             seeds,
             all,
         } => tune(&app, device, toq, test_scale, seeds, all),
+        Command::Run {
+            app,
+            device,
+            test_scale,
+            threads,
+        } => run_app(&app, device, test_scale, threads),
         Command::Inspect { file } => inspect(&file),
     }
 }
@@ -98,6 +104,45 @@ fn tune(
         ),
         None => println!("\nno variant met the TOQ with a speedup; exact execution retained"),
     }
+    Ok(())
+}
+
+fn run_app(
+    name: &str,
+    device: DeviceArg,
+    test_scale: bool,
+    threads: usize,
+) -> Result<(), Box<dyn Error>> {
+    let app = paraprox_apps::find(name)
+        .ok_or_else(|| format!("no application matching `{name}` (try `paraprox list`)"))?;
+    let scale = if test_scale { Scale::Test } else { Scale::Paper };
+    let profile = profile_of(device).with_parallelism(threads);
+    println!("{} on {} (exact pipeline)", app.spec.name, profile.name);
+
+    let workload = (app.build)(scale, 0);
+    let mut dev = Device::new(profile.clone());
+    let run = workload.pipeline.execute(&mut dev, &workload.program)?;
+    let s = &run.stats;
+
+    let warps_per_block = if s.blocks > 0 { s.warps as f64 / s.blocks as f64 } else { 0.0 };
+    println!("\nlaunch report");
+    println!("  blocks          {:>12}", s.blocks);
+    println!("  warps           {:>12}", s.warps);
+    println!("  warps/block     {:>12.1}", warps_per_block);
+    println!("  instructions    {:>12}", s.instructions);
+    println!(
+        "  cycles          {:>12}  (compute={}, memory={}, overhead={})",
+        s.total_cycles(),
+        s.compute_cycles,
+        s.memory_cycles,
+        s.overhead_cycles
+    );
+    println!("  l1 hit rate     {:>11.1}%", s.l1_hit_rate() * 100.0);
+    println!("  host workers    {:>12}", s.workers);
+    println!(
+        "  wall time       {:>12}",
+        format!("{:.3} ms", s.wall_nanos as f64 / 1e6)
+    );
     Ok(())
 }
 

@@ -2,66 +2,64 @@
 //! mangled, must produce either a program or a positioned error.
 
 use paraprox_lang::parse_program;
-use proptest::prelude::*;
+use paraprox_prng::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Arbitrary byte soup: no panics.
-    #[test]
-    fn arbitrary_strings_never_panic(input in "\\PC*") {
+/// Arbitrary character soup (including multi-byte and control chars): no
+/// panics.
+#[test]
+fn arbitrary_strings_never_panic() {
+    const POOL: &[char] = &[
+        'a', 'z', '0', '9', ' ', '\n', '\t', '(', ')', '{', '}', '[', ']', ';', '=', '+', '*',
+        '/', '-', '.', ',', '<', '>', '&', '|', '!', '"', '\'', '\\', '_', '#', '@', '~', '%',
+        '^', '?', ':', 'é', 'λ', '中', '\u{0}', '\u{7f}', '\u{2028}', '🦀',
+    ];
+    let mut r = Rng::seed_from_u64(0x50F7);
+    for _ in 0..256 {
+        let len = r.random_range(0usize..200);
+        let input: String = (0..len)
+            .map(|_| POOL[r.random_range(0usize..POOL.len())])
+            .collect();
         let _ = parse_program(&input);
     }
+}
 
-    /// Token-shaped soup (identifiers, numbers, operators): no panics.
-    #[test]
-    fn token_soup_never_panics(tokens in prop::collection::vec(
-        prop_oneof![
-            Just("__global__".to_string()),
-            Just("__device__".to_string()),
-            Just("float".to_string()),
-            Just("int".to_string()),
-            Just("void".to_string()),
-            Just("if".to_string()),
-            Just("for".to_string()),
-            Just("return".to_string()),
-            Just("(".to_string()),
-            Just(")".to_string()),
-            Just("{".to_string()),
-            Just("}".to_string()),
-            Just("[".to_string()),
-            Just("]".to_string()),
-            Just(";".to_string()),
-            Just("=".to_string()),
-            Just("+".to_string()),
-            Just("*".to_string()),
-            Just("x".to_string()),
-            Just("1".to_string()),
-            Just("2.5f".to_string()),
-        ],
-        0..64,
-    )) {
-        let input = tokens.join(" ");
+/// Token-shaped soup (identifiers, numbers, operators): no panics.
+#[test]
+fn token_soup_never_panics() {
+    const TOKENS: &[&str] = &[
+        "__global__", "__device__", "float", "int", "void", "if", "for", "return", "(", ")",
+        "{", "}", "[", "]", ";", "=", "+", "*", "x", "1", "2.5f",
+    ];
+    let mut r = Rng::seed_from_u64(0x70C3);
+    for _ in 0..256 {
+        let n = r.random_range(0usize..64);
+        let input = (0..n)
+            .map(|_| TOKENS[r.random_range(0usize..TOKENS.len())])
+            .collect::<Vec<_>>()
+            .join(" ");
         let _ = parse_program(&input);
     }
+}
 
-    /// Truncating a valid program at any byte boundary: no panics, and the
-    /// full program still parses.
-    #[test]
-    fn truncated_programs_never_panic(cut in 0usize..400) {
-        let full = r#"
-            __device__ float f(float x) { return x * x + 1.0f; }
-            __global__ void k(float* a, int n) {
-                int gid = blockIdx.x * blockDim.x + threadIdx.x;
-                if (gid < n) {
-                    for (int i = 0; i < 4; i++) { a[gid] += f(a[gid]); }
-                }
+/// Truncating a valid program at any byte boundary: no panics, and the
+/// full program still parses.
+#[test]
+fn truncated_programs_never_panic() {
+    let full = r#"
+        __device__ float f(float x) { return x * x + 1.0f; }
+        __global__ void k(float* a, int n) {
+            int gid = blockIdx.x * blockDim.x + threadIdx.x;
+            if (gid < n) {
+                for (int i = 0; i < 4; i++) { a[gid] += f(a[gid]); }
             }
-        "#;
-        prop_assume!(full.is_char_boundary(cut.min(full.len())));
-        let _ = parse_program(&full[..cut.min(full.len())]);
-        parse_program(full).expect("the full program is valid");
+        }
+    "#;
+    for cut in 0..=full.len() {
+        if full.is_char_boundary(cut) {
+            let _ = parse_program(&full[..cut]);
+        }
     }
+    parse_program(full).expect("the full program is valid");
 }
 
 #[test]

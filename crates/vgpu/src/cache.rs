@@ -152,6 +152,15 @@ impl Cache {
         self.misses = 0;
     }
 
+    /// Overwrite the hit/miss counters. Used by the block-parallel executor
+    /// to merge per-block cache snapshots back into the device cache: the
+    /// device keeps the last block's contents, with counters advanced by
+    /// the deterministic sum of every block's deltas.
+    pub(crate) fn set_counters(&mut self, hits: u64, misses: u64) {
+        self.hits = hits;
+        self.misses = misses;
+    }
+
     /// Drop all resident lines and reset counters.
     pub fn flush(&mut self) {
         for set in &mut self.sets {

@@ -4,7 +4,7 @@ use paraprox_ir::{KernelId, MemSpace, Program, Scalar, Ty};
 
 use crate::cache::Cache;
 use crate::error::LaunchError;
-use crate::exec::ExecCtx;
+use crate::exec::{self, Launch};
 use crate::profile::DeviceProfile;
 use crate::stats::LaunchStats;
 
@@ -362,18 +362,20 @@ impl Device {
                 available: self.profile.shared_mem_bytes,
             });
         }
-        let ctx = ExecCtx::new(
-            &self.profile,
-            &mut self.buffers,
-            &mut self.l1,
-            &mut self.constant_cache,
+        let launch = Launch {
+            profile: &self.profile,
             program,
-            k,
+            kernel: k,
             args,
             grid,
             block,
-        );
-        ctx.run()
+        };
+        exec::run_launch(
+            &launch,
+            &mut self.buffers,
+            &mut self.l1,
+            &mut self.constant_cache,
+        )
     }
 }
 

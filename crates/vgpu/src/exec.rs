@@ -1,4 +1,4 @@
-//! The lockstep SIMT interpreter.
+//! The lockstep SIMT interpreter, executed block-parallel on the host.
 //!
 //! A block's threads execute each statement together under an active-lane
 //! mask. `if` and `for` refine the mask (divergence); `Sync` validates that
@@ -6,6 +6,45 @@
 //! at least one active lane pays the instruction's latency, exactly like
 //! SIMT issue on real hardware — so a divergent branch pays for both arms
 //! and a warp looping for its slowest lane pays every iteration.
+//!
+//! # Host parallelism and determinism
+//!
+//! Thread blocks are independent in the CUDA execution model, so the
+//! interpreter executes them concurrently on host workers (a work-stealing
+//! scheduler, [`crate::pool`]). Determinism — bit-identical buffer
+//! contents, cycle counts, and cache statistics for *any* worker count,
+//! including 1 — is achieved by making every block's execution a pure
+//! function of the launch-entry state:
+//!
+//! * **Caches**: each block simulates against a private clone of the
+//!   launch-entry L1/constant cache (counters reset, so per-block hit/miss
+//!   deltas fold without double counting). After the launch the device
+//!   cache becomes the *last* block's final state — a deterministic choice
+//!   that keeps caches warm across launches — with counters advanced by
+//!   the summed per-block deltas.
+//! * **Global memory**: each worker interprets against its own buffer
+//!   image. Global writes are logged per block (stores record the value,
+//!   atomics record the operation) and the worker's image is reverted
+//!   after every block, so each block observes exactly the launch-entry
+//!   buffer contents plus its own writes. When all blocks finish, the logs
+//!   are replayed into the device's buffers in ascending block order:
+//!   plain stores land last-block-wins (what serial execution produced)
+//!   and atomic operations are re-applied, so cross-block accumulations
+//!   (histograms, reductions) total correctly. A block reading another
+//!   block's non-atomic global writes is a data race in CUDA and is
+//!   outside this determinism contract.
+//! * **Stats**: per-block [`LaunchStats`] are folded in ascending block
+//!   order with the same `+=` the serial path uses.
+//! * **Iteration budget**: a single shared atomic counter spans all
+//!   workers, so the per-launch [`ITERATION_BUDGET`] bounds the whole
+//!   launch, not each block.
+//!
+//! With those rules the schedule is unobservable, so `parallelism = 1`
+//! (exactly the serial loop, no threads spawned) and `parallelism = N`
+//! produce identical results.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
 
 use paraprox_ir::{
     BinOp, CmpOp, EvalError, Expr, Func, Kernel, LoopCond, LoopStep, MemRef, MemSpace,
@@ -15,11 +54,13 @@ use paraprox_ir::{
 use crate::cache::Cache;
 use crate::device::{ArgValue, BufferStorage, Dim2};
 use crate::error::LaunchError;
+use crate::pool::{self, WorkQueue};
 use crate::profile::DeviceProfile;
 use crate::stats::LaunchStats;
 
-/// Maximum total loop iterations (summed over lanes' warps) per launch;
-/// guards against non-terminating loops in malformed IR.
+/// Maximum total loop iterations (summed over all warps of all blocks,
+/// across every worker) per launch; guards against non-terminating loops
+/// in malformed IR.
 const ITERATION_BUDGET: u64 = 1 << 33;
 
 type Mask = Vec<bool>;
@@ -28,10 +69,133 @@ fn any(mask: &Mask) -> bool {
     mask.iter().any(|&b| b)
 }
 
+fn all(mask: &Mask) -> bool {
+    mask.iter().all(|&b| b)
+}
+
+/// Iterate warp lane-ranges that contain at least one active lane, without
+/// allocating.
+fn active_warps(
+    warp_width: usize,
+    lanes: usize,
+    mask: &[bool],
+) -> impl Iterator<Item = (usize, usize)> + '_ {
+    (0..lanes)
+        .step_by(warp_width.max(1))
+        .map(move |start| (start, (start + warp_width).min(lanes)))
+        .filter(move |&(start, end)| mask[start..end].iter().any(|&b| b))
+}
+
 /// Lane-indexed values; entries for inactive lanes hold an arbitrary filler.
 type Lanes = Vec<Scalar>;
 
 const FILLER: Scalar = Scalar::I32(0);
+
+/// Reusable lane/mask vectors: the interpreter churns through short-lived
+/// per-statement vectors, so each worker keeps a small free list instead of
+/// hitting the allocator per expression.
+#[derive(Default)]
+struct ScratchPool {
+    lanes: Vec<Lanes>,
+    masks: Vec<Mask>,
+}
+
+/// Cap on pooled vectors; beyond this they are simply dropped.
+const SCRATCH_POOL_CAP: usize = 64;
+
+impl ScratchPool {
+    fn take_lanes(&mut self, n: usize, fill: Scalar) -> Lanes {
+        match self.lanes.pop() {
+            Some(mut v) => {
+                v.clear();
+                v.resize(n, fill);
+                v
+            }
+            None => vec![fill; n],
+        }
+    }
+
+    fn take_mask(&mut self, n: usize, fill: bool) -> Mask {
+        match self.masks.pop() {
+            Some(mut v) => {
+                v.clear();
+                v.resize(n, fill);
+                v
+            }
+            None => vec![fill; n],
+        }
+    }
+
+    fn put_lanes(&mut self, v: Lanes) {
+        if self.lanes.len() < SCRATCH_POOL_CAP {
+            self.lanes.push(v);
+        }
+    }
+
+    fn put_mask(&mut self, v: Mask) {
+        if self.masks.len() < SCRATCH_POOL_CAP {
+            self.masks.push(v);
+        }
+    }
+}
+
+/// One global-memory write performed by a block, recorded so the write can
+/// be (a) reverted from the worker's buffer image and (b) replayed onto the
+/// device's buffers in block order.
+#[derive(Debug, Clone, Copy)]
+enum LoggedWrite {
+    Store {
+        buf: usize,
+        index: usize,
+        old: Scalar,
+        new: Scalar,
+    },
+    Atomic {
+        buf: usize,
+        index: usize,
+        op: BinOp,
+        operand: Scalar,
+        old: Scalar,
+    },
+}
+
+/// Undo a block's writes on the worker's buffer image (reverse order, so
+/// overlapping writes unwind correctly).
+fn revert_writes(buffers: &mut [BufferStorage], log: &[LoggedWrite]) {
+    for w in log.iter().rev() {
+        match *w {
+            LoggedWrite::Store {
+                buf, index, old, ..
+            }
+            | LoggedWrite::Atomic {
+                buf, index, old, ..
+            } => buffers[buf].data[index] = old,
+        }
+    }
+}
+
+/// Apply a block's writes to the device's buffers. Stores overwrite;
+/// atomics re-apply their operation against the accumulated value.
+fn replay_writes(buffers: &mut [BufferStorage], log: &[LoggedWrite]) -> Result<(), EvalError> {
+    for w in log {
+        match *w {
+            LoggedWrite::Store {
+                buf, index, new, ..
+            } => buffers[buf].data[index] = new,
+            LoggedWrite::Atomic {
+                buf,
+                index,
+                op,
+                operand,
+                ..
+            } => {
+                let current = buffers[buf].data[index];
+                buffers[buf].data[index] = op.apply(current, operand)?;
+            }
+        }
+    }
+    Ok(())
+}
 
 enum FrameArgs<'v> {
     /// Kernel frame: scalar arguments come from the launch's `ArgValue`s.
@@ -64,119 +228,292 @@ impl<'v> Frame<'v> {
             returned: Some((vec![false; lanes], vec![FILLER; lanes])),
         }
     }
+}
 
-    /// Lanes of `mask` that are still executing (not yet returned).
-    fn live(&self, mask: &Mask) -> Mask {
-        match &self.returned {
-            Some((returned, _)) => mask
-                .iter()
-                .zip(returned)
-                .map(|(&m, &r)| m && !r)
-                .collect(),
-            None => mask.clone(),
+/// Launch-wide immutable state shared by every worker.
+pub(crate) struct Launch<'a> {
+    pub profile: &'a DeviceProfile,
+    pub program: &'a Program,
+    pub kernel: &'a Kernel,
+    pub args: &'a [ArgValue],
+    pub grid: Dim2,
+    pub block: Dim2,
+}
+
+/// Everything one block finished with; folded in ascending `block` order.
+struct BlockOutcome {
+    block: usize,
+    stats: LaunchStats,
+    l1: Cache,
+    constant_cache: Cache,
+    log: Vec<LoggedWrite>,
+}
+
+/// Per-worker mutable state, reused across the blocks a worker executes.
+struct Worker<'a> {
+    buffers: &'a mut Vec<BufferStorage>,
+    log: Vec<LoggedWrite>,
+    scratch: ScratchPool,
+}
+
+impl Worker<'_> {
+    /// Execute one block against this worker's buffer image, revert the
+    /// image, and package the outcome. `isolate` is false only for
+    /// single-block launches, where writes may land directly.
+    fn run_block(
+        &mut self,
+        launch: &Launch<'_>,
+        block_id: usize,
+        l1_template: &Cache,
+        cc_template: &Cache,
+        iterations: &AtomicU64,
+        isolate: bool,
+    ) -> Result<BlockOutcome, EvalError> {
+        let result = exec_block(
+            launch,
+            block_id,
+            self.buffers,
+            isolate.then_some(&mut self.log),
+            l1_template.clone(),
+            cc_template.clone(),
+            iterations,
+            &mut self.scratch,
+        );
+        revert_writes(self.buffers, &self.log);
+        match result {
+            Ok((stats, l1, constant_cache)) => Ok(BlockOutcome {
+                block: block_id,
+                stats,
+                l1,
+                constant_cache,
+                log: std::mem::take(&mut self.log),
+            }),
+            Err(e) => {
+                self.log.clear();
+                Err(e)
+            }
         }
     }
 }
 
-pub(crate) struct ExecCtx<'a> {
+/// Execute every block of a launch — serially or across host workers — and
+/// fold the results deterministically. This is the only entry point; the
+/// worker count comes from `PARAPROX_THREADS` /
+/// [`DeviceProfile::parallelism`] (see [`pool::resolve_workers`]).
+pub(crate) fn run_launch(
+    launch: &Launch<'_>,
+    buffers: &mut Vec<BufferStorage>,
+    l1: &mut Cache,
+    constant_cache: &mut Cache,
+) -> Result<LaunchStats, LaunchError> {
+    let started = Instant::now();
+    let total = launch.grid.count();
+    let workers = pool::resolve_workers(launch.profile.parallelism)
+        .min(total)
+        .max(1);
+    let iterations = AtomicU64::new(0);
+    let eval_err = |source: EvalError| LaunchError::Eval {
+        kernel: launch.kernel.name.clone(),
+        source,
+    };
+
+    // Per-block cache snapshots start from the launch-entry state with
+    // counters zeroed, so each block's counters are pure deltas.
+    let entry_l1 = (l1.hits(), l1.misses());
+    let entry_cc = (constant_cache.hits(), constant_cache.misses());
+    let mut l1_template = l1.clone();
+    l1_template.reset_counters();
+    let mut cc_template = constant_cache.clone();
+    cc_template.reset_counters();
+
+    let mut outcomes: Vec<BlockOutcome> = Vec::with_capacity(total);
+    if workers == 1 {
+        // Serial path: interpret directly against the device's buffers.
+        // Isolation (log + revert per block, replay below) is still applied
+        // for multi-block launches so the observable semantics are
+        // identical to the parallel path.
+        let mut worker = Worker {
+            buffers,
+            log: Vec::new(),
+            scratch: ScratchPool::default(),
+        };
+        for block_id in 0..total {
+            let outcome = worker
+                .run_block(
+                    launch,
+                    block_id,
+                    &l1_template,
+                    &cc_template,
+                    &iterations,
+                    total > 1,
+                )
+                .map_err(eval_err)?;
+            outcomes.push(outcome);
+        }
+    } else {
+        let queue = WorkQueue::new(total, workers);
+        let abort = AtomicBool::new(false);
+        let mut first_err: Option<(usize, EvalError)> = None;
+        {
+            let buffers_src: &Vec<BufferStorage> = buffers;
+            let (l1_t, cc_t) = (&l1_template, &cc_template);
+            let (queue_ref, abort_ref, iters_ref) = (&queue, &abort, &iterations);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let mut image = buffers_src.clone();
+                        s.spawn(move || {
+                            let mut worker = Worker {
+                                buffers: &mut image,
+                                log: Vec::new(),
+                                scratch: ScratchPool::default(),
+                            };
+                            let mut done = Vec::new();
+                            let mut err = None;
+                            while let Some(block_id) = queue_ref.pop(w) {
+                                if abort_ref.load(Ordering::Relaxed) {
+                                    break;
+                                }
+                                match worker.run_block(
+                                    launch, block_id, l1_t, cc_t, iters_ref, true,
+                                ) {
+                                    Ok(outcome) => done.push(outcome),
+                                    Err(e) => {
+                                        err = Some((block_id, e));
+                                        abort_ref.store(true, Ordering::Relaxed);
+                                        break;
+                                    }
+                                }
+                            }
+                            (done, err)
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    let (done, err) = handle.join().expect("executor worker panicked");
+                    outcomes.extend(done);
+                    if let Some((block_id, e)) = err {
+                        // Deterministic-ish selection: report the failure
+                        // with the lowest block id among those observed.
+                        if first_err.as_ref().is_none_or(|(b, _)| block_id < *b) {
+                            first_err = Some((block_id, e));
+                        }
+                    }
+                }
+            });
+        }
+        if let Some((_, source)) = first_err {
+            return Err(eval_err(source));
+        }
+        outcomes.sort_by_key(|o| o.block);
+    }
+    debug_assert_eq!(outcomes.len(), total);
+
+    // Deterministic fold: stats and write logs in ascending block order.
+    let mut stats = LaunchStats::default();
+    for outcome in &outcomes {
+        stats += outcome.stats;
+    }
+    for outcome in &outcomes {
+        replay_writes(buffers, &outcome.log).map_err(eval_err)?;
+    }
+    if let Some(last) = outcomes.pop() {
+        *l1 = last.l1;
+        *constant_cache = last.constant_cache;
+    }
+    l1.set_counters(entry_l1.0 + stats.l1_hits, entry_l1.1 + stats.l1_misses);
+    constant_cache.set_counters(entry_cc.0 + stats.const_hits, entry_cc.1 + stats.const_misses);
+
+    stats.workers = workers as u64;
+    stats.wall_nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    Ok(stats)
+}
+
+/// Run a single block to completion and return its stats and final caches.
+#[allow(clippy::too_many_arguments)]
+fn exec_block(
+    launch: &Launch<'_>,
+    block_id: usize,
+    buffers: &mut Vec<BufferStorage>,
+    log: Option<&mut Vec<LoggedWrite>>,
+    l1: Cache,
+    constant_cache: Cache,
+    iterations: &AtomicU64,
+    scratch: &mut ScratchPool,
+) -> Result<(LaunchStats, Cache, Cache), EvalError> {
+    let lanes = launch.block.count();
+    let mut ctx = ExecCtx {
+        profile: launch.profile,
+        program: launch.program,
+        kernel: launch.kernel,
+        args: launch.args,
+        grid: launch.grid,
+        block: launch.block,
+        lanes,
+        buffers,
+        log,
+        l1,
+        constant_cache,
+        stats: LaunchStats::default(),
+        shared: launch
+            .kernel
+            .shared
+            .iter()
+            .map(|decl| vec![Scalar::zero(decl.ty); decl.len])
+            .collect(),
+        block_x: (block_id % launch.grid.x) as i32,
+        block_y: (block_id / launch.grid.x) as i32,
+        iterations,
+        scratch,
+    };
+    ctx.stats.blocks = 1;
+    ctx.stats.warps = lanes.div_ceil(ctx.profile.warp_width) as u64;
+    ctx.stats.overhead_cycles = ctx.profile.block_overhead;
+    let mask = vec![true; lanes];
+    let mut frame = Frame::for_kernel(ctx.kernel.locals.len());
+    ctx.run_block(&launch.kernel.body, &mask, &mut frame)?;
+    Ok((ctx.stats, ctx.l1, ctx.constant_cache))
+}
+
+struct ExecCtx<'a> {
     profile: &'a DeviceProfile,
-    buffers: &'a mut Vec<BufferStorage>,
-    l1: &'a mut Cache,
-    constant_cache: &'a mut Cache,
     program: &'a Program,
     kernel: &'a Kernel,
     args: &'a [ArgValue],
     grid: Dim2,
     block: Dim2,
-    stats: LaunchStats,
     lanes: usize,
-    // Per-block state:
+    buffers: &'a mut Vec<BufferStorage>,
+    /// `Some` when the block must be isolated (multi-block launches):
+    /// every global write is recorded for revert + ordered replay.
+    log: Option<&'a mut Vec<LoggedWrite>>,
+    /// Block-private cache snapshots (cloned from launch-entry state).
+    l1: Cache,
+    constant_cache: Cache,
+    stats: LaunchStats,
     shared: Vec<Vec<Scalar>>,
     block_x: i32,
     block_y: i32,
-    iterations: u64,
+    /// Launch-wide loop-iteration budget, shared across workers.
+    iterations: &'a AtomicU64,
+    scratch: &'a mut ScratchPool,
 }
 
-impl<'a> ExecCtx<'a> {
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn new(
-        profile: &'a DeviceProfile,
-        buffers: &'a mut Vec<BufferStorage>,
-        l1: &'a mut Cache,
-        constant_cache: &'a mut Cache,
-        program: &'a Program,
-        kernel: &'a Kernel,
-        args: &'a [ArgValue],
-        grid: Dim2,
-        block: Dim2,
-    ) -> ExecCtx<'a> {
-        let lanes = block.count();
-        ExecCtx {
-            profile,
-            buffers,
-            l1,
-            constant_cache,
-            program,
-            kernel,
-            args,
-            grid,
-            block,
-            stats: LaunchStats::default(),
-            lanes,
-            shared: Vec::new(),
-            block_x: 0,
-            block_y: 0,
-            iterations: 0,
-        }
-    }
-
-    pub(crate) fn run(mut self) -> Result<LaunchStats, LaunchError> {
-        let warps_per_block = self.lanes.div_ceil(self.profile.warp_width) as u64;
-        for by in 0..self.grid.y {
-            for bx in 0..self.grid.x {
-                self.block_x = bx as i32;
-                self.block_y = by as i32;
-                self.shared = self
-                    .kernel
-                    .shared
-                    .iter()
-                    .map(|decl| vec![Scalar::zero(decl.ty); decl.len])
-                    .collect();
-                self.stats.blocks += 1;
-                self.stats.warps += warps_per_block;
-                self.stats.overhead_cycles += self.profile.block_overhead;
-                let mask = vec![true; self.lanes];
-                let mut frame = Frame::for_kernel(self.kernel.locals.len());
-                let body = &self.kernel.body;
-                self.run_block(body, &mask, &mut frame)
-                    .map_err(|source| LaunchError::Eval {
-                        kernel: self.kernel.name.clone(),
-                        source,
-                    })?;
-            }
-        }
-        Ok(self.stats)
-    }
-
+impl ExecCtx<'_> {
     // ---- cost charging ------------------------------------------------
 
-    /// Iterate warp lane-ranges that contain at least one active lane.
-    fn active_warp_ranges(&self, mask: &Mask) -> Vec<(usize, usize)> {
-        let w = self.profile.warp_width;
-        let mut out = Vec::new();
-        let mut start = 0;
-        while start < self.lanes {
-            let end = (start + w).min(self.lanes);
-            if mask[start..end].iter().any(|&b| b) {
-                out.push((start, end));
-            }
-            start = end;
+    /// Number of warps with at least one active lane. Fully-converged
+    /// masks (the common case) skip the per-lane scan.
+    fn warp_count(&self, mask: &Mask) -> u64 {
+        if all(mask) {
+            self.lanes.div_ceil(self.profile.warp_width) as u64
+        } else {
+            active_warps(self.profile.warp_width, self.lanes, mask).count() as u64
         }
-        out
     }
 
     fn charge_compute(&mut self, lat: u64, mask: &Mask) {
-        let warps = self.active_warp_ranges(mask).len() as u64;
+        let warps = self.warp_count(mask);
         self.stats.compute_cycles += lat * warps;
         self.stats.instructions += warps;
     }
@@ -185,16 +522,18 @@ impl<'a> ExecCtx<'a> {
 
     fn eval(&mut self, e: &Expr, mask: &Mask, frame: &mut Frame<'_>) -> Result<Lanes, EvalError> {
         match e {
-            Expr::Const(v) => Ok(vec![*v; self.lanes]),
+            Expr::Const(v) => Ok(self.scratch.take_lanes(self.lanes, *v)),
             Expr::Var(v) => {
                 let lanes = frame.locals[v.index()]
                     .as_ref()
                     .ok_or(EvalError::UninitializedVar(v.0))?;
-                Ok(lanes.clone())
+                let mut out = self.scratch.take_lanes(self.lanes, FILLER);
+                out.copy_from_slice(lanes);
+                Ok(out)
             }
             Expr::Param(i) => match &frame.args {
                 FrameArgs::Kernel => match self.args.get(*i) {
-                    Some(ArgValue::Scalar(s)) => Ok(vec![*s; self.lanes]),
+                    Some(ArgValue::Scalar(s)) => Ok(self.scratch.take_lanes(self.lanes, *s)),
                     Some(ArgValue::Buffer(_)) => {
                         Err(EvalError::NotPure("buffer parameter read as a scalar"))
                     }
@@ -203,13 +542,17 @@ impl<'a> ExecCtx<'a> {
                         found: self.args.len(),
                     }),
                 },
-                FrameArgs::Func(args) => args
-                    .get(*i)
-                    .cloned()
-                    .ok_or(EvalError::ArityMismatch {
+                FrameArgs::Func(args) => match args.get(*i) {
+                    Some(arg) => {
+                        let mut out = self.scratch.take_lanes(self.lanes, FILLER);
+                        out.copy_from_slice(arg);
+                        Ok(out)
+                    }
+                    None => Err(EvalError::ArityMismatch {
                         expected: *i + 1,
                         found: 0,
                     }),
+                },
             },
             Expr::Special(s) => {
                 if matches!(frame.args, FrameArgs::Func(_)) {
@@ -221,7 +564,7 @@ impl<'a> ExecCtx<'a> {
                 let bdy = self.block.y as i32;
                 let gdx = self.grid.x as i32;
                 let gdy = self.grid.y as i32;
-                let mut out = vec![FILLER; self.lanes];
+                let mut out = self.scratch.take_lanes(self.lanes, FILLER);
                 for (lane, slot) in out.iter_mut().enumerate() {
                     let tx = (lane % self.block.x) as i32;
                     let ty = (lane / self.block.x) as i32;
@@ -241,12 +584,19 @@ impl<'a> ExecCtx<'a> {
             Expr::Unary(op, a) => {
                 let va = self.eval(a, mask, frame)?;
                 self.charge_compute(self.profile.unop_lat(*op), mask);
-                let mut out = vec![FILLER; self.lanes];
-                for lane in 0..self.lanes {
-                    if mask[lane] {
+                let mut out = self.scratch.take_lanes(self.lanes, FILLER);
+                if all(mask) {
+                    for lane in 0..self.lanes {
                         out[lane] = op.apply(va[lane])?;
                     }
+                } else {
+                    for lane in 0..self.lanes {
+                        if mask[lane] {
+                            out[lane] = op.apply(va[lane])?;
+                        }
+                    }
                 }
+                self.scratch.put_lanes(va);
                 Ok(out)
             }
             Expr::Binary(op, a, b) => {
@@ -258,24 +608,40 @@ impl<'a> ExecCtx<'a> {
                     .map(|l| va[l].ty() == Ty::F32)
                     .unwrap_or(false);
                 self.charge_compute(self.profile.binop_lat(*op, float), mask);
-                let mut out = vec![FILLER; self.lanes];
-                for lane in 0..self.lanes {
-                    if mask[lane] {
+                let mut out = self.scratch.take_lanes(self.lanes, FILLER);
+                if all(mask) {
+                    for lane in 0..self.lanes {
                         out[lane] = op.apply(va[lane], vb[lane])?;
                     }
+                } else {
+                    for lane in 0..self.lanes {
+                        if mask[lane] {
+                            out[lane] = op.apply(va[lane], vb[lane])?;
+                        }
+                    }
                 }
+                self.scratch.put_lanes(va);
+                self.scratch.put_lanes(vb);
                 Ok(out)
             }
             Expr::Cmp(op, a, b) => {
                 let va = self.eval(a, mask, frame)?;
                 let vb = self.eval(b, mask, frame)?;
                 self.charge_compute(self.profile.alu_lat, mask);
-                let mut out = vec![FILLER; self.lanes];
-                for lane in 0..self.lanes {
-                    if mask[lane] {
+                let mut out = self.scratch.take_lanes(self.lanes, FILLER);
+                if all(mask) {
+                    for lane in 0..self.lanes {
                         out[lane] = op.apply(va[lane], vb[lane])?;
                     }
+                } else {
+                    for lane in 0..self.lanes {
+                        if mask[lane] {
+                            out[lane] = op.apply(va[lane], vb[lane])?;
+                        }
+                    }
                 }
+                self.scratch.put_lanes(va);
+                self.scratch.put_lanes(vb);
                 Ok(out)
             }
             Expr::Select {
@@ -285,8 +651,8 @@ impl<'a> ExecCtx<'a> {
             } => {
                 let c = self.eval(cond, mask, frame)?;
                 self.charge_compute(self.profile.alu_lat, mask);
-                let mut t_mask = vec![false; self.lanes];
-                let mut f_mask = vec![false; self.lanes];
+                let mut t_mask = self.scratch.take_mask(self.lanes, false);
+                let mut f_mask = self.scratch.take_mask(self.lanes, false);
                 for lane in 0..self.lanes {
                     if mask[lane] {
                         if c[lane].as_bool()? {
@@ -296,7 +662,8 @@ impl<'a> ExecCtx<'a> {
                         }
                     }
                 }
-                let mut out = vec![FILLER; self.lanes];
+                self.scratch.put_lanes(c);
+                let mut out = self.scratch.take_lanes(self.lanes, FILLER);
                 if any(&t_mask) {
                     let tv = self.eval(if_true, &t_mask, frame)?;
                     for lane in 0..self.lanes {
@@ -304,6 +671,7 @@ impl<'a> ExecCtx<'a> {
                             out[lane] = tv[lane];
                         }
                     }
+                    self.scratch.put_lanes(tv);
                 }
                 if any(&f_mask) {
                     let fv = self.eval(if_false, &f_mask, frame)?;
@@ -312,18 +680,28 @@ impl<'a> ExecCtx<'a> {
                             out[lane] = fv[lane];
                         }
                     }
+                    self.scratch.put_lanes(fv);
                 }
+                self.scratch.put_mask(t_mask);
+                self.scratch.put_mask(f_mask);
                 Ok(out)
             }
             Expr::Cast(ty, a) => {
                 let va = self.eval(a, mask, frame)?;
                 self.charge_compute(self.profile.alu_lat, mask);
-                let mut out = vec![FILLER; self.lanes];
-                for lane in 0..self.lanes {
-                    if mask[lane] {
+                let mut out = self.scratch.take_lanes(self.lanes, FILLER);
+                if all(mask) {
+                    for lane in 0..self.lanes {
                         out[lane] = va[lane].cast(*ty);
                     }
+                } else {
+                    for lane in 0..self.lanes {
+                        if mask[lane] {
+                            out[lane] = va[lane].cast(*ty);
+                        }
+                    }
                 }
+                self.scratch.put_lanes(va);
                 Ok(out)
             }
             Expr::Load { mem, index } => {
@@ -331,7 +709,9 @@ impl<'a> ExecCtx<'a> {
                 if matches!(frame.args, FrameArgs::Func(_)) {
                     return Err(EvalError::NotPure("load"));
                 }
-                self.do_load(*mem, &idx, mask)
+                let out = self.do_load(*mem, &idx, mask)?;
+                self.scratch.put_lanes(idx);
+                Ok(out)
             }
             Expr::Call { func, args } => {
                 let callee = self
@@ -344,7 +724,11 @@ impl<'a> ExecCtx<'a> {
                 for a in args {
                     arg_lanes.push(self.eval(a, mask, frame)?);
                 }
-                self.call_func(callee, &arg_lanes, mask)
+                let out = self.call_func(callee, &arg_lanes, mask)?;
+                for v in arg_lanes {
+                    self.scratch.put_lanes(v);
+                }
+                Ok(out)
             }
         }
     }
@@ -392,12 +776,30 @@ impl<'a> ExecCtx<'a> {
         mask: &Mask,
         frame: &mut Frame<'_>,
     ) -> Result<(), EvalError> {
+        if frame.returned.is_none() {
+            // Kernel frames never return, so the live mask is the incoming
+            // mask for every statement — no per-statement bookkeeping.
+            if !any(mask) {
+                return Ok(());
+            }
+            for stmt in stmts {
+                self.run_stmt(stmt, mask, frame)?;
+            }
+            return Ok(());
+        }
         for stmt in stmts {
-            let live = frame.live(mask);
+            let mut live = self.scratch.take_mask(self.lanes, false);
+            let (returned, _) = frame.returned.as_ref().expect("checked above");
+            for lane in 0..self.lanes {
+                live[lane] = mask[lane] && !returned[lane];
+            }
             if !any(&live) {
+                self.scratch.put_mask(live);
                 break;
             }
-            self.run_stmt(stmt, &live, frame)?;
+            let result = self.run_stmt(stmt, &live, frame);
+            self.scratch.put_mask(live);
+            result?;
         }
         Ok(())
     }
@@ -413,11 +815,16 @@ impl<'a> ExecCtx<'a> {
                 let v = self.eval(init, mask, frame)?;
                 match &mut frame.locals[var.index()] {
                     Some(existing) => {
-                        for lane in 0..self.lanes {
-                            if mask[lane] {
-                                existing[lane] = v[lane];
+                        if all(mask) {
+                            existing.copy_from_slice(&v);
+                        } else {
+                            for lane in 0..self.lanes {
+                                if mask[lane] {
+                                    existing[lane] = v[lane];
+                                }
                             }
                         }
+                        self.scratch.put_lanes(v);
                     }
                     slot @ None => *slot = Some(v),
                 }
@@ -429,7 +836,10 @@ impl<'a> ExecCtx<'a> {
                 }
                 let idx = self.eval(index, mask, frame)?;
                 let val = self.eval(value, mask, frame)?;
-                self.do_store(*mem, &idx, &val, mask)
+                let result = self.do_store(*mem, &idx, &val, mask);
+                self.scratch.put_lanes(idx);
+                self.scratch.put_lanes(val);
+                result
             }
             Stmt::Atomic {
                 op,
@@ -442,7 +852,10 @@ impl<'a> ExecCtx<'a> {
                 }
                 let idx = self.eval(index, mask, frame)?;
                 let val = self.eval(value, mask, frame)?;
-                self.do_atomic(*op, *mem, &idx, &val, mask)
+                let result = self.do_atomic(*op, *mem, &idx, &val, mask);
+                self.scratch.put_lanes(idx);
+                self.scratch.put_lanes(val);
+                result
             }
             Stmt::If {
                 cond,
@@ -451,8 +864,8 @@ impl<'a> ExecCtx<'a> {
             } => {
                 let c = self.eval(cond, mask, frame)?;
                 self.charge_compute(self.profile.alu_lat, mask); // branch
-                let mut t_mask = vec![false; self.lanes];
-                let mut f_mask = vec![false; self.lanes];
+                let mut t_mask = self.scratch.take_mask(self.lanes, false);
+                let mut f_mask = self.scratch.take_mask(self.lanes, false);
                 for lane in 0..self.lanes {
                     if mask[lane] {
                         if c[lane].as_bool()? {
@@ -462,12 +875,15 @@ impl<'a> ExecCtx<'a> {
                         }
                     }
                 }
+                self.scratch.put_lanes(c);
                 if any(&t_mask) {
                     self.run_block(then_body, &t_mask, frame)?;
                 }
                 if any(&f_mask) {
                     self.run_block(else_body, &f_mask, frame)?;
                 }
+                self.scratch.put_mask(t_mask);
+                self.scratch.put_mask(f_mask);
                 Ok(())
             }
             Stmt::For {
@@ -485,6 +901,7 @@ impl<'a> ExecCtx<'a> {
                                 existing[lane] = init_v[lane];
                             }
                         }
+                        self.scratch.put_lanes(init_v);
                     }
                     slot @ None => *slot = Some(init_v),
                 }
@@ -501,7 +918,15 @@ impl<'a> ExecCtx<'a> {
                     LoopStep::Shl(_) => BinOp::Shl,
                     LoopStep::Shr(_) => BinOp::Shr,
                 };
-                let mut loop_mask = frame.live(mask);
+                let mut loop_mask = self.scratch.take_mask(self.lanes, false);
+                match &frame.returned {
+                    Some((returned, _)) => {
+                        for lane in 0..self.lanes {
+                            loop_mask[lane] = mask[lane] && !returned[lane];
+                        }
+                    }
+                    None => loop_mask.copy_from_slice(mask),
+                }
                 loop {
                     if !any(&loop_mask) {
                         break;
@@ -513,23 +938,31 @@ impl<'a> ExecCtx<'a> {
                     let current = frame.locals[var.index()]
                         .as_ref()
                         .ok_or(EvalError::UninitializedVar(var.0))?;
-                    let mut next_mask = vec![false; self.lanes];
+                    let mut next_mask = self.scratch.take_mask(self.lanes, false);
                     for lane in 0..self.lanes {
                         if loop_mask[lane] && cmp_op.apply(current[lane], bound[lane])?.as_bool()? {
                             next_mask[lane] = true;
                         }
                     }
-                    loop_mask = next_mask;
+                    self.scratch.put_lanes(bound);
+                    self.scratch.put_mask(std::mem::replace(&mut loop_mask, next_mask));
                     if !any(&loop_mask) {
                         break;
                     }
-                    self.iterations += 1;
-                    if self.iterations > ITERATION_BUDGET {
+                    // The iteration budget is launch-wide: one shared
+                    // counter across all workers, so runaway loops are
+                    // bounded per launch rather than per block.
+                    let used = self.iterations.fetch_add(1, Ordering::Relaxed) + 1;
+                    if used > ITERATION_BUDGET {
                         return Err(EvalError::IterationLimit);
                     }
                     self.run_block(body, &loop_mask, frame)?;
                     // Lanes that returned inside the body leave the loop.
-                    loop_mask = frame.live(&loop_mask);
+                    if let Some((returned, _)) = &frame.returned {
+                        for lane in 0..self.lanes {
+                            loop_mask[lane] = loop_mask[lane] && !returned[lane];
+                        }
+                    }
                     if !any(&loop_mask) {
                         break;
                     }
@@ -543,14 +976,16 @@ impl<'a> ExecCtx<'a> {
                             current[lane] = step_op.apply(current[lane], amount[lane])?;
                         }
                     }
+                    self.scratch.put_lanes(amount);
                 }
+                self.scratch.put_mask(loop_mask);
                 Ok(())
             }
             Stmt::Sync => {
                 if matches!(frame.args, FrameArgs::Func(_)) {
                     return Err(EvalError::NotPure("sync"));
                 }
-                if mask.iter().all(|&b| b) {
+                if all(mask) {
                     Ok(())
                 } else {
                     Err(EvalError::DivergentBarrier)
@@ -568,6 +1003,7 @@ impl<'a> ExecCtx<'a> {
                         values[lane] = v[lane];
                     }
                 }
+                self.scratch.put_lanes(v);
                 Ok(())
             }
         }
@@ -603,7 +1039,7 @@ impl<'a> ExecCtx<'a> {
     }
 
     fn do_load(&mut self, mem: MemRef, idx: &Lanes, mask: &Mask) -> Result<Lanes, EvalError> {
-        let mut out = vec![FILLER; self.lanes];
+        let mut out = self.scratch.take_lanes(self.lanes, FILLER);
         match mem {
             MemRef::Shared(sid) => {
                 let len = self
@@ -652,7 +1088,8 @@ impl<'a> ExecCtx<'a> {
 
     fn charge_shared_access(&mut self, idx: &Lanes, mask: &Mask) -> Result<(), EvalError> {
         const BANKS: usize = 32;
-        for (start, end) in self.active_warp_ranges(mask) {
+        let (w, lanes) = (self.profile.warp_width, self.lanes);
+        for (start, end) in active_warps(w, lanes, mask) {
             // Conflict degree: max number of *distinct word addresses*
             // mapping to the same bank within the warp.
             let mut per_bank: Vec<Vec<i64>> = vec![Vec::new(); BANKS];
@@ -681,7 +1118,8 @@ impl<'a> ExecCtx<'a> {
         mask: &Mask,
     ) -> Result<(), EvalError> {
         let line = self.l1.line() as u64;
-        for (start, end) in self.active_warp_ranges(mask) {
+        let (w, lanes) = (self.profile.warp_width, self.lanes);
+        for (start, end) in active_warps(w, lanes, mask) {
             let mut segments: Vec<u64> = Vec::new();
             for lane in start..end {
                 if mask[lane] {
@@ -733,7 +1171,8 @@ impl<'a> ExecCtx<'a> {
         mask: &Mask,
     ) -> Result<(), EvalError> {
         let line = self.constant_cache.line() as u64;
-        for (start, end) in self.active_warp_ranges(mask) {
+        let (w, lanes) = (self.profile.warp_width, self.lanes);
+        for (start, end) in active_warps(w, lanes, mask) {
             // The constant cache broadcasts one word per cycle: distinct
             // word addresses within a warp serialize.
             let mut words: Vec<u64> = Vec::new();
@@ -811,7 +1250,7 @@ impl<'a> ExecCtx<'a> {
                     }
                 }
                 self.charge_shared_access(idx, mask)?;
-                self.stats.stores += self.active_warp_ranges(mask).len() as u64;
+                self.stats.stores += self.warp_count(mask);
             }
             MemRef::Param(_) => {
                 let b = self.resolve_buffer(mem)?;
@@ -833,12 +1272,22 @@ impl<'a> ExecCtx<'a> {
                                 found: val[lane].ty(),
                             });
                         }
+                        if let Some(log) = self.log.as_mut() {
+                            log.push(LoggedWrite::Store {
+                                buf: b,
+                                index: i as usize,
+                                old: self.buffers[b].data[i as usize],
+                                new: val[lane],
+                            });
+                        }
                         self.buffers[b].data[i as usize] = val[lane];
                     }
                 }
                 // Coalescing for stores: one transaction per distinct line.
                 let line = self.l1.line() as u64;
-                for (start, end) in self.active_warp_ranges(mask) {
+                let (w, lanes) = (self.profile.warp_width, self.lanes);
+                let store_lat = self.profile.store_lat;
+                for (start, end) in active_warps(w, lanes, mask) {
                     let mut segments: Vec<u64> = Vec::new();
                     for lane in start..end {
                         if mask[lane] {
@@ -852,8 +1301,7 @@ impl<'a> ExecCtx<'a> {
                     }
                     self.stats.stores += 1;
                     self.stats.instructions += 1;
-                    self.stats.memory_cycles +=
-                        self.profile.store_lat * segments.len() as u64;
+                    self.stats.memory_cycles += store_lat * segments.len() as u64;
                 }
             }
         }
@@ -897,7 +1345,17 @@ impl<'a> ExecCtx<'a> {
                             return Err(EvalError::OutOfBounds { index: i, len });
                         }
                         let old = self.buffers[b].data[i as usize];
-                        self.buffers[b].data[i as usize] = bin.apply(old, val[lane])?;
+                        let new = bin.apply(old, val[lane])?;
+                        if let Some(log) = self.log.as_mut() {
+                            log.push(LoggedWrite::Atomic {
+                                buf: b,
+                                index: i as usize,
+                                op: bin,
+                                operand: val[lane],
+                                old,
+                            });
+                        }
+                        self.buffers[b].data[i as usize] = new;
                     }
                 }
             }
@@ -905,7 +1363,7 @@ impl<'a> ExecCtx<'a> {
         // Atomics fully serialize across active lanes.
         self.stats.atomics += active;
         self.stats.memory_cycles += self.profile.atomic_lat * active;
-        self.stats.instructions += self.active_warp_ranges(mask).len() as u64;
+        self.stats.instructions += self.warp_count(mask);
         Ok(())
     }
 }

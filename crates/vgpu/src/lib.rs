@@ -13,6 +13,11 @@
 //! * atomic-operation serialization,
 //! * a per-instruction latency table supplied by a [`DeviceProfile`].
 //!
+//! Independent thread blocks execute concurrently on host worker threads
+//! (see [`DeviceProfile::parallelism`] and the `PARAPROX_THREADS`
+//! environment variable); results, simulated cycles, and cache statistics
+//! are bit-identical for every worker count.
+//!
 //! Executing a kernel yields both its *results* (buffer contents) and its
 //! *cost* ([`LaunchStats`], in device cycles). All speedups reported by the
 //! reproduction are ratios of simulated cycles on the same profile, mirroring
@@ -57,6 +62,7 @@ mod device;
 mod error;
 mod exec;
 mod plan;
+mod pool;
 mod profile;
 mod stats;
 

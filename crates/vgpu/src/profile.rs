@@ -85,6 +85,12 @@ pub struct DeviceProfile {
     pub cache: CacheConfig,
     /// Bytes of shared memory available per block.
     pub shared_mem_bytes: usize,
+    /// Host worker threads used to execute independent blocks concurrently.
+    /// `0` means "all available cores"; `1` forces serial execution. The
+    /// `PARAPROX_THREADS` environment variable overrides this knob. Results
+    /// are bit-identical for every setting — this only affects wall-clock
+    /// time, never simulated cycles.
+    pub parallelism: usize,
 }
 
 impl DeviceProfile {
@@ -112,6 +118,7 @@ impl DeviceProfile {
             latency_hiding: 4, // dozens of resident warps per SM
             cache: CacheConfig::gpu_l1_16k(),
             shared_mem_bytes: 48 * 1024,
+            parallelism: 0,
         }
     }
 
@@ -139,7 +146,15 @@ impl DeviceProfile {
             latency_hiding: 2, // two hardware threads per core
             cache: CacheConfig::cpu_l1_256k(),
             shared_mem_bytes: 256 * 1024,
+            parallelism: 0,
         }
+    }
+
+    /// Return the profile with its host-parallelism knob set (`0` = all
+    /// available cores, `1` = serial).
+    pub fn with_parallelism(mut self, workers: usize) -> DeviceProfile {
+        self.parallelism = workers;
+        self
     }
 
     /// Latency of a unary operation.

@@ -10,7 +10,7 @@ use std::ops::AddAssign;
 /// executes the instruction, mirroring SIMT issue. Speedup between two
 /// launches on the same [`crate::DeviceProfile`] is
 /// `baseline.total_cycles() / variant.total_cycles()`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct LaunchStats {
     /// Cycles spent in arithmetic/logic/control instructions.
     pub compute_cycles: u64,
@@ -47,7 +47,41 @@ pub struct LaunchStats {
     pub warps: u64,
     /// Blocks launched.
     pub blocks: u64,
+    /// Host wall-clock time spent executing the launch, in nanoseconds.
+    /// Measurement, not simulation: excluded from equality so results can
+    /// be compared across worker counts.
+    pub wall_nanos: u64,
+    /// Host worker threads used for the launch (also excluded from
+    /// equality).
+    pub workers: u64,
 }
+
+/// Equality covers every *simulated* counter; `wall_nanos` and `workers`
+/// are host-side measurements and deliberately ignored, so stats from runs
+/// at different parallelism levels compare equal iff the simulation agreed.
+impl PartialEq for LaunchStats {
+    fn eq(&self, other: &LaunchStats) -> bool {
+        self.compute_cycles == other.compute_cycles
+            && self.memory_cycles == other.memory_cycles
+            && self.overhead_cycles == other.overhead_cycles
+            && self.instructions == other.instructions
+            && self.loads == other.loads
+            && self.stores == other.stores
+            && self.atomics == other.atomics
+            && self.load_transactions == other.load_transactions
+            && self.serialized_transactions == other.serialized_transactions
+            && self.l1_hits == other.l1_hits
+            && self.l1_misses == other.l1_misses
+            && self.const_hits == other.const_hits
+            && self.const_misses == other.const_misses
+            && self.shared_accesses == other.shared_accesses
+            && self.bank_conflict_extra == other.bank_conflict_extra
+            && self.warps == other.warps
+            && self.blocks == other.blocks
+    }
+}
+
+impl Eq for LaunchStats {}
 
 impl LaunchStats {
     /// Total simulated cycles for the launch.
@@ -102,6 +136,10 @@ impl AddAssign for LaunchStats {
         self.bank_conflict_extra += rhs.bank_conflict_extra;
         self.warps += rhs.warps;
         self.blocks += rhs.blocks;
+        // Host-side measurements: wall time adds (total CPU work), worker
+        // count takes the maximum seen across the accumulated launches.
+        self.wall_nanos += rhs.wall_nanos;
+        self.workers = self.workers.max(rhs.workers);
     }
 }
 
@@ -171,11 +209,37 @@ mod tests {
             bank_conflict_extra: 15,
             warps: 16,
             blocks: 17,
+            wall_nanos: 18,
+            workers: 19,
         };
         a += a;
         assert_eq!(a.compute_cycles, 2);
         assert_eq!(a.blocks, 34);
         assert_eq!(a.bank_conflict_extra, 30);
+        assert_eq!(a.wall_nanos, 36);
+        assert_eq!(a.workers, 19); // max, not sum
+    }
+
+    #[test]
+    fn equality_ignores_host_measurements() {
+        let a = LaunchStats {
+            compute_cycles: 7,
+            wall_nanos: 1,
+            workers: 1,
+            ..Default::default()
+        };
+        let b = LaunchStats {
+            compute_cycles: 7,
+            wall_nanos: 999,
+            workers: 8,
+            ..Default::default()
+        };
+        assert_eq!(a, b);
+        let c = LaunchStats {
+            compute_cycles: 8,
+            ..Default::default()
+        };
+        assert_ne!(a, c);
     }
 
     #[test]

@@ -1,41 +1,42 @@
-//! Differential and property-based testing of the SIMT interpreter.
+//! Differential and randomized testing of the SIMT interpreter.
 //!
 //! The interpreter and the pure evaluator (`paraprox_ir::eval_func`) are
 //! two independent implementations of the IR's semantics; running randomly
 //! generated pure functions through both and comparing the results guards
-//! each against the other.
+//! each against the other. Cases are drawn from the in-repo deterministic
+//! PRNG, so every run exercises the same corpus.
 
 use paraprox_ir::{
     eval_func, Expr, Func, FuncId, KernelBuilder, LocalDecl, MemSpace, Param, Program, Scalar,
     Stmt, Ty, VarId,
 };
+use paraprox_prng::Rng;
 use paraprox_vgpu::{Device, DeviceProfile, Dim2};
-use proptest::prelude::*;
 
 /// A compact generator of pure f32 expression trees over one parameter
 /// (`Param(0)`) and one bound local (`Var(0)`).
-fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
-    let leaf = prop_oneof![
-        (-4.0f32..4.0).prop_map(Expr::f32),
-        Just(Expr::Param(0)),
-        Just(Expr::Var(VarId(0))),
-    ];
-    leaf.prop_recursive(depth, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.min(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.max(b)),
-            inner.clone().prop_map(|a| a.abs()),
-            inner.clone().prop_map(|a| (a.abs() + Expr::f32(0.5)).sqrt()),
-            inner.clone().prop_map(|a| a.min(Expr::f32(8.0)).exp()),
-            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| {
-                c.lt(Expr::f32(0.0)).select(t, f)
-            }),
-        ]
-    })
-    .boxed()
+fn gen_expr(r: &mut Rng, depth: u32) -> Expr {
+    if depth == 0 || r.random_range(0u32..4) == 0 {
+        return match r.random_range(0u32..3) {
+            0 => Expr::f32(r.random_range(-4.0f32..4.0)),
+            1 => Expr::Param(0),
+            _ => Expr::Var(VarId(0)),
+        };
+    }
+    let a = gen_expr(r, depth - 1);
+    match r.random_range(0u32..9) {
+        0 => a + gen_expr(r, depth - 1),
+        1 => a - gen_expr(r, depth - 1),
+        2 => a * gen_expr(r, depth - 1),
+        3 => a.min(gen_expr(r, depth - 1)),
+        4 => a.max(gen_expr(r, depth - 1)),
+        5 => a.abs(),
+        6 => (a.abs() + Expr::f32(0.5)).sqrt(),
+        7 => a.min(Expr::f32(8.0)).exp(),
+        _ => a
+            .lt(Expr::f32(0.0))
+            .select(gen_expr(r, depth - 1), gen_expr(r, depth - 1)),
+    }
 }
 
 /// Wrap an expression into a pure function `f(x) = let v0 = x * 0.5 + 1; expr`.
@@ -61,12 +62,16 @@ fn wrap_function(expr: Expr) -> Func {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// The SIMT interpreter and the pure evaluator agree on every lane.
+#[test]
+fn interpreter_matches_pure_evaluator() {
+    for case in 0..64u64 {
+        let mut r = Rng::seed_from_u64(0xD1FF ^ case);
+        let expr = gen_expr(&mut r, 4);
+        let xs: Vec<f32> = (0..r.random_range(8usize..32))
+            .map(|_| r.random_range(-8.0f32..8.0))
+            .collect();
 
-    /// The SIMT interpreter and the pure evaluator agree on every lane.
-    #[test]
-    fn interpreter_matches_pure_evaluator(expr in arb_expr(4), xs in prop::collection::vec(-8.0f32..8.0, 8..32)) {
         let mut program = Program::new();
         let func = wrap_function(expr);
         let func_id: FuncId = program.add_func(func.clone());
@@ -77,7 +82,14 @@ proptest! {
         let output = kb.buffer("out", Ty::F32, MemSpace::Global);
         let gid = kb.let_("gid", KernelBuilder::global_id_x());
         let x = kb.let_("x", kb.load(input, gid.clone()));
-        kb.store(output, gid, Expr::Call { func: func_id, args: vec![x] });
+        kb.store(
+            output,
+            gid,
+            Expr::Call {
+                func: func_id,
+                args: vec![x],
+            },
+        );
         let kid = program.add_kernel(kb.finish());
 
         // Pad to a full block.
@@ -89,7 +101,13 @@ proptest! {
         let in_b = device.alloc_f32(MemSpace::Global, &data);
         let out_b = device.alloc_f32(MemSpace::Global, &vec![0.0; n]);
         device
-            .launch(&program, kid, Dim2::linear(n / 8), Dim2::linear(8), &[in_b.into(), out_b.into()])
+            .launch(
+                &program,
+                kid,
+                Dim2::linear(n / 8),
+                Dim2::linear(8),
+                &[in_b.into(), out_b.into()],
+            )
             .expect("launch");
         let simd = device.read_f32(out_b).expect("read");
 
@@ -99,20 +117,23 @@ proptest! {
                 .as_f32()
                 .expect("f32");
             let got = simd[i];
-            prop_assert!(
-                (scalar.is_nan() && got.is_nan()) || (scalar - got).abs() <= 1e-5 * scalar.abs().max(1.0),
-                "lane {i} (x={x}): interpreter {got} vs evaluator {scalar}"
+            assert!(
+                (scalar.is_nan() && got.is_nan())
+                    || (scalar - got).abs() <= 1e-5 * scalar.abs().max(1.0),
+                "case {case} lane {i} (x={x}): interpreter {got} vs evaluator {scalar}"
             );
         }
     }
+}
 
-    /// Warp/block decomposition is semantically invisible: any block shape
-    /// covering the same global indices produces identical results.
-    #[test]
-    fn block_shape_does_not_change_results(
-        xs in prop::collection::vec(-100.0f32..100.0, 64..=64),
-        block in prop_oneof![Just(8usize), Just(16), Just(32), Just(64)],
-    ) {
+/// Warp/block decomposition is semantically invisible: any block shape
+/// covering the same global indices produces identical results.
+#[test]
+fn block_shape_does_not_change_results() {
+    for case in 0..16u64 {
+        let mut r = Rng::seed_from_u64(0xB10C ^ case);
+        let xs: Vec<f32> = (0..64).map(|_| r.random_range(-100.0f32..100.0)).collect();
+
         let mut program = Program::new();
         let mut kb = KernelBuilder::new("affine");
         let input = kb.buffer("in", Ty::F32, MemSpace::Global);
@@ -120,7 +141,11 @@ proptest! {
         let gid = kb.let_("gid", KernelBuilder::global_id_x());
         let x = kb.let_("x", kb.load(input, gid.clone()));
         let even = gid.clone().rem(Expr::i32(2)).eq_(Expr::i32(0));
-        kb.store(output, gid, even.select(x.clone() * Expr::f32(3.0), x - Expr::f32(1.0)));
+        kb.store(
+            output,
+            gid,
+            even.select(x.clone() * Expr::f32(3.0), x - Expr::f32(1.0)),
+        );
         let kid = program.add_kernel(kb.finish());
 
         let run = |block: usize| {
@@ -128,20 +153,31 @@ proptest! {
             let in_b = device.alloc_f32(MemSpace::Global, &xs);
             let out_b = device.alloc_f32(MemSpace::Global, &vec![0.0; 64]);
             device
-                .launch(&program, kid, Dim2::linear(64 / block), Dim2::linear(block), &[in_b.into(), out_b.into()])
+                .launch(
+                    &program,
+                    kid,
+                    Dim2::linear(64 / block),
+                    Dim2::linear(block),
+                    &[in_b.into(), out_b.into()],
+                )
                 .expect("launch");
             device.read_f32(out_b).expect("read")
         };
-        prop_assert_eq!(run(block), run(64));
+        let reference = run(64);
+        for block in [8usize, 16, 32] {
+            assert_eq!(run(block), reference, "case {case} block {block}");
+        }
     }
+}
 
-    /// Atomic accumulation is order-insensitive for integer addition: any
-    /// grid decomposition yields the same total.
-    #[test]
-    fn atomic_totals_independent_of_decomposition(
-        values in prop::collection::vec(0i32..100, 32..=32),
-        blocks in 1usize..=4,
-    ) {
+/// Atomic accumulation is order-insensitive for integer addition: any
+/// grid decomposition yields the same total.
+#[test]
+fn atomic_totals_independent_of_decomposition() {
+    for case in 0..16u64 {
+        let mut r = Rng::seed_from_u64(0xA70 ^ case);
+        let values: Vec<i32> = (0..32).map(|_| r.random_range(0i32..100)).collect();
+
         let mut program = Program::new();
         let mut kb = KernelBuilder::new("sum");
         let input = kb.buffer("in", Ty::I32, MemSpace::Global);
@@ -153,20 +189,36 @@ proptest! {
 
         let expected: i32 = values.iter().sum();
         // 32 must be divisible by the block count for full coverage.
-        let blocks = [1usize, 2, 4][blocks % 3];
-        let mut device = Device::new(DeviceProfile::gtx560());
-        let in_b = device.alloc_i32(MemSpace::Global, &values);
-        let tot_b = device.alloc_i32(MemSpace::Global, &[0]);
-        device
-            .launch(&program, kid, Dim2::linear(blocks), Dim2::linear(32 / blocks), &[in_b.into(), tot_b.into()])
-            .expect("launch");
-        prop_assert_eq!(device.read_i32(tot_b).expect("read")[0], expected);
+        for blocks in [1usize, 2, 4] {
+            let mut device = Device::new(DeviceProfile::gtx560());
+            let in_b = device.alloc_i32(MemSpace::Global, &values);
+            let tot_b = device.alloc_i32(MemSpace::Global, &[0]);
+            device
+                .launch(
+                    &program,
+                    kid,
+                    Dim2::linear(blocks),
+                    Dim2::linear(32 / blocks),
+                    &[in_b.into(), tot_b.into()],
+                )
+                .expect("launch");
+            assert_eq!(
+                device.read_i32(tot_b).expect("read")[0],
+                expected,
+                "case {case} blocks {blocks}"
+            );
+        }
     }
+}
 
-    /// Cost accounting is deterministic: identical launches report
-    /// identical statistics.
-    #[test]
-    fn stats_are_deterministic(xs in prop::collection::vec(-10.0f32..10.0, 32..=32)) {
+/// Cost accounting is deterministic: identical launches report
+/// identical statistics.
+#[test]
+fn stats_are_deterministic() {
+    for case in 0..8u64 {
+        let mut r = Rng::seed_from_u64(0x57A7 ^ case);
+        let xs: Vec<f32> = (0..32).map(|_| r.random_range(-10.0f32..10.0)).collect();
+
         let mut program = Program::new();
         let mut kb = KernelBuilder::new("k");
         let input = kb.buffer("in", Ty::F32, MemSpace::Global);
@@ -180,9 +232,15 @@ proptest! {
             let in_b = device.alloc_f32(MemSpace::Global, &xs);
             let out_b = device.alloc_f32(MemSpace::Global, &[0.0; 32]);
             device
-                .launch(&program, kid, Dim2::linear(1), Dim2::linear(32), &[in_b.into(), out_b.into()])
+                .launch(
+                    &program,
+                    kid,
+                    Dim2::linear(1),
+                    Dim2::linear(32),
+                    &[in_b.into(), out_b.into()],
+                )
                 .expect("launch")
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "case {case}");
     }
 }

@@ -13,7 +13,6 @@ use paraprox::{Metric, Workload};
 use paraprox_ir::Scalar;
 use paraprox_runtime::{Toq, Tuner};
 use paraprox_vgpu::{BufferInit, BufferSpec, Dim2, LaunchPlan, Pipeline, PlanArg};
-use rand::Rng;
 
 const SOURCE: &str = r#"
 // Sigmoid-bump scoring function: division + exponentials make it a
@@ -43,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     const N: usize = 4096;
     let n = N;
     fn gen_values(seed: u64) -> Vec<f32> {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = paraprox_prng::Rng::seed_from_u64(seed);
         (0..N).map(|_| rng.random_range(-2.0f32..2.0)).collect()
     }
     let kernel = program.kernel_by_name("score_all")?;
@@ -62,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
     });
     pipeline.outputs = vec![out];
-    let mut trng = rand::rngs::StdRng::seed_from_u64(0x5C0);
+    let mut trng = paraprox_prng::Rng::seed_from_u64(0x5C0);
     let training: Vec<Vec<Scalar>> = (0..128)
         .map(|_| {
             vec![
@@ -105,4 +104,3 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-use rand::SeedableRng;

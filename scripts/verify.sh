@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full local verification: release build, the complete workspace test
+# suite, and clippy with warnings denied. Everything runs offline (the
+# workspace has no external dependencies), so this works in sandboxed CI.
+#
+# usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (tier-1, root package)"
+cargo test -q
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> verify OK"

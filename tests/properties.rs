@@ -1,83 +1,97 @@
-//! Property-based tests (proptest) on the core invariants of the
+//! Randomized tests (seeded in-repo PRNG) on the core invariants of the
 //! reproduction: quantization, metrics, affine decomposition, reduction
 //! adjustment, scan prefix structure, and the cache model.
 
 use paraprox_approx::InputRange;
 use paraprox_ir::{BinOp, CmpOp, Expr, Scalar, UnOp};
 use paraprox_patterns::affine::{decompose, LinComb};
+use paraprox_prng::Rng;
 use paraprox_quality::{ErrorCdf, Metric};
-use proptest::prelude::*;
 
-proptest! {
-    /// Quantization levels are always in range and monotone in the value.
-    #[test]
-    fn quantization_levels_in_range_and_monotone(
-        min in -1000.0f32..1000.0,
-        width in 0.001f32..1000.0,
-        q in 1u32..16,
-        a in -2000.0f32..2000.0,
-        b in -2000.0f32..2000.0,
-    ) {
-        let r = InputRange { min, max: min + width };
-        let la = r.level_of(a, q);
-        let lb = r.level_of(b, q);
-        prop_assert!(la < (1u64 << q) as u32);
-        prop_assert!(lb < (1u64 << q) as u32);
+/// Quantization levels are always in range and monotone in the value.
+#[test]
+fn quantization_levels_in_range_and_monotone() {
+    let mut r = Rng::seed_from_u64(0x11);
+    for _ in 0..256 {
+        let min = r.random_range(-1000.0f32..1000.0);
+        let width = r.random_range(0.001f32..1000.0);
+        let q = r.random_range(1u32..16);
+        let a = r.random_range(-2000.0f32..2000.0);
+        let b = r.random_range(-2000.0f32..2000.0);
+        let range = InputRange { min, max: min + width };
+        let la = range.level_of(a, q);
+        let lb = range.level_of(b, q);
+        assert!(la < (1u64 << q) as u32);
+        assert!(lb < (1u64 << q) as u32);
         if a <= b {
-            prop_assert!(la <= lb, "levels must be monotone: {a}->{la}, {b}->{lb}");
+            assert!(la <= lb, "levels must be monotone: {a}->{la}, {b}->{lb}");
         }
     }
+}
 
-    /// A representative value re-quantizes to its own level, and lies
-    /// inside the input range.
-    #[test]
-    fn representative_roundtrip(
-        min in -100.0f32..100.0,
-        width in 0.01f32..100.0,
-        q in 1u32..12,
-        level_frac in 0.0f64..1.0,
-    ) {
-        let r = InputRange { min, max: min + width };
+/// A representative value re-quantizes to its own level, and lies
+/// inside the input range.
+#[test]
+fn representative_roundtrip() {
+    let mut r = Rng::seed_from_u64(0x22);
+    for _ in 0..256 {
+        let min = r.random_range(-100.0f32..100.0);
+        let width = r.random_range(0.01f32..100.0);
+        let q = r.random_range(1u32..12);
+        let level_frac = r.random_range(0.0f64..1.0);
+        let range = InputRange { min, max: min + width };
         let levels = 1u64 << q;
         let level = ((level_frac * levels as f64) as u64).min(levels - 1) as u32;
-        let rep = r.rep_of(level, q);
-        prop_assert!(rep >= r.min && rep <= r.max);
-        prop_assert_eq!(r.level_of(rep, q), level);
+        let rep = range.rep_of(level, q);
+        assert!(rep >= range.min && rep <= range.max);
+        assert_eq!(range.level_of(rep, q), level);
     }
+}
 
-    /// Quality is 100% iff outputs match; always within [0, 100].
-    #[test]
-    fn metric_quality_bounds(values in prop::collection::vec(-1e3f64..1e3, 1..64)) {
+/// Quality is 100% iff outputs match; always within [0, 100].
+#[test]
+fn metric_quality_bounds() {
+    let mut r = Rng::seed_from_u64(0x33);
+    for _ in 0..64 {
+        let n = r.random_range(1usize..64);
+        let values: Vec<f64> = (0..n).map(|_| r.random_range(-1e3f64..1e3)).collect();
         for m in [Metric::L1Norm, Metric::L2Norm, Metric::MeanRelative] {
             let q_same = m.quality(&values, &values);
-            prop_assert!((q_same - 100.0).abs() < 1e-9);
+            assert!((q_same - 100.0).abs() < 1e-9);
             let perturbed: Vec<f64> = values.iter().map(|v| v * 1.01 + 0.01).collect();
             let q = m.quality(&values, &perturbed);
-            prop_assert!((0.0..=100.0).contains(&q));
+            assert!((0.0..=100.0).contains(&q));
         }
     }
+}
 
-    /// The error CDF is monotone and normalized.
-    #[test]
-    fn cdf_monotone_normalized(errors in prop::collection::vec(0.0f64..1.0, 1..128)) {
+/// The error CDF is monotone and normalized.
+#[test]
+fn cdf_monotone_normalized() {
+    let mut r = Rng::seed_from_u64(0x44);
+    for _ in 0..64 {
+        let n = r.random_range(1usize..128);
+        let errors: Vec<f64> = (0..n).map(|_| r.random_range(0.0f64..1.0)).collect();
         let cdf = ErrorCdf::new(errors);
         let series = cdf.series(20);
         for w in series.windows(2) {
-            prop_assert!(w[1].1 >= w[0].1);
+            assert!(w[1].1 >= w[0].1);
         }
-        prop_assert!((series.last().unwrap().1 - 1.0).abs() < 1e-12);
+        assert!((series.last().unwrap().1 - 1.0).abs() < 1e-12);
     }
+}
 
-    /// Affine decomposition is a semantic identity: rebuilding the linear
-    /// combination evaluates to the same value as the original expression.
-    #[test]
-    fn lincomb_roundtrip_preserves_value(
-        a in -50i32..50,
-        b in -50i32..50,
-        c in -50i32..50,
-        x in -100i32..100,
-        w in -100i32..100,
-    ) {
+/// Affine decomposition is a semantic identity: rebuilding the linear
+/// combination evaluates to the same value as the original expression.
+#[test]
+fn lincomb_roundtrip_preserves_value() {
+    let mut r = Rng::seed_from_u64(0x55);
+    for _ in 0..256 {
+        let a = r.random_range(-50i32..50);
+        let b = r.random_range(-50i32..50);
+        let c = r.random_range(-50i32..50);
+        let x = r.random_range(-100i32..100);
+        let w = r.random_range(-100i32..100);
         // Build (x + a) * w + b * x + c with x, w as opaque "variables"
         // represented by constants wrapped in casts (so decompose treats
         // them as opaque terms but evaluation still works).
@@ -89,53 +103,67 @@ proptest! {
         let comb: LinComb = decompose(&original);
         let rebuilt = comb.to_expr();
         let program = paraprox_ir::Program::new();
-        let v1 = paraprox_ir::eval_expr_pure(&program, &original).unwrap().as_i32().unwrap();
-        let v2 = paraprox_ir::eval_expr_pure(&program, &rebuilt).unwrap().as_i32().unwrap();
-        prop_assert_eq!(v1, v2);
+        let v1 = paraprox_ir::eval_expr_pure(&program, &original)
+            .unwrap()
+            .as_i32()
+            .unwrap();
+        let v2 = paraprox_ir::eval_expr_pure(&program, &rebuilt)
+            .unwrap()
+            .as_i32()
+            .unwrap();
+        assert_eq!(v1, v2);
     }
+}
 
-    /// Scalar binary ops on same-typed operands never panic, and produce
-    /// the operand type (comparisons produce bool).
-    #[test]
-    fn scalar_ops_type_stable(a in any::<f32>(), b in any::<f32>()) {
-        prop_assume!(a.is_finite() && b.is_finite());
+/// Scalar binary ops on same-typed operands never panic, and produce
+/// the operand type (comparisons produce bool).
+#[test]
+fn scalar_ops_type_stable() {
+    let mut r = Rng::seed_from_u64(0x66);
+    for _ in 0..512 {
+        let a = r.random_range(-1e30f32..1e30);
+        let b = r.random_range(-1e30f32..1e30);
         for op in [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Min, BinOp::Max] {
             let out = op.apply(Scalar::F32(a), Scalar::F32(b)).unwrap();
-            prop_assert_eq!(out.ty(), paraprox_ir::Ty::F32);
+            assert_eq!(out.ty(), paraprox_ir::Ty::F32);
         }
         for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Eq] {
             let out = op.apply(Scalar::F32(a), Scalar::F32(b)).unwrap();
-            prop_assert_eq!(out.ty(), paraprox_ir::Ty::Bool);
+            assert_eq!(out.ty(), paraprox_ir::Ty::Bool);
         }
         let neg = UnOp::Neg.apply(Scalar::F32(a)).unwrap();
-        prop_assert_eq!(neg, Scalar::F32(-a));
+        assert_eq!(neg, Scalar::F32(-a));
     }
+}
 
-    /// Reduction sampling + adjustment is exact for constant arrays
-    /// (the paper's uniform-distribution assumption, in the limit).
-    #[test]
-    fn adjustment_exact_for_constant_data(
-        value in -100.0f32..100.0,
-        len_pow in 3u32..8,
-        skip_pow in 1u32..3,
-    ) {
+/// Reduction sampling + adjustment is exact for constant arrays
+/// (the paper's uniform-distribution assumption, in the limit).
+#[test]
+fn adjustment_exact_for_constant_data() {
+    let mut r = Rng::seed_from_u64(0x77);
+    for _ in 0..128 {
+        let value = r.random_range(-100.0f32..100.0);
+        let len_pow = r.random_range(3u32..8);
+        let skip_pow = r.random_range(1u32..3);
         let n = 1usize << len_pow;
         let skip = 1usize << skip_pow;
         let data = vec![value; n];
         let exact: f32 = data.iter().sum();
         let sampled: f32 = data.iter().step_by(skip).sum::<f32>() * skip as f32;
-        prop_assert!((exact - sampled).abs() <= 1e-3 * exact.abs().max(1.0));
+        assert!((exact - sampled).abs() <= 1e-3 * exact.abs().max(1.0));
     }
+}
 
-    /// The scan approximation's prediction formula is exact when all
-    /// subarrays have identical contents.
-    #[test]
-    fn scan_prediction_exact_for_identical_subarrays(
-        subarray in prop::collection::vec(0.0f64..10.0, 4..32),
-        g in 4usize..10,
-        skip_frac in 1usize..3,
-    ) {
-        let b = subarray.len();
+/// The scan approximation's prediction formula is exact when all
+/// subarrays have identical contents.
+#[test]
+fn scan_prediction_exact_for_identical_subarrays() {
+    let mut r = Rng::seed_from_u64(0x88);
+    for _ in 0..64 {
+        let b = r.random_range(4usize..32);
+        let subarray: Vec<f64> = (0..b).map(|_| r.random_range(0.0f64..10.0)).collect();
+        let g = r.random_range(4usize..10);
+        let skip_frac = r.random_range(1usize..3);
         let skip = (g / (2 * skip_frac)).max(1);
         let kept = g - skip;
         // Full input: g copies of the subarray.
@@ -155,7 +183,7 @@ proptest! {
             for t in 0..b {
                 let predicted = exact[src * b + t] + total_kept;
                 let actual = exact[j * b + t];
-                prop_assert!(
+                assert!(
                     (predicted - actual).abs() < 1e-6 * actual.abs().max(1.0),
                     "block {j} elem {t}: {predicted} vs {actual}"
                 );
