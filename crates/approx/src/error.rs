@@ -54,6 +54,8 @@ mod tests {
         assert!(!e.to_string().is_empty());
         assert!(Error::source(&e).is_some());
         assert!(Error::source(&ApproxError::NoTrainingData).is_none());
-        assert!(!ApproxError::NotApplicable("x".into()).to_string().is_empty());
+        assert!(!ApproxError::NotApplicable("x".into())
+            .to_string()
+            .is_empty());
     }
 }

@@ -115,14 +115,12 @@ fn replace_loads(e: Expr, ctx: &mut Ctx<'_>, env: &mut Env, prelude: &mut Vec<St
 /// variables, and nested bodies).
 fn assigned_vars(stmts: &[Stmt], out: &mut Vec<VarId>) {
     paraprox_ir::for_each_stmt(stmts, &mut |stmt| match stmt {
-        Stmt::Let { var, .. } | Stmt::Assign { var, .. }
-            if !out.contains(var) => {
-                out.push(*var);
-            }
-        Stmt::For { var, .. }
-            if !out.contains(var) => {
-                out.push(*var);
-            }
+        Stmt::Let { var, .. } | Stmt::Assign { var, .. } if !out.contains(var) => {
+            out.push(*var);
+        }
+        Stmt::For { var, .. } if !out.contains(var) => {
+            out.push(*var);
+        }
         _ => {}
     });
 }
@@ -326,7 +324,11 @@ mod tests {
     use paraprox_ir::{count_ops, KernelBuilder, MemSpace};
     use paraprox_vgpu::{Device, DeviceProfile, Dim2};
 
-    fn run_kernel(program: &paraprox_ir::Program, kid: paraprox_ir::KernelId, n: usize) -> (Vec<f32>, u64) {
+    fn run_kernel(
+        program: &paraprox_ir::Program,
+        kid: paraprox_ir::KernelId,
+        n: usize,
+    ) -> (Vec<f32>, u64) {
         let mut device = Device::new(DeviceProfile::gtx560());
         let data: Vec<f32> = (0..n).map(|i| i as f32).collect();
         let input = device.alloc_f32(MemSpace::Global, &data);
@@ -351,9 +353,8 @@ mod tests {
         let output = kb.buffer("out", Ty::F32, MemSpace::Global);
         let gid = kb.let_("gid", KernelBuilder::global_id_x());
         // Same load three times.
-        let sum = kb.load(input, gid.clone())
-            + kb.load(input, gid.clone())
-            + kb.load(input, gid.clone());
+        let sum =
+            kb.load(input, gid.clone()) + kb.load(input, gid.clone()) + kb.load(input, gid.clone());
         kb.store(output, gid, sum);
         let kid = program.add_kernel(kb.finish());
 
@@ -395,9 +396,15 @@ mod tests {
         assert!(opt_cycles < exact_cycles, "{opt_cycles} vs {exact_cycles}");
         // The hoisted load sits before the loop.
         let body = &optimized.kernel(kid).body;
-        let pos_load = body
-            .iter()
-            .position(|s| matches!(s, Stmt::Let { init: Expr::Load { .. }, .. }));
+        let pos_load = body.iter().position(|s| {
+            matches!(
+                s,
+                Stmt::Let {
+                    init: Expr::Load { .. },
+                    ..
+                }
+            )
+        });
         let pos_for = body.iter().position(|s| matches!(s, Stmt::For { .. }));
         assert!(pos_load.unwrap() < pos_for.unwrap());
     }

@@ -351,12 +351,7 @@ pub fn build_table(program: &Program, config: &MemoConfig) -> Result<Vec<f32>, A
         // Decode levels, input 0 in the most significant bits.
         let mut args = Vec::with_capacity(config.split.len());
         let mut shift: u32 = config.total_bits();
-        for ((&q, range), param) in config
-            .split
-            .iter()
-            .zip(&config.ranges)
-            .zip(&func.params)
-        {
+        for ((&q, range), param) in config.split.iter().zip(&config.ranges).zip(&func.params) {
             shift -= q;
             let level = if q == 0 {
                 0
@@ -486,8 +481,7 @@ impl RewriteCtx<'_> {
                     index: Box::new(Expr::Var(lo) + Expr::i32(1)),
                 },
             });
-            return Expr::Var(v0)
-                + (Expr::Var(v1) - Expr::Var(v0)) * Expr::Var(frac);
+            return Expr::Var(v0) + (Expr::Var(v1) - Expr::Var(v0)) * Expr::Var(frac);
         }
         // Nearest: quantize each variable input and concatenate the bits.
         let mut addr: Option<Expr> = None;
@@ -786,7 +780,10 @@ mod tests {
 
     #[test]
     fn level_rep_are_consistent() {
-        let r = InputRange { min: -1.0, max: 3.0 };
+        let r = InputRange {
+            min: -1.0,
+            max: 3.0,
+        };
         for q in [1u32, 4, 8] {
             for lvl in 0..(1u32 << q).min(64) {
                 let rep = r.rep_of(lvl, q);
@@ -824,10 +821,7 @@ mod tests {
         let samples: Vec<Vec<Scalar>> = (0..128)
             .map(|i| {
                 let t = i as f32 / 127.0;
-                vec![
-                    Scalar::F32(t * 2.0),
-                    Scalar::F32((t * 37.0) % 1.0 * 10.0),
-                ]
+                vec![Scalar::F32(t * 2.0), Scalar::F32((t * 37.0) % 1.0 * 10.0)]
             })
             .collect();
         let ranges = input_ranges(&samples).unwrap();
@@ -864,14 +858,10 @@ mod tests {
         let func = p.func(f).clone();
         for lvl in [0u32, 17, 63] {
             let rep = ranges[0].rep_of(lvl, 6);
-            let exact = paraprox_ir::eval_func(
-                &p,
-                &func,
-                &[Scalar::F32(rep), Scalar::F32(1.0)],
-            )
-            .unwrap()
-            .as_f32()
-            .unwrap();
+            let exact = paraprox_ir::eval_func(&p, &func, &[Scalar::F32(rep), Scalar::F32(1.0)])
+                .unwrap()
+                .as_f32()
+                .unwrap();
             assert!((table[lvl as usize] - exact).abs() < 1e-6);
         }
     }
@@ -941,7 +931,11 @@ mod tests {
         let approx_out = device.read_f32(approx_output).unwrap();
 
         let quality = paraprox_quality::Metric::MeanRelative.quality_f32(&exact_out, &approx_out);
-        (quality, exact_stats.total_cycles(), approx_stats.total_cycles())
+        (
+            quality,
+            exact_stats.total_cycles(),
+            approx_stats.total_cycles(),
+        )
     }
 
     #[test]
@@ -1015,8 +1009,7 @@ mod tests {
         let ranges = input_ranges(&samples).unwrap();
         let func = p.func(f).clone();
         // A modest target: some small size qualifies.
-        let (bits, tuned) =
-            choose_table_bits(&p, &func, &samples, &ranges, 97.0, 3, 14).unwrap();
+        let (bits, tuned) = choose_table_bits(&p, &func, &samples, &ranges, 97.0, 3, 14).unwrap();
         assert!(tuned.quality >= 97.0);
         assert!((3..=14).contains(&bits));
         // Minimality: one bit fewer must miss the target (unless already at

@@ -163,9 +163,9 @@ pub fn approximate_reduction_group(
             "skipping rate must be at least 2".to_string(),
         ));
     }
-    let first = reds.first().ok_or_else(|| {
-        ApproxError::NotApplicable("empty reduction group".to_string())
-    })?;
+    let first = reds
+        .first()
+        .ok_or_else(|| ApproxError::NotApplicable("empty reduction group".to_string()))?;
     if reds.iter().any(|r| r.path != first.path) {
         return Err(ApproxError::NotApplicable(
             "reduction group spans different loops".to_string(),
@@ -478,19 +478,23 @@ mod tests {
         let wb = device.alloc_f32(MemSpace::Global, &weights_data);
         let ob = device.alloc_f32(MemSpace::Global, &[0.0; 32]);
         let s_exact = device
-            .launch(&program, kid, Dim2::linear(1), Dim2::linear(32), &[
-                vb.into(),
-                wb.into(),
-                ob.into(),
-            ])
+            .launch(
+                &program,
+                kid,
+                Dim2::linear(1),
+                Dim2::linear(32),
+                &[vb.into(), wb.into(), ob.into()],
+            )
             .unwrap();
         let exact = device.read_f32(ob).unwrap();
         let s_approx = device
-            .launch(&approx, kid, Dim2::linear(1), Dim2::linear(32), &[
-                vb.into(),
-                wb.into(),
-                ob.into(),
-            ])
+            .launch(
+                &approx,
+                kid,
+                Dim2::linear(1),
+                Dim2::linear(32),
+                &[vb.into(), wb.into(), ob.into()],
+            )
             .unwrap();
         let sampled = device.read_f32(ob).unwrap();
         assert!((exact[0] - 3.0).abs() < 1e-5);

@@ -13,9 +13,7 @@
 //! the fallback is 0 — the value the paper's "skip this calculation"
 //! produces for an additive context).
 
-use paraprox_ir::{
-    rewrite_exprs_in_stmts, BinOp, Expr, Kernel, KernelId, Program, Scalar,
-};
+use paraprox_ir::{rewrite_exprs_in_stmts, BinOp, Expr, Kernel, KernelId, Program, Scalar};
 
 /// Is this expression a constant that can never be zero?
 fn provably_nonzero(e: &Expr) -> bool {
@@ -134,7 +132,11 @@ mod tests {
         assert_eq!(unguarded_divisions(program.kernel(kid)), 1);
         let guarded = guard_divisions(&mut program, kid);
         assert_eq!(guarded, 1);
-        assert_eq!(unguarded_divisions(program.kernel(kid)), 1, "div still present (inside the guard)");
+        assert_eq!(
+            unguarded_divisions(program.kernel(kid)),
+            1,
+            "div still present (inside the guard)"
+        );
 
         let mut device = Device::new(DeviceProfile::gtx560());
         let num = device.alloc_f32(MemSpace::Global, &[6.0, 5.0, 4.0, 3.0]);
@@ -174,7 +176,11 @@ mod tests {
         let out = kb.buffer("out", Ty::I32, MemSpace::Global);
         let gid = kb.let_("gid", KernelBuilder::global_id_x());
         let a = kb.let_("a", kb.load(num, gid.clone()));
-        let b = kb.let_typed("b", Ty::I32, Expr::Cast(Ty::I32, Box::new(kb.load(den, gid.clone()))));
+        let b = kb.let_typed(
+            "b",
+            Ty::I32,
+            Expr::Cast(Ty::I32, Box::new(kb.load(den, gid.clone()))),
+        );
         kb.store(out, gid, a / b);
         let kid = program.add_kernel(kb.finish());
 

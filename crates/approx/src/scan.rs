@@ -58,13 +58,12 @@ pub fn infer_scan_roles(
     let sums_slot = slot_of(p1.args.get(m.sums_param)?)?;
 
     // Phase II: the next launch reading sums_slot.
-    let phase2_launch = (phase1_launch + 1..pipeline.launches.len())
-        .find(|&i| {
-            pipeline.launches[i]
-                .args
-                .iter()
-                .any(|a| slot_of(a) == Some(sums_slot))
-        })?;
+    let phase2_launch = (phase1_launch + 1..pipeline.launches.len()).find(|&i| {
+        pipeline.launches[i]
+            .args
+            .iter()
+            .any(|a| slot_of(a) == Some(sums_slot))
+    })?;
     let p2 = &pipeline.launches[phase2_launch];
     let sums_scan_slot = p2
         .args
@@ -72,9 +71,10 @@ pub fn infer_scan_roles(
         .filter_map(slot_of)
         .find(|&s| s != sums_slot)?;
     let subarray_count = p1.grid.count() as i32;
-    let phase2_count_arg = p2.args.iter().position(
-        |a| matches!(a, PlanArg::Scalar(Scalar::I32(v)) if *v == subarray_count),
-    );
+    let phase2_count_arg = p2
+        .args
+        .iter()
+        .position(|a| matches!(a, PlanArg::Scalar(Scalar::I32(v)) if *v == subarray_count));
 
     // Phase III: a later launch reading both partial and sums_scan.
     let phase3_launch = (phase2_launch + 1..pipeline.launches.len()).find(|&i| {
@@ -143,12 +143,10 @@ fn build_fixup_kernel(subarray_len: usize) -> paraprox_ir::Kernel {
             let total = kb.let_("total", kb.load(sums_scan, kept.clone() - Expr::i32(1)));
             let src_off = kb.let_(
                 "src_off",
-                src.clone()
-                    .gt(Expr::i32(0))
-                    .select(
-                        kb.load(sums_scan, src.clone() - Expr::i32(1)),
-                        Expr::f32(0.0),
-                    ),
+                src.clone().gt(Expr::i32(0)).select(
+                    kb.load(sums_scan, src.clone() - Expr::i32(1)),
+                    Expr::f32(0.0),
+                ),
             );
             kb.store(output, gid.clone(), p + src_off + total);
         },
@@ -379,17 +377,17 @@ mod tests {
         let n = 1024;
         let b = 32;
         // "Uniformly distributed" data (the paper's assumption): noisy ones.
-        let data: Vec<f32> = (0..n).map(|i| 1.0 + 0.1 * ((i * 7 % 13) as f32 / 13.0)).collect();
+        let data: Vec<f32> = (0..n)
+            .map(|i| 1.0 + 0.1 * ((i * 7 % 13) as f32 / 13.0))
+            .collect();
         let (program, pipeline, phase1, m) = canonical_pipeline(data, b);
         let (ap, app) = approximate_scan(&program, &pipeline, phase1, &m, 8).unwrap();
 
         let mut device = Device::new(DeviceProfile::gtx560());
         let exact = pipeline.execute(&mut device, &program).unwrap();
         let approx = app.execute(&mut device, &ap).unwrap();
-        let q = paraprox_quality::Metric::MeanRelative.quality(
-            &exact.outputs[0],
-            &approx.outputs[0],
-        );
+        let q =
+            paraprox_quality::Metric::MeanRelative.quality(&exact.outputs[0], &approx.outputs[0]);
         assert!(q > 97.0, "quality = {q}");
         assert!(
             approx.stats.total_cycles() < exact.stats.total_cycles(),

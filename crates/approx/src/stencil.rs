@@ -194,9 +194,7 @@ fn subst_expr_snap(
         Expr::Unary(op, a) => {
             Expr::Unary(op, Box::new(subst_expr_snap(*a, var, value, rep, buffer)))
         }
-        Expr::Cast(ty, a) => {
-            Expr::Cast(ty, Box::new(subst_expr_snap(*a, var, value, rep, buffer)))
-        }
+        Expr::Cast(ty, a) => Expr::Cast(ty, Box::new(subst_expr_snap(*a, var, value, rep, buffer))),
         Expr::Binary(op, a, b) => Expr::Binary(
             op,
             Box::new(subst_expr_snap(*a, var, value, rep, buffer)),
@@ -246,7 +244,11 @@ fn subst_stmts_snap(
                 var: v,
                 value: subst_expr_snap(e, var, value, rep, buffer),
             },
-            Stmt::Store { mem, index, value: e } => Stmt::Store {
+            Stmt::Store {
+                mem,
+                index,
+                value: e,
+            } => Stmt::Store {
                 mem,
                 index: subst_expr_snap(index, var, value, rep, buffer),
                 value: subst_expr_snap(e, var, value, rep, buffer),
@@ -405,10 +407,7 @@ pub fn approximate_stencil(
             let body = std::mem::take(&mut k.body);
             k.body = unroll_snapped_loop(body, info, buffer, reach);
         } else {
-            loop_substitutions.push((
-                info,
-                snap_var_expr(Expr::Var(info.var), info, reach),
-            ));
+            loop_substitutions.push((info, snap_var_expr(Expr::Var(info.var), info, reach)));
         }
     }
     if !loop_substitutions.is_empty() {
@@ -464,8 +463,10 @@ pub fn approximate_stencil(
                 .map(|(s, _)| (*s).clone())
                 .unwrap_or_default()
         };
-        let in_tile_region: Vec<bool> =
-            indices.iter().map(|(_, sig)| *sig == majority_sig).collect();
+        let in_tile_region: Vec<bool> = indices
+            .iter()
+            .map(|(_, sig)| *sig == majority_sig)
+            .collect();
         let indices: Vec<Expr> = indices.into_iter().map(|(e, _)| e).collect();
         let combs: Vec<_> = indices
             .iter()
@@ -479,11 +480,7 @@ pub fn approximate_stencil(
             .iter()
             .map(|c| {
                 let diff = c.clone().sub(reference.clone());
-                let dy = cand
-                    .w_term
-                    .as_ref()
-                    .map(|w| diff.coeff_of(w))
-                    .unwrap_or(0);
+                let dy = cand.w_term.as_ref().map(|w| diff.coeff_of(w)).unwrap_or(0);
                 (dy, diff.constant)
             })
             .collect();
@@ -528,9 +525,8 @@ pub fn approximate_stencil(
                 let mut comb = combs[counter].clone();
                 if ddy != 0 {
                     if let Some(w) = &w_term {
-                        comb = comb.add(
-                            paraprox_patterns::affine::LinComb::term(w.clone()).scale(ddy),
-                        );
+                        comb = comb
+                            .add(paraprox_patterns::affine::LinComb::term(w.clone()).scale(ddy));
                     }
                 }
                 comb.constant += ddx;
@@ -671,8 +667,7 @@ mod tests {
         let kid = build(&mut program);
         let cands = find_stencils(program.kernel(kid));
         assert_eq!(cands.len(), 1, "stencil must be detected");
-        let approx_program =
-            approximate_stencil(&program, kid, &cands[0], scheme, 1).unwrap();
+        let approx_program = approximate_stencil(&program, kid, &cands[0], scheme, 1).unwrap();
 
         let (exact_out, exact_cycles) = run(&program, kid, w, h, &img);
         let (approx_out, approx_cycles) = run(&approx_program, kid, w, h, &img);
@@ -714,8 +709,8 @@ mod tests {
         let mut program = Program::new();
         let kid = mean3x3_unrolled(&mut program);
         let cands = find_stencils(program.kernel(kid));
-        let approx = approximate_stencil(&program, kid, &cands[0], StencilScheme::Center, 1)
-            .unwrap();
+        let approx =
+            approximate_stencil(&program, kid, &cands[0], StencilScheme::Center, 1).unwrap();
         let before = count_ops(&program.kernel(kid).body).loads;
         let after = count_ops(&approx.kernel(kid).body).loads;
         assert!(

@@ -44,7 +44,10 @@ fn kernel_lookup_matches_host_quantization() {
         let q = r.random_range(2u32..10);
         let xs: Vec<f32> = (0..16).map(|_| r.random_range(-40.0f32..40.0)).collect();
         let (program, func, kernel) = make_program();
-        let range = InputRange { min, max: min + width };
+        let range = InputRange {
+            min,
+            max: min + width,
+        };
         let config = MemoConfig {
             func,
             split: vec![q],
@@ -72,8 +75,12 @@ fn kernel_lookup_matches_host_quantization() {
         for (i, &x) in xs.iter().enumerate() {
             let expected = table[range.level_of(x, q) as usize];
             assert_eq!(
-                out[i], expected,
-                "lane {} (x={}, level={})", i, x, range.level_of(x, q)
+                out[i],
+                expected,
+                "lane {} (x={}, level={})",
+                i,
+                x,
+                range.level_of(x, q)
             );
         }
     }
@@ -114,18 +121,15 @@ fn linear_lookup_bounded_by_neighbor_entries() {
             .expect("launch");
         let out = device.read_f32(out_b).expect("read");
         for (i, _) in xs.iter().enumerate() {
-            let lo = table
-                .iter()
-                .cloned()
-                .fold(f32::INFINITY, f32::min);
-            let hi = table
-                .iter()
-                .cloned()
-                .fold(f32::NEG_INFINITY, f32::max);
+            let lo = table.iter().cloned().fold(f32::INFINITY, f32::min);
+            let hi = table.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             assert!(
                 out[i] >= lo - 1e-6 && out[i] <= hi + 1e-6,
                 "lane {}: {} outside table range [{}, {}]",
-                i, out[i], lo, hi
+                i,
+                out[i],
+                lo,
+                hi
             );
         }
     }
@@ -142,11 +146,10 @@ fn predicted_quality_matches_measured() {
         let seed_vals: Vec<f32> = (0..32).map(|_| r.random_range(0.05f32..0.95)).collect();
         let (program, func, kernel) = make_program();
         let range = InputRange { min: 0.0, max: 1.0 };
-        let samples: Vec<Vec<Scalar>> =
-            seed_vals.iter().map(|&v| vec![Scalar::F32(v)]).collect();
+        let samples: Vec<Vec<Scalar>> = seed_vals.iter().map(|&v| vec![Scalar::F32(v)]).collect();
         let f = program.func(func).clone();
-        let tuned = paraprox_approx::bit_tune(&program, &f, &samples, &[range], q)
-            .expect("bit tune");
+        let tuned =
+            paraprox_approx::bit_tune(&program, &f, &samples, &[range], q).expect("bit tune");
         let config = MemoConfig {
             func,
             split: tuned.split.clone(),
@@ -180,8 +183,7 @@ fn predicted_quality_matches_measured() {
                     .expect("f32")
             })
             .collect();
-        let measured =
-            paraprox_quality::Metric::MeanRelative.quality_f32(&exact_out, &approx_out);
+        let measured = paraprox_quality::Metric::MeanRelative.quality_f32(&exact_out, &approx_out);
         assert!(
             (measured - tuned.quality).abs() < 1.0,
             "predicted {} vs measured {}",

@@ -73,8 +73,7 @@ pub fn reference(s: f32, x: f32, t: f32) -> (f32, f32) {
         let k = 1.0 / (1.0 + 0.231_641_9 * d.abs());
         let poly = k
             * (0.319_381_53
-                + k * (-0.356_563_78
-                    + k * (1.781_477_9 + k * (-1.821_255_9 + k * 1.330_274_5))));
+                + k * (-0.356_563_78 + k * (1.781_477_9 + k * (-1.821_255_9 + k * 1.330_274_5))));
         let w = 0.398_942_3 * (-0.5 * d * d).exp() * poly;
         if d >= 0.0 {
             1.0 - w
@@ -174,7 +173,6 @@ pub fn app() -> App {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,8 +208,7 @@ mod tests {
     fn map_pattern_detected_on_both_body_functions() {
         let w = build(Scale::Test, 1);
         let table = paraprox::latency_table_for(&DeviceProfile::gtx560());
-        let compiled =
-            paraprox::compile(&w, &table, &paraprox::CompileOptions::minimal()).unwrap();
+        let compiled = paraprox::compile(&w, &table, &paraprox::CompileOptions::minimal()).unwrap();
         assert!(compiled.pattern_names().contains(&"map"));
         let maps: usize = compiled.patterns.iter().map(|kp| kp.maps().count()).sum();
         assert_eq!(maps, 2, "bs_call and bs_put must both be candidates");

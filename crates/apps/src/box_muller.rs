@@ -30,7 +30,12 @@ const P_LOW: f32 = 0.02425;
 
 /// Acklam's inverse-normal-CDF coefficients.
 const A: [f32; 6] = [
-    -39.696_83, 220.946_1, -275.928_5, 138.357_75, -30.664_48, 2.506_628_2,
+    -39.696_83,
+    220.946_1,
+    -275.928_5,
+    138.357_75,
+    -30.664_48,
+    2.506_628_2,
 ];
 const B: [f32; 5] = [-54.476_098, 161.585_83, -155.698_98, 66.801_31, -13.280_68];
 const C: [f32; 6] = [
@@ -47,10 +52,7 @@ fn build_norminv(program: &mut Program) -> FuncId {
     let mut fb = FuncBuilder::new("norminv", Ty::F32);
     let u = fb.scalar("u", Ty::F32);
     // Clamp into the open interval.
-    let p = fb.let_(
-        "p",
-        u.max(Expr::f32(1e-6)).min(Expr::f32(1.0 - 1e-6)),
-    );
+    let p = fb.let_("p", u.max(Expr::f32(1e-6)).min(Expr::f32(1.0 - 1e-6)));
     // Central region: z = q·num(r)/den(r), r = q².
     let q = fb.let_("q", p.clone() - Expr::f32(0.5));
     let r = fb.let_("r", q.clone() * q.clone());
@@ -261,8 +263,7 @@ mod tests {
     fn classified_as_scatter_gather() {
         let w = build(Scale::Test, 1);
         let table = paraprox::latency_table_for(&DeviceProfile::gtx560());
-        let compiled =
-            paraprox::compile(&w, &table, &paraprox::CompileOptions::minimal()).unwrap();
+        let compiled = paraprox::compile(&w, &table, &paraprox::CompileOptions::minimal()).unwrap();
         assert!(compiled.pattern_names().contains(&"scatter/gather"));
     }
 }

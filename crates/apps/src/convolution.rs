@@ -86,8 +86,7 @@ fn build_pass(program: &mut Program, name: &str, horizontal: bool) -> KernelId {
                 Expr::i32(1),
                 |kb, j| {
                     let idx = if horizontal {
-                        y.clone() * width.clone() + x.clone() + j.clone()
-                            - Expr::i32(RADIUS as i32)
+                        y.clone() * width.clone() + x.clone() + j.clone() - Expr::i32(RADIUS as i32)
                     } else {
                         (y.clone() + j.clone() - Expr::i32(RADIUS as i32)) * width.clone()
                             + x.clone()
@@ -212,8 +211,7 @@ mod tests {
     fn both_stencil_and_reduction_detected() {
         let w = build(Scale::Test, 1);
         let table = paraprox::latency_table_for(&DeviceProfile::gtx560());
-        let compiled =
-            paraprox::compile(&w, &table, &paraprox::CompileOptions::minimal()).unwrap();
+        let compiled = paraprox::compile(&w, &table, &paraprox::CompileOptions::minimal()).unwrap();
         let names = compiled.pattern_names();
         assert!(names.contains(&"stencil"), "{names:?}");
         assert!(names.contains(&"reduction"), "{names:?}");

@@ -199,8 +199,7 @@ mod tests {
     fn scan_template_matches_and_variants_generated() {
         let w = build(Scale::Test, 1);
         let table = paraprox::latency_table_for(&DeviceProfile::gtx560());
-        let compiled =
-            paraprox::compile(&w, &table, &paraprox::CompileOptions::minimal()).unwrap();
+        let compiled = paraprox::compile(&w, &table, &paraprox::CompileOptions::minimal()).unwrap();
         assert!(compiled.pattern_names().contains(&"scan"));
         assert!(compiled
             .variants

@@ -74,8 +74,7 @@ impl CaseStudy {
             CaseStudy::LogGamma => {
                 // Stirling: (z-1/2)ln z - z + ln(2π)/2 + 1/(12z) - 1/(360z³)
                 let z = x;
-                (z - 0.5) * z.ln() - z + 0.918_938_5 + 1.0 / (12.0 * z)
-                    - 1.0 / (360.0 * z * z * z)
+                (z - 0.5) * z.ln() - z + 0.918_938_5 + 1.0 / (12.0 * z) - 1.0 / (360.0 * z * z * z)
             }
             CaseStudy::Bass => {
                 // S(t) = m (p+q)²/p · e^{-(p+q)t} / (1 + (q/p) e^{-(p+q)t})²
@@ -93,18 +92,12 @@ impl CaseStudy {
         match self {
             CaseStudy::Credit => {
                 let ratio = 25.0f32;
-                let growth = fb.let_(
-                    "growth",
-                    (Expr::f32(1.0) + x.clone()).pow(Expr::f32(30.0)),
-                );
+                let growth = fb.let_("growth", (Expr::f32(1.0) + x.clone()).pow(Expr::f32(30.0)));
                 let inner = fb.let_(
                     "inner",
                     Expr::f32(1.0) + Expr::f32(ratio) * (Expr::f32(1.0) - growth),
                 );
-                fb.ret(
-                    Expr::f32(-1.0 / 30.0) * inner.log()
-                        / (Expr::f32(1.0) + x.clone()).log(),
-                );
+                fb.ret(Expr::f32(-1.0 / 30.0) * inner.log() / (Expr::f32(1.0) + x.clone()).log());
             }
             CaseStudy::Gompertz => {
                 let e = fb.let_("e", (Expr::f32(-0.4) * x).exp());

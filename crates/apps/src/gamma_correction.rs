@@ -53,8 +53,7 @@ pub fn gen_inputs(scale: Scale, seed: u64) -> Vec<BufferInit> {
 pub fn build(scale: Scale, seed: u64) -> Workload {
     let (w, h) = dims(scale);
     let n = w * h;
-    let program: Program =
-        paraprox_lang::parse_program(SOURCE).expect("embedded source is valid");
+    let program: Program = paraprox_lang::parse_program(SOURCE).expect("embedded source is valid");
     let func = program.func_by_name("gamma_correct").expect("declared");
     let kernel = program.kernel_by_name("gamma").expect("declared");
 
@@ -135,8 +134,7 @@ mod tests {
     fn memoization_candidate_detected() {
         let w = build(Scale::Test, 1);
         let table = paraprox::latency_table_for(&DeviceProfile::gtx560());
-        let compiled =
-            paraprox::compile(&w, &table, &paraprox::CompileOptions::minimal()).unwrap();
+        let compiled = paraprox::compile(&w, &table, &paraprox::CompileOptions::minimal()).unwrap();
         assert!(compiled.pattern_names().contains(&"map"));
         assert!(!compiled.variants.is_empty());
     }

@@ -169,8 +169,7 @@ mod tests {
     fn detected_as_looped_3x3_stencil_with_reduction() {
         let w = build(Scale::Test, 1);
         let table = paraprox::latency_table_for(&DeviceProfile::gtx560());
-        let compiled =
-            paraprox::compile(&w, &table, &paraprox::CompileOptions::minimal()).unwrap();
+        let compiled = paraprox::compile(&w, &table, &paraprox::CompileOptions::minimal()).unwrap();
         let names = compiled.pattern_names();
         assert!(names.contains(&"stencil"), "{names:?}");
         let cand = compiled

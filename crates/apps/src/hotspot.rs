@@ -87,17 +87,11 @@ pub fn build(scale: Scale, seed: u64) -> Workload {
             let c = kb.let_("c", kb.load(temp, y.clone() * width.clone() + x.clone()));
             let n = kb.let_(
                 "n",
-                kb.load(
-                    temp,
-                    (y.clone() - Expr::i32(1)) * width.clone() + x.clone(),
-                ),
+                kb.load(temp, (y.clone() - Expr::i32(1)) * width.clone() + x.clone()),
             );
             let s = kb.let_(
                 "s",
-                kb.load(
-                    temp,
-                    (y.clone() + Expr::i32(1)) * width.clone() + x.clone(),
-                ),
+                kb.load(temp, (y.clone() + Expr::i32(1)) * width.clone() + x.clone()),
             );
             let e = kb.let_(
                 "e",
@@ -199,8 +193,7 @@ mod tests {
     fn stencil_pattern_detected_on_temperature_grid() {
         let w = build(Scale::Test, 1);
         let table = paraprox::latency_table_for(&DeviceProfile::gtx560());
-        let compiled =
-            paraprox::compile(&w, &table, &paraprox::CompileOptions::minimal()).unwrap();
+        let compiled = paraprox::compile(&w, &table, &paraprox::CompileOptions::minimal()).unwrap();
         assert!(compiled.pattern_names().contains(&"stencil"));
         let cand = compiled
             .patterns

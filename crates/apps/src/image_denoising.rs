@@ -88,11 +88,7 @@ pub fn build(scale: Scale, seed: u64) -> Workload {
                     kb.assign(wsum, Expr::Var(wsum) + wgt);
                 });
             });
-            kb.store(
-                out,
-                center_idx.clone(),
-                Expr::Var(vsum) / Expr::Var(wsum),
-            );
+            kb.store(out, center_idx.clone(), Expr::Var(vsum) / Expr::Var(wsum));
         },
         |kb| {
             let v = kb.let_("vb", kb.load(img, center_idx.clone()));
@@ -169,8 +165,7 @@ mod tests {
     fn two_accumulators_in_one_reduction_loop() {
         let w = build(Scale::Test, 1);
         let table = paraprox::latency_table_for(&DeviceProfile::gtx560());
-        let compiled =
-            paraprox::compile(&w, &table, &paraprox::CompileOptions::minimal()).unwrap();
+        let compiled = paraprox::compile(&w, &table, &paraprox::CompileOptions::minimal()).unwrap();
         assert!(compiled.pattern_names().contains(&"reduction"));
         // The innermost (j) loop carries both vsum and wsum.
         let reds: Vec<_> = compiled

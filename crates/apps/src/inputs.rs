@@ -83,9 +83,8 @@ pub fn neighbor_percent_differences(img: &[f32], w: usize, h: usize) -> Vec<f64>
                     if dy == 0 && dx == 0 {
                         continue;
                     }
-                    let n = f64::from(
-                        img[((y as i64 + dy) as usize) * w + (x as i64 + dx) as usize],
-                    );
+                    let n =
+                        f64::from(img[((y as i64 + dy) as usize) * w + (x as i64 + dx) as usize]);
                     total += (c - n).abs() / c.abs().max(1.0);
                 }
             }

@@ -78,11 +78,7 @@ pub fn build(scale: Scale, seed: u64) -> Workload {
             Expr::Var(acc) + (-(d.clone() * d.clone()) * Expr::f32(inv2h2)).exp(),
         );
     });
-    kb.store(
-        out,
-        gid,
-        Expr::Var(acc) * Expr::f32(1.0 / n as f32),
-    );
+    kb.store(out, gid, Expr::Var(acc) * Expr::f32(1.0 / n as f32));
     let kernel = program.add_kernel(kb.finish());
 
     let mut data = gen_inputs(scale, seed);
@@ -165,8 +161,7 @@ mod tests {
     fn reduction_detected() {
         let w = build(Scale::Test, 1);
         let table = paraprox::latency_table_for(&DeviceProfile::gtx560());
-        let compiled =
-            paraprox::compile(&w, &table, &paraprox::CompileOptions::minimal()).unwrap();
+        let compiled = paraprox::compile(&w, &table, &paraprox::CompileOptions::minimal()).unwrap();
         assert_eq!(compiled.pattern_names(), vec!["reduction"]);
     }
 }

@@ -65,35 +65,42 @@ pub fn build(scale: Scale, seed: u64) -> Workload {
     let col = kb.let_("col", KernelBuilder::global_id_x());
     let acc = kb.let_mut("acc", Ty::F32, Expr::f32(0.0));
     let tiles = (k / TILE) as i32;
-    kb.for_up("t", Expr::i32(0), Expr::i32(tiles), Expr::i32(1), |kb, t| {
-        // Stage one tile of A and one tile of B.
-        let a_idx = row.clone() * kdim.clone() + t.clone() * Expr::i32(TILE as i32) + tx.clone();
-        kb.store(
-            a_s,
-            ty.clone() * Expr::i32(TILE as i32) + tx.clone(),
-            kb.load(a, a_idx),
-        );
-        let b_idx = (t.clone() * Expr::i32(TILE as i32) + ty.clone()) * ndim.clone()
-            + col.clone();
-        kb.store(
-            b_s,
-            ty.clone() * Expr::i32(TILE as i32) + tx.clone(),
-            kb.load(b, b_idx),
-        );
-        kb.sync();
-        kb.for_up(
-            "kk",
-            Expr::i32(0),
-            Expr::i32(TILE as i32),
-            Expr::i32(1),
-            |kb, kk| {
-                let av = kb.load(a_s, ty.clone() * Expr::i32(TILE as i32) + kk.clone());
-                let bv = kb.load(b_s, kk.clone() * Expr::i32(TILE as i32) + tx.clone());
-                kb.assign(acc, Expr::Var(acc) + av * bv);
-            },
-        );
-        kb.sync();
-    });
+    kb.for_up(
+        "t",
+        Expr::i32(0),
+        Expr::i32(tiles),
+        Expr::i32(1),
+        |kb, t| {
+            // Stage one tile of A and one tile of B.
+            let a_idx =
+                row.clone() * kdim.clone() + t.clone() * Expr::i32(TILE as i32) + tx.clone();
+            kb.store(
+                a_s,
+                ty.clone() * Expr::i32(TILE as i32) + tx.clone(),
+                kb.load(a, a_idx),
+            );
+            let b_idx =
+                (t.clone() * Expr::i32(TILE as i32) + ty.clone()) * ndim.clone() + col.clone();
+            kb.store(
+                b_s,
+                ty.clone() * Expr::i32(TILE as i32) + tx.clone(),
+                kb.load(b, b_idx),
+            );
+            kb.sync();
+            kb.for_up(
+                "kk",
+                Expr::i32(0),
+                Expr::i32(TILE as i32),
+                Expr::i32(1),
+                |kb, kk| {
+                    let av = kb.load(a_s, ty.clone() * Expr::i32(TILE as i32) + kk.clone());
+                    let bv = kb.load(b_s, kk.clone() * Expr::i32(TILE as i32) + tx.clone());
+                    kb.assign(acc, Expr::Var(acc) + av * bv);
+                },
+            );
+            kb.sync();
+        },
+    );
     kb.store(c, row * ndim.clone() + col, Expr::Var(acc));
     let kernel = program.add_kernel(kb.finish());
 
@@ -174,8 +181,7 @@ mod tests {
     fn reduction_and_partition_detected() {
         let w = build(Scale::Test, 1);
         let table = paraprox::latency_table_for(&DeviceProfile::gtx560());
-        let compiled =
-            paraprox::compile(&w, &table, &paraprox::CompileOptions::minimal()).unwrap();
+        let compiled = paraprox::compile(&w, &table, &paraprox::CompileOptions::minimal()).unwrap();
         let names = compiled.pattern_names();
         assert!(names.contains(&"reduction"), "{names:?}");
         assert!(names.contains(&"partition"), "{names:?}");

@@ -16,7 +16,6 @@ fn dims(scale: Scale) -> (usize, usize) {
     }
 }
 
-
 /// Kernel source (parsed through the `paraprox-lang` frontend). The 3×3
 /// neighborhood is manually unrolled, exactly as the paper describes this
 /// benchmark — so there is no reduction loop to perforate.
@@ -136,8 +135,7 @@ mod tests {
     fn unrolled_stencil_detected_no_reduction() {
         let w = build(Scale::Test, 1);
         let table = paraprox::latency_table_for(&DeviceProfile::gtx560());
-        let compiled =
-            paraprox::compile(&w, &table, &paraprox::CompileOptions::minimal()).unwrap();
+        let compiled = paraprox::compile(&w, &table, &paraprox::CompileOptions::minimal()).unwrap();
         let names = compiled.pattern_names();
         assert!(names.contains(&"stencil"), "{names:?}");
         assert!(

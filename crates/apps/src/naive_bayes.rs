@@ -38,8 +38,7 @@ pub fn reference(features: &[f32], labels: &[i32]) -> Vec<i32> {
     for s in 0..n {
         let class = labels[s] as usize;
         for f in 0..FEATURES {
-            let bucket = ((features[s * FEATURES + f] * BUCKETS as f32) as usize)
-                .min(BUCKETS - 1);
+            let bucket = ((features[s * FEATURES + f] * BUCKETS as f32) as usize).min(BUCKETS - 1);
             counts[class * FEATURES * BUCKETS + f * BUCKETS + bucket] += 1;
         }
     }
@@ -84,18 +83,12 @@ pub fn build(scale: Scale, seed: u64) -> Workload {
                     let label = kb.let_("label", kb.load(labels, s.clone()));
                     let x = kb.let_(
                         "x",
-                        kb.load(
-                            features,
-                            s.clone() * Expr::i32(FEATURES as i32) + f.clone(),
-                        ),
+                        kb.load(features, s.clone() * Expr::i32(FEATURES as i32) + f.clone()),
                     );
                     let bucket = kb.let_(
                         "bucket",
-                        Expr::Cast(
-                            Ty::I32,
-                            Box::new(x * Expr::f32(BUCKETS as f32)),
-                        )
-                        .min(Expr::i32(BUCKETS as i32 - 1)),
+                        Expr::Cast(Ty::I32, Box::new(x * Expr::f32(BUCKETS as f32)))
+                            .min(Expr::i32(BUCKETS as i32 - 1)),
                     );
                     let idx = label * Expr::i32((FEATURES * BUCKETS) as i32)
                         + f.clone() * Expr::i32(BUCKETS as i32)
@@ -170,8 +163,7 @@ mod tests {
         let mut device = Device::new(DeviceProfile::gtx560());
         let run = w.pipeline.execute(&mut device, &w.program).unwrap();
         let data = gen_inputs(Scale::Test, 23);
-        let (BufferInit::F32(features), BufferInit::I32(labels)) = (&data[0], &data[1])
-        else {
+        let (BufferInit::F32(features), BufferInit::I32(labels)) = (&data[0], &data[1]) else {
             panic!()
         };
         let expected = reference(features, labels);
@@ -190,8 +182,7 @@ mod tests {
     fn atomic_reduction_detected_on_inner_loop() {
         let w = build(Scale::Test, 1);
         let table = paraprox::latency_table_for(&DeviceProfile::gtx560());
-        let compiled =
-            paraprox::compile(&w, &table, &paraprox::CompileOptions::minimal()).unwrap();
+        let compiled = paraprox::compile(&w, &table, &paraprox::CompileOptions::minimal()).unwrap();
         let reds: Vec<_> = compiled
             .patterns
             .iter()
@@ -200,9 +191,7 @@ mod tests {
         assert_eq!(reds.len(), 1, "only the inner sample loop");
         assert!(matches!(
             reds[0].kind,
-            ReductionKind::Atomic {
-                op: AtomicOp::Add
-            }
+            ReductionKind::Atomic { op: AtomicOp::Add }
         ));
         assert_eq!(reds[0].path.depth(), 2, "the nested loop");
     }

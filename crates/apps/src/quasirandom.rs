@@ -35,15 +35,21 @@ fn build_radical_inverse(program: &mut Program) -> FuncId {
     let acc = fb.let_mut("acc", Ty::F32, Expr::f32(0.0));
     let base = fb.let_mut("base", Ty::F32, Expr::f32(1.0 / 3.0));
     let rest = fb.let_mut("rest", Ty::I32, i);
-    fb.for_up("k", Expr::i32(0), Expr::i32(DIGITS), Expr::i32(1), |fb, _k| {
-        let digit = fb.let_("digit", Expr::Var(rest).rem(Expr::i32(3)));
-        fb.assign(
-            acc,
-            Expr::Var(acc) + Expr::Cast(Ty::F32, Box::new(digit)) * Expr::Var(base),
-        );
-        fb.assign(base, Expr::Var(base) * Expr::f32(1.0 / 3.0));
-        fb.assign(rest, Expr::Var(rest) / Expr::i32(3));
-    });
+    fb.for_up(
+        "k",
+        Expr::i32(0),
+        Expr::i32(DIGITS),
+        Expr::i32(1),
+        |fb, _k| {
+            let digit = fb.let_("digit", Expr::Var(rest).rem(Expr::i32(3)));
+            fb.assign(
+                acc,
+                Expr::Var(acc) + Expr::Cast(Ty::F32, Box::new(digit)) * Expr::Var(base),
+            );
+            fb.assign(base, Expr::Var(base) * Expr::f32(1.0 / 3.0));
+            fb.assign(rest, Expr::Var(rest) / Expr::i32(3));
+        },
+    );
     fb.ret(Expr::Var(acc));
     program.add_func(fb.finish())
 }
@@ -170,8 +176,7 @@ mod tests {
     fn detected_as_map_with_heavy_function() {
         let w = build(Scale::Test, 1);
         let table = paraprox::latency_table_for(&DeviceProfile::gtx560());
-        let compiled =
-            paraprox::compile(&w, &table, &paraprox::CompileOptions::minimal()).unwrap();
+        let compiled = paraprox::compile(&w, &table, &paraprox::CompileOptions::minimal()).unwrap();
         let cand = compiled
             .patterns
             .iter()

@@ -16,7 +16,8 @@ fn tune_at(app: &paraprox_apps::App, toq: f64) -> (f64, f64) {
         &CompileOptions::default(),
     )
     .expect("compile");
-    let mut device_app = DeviceApp::new(Device::new(profile), &compiled, app.input_gen(Scale::Test));
+    let mut device_app =
+        DeviceApp::new(Device::new(profile), &compiled, app.input_gen(Scale::Test));
     let tuner = Tuner {
         toq: Toq::new(toq).expect("valid toq"),
         training_seeds: vec![0, 1],

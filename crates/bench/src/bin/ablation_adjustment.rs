@@ -39,9 +39,7 @@ fn perforate_without_adjustment(
 
 fn main() {
     let profile = DeviceProfile::gtx560();
-    println!(
-        "Ablation: reduction sampling with vs WITHOUT the x{SKIP} adjustment (GPU)\n"
-    );
+    println!("Ablation: reduction sampling with vs WITHOUT the x{SKIP} adjustment (GPU)\n");
     println!(
         "{:<32} {:>12} {:>14}",
         "application", "adjusted", "unadjusted"
@@ -75,13 +73,9 @@ fn main() {
             .filter(|l| l.path == red.path)
             .cloned()
             .collect();
-        let adjusted = paraprox_approx::approximate_reduction_group(
-            &workload.program,
-            kid,
-            &group,
-            SKIP,
-        )
-        .expect("adjusted rewrite");
+        let adjusted =
+            paraprox_approx::approximate_reduction_group(&workload.program, kid, &group, SKIP)
+                .expect("adjusted rewrite");
         let run_adj = workload
             .pipeline
             .execute(&mut device, &adjusted)

@@ -27,10 +27,7 @@ fn skewed_program() -> (Program, paraprox_ir::Func, Vec<Vec<Scalar>>) {
     let samples: Vec<Vec<Scalar>> = (0..256)
         .map(|i| {
             let t = i as f32 / 255.0;
-            vec![
-                Scalar::F32(t * 2.0),
-                Scalar::F32((t * 97.0) % 1.0 * 50.0),
-            ]
+            vec![Scalar::F32(t * 2.0), Scalar::F32((t * 97.0) % 1.0 * 50.0)]
         })
         .collect();
     (p, f, samples)

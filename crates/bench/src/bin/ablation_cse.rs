@@ -60,8 +60,7 @@ fn main() {
             .expect("stencil run");
         let q_cse = Metric::MeanRelative.quality(&exact.flat_output(), &run_cse.flat_output());
         assert!(q_cse > 99.999, "CSE must be semantics-preserving");
-        let q_st =
-            Metric::MeanRelative.quality(&exact.flat_output(), &run_stencil.flat_output());
+        let q_st = Metric::MeanRelative.quality(&exact.flat_output(), &run_stencil.flat_output());
         let base = exact.stats.total_cycles() as f64;
         println!(
             "{:<26} {:>9.2}x {:>13.2}x {:>15.2}x {:>9.2}%",

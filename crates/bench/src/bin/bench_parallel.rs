@@ -129,10 +129,7 @@ fn main() {
     );
 
     let levels = [1usize, 2, 4];
-    let results: Vec<Measurement> = levels
-        .iter()
-        .map(|&p| run_at(p, &program, kid))
-        .collect();
+    let results: Vec<Measurement> = levels.iter().map(|&p| run_at(p, &program, kid)).collect();
     let baseline = &results[0];
 
     println!(

@@ -32,7 +32,11 @@ fn main() {
     let result = bit_tune(&workload.program, &f, samples, &ranges, 15).expect("bit tune");
     println!("\nexplored nodes (split of 15 bits -> output quality):");
     for (split, quality) in &result.explored {
-        let marker = if *split == result.split { "  <== selected" } else { "" };
+        let marker = if *split == result.split {
+            "  <== selected"
+        } else {
+            ""
+        };
         println!("  {split:?} -> {quality:6.2}%{marker}");
     }
     println!(

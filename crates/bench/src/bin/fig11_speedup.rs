@@ -65,8 +65,7 @@ fn main() {
                 3,
             );
             let metric = app.spec.metric;
-            let (speedup, quality) =
-                measure(&report, &mut device_app, |e, a| metric.quality(e, a));
+            let (speedup, quality) = measure(&report, &mut device_app, |e, a| metric.quality(e, a));
             let label = report
                 .chosen
                 .map(|i| report.profiles[i].label.clone())

@@ -64,7 +64,5 @@ fn main() {
         );
     }
     let min10 = under10_all.iter().cloned().fold(f64::INFINITY, f64::min);
-    println!(
-        "\nminimum fraction of elements with <=10% error: {min10:.1}% (paper: 70-100%)"
-    );
+    println!("\nminimum fraction of elements with <=10% error: {min10:.1}% (paper: 70-100%)");
 }

@@ -40,9 +40,7 @@ fn main() {
         guard_divisions: false,
     };
     let pattern_based = CompileOptions::default();
-    println!(
-        "Figure 14: reduction-only (loop perforation) vs pattern-based (GPU, TOQ = {toq})\n"
-    );
+    println!("Figure 14: reduction-only (loop perforation) vs pattern-based (GPU, TOQ = {toq})\n");
     println!(
         "{:<32} {:>16} {:>16}",
         "application", "reduction-only", "pattern-based"

@@ -32,8 +32,7 @@ fn main() {
         let mut best_nearest: f64 = 0.0;
         for mode in [LookupMode::Nearest, LookupMode::Linear] {
             for bits in [6u32, 8, 10, 12] {
-                let (program, pipeline) =
-                    force_memo(&workload, bits, mode, TablePlacement::Global);
+                let (program, pipeline) = force_memo(&workload, bits, mode, TablePlacement::Global);
                 let (out, cycles, _) = run_once(&program, &pipeline, &profile);
                 let quality = Metric::MeanRelative.quality(&exact_out, &out);
                 let speedup = exact_cycles as f64 / cycles as f64;

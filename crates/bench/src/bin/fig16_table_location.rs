@@ -20,8 +20,7 @@ use paraprox_quality::Metric;
 fn main() {
     let profile = DeviceProfile::gtx560();
     let workload = build(CaseStudy::Bass, Scale::Paper, 0);
-    let (exact_out, exact_cycles, _) =
-        run_once(&workload.program, &workload.pipeline, &profile);
+    let (exact_out, exact_cycles, _) = run_once(&workload.program, &workload.pipeline, &profile);
     println!("Figure 16: Bass-function memoization, table placement vs size (GPU)\n");
     println!(
         "{:>7} {:>10} {:>10} {:>10}   quality",
@@ -35,8 +34,7 @@ fn main() {
             TablePlacement::Shared,
             TablePlacement::Global,
         ] {
-            let (program, pipeline) =
-                force_memo(&workload, bits, LookupMode::Nearest, placement);
+            let (program, pipeline) = force_memo(&workload, bits, LookupMode::Nearest, placement);
             let mut device = paraprox::Device::new(profile.clone());
             match pipeline.execute(&mut device, &program) {
                 Ok(run) => {

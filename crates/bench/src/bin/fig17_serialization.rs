@@ -17,9 +17,7 @@ fn main() {
     let profile = DeviceProfile::gtx560();
     let workload = build(CaseStudy::Bass, Scale::Paper, 0);
     let (_, exact_cycles, _) = run_once(&workload.program, &workload.pipeline, &profile);
-    println!(
-        "Figure 17: lookup-table size vs serialization overhead and speedup (Bass, GPU)\n"
-    );
+    println!("Figure 17: lookup-table size vs serialization overhead and speedup (Bass, GPU)\n");
     println!(
         "{:>7} {:>14} {:>9}  {:>8}",
         "entries", "serialization", "speedup", "l1 hit"

@@ -47,22 +47,21 @@ fn main() {
         let run = pipeline
             .execute(&mut device, &workload.program)
             .expect("corrupted run");
-        let quality =
-            Metric::MeanRelative.quality(&exact.flat_output(), &run.flat_output());
+        let quality = Metric::MeanRelative.quality(&exact.flat_output(), &run.flat_output());
         if k == 0 {
             first_quality = quality;
         }
         if k == steps {
             last_quality = quality;
         }
-        println!(
-            "{start:>12} {quality:>8.2}%  {}",
-            bar(quality, 100.0, 40)
-        );
+        println!("{start:>12} {quality:>8.2}%  {}", bar(quality, 100.0, 40));
     }
     println!(
         "\ncorrupting the FIRST subarrays: {first_quality:.1}% quality; the LAST: {last_quality:.1}% \
          (paper: ~67% vs ~99%)"
     );
-    assert!(first_quality < last_quality - 10.0, "cascading error must show");
+    assert!(
+        first_quality < last_quality - 10.0,
+        "cascading error must show"
+    );
 }

@@ -7,7 +7,7 @@
 #![warn(missing_docs)]
 
 use paraprox::{
-    compile, latency_table_for, Compiled, CompileOptions, Device, DeviceApp, DeviceProfile,
+    compile, latency_table_for, CompileOptions, Compiled, Device, DeviceApp, DeviceProfile,
 };
 use paraprox_apps::{App, Scale};
 use paraprox_runtime::{Toq, TuneReport, Tuner};
@@ -137,11 +137,7 @@ pub fn run_once(
 ) -> (Vec<f64>, u64, paraprox_vgpu::LaunchStats) {
     let mut device = Device::new(profile.clone());
     let run = pipeline.execute(&mut device, program).expect("execute");
-    (
-        run.flat_output(),
-        run.stats.total_cycles(),
-        run.stats,
-    )
+    (run.flat_output(), run.stats.total_cycles(), run.stats)
 }
 
 /// Geometric mean (for averaging speedups).

@@ -19,9 +19,11 @@ usage:
       PARAPROX_THREADS environment variable overrides the flag. Results are
       bit-identical for every thread count.
 
-  paraprox inspect <file.cu>
+  paraprox inspect <file.cu> [--bytecode <kernel>]
       Parse CUDA-flavored kernel source and report the data-parallel
-      patterns Paraprox detects in each kernel.
+      patterns Paraprox detects in each kernel. --bytecode additionally
+      prints the register-machine bytecode the virtual device compiles the
+      named kernel (prefix match) into.
 ";
 
 /// Which device profile to use.
@@ -68,6 +70,8 @@ pub enum Command {
     Inspect {
         /// Path to the kernel source file.
         file: String,
+        /// Kernel name (prefix match) to disassemble to vGPU bytecode.
+        bytecode: Option<String>,
     },
 }
 
@@ -103,16 +107,12 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                             Some("gpu") => DeviceArg::Gpu,
                             Some("cpu") => DeviceArg::Cpu,
                             other => {
-                                return Err(format!(
-                                    "--device needs `gpu` or `cpu`, got {other:?}"
-                                ))
+                                return Err(format!("--device needs `gpu` or `cpu`, got {other:?}"))
                             }
                         };
                     }
                     "--toq" => {
-                        let v = it
-                            .next()
-                            .ok_or_else(|| "--toq needs a value".to_string())?;
+                        let v = it.next().ok_or_else(|| "--toq needs a value".to_string())?;
                         toq = v
                             .parse::<f64>()
                             .map_err(|_| format!("bad --toq value `{v}`"))?;
@@ -170,9 +170,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                             Some("gpu") => DeviceArg::Gpu,
                             Some("cpu") => DeviceArg::Cpu,
                             other => {
-                                return Err(format!(
-                                    "--device needs `gpu` or `cpu`, got {other:?}"
-                                ))
+                                return Err(format!("--device needs `gpu` or `cpu`, got {other:?}"))
                             }
                         };
                     }
@@ -210,10 +208,20 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 .next()
                 .ok_or_else(|| "`inspect` needs a source file".to_string())?
                 .clone();
-            if it.next().is_some() {
-                return Err("`inspect` takes one argument".to_string());
+            let mut bytecode = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--bytecode" => {
+                        bytecode = Some(
+                            it.next()
+                                .ok_or_else(|| "--bytecode needs a kernel name".to_string())?
+                                .clone(),
+                        );
+                    }
+                    other => return Err(format!("unknown option `{other}`")),
+                }
             }
-            Ok(Command::Inspect { file })
+            Ok(Command::Inspect { file, bytecode })
         }
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("no command given".to_string()),
@@ -299,7 +307,14 @@ mod tests {
             }
         );
         let cmd = parse(&v(&[
-            "run", "sobel", "--device", "cpu", "--scale", "test", "--threads", "4",
+            "run",
+            "sobel",
+            "--device",
+            "cpu",
+            "--scale",
+            "test",
+            "--threads",
+            "4",
         ]))
         .unwrap();
         assert_eq!(
@@ -319,8 +334,20 @@ mod tests {
     fn parses_inspect() {
         assert_eq!(
             parse(&v(&["inspect", "k.cu"])).unwrap(),
-            Command::Inspect { file: "k.cu".into() }
+            Command::Inspect {
+                file: "k.cu".into(),
+                bytecode: None,
+            }
+        );
+        assert_eq!(
+            parse(&v(&["inspect", "k.cu", "--bytecode", "conv"])).unwrap(),
+            Command::Inspect {
+                file: "k.cu".into(),
+                bytecode: Some("conv".into()),
+            }
         );
         assert!(parse(&v(&["inspect"])).is_err());
+        assert!(parse(&v(&["inspect", "k.cu", "--bytecode"])).is_err());
+        assert!(parse(&v(&["inspect", "k.cu", "--bogus"])).is_err());
     }
 }

@@ -25,7 +25,7 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
             test_scale,
             threads,
         } => run_app(&app, device, test_scale, threads),
-        Command::Inspect { file } => inspect(&file),
+        Command::Inspect { file, bytecode } => inspect(&file, bytecode.as_deref()),
     }
 }
 
@@ -60,7 +60,11 @@ fn tune(
 ) -> Result<(), Box<dyn Error>> {
     let app = paraprox_apps::find(name)
         .ok_or_else(|| format!("no application matching `{name}` (try `paraprox list`)"))?;
-    let scale = if test_scale { Scale::Test } else { Scale::Paper };
+    let scale = if test_scale {
+        Scale::Test
+    } else {
+        Scale::Paper
+    };
     let profile = profile_of(device);
     println!("{} on {}", app.spec.name, profile.name);
 
@@ -82,7 +86,10 @@ fn tune(
         training_seeds: (0..seeds as u64).collect(),
     };
     let report = tuner.tune(&mut device_app)?;
-    println!("\n{:<30} {:>8} {:>9}  status", "variant", "quality", "speedup");
+    println!(
+        "\n{:<30} {:>8} {:>9}  status",
+        "variant", "quality", "speedup"
+    );
     for p in &report.profiles {
         if !all && !p.meets_toq {
             continue;
@@ -115,7 +122,11 @@ fn run_app(
 ) -> Result<(), Box<dyn Error>> {
     let app = paraprox_apps::find(name)
         .ok_or_else(|| format!("no application matching `{name}` (try `paraprox list`)"))?;
-    let scale = if test_scale { Scale::Test } else { Scale::Paper };
+    let scale = if test_scale {
+        Scale::Test
+    } else {
+        Scale::Paper
+    };
     let profile = profile_of(device).with_parallelism(threads);
     println!("{} on {} (exact pipeline)", app.spec.name, profile.name);
 
@@ -124,7 +135,11 @@ fn run_app(
     let run = workload.pipeline.execute(&mut dev, &workload.program)?;
     let s = &run.stats;
 
-    let warps_per_block = if s.blocks > 0 { s.warps as f64 / s.blocks as f64 } else { 0.0 };
+    let warps_per_block = if s.blocks > 0 {
+        s.warps as f64 / s.blocks as f64
+    } else {
+        0.0
+    };
     println!("\nlaunch report");
     println!("  blocks          {:>12}", s.blocks);
     println!("  warps           {:>12}", s.warps);
@@ -146,7 +161,7 @@ fn run_app(
     Ok(())
 }
 
-fn inspect(file: &str) -> Result<(), Box<dyn Error>> {
+fn inspect(file: &str, bytecode: Option<&str>) -> Result<(), Box<dyn Error>> {
     let source = std::fs::read_to_string(file)?;
     let program = paraprox_lang::parse_program(&source)?;
     println!(
@@ -201,6 +216,24 @@ fn inspect(file: &str) -> Result<(), Box<dyn Error>> {
                 }
             }
         }
+    }
+    if let Some(name) = bytecode {
+        let lower = name.to_lowercase();
+        let Some((_, kernel)) = program
+            .kernels()
+            .find(|(_, k)| k.name.to_lowercase().starts_with(&lower))
+        else {
+            return Err(format!("no kernel matching `{name}` in {file}").into());
+        };
+        let profile = DeviceProfile::gtx560();
+        let compiled = paraprox_vgpu::compile_kernel(&program, kernel, &profile);
+        println!(
+            "\nbytecode for kernel `{}` ({} ops, compiled for {}):\n",
+            kernel.name,
+            compiled.op_count(),
+            profile.name
+        );
+        print!("{}", compiled.disassemble());
     }
     Ok(())
 }

@@ -3,8 +3,8 @@
 use std::collections::HashMap;
 
 use paraprox_approx::{
-    approximate_scan, approximate_stencil, bit_tune, input_ranges,
-    memoize_kernel, ApproxError, LookupMode, MemoConfig, StencilScheme, TablePlacement,
+    approximate_scan, approximate_stencil, bit_tune, input_ranges, memoize_kernel, ApproxError,
+    LookupMode, MemoConfig, StencilScheme, TablePlacement,
 };
 use paraprox_ir::{FuncId, Program, Ty};
 use paraprox_patterns::{detect, DetectOptions, KernelPatterns, LatencyTable};
@@ -180,8 +180,7 @@ fn memo_variants(
                         std::collections::hash_map::Entry::Vacant(e) => {
                             let ranges = input_ranges(samples)?;
                             let f = workload.program.func(func).clone();
-                            let result =
-                                bit_tune(&workload.program, &f, samples, &ranges, bits)?;
+                            let result = bit_tune(&workload.program, &f, samples, &ranges, bits)?;
                             e.insert(MemoConfig {
                                 func,
                                 split: result.split,
@@ -288,8 +287,7 @@ fn stencil_variants(
 fn innermost_reduction_groups(
     loops: &[paraprox_patterns::ReductionLoop],
 ) -> Vec<Vec<paraprox_patterns::ReductionLoop>> {
-    let is_prefix = |outer: &paraprox_patterns::StmtPath,
-                     inner: &paraprox_patterns::StmtPath| {
+    let is_prefix = |outer: &paraprox_patterns::StmtPath, inner: &paraprox_patterns::StmtPath| {
         outer.0.len() < inner.0.len() && inner.0[..outer.0.len()] == outer.0[..]
     };
     let mut groups: Vec<Vec<paraprox_patterns::ReductionLoop>> = Vec::new();
@@ -336,9 +334,7 @@ fn reduction_variants(
                     paraprox_patterns::reduction::find_reduction_loops(program.kernel(kernel));
                 let groups = innermost_reduction_groups(&loops);
                 let Some(group) = groups.get(i) else { break };
-                match paraprox_approx::approximate_reduction_group(
-                    &program, kernel, group, skip,
-                ) {
+                match paraprox_approx::approximate_reduction_group(&program, kernel, group, skip) {
                     Ok(p) => {
                         program = p;
                         applied += 1;

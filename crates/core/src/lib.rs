@@ -32,7 +32,7 @@ mod error;
 mod latency;
 mod workload;
 
-pub use compile::{compile, Compiled, CompileOptions, Knob, Variant};
+pub use compile::{compile, CompileOptions, Compiled, Knob, Variant};
 pub use device_app::DeviceApp;
 pub use error::CompileError;
 pub use latency::latency_table_for;

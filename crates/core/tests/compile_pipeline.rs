@@ -122,7 +122,9 @@ fn device_app_regenerates_inputs_per_seed() {
     let compiled = compile(&w, &table, &CompileOptions::minimal()).unwrap();
     let gen = Box::new(|seed: u64| {
         let base = seed as f32 * 0.01 + 0.5;
-        vec![BufferInit::F32((0..1024).map(|i| base + i as f32 * 0.1).collect())]
+        vec![BufferInit::F32(
+            (0..1024).map(|i| base + i as f32 * 0.1).collect(),
+        )]
     });
     let mut app = DeviceApp::new(Device::new(DeviceProfile::gtx560()), &compiled, gen);
     let a: RunOutcome = app.run_exact(1).unwrap();
@@ -150,6 +152,43 @@ fn device_app_rejects_wrong_input_arity() {
     });
     let mut app = DeviceApp::new(Device::new(DeviceProfile::gtx560()), &compiled, gen);
     assert!(app.run_exact(0).is_err());
+}
+
+#[test]
+fn tuner_sweep_compiles_each_candidate_kernel_once() {
+    // The tuner runs the exact program and every variant 10 times each;
+    // the device's program cache must compile each distinct kernel exactly
+    // once for the whole sweep, and a second sweep must add no compiles.
+    let w = tiny_map_workload();
+    let table = latency_table_for(&DeviceProfile::gtx560());
+    let compiled = compile(&w, &table, &CompileOptions::minimal()).unwrap();
+    assert!(!compiled.variants.is_empty());
+    let gen = Box::new(|seed: u64| {
+        let base = seed as f32 * 0.01 + 0.5;
+        vec![BufferInit::F32(
+            (0..1024).map(|i| base + i as f32 * 0.1).collect(),
+        )]
+    });
+    let mut app = DeviceApp::new(Device::new(DeviceProfile::gtx560()), &compiled, gen);
+    let tuner = paraprox::Tuner::paper_default();
+    tuner.tune(&mut app).unwrap();
+    let after_first = app.device_mut().compile_count();
+    // Upper bound: every kernel of the exact program plus every kernel of
+    // every variant compiled at most once, despite 10 runs each.
+    let distinct: u64 = (w.program.kernel_count()
+        + compiled
+            .variants
+            .iter()
+            .map(|v| v.program.kernel_count())
+            .sum::<usize>()) as u64;
+    assert!(after_first >= 1);
+    assert!(
+        after_first <= distinct,
+        "tuner recompiled kernels: {after_first} compiles for {distinct} distinct kernels"
+    );
+    // A second identical sweep hits the cache for everything.
+    tuner.tune(&mut app).unwrap();
+    assert_eq!(app.device_mut().compile_count(), after_first);
 }
 
 #[test]

@@ -76,10 +76,7 @@ fn infer_ty(e: &Expr, params: &[Param], locals: &[LocalDecl]) -> Ty {
     use crate::expr::{BinOp, UnOp};
     match e {
         Expr::Const(s) => s.ty(),
-        Expr::Var(v) => locals
-            .get(v.index())
-            .map(|d| d.ty)
-            .unwrap_or(Ty::F32),
+        Expr::Var(v) => locals.get(v.index()).map(|d| d.ty).unwrap_or(Ty::F32),
         Expr::Param(i) => params.get(*i).map(|p| p.ty()).unwrap_or(Ty::F32),
         Expr::Special(_) => Ty::I32,
         Expr::Cast(ty, _) => *ty,
@@ -306,13 +303,7 @@ impl KernelBuilder {
         step: Expr,
         build: impl FnOnce(&mut Self, Expr),
     ) {
-        self.for_loop(
-            name,
-            init,
-            LoopCond::Lt(bound),
-            LoopStep::Add(step),
-            build,
-        );
+        self.for_loop(name, init, LoopCond::Lt(bound), LoopStep::Add(step), build);
     }
 
     /// General counted loop with explicit condition and step kinds.

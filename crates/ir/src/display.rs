@@ -169,9 +169,7 @@ impl fmt::Display for Kernel {
                 write!(f, ", ")?;
             }
             match p {
-                crate::Param::Buffer { name, ty, space } => {
-                    write!(f, "{space} {ty}* {name}")?
-                }
+                crate::Param::Buffer { name, ty, space } => write!(f, "{space} {ty}* {name}")?,
                 crate::Param::Scalar { name, ty } => write!(f, "{ty} {name}")?,
             }
         }

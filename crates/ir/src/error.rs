@@ -26,7 +26,10 @@ impl fmt::Display for IrError {
         match self {
             IrError::UnknownName(name) => write!(f, "unknown item name `{name}`"),
             IrError::ParamOutOfRange { index, len } => {
-                write!(f, "parameter index {index} out of range for {len} parameters")
+                write!(
+                    f,
+                    "parameter index {index} out of range for {len} parameters"
+                )
             }
             IrError::Invalid(msg) => write!(f, "invalid IR: {msg}"),
         }
@@ -104,7 +107,10 @@ impl fmt::Display for EvalError {
             }
             EvalError::DivisionByZero => write!(f, "integer division by zero"),
             EvalError::OutOfBounds { index, len } => {
-                write!(f, "memory access at index {index} out of bounds (len {len})")
+                write!(
+                    f,
+                    "memory access at index {index} out of bounds (len {len})"
+                )
             }
             EvalError::UninitializedVar(v) => write!(f, "read of uninitialized local v{v}"),
             EvalError::IterationLimit => write!(f, "loop iteration limit exceeded"),
@@ -119,7 +125,10 @@ impl fmt::Display for EvalError {
                 write!(f, "barrier executed while threads were divergent")
             }
             EvalError::ArityMismatch { expected, found } => {
-                write!(f, "arity mismatch: expected {expected} arguments, found {found}")
+                write!(
+                    f,
+                    "arity mismatch: expected {expected} arguments, found {found}"
+                )
             }
         }
     }
@@ -142,7 +151,10 @@ mod tests {
                 lhs: Ty::F32,
                 rhs: Ty::U32,
             },
-            EvalError::UnsupportedOp { op: "exp", ty: Ty::I32 },
+            EvalError::UnsupportedOp {
+                op: "exp",
+                ty: Ty::I32,
+            },
             EvalError::DivisionByZero,
             EvalError::OutOfBounds { index: 9, len: 4 },
             EvalError::UninitializedVar(3),

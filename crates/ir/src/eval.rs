@@ -50,11 +50,7 @@ enum Flow {
 ///
 /// Returns an error if argument count or types mismatch the declaration, if
 /// the body uses impure constructs, exceeds `limits`, or fails to return.
-pub fn eval_func(
-    program: &Program,
-    func: &Func,
-    args: &[Scalar],
-) -> Result<Scalar, EvalError> {
+pub fn eval_func(program: &Program, func: &Func, args: &[Scalar]) -> Result<Scalar, EvalError> {
     let mut ctx = PureCtx {
         program,
         limits: EvalLimits::default(),
@@ -204,13 +200,10 @@ fn eval_expr(
             .copied()
             .flatten()
             .ok_or(EvalError::UninitializedVar(v.0)),
-        Expr::Param(i) => args
-            .get(*i)
-            .copied()
-            .ok_or(EvalError::ArityMismatch {
-                expected: *i + 1,
-                found: args.len(),
-            }),
+        Expr::Param(i) => args.get(*i).copied().ok_or(EvalError::ArityMismatch {
+            expected: *i + 1,
+            found: args.len(),
+        }),
         Expr::Special(_) => Err(EvalError::NotPure("thread special")),
         Expr::Unary(op, a) => op.apply(eval_expr(ctx, a, args, locals, depth)?),
         Expr::Binary(op, a, b) => {
@@ -236,7 +229,10 @@ fn eval_expr(
         }
         Expr::Cast(ty, a) => Ok(eval_expr(ctx, a, args, locals, depth)?.cast(*ty)),
         Expr::Load { .. } => Err(EvalError::NotPure("load")),
-        Expr::Call { func, args: call_args } => {
+        Expr::Call {
+            func,
+            args: call_args,
+        } => {
             let callee = ctx
                 .program
                 .funcs()
@@ -302,9 +298,15 @@ mod tests {
         let mut fb = FuncBuilder::new("sum_to_n", Ty::I32);
         let n = fb.scalar("n", Ty::I32);
         let acc = fb.let_mut("acc", Ty::I32, Expr::i32(0));
-        fb.for_up("i", Expr::i32(1), n + Expr::i32(1), Expr::i32(1), |fb, i| {
-            fb.assign(acc, Expr::Var(acc) + i);
-        });
+        fb.for_up(
+            "i",
+            Expr::i32(1),
+            n + Expr::i32(1),
+            Expr::i32(1),
+            |fb, i| {
+                fb.assign(acc, Expr::Var(acc) + i);
+            },
+        );
         fb.ret(Expr::Var(acc));
         let (p, f) = make_program_with(fb.finish());
         assert_eq!(

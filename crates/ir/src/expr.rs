@@ -159,13 +159,7 @@ impl BinOp {
     pub fn is_reduction_compatible(self) -> bool {
         matches!(
             self,
-            BinOp::Add
-                | BinOp::Mul
-                | BinOp::Min
-                | BinOp::Max
-                | BinOp::And
-                | BinOp::Or
-                | BinOp::Xor
+            BinOp::Add | BinOp::Mul | BinOp::Min | BinOp::Max | BinOp::And | BinOp::Or | BinOp::Xor
         )
     }
 }
@@ -387,7 +381,7 @@ impl fmt::Display for Special {
 /// Expressions are pure except for [`Expr::Load`], which reads device
 /// memory. Paraprox's purity analysis (in `paraprox-patterns`) rejects
 /// functions whose bodies contain loads or thread specials.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum Expr {
     /// A literal constant.
     Const(Scalar),
@@ -681,10 +675,14 @@ mod tests {
             Scalar::I32(-4)
         );
         assert_eq!(
-            BinOp::Or.apply(Scalar::U32(0b01), Scalar::U32(0b10)).unwrap(),
+            BinOp::Or
+                .apply(Scalar::U32(0b01), Scalar::U32(0b10))
+                .unwrap(),
             Scalar::U32(0b11)
         );
-        assert!(BinOp::Shl.apply(Scalar::F32(1.0), Scalar::F32(1.0)).is_err());
+        assert!(BinOp::Shl
+            .apply(Scalar::F32(1.0), Scalar::F32(1.0))
+            .is_err());
     }
 
     #[test]
@@ -701,18 +699,24 @@ mod tests {
                 .unwrap(),
             Scalar::Bool(true)
         );
-        assert!(BinOp::Add.apply(Scalar::Bool(true), Scalar::Bool(true)).is_err());
+        assert!(BinOp::Add
+            .apply(Scalar::Bool(true), Scalar::Bool(true))
+            .is_err());
     }
 
     #[test]
     fn unop_transcendentals() {
         let x = Scalar::F32(1.0);
-        assert!(
-            (UnOp::Exp.apply(x).unwrap().as_f32().unwrap() - std::f32::consts::E).abs() < 1e-6
-        );
+        assert!((UnOp::Exp.apply(x).unwrap().as_f32().unwrap() - std::f32::consts::E).abs() < 1e-6);
         assert_eq!(UnOp::Log.apply(x).unwrap(), Scalar::F32(0.0));
-        assert_eq!(UnOp::Sqrt.apply(Scalar::F32(4.0)).unwrap(), Scalar::F32(2.0));
-        assert_eq!(UnOp::Rsqrt.apply(Scalar::F32(4.0)).unwrap(), Scalar::F32(0.5));
+        assert_eq!(
+            UnOp::Sqrt.apply(Scalar::F32(4.0)).unwrap(),
+            Scalar::F32(2.0)
+        );
+        assert_eq!(
+            UnOp::Rsqrt.apply(Scalar::F32(4.0)).unwrap(),
+            Scalar::F32(0.5)
+        );
         assert!(UnOp::Exp.apply(Scalar::I32(1)).is_err());
     }
 
@@ -720,8 +724,14 @@ mod tests {
     fn unop_integer_cases() {
         assert_eq!(UnOp::Neg.apply(Scalar::I32(4)).unwrap(), Scalar::I32(-4));
         assert_eq!(UnOp::Abs.apply(Scalar::I32(-4)).unwrap(), Scalar::I32(4));
-        assert_eq!(UnOp::Not.apply(Scalar::U32(0)).unwrap(), Scalar::U32(u32::MAX));
-        assert_eq!(UnOp::Not.apply(Scalar::Bool(true)).unwrap(), Scalar::Bool(false));
+        assert_eq!(
+            UnOp::Not.apply(Scalar::U32(0)).unwrap(),
+            Scalar::U32(u32::MAX)
+        );
+        assert_eq!(
+            UnOp::Not.apply(Scalar::Bool(true)).unwrap(),
+            Scalar::Bool(false)
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@ impl fmt::Display for KernelId {
 }
 
 /// Declaration of a local variable.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct LocalDecl {
     /// Debug name (not semantically meaningful).
     pub name: String,
@@ -36,7 +36,7 @@ pub struct LocalDecl {
 }
 
 /// A kernel or function parameter.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Param {
     /// A device-memory buffer of elements of `ty` living in `space`.
     Buffer {
@@ -78,7 +78,7 @@ impl Param {
 }
 
 /// Declaration of a block-shared scratchpad array.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SharedDecl {
     /// Debug name.
     pub name: String,
@@ -94,7 +94,7 @@ pub struct SharedDecl {
 /// Functions are the unit of the paper's approximate memoization. Whether a
 /// function actually *is* pure is established by the purity analysis in
 /// `paraprox-patterns`, not assumed.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct Func {
     /// Function name (unique within a program).
     pub name: String,
@@ -111,7 +111,7 @@ pub struct Func {
 }
 
 /// A kernel: a grid of threads all executing `body`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct Kernel {
     /// Kernel name (unique within a program).
     pub name: String,

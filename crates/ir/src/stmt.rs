@@ -98,7 +98,7 @@ impl fmt::Display for AtomicOp {
 
 /// The continuation condition of a counted loop, compared against the loop
 /// variable each iteration.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum LoopCond {
     /// `var < bound`
     Lt(Expr),
@@ -130,7 +130,7 @@ impl LoopCond {
 }
 
 /// The per-iteration update of a counted loop's variable.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum LoopStep {
     /// `var += step`
     Add(Expr),
@@ -172,7 +172,7 @@ impl LoopStep {
 }
 
 /// A structured statement.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum Stmt {
     /// Bind a local variable to the value of an expression. A `Let` may
     /// later be re-assigned with [`Stmt::Assign`] (locals are mutable, as in

@@ -49,6 +49,22 @@ pub enum Scalar {
     Bool(bool),
 }
 
+// Hashed by bit pattern (`f32::to_bits`), so `NaN` payloads and signed
+// zeroes hash distinctly. That is stricter than `PartialEq` for floats
+// (`-0.0 == 0.0`, `NaN != NaN`), which is fine for the structural program
+// cache: a hash mismatch only forces a recompile, never a wrong hit.
+impl std::hash::Hash for Scalar {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Scalar::F32(v) => v.to_bits().hash(state),
+            Scalar::I32(v) => v.hash(state),
+            Scalar::U32(v) => v.hash(state),
+            Scalar::Bool(v) => v.hash(state),
+        }
+    }
+}
+
 impl Scalar {
     /// The type of this value.
     pub fn ty(self) -> Ty {

@@ -27,8 +27,8 @@ pub struct Token {
 /// Multi-character operators, longest first.
 const PUNCTS: &[&str] = &[
     "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=", "%=",
-    "|=", "&=", "^=", "++", "--", "?", ":", ";", ",", ".", "(", ")", "{", "}", "[", "]", "+",
-    "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "|=", "&=", "^=", "++", "--", "?", ":", ";", ",", ".", "(", ")", "{", "}", "[", "]", "+", "-",
+    "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
 ];
 
 /// Tokenize `source`.
@@ -104,8 +104,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
                     || bytes[i] == '.'
                     || bytes[i] == 'e'
                     || bytes[i] == 'E'
-                    || ((bytes[i] == '+' || bytes[i] == '-')
-                        && matches!(bytes[i - 1], 'e' | 'E')))
+                    || ((bytes[i] == '+' || bytes[i] == '-') && matches!(bytes[i - 1], 'e' | 'E')))
             {
                 if bytes[i] == '.' || bytes[i] == 'e' || bytes[i] == 'E' {
                     is_float = true;

@@ -22,7 +22,10 @@ pub(crate) fn lower(unit: &Unit) -> Result<ir::Program, LangError> {
     // call previously declared functions, as in C without prototypes).
     for (i, f) in unit.functions.iter().enumerate() {
         if func_ids.contains_key(&f.name) {
-            return Err(LangError::new(f.pos, format!("duplicate function `{}`", f.name)));
+            return Err(LangError::new(
+                f.pos,
+                format!("duplicate function `{}`", f.name),
+            ));
         }
         let lowered = lower_function(f, unit, &func_ids)?;
         let id = program.add_func(lowered);
@@ -31,7 +34,10 @@ pub(crate) fn lower(unit: &Unit) -> Result<ir::Program, LangError> {
     let mut kernel_names = Vec::new();
     for k in &unit.kernels {
         if kernel_names.contains(&k.name) {
-            return Err(LangError::new(k.pos, format!("duplicate kernel `{}`", k.name)));
+            return Err(LangError::new(
+                k.pos,
+                format!("duplicate kernel `{}`", k.name),
+            ));
         }
         kernel_names.push(k.name.clone());
         let lowered = lower_kernel(k, unit, &func_ids)?;
@@ -114,10 +120,7 @@ impl Lowerer<'_> {
         };
         let common = if rank(a.1) >= rank(b.1) { a.1 } else { b.1 };
         if (a.1 == SrcTy::Bool) != (b.1 == SrcTy::Bool) {
-            return Err(LangError::new(
-                pos,
-                "cannot mix bool and numeric operands",
-            ));
+            return Err(LangError::new(pos, "cannot mix bool and numeric operands"));
         }
         let ea = self.coerce(a.0, a.1, common, pos)?;
         let eb = self.coerce(b.0, b.1, common, pos)?;
@@ -286,7 +289,10 @@ impl Lowerer<'_> {
             "&" | "|" | "^" => {
                 let (ea, eb, ty) = self.promote(a, b, pos)?;
                 if ty == SrcTy::Float {
-                    return Err(LangError::new(pos, "bitwise operators need integer operands"));
+                    return Err(LangError::new(
+                        pos,
+                        "bitwise operators need integer operands",
+                    ));
                 }
                 let e = match op {
                     "&" => ea & eb,
@@ -303,16 +309,14 @@ impl Lowerer<'_> {
                 let e = if op == "<<" { ea << eb } else { ea >> eb };
                 Ok((e, ty))
             }
-            other => Err(LangError::new(pos, format!("unsupported operator `{other}`"))),
+            other => Err(LangError::new(
+                pos,
+                format!("unsupported operator `{other}`"),
+            )),
         }
     }
 
-    fn call(
-        &mut self,
-        name: &str,
-        args: &[Expr],
-        pos: Pos,
-    ) -> Result<(IrExpr, SrcTy), LangError> {
+    fn call(&mut self, name: &str, args: &[Expr], pos: Pos) -> Result<(IrExpr, SrcTy), LangError> {
         use ir::UnOp;
         // Unary float builtins.
         let unary = |op: UnOp| -> Option<UnOp> { Some(op) };
@@ -471,9 +475,7 @@ impl Lowerer<'_> {
                     "atomicAnd" => ir::AtomicOp::And,
                     "atomicOr" => ir::AtomicOp::Or,
                     "atomicXor" => ir::AtomicOp::Xor,
-                    other => {
-                        return Err(LangError::new(*pos, format!("unknown atomic `{other}`")))
-                    }
+                    other => return Err(LangError::new(*pos, format!("unknown atomic `{other}`"))),
                 };
                 let (mem, elem_ty) = self.mem_ref(base, *pos)?;
                 let (ei, ti) = self.expr(&index.expr, index.pos)?;

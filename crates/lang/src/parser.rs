@@ -124,8 +124,7 @@ impl Parser<'_> {
     fn expect_ty(&mut self) -> Result<SrcTy, LangError> {
         let pos = self.pos();
         let name = self.expect_any_ident()?;
-        ty_of(&name)
-            .ok_or_else(|| LangError::new(pos, format!("expected a type, found `{name}`")))
+        ty_of(&name).ok_or_else(|| LangError::new(pos, format!("expected a type, found `{name}`")))
     }
 
     // ---- declarations ---------------------------------------------------
@@ -395,7 +394,10 @@ impl Parser<'_> {
         let (update, amount) = if self.eat_punct("++") {
             let v = self.expect_any_ident()?;
             if v != var {
-                return Err(LangError::new(var3_pos, "update must modify the loop variable"));
+                return Err(LangError::new(
+                    var3_pos,
+                    "update must modify the loop variable",
+                ));
             }
             (
                 "+=".to_string(),
@@ -407,7 +409,10 @@ impl Parser<'_> {
         } else {
             let v = self.expect_any_ident()?;
             if v != var {
-                return Err(LangError::new(var3_pos, "update must modify the loop variable"));
+                return Err(LangError::new(
+                    var3_pos,
+                    "update must modify the loop variable",
+                ));
             }
             if self.eat_punct("++") {
                 (
@@ -530,7 +535,10 @@ impl Parser<'_> {
         // Cast: `(` type `)` unary.
         if matches!(self.peek(), Some(Tok::Punct("(")))
             && matches!(self.peek2(), Some(Tok::Ident(s)) if ty_of(s).is_some())
-            && matches!(self.tokens.get(self.i + 2).map(|t| &t.tok), Some(Tok::Punct(")")))
+            && matches!(
+                self.tokens.get(self.i + 2).map(|t| &t.tok),
+                Some(Tok::Punct(")"))
+            )
         {
             self.i += 1;
             let ty = self.expect_ty()?;
@@ -609,10 +617,7 @@ impl Parser<'_> {
                     }
                 }
             },
-            _ => Err(LangError::new(
-                pos,
-                "expected an expression".to_string(),
-            )),
+            _ => Err(LangError::new(pos, "expected an expression".to_string())),
         }
     }
 }
@@ -655,9 +660,7 @@ mod tests {
 
     #[test]
     fn parses_device_function() {
-        let unit = parse_src(
-            "__device__ float sq(float x) { return x * x; }",
-        );
+        let unit = parse_src("__device__ float sq(float x) { return x * x; }");
         assert_eq!(unit.functions.len(), 1);
         let f = &unit.functions[0];
         assert_eq!(f.name, "sq");
@@ -688,9 +691,7 @@ mod tests {
 
     #[test]
     fn precedence_is_c_like() {
-        let unit = parse_src(
-            "__device__ float f(float a, float b) { return a + b * 2.0f; }",
-        );
+        let unit = parse_src("__device__ float f(float a, float b) { return a + b * 2.0f; }");
         let Stmt::Return(e) = &unit.functions[0].body[0] else {
             panic!()
         };
@@ -701,9 +702,7 @@ mod tests {
 
     #[test]
     fn ternary_and_comparison() {
-        let unit = parse_src(
-            "__device__ float f(float a) { return a >= 0.0f ? a : -a; }",
-        );
+        let unit = parse_src("__device__ float f(float a) { return a >= 0.0f ? a : -a; }");
         let Stmt::Return(e) = &unit.functions[0].body[0] else {
             panic!()
         };
@@ -721,21 +720,25 @@ mod tests {
         );
         let k = &unit.kernels[0];
         assert_eq!(k.body.len(), 3);
-        let Stmt::For { update, .. } = &k.body[0] else { panic!() };
+        let Stmt::For { update, .. } = &k.body[0] else {
+            panic!()
+        };
         assert_eq!(update, "+=");
-        let Stmt::For { update, cmp, .. } = &k.body[1] else { panic!() };
+        let Stmt::For { update, cmp, .. } = &k.body[1] else {
+            panic!()
+        };
         assert_eq!(update, "<<=");
         assert_eq!(cmp, "<");
-        let Stmt::For { update, cmp, .. } = &k.body[2] else { panic!() };
+        let Stmt::For { update, cmp, .. } = &k.body[2] else {
+            panic!()
+        };
         assert_eq!(update, ">>=");
         assert_eq!(cmp, ">");
     }
 
     #[test]
     fn compound_assignment_desugars_on_stores() {
-        let unit = parse_src(
-            "__global__ void k(float* a) { a[0] += 1.0f; }",
-        );
+        let unit = parse_src("__global__ void k(float* a) { a[0] += 1.0f; }");
         let Stmt::Store { value, .. } = &unit.kernels[0].body[0] else {
             panic!()
         };

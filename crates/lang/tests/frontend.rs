@@ -42,11 +42,7 @@ fn map_kernel_from_source_runs() {
             kid,
             Dim2::linear(2),
             Dim2::linear(32),
-            &[
-                img.into(),
-                out.into(),
-                paraprox_ir::Scalar::I32(64).into(),
-            ],
+            &[img.into(), out.into(), paraprox_ir::Scalar::I32(64).into()],
         )
         .unwrap();
     let result = device.read_f32(out).unwrap();
@@ -90,11 +86,7 @@ fn reduction_kernel_from_source_detected() {
             kid,
             Dim2::linear(1),
             Dim2::linear(32),
-            &[
-                input.into(),
-                out.into(),
-                paraprox_ir::Scalar::I32(4).into(),
-            ],
+            &[input.into(), out.into(), paraprox_ir::Scalar::I32(4).into()],
         )
         .unwrap();
     assert_eq!(device.read_f32(out).unwrap(), vec![6.0; 32]);
@@ -248,7 +240,13 @@ fn type_promotion_int_to_float() {
     let mut device = gpu();
     let out = device.alloc_f32(paraprox_ir::MemSpace::Global, &[0.0; 8]);
     device
-        .launch(&program, kid, Dim2::linear(1), Dim2::linear(8), &[out.into()])
+        .launch(
+            &program,
+            kid,
+            Dim2::linear(1),
+            Dim2::linear(8),
+            &[out.into()],
+        )
         .unwrap();
     assert_eq!(
         device.read_f32(out).unwrap(),
@@ -259,22 +257,15 @@ fn type_promotion_int_to_float() {
 #[test]
 fn lowering_rejects_type_errors() {
     // bool + float
-    assert!(parse_program(
-        "__device__ float f(float x) { return (x > 0.0f) + 1.0f; }"
-    )
-    .is_err());
+    assert!(parse_program("__device__ float f(float x) { return (x > 0.0f) + 1.0f; }").is_err());
     // unknown identifier
     assert!(parse_program("__device__ float f(float x) { return y; }").is_err());
     // array without index
-    assert!(parse_program(
-        "__global__ void k(float* a) { float x = a; a[0] = x; }"
-    )
-    .is_err());
+    assert!(parse_program("__global__ void k(float* a) { float x = a; a[0] = x; }").is_err());
     // specials in device functions
-    assert!(parse_program(
-        "__device__ float f(float x) { return x + (float)threadIdx.x; }"
-    )
-    .is_err());
+    assert!(
+        parse_program("__device__ float f(float x) { return x + (float)threadIdx.x; }").is_err()
+    );
     // pointer params on device functions
     assert!(parse_program("__device__ float f(float* a) { return 0.0f; }").is_err());
 }

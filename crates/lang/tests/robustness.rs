@@ -9,9 +9,9 @@ use paraprox_prng::Rng;
 #[test]
 fn arbitrary_strings_never_panic() {
     const POOL: &[char] = &[
-        'a', 'z', '0', '9', ' ', '\n', '\t', '(', ')', '{', '}', '[', ']', ';', '=', '+', '*',
-        '/', '-', '.', ',', '<', '>', '&', '|', '!', '"', '\'', '\\', '_', '#', '@', '~', '%',
-        '^', '?', ':', 'é', 'λ', '中', '\u{0}', '\u{7f}', '\u{2028}', '🦀',
+        'a', 'z', '0', '9', ' ', '\n', '\t', '(', ')', '{', '}', '[', ']', ';', '=', '+', '*', '/',
+        '-', '.', ',', '<', '>', '&', '|', '!', '"', '\'', '\\', '_', '#', '@', '~', '%', '^', '?',
+        ':', 'é', 'λ', '中', '\u{0}', '\u{7f}', '\u{2028}', '🦀',
     ];
     let mut r = Rng::seed_from_u64(0x50F7);
     for _ in 0..256 {
@@ -27,8 +27,27 @@ fn arbitrary_strings_never_panic() {
 #[test]
 fn token_soup_never_panics() {
     const TOKENS: &[&str] = &[
-        "__global__", "__device__", "float", "int", "void", "if", "for", "return", "(", ")",
-        "{", "}", "[", "]", ";", "=", "+", "*", "x", "1", "2.5f",
+        "__global__",
+        "__device__",
+        "float",
+        "int",
+        "void",
+        "if",
+        "for",
+        "return",
+        "(",
+        ")",
+        "{",
+        "}",
+        "[",
+        "]",
+        ";",
+        "=",
+        "+",
+        "*",
+        "x",
+        "1",
+        "2.5f",
     ];
     let mut r = Rng::seed_from_u64(0x70C3);
     for _ in 0..256 {

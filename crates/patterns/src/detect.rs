@@ -1,8 +1,6 @@
 //! Top-level pattern detection over a whole program.
 
-use paraprox_ir::{
-    for_each_expr_in_stmts, Expr, FuncId, Kernel, KernelId, Program,
-};
+use paraprox_ir::{for_each_expr_in_stmts, Expr, FuncId, Kernel, KernelId, Program};
 
 use crate::cost::{estimate_func_cycles, worth_memoizing, LatencyTable};
 use crate::purity::purity_of;
@@ -141,9 +139,10 @@ fn has_indirect_access(kernel: &Kernel) -> bool {
         let before = tainted.len();
         paraprox_ir::for_each_stmt(&kernel.body, &mut |stmt| match stmt {
             Stmt::Let { var, init } | Stmt::Assign { var, value: init }
-                if !tainted.contains(var) && expr_tainted(init, &tainted) => {
-                    tainted.push(*var);
-                }
+                if !tainted.contains(var) && expr_tainted(init, &tainted) =>
+            {
+                tainted.push(*var);
+            }
             _ => {}
         });
         if tainted.len() == before {
@@ -176,11 +175,7 @@ fn has_indirect_access(kernel: &Kernel) -> bool {
     indirect
 }
 
-fn map_candidates(
-    program: &Program,
-    kernel: &Kernel,
-    table: &LatencyTable,
-) -> Vec<MapCandidate> {
+fn map_candidates(program: &Program, kernel: &Kernel, table: &LatencyTable) -> Vec<MapCandidate> {
     // Collect distinct called functions.
     let mut called: Vec<FuncId> = Vec::new();
     for_each_expr_in_stmts(&kernel.body, &mut |e| {

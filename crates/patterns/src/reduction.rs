@@ -6,9 +6,7 @@
 //! instruction inside the loop. Loops performing atomic
 //! add/min/max/inc/and/or/xor operations are also reduction loops.
 
-use paraprox_ir::{
-    for_each_expr, AtomicOp, BinOp, Expr, Kernel, Stmt, VarId,
-};
+use paraprox_ir::{for_each_expr, AtomicOp, BinOp, Expr, Kernel, Stmt, VarId};
 
 use crate::path::{walk_with_paths, StmtPath};
 
@@ -74,13 +72,16 @@ struct VarUsage {
 fn scan_usage(stmts: &[Stmt], var: VarId, usage: &mut VarUsage) {
     for stmt in stmts {
         match stmt {
-            Stmt::Let { var: v, init } | Stmt::Assign { var: v, value: init } => {
+            Stmt::Let { var: v, init }
+            | Stmt::Assign {
+                var: v,
+                value: init,
+            } => {
                 // Is this the accumulative form `var = var ⊕ e`?
                 let is_accum = *v == var
                     && match init {
                         Expr::Binary(op, a, b) if op.is_reduction_compatible() => {
-                            (matches!(**a, Expr::Var(x) if x == var)
-                                && reads_of(b, var) == 0)
+                            (matches!(**a, Expr::Var(x) if x == var) && reads_of(b, var) == 0)
                                 || (matches!(**b, Expr::Var(x) if x == var)
                                     && reads_of(a, var) == 0)
                         }
@@ -116,8 +117,9 @@ fn scan_usage(stmts: &[Stmt], var: VarId, usage: &mut VarUsage) {
                 step,
                 body,
             } => {
-                usage.reads +=
-                    reads_of(init, var) + reads_of(cond.bound(), var) + reads_of(step.amount(), var);
+                usage.reads += reads_of(init, var)
+                    + reads_of(cond.bound(), var)
+                    + reads_of(step.amount(), var);
                 if *loop_var == var {
                     usage.writes += 1;
                 }
@@ -185,7 +187,12 @@ fn first_atomic(stmts: &[Stmt]) -> Option<AtomicOp> {
 pub fn find_reduction_loops(kernel: &Kernel) -> Vec<ReductionLoop> {
     let mut found = Vec::new();
     walk_with_paths(&kernel.body, &mut |path, stmt| {
-        let Stmt::For { body, var: loop_var, .. } = stmt else {
+        let Stmt::For {
+            body,
+            var: loop_var,
+            ..
+        } = stmt
+        else {
             return;
         };
         // Accumulation reductions.

@@ -188,12 +188,8 @@ pub fn match_scan(kernel: &Kernel) -> Option<ScanMatch> {
         input_param,
     );
 
-    let (input_param, partial_param, sums_param) =
-        (input_param?, partial_param?, sums_param?);
-    if input_param == partial_param
-        || input_param == sums_param
-        || partial_param == sums_param
-    {
+    let (input_param, partial_param, sums_param) = (input_param?, partial_param?, sums_param?);
+    if input_param == partial_param || input_param == sums_param || partial_param == sums_param {
         return None;
     }
     Some(ScanMatch {
@@ -246,11 +242,7 @@ mod tests {
         );
         kb.store(partial, gid, kb.load(s_a, tid.clone()));
         kb.if_(tid.clone().eq_(Expr::i32(block as i32 - 1)), |kb| {
-            kb.store(
-                sums,
-                KernelBuilder::block_id_x(),
-                kb.load(s_a, tid.clone()),
-            );
+            kb.store(sums, KernelBuilder::block_id_x(), kb.load(s_a, tid.clone()));
         });
         kb.finish()
     }

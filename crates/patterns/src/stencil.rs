@@ -186,11 +186,7 @@ fn const_loop_info(stmt: &Stmt) -> Option<LoopInfo> {
     })
 }
 
-fn collect_loads(
-    stmts: &[Stmt],
-    loops: &mut Vec<LoopInfo>,
-    out: &mut Vec<(usize, RawLoad)>,
-) {
+fn collect_loads(stmts: &[Stmt], loops: &mut Vec<LoopInfo>, out: &mut Vec<(usize, RawLoad)>) {
     fn collect_from_expr(e: &Expr, loops: &[LoopInfo], out: &mut Vec<(usize, RawLoad)>) {
         paraprox_ir::for_each_expr(e, &mut |node| {
             if let Expr::Load {
@@ -377,11 +373,7 @@ pub fn find_stencils(kernel: &Kernel) -> Vec<StencilCandidate> {
             let inlined = inline_lets(&load.index, &defs);
             for info in &load.loops {
                 let a = decompose(&substitute_var(&inlined, info.var, info.start));
-                let b = decompose(&substitute_var(
-                    &inlined,
-                    info.var,
-                    info.start + info.step,
-                ));
+                let b = decompose(&substitute_var(&inlined, info.var, info.start + info.step));
                 let diff = b.sub(a);
                 if diff.terms.is_empty() && diff.constant == 0 {
                     continue; // variable does not affect this load
@@ -390,7 +382,11 @@ pub fn find_stencils(kernel: &Kernel) -> Vec<StencilCandidate> {
                     (Some(w), 1) => diff.terms[0].0 == *w,
                     _ => false,
                 };
-                let target = if is_row { &mut row_loops } else { &mut col_loops };
+                let target = if is_row {
+                    &mut row_loops
+                } else {
+                    &mut col_loops
+                };
                 if !target.iter().any(|l| l.var == info.var) {
                     target.push(*info);
                 }
@@ -505,9 +501,7 @@ mod tests {
         let acc = kb.let_mut("acc", Ty::F32, Expr::f32(0.0));
         kb.for_up("i", Expr::i32(0), Expr::i32(3), Expr::i32(1), |kb, i| {
             kb.for_up("j", Expr::i32(0), Expr::i32(3), Expr::i32(1), |kb, j| {
-                let idx = (y.clone() + i.clone() - Expr::i32(1)) * w.clone()
-                    + x.clone()
-                    + j
+                let idx = (y.clone() + i.clone() - Expr::i32(1)) * w.clone() + x.clone() + j
                     - Expr::i32(1);
                 let v = kb.load(img, idx);
                 kb.assign(acc, Expr::Var(acc) + v);

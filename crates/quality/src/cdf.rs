@@ -7,7 +7,11 @@
 ///
 /// Panics when the slices differ in length.
 pub fn per_element_errors(exact: &[f64], approx: &[f64]) -> Vec<f64> {
-    assert_eq!(exact.len(), approx.len(), "outputs must have identical shape");
+    assert_eq!(
+        exact.len(),
+        approx.len(),
+        "outputs must have identical shape"
+    );
     exact
         .iter()
         .zip(approx)
@@ -47,9 +51,7 @@ impl ErrorCdf {
         if self.sorted_errors.is_empty() {
             return 1.0;
         }
-        let count = self
-            .sorted_errors
-            .partition_point(|&e| e <= threshold);
+        let count = self.sorted_errors.partition_point(|&e| e <= threshold);
         count as f64 / self.sorted_errors.len() as f64
     }
 

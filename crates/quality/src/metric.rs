@@ -36,11 +36,7 @@ impl Metric {
         assert!(!exact.is_empty(), "outputs must be nonempty");
         match self {
             Metric::L1Norm => {
-                let num: f64 = exact
-                    .iter()
-                    .zip(approx)
-                    .map(|(e, a)| (a - e).abs())
-                    .sum();
+                let num: f64 = exact.iter().zip(approx).map(|(e, a)| (a - e).abs()).sum();
                 let den: f64 = exact.iter().map(|e| e.abs()).sum();
                 num / den.max(EPS)
             }

@@ -301,8 +301,7 @@ impl Deployment {
         };
         let mut checked_quality = None;
         let mut backed_off = false;
-        let is_check =
-            variant.is_some() && self.invocations.is_multiple_of(self.check_every);
+        let is_check = variant.is_some() && self.invocations.is_multiple_of(self.check_every);
         if is_check {
             let exact = app.run_exact(seed)?;
             let q = app.quality(&exact.output, &run.output);
@@ -466,7 +465,12 @@ mod tests {
         let mut deploy = Deployment::new(&report, Toq::paper_default(), 10);
         let mut checks = 0;
         for i in 0..50 {
-            if deploy.invoke(&mut app, i).unwrap().checked_quality.is_some() {
+            if deploy
+                .invoke(&mut app, i)
+                .unwrap()
+                .checked_quality
+                .is_some()
+            {
                 checks += 1;
             }
         }

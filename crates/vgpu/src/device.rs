@@ -1,11 +1,17 @@
 //! The virtual device: buffer management and kernel launching.
 
-use paraprox_ir::{KernelId, MemSpace, Program, Scalar, Ty};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
+use paraprox_ir::{Func, Kernel, KernelId, MemSpace, Program, Scalar, Ty};
+
+use crate::bytecode::{self, CompiledKernel};
 use crate::cache::Cache;
 use crate::error::LaunchError;
 use crate::exec::{self, Launch};
-use crate::profile::DeviceProfile;
+use crate::profile::{DeviceProfile, ExecEngine};
 use crate::stats::LaunchStats;
 
 /// A two-dimensional grid or block shape.
@@ -80,8 +86,80 @@ pub(crate) struct BufferStorage {
     pub data: Vec<Scalar>,
 }
 
-/// A virtual device: owns buffers, caches, and a [`DeviceProfile`], and
-/// executes kernel launches.
+/// Upper bound on cached compiled kernels; past it the cache is cleared
+/// (a backstop for pathological kernel-generating loops, far above what
+/// the tuner's candidate sweeps produce).
+const PROGRAM_CACHE_CAP: usize = 1024;
+
+/// One verified entry of the compiled-program cache: the structural key
+/// (kernel plus every function of its program, cloned at insert time) and
+/// the shared compiled artifact.
+#[derive(Debug)]
+struct CacheEntry {
+    kernel: Kernel,
+    funcs: Vec<Func>,
+    compiled: Arc<CompiledKernel>,
+}
+
+/// Per-device cache of bytecode-compiled kernels, keyed by *structural*
+/// identity (the kernel and its program's functions), so the tuner's
+/// repeated launches of the same candidate — across different `Program`
+/// allocations, buffer bindings, and launch geometries — compile exactly
+/// once. Hash collisions fall back to a full structural comparison, so a
+/// hit is never wrong; `NaN` literals (where `PartialEq` is stricter than
+/// the bit-pattern hash) at worst force a recompile.
+///
+/// The cache deliberately survives [`Device::reclaim_buffers`] and
+/// [`Device::flush_caches`]: compiled programs reference no buffers and
+/// model no simulated state.
+#[derive(Debug, Default)]
+struct ProgramCache {
+    entries: HashMap<u64, Vec<CacheEntry>>,
+    len: usize,
+    compiles: u64,
+}
+
+impl ProgramCache {
+    fn get_or_compile(
+        &mut self,
+        program: &Program,
+        kernel: &Kernel,
+        profile: &DeviceProfile,
+    ) -> Arc<CompiledKernel> {
+        let mut h = DefaultHasher::new();
+        kernel.hash(&mut h);
+        for (_, f) in program.funcs() {
+            f.hash(&mut h);
+        }
+        let key = h.finish();
+        if let Some(list) = self.entries.get(&key) {
+            for e in list {
+                if e.kernel == *kernel
+                    && e.funcs.len() == program.func_count()
+                    && program.funcs().all(|(id, f)| e.funcs[id.0] == *f)
+                {
+                    return Arc::clone(&e.compiled);
+                }
+            }
+        }
+        let compiled = Arc::new(bytecode::compile_kernel(program, kernel, profile));
+        self.compiles += 1;
+        if self.len >= PROGRAM_CACHE_CAP {
+            self.entries.clear();
+            self.len = 0;
+        }
+        self.entries.entry(key).or_default().push(CacheEntry {
+            kernel: kernel.clone(),
+            funcs: program.funcs().map(|(_, f)| f.clone()).collect(),
+            compiled: Arc::clone(&compiled),
+        });
+        self.len += 1;
+        compiled
+    }
+}
+
+/// A virtual device: owns buffers, caches, a compiled-program cache, and a
+/// [`DeviceProfile`], and executes kernel launches.
 #[derive(Debug)]
 pub struct Device {
     profile: DeviceProfile,
@@ -89,6 +167,7 @@ pub struct Device {
     next_addr: u64,
     l1: Cache,
     constant_cache: Cache,
+    programs: ProgramCache,
 }
 
 impl Device {
@@ -102,7 +181,15 @@ impl Device {
             next_addr: 0,
             l1,
             constant_cache,
+            programs: ProgramCache::default(),
         }
+    }
+
+    /// Number of bytecode compilations this device has performed. A kernel
+    /// launched repeatedly (tuner sweeps, pipeline re-runs) compiles once;
+    /// this counter lets tests assert that.
+    pub fn compile_count(&self) -> u64 {
+        self.programs.compiles
     }
 
     /// The device's profile.
@@ -118,17 +205,29 @@ impl Device {
 
     /// Allocate a buffer initialized from `f32` data.
     pub fn alloc_f32(&mut self, space: MemSpace, data: &[f32]) -> BufferId {
-        self.alloc_scalars(space, Ty::F32, data.iter().map(|&v| Scalar::F32(v)).collect())
+        self.alloc_scalars(
+            space,
+            Ty::F32,
+            data.iter().map(|&v| Scalar::F32(v)).collect(),
+        )
     }
 
     /// Allocate a buffer initialized from `i32` data.
     pub fn alloc_i32(&mut self, space: MemSpace, data: &[i32]) -> BufferId {
-        self.alloc_scalars(space, Ty::I32, data.iter().map(|&v| Scalar::I32(v)).collect())
+        self.alloc_scalars(
+            space,
+            Ty::I32,
+            data.iter().map(|&v| Scalar::I32(v)).collect(),
+        )
     }
 
     /// Allocate a buffer initialized from `u32` data.
     pub fn alloc_u32(&mut self, space: MemSpace, data: &[u32]) -> BufferId {
-        self.alloc_scalars(space, Ty::U32, data.iter().map(|&v| Scalar::U32(v)).collect())
+        self.alloc_scalars(
+            space,
+            Ty::U32,
+            data.iter().map(|&v| Scalar::U32(v)).collect(),
+        )
     }
 
     fn alloc_scalars(&mut self, space: MemSpace, ty: Ty, data: Vec<Scalar>) -> BufferId {
@@ -194,10 +293,12 @@ impl Device {
         }
         buf.data
             .iter()
-            .map(|s| s.as_f32().map_err(|_| LaunchError::BufferTypeMismatch {
-                expected: Ty::F32,
-                found: s.ty(),
-            }))
+            .map(|s| {
+                s.as_f32().map_err(|_| LaunchError::BufferTypeMismatch {
+                    expected: Ty::F32,
+                    found: s.ty(),
+                })
+            })
             .collect()
     }
 
@@ -219,10 +320,12 @@ impl Device {
         }
         buf.data
             .iter()
-            .map(|s| s.as_i32().map_err(|_| LaunchError::BufferTypeMismatch {
-                expected: Ty::I32,
-                found: s.ty(),
-            }))
+            .map(|s| {
+                s.as_i32().map_err(|_| LaunchError::BufferTypeMismatch {
+                    expected: Ty::I32,
+                    found: s.ty(),
+                })
+            })
             .collect()
     }
 
@@ -362,6 +465,10 @@ impl Device {
                 available: self.profile.shared_mem_bytes,
             });
         }
+        let compiled = match crate::profile::resolve_engine(self.profile.engine) {
+            ExecEngine::Bytecode => Some(self.programs.get_or_compile(program, k, &self.profile)),
+            ExecEngine::TreeWalk => None,
+        };
         let launch = Launch {
             profile: &self.profile,
             program,
@@ -369,6 +476,7 @@ impl Device {
             args,
             grid,
             block,
+            compiled: compiled.as_deref(),
         };
         exec::run_launch(
             &launch,
@@ -474,10 +582,13 @@ mod tests {
         ));
         // Empty launch.
         assert!(matches!(
-            d.launch(&program, kid, Dim2::new(0, 1), Dim2::linear(4), &[
-                b.into(),
-                Scalar::I32(4).into()
-            ]),
+            d.launch(
+                &program,
+                kid,
+                Dim2::new(0, 1),
+                Dim2::linear(4),
+                &[b.into(), Scalar::I32(4).into()]
+            ),
             Err(LaunchError::EmptyLaunch)
         ));
     }
@@ -539,7 +650,13 @@ mod tests {
         let mut d = Device::new(DeviceProfile::gtx560());
         let b = d.alloc_f32(MemSpace::Global, &[0.0; 64]);
         let stats = d
-            .launch(&program, kid, Dim2::linear(2), Dim2::linear(32), &[b.into()])
+            .launch(
+                &program,
+                kid,
+                Dim2::linear(2),
+                Dim2::linear(32),
+                &[b.into()],
+            )
             .unwrap();
         assert_eq!(stats.blocks, 2);
         assert_eq!(stats.warps, 2);

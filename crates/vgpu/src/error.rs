@@ -78,7 +78,10 @@ impl fmt::Display for LaunchError {
             } => write!(f, "kernel `{kernel}` argument {index}: {reason}"),
             LaunchError::UnknownBuffer(id) => write!(f, "unknown buffer id {id}"),
             LaunchError::BufferSizeMismatch { supplied, len } => {
-                write!(f, "host data of {supplied} elements does not match buffer of {len}")
+                write!(
+                    f,
+                    "host data of {supplied} elements does not match buffer of {len}"
+                )
             }
             LaunchError::BufferTypeMismatch { expected, found } => {
                 write!(f, "buffer holds {found}, requested {expected}")

@@ -47,8 +47,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
 use paraprox_ir::{
-    BinOp, CmpOp, EvalError, Expr, Func, Kernel, LoopCond, LoopStep, MemRef, MemSpace,
-    Program, Scalar, Special, Stmt, Ty,
+    BinOp, CmpOp, EvalError, Expr, Func, Kernel, LoopCond, LoopStep, MemRef, MemSpace, Program,
+    Scalar, Special, Stmt, Ty,
 };
 
 use crate::cache::Cache;
@@ -61,21 +61,21 @@ use crate::stats::LaunchStats;
 /// Maximum total loop iterations (summed over all warps of all blocks,
 /// across every worker) per launch; guards against non-terminating loops
 /// in malformed IR.
-const ITERATION_BUDGET: u64 = 1 << 33;
+pub(crate) const ITERATION_BUDGET: u64 = 1 << 33;
 
-type Mask = Vec<bool>;
+pub(crate) type Mask = Vec<bool>;
 
-fn any(mask: &Mask) -> bool {
+pub(crate) fn any(mask: &Mask) -> bool {
     mask.iter().any(|&b| b)
 }
 
-fn all(mask: &Mask) -> bool {
+pub(crate) fn all(mask: &Mask) -> bool {
     mask.iter().all(|&b| b)
 }
 
 /// Iterate warp lane-ranges that contain at least one active lane, without
 /// allocating.
-fn active_warps(
+pub(crate) fn active_warps(
     warp_width: usize,
     lanes: usize,
     mask: &[bool],
@@ -87,15 +87,15 @@ fn active_warps(
 }
 
 /// Lane-indexed values; entries for inactive lanes hold an arbitrary filler.
-type Lanes = Vec<Scalar>;
+pub(crate) type Lanes = Vec<Scalar>;
 
-const FILLER: Scalar = Scalar::I32(0);
+pub(crate) const FILLER: Scalar = Scalar::I32(0);
 
 /// Reusable lane/mask vectors: the interpreter churns through short-lived
 /// per-statement vectors, so each worker keeps a small free list instead of
 /// hitting the allocator per expression.
 #[derive(Default)]
-struct ScratchPool {
+pub(crate) struct ScratchPool {
     lanes: Vec<Lanes>,
     masks: Vec<Mask>,
 }
@@ -112,6 +112,20 @@ impl ScratchPool {
                 v
             }
             None => vec![fill; n],
+        }
+    }
+
+    /// Take a recycled vector initialized as a copy of `src` — one
+    /// recycle-plus-memcpy, instead of filling with a placeholder and
+    /// overwriting every slot.
+    fn take_lanes_from(&mut self, src: &[Scalar]) -> Lanes {
+        match self.lanes.pop() {
+            Some(mut v) => {
+                v.clear();
+                v.extend_from_slice(src);
+                v
+            }
+            None => src.to_vec(),
         }
     }
 
@@ -143,7 +157,7 @@ impl ScratchPool {
 /// be (a) reverted from the worker's buffer image and (b) replayed onto the
 /// device's buffers in block order.
 #[derive(Debug, Clone, Copy)]
-enum LoggedWrite {
+pub(crate) enum LoggedWrite {
     Store {
         buf: usize,
         index: usize,
@@ -238,6 +252,9 @@ pub(crate) struct Launch<'a> {
     pub args: &'a [ArgValue],
     pub grid: Dim2,
     pub block: Dim2,
+    /// Compiled bytecode for the kernel; `None` selects the tree-walking
+    /// oracle. Shared read-only by all workers.
+    pub compiled: Option<&'a crate::bytecode::CompiledKernel>,
 }
 
 /// Everything one block finished with; folded in ascending `block` order.
@@ -254,6 +271,7 @@ struct Worker<'a> {
     buffers: &'a mut Vec<BufferStorage>,
     log: Vec<LoggedWrite>,
     scratch: ScratchPool,
+    bc: crate::bytecode::BcScratch,
 }
 
 impl Worker<'_> {
@@ -278,6 +296,7 @@ impl Worker<'_> {
             cc_template.clone(),
             iterations,
             &mut self.scratch,
+            &mut self.bc,
         );
         revert_writes(self.buffers, &self.log);
         match result {
@@ -336,6 +355,7 @@ pub(crate) fn run_launch(
             buffers,
             log: Vec::new(),
             scratch: ScratchPool::default(),
+            bc: crate::bytecode::BcScratch::default(),
         };
         for block_id in 0..total {
             let outcome = worker
@@ -367,6 +387,7 @@ pub(crate) fn run_launch(
                                 buffers: &mut image,
                                 log: Vec::new(),
                                 scratch: ScratchPool::default(),
+                                bc: crate::bytecode::BcScratch::default(),
                             };
                             let mut done = Vec::new();
                             let mut err = None;
@@ -374,9 +395,9 @@ pub(crate) fn run_launch(
                                 if abort_ref.load(Ordering::Relaxed) {
                                     break;
                                 }
-                                match worker.run_block(
-                                    launch, block_id, l1_t, cc_t, iters_ref, true,
-                                ) {
+                                match worker
+                                    .run_block(launch, block_id, l1_t, cc_t, iters_ref, true)
+                                {
                                     Ok(outcome) => done.push(outcome),
                                     Err(e) => {
                                         err = Some((block_id, e));
@@ -422,7 +443,10 @@ pub(crate) fn run_launch(
         *constant_cache = last.constant_cache;
     }
     l1.set_counters(entry_l1.0 + stats.l1_hits, entry_l1.1 + stats.l1_misses);
-    constant_cache.set_counters(entry_cc.0 + stats.const_hits, entry_cc.1 + stats.const_misses);
+    constant_cache.set_counters(
+        entry_cc.0 + stats.const_hits,
+        entry_cc.1 + stats.const_misses,
+    );
 
     stats.workers = workers as u64;
     stats.wall_nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -440,6 +464,7 @@ fn exec_block(
     constant_cache: Cache,
     iterations: &AtomicU64,
     scratch: &mut ScratchPool,
+    bc: &mut crate::bytecode::BcScratch,
 ) -> Result<(LaunchStats, Cache, Cache), EvalError> {
     let lanes = launch.block.count();
     let mut ctx = ExecCtx {
@@ -469,34 +494,39 @@ fn exec_block(
     ctx.stats.blocks = 1;
     ctx.stats.warps = lanes.div_ceil(ctx.profile.warp_width) as u64;
     ctx.stats.overhead_cycles = ctx.profile.block_overhead;
-    let mask = vec![true; lanes];
-    let mut frame = Frame::for_kernel(ctx.kernel.locals.len());
-    ctx.run_block(&launch.kernel.body, &mask, &mut frame)?;
+    match launch.compiled {
+        Some(prog) => crate::bytecode::execute(&mut ctx, prog, bc)?,
+        None => {
+            let mask = vec![true; lanes];
+            let mut frame = Frame::for_kernel(ctx.kernel.locals.len());
+            ctx.run_block(&launch.kernel.body, &mask, &mut frame)?;
+        }
+    }
     Ok((ctx.stats, ctx.l1, ctx.constant_cache))
 }
 
-struct ExecCtx<'a> {
-    profile: &'a DeviceProfile,
-    program: &'a Program,
-    kernel: &'a Kernel,
-    args: &'a [ArgValue],
-    grid: Dim2,
-    block: Dim2,
-    lanes: usize,
-    buffers: &'a mut Vec<BufferStorage>,
+pub(crate) struct ExecCtx<'a> {
+    pub(crate) profile: &'a DeviceProfile,
+    pub(crate) program: &'a Program,
+    pub(crate) kernel: &'a Kernel,
+    pub(crate) args: &'a [ArgValue],
+    pub(crate) grid: Dim2,
+    pub(crate) block: Dim2,
+    pub(crate) lanes: usize,
+    pub(crate) buffers: &'a mut Vec<BufferStorage>,
     /// `Some` when the block must be isolated (multi-block launches):
     /// every global write is recorded for revert + ordered replay.
-    log: Option<&'a mut Vec<LoggedWrite>>,
+    pub(crate) log: Option<&'a mut Vec<LoggedWrite>>,
     /// Block-private cache snapshots (cloned from launch-entry state).
-    l1: Cache,
-    constant_cache: Cache,
-    stats: LaunchStats,
-    shared: Vec<Vec<Scalar>>,
-    block_x: i32,
-    block_y: i32,
+    pub(crate) l1: Cache,
+    pub(crate) constant_cache: Cache,
+    pub(crate) stats: LaunchStats,
+    pub(crate) shared: Vec<Vec<Scalar>>,
+    pub(crate) block_x: i32,
+    pub(crate) block_y: i32,
     /// Launch-wide loop-iteration budget, shared across workers.
-    iterations: &'a AtomicU64,
-    scratch: &'a mut ScratchPool,
+    pub(crate) iterations: &'a AtomicU64,
+    pub(crate) scratch: &'a mut ScratchPool,
 }
 
 impl ExecCtx<'_> {
@@ -504,7 +534,7 @@ impl ExecCtx<'_> {
 
     /// Number of warps with at least one active lane. Fully-converged
     /// masks (the common case) skip the per-lane scan.
-    fn warp_count(&self, mask: &Mask) -> u64 {
+    pub(crate) fn warp_count(&self, mask: &Mask) -> u64 {
         if all(mask) {
             self.lanes.div_ceil(self.profile.warp_width) as u64
         } else {
@@ -512,7 +542,7 @@ impl ExecCtx<'_> {
         }
     }
 
-    fn charge_compute(&mut self, lat: u64, mask: &Mask) {
+    pub(crate) fn charge_compute(&mut self, lat: u64, mask: &Mask) {
         let warps = self.warp_count(mask);
         self.stats.compute_cycles += lat * warps;
         self.stats.instructions += warps;
@@ -527,9 +557,7 @@ impl ExecCtx<'_> {
                 let lanes = frame.locals[v.index()]
                     .as_ref()
                     .ok_or(EvalError::UninitializedVar(v.0))?;
-                let mut out = self.scratch.take_lanes(self.lanes, FILLER);
-                out.copy_from_slice(lanes);
-                Ok(out)
+                Ok(self.scratch.take_lanes_from(lanes))
             }
             Expr::Param(i) => match &frame.args {
                 FrameArgs::Kernel => match self.args.get(*i) {
@@ -543,11 +571,7 @@ impl ExecCtx<'_> {
                     }),
                 },
                 FrameArgs::Func(args) => match args.get(*i) {
-                    Some(arg) => {
-                        let mut out = self.scratch.take_lanes(self.lanes, FILLER);
-                        out.copy_from_slice(arg);
-                        Ok(out)
-                    }
+                    Some(arg) => Ok(self.scratch.take_lanes_from(arg)),
                     None => Err(EvalError::ArityMismatch {
                         expected: *i + 1,
                         found: 0,
@@ -733,12 +757,7 @@ impl ExecCtx<'_> {
         }
     }
 
-    fn call_func(
-        &mut self,
-        func: &Func,
-        args: &[Lanes],
-        mask: &Mask,
-    ) -> Result<Lanes, EvalError> {
+    fn call_func(&mut self, func: &Func, args: &[Lanes], mask: &Mask) -> Result<Lanes, EvalError> {
         if args.len() != func.params.len() {
             return Err(EvalError::ArityMismatch {
                 expected: func.params.len(),
@@ -945,7 +964,8 @@ impl ExecCtx<'_> {
                         }
                     }
                     self.scratch.put_lanes(bound);
-                    self.scratch.put_mask(std::mem::replace(&mut loop_mask, next_mask));
+                    self.scratch
+                        .put_mask(std::mem::replace(&mut loop_mask, next_mask));
                     if !any(&loop_mask) {
                         break;
                     }
@@ -1027,7 +1047,7 @@ impl ExecCtx<'_> {
         }
     }
 
-    fn index_to_i64(idx: Scalar) -> Result<i64, EvalError> {
+    pub(crate) fn index_to_i64(idx: Scalar) -> Result<i64, EvalError> {
         match idx {
             Scalar::I32(v) => Ok(i64::from(v)),
             Scalar::U32(v) => Ok(i64::from(v)),
@@ -1040,6 +1060,20 @@ impl ExecCtx<'_> {
 
     fn do_load(&mut self, mem: MemRef, idx: &Lanes, mask: &Mask) -> Result<Lanes, EvalError> {
         let mut out = self.scratch.take_lanes(self.lanes, FILLER);
+        self.do_load_into(mem, idx, mask, &mut out)?;
+        Ok(out)
+    }
+
+    /// Perform a load into `out`, which the caller has pre-filled with
+    /// [`FILLER`] (inactive lanes keep the filler, exactly like the
+    /// tree-walker's fresh scratch vector).
+    pub(crate) fn do_load_into(
+        &mut self,
+        mem: MemRef,
+        idx: &Lanes,
+        mask: &Mask,
+        out: &mut Lanes,
+    ) -> Result<(), EvalError> {
         match mem {
             MemRef::Shared(sid) => {
                 let len = self
@@ -1083,7 +1117,7 @@ impl ExecCtx<'_> {
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     fn charge_shared_access(&mut self, idx: &Lanes, mask: &Mask) -> Result<(), EvalError> {
@@ -1111,12 +1145,7 @@ impl ExecCtx<'_> {
         Ok(())
     }
 
-    fn charge_global_load(
-        &mut self,
-        base: u64,
-        idx: &Lanes,
-        mask: &Mask,
-    ) -> Result<(), EvalError> {
+    fn charge_global_load(&mut self, base: u64, idx: &Lanes, mask: &Mask) -> Result<(), EvalError> {
         let line = self.l1.line() as u64;
         let (w, lanes) = (self.profile.warp_width, self.lanes);
         for (start, end) in active_warps(w, lanes, mask) {
@@ -1210,15 +1239,14 @@ impl ExecCtx<'_> {
             // The constant port broadcasts one word per cycle: every
             // distinct word serializes at `const_hit_lat`; misses also pay
             // the pipelined DRAM issue cost.
-            let issue =
-                hits * self.profile.const_hit_lat + misses * self.profile.mem_issue;
+            let issue = hits * self.profile.const_hit_lat + misses * self.profile.mem_issue;
             let exposed = base / self.profile.latency_hiding.max(1);
             self.stats.memory_cycles += exposed + issue.saturating_sub(first_issue);
         }
         Ok(())
     }
 
-    fn do_store(
+    pub(crate) fn do_store(
         &mut self,
         mem: MemRef,
         idx: &Lanes,
@@ -1308,7 +1336,7 @@ impl ExecCtx<'_> {
         Ok(())
     }
 
-    fn do_atomic(
+    pub(crate) fn do_atomic(
         &mut self,
         op: paraprox_ir::AtomicOp,
         mem: MemRef,

@@ -18,6 +18,14 @@
 //! environment variable); results, simulated cycles, and cache statistics
 //! are bit-identical for every worker count.
 //!
+//! Two execution engines are available (see [`ExecEngine`] and the
+//! `PARAPROX_ENGINE` environment variable): the default *bytecode* engine
+//! compiles each kernel once to a register-machine instruction stream
+//! (cached per device, shared across launches and pool workers), and the
+//! *tree-walking* engine interprets the AST directly and serves as the
+//! reference oracle. Both produce bit-identical results, simulated cycles,
+//! and cache statistics; only host wall-clock time differs.
+//!
 //! Executing a kernel yields both its *results* (buffer contents) and its
 //! *cost* ([`LaunchStats`], in device cycles). All speedups reported by the
 //! reproduction are ratios of simulated cycles on the same profile, mirroring
@@ -57,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bytecode;
 mod cache;
 mod device;
 mod error;
@@ -66,9 +75,10 @@ mod pool;
 mod profile;
 mod stats;
 
+pub use bytecode::{compile_kernel, CompiledKernel};
 pub use cache::{Cache, CacheConfig};
 pub use device::{ArgValue, BufferId, Device, Dim2};
 pub use error::LaunchError;
 pub use plan::{BufferInit, BufferSpec, LaunchPlan, Pipeline, PipelineRun, PlanArg};
-pub use profile::{DeviceKind, DeviceProfile};
+pub use profile::{DeviceKind, DeviceProfile, ExecEngine};
 pub use stats::LaunchStats;

@@ -16,6 +16,37 @@ pub enum DeviceKind {
     Cpu,
 }
 
+/// Which interpreter executes kernel launches.
+///
+/// Both engines are required to produce bit-identical buffers, simulated
+/// cycles, and cache statistics; the choice only affects host wall-clock
+/// time. The tree-walker is kept as the reference oracle for differential
+/// testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecEngine {
+    /// Compile each kernel once to register-machine bytecode and execute
+    /// the flat instruction stream (the default, fastest engine).
+    #[default]
+    Bytecode,
+    /// Walk the `Expr`/`Stmt` AST directly (the reference oracle).
+    TreeWalk,
+}
+
+/// Resolve the engine for a launch: the `PARAPROX_ENGINE` environment
+/// variable (`bytecode` or `tree`/`treewalk`/`tree-walk`, case-insensitive)
+/// overrides the profile's [`DeviceProfile::engine`] knob; unrecognized
+/// values are ignored.
+pub(crate) fn resolve_engine(profile_engine: ExecEngine) -> ExecEngine {
+    if let Ok(v) = std::env::var("PARAPROX_ENGINE") {
+        match v.trim().to_ascii_lowercase().as_str() {
+            "bytecode" => return ExecEngine::Bytecode,
+            "tree" | "treewalk" | "tree-walk" => return ExecEngine::TreeWalk,
+            _ => {}
+        }
+    }
+    profile_engine
+}
+
 /// Machine parameters and per-instruction latencies for a simulated device.
 ///
 /// The two stock profiles, [`DeviceProfile::gtx560`] and
@@ -91,6 +122,11 @@ pub struct DeviceProfile {
     /// are bit-identical for every setting — this only affects wall-clock
     /// time, never simulated cycles.
     pub parallelism: usize,
+    /// Which interpreter executes launches (bytecode by default; the
+    /// tree-walking oracle for differential testing). The
+    /// `PARAPROX_ENGINE` environment variable overrides this knob. Results
+    /// are bit-identical for either engine.
+    pub engine: ExecEngine,
 }
 
 impl DeviceProfile {
@@ -103,7 +139,7 @@ impl DeviceProfile {
             sm_count: 7,
             alu_lat: 2,
             transcendental_lat: 20, // special function unit (precise sequences)
-            div_lat: 180,          // software subroutine (Wong et al.)
+            div_lat: 180,           // software subroutine (Wong et al.)
             sqrt_lat: 22,
             int_div_lat: 70,
             shared_lat: 4,
@@ -119,6 +155,7 @@ impl DeviceProfile {
             cache: CacheConfig::gpu_l1_16k(),
             shared_mem_bytes: 48 * 1024,
             parallelism: 0,
+            engine: ExecEngine::default(),
         }
     }
 
@@ -147,6 +184,7 @@ impl DeviceProfile {
             cache: CacheConfig::cpu_l1_256k(),
             shared_mem_bytes: 256 * 1024,
             parallelism: 0,
+            engine: ExecEngine::default(),
         }
     }
 
@@ -154,6 +192,12 @@ impl DeviceProfile {
     /// available cores, `1` = serial).
     pub fn with_parallelism(mut self, workers: usize) -> DeviceProfile {
         self.parallelism = workers;
+        self
+    }
+
+    /// Return the profile with its execution-engine knob set.
+    pub fn with_engine(mut self, engine: ExecEngine) -> DeviceProfile {
+        self.engine = engine;
         self
     }
 
@@ -227,9 +271,6 @@ mod tests {
     #[test]
     fn time_estimate_scales_with_sms() {
         let gpu = DeviceProfile::gtx560();
-        assert_eq!(
-            gpu.estimated_time_cycles(700),
-            700 / gpu.sm_count as u64
-        );
+        assert_eq!(gpu.estimated_time_cycles(700), 700 / gpu.sm_count as u64);
     }
 }

@@ -1,0 +1,541 @@
+//! Differential tests pinning the bytecode engine to the tree-walking
+//! oracle.
+//!
+//! The bytecode compiler (`paraprox_vgpu::compile_kernel`) and the AST
+//! tree-walker are two independent implementations of the kernel-IR
+//! semantics. Every test here runs the same launch under both engines (and
+//! under serial and parallel host execution) and asserts *bit-identical*
+//! buffers, simulated cycle counts, and cache statistics — `LaunchStats`
+//! equality covers every simulated counter while ignoring host wall-clock
+//! fields, so a plain `assert_eq!` on stats is the whole check. Error
+//! paths must agree too: both engines must raise the same `LaunchError`.
+//!
+//! The per-device compiled-program cache is probed directly via
+//! `Device::compile_count`: re-launching a kernel (at any geometry, from
+//! any structurally identical `Program`) must not recompile it.
+
+use paraprox_ir::{
+    AtomicOp, Expr, FuncBuilder, KernelBuilder, KernelId, LoopCond, LoopStep, MemSpace, Program,
+    Scalar, Ty,
+};
+use paraprox_vgpu::{ArgValue, Device, DeviceProfile, Dim2, ExecEngine, LaunchError, LaunchStats};
+
+/// The two stock profiles; their latency tables differ enough that a
+/// charging bug in either engine shows up on at least one of them.
+fn profiles() -> [DeviceProfile; 2] {
+    [DeviceProfile::gtx560(), DeviceProfile::core_i7_965()]
+}
+
+/// Candidate (engine, workers) settings compared against the reference
+/// `(TreeWalk, 1)` run.
+const CANDIDATES: [(ExecEngine, usize); 3] = [
+    (ExecEngine::Bytecode, 1),
+    (ExecEngine::Bytecode, 4),
+    (ExecEngine::TreeWalk, 4),
+];
+
+/// One launch outcome: buffer contents (as raw bits) plus stats or error.
+type Outcome = (Vec<Vec<u32>>, Result<LaunchStats, LaunchError>);
+
+/// Run a single-kernel program under the given profile: allocate the f32
+/// buffers, launch, read every buffer back as bit patterns.
+fn run_f32(
+    profile: DeviceProfile,
+    program: &Program,
+    kid: KernelId,
+    grid: Dim2,
+    block: Dim2,
+    buffers: &[Vec<f32>],
+    scalars: &[Scalar],
+) -> Outcome {
+    let mut d = Device::new(profile);
+    let ids: Vec<_> = buffers
+        .iter()
+        .map(|b| d.alloc_f32(MemSpace::Global, b))
+        .collect();
+    let mut args: Vec<ArgValue> = ids.iter().map(|&id| ArgValue::Buffer(id)).collect();
+    args.extend(scalars.iter().map(|&s| ArgValue::Scalar(s)));
+    let result = d.launch(program, kid, grid, block, &args);
+    let contents = ids
+        .iter()
+        .map(|&id| {
+            d.read_f32(id)
+                .unwrap()
+                .into_iter()
+                .map(f32::to_bits)
+                .collect()
+        })
+        .collect();
+    (contents, result)
+}
+
+/// Assert that every candidate (engine, workers) setting reproduces the
+/// reference tree-walk run exactly: same buffers bit-for-bit, same stats
+/// (or the same error, with the same buffer contents left behind).
+fn assert_all_engines_agree(
+    program: &Program,
+    kid: KernelId,
+    grid: Dim2,
+    block: Dim2,
+    buffers: &[Vec<f32>],
+    scalars: &[Scalar],
+) {
+    for base in profiles() {
+        let reference = run_f32(
+            base.clone()
+                .with_engine(ExecEngine::TreeWalk)
+                .with_parallelism(1),
+            program,
+            kid,
+            grid,
+            block,
+            buffers,
+            scalars,
+        );
+        for (engine, workers) in CANDIDATES {
+            let got = run_f32(
+                base.clone().with_engine(engine).with_parallelism(workers),
+                program,
+                kid,
+                grid,
+                block,
+                buffers,
+                scalars,
+            );
+            assert_eq!(
+                got, reference,
+                "{:?} x{workers} diverged from tree-walk on {}",
+                engine, base.name
+            );
+        }
+    }
+}
+
+/// Input data with sign changes and magnitude spread, so comparisons,
+/// `select`, and float classification all see both outcomes.
+fn mixed_inputs(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| ((i as f32) * 0.73 - 3.0).sin() * (1.0 + (i % 7) as f32))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Divergent control flow, select, and loops
+// ---------------------------------------------------------------------------
+
+/// A kernel built to stress everything the compiler rewrites: nested
+/// divergent `if`/`else`, a data-dependent trip count, `select`, integer
+/// and float division latencies, transcendentals, and mixed-type casts.
+fn divergence_program() -> (Program, KernelId) {
+    let mut program = Program::new();
+    let mut kb = KernelBuilder::new("diverge");
+    let input = kb.buffer("in", Ty::F32, MemSpace::Global);
+    let output = kb.buffer("out", Ty::F32, MemSpace::Global);
+    let gid = kb.let_("gid", KernelBuilder::global_id_x());
+    let x = kb.let_("x", kb.load(input, gid.clone()));
+    let acc = kb.let_mut("acc", Ty::F32, Expr::f32(0.0));
+    // Divergent trip count: 1 + gid % 4 iterations per thread.
+    kb.for_loop(
+        "k",
+        Expr::i32(0),
+        LoopCond::Le(gid.clone().rem(Expr::i32(4))),
+        LoopStep::Add(Expr::i32(1)),
+        |kb, k| {
+            let kf = kb.let_("kf", k.clone().cast(Ty::F32));
+            kb.if_else(
+                k.rem(Expr::i32(2)).eq_(Expr::i32(0)),
+                |kb| {
+                    kb.assign(acc, Expr::Var(acc) + (x.clone() + kf.clone()).sin());
+                },
+                |kb| {
+                    kb.assign(
+                        acc,
+                        Expr::Var(acc) - x.clone() / (kf.clone() + Expr::f32(2.0)),
+                    );
+                },
+            );
+        },
+    );
+    // Select with both arms computed under partial masks.
+    let y = kb.let_(
+        "y",
+        x.clone()
+            .gt(Expr::f32(0.0))
+            .select(x.clone().sqrt(), (-x.clone()).log()),
+    );
+    kb.store(output, gid, Expr::Var(acc) + y);
+    let kid = program.add_kernel(kb.finish());
+    (program, kid)
+}
+
+#[test]
+fn divergent_control_flow_matches_tree_walker() {
+    let (program, kid) = divergence_program();
+    let n = 4 * 32;
+    assert_all_engines_agree(
+        &program,
+        kid,
+        Dim2::linear(4),
+        Dim2::linear(32),
+        &[mixed_inputs(n), vec![0.0; n]],
+        &[],
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Device functions: divergent early returns
+// ---------------------------------------------------------------------------
+
+fn early_return_program() -> (Program, KernelId) {
+    let mut program = Program::new();
+    let mut fb = FuncBuilder::new("clamp_heavy", Ty::F32);
+    let x = fb.scalar("x", Ty::F32);
+    // Lanes with negative input return early; the rest keep computing.
+    fb.if_(x.clone().lt(Expr::f32(0.0)), |fb| {
+        fb.ret(-x.clone());
+    });
+    let t = fb.let_("t", (x.clone() + Expr::f32(1.0)).log());
+    fb.if_(t.clone().gt(Expr::f32(1.0)), |fb| {
+        fb.ret(t.clone() * Expr::f32(2.0));
+    });
+    fb.ret(t.exp() / (x + Expr::f32(0.5)));
+    let func = program.add_func(fb.finish());
+
+    let mut kb = KernelBuilder::new("apply");
+    let input = kb.buffer("in", Ty::F32, MemSpace::Global);
+    let output = kb.buffer("out", Ty::F32, MemSpace::Global);
+    let gid = kb.let_("gid", KernelBuilder::global_id_x());
+    let v = kb.let_("v", kb.load(input, gid.clone()));
+    kb.store(
+        output,
+        gid,
+        Expr::Call {
+            func,
+            args: vec![v],
+        },
+    );
+    let kid = program.add_kernel(kb.finish());
+    (program, kid)
+}
+
+#[test]
+fn divergent_function_returns_match_tree_walker() {
+    let (program, kid) = early_return_program();
+    let n = 2 * 32;
+    assert_all_engines_agree(
+        &program,
+        kid,
+        Dim2::linear(2),
+        Dim2::linear(32),
+        &[mixed_inputs(n), vec![0.0; n]],
+        &[],
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Atomics and shared memory with barriers
+// ---------------------------------------------------------------------------
+
+fn atomic_program() -> (Program, KernelId) {
+    let mut program = Program::new();
+    let mut kb = KernelBuilder::new("atomic_hist");
+    let input = kb.buffer("in", Ty::F32, MemSpace::Global);
+    let hist = kb.buffer("hist", Ty::F32, MemSpace::Global);
+    let gid = kb.let_("gid", KernelBuilder::global_id_x());
+    let v = kb.let_("v", kb.load(input, gid.clone()));
+    // Divergent atomics: only positive lanes contribute, into a bucket
+    // derived from the value so lanes collide.
+    kb.if_(v.clone().gt(Expr::f32(0.0)), |kb| {
+        let bucket = kb.let_("bucket", gid.clone().rem(Expr::i32(4)));
+        kb.atomic(AtomicOp::Add, hist, bucket, v.clone());
+        kb.atomic(AtomicOp::Max, hist, Expr::i32(4), v.clone());
+    });
+    let kid = program.add_kernel(kb.finish());
+    (program, kid)
+}
+
+#[test]
+fn atomics_match_tree_walker() {
+    let (program, kid) = atomic_program();
+    let n = 2 * 32;
+    assert_all_engines_agree(
+        &program,
+        kid,
+        Dim2::linear(2),
+        Dim2::linear(32),
+        &[mixed_inputs(n), vec![0.0; 8]],
+        &[],
+    );
+}
+
+fn shared_reverse_program() -> (Program, KernelId) {
+    let mut program = Program::new();
+    let mut kb = KernelBuilder::new("shared_reverse");
+    let input = kb.buffer("in", Ty::F32, MemSpace::Global);
+    let output = kb.buffer("out", Ty::F32, MemSpace::Global);
+    let tile = kb.shared_array("tile", Ty::F32, 32);
+    let tid = kb.let_("tid", KernelBuilder::thread_id_x());
+    let gid = kb.let_("gid", KernelBuilder::global_id_x());
+    kb.store(tile, tid.clone(), kb.load(input, gid.clone()));
+    kb.sync();
+    kb.store(output, gid, kb.load(tile, Expr::i32(31) - tid));
+    let kid = program.add_kernel(kb.finish());
+    (program, kid)
+}
+
+#[test]
+fn shared_memory_barrier_matches_tree_walker() {
+    let (program, kid) = shared_reverse_program();
+    let n = 3 * 32;
+    assert_all_engines_agree(
+        &program,
+        kid,
+        Dim2::linear(3),
+        Dim2::linear(32),
+        &[mixed_inputs(n), vec![0.0; n]],
+        &[],
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Error paths: both engines must raise the same LaunchError
+// ---------------------------------------------------------------------------
+
+/// Run a kernel expected to fail under every engine; assert the errors are
+/// equal and that buffers are left in the same (reverted) state.
+fn assert_same_error(program: &Program, kid: KernelId, block: Dim2, buffers: &[Vec<f32>]) {
+    for base in profiles() {
+        let reference = run_f32(
+            base.clone()
+                .with_engine(ExecEngine::TreeWalk)
+                .with_parallelism(1),
+            program,
+            kid,
+            Dim2::linear(1),
+            block,
+            buffers,
+            &[],
+        );
+        assert!(reference.1.is_err(), "expected an error on {}", base.name);
+        for (engine, workers) in CANDIDATES {
+            let got = run_f32(
+                base.clone().with_engine(engine).with_parallelism(workers),
+                program,
+                kid,
+                Dim2::linear(1),
+                block,
+                buffers,
+                &[],
+            );
+            assert_eq!(
+                got, reference,
+                "{:?} x{workers} error path diverged on {}",
+                engine, base.name
+            );
+        }
+    }
+}
+
+#[test]
+fn divergent_barrier_error_matches_tree_walker() {
+    let mut program = Program::new();
+    let mut kb = KernelBuilder::new("bad_sync");
+    let output = kb.buffer("out", Ty::F32, MemSpace::Global);
+    let tid = kb.let_("tid", KernelBuilder::thread_id_x());
+    kb.if_(tid.clone().lt(Expr::i32(16)), |kb| {
+        kb.sync();
+    });
+    kb.store(output, tid, Expr::f32(1.0));
+    let kid = program.add_kernel(kb.finish());
+    assert_same_error(&program, kid, Dim2::linear(32), &[vec![0.0; 32]]);
+}
+
+#[test]
+fn missing_return_error_matches_tree_walker() {
+    let mut program = Program::new();
+    let mut fb = FuncBuilder::new("partial", Ty::F32);
+    let x = fb.scalar("x", Ty::F32);
+    // Only positive lanes ever return.
+    fb.if_(x.clone().gt(Expr::f32(0.0)), |fb| {
+        fb.ret(x.clone().sqrt());
+    });
+    let func = program.add_func(fb.finish());
+
+    let mut kb = KernelBuilder::new("call_partial");
+    let input = kb.buffer("in", Ty::F32, MemSpace::Global);
+    let output = kb.buffer("out", Ty::F32, MemSpace::Global);
+    let gid = kb.let_("gid", KernelBuilder::global_id_x());
+    let v = kb.let_("v", kb.load(input, gid.clone()));
+    kb.store(
+        output,
+        gid,
+        Expr::Call {
+            func,
+            args: vec![v],
+        },
+    );
+    let kid = program.add_kernel(kb.finish());
+    assert_same_error(
+        &program,
+        kid,
+        Dim2::linear(32),
+        &[mixed_inputs(32), vec![0.0; 32]],
+    );
+}
+
+#[test]
+fn uninitialized_var_error_matches_tree_walker() {
+    let mut program = Program::new();
+    let mut kb = KernelBuilder::new("uninit");
+    let output = kb.buffer("out", Ty::F32, MemSpace::Global);
+    let gid = kb.let_("gid", KernelBuilder::global_id_x());
+    // The local is only bound on a branch no lane takes, so the read
+    // below hits an uninitialized slot in both engines.
+    let mut captured = None;
+    kb.if_(gid.clone().lt(Expr::i32(0)), |kb| {
+        captured = Some(kb.let_("v", Expr::f32(1.0)));
+    });
+    kb.store(output, gid, captured.unwrap());
+    let kid = program.add_kernel(kb.finish());
+    assert_same_error(&program, kid, Dim2::linear(32), &[vec![0.0; 32]]);
+}
+
+#[test]
+fn division_by_zero_error_matches_tree_walker() {
+    let mut program = Program::new();
+    let mut kb = KernelBuilder::new("div0");
+    let output = kb.buffer("out", Ty::F32, MemSpace::Global);
+    let gid = kb.let_("gid", KernelBuilder::global_id_x());
+    // Integer division by a runtime zero (gid - gid); not constant-foldable
+    // because gid is a thread special.
+    let z = kb.let_("z", gid.clone() - gid.clone());
+    kb.store(output, gid.clone(), (gid / z).cast(Ty::F32));
+    let kid = program.add_kernel(kb.finish());
+    assert_same_error(&program, kid, Dim2::linear(32), &[vec![0.0; 32]]);
+}
+
+// ---------------------------------------------------------------------------
+// Program-cache probes
+// ---------------------------------------------------------------------------
+
+#[test]
+fn kernel_compiles_once_across_geometries_and_program_clones() {
+    let (program, kid) = divergence_program();
+    let mut d = Device::new(DeviceProfile::gtx560().with_engine(ExecEngine::Bytecode));
+    let n = 4 * 32;
+    let input = d.alloc_f32(MemSpace::Global, &mixed_inputs(n));
+    let output = d.alloc_f32(MemSpace::Global, &vec![0.0; n]);
+    let args = [ArgValue::Buffer(input), ArgValue::Buffer(output)];
+
+    assert_eq!(d.compile_count(), 0);
+    d.launch(&program, kid, Dim2::linear(4), Dim2::linear(32), &args)
+        .unwrap();
+    assert_eq!(d.compile_count(), 1);
+
+    // Different geometry: same compiled program.
+    d.launch(&program, kid, Dim2::linear(2), Dim2::linear(64), &args)
+        .unwrap();
+    assert_eq!(d.compile_count(), 1);
+
+    // A structurally identical clone (what the tuner produces when it
+    // re-builds a candidate) must hit the cache too.
+    let clone = program.clone();
+    d.launch(&clone, kid, Dim2::linear(4), Dim2::linear(32), &args)
+        .unwrap();
+    assert_eq!(d.compile_count(), 1);
+
+    // The cache survives cache flushes (it caches code, not data).
+    d.flush_caches();
+    d.launch(&program, kid, Dim2::linear(4), Dim2::linear(32), &args)
+        .unwrap();
+    assert_eq!(d.compile_count(), 1);
+}
+
+#[test]
+fn structurally_different_kernels_each_compile_once() {
+    // Same-shape programs differing in one constant must not collide.
+    let build = |c: f32| {
+        let mut program = Program::new();
+        let mut kb = KernelBuilder::new("scale");
+        let data = kb.buffer("data", Ty::F32, MemSpace::Global);
+        let gid = kb.let_("gid", KernelBuilder::global_id_x());
+        let v = kb.let_("v", kb.load(data, gid.clone()));
+        kb.store(data, gid, v * Expr::f32(c));
+        let kid = program.add_kernel(kb.finish());
+        (program, kid)
+    };
+    let (p2, k2) = build(2.0);
+    let (p3, k3) = build(3.0);
+    let mut d = Device::new(DeviceProfile::gtx560().with_engine(ExecEngine::Bytecode));
+    let buf = d.alloc_f32(MemSpace::Global, &[1.0; 32]);
+    let args = [ArgValue::Buffer(buf)];
+
+    d.launch(&p2, k2, Dim2::linear(1), Dim2::linear(32), &args)
+        .unwrap();
+    d.launch(&p3, k3, Dim2::linear(1), Dim2::linear(32), &args)
+        .unwrap();
+    assert_eq!(d.compile_count(), 2);
+    // Re-running both stays cached.
+    d.launch(&p2, k2, Dim2::linear(1), Dim2::linear(32), &args)
+        .unwrap();
+    d.launch(&p3, k3, Dim2::linear(1), Dim2::linear(32), &args)
+        .unwrap();
+    assert_eq!(d.compile_count(), 2);
+    assert_eq!(d.read_f32(buf).unwrap(), vec![2.0 * 3.0 * 2.0 * 3.0; 32]);
+}
+
+#[test]
+fn changing_a_called_func_recompiles_the_kernel() {
+    let build = |c: f32| {
+        let mut program = Program::new();
+        let mut fb = FuncBuilder::new("f", Ty::F32);
+        let x = fb.scalar("x", Ty::F32);
+        fb.ret(x + Expr::f32(c));
+        let func = program.add_func(fb.finish());
+        let mut kb = KernelBuilder::new("apply");
+        let data = kb.buffer("data", Ty::F32, MemSpace::Global);
+        let gid = kb.let_("gid", KernelBuilder::global_id_x());
+        let v = kb.let_("v", kb.load(data, gid.clone()));
+        kb.store(
+            data,
+            gid,
+            Expr::Call {
+                func,
+                args: vec![v],
+            },
+        );
+        let kid = program.add_kernel(kb.finish());
+        (program, kid)
+    };
+    // The kernel bodies are identical; only the called function differs,
+    // so the cache must key on the functions as well.
+    let (p1, k1) = build(1.0);
+    let (p2, k2) = build(2.0);
+    let mut d = Device::new(DeviceProfile::gtx560().with_engine(ExecEngine::Bytecode));
+    let buf = d.alloc_f32(MemSpace::Global, &[0.0; 32]);
+    let args = [ArgValue::Buffer(buf)];
+    d.launch(&p1, k1, Dim2::linear(1), Dim2::linear(32), &args)
+        .unwrap();
+    d.launch(&p2, k2, Dim2::linear(1), Dim2::linear(32), &args)
+        .unwrap();
+    assert_eq!(d.compile_count(), 2);
+    assert_eq!(d.read_f32(buf).unwrap(), vec![3.0; 32]);
+}
+
+#[test]
+fn tree_walk_engine_never_compiles() {
+    let (program, kid) = divergence_program();
+    let mut d = Device::new(DeviceProfile::gtx560().with_engine(ExecEngine::TreeWalk));
+    let n = 4 * 32;
+    let input = d.alloc_f32(MemSpace::Global, &mixed_inputs(n));
+    let output = d.alloc_f32(MemSpace::Global, &vec![0.0; n]);
+    d.launch(
+        &program,
+        kid,
+        Dim2::linear(4),
+        Dim2::linear(32),
+        &[ArgValue::Buffer(input), ArgValue::Buffer(output)],
+    )
+    .unwrap();
+    assert_eq!(d.compile_count(), 0);
+}

@@ -50,7 +50,13 @@ fn uninitialized_local_read_is_rejected() {
     let mut d = gpu();
     let out = d.alloc_f32(MemSpace::Global, &[0.0]);
     let err = d
-        .launch(&program, kid, Dim2::linear(1), Dim2::linear(1), &[out.into()])
+        .launch(
+            &program,
+            kid,
+            Dim2::linear(1),
+            Dim2::linear(1),
+            &[out.into()],
+        )
         .unwrap_err();
     assert!(err.to_string().contains("uninitialized"), "{err}");
 }
@@ -69,7 +75,13 @@ fn buffer_param_read_as_scalar_is_rejected() {
     let b = d.alloc_f32(MemSpace::Global, &[0.0]);
     let o = d.alloc_f32(MemSpace::Global, &[0.0]);
     let err = d
-        .launch(&program, kid, Dim2::linear(1), Dim2::linear(1), &[b.into(), o.into()])
+        .launch(
+            &program,
+            kid,
+            Dim2::linear(1),
+            Dim2::linear(1),
+            &[b.into(), o.into()],
+        )
         .unwrap_err();
     assert!(err.to_string().contains("buffer parameter"), "{err}");
 }
@@ -190,8 +202,14 @@ fn inactive_lanes_do_not_trap() {
     let kid = program.add_kernel(kb.finish());
     let mut d = gpu();
     let o = d.alloc_i32(MemSpace::Global, &[0; 32]);
-    d.launch(&program, kid, Dim2::linear(1), Dim2::linear(32), &[o.into()])
-        .unwrap();
+    d.launch(
+        &program,
+        kid,
+        Dim2::linear(1),
+        Dim2::linear(32),
+        &[o.into()],
+    )
+    .unwrap();
     assert_eq!(d.read_i32(o).unwrap(), vec![1; 32]);
 }
 
@@ -214,8 +232,14 @@ fn select_arms_execute_under_refined_masks() {
     let mut d = gpu();
     let i = d.alloc_i32(MemSpace::Global, &[4, 0, 5, 0]);
     let o = d.alloc_i32(MemSpace::Global, &[0; 4]);
-    d.launch(&program, kid, Dim2::linear(1), Dim2::linear(4), &[i.into(), o.into()])
-        .unwrap();
+    d.launch(
+        &program,
+        kid,
+        Dim2::linear(1),
+        Dim2::linear(4),
+        &[i.into(), o.into()],
+    )
+    .unwrap();
     assert_eq!(d.read_i32(o).unwrap(), vec![25, 0, 20, 0]);
 }
 
@@ -231,7 +255,13 @@ fn partial_warp_blocks_work() {
     let mut d = gpu();
     let o = d.alloc_i32(MemSpace::Global, &[-1; 48]);
     let stats = d
-        .launch(&program, kid, Dim2::linear(1), Dim2::linear(48), &[o.into()])
+        .launch(
+            &program,
+            kid,
+            Dim2::linear(1),
+            Dim2::linear(48),
+            &[o.into()],
+        )
         .unwrap();
     assert_eq!(stats.warps, 2);
     let vals = d.read_i32(o).unwrap();

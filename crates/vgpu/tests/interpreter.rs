@@ -2,8 +2,7 @@
 //! model (stats) together.
 
 use paraprox_ir::{
-    AtomicOp, Expr, FuncBuilder, KernelBuilder, LoopCond, LoopStep, MemSpace, Program, Scalar,
-    Ty,
+    AtomicOp, Expr, FuncBuilder, KernelBuilder, LoopCond, LoopStep, MemSpace, Program, Scalar, Ty,
 };
 use paraprox_vgpu::{ArgValue, Device, DeviceProfile, Dim2, LaunchError};
 
@@ -129,12 +128,7 @@ fn atomics_accumulate_across_all_threads() {
     let mut program = Program::new();
     let mut kb = KernelBuilder::new("count");
     let counter = kb.buffer("counter", Ty::I32, MemSpace::Global);
-    kb.atomic(
-        AtomicOp::Add,
-        counter,
-        Expr::i32(0),
-        Expr::i32(1),
-    );
+    kb.atomic(AtomicOp::Add, counter, Expr::i32(0), Expr::i32(1));
     let kid = program.add_kernel(kb.finish());
 
     let mut d = gpu();
@@ -175,7 +169,10 @@ fn coalesced_loads_issue_fewer_transactions_than_gather() {
     let input = kb.buffer("in", Ty::F32, MemSpace::Global);
     let output = kb.buffer("out", Ty::F32, MemSpace::Global);
     let gid = kb.let_("gid", KernelBuilder::global_id_x());
-    let idx = kb.let_("idx", (gid.clone() * Expr::i32(33)).rem(Expr::i32(n as i32)));
+    let idx = kb.let_(
+        "idx",
+        (gid.clone() * Expr::i32(33)).rem(Expr::i32(n as i32)),
+    );
     let v = kb.let_("v", kb.load(input, idx));
     kb.store(output, gid, v);
     let gather = program.add_kernel(kb.finish());
@@ -214,7 +211,7 @@ fn shared_memory_bank_conflicts_cost_extra() {
         kb.sync();
         let v = kb.let_("v", kb.load(shared, idx));
         kb.store(output, tid, v);
-    program.add_kernel(kb.finish());
+        program.add_kernel(kb.finish());
     }
     let free_id = program.kernel_by_name("conflict_free").unwrap();
     let conflicted_id = program.kernel_by_name("conflicted").unwrap();
@@ -226,7 +223,13 @@ fn shared_memory_bank_conflicts_cost_extra() {
         .launch(&program, free_id, Dim2::linear(1), Dim2::linear(32), &args)
         .unwrap();
     let s_conf = d
-        .launch(&program, conflicted_id, Dim2::linear(1), Dim2::linear(32), &args)
+        .launch(
+            &program,
+            conflicted_id,
+            Dim2::linear(1),
+            Dim2::linear(32),
+            &args,
+        )
         .unwrap();
     assert_eq!(s_free.bank_conflict_extra, 0);
     assert!(s_conf.bank_conflict_extra >= 62); // 31 extra on store + load
@@ -241,11 +244,7 @@ fn constant_broadcast_is_cheap_divergent_constant_serializes() {
         let table = kb.buffer("table", Ty::F32, MemSpace::Constant);
         let output = kb.buffer("out", Ty::F32, MemSpace::Global);
         let gid = kb.let_("gid", KernelBuilder::global_id_x());
-        let idx = if use_gid {
-            gid.clone()
-        } else {
-            Expr::i32(0)
-        };
+        let idx = if use_gid { gid.clone() } else { Expr::i32(0) };
         let v = kb.let_("v", kb.load(table, idx));
         kb.store(output, gid, v);
         program.add_kernel(kb.finish());
@@ -258,10 +257,22 @@ fn constant_broadcast_is_cheap_divergent_constant_serializes() {
     let out = d.alloc_f32(MemSpace::Global, &vec![0.0; 64]);
     let args = [ArgValue::Buffer(table), ArgValue::Buffer(out)];
     let s_b = d
-        .launch(&program, broadcast, Dim2::linear(2), Dim2::linear(32), &args)
+        .launch(
+            &program,
+            broadcast,
+            Dim2::linear(2),
+            Dim2::linear(32),
+            &args,
+        )
         .unwrap();
     let s_d = d
-        .launch(&program, divergent, Dim2::linear(2), Dim2::linear(32), &args)
+        .launch(
+            &program,
+            divergent,
+            Dim2::linear(2),
+            Dim2::linear(32),
+            &args,
+        )
         .unwrap();
     assert!(s_d.load_transactions > s_b.load_transactions);
     assert_eq!(d.read_f32(out).unwrap(), vec![2.5; 64]);
@@ -294,7 +305,13 @@ fn out_of_bounds_access_is_an_error() {
     let mut d = gpu();
     let buf = d.alloc_f32(MemSpace::Global, &[0.0; 8]);
     let err = d
-        .launch(&program, kid, Dim2::linear(1), Dim2::linear(8), &[buf.into()])
+        .launch(
+            &program,
+            kid,
+            Dim2::linear(1),
+            Dim2::linear(8),
+            &[buf.into()],
+        )
         .unwrap_err();
     assert!(err.to_string().contains("out of bounds"));
 }

@@ -86,7 +86,10 @@ fn stencil_identical_across_worker_counts() {
 #[test]
 fn worker_count_is_capped_by_block_count() {
     let (_, stats) = run_stencil(8, 2);
-    assert_eq!(stats.workers, 2, "no point spawning more workers than blocks");
+    assert_eq!(
+        stats.workers, 2,
+        "no point spawning more workers than blocks"
+    );
 }
 
 /// Cross-block atomic accumulation: every thread of every block adds into
@@ -117,7 +120,11 @@ fn global_atomics_total_is_exact_for_any_worker_count() {
                 &[out.into()],
             )
             .unwrap();
-        assert_eq!(d.read_i32(out).unwrap(), vec![expected], "{workers} workers");
+        assert_eq!(
+            d.read_i32(out).unwrap(),
+            vec![expected],
+            "{workers} workers"
+        );
         stats_by_workers.push(stats);
     }
     for s in &stats_by_workers[1..] {

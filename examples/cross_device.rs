@@ -43,7 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 best_stencil = Some(p);
             }
             if p.label.starts_with("reduction")
-                && best_reduction.map(|b| p.speedup > b.speedup).unwrap_or(true)
+                && best_reduction
+                    .map(|b| p.speedup > b.speedup)
+                    .unwrap_or(true)
             {
                 best_reduction = Some(p);
             }

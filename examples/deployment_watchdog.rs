@@ -34,8 +34,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             return kde::gen_inputs(Scale::Paper, seed);
         }
         let base = kde::gen_inputs(Scale::Paper, seed);
-        let BufferInit::F32(queries) = base[0].clone() else { unreachable!() };
-        let BufferInit::F32(samples) = base[1].clone() else { unreachable!() };
+        let BufferInit::F32(queries) = base[0].clone() else {
+            unreachable!()
+        };
+        let BufferInit::F32(samples) = base[1].clone() else {
+            unreachable!()
+        };
         let shifted: Vec<f32> = samples
             .iter()
             .enumerate()
@@ -76,11 +80,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .map(|v| report.profiles[v].label.clone())
                     .unwrap_or_else(|| "exact".into()),
                 q,
-                if result.backed_off { "-> BACK OFF" } else { "ok" }
+                if result.backed_off {
+                    "-> BACK OFF"
+                } else {
+                    "ok"
+                }
             );
         }
         if before.is_none() {
-            println!("  invocation {:>2}: running exact — ladder exhausted", i + 1);
+            println!(
+                "  invocation {:>2}: running exact — ladder exhausted",
+                i + 1
+            );
             break;
         }
     }

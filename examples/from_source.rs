@@ -35,7 +35,11 @@ __global__ void score_all(float* values, float* out, int n) {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Parse the kernel source.
     let program = paraprox_lang::parse_program(SOURCE)?;
-    println!("parsed {} function(s), {} kernel(s):\n", program.func_count(), program.kernel_count());
+    println!(
+        "parsed {} function(s), {} kernel(s):\n",
+        program.func_count(),
+        program.kernel_count()
+    );
     println!("{program}");
 
     // 2. Wrap it into a workload: pipeline, metric, training data.
@@ -76,8 +80,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Compile + tune on the simulated GPU.
     let profile = DeviceProfile::gtx560();
-    let compiled = compile(&workload, &latency_table_for(&profile), &CompileOptions::default())?;
-    println!("patterns: {:?}; variants: {}", compiled.pattern_names(), compiled.variants.len());
+    let compiled = compile(
+        &workload,
+        &latency_table_for(&profile),
+        &CompileOptions::default(),
+    )?;
+    println!(
+        "patterns: {:?}; variants: {}",
+        compiled.pattern_names(),
+        compiled.variants.len()
+    );
     let mut app = DeviceApp::new(
         Device::new(profile),
         &compiled,
@@ -103,4 +115,3 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     Ok(())
 }
-

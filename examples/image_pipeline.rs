@@ -52,10 +52,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 approximate_stencil(&workload.program, kernel_id, cand, scheme, reach)?;
             let loads = count_ops(&approx_program.kernel(kernel_id).body).loads;
             let run = workload.pipeline.execute(&mut device, &approx_program)?;
-            let quality =
-                Metric::MeanRelative.quality(&exact.flat_output(), &run.flat_output());
-            let speedup =
-                exact.stats.total_cycles() as f64 / run.stats.total_cycles() as f64;
+            let quality = Metric::MeanRelative.quality(&exact.flat_output(), &run.flat_output());
+            let speedup = exact.stats.total_cycles() as f64 / run.stats.total_cycles() as f64;
             println!(
                 "{:<10} {:>6} {:>8} {:>8.2}% {:>8.2}x",
                 scheme.label(),

@@ -39,11 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Tune: profile every variant on training inputs, pick the fastest
     //    one meeting the TOQ.
     let app = paraprox_apps::black_scholes::app();
-    let mut device_app = DeviceApp::new(
-        Device::new(profile),
-        &compiled,
-        app.input_gen(Scale::Paper),
-    );
+    let mut device_app =
+        DeviceApp::new(Device::new(profile), &compiled, app.input_gen(Scale::Paper));
     let tuner = Tuner {
         toq: Toq::paper_default(),
         training_seeds: (0..5).collect(),
@@ -81,7 +78,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "  invocation {:>3}: calibration check, quality {:.2}%{}",
                 deployment.invocations(),
                 q,
-                if result.backed_off { " -> backed off" } else { "" }
+                if result.backed_off {
+                    " -> backed off"
+                } else {
+                    ""
+                }
             );
         }
     }

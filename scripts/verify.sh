@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
-# Full local verification: release build, the complete workspace test
-# suite, and clippy with warnings denied. Everything runs offline (the
-# workspace has no external dependencies), so this works in sandboxed CI.
+# Full local verification: formatting, release build, the complete
+# workspace test suite, clippy with warnings denied, and a smoke run of
+# the interpreter-engine benchmark (which asserts bit-identity between
+# the bytecode engine and the tree-walking oracle on all 13 apps).
+# Everything runs offline (the workspace has no external dependencies),
+# so this works in sandboxed CI.
 #
 # usage: scripts/verify.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
 
 echo "==> cargo build --release"
 cargo build --release
@@ -18,5 +24,8 @@ cargo test --workspace -q
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> bench_interp --smoke (engine bit-identity)"
+(cd target && cargo run --release -p paraprox-bench --bin bench_interp -- --smoke)
 
 echo "==> verify OK"

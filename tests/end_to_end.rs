@@ -14,7 +14,8 @@ fn tune(
     let table = latency_table_for(&profile);
     let compiled = compile(&workload, &table, &CompileOptions::default())
         .unwrap_or_else(|e| panic!("{}: compile failed: {e}", app.spec.name));
-    let mut device_app = DeviceApp::new(Device::new(profile), &compiled, app.input_gen(Scale::Test));
+    let mut device_app =
+        DeviceApp::new(Device::new(profile), &compiled, app.input_gen(Scale::Test));
     let tuner = Tuner {
         toq: Toq::paper_default(),
         training_seeds: vec![0, 1],
@@ -37,7 +38,11 @@ fn every_app_generates_variants_and_tunes_on_gpu() {
         // Whatever is chosen must respect the TOQ and actually be faster.
         if let Some(i) = report.chosen {
             let p = &report.profiles[i];
-            assert!(p.meets_toq, "{}: chosen variant violates TOQ", app.spec.name);
+            assert!(
+                p.meets_toq,
+                "{}: chosen variant violates TOQ",
+                app.spec.name
+            );
             assert!(
                 p.speedup > 1.0,
                 "{}: chosen variant is no faster ({}x)",
@@ -97,7 +102,9 @@ fn approximate_outputs_track_exact_outputs_in_magnitude() {
     // chosen variant's output mean must be within 25% of the exact mean.
     for app in registry() {
         let (report, mut device_app) = tune(&app, DeviceProfile::gtx560());
-        let Some(chosen) = report.chosen else { continue };
+        let Some(chosen) = report.chosen else {
+            continue;
+        };
         let exact = device_app.run_exact(9).expect("exact");
         let approx = device_app.run_variant(chosen, 9).expect("variant");
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;

@@ -18,7 +18,10 @@ fn quantization_levels_in_range_and_monotone() {
         let q = r.random_range(1u32..16);
         let a = r.random_range(-2000.0f32..2000.0);
         let b = r.random_range(-2000.0f32..2000.0);
-        let range = InputRange { min, max: min + width };
+        let range = InputRange {
+            min,
+            max: min + width,
+        };
         let la = range.level_of(a, q);
         let lb = range.level_of(b, q);
         assert!(la < (1u64 << q) as u32);
@@ -39,7 +42,10 @@ fn representative_roundtrip() {
         let width = r.random_range(0.01f32..100.0);
         let q = r.random_range(1u32..12);
         let level_frac = r.random_range(0.0f64..1.0);
-        let range = InputRange { min, max: min + width };
+        let range = InputRange {
+            min,
+            max: min + width,
+        };
         let levels = 1u64 << q;
         let level = ((level_frac * levels as f64) as u64).min(levels - 1) as u32;
         let rep = range.rep_of(level, q);
@@ -97,9 +103,8 @@ fn lincomb_roundtrip_preserves_value() {
         // them as opaque terms but evaluation still works).
         let xv = Expr::Cast(paraprox_ir::Ty::I32, Box::new(Expr::i32(x)));
         let wv = Expr::Cast(paraprox_ir::Ty::I32, Box::new(Expr::i32(w)));
-        let original = (xv.clone() + Expr::i32(a)) * wv.clone()
-            + Expr::i32(b) * xv.clone()
-            + Expr::i32(c);
+        let original =
+            (xv.clone() + Expr::i32(a)) * wv.clone() + Expr::i32(b) * xv.clone() + Expr::i32(c);
         let comb: LinComb = decompose(&original);
         let rebuilt = comb.to_expr();
         let program = paraprox_ir::Program::new();
