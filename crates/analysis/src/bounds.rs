@@ -1,0 +1,474 @@
+//! Out-of-bounds access lint from affine index ranges.
+//!
+//! Every index expression is evaluated over a three-valued interval domain:
+//! `Known(lo, hi)` (inclusive, in `i64` with saturating arithmetic) or
+//! unknown (`None`). Thread/block specials take their ranges from the
+//! [`LaunchContext`]; `if` guards of the common `index < n` shape refine
+//! variable intervals inside the guarded arm; counted loops bound their
+//! loop variable from the init/bound/step clauses.
+//!
+//! Guards whose operands are not plain variables still help: each enclosing
+//! `Cmp` is kept as a *relational fact*, and a subtraction `a - b` under a
+//! fact `a >= b` has its lower bound clamped to zero (the scan kernels'
+//! `s[tid - d]` under `if (tid >= d)` needs exactly this).
+//!
+//! A `Load`/`Store`/`Atomic` whose index interval lies entirely outside the
+//! target extent is an error (a concrete witness exists for every thread);
+//! a partially-outside interval is a warning. An *unknown* interval is
+//! deliberately silent — data-dependent gather indices would otherwise
+//! drown the report in false positives. That under-approximation is the
+//! lint's documented escape hatch; the executor still bounds-checks at
+//! runtime.
+
+use std::collections::BTreeMap;
+
+use paraprox_ir::{BinOp, CmpOp, Expr, Kernel, KernelId, MemRef, Scalar, Special, Stmt, Ty, VarId};
+
+use crate::context::LaunchContext;
+use crate::diag::{push_unique, Diagnostic, Severity};
+
+/// Inclusive integer interval; `None` = unknown.
+type Interval = Option<(i64, i64)>;
+
+fn exact(v: i64) -> Interval {
+    Some((v, v))
+}
+
+fn add(a: Interval, b: Interval) -> Interval {
+    let (a, b) = (a?, b?);
+    Some((a.0.saturating_add(b.0), a.1.saturating_add(b.1)))
+}
+
+fn sub(a: Interval, b: Interval) -> Interval {
+    let (a, b) = (a?, b?);
+    Some((a.0.saturating_sub(b.1), a.1.saturating_sub(b.0)))
+}
+
+fn mul(a: Interval, b: Interval) -> Interval {
+    let (a, b) = (a?, b?);
+    let products = [
+        a.0.saturating_mul(b.0),
+        a.0.saturating_mul(b.1),
+        a.1.saturating_mul(b.0),
+        a.1.saturating_mul(b.1),
+    ];
+    Some((
+        products.iter().copied().min().unwrap(),
+        products.iter().copied().max().unwrap(),
+    ))
+}
+
+fn union(a: Interval, b: Interval) -> Interval {
+    let (a, b) = (a?, b?);
+    Some((a.0.min(b.0), a.1.max(b.1)))
+}
+
+fn intersect(a: (i64, i64), b: (i64, i64)) -> Option<(i64, i64)> {
+    let lo = a.0.max(b.0);
+    let hi = a.1.min(b.1);
+    (lo <= hi).then_some((lo, hi))
+}
+
+struct Bounds<'a> {
+    kernel: &'a Kernel,
+    id: KernelId,
+    ctx: &'a LaunchContext,
+    env: BTreeMap<VarId, Interval>,
+    /// Comparisons known to hold here (enclosing `if` guards), for
+    /// relational clamping of differences.
+    facts: Vec<(Expr, CmpOp, Expr)>,
+    path: Vec<usize>,
+}
+
+impl Bounds<'_> {
+    fn eval(&self, e: &Expr) -> Interval {
+        match e {
+            Expr::Const(Scalar::I32(v)) => exact(i64::from(*v)),
+            Expr::Const(Scalar::U32(v)) => exact(i64::from(*v)),
+            Expr::Const(_) => None,
+            Expr::Var(v) => self.env.get(v).copied().flatten(),
+            Expr::Param(i) => self.ctx.scalar_int(*i).and_then(exact),
+            Expr::Special(s) => {
+                let (gx, gy) = (i64::from(self.ctx.grid.0), i64::from(self.ctx.grid.1));
+                let (bx, by) = (i64::from(self.ctx.block.0), i64::from(self.ctx.block.1));
+                match s {
+                    Special::ThreadIdX => (bx > 0).then_some((0, bx - 1)),
+                    Special::ThreadIdY => (by > 0).then_some((0, by - 1)),
+                    Special::BlockIdX => (gx > 0).then_some((0, gx - 1)),
+                    Special::BlockIdY => (gy > 0).then_some((0, gy - 1)),
+                    Special::BlockDimX => (bx > 0).then_some((bx, bx)),
+                    Special::BlockDimY => (by > 0).then_some((by, by)),
+                    Special::GridDimX => (gx > 0).then_some((gx, gx)),
+                    Special::GridDimY => (gy > 0).then_some((gy, gy)),
+                }
+            }
+            Expr::Unary(paraprox_ir::UnOp::Neg, a) => sub(exact(0), self.eval(a)),
+            Expr::Unary(..) => None,
+            Expr::Cast(Ty::I32 | Ty::U32, a) => {
+                // Integer-to-integer casts preserve small non-negative
+                // ranges; anything that could wrap is unknown.
+                let r = self.eval(a)?;
+                (r.0 >= 0 && r.1 <= i64::from(u32::MAX)).then_some(r)
+            }
+            Expr::Cast(..) => None,
+            Expr::Cmp(..) => None,
+            Expr::Binary(op, a, b) => {
+                let (ra, rb) = (self.eval(a), self.eval(b));
+                match op {
+                    BinOp::Add => add(ra, rb),
+                    BinOp::Sub => self.clamp_difference(a, b, sub(ra, rb)),
+                    BinOp::Mul => mul(ra, rb),
+                    BinOp::Min => {
+                        let (a, b) = (ra?, rb?);
+                        Some((a.0.min(b.0), a.1.min(b.1)))
+                    }
+                    BinOp::Max => {
+                        let (a, b) = (ra?, rb?);
+                        Some((a.0.max(b.0), a.1.max(b.1)))
+                    }
+                    BinOp::Div => {
+                        // Only division by a positive constant keeps a
+                        // usable range.
+                        let (a, b) = (ra?, rb?);
+                        (b.0 == b.1 && b.0 > 0 && a.0 >= 0).then(|| (a.0 / b.0, a.1 / b.0))
+                    }
+                    BinOp::Rem => {
+                        let (a, b) = (ra?, rb?);
+                        (b.0 == b.1 && b.0 > 0 && a.0 >= 0).then(|| (0, (b.0 - 1).min(a.1)))
+                    }
+                    BinOp::Shl => {
+                        let (a, b) = (ra?, rb?);
+                        (b.0 == b.1 && (0..=31).contains(&b.0) && a.0 >= 0)
+                            .then(|| (a.0 << b.0, a.1 << b.0))
+                    }
+                    BinOp::Shr => {
+                        let (a, b) = (ra?, rb?);
+                        (b.0 == b.1 && (0..=31).contains(&b.0) && a.0 >= 0)
+                            .then(|| (a.0 >> b.0, a.1 >> b.0))
+                    }
+                    _ => None,
+                }
+            }
+            Expr::Select {
+                if_true, if_false, ..
+            } => union(self.eval(if_true), self.eval(if_false)),
+            Expr::Load { .. } | Expr::Call { .. } => None,
+        }
+    }
+
+    /// Refine `env` with the constraints implied by `cond` holding.
+    /// Handles `var CMP expr`, `expr CMP var`, and `&&` conjunctions; every
+    /// comparison is additionally recorded as a relational fact.
+    fn refine(&mut self, cond: &Expr) {
+        match cond {
+            Expr::Binary(BinOp::And, a, b) => {
+                self.refine(a);
+                self.refine(b);
+            }
+            Expr::Cmp(op, a, b) => {
+                if let Expr::Var(v) = &**a {
+                    if let Some(r) = self.eval(b) {
+                        self.constrain(*v, *op, r);
+                    }
+                } else if let Expr::Var(v) = &**b {
+                    if let Some(r) = self.eval(a) {
+                        self.constrain(*v, flip(*op), r);
+                    }
+                }
+                self.facts.push(((**a).clone(), *op, (**b).clone()));
+            }
+            _ => {}
+        }
+    }
+
+    /// Tighten the interval of `a - b` using recorded relational facts
+    /// (`a >= b` implies `a - b >= 0`, and so on).
+    fn clamp_difference(&self, a: &Expr, b: &Expr, r: Interval) -> Interval {
+        let (mut lo, mut hi) = r?;
+        for (x, op, y) in &self.facts {
+            let rel = if x == a && y == b {
+                Some(*op)
+            } else if x == b && y == a {
+                Some(flip(*op))
+            } else {
+                None
+            };
+            match rel {
+                Some(CmpOp::Ge) => lo = lo.max(0),
+                Some(CmpOp::Gt) => lo = lo.max(1),
+                Some(CmpOp::Le) => hi = hi.min(0),
+                Some(CmpOp::Lt) => hi = hi.min(-1),
+                Some(CmpOp::Eq) => (lo, hi) = (lo.max(0), hi.min(0)),
+                Some(CmpOp::Ne) | None => {}
+            }
+        }
+        (lo <= hi).then_some((lo, hi))
+    }
+
+    /// Drop facts mentioning `var` — its value just changed.
+    fn invalidate_facts(&mut self, var: VarId) {
+        self.facts.retain(|(a, _, b)| {
+            let mut found = false;
+            for e in [a, b] {
+                paraprox_ir::for_each_expr(e, &mut |n| {
+                    if matches!(n, Expr::Var(v) if *v == var) {
+                        found = true;
+                    }
+                });
+            }
+            !found
+        });
+    }
+
+    /// Apply `v OP (lo..=hi)` to the interval of `v`.
+    fn constrain(&mut self, v: VarId, op: CmpOp, (lo, hi): (i64, i64)) {
+        let current = self.env.get(&v).copied().flatten();
+        let bound = match op {
+            CmpOp::Lt => (i64::MIN, hi.saturating_sub(1)),
+            CmpOp::Le => (i64::MIN, hi),
+            CmpOp::Gt => (lo.saturating_add(1), i64::MAX),
+            CmpOp::Ge => (lo, i64::MAX),
+            CmpOp::Eq => (lo, hi),
+            CmpOp::Ne => return,
+        };
+        let refined = match current {
+            Some(c) => intersect(c, bound),
+            None => (bound.0 != i64::MIN && bound.1 != i64::MAX).then_some(bound),
+        };
+        if let Some(r) = refined {
+            self.env.insert(v, Some(r));
+        }
+    }
+
+    fn extent_of(&self, mem: MemRef) -> Option<i64> {
+        match mem {
+            MemRef::Shared(s) => self.kernel.shared.get(s.index()).map(|d| d.len as i64),
+            MemRef::Param(i) => self
+                .ctx
+                .buffer_len
+                .get(i)
+                .copied()
+                .flatten()
+                .map(|l| l as i64),
+        }
+    }
+
+    fn mem_name(&self, mem: MemRef) -> String {
+        match mem {
+            MemRef::Shared(s) => self
+                .kernel
+                .shared
+                .get(s.index())
+                .map(|d| format!("shared `{}`", d.name))
+                .unwrap_or_else(|| format!("shared #{}", s.0)),
+            MemRef::Param(i) => self
+                .kernel
+                .params
+                .get(i)
+                .map(|p| format!("buffer `{}`", p.name()))
+                .unwrap_or_else(|| format!("buffer #{i}")),
+        }
+    }
+
+    fn check_access(&mut self, mem: MemRef, index: &Expr, out: &mut Vec<Diagnostic>) {
+        let Some(extent) = self.extent_of(mem) else {
+            return;
+        };
+        let Some((lo, hi)) = self.eval(index) else {
+            // Unknown range: deliberately silent (see module docs).
+            return;
+        };
+        if lo >= extent || hi < 0 {
+            push_unique(
+                out,
+                Diagnostic::new(
+                    Severity::Error,
+                    self.id,
+                    &self.kernel.name,
+                    &self.path,
+                    "oob",
+                    format!(
+                        "index range [{lo}, {hi}] of {} lies entirely outside its extent {extent}",
+                        self.mem_name(mem)
+                    ),
+                ),
+            );
+        } else if lo < 0 || hi >= extent {
+            push_unique(
+                out,
+                Diagnostic::new(
+                    Severity::Warning,
+                    self.id,
+                    &self.kernel.name,
+                    &self.path,
+                    "oob",
+                    format!(
+                        "index range [{lo}, {hi}] of {} may exceed its extent {extent}",
+                        self.mem_name(mem)
+                    ),
+                ),
+            );
+        }
+    }
+
+    /// Check every load in `e` (loads can nest inside other indices).
+    fn check_expr(&mut self, e: &Expr, out: &mut Vec<Diagnostic>) {
+        paraprox_ir::for_each_expr(e, &mut |n| {
+            if let Expr::Load { mem, index } = n {
+                self.check_access(*mem, index, out);
+            }
+        });
+    }
+
+    fn walk(&mut self, stmts: &[Stmt], offset: usize, out: &mut Vec<Diagnostic>) {
+        for (i, stmt) in stmts.iter().enumerate() {
+            self.path.push(offset + i);
+            match stmt {
+                Stmt::Let { var, init } | Stmt::Assign { var, value: init } => {
+                    self.check_expr(init, out);
+                    let r = self.eval(init);
+                    self.env.insert(*var, r);
+                    self.invalidate_facts(*var);
+                }
+                Stmt::Store { mem, index, value } => {
+                    self.check_expr(index, out);
+                    self.check_expr(value, out);
+                    self.check_access(*mem, index, out);
+                }
+                Stmt::Atomic {
+                    mem, index, value, ..
+                } => {
+                    self.check_expr(index, out);
+                    self.check_expr(value, out);
+                    self.check_access(*mem, index, out);
+                }
+                Stmt::Sync => {}
+                Stmt::Return(e) => self.check_expr(e, out),
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    self.check_expr(cond, out);
+                    let outer = self.env.clone();
+                    let outer_facts = self.facts.len();
+                    self.refine(cond);
+                    self.walk(then_body, 0, out);
+                    self.env = outer.clone();
+                    self.facts.truncate(outer_facts);
+                    if let Expr::Cmp(op, a, b) = cond {
+                        // A single comparison has a usable negation.
+                        let negated = Expr::Cmp(negate(*op), a.clone(), b.clone());
+                        self.refine(&negated);
+                    }
+                    self.walk(else_body, then_body.len(), out);
+                    // Values assigned under a condition are only union-known
+                    // afterwards; drop to the conservative pre-state.
+                    self.env = outer;
+                    self.facts.truncate(outer_facts);
+                }
+                Stmt::For {
+                    var,
+                    init,
+                    cond,
+                    step,
+                    body,
+                } => {
+                    self.check_expr(init, out);
+                    self.check_expr(cond.bound(), out);
+                    self.check_expr(step.amount(), out);
+                    let outer = self.env.clone();
+                    let outer_facts = self.facts.len();
+                    self.env.insert(*var, self.loop_var_range(init, cond, step));
+                    self.invalidate_facts(*var);
+                    // Widen loop-carried variables before judging the body:
+                    // anything assigned inside may hold a different value on
+                    // later iterations.
+                    let mut carried = Vec::new();
+                    paraprox_ir::for_each_stmt(body, &mut |s| {
+                        if let Stmt::Assign { var, .. } = s {
+                            carried.push(*var);
+                        }
+                    });
+                    for v in carried {
+                        self.env.insert(v, None);
+                        self.invalidate_facts(v);
+                    }
+                    self.walk(body, 0, out);
+                    self.env = outer;
+                    self.facts.truncate(outer_facts);
+                    // The loop variable's final value is whatever failed the
+                    // condition; keep it unknown after the loop.
+                    self.env.insert(*var, None);
+                }
+            }
+            self.path.pop();
+        }
+    }
+
+    /// The interval of the loop variable *inside* the body, when the
+    /// init/bound are known and the step direction is monotonic.
+    fn loop_var_range(
+        &self,
+        init: &Expr,
+        cond: &paraprox_ir::LoopCond,
+        step: &paraprox_ir::LoopStep,
+    ) -> Interval {
+        use paraprox_ir::{LoopCond, LoopStep};
+        let init_r = self.eval(init)?;
+        let bound_r = self.eval(cond.bound())?;
+        let amount_r = self.eval(step.amount())?;
+        let increasing = match step {
+            LoopStep::Add(_) => amount_r.0 > 0,
+            LoopStep::Mul(_) => amount_r.0 > 1 && init_r.0 > 0,
+            LoopStep::Shl(_) => amount_r.0 > 0 && init_r.0 > 0,
+            LoopStep::Sub(_) | LoopStep::Shr(_) => false,
+        };
+        match (cond, increasing) {
+            (LoopCond::Lt(_), true) => Some((init_r.0, bound_r.1.saturating_sub(1))),
+            (LoopCond::Le(_), true) => Some((init_r.0, bound_r.1)),
+            (LoopCond::Gt(_), false) if matches!(step, LoopStep::Sub(_)) && amount_r.0 > 0 => {
+                Some((bound_r.0.saturating_add(1), init_r.1))
+            }
+            (LoopCond::Ge(_), false) if matches!(step, LoopStep::Sub(_)) && amount_r.0 > 0 => {
+                Some((bound_r.0, init_r.1))
+            }
+            _ => None,
+        }
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+    }
+}
+
+fn negate(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Ge,
+        CmpOp::Le => CmpOp::Gt,
+        CmpOp::Gt => CmpOp::Le,
+        CmpOp::Ge => CmpOp::Lt,
+        CmpOp::Eq => CmpOp::Ne,
+        CmpOp::Ne => CmpOp::Eq,
+    }
+}
+
+/// Run the bounds lint on one kernel under a concrete launch context.
+pub fn check_bounds(kernel: &Kernel, id: KernelId, ctx: &LaunchContext, out: &mut Vec<Diagnostic>) {
+    let mut b = Bounds {
+        kernel,
+        id,
+        ctx,
+        env: BTreeMap::new(),
+        facts: Vec::new(),
+        path: Vec::new(),
+    };
+    b.walk(&kernel.body, 0, out);
+}

@@ -1,0 +1,46 @@
+//! Launch-time facts the lints can exploit.
+//!
+//! The IR itself does not know grid/block shapes, buffer lengths, or scalar
+//! argument values — those live in the launch plan. Callers that have a
+//! concrete launch (the compile pipeline, the CLI) build a [`LaunchContext`]
+//! per launch so the bounds lint can compare affine index ranges against
+//! real extents and the race detector can enumerate the threads of a block.
+//! Without a context the analyses fall back to purely structural checks.
+
+use paraprox_ir::Scalar;
+
+/// Concrete launch facts for one kernel launch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LaunchContext {
+    /// Grid dimensions `(grid_x, grid_y)` in blocks.
+    pub grid: (u32, u32),
+    /// Block dimensions `(block_x, block_y)` in threads.
+    pub block: (u32, u32),
+    /// Element count of each buffer parameter, indexed by parameter
+    /// position (`None` for scalar parameters or unknown lengths).
+    pub buffer_len: Vec<Option<usize>>,
+    /// Value of each scalar parameter, indexed by parameter position
+    /// (`None` for buffer parameters or unknown values).
+    pub scalar: Vec<Option<Scalar>>,
+}
+
+impl LaunchContext {
+    /// A context carrying only grid/block shape.
+    pub fn with_dims(grid: (u32, u32), block: (u32, u32)) -> LaunchContext {
+        LaunchContext {
+            grid,
+            block,
+            ..LaunchContext::default()
+        }
+    }
+
+    /// The scalar argument at parameter position `i` as an `i64`, when it
+    /// is a known integer.
+    pub fn scalar_int(&self, i: usize) -> Option<i64> {
+        match self.scalar.get(i).copied().flatten() {
+            Some(Scalar::I32(v)) => Some(i64::from(v)),
+            Some(Scalar::U32(v)) => Some(i64::from(v)),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Dataflow core: definite assignment and liveness over the structured IR.
+//!
+//! The IR has no CFG — control flow is the statement tree itself — so both
+//! analyses are tree walks with the classic joins expressed structurally:
+//!
+//! * **definite assignment** (forward): a local is definitely assigned
+//!   after an `If` only when both arms assign it (intersection join); a
+//!   `For` body may run zero times, so its assignments do not survive the
+//!   loop. A `Var` read outside the definitely-assigned set is reported as
+//!   a possibly-uninitialized use (`uninit`).
+//! * **liveness** (backward): a `Let`/`Assign` whose bound value is never
+//!   read before the next write (or the end of the kernel) is a dead store
+//!   (`dead-store`). Loop bodies are iterated to a fixpoint so values
+//!   carried around the back edge stay live.
+//!
+//! Both lints are advisory (`Severity::Warning`): neither can make a
+//! correct kernel compute wrong values, but both flag code the programmer
+//! probably did not mean to write.
+//!
+//! Statement paths follow the flattened child-index convention of
+//! `paraprox_patterns::StmtPath`: an `If`'s else-arm children are numbered
+//! after its then-arm children.
+
+use std::collections::BTreeSet;
+
+use paraprox_ir::{for_each_expr, Expr, Kernel, KernelId, Stmt, VarId};
+
+use crate::diag::{push_unique, Diagnostic, Severity};
+
+fn vars_read(e: &Expr, out: &mut BTreeSet<VarId>) {
+    for_each_expr(e, &mut |n| {
+        if let Expr::Var(v) = n {
+            out.insert(*v);
+        }
+    });
+}
+
+fn local_name(kernel: &Kernel, var: VarId) -> String {
+    kernel
+        .locals
+        .get(var.index())
+        .map(|d| d.name.clone())
+        .unwrap_or_else(|| var.to_string())
+}
+
+/// Run both dataflow lints on one kernel.
+pub fn check_dataflow(kernel: &Kernel, id: KernelId, out: &mut Vec<Diagnostic>) {
+    let mut cx = Dataflow {
+        kernel,
+        id,
+        path: Vec::new(),
+    };
+    let mut assigned = BTreeSet::new();
+    let mut reported = BTreeSet::new();
+    cx.uninit(&kernel.body, 0, &mut assigned, &mut reported, out);
+    let mut live = BTreeSet::new();
+    cx.liveness(&kernel.body, 0, &mut live, true, out);
+}
+
+struct Dataflow<'a> {
+    kernel: &'a Kernel,
+    id: KernelId,
+    path: Vec<usize>,
+}
+
+impl Dataflow<'_> {
+    fn check_uses(
+        &mut self,
+        e: &Expr,
+        assigned: &BTreeSet<VarId>,
+        reported: &mut BTreeSet<VarId>,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let mut used = BTreeSet::new();
+        vars_read(e, &mut used);
+        for v in used {
+            if !assigned.contains(&v) && reported.insert(v) {
+                push_unique(
+                    out,
+                    Diagnostic::new(
+                        Severity::Warning,
+                        self.id,
+                        &self.kernel.name,
+                        &self.path,
+                        "uninit",
+                        format!(
+                            "local `{}` may be read before it is assigned",
+                            local_name(self.kernel, v)
+                        ),
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Forward definite-assignment walk. `offset` shifts the recorded child
+    /// indices (used for the flattened else-arm numbering).
+    fn uninit(
+        &mut self,
+        stmts: &[Stmt],
+        offset: usize,
+        assigned: &mut BTreeSet<VarId>,
+        reported: &mut BTreeSet<VarId>,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        for (i, stmt) in stmts.iter().enumerate() {
+            self.path.push(offset + i);
+            match stmt {
+                Stmt::Let { var, init } => {
+                    self.check_uses(init, assigned, reported, out);
+                    assigned.insert(*var);
+                }
+                Stmt::Assign { var, value } => {
+                    self.check_uses(value, assigned, reported, out);
+                    assigned.insert(*var);
+                }
+                Stmt::Store { index, value, .. } | Stmt::Atomic { index, value, .. } => {
+                    self.check_uses(index, assigned, reported, out);
+                    self.check_uses(value, assigned, reported, out);
+                }
+                Stmt::Sync => {}
+                Stmt::Return(e) => self.check_uses(e, assigned, reported, out),
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    self.check_uses(cond, assigned, reported, out);
+                    let mut then_assigned = assigned.clone();
+                    let mut else_assigned = assigned.clone();
+                    self.uninit(then_body, 0, &mut then_assigned, reported, out);
+                    self.uninit(
+                        else_body,
+                        then_body.len(),
+                        &mut else_assigned,
+                        reported,
+                        out,
+                    );
+                    // Definitely assigned after the If = assigned on both
+                    // arms.
+                    *assigned = then_assigned
+                        .intersection(&else_assigned)
+                        .copied()
+                        .collect();
+                }
+                Stmt::For {
+                    var,
+                    init,
+                    cond,
+                    step,
+                    body,
+                } => {
+                    self.check_uses(init, assigned, reported, out);
+                    self.check_uses(cond.bound(), assigned, reported, out);
+                    self.check_uses(step.amount(), assigned, reported, out);
+                    // The init clause always runs, even for zero-trip loops.
+                    assigned.insert(*var);
+                    let mut body_assigned = assigned.clone();
+                    self.uninit(body, 0, &mut body_assigned, reported, out);
+                    // The body may run zero times: its assignments don't
+                    // survive the loop.
+                }
+            }
+            self.path.pop();
+        }
+    }
+
+    /// Backward liveness walk. `live` is the live set after the block and
+    /// is updated to the live set before it; warnings are only pushed when
+    /// `report` is true (fixpoint iterations run silently).
+    fn liveness(
+        &mut self,
+        stmts: &[Stmt],
+        offset: usize,
+        live: &mut BTreeSet<VarId>,
+        report: bool,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        for (i, stmt) in stmts.iter().enumerate().rev() {
+            self.path.push(offset + i);
+            match stmt {
+                Stmt::Let { var, init } => {
+                    if report && !live.contains(var) {
+                        self.dead_store(*var, "bound to", out);
+                    }
+                    live.remove(var);
+                    vars_read(init, live);
+                }
+                Stmt::Assign { var, value } => {
+                    if report && !live.contains(var) {
+                        self.dead_store(*var, "assigned to", out);
+                    }
+                    live.remove(var);
+                    vars_read(value, live);
+                }
+                Stmt::Store { index, value, .. } | Stmt::Atomic { index, value, .. } => {
+                    vars_read(index, live);
+                    vars_read(value, live);
+                }
+                Stmt::Sync => {}
+                Stmt::Return(e) => vars_read(e, live),
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    let mut then_live = live.clone();
+                    let mut else_live = live.clone();
+                    self.liveness(then_body, 0, &mut then_live, report, out);
+                    self.liveness(else_body, then_body.len(), &mut else_live, report, out);
+                    *live = then_live.union(&else_live).copied().collect();
+                    vars_read(cond, live);
+                }
+                Stmt::For {
+                    var,
+                    init,
+                    cond,
+                    step,
+                    body,
+                } => {
+                    // Fixpoint: anything a later iteration reads is live at
+                    // the end of the body. Iterate silently until stable,
+                    // then report once with the final sets.
+                    let mut head = live.clone();
+                    // The loop variable is read by the condition and step
+                    // on every iteration.
+                    head.insert(*var);
+                    loop {
+                        let mut pass = head.clone();
+                        self.liveness(body, 0, &mut pass, false, out);
+                        pass.insert(*var);
+                        let merged: BTreeSet<VarId> = head.union(&pass).copied().collect();
+                        if merged == head {
+                            break;
+                        }
+                        head = merged;
+                    }
+                    if report {
+                        let mut pass = head.clone();
+                        self.liveness(body, 0, &mut pass, true, out);
+                    }
+                    *live = head;
+                    // `init` writes the loop variable before anything reads
+                    // it.
+                    live.remove(var);
+                    vars_read(init, live);
+                    vars_read(cond.bound(), live);
+                    vars_read(step.amount(), live);
+                }
+            }
+            self.path.pop();
+        }
+    }
+
+    fn dead_store(&mut self, var: VarId, verb: &str, out: &mut Vec<Diagnostic>) {
+        push_unique(
+            out,
+            Diagnostic::new(
+                Severity::Warning,
+                self.id,
+                &self.kernel.name,
+                &self.path,
+                "dead-store",
+                format!(
+                    "value {verb} `{}` is never read",
+                    local_name(self.kernel, var)
+                ),
+            ),
+        );
+    }
+}

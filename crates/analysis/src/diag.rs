@@ -1,0 +1,138 @@
+//! Diagnostics produced by the lints.
+//!
+//! Each diagnostic pins down a kernel, a statement path (the same flattened
+//! child-index convention as `paraprox_patterns::StmtPath`), a severity, a
+//! stable lint code, and a human-readable explanation. The `Display`
+//! implementation renders a compact rustc-style report:
+//!
+//! ```text
+//! error[race]: matmul_tiled @ stmt 4.2: write-write conflict on shared `a_s` ...
+//! ```
+
+use std::fmt;
+
+use paraprox_ir::KernelId;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Conservative finding: the analysis could not prove safety.
+    Warning,
+    /// Proven problem: a concrete witness (thread pair, index value, …)
+    /// exists.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// The kernel the finding is in.
+    pub kernel: KernelId,
+    /// Kernel name (copied so diagnostics render without the program).
+    pub kernel_name: String,
+    /// Flattened child-index path to the offending statement.
+    pub path: Vec<usize>,
+    /// Stable lint code (`race`, `oob`, `uninit`, `dead-store`,
+    /// `barrier-divergence`, `type`).
+    pub code: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic.
+    pub fn new(
+        severity: Severity,
+        kernel: KernelId,
+        kernel_name: &str,
+        path: &[usize],
+        code: &'static str,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            severity,
+            kernel,
+            kernel_name: kernel_name.to_string(),
+            path: path.to_vec(),
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Render the statement path as `3.1.0` (or `<kernel>` for the root).
+    pub fn path_string(&self) -> String {
+        if self.path.is_empty() {
+            "<kernel>".to_string()
+        } else {
+            self.path
+                .iter()
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join(".")
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {} @ stmt {}: {}",
+            self.severity,
+            self.code,
+            self.kernel_name,
+            self.path_string(),
+            self.message
+        )
+    }
+}
+
+/// Push `diag` unless an equal finding is already present.
+pub(crate) fn push_unique(out: &mut Vec<Diagnostic>, diag: Diagnostic) {
+    if !out.contains(&diag) {
+        out.push(diag);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rustc_style() {
+        let d = Diagnostic::new(
+            Severity::Error,
+            KernelId(0),
+            "k",
+            &[3, 1],
+            "race",
+            "write-write conflict",
+        );
+        assert_eq!(
+            d.to_string(),
+            "error[race]: k @ stmt 3.1: write-write conflict"
+        );
+        let root = Diagnostic::new(Severity::Warning, KernelId(0), "k", &[], "oob", "m");
+        assert_eq!(root.to_string(), "warning[oob]: k @ stmt <kernel>: m");
+    }
+
+    #[test]
+    fn push_unique_dedupes() {
+        let d = Diagnostic::new(Severity::Warning, KernelId(1), "k", &[0], "oob", "m");
+        let mut v = Vec::new();
+        push_unique(&mut v, d.clone());
+        push_unique(&mut v, d);
+        assert_eq!(v.len(), 1);
+    }
+}

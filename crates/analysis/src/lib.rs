@@ -1,0 +1,109 @@
+//! Static analysis framework for the Paraprox kernel IR.
+//!
+//! Paraprox only applies an approximation when the transform is provably
+//! safe (paper §3.1.2, §5). This crate centralizes the reasoning that used
+//! to be scattered across ad-hoc walks: a small dataflow core over the
+//! structured IR (definite assignment, liveness, per-statement effect
+//! summaries, single-definition substitution) with four analyses on top:
+//!
+//! 1. **Race detection** ([`race`]) — barrier-phase-aware symbolic access
+//!    sets for shared memory, with a concrete two-thread witness search
+//!    over affine indices.
+//! 2. **Bounds checking** ([`bounds`]) — affine index ranges vs declared
+//!    buffer/shared extents under a concrete [`LaunchContext`].
+//! 3. **Uninitialized locals and dead stores** ([`dataflow`]).
+//! 4. **Effect summaries and type inference** ([`effects`]) — the
+//!    replacement for the bespoke purity walk in `paraprox-patterns` and
+//!    the guessing type inference in `paraprox-approx`.
+//!
+//! The affine index decomposition ([`affine`]) lives here too, shared by
+//! the stencil detector (re-exported from `paraprox-patterns`) and the
+//! race detector.
+//!
+//! Findings are [`Diagnostic`]s with rustc-style rendering; [`Severity::Error`]
+//! means a concrete witness exists, [`Severity::Warning`] means the
+//! analysis could not prove safety.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod affine;
+pub mod bounds;
+mod context;
+pub mod dataflow;
+mod diag;
+pub mod effects;
+pub mod race;
+
+pub use context::LaunchContext;
+pub use diag::{Diagnostic, Severity};
+pub use effects::{
+    infer_expr_ty, summarize_func, summarize_kernel, summarize_stmts, EffectSummary, TyScope,
+    TypeError,
+};
+pub use race::{check_races, shared_access_set, shared_reads_covered, SharedAccessSet};
+
+use paraprox_ir::{KernelId, Program};
+
+/// Run every lint on one kernel.
+///
+/// The [`LaunchContext`] supplies block/grid shape, buffer extents, and
+/// scalar argument values; without it the bounds lint and the pairwise
+/// race search are skipped (only structural checks run).
+pub fn analyze_kernel(
+    program: &Program,
+    kernel: KernelId,
+    ctx: Option<&LaunchContext>,
+) -> Vec<Diagnostic> {
+    let k = program.kernel(kernel);
+    let mut out = Vec::new();
+    dataflow::check_dataflow(k, kernel, &mut out);
+    if let Some(ctx) = ctx {
+        bounds::check_bounds(k, kernel, ctx, &mut out);
+    }
+    race::check_races(k, kernel, ctx, &mut out);
+    sort_diagnostics(&mut out);
+    out
+}
+
+/// Run every lint on every kernel of a program.
+///
+/// `contexts` maps kernels to the launches they are invoked with; a kernel
+/// may appear several times (one entry per distinct launch) or not at all
+/// (analyzed without launch facts).
+pub fn analyze_program(
+    program: &Program,
+    contexts: &[(KernelId, LaunchContext)],
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (id, _) in program.kernels() {
+        let launches: Vec<&LaunchContext> = contexts
+            .iter()
+            .filter(|(k, _)| *k == id)
+            .map(|(_, c)| c)
+            .collect();
+        if launches.is_empty() {
+            for d in analyze_kernel(program, id, None) {
+                if !out.contains(&d) {
+                    out.push(d);
+                }
+            }
+        } else {
+            for ctx in launches {
+                for d in analyze_kernel(program, id, Some(ctx)) {
+                    if !out.contains(&d) {
+                        out.push(d);
+                    }
+                }
+            }
+        }
+    }
+    sort_diagnostics(&mut out);
+    out
+}
+
+fn sort_diagnostics(out: &mut [Diagnostic]) {
+    out.sort_by(|a, b| {
+        (a.kernel.0, &a.path, a.code, &a.message).cmp(&(b.kernel.0, &b.path, b.code, &b.message))
+    });
+}

@@ -1,0 +1,828 @@
+//! Barrier-aware shared-memory race detector.
+//!
+//! The detector builds a *symbolic per-thread access set* for every
+//! `MemRef::Shared` load, store, and atomic in a kernel. Accesses are
+//! partitioned into **barrier phases**: a counter that advances at every
+//! `Sync`, so two accesses can only race when they fall into the same
+//! phase. Loops whose bodies contain a barrier are walked **twice** with
+//! the phase counter running on — that models the back edge (the last
+//! phase of iteration *i* is adjacent to the first phase of iteration
+//! *i + 1*) without merging unrelated phases.
+//!
+//! Each index expression is normalized by substituting single-definition
+//! locals and decomposing into a linear combination (the same
+//! [`crate::affine`] form the stencil detector uses). Terms are classified
+//! as thread-ID contributions (`ThreadIdX`/`ThreadIdY` with constant
+//! coefficients), enclosing-loop variables with known constant ranges,
+//! block-uniform expressions (block IDs, dimensions, parameters — equal
+//! for every thread of a block, so they cancel between two accesses when
+//! they match), or **opaque**. Opaque indices are conservatively flagged.
+//!
+//! For a pair of same-phase accesses (not both reads, not both atomics)
+//! the detector searches for a concrete witness: two *distinct* threads
+//! `(tx1, ty1) ≠ (tx2, ty2)` of one block, plus loop-variable values in
+//! range, that make the two indices collide. A found witness is an
+//! `error[race]` (it names the threads and the index); an index the
+//! detector cannot reason about produces a conservative `warning[race]`.
+//!
+//! The detector also reports `barrier-divergence`: a `Sync` under
+//! thread-dependent control flow, which the SIMT model cannot execute
+//! meaningfully.
+//!
+//! Known over-approximations (documented in DESIGN.md): `if` guards on
+//! accesses are ignored (a guarded access is treated as always executed),
+//! and distinct loop iterations are enumerated independently, so a
+//! reported witness may pair iterations that never coexist. Both err
+//! toward *flagging*, preserving soundness of a clean report.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use paraprox_ir::{
+    for_each_expr, rewrite_expr, Expr, Kernel, KernelId, MemRef, Scalar, SharedId, Special, Stmt,
+    VarId,
+};
+
+use crate::affine::decompose;
+use crate::context::LaunchContext;
+use crate::diag::{push_unique, Diagnostic, Severity};
+
+/// Budget for the witness search (thread pairs × loop-value combinations).
+const SEARCH_BUDGET: u64 = 4_000_000;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AccessKind {
+    Read,
+    Write,
+    Atomic,
+}
+
+impl AccessKind {
+    fn name(self) -> &'static str {
+        match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+            AccessKind::Atomic => "atomic",
+        }
+    }
+}
+
+/// One loop-variable term of an affine index: coefficient plus the
+/// variable's inclusive value range.
+#[derive(Debug, Clone)]
+struct LoopTerm {
+    coeff: i64,
+    lo: i64,
+    hi: i64,
+}
+
+/// An index in solved form.
+#[derive(Debug, Clone)]
+enum IndexForm {
+    Affine(AffineIndex),
+    /// The reason the index resisted normalization.
+    Opaque(&'static str),
+}
+
+#[derive(Debug, Clone, Default)]
+struct AffineIndex {
+    tx: i64,
+    ty: i64,
+    loops: Vec<LoopTerm>,
+    /// Block-uniform residue, keyed by the term's debug rendering.
+    uniforms: BTreeMap<String, i64>,
+    constant: i64,
+}
+
+/// One symbolic shared-memory access.
+#[derive(Debug, Clone)]
+pub(crate) struct SharedAccess {
+    shared: SharedId,
+    kind: AccessKind,
+    phase: u32,
+    path: Vec<usize>,
+    /// True for accesses recorded during the second walk of a
+    /// barrier-carrying loop body (back-edge modeling).
+    ghost: bool,
+    index: IndexForm,
+}
+
+/// The shared accesses of one kernel, in collection order. Public so the
+/// approximation passes can compare read sets before and after a rewrite
+/// (see [`shared_reads_covered`]).
+#[derive(Debug, Clone)]
+pub struct SharedAccessSet {
+    accesses: Vec<SharedAccess>,
+}
+
+impl SharedAccessSet {
+    /// Number of collected accesses.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// True when the kernel touches no shared memory.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+}
+
+struct Collector<'a> {
+    ctx: Option<&'a LaunchContext>,
+    /// Fully substituted initializers of single-definition locals.
+    subst: BTreeMap<VarId, Expr>,
+    /// Locals with more than one definition (any `Assign`, or a loop var).
+    multi_def: BTreeSet<VarId>,
+    /// Enclosing loops: variable and (when computable) inclusive range.
+    loops: Vec<(VarId, Option<(i64, i64)>)>,
+    /// How many enclosing control constructs are thread-variant.
+    variant_depth: usize,
+    phase: u32,
+    ghost: bool,
+    path: Vec<usize>,
+    accesses: Vec<SharedAccess>,
+    /// `(path, message)` for barrier-divergence findings.
+    divergent_syncs: Vec<(Vec<usize>, String)>,
+}
+
+impl<'a> Collector<'a> {
+    fn new(kernel: &'a Kernel, ctx: Option<&'a LaunchContext>) -> Self {
+        let mut multi_def = BTreeSet::new();
+        paraprox_ir::for_each_stmt(&kernel.body, &mut |s| match s {
+            Stmt::Assign { var, .. } => {
+                multi_def.insert(*var);
+            }
+            Stmt::For { var, .. } => {
+                multi_def.insert(*var);
+            }
+            _ => {}
+        });
+        Collector {
+            ctx,
+            subst: BTreeMap::new(),
+            multi_def,
+            loops: Vec::new(),
+            variant_depth: 0,
+            phase: 0,
+            ghost: false,
+            path: Vec::new(),
+            accesses: Vec::new(),
+            divergent_syncs: Vec::new(),
+        }
+    }
+
+    /// Substitute single-definition locals into `e`.
+    fn substitute(&self, e: &Expr) -> Expr {
+        rewrite_expr(e.clone(), &mut |n| match &n {
+            Expr::Var(v) => match self.subst.get(v) {
+                Some(def) => def.clone(),
+                None => n,
+            },
+            _ => n,
+        })
+    }
+
+    /// Exact integer value of a substituted expression, using launch facts.
+    fn const_eval(&self, e: &Expr) -> Option<i64> {
+        match e {
+            Expr::Const(Scalar::I32(v)) => Some(i64::from(*v)),
+            Expr::Const(Scalar::U32(v)) => Some(i64::from(*v)),
+            Expr::Param(i) => self.ctx.and_then(|c| c.scalar_int(*i)),
+            Expr::Special(Special::BlockDimX) => self.ctx.map(|c| i64::from(c.block.0)),
+            Expr::Special(Special::BlockDimY) => self.ctx.map(|c| i64::from(c.block.1)),
+            Expr::Special(Special::GridDimX) => self.ctx.map(|c| i64::from(c.grid.0)),
+            Expr::Special(Special::GridDimY) => self.ctx.map(|c| i64::from(c.grid.1)),
+            Expr::Unary(paraprox_ir::UnOp::Neg, a) => self.const_eval(a).map(|v| -v),
+            Expr::Cast(paraprox_ir::Ty::I32 | paraprox_ir::Ty::U32, a) => self.const_eval(a),
+            Expr::Binary(op, a, b) => {
+                let (a, b) = (self.const_eval(a)?, self.const_eval(b)?);
+                use paraprox_ir::BinOp;
+                match op {
+                    BinOp::Add => Some(a + b),
+                    BinOp::Sub => Some(a - b),
+                    BinOp::Mul => Some(a * b),
+                    BinOp::Div => (b != 0).then(|| a / b),
+                    BinOp::Rem => (b != 0).then(|| a % b),
+                    BinOp::Min => Some(a.min(b)),
+                    BinOp::Max => Some(a.max(b)),
+                    BinOp::Shl => (0..=31).contains(&b).then(|| a << b),
+                    BinOp::Shr => (0..=31).contains(&b).then(|| a >> b),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Is the (substituted) expression possibly thread-dependent?
+    fn thread_variant(&self, e: &Expr) -> bool {
+        let mut variant = false;
+        for_each_expr(e, &mut |n| match n {
+            Expr::Special(Special::ThreadIdX | Special::ThreadIdY) => variant = true,
+            Expr::Load { .. } | Expr::Call { .. } => variant = true,
+            // Remaining variables are loop vars (uniform only when the
+            // loop bounds are, which enclosing-scope checks handle) or
+            // multi-definition locals (unknown). Loop variables are
+            // block-uniform per iteration; everything else is not
+            // provably uniform.
+            Expr::Var(v) if !self.loops.iter().any(|(lv, _)| lv == v) => {
+                variant = true;
+            }
+            _ => {}
+        });
+        variant
+    }
+
+    /// Is the term block-uniform (identical for every thread of a block)?
+    fn uniform(&self, e: &Expr) -> bool {
+        let mut uniform = true;
+        for_each_expr(e, &mut |n| match n {
+            Expr::Special(Special::ThreadIdX | Special::ThreadIdY) => uniform = false,
+            Expr::Load { .. } | Expr::Call { .. } | Expr::Var(_) => uniform = false,
+            _ => {}
+        });
+        uniform
+    }
+
+    /// Normalize a substituted index expression.
+    fn classify(&self, index: &Expr) -> IndexForm {
+        let comb = decompose(index);
+        let mut out = AffineIndex {
+            constant: comb.constant,
+            ..AffineIndex::default()
+        };
+        for (term, coeff) in &comb.terms {
+            match term {
+                Expr::Special(Special::ThreadIdX) => out.tx += coeff,
+                Expr::Special(Special::ThreadIdY) => out.ty += coeff,
+                Expr::Var(v) => {
+                    let Some((_, range)) = self.loops.iter().rev().find(|(lv, _)| lv == v) else {
+                        return IndexForm::Opaque("index depends on a mutated local");
+                    };
+                    let Some((lo, hi)) = range else {
+                        return IndexForm::Opaque("enclosing loop has an unknown range");
+                    };
+                    out.loops.push(LoopTerm {
+                        coeff: *coeff,
+                        lo: *lo,
+                        hi: *hi,
+                    });
+                }
+                other if self.uniform(other) => {
+                    *out.uniforms.entry(format!("{other:?}")).or_insert(0) += coeff;
+                }
+                _ => return IndexForm::Opaque("non-affine index"),
+            }
+        }
+        out.uniforms.retain(|_, c| *c != 0);
+        IndexForm::Affine(out)
+    }
+
+    fn record(&mut self, shared: SharedId, kind: AccessKind, index: &Expr) {
+        let substituted = self.substitute(index);
+        let index = self.classify(&substituted);
+        self.accesses.push(SharedAccess {
+            shared,
+            kind,
+            phase: self.phase,
+            path: self.path.clone(),
+            ghost: self.ghost,
+            index,
+        });
+    }
+
+    /// Record every shared load inside `e` (walking the *original*
+    /// expression so each load is seen once, at its execution site).
+    fn record_loads(&mut self, e: &Expr) {
+        let mut loads = Vec::new();
+        for_each_expr(e, &mut |n| {
+            if let Expr::Load {
+                mem: MemRef::Shared(s),
+                index,
+            } = n
+            {
+                loads.push((*s, (**index).clone()));
+            }
+        });
+        for (s, index) in loads {
+            self.record(s, AccessKind::Read, &index);
+        }
+    }
+
+    fn body_has_sync(body: &[Stmt]) -> bool {
+        let mut found = false;
+        paraprox_ir::for_each_stmt(body, &mut |s| {
+            if matches!(s, Stmt::Sync) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    fn walk(&mut self, stmts: &[Stmt], offset: usize) {
+        for (i, stmt) in stmts.iter().enumerate() {
+            self.path.push(offset + i);
+            match stmt {
+                Stmt::Let { var, init } => {
+                    self.record_loads(init);
+                    if !self.multi_def.contains(var) {
+                        let def = self.substitute(init);
+                        self.subst.insert(*var, def);
+                    }
+                }
+                Stmt::Assign { value, .. } => self.record_loads(value),
+                Stmt::Store { mem, index, value } => {
+                    self.record_loads(index);
+                    self.record_loads(value);
+                    if let MemRef::Shared(s) = mem {
+                        self.record(*s, AccessKind::Write, index);
+                    }
+                }
+                Stmt::Atomic {
+                    mem, index, value, ..
+                } => {
+                    self.record_loads(index);
+                    self.record_loads(value);
+                    if let MemRef::Shared(s) = mem {
+                        self.record(*s, AccessKind::Atomic, index);
+                    }
+                }
+                Stmt::Sync => {
+                    if self.variant_depth > 0 {
+                        self.divergent_syncs.push((
+                            self.path.clone(),
+                            "barrier under thread-dependent control flow: threads of a block may \
+                             not all reach it"
+                                .to_string(),
+                        ));
+                    }
+                    self.phase += 1;
+                }
+                Stmt::Return(e) => self.record_loads(e),
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    self.record_loads(cond);
+                    let variant = self.thread_variant(&self.substitute(cond));
+                    if variant {
+                        self.variant_depth += 1;
+                    }
+                    let entry_phase = self.phase;
+                    self.walk(then_body, 0);
+                    let after_then = self.phase;
+                    self.phase = entry_phase;
+                    self.walk(else_body, then_body.len());
+                    // A barrier inside only one arm means the arms disagree
+                    // on phase; keep the smaller count so accesses that may
+                    // run barrier-free stay comparable (conservative).
+                    self.phase = self.phase.min(after_then);
+                    if variant {
+                        self.variant_depth -= 1;
+                    }
+                }
+                Stmt::For {
+                    var,
+                    init,
+                    cond,
+                    step,
+                    body,
+                } => {
+                    self.record_loads(init);
+                    self.record_loads(cond.bound());
+                    self.record_loads(step.amount());
+                    let bounds_variant = [init, cond.bound(), step.amount()]
+                        .into_iter()
+                        .any(|e| self.thread_variant(&self.substitute(e)));
+                    if bounds_variant {
+                        self.variant_depth += 1;
+                    }
+                    let range = self.loop_range(init, cond, step);
+                    self.loops.push((*var, range));
+                    self.walk(body, 0);
+                    if Self::body_has_sync(body) {
+                        // Second pass: models the loop back edge. The phase
+                        // counter keeps running, so the last phase of
+                        // iteration i sits next to the first phase of
+                        // iteration i+1 instead of wrapping around.
+                        self.ghost = true;
+                        self.walk(body, 0);
+                        self.ghost = false;
+                    }
+                    self.loops.pop();
+                    if bounds_variant {
+                        self.variant_depth -= 1;
+                    }
+                }
+            }
+            self.path.pop();
+        }
+    }
+
+    /// Inclusive value range of a loop variable inside its body.
+    fn loop_range(
+        &self,
+        init: &Expr,
+        cond: &paraprox_ir::LoopCond,
+        step: &paraprox_ir::LoopStep,
+    ) -> Option<(i64, i64)> {
+        use paraprox_ir::{LoopCond, LoopStep};
+        let init_v = self.const_eval(&self.substitute(init))?;
+        let bound_v = self.const_eval(&self.substitute(cond.bound()))?;
+        let amount_v = self.const_eval(&self.substitute(step.amount()))?;
+        match (cond, step) {
+            (LoopCond::Lt(_), LoopStep::Add(_)) if amount_v > 0 => Some((init_v, bound_v - 1)),
+            (LoopCond::Le(_), LoopStep::Add(_)) if amount_v > 0 => Some((init_v, bound_v)),
+            (LoopCond::Gt(_), LoopStep::Sub(_)) if amount_v > 0 => Some((bound_v + 1, init_v)),
+            (LoopCond::Ge(_), LoopStep::Sub(_)) if amount_v > 0 => Some((bound_v, init_v)),
+            // Multiplicative/shift loops visit a sparse subset; the dense
+            // hull is still a sound over-approximation of the values.
+            (LoopCond::Lt(_), LoopStep::Mul(_) | LoopStep::Shl(_))
+                if amount_v > 0 && init_v >= 0 =>
+            {
+                Some((init_v, bound_v - 1))
+            }
+            (LoopCond::Le(_), LoopStep::Mul(_) | LoopStep::Shl(_))
+                if amount_v > 0 && init_v >= 0 =>
+            {
+                Some((init_v, bound_v))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Collect the symbolic shared accesses of `kernel`.
+pub fn shared_access_set(kernel: &Kernel, ctx: Option<&LaunchContext>) -> SharedAccessSet {
+    let mut c = Collector::new(kernel, ctx);
+    c.walk(&kernel.body, 0);
+    SharedAccessSet {
+        accesses: c.accesses,
+    }
+}
+
+/// A concrete two-thread collision.
+struct Witness {
+    t1: (i64, i64),
+    t2: (i64, i64),
+    value: i64,
+}
+
+/// Search for two distinct threads whose indices collide. `Err(())` means
+/// the search space exceeded the budget.
+fn find_witness(a: &AffineIndex, b: &AffineIndex, bx: i64, by: i64) -> Result<Option<Witness>, ()> {
+    // Uniform residues must cancel for the equation to be decidable.
+    debug_assert!(a.uniforms == b.uniforms);
+    let delta_mode = a.tx == b.tx && a.ty == b.ty;
+    let mut dims: Vec<(i64, i64)> = Vec::new();
+    if delta_mode {
+        dims.push((-(bx - 1), bx - 1)); // dx
+        dims.push((-(by - 1), by - 1)); // dy
+    } else {
+        dims.push((0, bx - 1)); // tx1
+        dims.push((0, by - 1)); // ty1
+        dims.push((0, bx - 1)); // tx2
+        dims.push((0, by - 1)); // ty2
+    }
+    let thread_dims = dims.len();
+    for t in a.loops.iter().chain(b.loops.iter()) {
+        if t.lo > t.hi {
+            return Ok(None); // empty loop: the access never executes
+        }
+        dims.push((t.lo, t.hi));
+    }
+    let mut combos: u64 = 1;
+    for (lo, hi) in &dims {
+        combos = combos.saturating_mul((hi - lo + 1) as u64);
+        if combos > SEARCH_BUDGET {
+            return Err(());
+        }
+    }
+    let mut vals: Vec<i64> = dims.iter().map(|d| d.0).collect();
+    loop {
+        // Evaluate the collision equation at this assignment.
+        let (lhs_threads, t1, t2, distinct) = if delta_mode {
+            let (dx, dy) = (vals[0], vals[1]);
+            let tx1 = dx.max(0);
+            let ty1 = dy.max(0);
+            let t1 = (tx1, ty1);
+            let t2 = (tx1 - dx, ty1 - dy);
+            (a.tx * dx + a.ty * dy, t1, t2, (dx, dy) != (0, 0))
+        } else {
+            let (tx1, ty1, tx2, ty2) = (vals[0], vals[1], vals[2], vals[3]);
+            (
+                a.tx * tx1 + a.ty * ty1 - (b.tx * tx2 + b.ty * ty2),
+                (tx1, ty1),
+                (tx2, ty2),
+                (tx1, ty1) != (tx2, ty2),
+            )
+        };
+        if distinct {
+            let mut lhs = lhs_threads + a.constant - b.constant;
+            let mut k = thread_dims;
+            for t in &a.loops {
+                lhs += t.coeff * vals[k];
+                k += 1;
+            }
+            for t in &b.loops {
+                lhs -= t.coeff * vals[k];
+                k += 1;
+            }
+            if lhs == 0 {
+                // Reconstruct the index value for the report.
+                let mut value = a.tx * t1.0 + a.ty * t1.1 + a.constant;
+                for (t, v) in a.loops.iter().zip(&vals[thread_dims..]) {
+                    value += t.coeff * v;
+                }
+                return Ok(Some(Witness { t1, t2, value }));
+            }
+        }
+        // Odometer step.
+        let mut i = vals.len();
+        loop {
+            if i == 0 {
+                return Ok(None);
+            }
+            i -= 1;
+            if vals[i] < dims[i].1 {
+                vals[i] += 1;
+                break;
+            }
+            vals[i] = dims[i].0;
+        }
+    }
+}
+
+fn shared_name(kernel: &Kernel, s: SharedId) -> String {
+    kernel
+        .shared
+        .get(s.index())
+        .map(|d| d.name.clone())
+        .unwrap_or_else(|| format!("#{}", s.0))
+}
+
+fn path_string(path: &[usize]) -> String {
+    if path.is_empty() {
+        "<kernel>".to_string()
+    } else {
+        path.iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(".")
+    }
+}
+
+/// Run the race detector on one kernel.
+///
+/// Without a [`LaunchContext`] (no block shape) only the structural
+/// barrier-divergence check runs — the pairwise search needs thread
+/// ranges to enumerate.
+pub fn check_races(
+    kernel: &Kernel,
+    id: KernelId,
+    ctx: Option<&LaunchContext>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut c = Collector::new(kernel, ctx);
+    c.walk(&kernel.body, 0);
+    for (path, msg) in &c.divergent_syncs {
+        push_unique(
+            out,
+            Diagnostic::new(
+                Severity::Warning,
+                id,
+                &kernel.name,
+                path,
+                "barrier-divergence",
+                msg.clone(),
+            ),
+        );
+    }
+    let Some(ctx) = ctx else {
+        return;
+    };
+    let (bx, by) = (i64::from(ctx.block.0), i64::from(ctx.block.1));
+    if bx * by < 2 {
+        return; // single-thread blocks cannot race
+    }
+    let accesses = &c.accesses;
+    for i in 0..accesses.len() {
+        for j in i..accesses.len() {
+            let (a, b) = (&accesses[i], &accesses[j]);
+            if a.shared != b.shared || a.phase != b.phase {
+                continue;
+            }
+            if a.ghost && b.ghost {
+                continue; // duplicate of the first-walk pair
+            }
+            if a.kind == AccessKind::Read && b.kind == AccessKind::Read {
+                continue;
+            }
+            if a.kind == AccessKind::Atomic && b.kind == AccessKind::Atomic {
+                continue; // atomics serialize against each other
+            }
+            let name = shared_name(kernel, a.shared);
+            let stmts = format!(
+                "stmts {} and {}",
+                path_string(&a.path),
+                path_string(&b.path)
+            );
+            let pair = format!("{}-{}", a.kind.name(), b.kind.name());
+            match (&a.index, &b.index) {
+                (IndexForm::Opaque(reason), _) | (_, IndexForm::Opaque(reason)) => {
+                    push_unique(
+                        out,
+                        Diagnostic::new(
+                            Severity::Warning,
+                            id,
+                            &kernel.name,
+                            &a.path,
+                            "race",
+                            format!(
+                                "possible {pair} race on shared `{name}` ({stmts}): {reason}, \
+                                 so distinct threads cannot be proven apart"
+                            ),
+                        ),
+                    );
+                }
+                (IndexForm::Affine(fa), IndexForm::Affine(fb)) => {
+                    if fa.uniforms != fb.uniforms {
+                        push_unique(
+                            out,
+                            Diagnostic::new(
+                                Severity::Warning,
+                                id,
+                                &kernel.name,
+                                &a.path,
+                                "race",
+                                format!(
+                                    "possible {pair} race on shared `{name}` ({stmts}): indices \
+                                     differ by a block-uniform term the analysis cannot cancel"
+                                ),
+                            ),
+                        );
+                        continue;
+                    }
+                    match find_witness(fa, fb, bx, by) {
+                        Ok(None) => {}
+                        Ok(Some(w)) => {
+                            push_unique(
+                                out,
+                                Diagnostic::new(
+                                    Severity::Error,
+                                    id,
+                                    &kernel.name,
+                                    &a.path,
+                                    "race",
+                                    format!(
+                                        "{pair} race on shared `{name}` ({stmts}): threads \
+                                         ({}, {}) and ({}, {}) can both touch index {} in the \
+                                         same barrier phase",
+                                        w.t1.0, w.t1.1, w.t2.0, w.t2.1, w.value
+                                    ),
+                                ),
+                            );
+                        }
+                        Err(()) => {
+                            push_unique(
+                                out,
+                                Diagnostic::new(
+                                    Severity::Warning,
+                                    id,
+                                    &kernel.name,
+                                    &a.path,
+                                    "race",
+                                    format!(
+                                        "possible {pair} race on shared `{name}` ({stmts}): \
+                                         search space too large to verify statically"
+                                    ),
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Is every shared **read** of `rewritten` covered by a same-phase read of
+/// the same array in `original`, for every thread?
+///
+/// Used by the tile-replication gate: a rewrite may redirect a shared read
+/// only to locations the original kernel already read in that barrier
+/// phase (otherwise replication widens the access across a phase and can
+/// observe values a barrier was supposed to order).
+pub fn shared_reads_covered(original: &SharedAccessSet, rewritten: &SharedAccessSet) -> bool {
+    let orig_reads: Vec<&SharedAccess> = original
+        .accesses
+        .iter()
+        .filter(|a| a.kind == AccessKind::Read)
+        .collect();
+    for access in &rewritten.accesses {
+        if access.kind != AccessKind::Read {
+            continue;
+        }
+        let IndexForm::Affine(fa) = &access.index else {
+            return false; // cannot reason about an opaque rewritten read
+        };
+        let covered = orig_reads.iter().any(|orig| {
+            orig.shared == access.shared
+                && orig.phase == access.phase
+                && match &orig.index {
+                    IndexForm::Affine(fo) => covers(fo, fa),
+                    IndexForm::Opaque(_) => false,
+                }
+        });
+        if !covered {
+            return false;
+        }
+    }
+    true
+}
+
+/// Does the value set of `orig` contain the value set of `new_idx` for
+/// every thread? Requires matching thread coefficients and uniform
+/// residues; then every assignment of `new_idx`'s loop variables must be
+/// matched by some assignment of `orig`'s.
+fn covers(orig: &AffineIndex, new_idx: &AffineIndex) -> bool {
+    if orig.tx != new_idx.tx || orig.ty != new_idx.ty || orig.uniforms != new_idx.uniforms {
+        return false;
+    }
+    // ∀ new loop values ∃ orig loop values: Σo + ko = Σn + kn.
+    let mut new_combos: u64 = 1;
+    for t in &new_idx.loops {
+        if t.lo > t.hi {
+            return true; // the rewritten access never executes
+        }
+        new_combos = new_combos.saturating_mul((t.hi - t.lo + 1) as u64);
+    }
+    let mut orig_combos: u64 = 1;
+    for t in &orig.loops {
+        if t.lo > t.hi {
+            return false;
+        }
+        orig_combos = orig_combos.saturating_mul((t.hi - t.lo + 1) as u64);
+    }
+    if new_combos.saturating_mul(orig_combos) > SEARCH_BUDGET {
+        return false;
+    }
+    let mut new_vals: Vec<i64> = new_idx.loops.iter().map(|t| t.lo).collect();
+    loop {
+        let target: i64 = new_idx.constant
+            + new_idx
+                .loops
+                .iter()
+                .zip(&new_vals)
+                .map(|(t, v)| t.coeff * v)
+                .sum::<i64>();
+        // Search orig's loop space for the target.
+        let mut orig_vals: Vec<i64> = orig.loops.iter().map(|t| t.lo).collect();
+        let mut found = false;
+        loop {
+            let v: i64 = orig.constant
+                + orig
+                    .loops
+                    .iter()
+                    .zip(&orig_vals)
+                    .map(|(t, v)| t.coeff * v)
+                    .sum::<i64>();
+            if v == target {
+                found = true;
+                break;
+            }
+            let mut i = orig_vals.len();
+            let mut done = true;
+            while i > 0 {
+                i -= 1;
+                if orig_vals[i] < orig.loops[i].hi {
+                    orig_vals[i] += 1;
+                    done = false;
+                    break;
+                }
+                orig_vals[i] = orig.loops[i].lo;
+            }
+            if done {
+                break;
+            }
+        }
+        if !found {
+            return false;
+        }
+        // Next assignment of the rewritten access's loop variables.
+        let mut i = new_vals.len();
+        let mut done = true;
+        while i > 0 {
+            i -= 1;
+            if new_vals[i] < new_idx.loops[i].hi {
+                new_vals[i] += 1;
+                done = false;
+                break;
+            }
+            new_vals[i] = new_idx.loops[i].lo;
+        }
+        if done {
+            return true;
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Per-lint fixture pairs: for every lint, one kernel that trips it and a
+//! minimally-different twin that does not. These pin down both directions
+//! of each check — the bug is caught, and the idiomatic fix is accepted.
+
+use paraprox_analysis::{analyze_kernel, check_races, LaunchContext, Severity};
+use paraprox_ir::{Expr, Kernel, KernelBuilder, MemSpace, Program, Ty, VarId};
+
+/// A 1×1-grid, 32×1-block launch with one 32-element buffer per kernel
+/// param (enough for every fixture here).
+fn ctx_for(kernel: &Kernel) -> LaunchContext {
+    let mut ctx = LaunchContext::with_dims((1, 1), (32, 1));
+    for _ in &kernel.params {
+        ctx.buffer_len.push(Some(32));
+        ctx.scalar.push(None);
+    }
+    ctx
+}
+
+fn analyze(build: impl FnOnce(&mut KernelBuilder)) -> Vec<paraprox_analysis::Diagnostic> {
+    let mut program = Program::new();
+    let mut kb = KernelBuilder::new("fixture");
+    build(&mut kb);
+    let kid = program.add_kernel(kb.finish());
+    let ctx = ctx_for(program.kernel(kid));
+    analyze_kernel(&program, kid, Some(&ctx))
+}
+
+fn codes(diags: &[paraprox_analysis::Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.code).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Race detector
+// ---------------------------------------------------------------------------
+
+/// Shared tile reversal: thread `tx` writes `s[tx]`, thread `31-tx` reads
+/// it back. With the barrier this is the canonical correct exchange;
+/// without it the write and the read share a phase and the detector must
+/// produce a concrete two-thread witness (an *error*, not a hedge).
+fn reversal(kb: &mut KernelBuilder, with_sync: bool) {
+    let input = kb.buffer("in", Ty::I32, MemSpace::Global);
+    let out = kb.buffer("out", Ty::I32, MemSpace::Global);
+    let s = kb.shared_array("s", Ty::I32, 32);
+    let tx = kb.let_("tx", KernelBuilder::thread_id_x());
+    let gid = kb.let_("gid", KernelBuilder::global_id_x());
+    kb.store(s, tx.clone(), kb.load(input, gid.clone()));
+    if with_sync {
+        kb.sync();
+    }
+    kb.store(out, gid, kb.load(s, Expr::i32(31) - tx));
+}
+
+#[test]
+fn missing_barrier_race_is_an_error_with_a_witness() {
+    let diags = analyze(|kb| reversal(kb, false));
+    let race = diags
+        .iter()
+        .find(|d| d.code == "race")
+        .expect("the unsynchronized reversal must be flagged");
+    assert_eq!(race.severity, Severity::Error);
+    assert!(
+        race.message.contains("same barrier phase"),
+        "witness message should name the colliding phase: {}",
+        race.message
+    );
+}
+
+#[test]
+fn barrier_separated_reversal_is_clean() {
+    let diags = analyze(|kb| reversal(kb, true));
+    assert!(diags.is_empty(), "unexpected: {:?}", codes(&diags));
+}
+
+/// Matmul-shaped staging: a loop whose body stages into a shared tile,
+/// syncs, consumes the whole tile, and syncs again. Exercises the
+/// double-walk that pairs a late-phase read with the *next* iteration's
+/// write — correctly separated here by the trailing barrier.
+#[test]
+fn tiled_staging_loop_with_trailing_barrier_is_clean() {
+    let diags = analyze(|kb| {
+        let input = kb.buffer("in", Ty::F32, MemSpace::Global);
+        let out = kb.buffer("out", Ty::F32, MemSpace::Global);
+        let tile = kb.shared_array("tile", Ty::F32, 32);
+        let tx = kb.let_("tx", KernelBuilder::thread_id_x());
+        let gid = kb.let_("gid", KernelBuilder::global_id_x());
+        let acc = kb.let_mut("acc", Ty::F32, Expr::f32(0.0));
+        kb.for_up("t", Expr::i32(0), Expr::i32(4), Expr::i32(1), |kb, t| {
+            kb.store(
+                tile,
+                tx.clone(),
+                kb.load(input, tx.clone()) + Expr::Cast(Ty::F32, Box::new(t.clone())),
+            );
+            kb.sync();
+            kb.for_up("k", Expr::i32(0), Expr::i32(32), Expr::i32(1), |kb, k| {
+                kb.assign(acc, Expr::Var(acc) + kb.load(tile, k));
+            });
+            kb.sync();
+        });
+        kb.store(out, gid, Expr::Var(acc));
+    });
+    assert!(diags.is_empty(), "unexpected: {:?}", codes(&diags));
+}
+
+/// Dropping the trailing barrier lets iteration `t+1`'s tile write land
+/// while a slow thread of iteration `t` is still reading — a cross-
+/// iteration write-read race the double-walk must still catch.
+#[test]
+fn tiled_staging_loop_without_trailing_barrier_races() {
+    let diags = analyze(|kb| {
+        let input = kb.buffer("in", Ty::F32, MemSpace::Global);
+        let out = kb.buffer("out", Ty::F32, MemSpace::Global);
+        let tile = kb.shared_array("tile", Ty::F32, 32);
+        let tx = kb.let_("tx", KernelBuilder::thread_id_x());
+        let gid = kb.let_("gid", KernelBuilder::global_id_x());
+        let acc = kb.let_mut("acc", Ty::F32, Expr::f32(0.0));
+        kb.for_up("t", Expr::i32(0), Expr::i32(4), Expr::i32(1), |kb, t| {
+            kb.store(
+                tile,
+                tx.clone(),
+                kb.load(input, tx.clone()) + Expr::Cast(Ty::F32, Box::new(t.clone())),
+            );
+            kb.sync();
+            kb.for_up("k", Expr::i32(0), Expr::i32(32), Expr::i32(1), |kb, k| {
+                kb.assign(acc, Expr::Var(acc) + kb.load(tile, k));
+            });
+            // no trailing sync
+        });
+        kb.store(out, gid, Expr::Var(acc));
+    });
+    assert!(
+        diags.iter().any(|d| d.code == "race"),
+        "cross-iteration write-read must be flagged, got: {:?}",
+        codes(&diags)
+    );
+}
+
+/// Without a launch context the pairwise search cannot enumerate threads;
+/// only the structural barrier-divergence check runs.
+#[test]
+fn divergent_barrier_is_flagged_even_without_a_launch() {
+    let mut program = Program::new();
+    let mut kb = KernelBuilder::new("divergent");
+    let out = kb.buffer("out", Ty::I32, MemSpace::Global);
+    let tx = kb.let_("tx", KernelBuilder::thread_id_x());
+    kb.if_(tx.clone().lt(Expr::i32(16)), |kb| kb.sync());
+    kb.store(out, tx, Expr::i32(1));
+    let kid = program.add_kernel(kb.finish());
+    let mut out_diags = Vec::new();
+    check_races(program.kernel(kid), kid, None, &mut out_diags);
+    assert!(
+        out_diags.iter().any(|d| d.code == "barrier-divergence"),
+        "got: {:?}",
+        codes(&out_diags)
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Bounds lint
+// ---------------------------------------------------------------------------
+
+#[test]
+fn off_by_one_store_past_the_buffer_is_flagged() {
+    // gid ranges over [0, 31]; gid + 1 reaches 32 — one past the end.
+    let diags = analyze(|kb| {
+        let out = kb.buffer("out", Ty::I32, MemSpace::Global);
+        let gid = kb.let_("gid", KernelBuilder::global_id_x());
+        kb.store(out, gid + Expr::i32(1), Expr::i32(7));
+    });
+    assert!(
+        diags.iter().any(|d| d.code == "oob"),
+        "got: {:?}",
+        codes(&diags)
+    );
+}
+
+#[test]
+fn guarded_negative_offset_is_accepted() {
+    // `s[tx - 1]` alone would reach index -1, but the enclosing
+    // `if tx >= 1` guard proves it non-negative — the relational fact the
+    // scan kernels rely on.
+    let diags = analyze(|kb| {
+        let out = kb.buffer("out", Ty::I32, MemSpace::Global);
+        let s = kb.shared_array("s", Ty::I32, 32);
+        let tx = kb.let_("tx", KernelBuilder::thread_id_x());
+        kb.store(s, tx.clone(), tx.clone());
+        kb.sync();
+        kb.if_(tx.clone().ge(Expr::i32(1)), |kb| {
+            kb.store(out, tx.clone(), kb.load(s, tx.clone() - Expr::i32(1)));
+        });
+    });
+    assert!(diags.is_empty(), "unexpected: {:?}", codes(&diags));
+}
+
+#[test]
+fn unguarded_negative_offset_is_flagged() {
+    let diags = analyze(|kb| {
+        let out = kb.buffer("out", Ty::I32, MemSpace::Global);
+        let s = kb.shared_array("s", Ty::I32, 32);
+        let tx = kb.let_("tx", KernelBuilder::thread_id_x());
+        kb.store(s, tx.clone(), tx.clone());
+        kb.sync();
+        kb.store(out, tx.clone(), kb.load(s, tx - Expr::i32(1)));
+    });
+    assert!(
+        diags.iter().any(|d| d.code == "oob"),
+        "got: {:?}",
+        codes(&diags)
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Dataflow lints
+// ---------------------------------------------------------------------------
+
+#[test]
+fn conditionally_initialized_local_is_flagged() {
+    // The local is assigned only in the then-arm, so the read after the
+    // `If` may see garbage (intersection join over the arms).
+    let diags = analyze(|kb| {
+        let out = kb.buffer("out", Ty::I32, MemSpace::Global);
+        let tx = kb.let_("tx", KernelBuilder::thread_id_x());
+        let mut maybe: Option<VarId> = None;
+        kb.if_(tx.clone().lt(Expr::i32(16)), |kb| {
+            maybe = Some(kb.let_mut("maybe", Ty::I32, Expr::i32(1)));
+        });
+        kb.store(out, tx, Expr::Var(maybe.unwrap()));
+    });
+    assert!(
+        diags.iter().any(|d| d.code == "uninit"),
+        "got: {:?}",
+        codes(&diags)
+    );
+}
+
+#[test]
+fn default_then_conditional_overwrite_is_accepted() {
+    // The declaration's value survives on the implicit else path, so it is
+    // not a dead store, and the local is definitely assigned everywhere.
+    let diags = analyze(|kb| {
+        let out = kb.buffer("out", Ty::I32, MemSpace::Global);
+        let tx = kb.let_("tx", KernelBuilder::thread_id_x());
+        let v = kb.let_mut("v", Ty::I32, Expr::i32(0));
+        kb.if_(tx.clone().lt(Expr::i32(16)), |kb| {
+            kb.assign(v, Expr::i32(1))
+        });
+        kb.store(out, tx, Expr::Var(v));
+    });
+    assert!(diags.is_empty(), "unexpected: {:?}", codes(&diags));
+}
+
+#[test]
+fn overwritten_before_read_is_a_dead_store() {
+    let diags = analyze(|kb| {
+        let out = kb.buffer("out", Ty::I32, MemSpace::Global);
+        let tx = kb.let_("tx", KernelBuilder::thread_id_x());
+        let v = kb.let_mut("v", Ty::I32, Expr::i32(1));
+        kb.assign(v, Expr::i32(2)); // the init above is never observed
+        kb.store(out, tx, Expr::Var(v));
+    });
+    assert!(
+        diags.iter().any(|d| d.code == "dead-store"),
+        "got: {:?}",
+        codes(&diags)
+    );
+}
+
+#[test]
+fn loop_carried_value_is_not_a_dead_store() {
+    // `acc` is written at the bottom of the loop and read at the top of
+    // the next iteration — live around the back edge, not dead.
+    let diags = analyze(|kb| {
+        let out = kb.buffer("out", Ty::I32, MemSpace::Global);
+        let tx = kb.let_("tx", KernelBuilder::thread_id_x());
+        let acc = kb.let_mut("acc", Ty::I32, Expr::i32(0));
+        kb.for_up("i", Expr::i32(0), Expr::i32(8), Expr::i32(1), |kb, i| {
+            kb.assign(acc, Expr::Var(acc) + i);
+        });
+        kb.store(out, tx, Expr::Var(acc));
+    });
+    assert!(diags.is_empty(), "unexpected: {:?}", codes(&diags));
+}

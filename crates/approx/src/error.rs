@@ -15,6 +15,9 @@ pub enum ApproxError {
     NotApplicable(String),
     /// No training samples were provided for a function that needs them.
     NoTrainingData,
+    /// A static analysis the rewriter depends on failed (malformed IR or
+    /// an untypeable expression).
+    Analysis(String),
 }
 
 impl fmt::Display for ApproxError {
@@ -25,6 +28,7 @@ impl fmt::Display for ApproxError {
                 write!(f, "approximation not applicable: {why}")
             }
             ApproxError::NoTrainingData => write!(f, "no training samples provided"),
+            ApproxError::Analysis(why) => write!(f, "static analysis failed: {why}"),
         }
     }
 }

@@ -13,7 +13,7 @@
 use paraprox_ir::{
     AtomicOp, BinOp, Expr, KernelId, LocalDecl, MemRef, Program, Scalar, Stmt, Ty, VarId,
 };
-use paraprox_patterns::path::container_mut;
+use paraprox_patterns::path::{container_mut, stmt_at};
 use paraprox_patterns::{ReductionKind, ReductionLoop};
 
 use crate::error::ApproxError;
@@ -170,6 +170,36 @@ pub fn approximate_reduction_group(
         return Err(ApproxError::NotApplicable(
             "reduction group spans different loops".to_string(),
         ));
+    }
+    // Safety gate (analysis-backed): perforating a loop skips whole
+    // iterations, so the body must not carry per-iteration obligations the
+    // surviving iterations cannot make up for.
+    if let Some(Stmt::For { body, .. }) = stmt_at(&program.kernel(kernel).body, &first.path) {
+        let fx = paraprox_analysis::summarize_stmts(program, body);
+        // A barrier inside the loop pairs with the other threads' copies of
+        // the *same* iteration; skipping iterations on a per-thread schedule
+        // would desynchronize the block (and the adjustment math says
+        // nothing about control flow).
+        if fx.barriers > 0 {
+            return Err(ApproxError::NotApplicable(
+                "reduction loop body contains a barrier; sampling iterations would                  desynchronize the block"
+                    .to_string(),
+            ));
+        }
+        // Atomic accumulation is compensated by scaling the operand — but
+        // only if the atomic is the sole access to that memory. A plain
+        // load/store of the same buffer in the body is a read-modify-write
+        // protocol the scaler does not understand.
+        if fx
+            .atomic_targets
+            .iter()
+            .any(|m| fx.reads.contains(m) || fx.writes.contains(m))
+        {
+            return Err(ApproxError::NotApplicable(
+                "reduction loop mixes atomic and plain accesses to the same buffer;                  scaling the atomic operand would not preserve the protocol"
+                    .to_string(),
+            ));
+        }
     }
     let mut out = program.clone();
     let k = out.kernel_mut(kernel);
@@ -534,5 +564,64 @@ mod tests {
         assert_eq!(skip_scalar_like(Scalar::F32(0.0), 4), Scalar::F32(4.0));
         assert_eq!(skip_scalar_like(Scalar::I32(0), 4), Scalar::I32(4));
         assert_eq!(skip_scalar_like(Scalar::U32(0), 4), Scalar::U32(4));
+    }
+
+    #[test]
+    fn sync_in_loop_body_refuses_sampling() {
+        use paraprox_patterns::path::StmtPath;
+        let mut program = Program::new();
+        let mut kb = KernelBuilder::new("sync_red");
+        let input = kb.buffer("in", Ty::F32, MemSpace::Global);
+        let out = kb.buffer("out", Ty::F32, MemSpace::Global);
+        let gid = kb.let_("gid", KernelBuilder::global_id_x()); // stmt 0
+        let acc = kb.let_mut("acc", Ty::F32, Expr::f32(0.0)); // stmt 1
+        kb.for_up("i", Expr::i32(0), Expr::i32(64), Expr::i32(1), |kb, i| {
+            let v = kb.let_("v", kb.load(input, i));
+            kb.assign(acc, Expr::Var(acc) + v);
+            kb.sync();
+        }); // stmt 2
+        kb.store(out, gid, Expr::Var(acc));
+        let kid = program.add_kernel(kb.finish());
+        let red = ReductionLoop {
+            path: StmtPath::root().child(2),
+            kind: ReductionKind::Accumulation {
+                var: acc,
+                op: BinOp::Add,
+            },
+        };
+        let err = approximate_reduction(&program, kid, &red, 4).unwrap_err();
+        let ApproxError::NotApplicable(msg) = err else {
+            panic!("expected NotApplicable");
+        };
+        assert!(msg.contains("barrier"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn atomic_mixed_with_plain_access_refuses_sampling() {
+        use paraprox_patterns::path::StmtPath;
+        let mut program = Program::new();
+        let mut kb = KernelBuilder::new("mixed");
+        let input = kb.buffer("in", Ty::F32, MemSpace::Global);
+        let hist = kb.buffer("hist", Ty::F32, MemSpace::Global);
+        kb.for_up("i", Expr::i32(0), Expr::i32(16), Expr::i32(1), |kb, i| {
+            let v = kb.let_("v", kb.load(input, i));
+            // A plain read of the atomically-accumulated buffer: the
+            // operand scaler cannot preserve this protocol.
+            let peek = kb.let_("peek", kb.load(hist, Expr::i32(0)));
+            kb.atomic(AtomicOp::Add, hist, Expr::i32(0), v + peek);
+        }); // stmt 0
+        let kid = program.add_kernel(kb.finish());
+        let red = ReductionLoop {
+            path: StmtPath::root().child(0),
+            kind: ReductionKind::Atomic { op: AtomicOp::Add },
+        };
+        let err = approximate_reduction(&program, kid, &red, 4).unwrap_err();
+        let ApproxError::NotApplicable(msg) = err else {
+            panic!("expected NotApplicable");
+        };
+        assert!(
+            msg.contains("atomic and plain"),
+            "unexpected message: {msg}"
+        );
     }
 }

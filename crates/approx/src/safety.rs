@@ -12,8 +12,17 @@
 //! dividend for `x/0 → x`-style pass-through would change magnitudes, so
 //! the fallback is 0 — the value the paper's "skip this calculation"
 //! produces for an additive context).
+//!
+//! The guard's fallback constant must match the divisor's type. Types are
+//! resolved through `paraprox-analysis` ([`infer_expr_ty`]): an expression
+//! that cannot be typed (dangling local/parameter/callee) is a hard
+//! [`ApproxError::Analysis`] instead of the old silent f32 guess, which
+//! would have produced a type-mismatching guard that traps at launch.
 
+use paraprox_analysis::{infer_expr_ty, TyScope};
 use paraprox_ir::{rewrite_exprs_in_stmts, BinOp, Expr, Kernel, KernelId, Program, Scalar};
+
+use crate::error::ApproxError;
 
 /// Is this expression a constant that can never be zero?
 fn provably_nonzero(e: &Expr) -> bool {
@@ -22,37 +31,6 @@ fn provably_nonzero(e: &Expr) -> bool {
         Expr::Const(Scalar::I32(v)) => *v != 0,
         Expr::Const(Scalar::U32(v)) => *v != 0,
         _ => false,
-    }
-}
-
-/// Infer the scalar type of an expression within a kernel (locals and
-/// parameters provide the ground truth; unknown constructs default to f32,
-/// the dominant type in the benchmarks).
-fn infer_ty(e: &Expr, kernel: &Kernel) -> paraprox_ir::Ty {
-    use paraprox_ir::{MemRef, Ty};
-    match e {
-        Expr::Const(s) => s.ty(),
-        Expr::Var(v) => kernel
-            .locals
-            .get(v.index())
-            .map(|d| d.ty)
-            .unwrap_or(Ty::F32),
-        Expr::Param(i) => kernel.params.get(*i).map(|p| p.ty()).unwrap_or(Ty::F32),
-        Expr::Special(_) => Ty::I32,
-        Expr::Cast(ty, _) => *ty,
-        Expr::Cmp(..) => Ty::Bool,
-        Expr::Unary(_, a) => infer_ty(a, kernel),
-        Expr::Binary(_, a, _) => infer_ty(a, kernel),
-        Expr::Select { if_true, .. } => infer_ty(if_true, kernel),
-        Expr::Load { mem, .. } => match mem {
-            MemRef::Param(i) => kernel.params.get(*i).map(|p| p.ty()).unwrap_or(Ty::F32),
-            MemRef::Shared(s) => kernel
-                .shared
-                .get(s.index())
-                .map(|d| d.ty)
-                .unwrap_or(Ty::F32),
-        },
-        Expr::Call { .. } => Ty::F32,
     }
 }
 
@@ -83,8 +61,32 @@ pub fn unguarded_divisions(kernel: &Kernel) -> usize {
 /// Returns the number of divisions guarded. Typed guards follow the
 /// divisor's type; float divisions by zero are IEEE-defined but produce
 /// infinities that poison downstream quality, so they are guarded too.
-pub fn guard_divisions(program: &mut Program, kernel: KernelId) -> usize {
+///
+/// Fails with [`ApproxError::Analysis`] when a divisor cannot be typed
+/// (the kernel references undeclared locals/parameters/callees); nothing
+/// is rewritten in that case.
+pub fn guard_divisions(program: &mut Program, kernel: KernelId) -> Result<usize, ApproxError> {
+    // Pre-flight: every guarded divisor must type-check before anything is
+    // mutated, so a failure leaves the program untouched.
     let snapshot = program.kernel(kernel).clone();
+    let scope = TyScope::of_kernel(&snapshot);
+    let mut type_err = None;
+    paraprox_ir::for_each_expr_in_stmts(&snapshot.body, &mut |e| {
+        if let Expr::Binary(BinOp::Div | BinOp::Rem, _, b) = e {
+            if !provably_nonzero(b) && type_err.is_none() {
+                if let Err(te) = infer_expr_ty(program, &scope, b) {
+                    type_err = Some(te);
+                }
+            }
+        }
+    });
+    if let Some(te) = type_err {
+        return Err(ApproxError::Analysis(format!(
+            "cannot type a division guard in kernel `{}`: {te}",
+            snapshot.name
+        )));
+    }
+    let frozen = program.clone();
     let k = program.kernel_mut(kernel);
     let mut guarded = 0;
     let body = std::mem::take(&mut k.body);
@@ -94,7 +96,9 @@ pub fn guard_divisions(program: &mut Program, kernel: KernelId) -> usize {
                 return Expr::Binary(op, a, b);
             }
             guarded += 1;
-            let (zero, fallback) = zero_like(infer_ty(&b, &snapshot));
+            let ty =
+                infer_expr_ty(&frozen, &scope, &b).expect("divisor types were pre-checked above");
+            let (zero, fallback) = zero_like(ty);
             Expr::Select {
                 cond: Box::new((*b.clone()).eq_(zero)),
                 if_true: Box::new(fallback),
@@ -103,7 +107,7 @@ pub fn guard_divisions(program: &mut Program, kernel: KernelId) -> usize {
         }
         other => other,
     });
-    guarded
+    Ok(guarded)
 }
 
 #[cfg(test)]
@@ -130,7 +134,7 @@ mod tests {
     fn guards_replace_zero_divisions_with_fallback() {
         let (mut program, kid) = ratio_kernel();
         assert_eq!(unguarded_divisions(program.kernel(kid)), 1);
-        let guarded = guard_divisions(&mut program, kid);
+        let guarded = guard_divisions(&mut program, kid).unwrap();
         assert_eq!(guarded, 1);
         assert_eq!(
             unguarded_divisions(program.kernel(kid)),
@@ -164,7 +168,7 @@ mod tests {
         kb.store(buf, gid, v / paraprox_ir::Expr::f32(2.0));
         let kid = program.add_kernel(kb.finish());
         assert_eq!(unguarded_divisions(program.kernel(kid)), 0);
-        assert_eq!(guard_divisions(&mut program, kid), 0);
+        assert_eq!(guard_divisions(&mut program, kid).unwrap(), 0);
     }
 
     #[test]
@@ -195,11 +199,32 @@ mod tests {
             .is_err());
 
         // Guarded: the zero divisor selects the fallback instead.
-        let guarded = guard_divisions(&mut program, kid);
+        let guarded = guard_divisions(&mut program, kid).unwrap();
         assert!(guarded >= 1);
         device
             .launch(&program, kid, Dim2::linear(1), Dim2::linear(2), &args)
             .unwrap();
         assert_eq!(device.read_i32(out_b).unwrap(), vec![4, 0]);
+    }
+
+    #[test]
+    fn untypeable_divisor_is_an_error_not_a_guess() {
+        // Hand-build a malformed kernel dividing by a local that was never
+        // declared: the old inference silently guessed f32; now the guard
+        // pass refuses up front and leaves the body untouched.
+        let mut program = Program::new();
+        let mut kb = KernelBuilder::new("bad");
+        let out = kb.buffer("out", Ty::F32, MemSpace::Global);
+        let gid = kb.let_("gid", KernelBuilder::global_id_x());
+        kb.store(out, gid, Expr::f32(1.0) / Expr::Var(paraprox_ir::VarId(99)));
+        let kid = program.add_kernel(kb.finish());
+        let before = program.kernel(kid).clone();
+        let err = guard_divisions(&mut program, kid).unwrap_err();
+        assert!(matches!(err, ApproxError::Analysis(_)), "got {err:?}");
+        assert_eq!(
+            program.kernel(kid).body,
+            before.body,
+            "failed analysis must not mutate the kernel"
+        );
     }
 }

@@ -541,6 +541,24 @@ pub fn approximate_stencil(
 
     // Make the savings real: collapse the now-identical loads.
     optimize_buffer_loads(k, buffer);
+
+    // Safety gate (analysis-backed): when the tile lives in shared memory,
+    // snapping must only *drop* reads, never introduce a read of a shared
+    // slot the exact kernel did not read in the same barrier phase — a
+    // widened read could observe a slot another thread has not yet filled
+    // (or races with a later phase's writes).
+    if matches!(buffer, paraprox_ir::MemRef::Shared(_)) {
+        let before = paraprox_analysis::shared_access_set(original_kernel, None);
+        let after = paraprox_analysis::shared_access_set(out.kernel(kernel), None);
+        if !paraprox_analysis::shared_reads_covered(&before, &after) {
+            return Err(ApproxError::NotApplicable(
+                "tile replication would widen a shared-memory read beyond what the \
+                 exact kernel reads in that barrier phase"
+                    .to_string(),
+            ));
+        }
+    }
+    let k = out.kernel_mut(kernel);
     k.name = format!("{}__stencil_{}_r{}", k.name, scheme.label(), reach);
     Ok(out)
 }
@@ -748,5 +766,84 @@ mod tests {
         // r large enough collapses everything to the clamped center.
         assert_eq!(rep_offset(0, 3, 1), 1);
         assert_eq!(rep_offset(2, 3, 1), 1);
+    }
+
+    #[test]
+    fn shared_tile_split_across_barrier_phase_is_refused() {
+        use paraprox_patterns::stencil::{StencilKind, TileOffset};
+        // Threads stage input into shared memory, sync, then read ONLY the
+        // two outer taps tile[tx] and tile[tx+2] — never the band center
+        // tile[tx+1]. Center-snapping would redirect both reads to the
+        // center, a shared slot the exact kernel does not read in that
+        // barrier phase; the analysis gate must refuse.
+        let mut program = Program::new();
+        let mut kb = KernelBuilder::new("phase_split");
+        let input = kb.buffer("in", Ty::F32, MemSpace::Global);
+        let out = kb.buffer("out", Ty::F32, MemSpace::Global);
+        let tile = kb.shared_array("tile", Ty::F32, 34);
+        let tx = kb.let_("tx", KernelBuilder::thread_id_x());
+        let gid = kb.let_("gid", KernelBuilder::global_id_x());
+        kb.store(tile, tx.clone(), kb.load(input, gid.clone()));
+        kb.sync();
+        let a = kb.let_("a", kb.load(tile, tx.clone()));
+        let b = kb.let_("b", kb.load(tile, tx + Expr::i32(2)));
+        kb.store(out, gid, a + b);
+        let kid = program.add_kernel(kb.finish());
+
+        let cand = StencilCandidate {
+            buffer: tile,
+            kind: StencilKind::Partition,
+            tile_h: 1,
+            tile_w: 3,
+            w_term: None,
+            row_loops: vec![],
+            col_loops: vec![],
+            offsets: vec![TileOffset { dy: 0, dx: 0 }, TileOffset { dy: 0, dx: 2 }],
+        };
+        let err = approximate_stencil(&program, kid, &cand, StencilScheme::Center, 1).unwrap_err();
+        let ApproxError::NotApplicable(msg) = err else {
+            panic!("expected NotApplicable");
+        };
+        assert!(msg.contains("shared"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn shared_tile_read_within_phase_passes_the_gate() {
+        use paraprox_patterns::stencil::{StencilKind, TileOffset};
+        // Same staging pattern, but the phase reads the full 3-wide band
+        // including its center: snapping only narrows the read set, so the
+        // gate lets the rewrite through.
+        let mut program = Program::new();
+        let mut kb = KernelBuilder::new("full_band");
+        let input = kb.buffer("in", Ty::F32, MemSpace::Global);
+        let out = kb.buffer("out", Ty::F32, MemSpace::Global);
+        let tile = kb.shared_array("tile", Ty::F32, 34);
+        let tx = kb.let_("tx", KernelBuilder::thread_id_x());
+        let gid = kb.let_("gid", KernelBuilder::global_id_x());
+        kb.store(tile, tx.clone(), kb.load(input, gid.clone()));
+        kb.sync();
+        let a = kb.let_("a", kb.load(tile, tx.clone()));
+        let b = kb.let_("b", kb.load(tile, tx.clone() + Expr::i32(1)));
+        let c = kb.let_("c", kb.load(tile, tx + Expr::i32(2)));
+        kb.store(out, gid, a + b + c);
+        let kid = program.add_kernel(kb.finish());
+
+        let cand = StencilCandidate {
+            buffer: tile,
+            kind: StencilKind::Partition,
+            tile_h: 1,
+            tile_w: 3,
+            w_term: None,
+            row_loops: vec![],
+            col_loops: vec![],
+            offsets: vec![
+                TileOffset { dy: 0, dx: 0 },
+                TileOffset { dy: 0, dx: 1 },
+                TileOffset { dy: 0, dx: 2 },
+            ],
+        };
+        let approx = approximate_stencil(&program, kid, &cand, StencilScheme::Center, 1).unwrap();
+        let k = approx.kernel(kid);
+        assert!(k.name.contains("stencil"));
     }
 }

@@ -19,11 +19,19 @@ usage:
       PARAPROX_THREADS environment variable overrides the flag. Results are
       bit-identical for every thread count.
 
-  paraprox inspect <file.cu> [--bytecode <kernel>]
+  paraprox inspect <file.cu> [--bytecode <kernel>] [--effects]
       Parse CUDA-flavored kernel source and report the data-parallel
       patterns Paraprox detects in each kernel. --bytecode additionally
       prints the register-machine bytecode the virtual device compiles the
-      named kernel (prefix match) into.
+      named kernel (prefix match) into; --effects prints each kernel's
+      side-effect summary (loads/stores/atomics/barriers) next to the
+      pattern report.
+
+  paraprox analyze <app> [--scale paper|test]
+      Run the full static-analysis lint suite (shared-memory races, bounds,
+      uninitialized locals, dead stores) on an application's exact kernels
+      under their real launch shapes. Exits nonzero when any finding has
+      error severity.
 ";
 
 /// Which device profile to use.
@@ -72,6 +80,15 @@ pub enum Command {
         file: String,
         /// Kernel name (prefix match) to disassemble to vGPU bytecode.
         bytecode: Option<String>,
+        /// Print per-kernel side-effect summaries.
+        effects: bool,
+    },
+    /// `paraprox analyze <app>`
+    Analyze {
+        /// Application name (prefix match).
+        app: String,
+        /// Use the small test-scale inputs.
+        test_scale: bool,
     },
 }
 
@@ -209,6 +226,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 .ok_or_else(|| "`inspect` needs a source file".to_string())?
                 .clone();
             let mut bytecode = None;
+            let mut effects = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--bytecode" => {
@@ -218,10 +236,39 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                                 .clone(),
                         );
                     }
+                    "--effects" => effects = true,
                     other => return Err(format!("unknown option `{other}`")),
                 }
             }
-            Ok(Command::Inspect { file, bytecode })
+            Ok(Command::Inspect {
+                file,
+                bytecode,
+                effects,
+            })
+        }
+        Some("analyze") => {
+            let app = it
+                .next()
+                .ok_or_else(|| "`analyze` needs an application name".to_string())?
+                .clone();
+            let mut test_scale = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--scale" => {
+                        test_scale = match it.next().map(String::as_str) {
+                            Some("paper") => false,
+                            Some("test") => true,
+                            other => {
+                                return Err(format!(
+                                    "--scale needs `paper` or `test`, got {other:?}"
+                                ))
+                            }
+                        };
+                    }
+                    other => return Err(format!("unknown option `{other}`")),
+                }
+            }
+            Ok(Command::Analyze { app, test_scale })
         }
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("no command given".to_string()),
@@ -337,17 +384,40 @@ mod tests {
             Command::Inspect {
                 file: "k.cu".into(),
                 bytecode: None,
+                effects: false,
             }
         );
         assert_eq!(
-            parse(&v(&["inspect", "k.cu", "--bytecode", "conv"])).unwrap(),
+            parse(&v(&["inspect", "k.cu", "--bytecode", "conv", "--effects"])).unwrap(),
             Command::Inspect {
                 file: "k.cu".into(),
                 bytecode: Some("conv".into()),
+                effects: true,
             }
         );
         assert!(parse(&v(&["inspect"])).is_err());
         assert!(parse(&v(&["inspect", "k.cu", "--bytecode"])).is_err());
         assert!(parse(&v(&["inspect", "k.cu", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parses_analyze() {
+        assert_eq!(
+            parse(&v(&["analyze", "matmul"])).unwrap(),
+            Command::Analyze {
+                app: "matmul".into(),
+                test_scale: false,
+            }
+        );
+        assert_eq!(
+            parse(&v(&["analyze", "matmul", "--scale", "test"])).unwrap(),
+            Command::Analyze {
+                app: "matmul".into(),
+                test_scale: true,
+            }
+        );
+        assert!(parse(&v(&["analyze"])).is_err());
+        assert!(parse(&v(&["analyze", "matmul", "--scale", "big"])).is_err());
+        assert!(parse(&v(&["analyze", "matmul", "--bogus"])).is_err());
     }
 }

@@ -25,7 +25,12 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
             test_scale,
             threads,
         } => run_app(&app, device, test_scale, threads),
-        Command::Inspect { file, bytecode } => inspect(&file, bytecode.as_deref()),
+        Command::Inspect {
+            file,
+            bytecode,
+            effects,
+        } => inspect(&file, bytecode.as_deref(), effects),
+        Command::Analyze { app, test_scale } => analyze(&app, test_scale),
     }
 }
 
@@ -161,7 +166,46 @@ fn run_app(
     Ok(())
 }
 
-fn inspect(file: &str, bytecode: Option<&str>) -> Result<(), Box<dyn Error>> {
+fn analyze(name: &str, test_scale: bool) -> Result<(), Box<dyn Error>> {
+    let app = paraprox_apps::find(name)
+        .ok_or_else(|| format!("no application matching `{name}` (try `paraprox list`)"))?;
+    let scale = if test_scale {
+        Scale::Test
+    } else {
+        Scale::Paper
+    };
+    let workload = (app.build)(scale, 0);
+    println!(
+        "{}: {} kernel(s), {} launch(es)",
+        app.spec.name,
+        workload.program.kernel_count(),
+        workload.pipeline.launches.len()
+    );
+    let diags = paraprox::analyze_workload(&workload);
+    if diags.is_empty() {
+        println!("no findings: races, bounds, and dataflow lints are all clean");
+        return Ok(());
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == paraprox::Severity::Error)
+        .count();
+    println!(
+        "{} finding(s), {} error(s), {} warning(s)",
+        diags.len(),
+        errors,
+        diags.len() - errors
+    );
+    if errors > 0 {
+        return Err(format!("static analysis found {errors} error(s)").into());
+    }
+    Ok(())
+}
+
+fn inspect(file: &str, bytecode: Option<&str>, effects: bool) -> Result<(), Box<dyn Error>> {
     let source = std::fs::read_to_string(file)?;
     let program = paraprox_lang::parse_program(&source)?;
     println!(
@@ -178,6 +222,12 @@ fn inspect(file: &str, bytecode: Option<&str>) -> Result<(), Box<dyn Error>> {
     for kp in &detected {
         let kernel = program.kernel(kp.kernel);
         println!("kernel `{}`:", kernel.name);
+        if effects {
+            println!(
+                "  effects: {}",
+                paraprox_analysis::summarize_kernel(&program, kp.kernel)
+            );
+        }
         if kp.instances.is_empty() {
             println!("  (no approximable patterns)");
         }

@@ -1,0 +1,51 @@
+//! The compile pipeline's analyze stage: lint a workload with the
+//! `paraprox-analysis` suite under its real launch shapes.
+//!
+//! The analyses are launch-sensitive — the bounds lint needs buffer
+//! extents, the race detector enumerates the threads of a block — so this
+//! module converts each [`LaunchPlan`](paraprox_vgpu::LaunchPlan) of the
+//! workload's pipeline into a [`LaunchContext`] (grid/block shape, buffer
+//! element counts, scalar argument values) and runs every lint on every
+//! kernel under every launch it appears in.
+
+use paraprox_analysis::{analyze_program, Diagnostic, LaunchContext};
+use paraprox_ir::KernelId;
+
+use crate::workload::Workload;
+
+/// Build one [`LaunchContext`] per planned launch of the workload.
+pub fn launch_contexts(workload: &Workload) -> Vec<(KernelId, LaunchContext)> {
+    let pipeline = &workload.pipeline;
+    pipeline
+        .launches
+        .iter()
+        .map(|launch| {
+            let mut ctx = LaunchContext::with_dims(
+                (launch.grid.x as u32, launch.grid.y as u32),
+                (launch.block.x as u32, launch.block.y as u32),
+            );
+            for arg in &launch.args {
+                match arg {
+                    paraprox_vgpu::PlanArg::Buffer(i) => {
+                        let len = pipeline.buffers.get(*i).map(|b| b.init.len());
+                        ctx.buffer_len.push(len);
+                        ctx.scalar.push(None);
+                    }
+                    paraprox_vgpu::PlanArg::Scalar(s) => {
+                        ctx.buffer_len.push(None);
+                        ctx.scalar.push(Some(*s));
+                    }
+                }
+            }
+            (launch.kernel, ctx)
+        })
+        .collect()
+}
+
+/// Run the full lint suite on a workload's exact program, one pass per
+/// (kernel, launch) pair. Kernels never launched by the pipeline are
+/// analyzed without launch facts.
+pub fn analyze_workload(workload: &Workload) -> Vec<Diagnostic> {
+    let contexts = launch_contexts(workload);
+    analyze_program(&workload.program, &contexts)
+}

@@ -126,6 +126,9 @@ pub struct Compiled {
     pub patterns: Vec<KernelPatterns>,
     /// Generated approximate variants.
     pub variants: Vec<Variant>,
+    /// Static-analysis findings on the exact program (warnings only — an
+    /// error-severity finding aborts compilation instead).
+    pub diagnostics: Vec<paraprox_analysis::Diagnostic>,
 }
 
 impl Compiled {
@@ -391,19 +394,32 @@ fn scan_variants(
     Ok(())
 }
 
-/// Compile a workload: detect patterns and generate every approximate
-/// variant the options ask for.
+/// Compile a workload: analyze the exact program, detect patterns, and
+/// generate every approximate variant the options ask for.
 ///
 /// # Errors
 ///
-/// Fails when an approximation rewriter hits a real error (malformed IR,
-/// failing function evaluation). Pattern/knob combinations that are merely
-/// inapplicable are skipped silently.
+/// Fails when the static analyzer proves the exact program unsafe (a
+/// shared-memory race or out-of-bounds access with a concrete witness —
+/// approximating a broken kernel would only launder the bug), or when an
+/// approximation rewriter hits a real error (malformed IR, failing
+/// function evaluation). Pattern/knob combinations that are merely
+/// inapplicable are skipped silently; warning-severity lint findings are
+/// reported in [`Compiled::diagnostics`].
 pub fn compile(
     workload: &Workload,
     table: &LatencyTable,
     options: &CompileOptions,
 ) -> Result<Compiled, CompileError> {
+    let diagnostics = crate::analyze::analyze_workload(workload);
+    let errors: Vec<_> = diagnostics
+        .iter()
+        .filter(|d| d.severity == paraprox_analysis::Severity::Error)
+        .cloned()
+        .collect();
+    if !errors.is_empty() {
+        return Err(CompileError::Analysis(errors));
+    }
     let patterns = detect(&workload.program, table, &DetectOptions::default());
     let mut variants = Vec::new();
     memo_variants(workload, &patterns, options, &mut variants)?;
@@ -415,7 +431,7 @@ pub fn compile(
             let kernel_ids: Vec<paraprox_ir::KernelId> =
                 variant.program.kernels().map(|(id, _)| id).collect();
             for kid in kernel_ids {
-                paraprox_approx::guard_divisions(&mut variant.program, kid);
+                paraprox_approx::guard_divisions(&mut variant.program, kid)?;
             }
         }
     }
@@ -423,5 +439,6 @@ pub fn compile(
         workload: workload.clone(),
         patterns,
         variants,
+        diagnostics,
     })
 }

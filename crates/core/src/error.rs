@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use paraprox_analysis::Diagnostic;
 use paraprox_approx::ApproxError;
 use paraprox_ir::IrError;
 
@@ -15,6 +16,11 @@ pub enum CompileError {
     Ir(IrError),
     /// Structural problem in the workload (message explains).
     Workload(String),
+    /// The static analyzer proved the exact program unsafe (a shared-memory
+    /// race or out-of-bounds access with a concrete witness). Only
+    /// [`paraprox_analysis::Severity::Error`] findings stop compilation;
+    /// warnings ride along in [`crate::Compiled::diagnostics`].
+    Analysis(Vec<Diagnostic>),
 }
 
 impl fmt::Display for CompileError {
@@ -23,6 +29,13 @@ impl fmt::Display for CompileError {
             CompileError::Approx(e) => write!(f, "approximation failed: {e}"),
             CompileError::Ir(e) => write!(f, "invalid IR: {e}"),
             CompileError::Workload(msg) => write!(f, "invalid workload: {msg}"),
+            CompileError::Analysis(diags) => {
+                write!(f, "static analysis found {} error(s)", diags.len())?;
+                if let Some(d) = diags.first() {
+                    write!(f, "; first: {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -32,7 +45,7 @@ impl Error for CompileError {
         match self {
             CompileError::Approx(e) => Some(e),
             CompileError::Ir(e) => Some(e),
-            CompileError::Workload(_) => None,
+            CompileError::Workload(_) | CompileError::Analysis(_) => None,
         }
     }
 }

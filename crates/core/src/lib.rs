@@ -26,12 +26,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod analyze;
 mod compile;
 mod device_app;
 mod error;
 mod latency;
 mod workload;
 
+pub use analyze::{analyze_workload, launch_contexts};
 pub use compile::{compile, CompileOptions, Compiled, Knob, Variant};
 pub use device_app::DeviceApp;
 pub use error::CompileError;
@@ -40,6 +42,7 @@ pub use workload::Workload;
 
 // The pieces users need to build and run workloads, re-exported for
 // one-import ergonomics.
+pub use paraprox_analysis::{Diagnostic, LaunchContext, Severity};
 pub use paraprox_quality::{Metric, Toq};
 pub use paraprox_runtime::{Deployment, Tuner};
 pub use paraprox_vgpu::{Device, DeviceProfile};

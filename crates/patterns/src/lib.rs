@@ -23,7 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod affine;
+pub use paraprox_analysis::affine;
 pub mod cost;
 mod detect;
 pub mod path;

@@ -8,8 +8,15 @@
 //! * use thread/block specials (output would depend on the thread ID),
 //! * execute barriers,
 //! * call an impure function.
+//!
+//! The walk itself now lives in `paraprox-analysis` as the effect-summary
+//! traversal ([`paraprox_analysis::summarize_func`]); this module keeps the
+//! [`Purity`] type and its diagnostic payloads byte-identical for existing
+//! callers (the summary records the first impure construct in the exact
+//! pre-order of the original analysis).
 
-use paraprox_ir::{Expr, Func, FuncId, Program, Stmt};
+use paraprox_analysis::summarize_func;
+use paraprox_ir::{FuncId, Program};
 
 /// The result of analyzing one function.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,112 +35,22 @@ impl Purity {
     }
 }
 
-fn check_expr(program: &Program, e: &Expr) -> Purity {
-    match e {
-        Expr::Const(_) | Expr::Var(_) | Expr::Param(_) => Purity::Pure,
-        Expr::Special(_) => Purity::Impure("thread/block special"),
-        Expr::Unary(_, a) | Expr::Cast(_, a) => check_expr(program, a),
-        Expr::Binary(_, a, b) | Expr::Cmp(_, a, b) => {
-            let pa = check_expr(program, a);
-            if !pa.is_pure() {
-                return pa;
-            }
-            check_expr(program, b)
-        }
-        Expr::Select {
-            cond,
-            if_true,
-            if_false,
-        } => {
-            for part in [cond, if_true, if_false] {
-                let p = check_expr(program, part);
-                if !p.is_pure() {
-                    return p;
-                }
-            }
-            Purity::Pure
-        }
-        Expr::Load { .. } => Purity::Impure("memory load"),
-        Expr::Call { func, args } => {
-            for a in args {
-                let p = check_expr(program, a);
-                if !p.is_pure() {
-                    return p;
-                }
-            }
-            // A call is pure only if the callee is pure.
-            match program.funcs().nth(func.0) {
-                Some((_, callee)) => purity_of_func(program, callee),
-                None => Purity::Impure("call to unknown function"),
-            }
-        }
-    }
-}
-
-fn check_stmts(program: &Program, stmts: &[Stmt]) -> Purity {
-    for stmt in stmts {
-        let p = match stmt {
-            Stmt::Let { init, .. } => check_expr(program, init),
-            Stmt::Assign { value, .. } => check_expr(program, value),
-            Stmt::Store { .. } => Purity::Impure("memory store"),
-            Stmt::Atomic { .. } => Purity::Impure("atomic operation"),
-            Stmt::Sync => Purity::Impure("barrier"),
-            Stmt::Return(e) => check_expr(program, e),
-            Stmt::If {
-                cond,
-                then_body,
-                else_body,
-            } => {
-                let p = check_expr(program, cond);
-                if !p.is_pure() {
-                    return p;
-                }
-                let p = check_stmts(program, then_body);
-                if !p.is_pure() {
-                    return p;
-                }
-                check_stmts(program, else_body)
-            }
-            Stmt::For {
-                init,
-                cond,
-                step,
-                body,
-                ..
-            } => {
-                for e in [init, cond.bound(), step.amount()] {
-                    let p = check_expr(program, e);
-                    if !p.is_pure() {
-                        return p;
-                    }
-                }
-                check_stmts(program, body)
-            }
-        };
-        if !p.is_pure() {
-            return p;
-        }
-    }
-    Purity::Pure
-}
-
-fn purity_of_func(program: &Program, func: &Func) -> Purity {
-    check_stmts(program, &func.body)
-}
-
 /// Analyze the purity of function `id` in `program`.
 ///
 /// # Panics
 ///
 /// Panics if `id` does not belong to `program`.
 pub fn purity_of(program: &Program, id: FuncId) -> Purity {
-    purity_of_func(program, program.func(id))
+    match summarize_func(program, id).first_impurity {
+        None => Purity::Pure,
+        Some(reason) => Purity::Impure(reason),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use paraprox_ir::{Expr, FuncBuilder, Special, Ty};
+    use paraprox_ir::{Expr, FuncBuilder, Special, Stmt, Ty};
 
     #[test]
     fn arithmetic_function_is_pure() {
@@ -213,6 +130,68 @@ mod tests {
         });
         let outer_id = p.add_func(outer.finish());
         assert!(!purity_of(&p, outer_id).is_pure());
+    }
+
+    #[test]
+    fn impure_payloads_byte_identical_to_legacy_walk() {
+        use paraprox_ir::{AtomicOp, MemRef, Special};
+        // Every reason string the legacy walk produced, asserted verbatim,
+        // plus traversal-order cases: the summary must report the FIRST
+        // offending construct in the legacy pre-order.
+        let mk = |body: Vec<Stmt>| paraprox_ir::Func {
+            name: "f".into(),
+            params: vec![],
+            ret: Ty::I32,
+            locals: vec![],
+            body,
+        };
+        let load = Expr::Load {
+            mem: MemRef::Param(0),
+            index: Box::new(Expr::i32(0)),
+        };
+        let cases: Vec<(paraprox_ir::Func, &'static str)> = vec![
+            (
+                mk(vec![Stmt::Return(Expr::Special(Special::ThreadIdX))]),
+                "thread/block special",
+            ),
+            (mk(vec![Stmt::Return(load.clone())]), "memory load"),
+            (
+                mk(vec![Stmt::Store {
+                    mem: MemRef::Param(0),
+                    index: Expr::Special(Special::ThreadIdX),
+                    value: Expr::i32(0),
+                }]),
+                // The store is reported before the special in its index.
+                "memory store",
+            ),
+            (
+                mk(vec![Stmt::Atomic {
+                    op: AtomicOp::Add,
+                    mem: MemRef::Param(0),
+                    index: load.clone(),
+                    value: Expr::i32(1),
+                }]),
+                "atomic operation",
+            ),
+            (mk(vec![Stmt::Sync]), "barrier"),
+            (
+                mk(vec![Stmt::Return(Expr::Call {
+                    func: FuncId(99),
+                    args: vec![],
+                })]),
+                "call to unknown function",
+            ),
+            (
+                // Binary visits the left operand first.
+                mk(vec![Stmt::Return(load * Expr::Special(Special::ThreadIdY))]),
+                "memory load",
+            ),
+        ];
+        for (f, expected) in cases {
+            let mut p = Program::new();
+            let id = p.add_func(f);
+            assert_eq!(purity_of(&p, id), Purity::Impure(expected));
+        }
     }
 
     #[test]

@@ -168,6 +168,9 @@ pub struct Device {
     l1: Cache,
     constant_cache: Cache,
     programs: ProgramCache,
+    /// When set, intra-block store *application order* is permuted
+    /// per-block (see [`Device::set_schedule_seed`]).
+    schedule_seed: Option<u64>,
 }
 
 impl Device {
@@ -182,7 +185,18 @@ impl Device {
             l1,
             constant_cache,
             programs: ProgramCache::default(),
+            schedule_seed: None,
         }
+    }
+
+    /// Permute the order in which the lanes of a block apply their stores
+    /// (a per-block Fisher-Yates shuffle derived from `seed`). The SIMT
+    /// model says a correct kernel must not observe this order, so for
+    /// race-free kernels results stay bit-identical for every seed — and a
+    /// divergence between seeds is a dynamic witness of an intra-block
+    /// race. `None` (the default) restores the canonical lane order.
+    pub fn set_schedule_seed(&mut self, seed: Option<u64>) {
+        self.schedule_seed = seed;
     }
 
     /// Number of bytecode compilations this device has performed. A kernel
@@ -477,6 +491,7 @@ impl Device {
             grid,
             block,
             compiled: compiled.as_deref(),
+            schedule_seed: self.schedule_seed,
         };
         exec::run_launch(
             &launch,

@@ -255,6 +255,9 @@ pub(crate) struct Launch<'a> {
     /// Compiled bytecode for the kernel; `None` selects the tree-walking
     /// oracle. Shared read-only by all workers.
     pub compiled: Option<&'a crate::bytecode::CompiledKernel>,
+    /// Seed for per-block store-application-order permutation (None =
+    /// canonical lane order).
+    pub schedule_seed: Option<u64>,
 }
 
 /// Everything one block finished with; folded in ascending `block` order.
@@ -453,6 +456,18 @@ pub(crate) fn run_launch(
     Ok(stats)
 }
 
+/// Fisher-Yates permutation of `0..lanes`, seeded per block so different
+/// blocks shuffle independently.
+fn store_permutation(seed: u64, block_id: u64, lanes: usize) -> Vec<usize> {
+    let mut state = seed ^ block_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut order: Vec<usize> = (0..lanes).collect();
+    for i in (1..lanes).rev() {
+        let j = (paraprox_prng::splitmix64(&mut state) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
 /// Run a single block to completion and return its stats and final caches.
 #[allow(clippy::too_many_arguments)]
 fn exec_block(
@@ -490,6 +505,9 @@ fn exec_block(
         block_y: (block_id / launch.grid.x) as i32,
         iterations,
         scratch,
+        store_order: launch
+            .schedule_seed
+            .map(|seed| store_permutation(seed, block_id as u64, lanes)),
     };
     ctx.stats.blocks = 1;
     ctx.stats.warps = lanes.div_ceil(ctx.profile.warp_width) as u64;
@@ -527,6 +545,10 @@ pub(crate) struct ExecCtx<'a> {
     /// Launch-wide loop-iteration budget, shared across workers.
     pub(crate) iterations: &'a AtomicU64,
     pub(crate) scratch: &'a mut ScratchPool,
+    /// When present, `store_order[k]` is the lane whose store is applied
+    /// k-th. Only the *application order* of [`ExecCtx::do_store`] is
+    /// permuted — cost accounting and atomics are order-independent.
+    pub(crate) store_order: Option<Vec<usize>>,
 }
 
 impl ExecCtx<'_> {
@@ -1260,7 +1282,11 @@ impl ExecCtx<'_> {
                     .get(sid.index())
                     .map(|s| s.len())
                     .ok_or(EvalError::UnknownFunc(sid.index()))?;
-                for lane in 0..self.lanes {
+                for k in 0..self.lanes {
+                    let lane = match &self.store_order {
+                        Some(order) => order[k],
+                        None => k,
+                    };
                     if mask[lane] {
                         let i = Self::index_to_i64(idx[lane])?;
                         if i < 0 || i as usize >= len {
@@ -1288,7 +1314,11 @@ impl ExecCtx<'_> {
                 let base = self.buffers[b].base_addr;
                 let len = self.buffers[b].data.len();
                 let elem_ty = self.buffers[b].ty;
-                for lane in 0..self.lanes {
+                for k in 0..self.lanes {
+                    let lane = match &self.store_order {
+                        Some(order) => order[k],
+                        None => k,
+                    };
                     if mask[lane] {
                         let i = Self::index_to_i64(idx[lane])?;
                         if i < 0 || i as usize >= len {

@@ -1,0 +1,118 @@
+//! Store-schedule permutation (`Device::set_schedule_seed`).
+//!
+//! The SIMT contract says the order in which the lanes of a block apply
+//! their stores is unobservable for a correct kernel. The permutation knob
+//! makes that contract testable: race-free kernels must stay bit-identical
+//! for every seed, and a kernel whose output *does* change between seeds
+//! has exhibited a real intra-block race. The static race detector's
+//! differential harness (root `tests/`) builds on exactly this.
+
+use paraprox_ir::{Expr, KernelBuilder, MemSpace, Program, Ty};
+use paraprox_vgpu::{Device, DeviceProfile, Dim2, ExecEngine};
+
+fn device() -> Device {
+    // The permutation applies per-block in either engine; the tree-walk
+    // oracle keeps these tests independent of the bytecode compiler.
+    Device::new(DeviceProfile::gtx560().with_engine(ExecEngine::TreeWalk))
+}
+
+/// A racy kernel: every thread stores its id to shared slot 0, then all
+/// threads read slot 0 back. The winner is whichever lane's store is
+/// applied last.
+fn racy_program() -> (Program, paraprox_ir::KernelId) {
+    let mut program = Program::new();
+    let mut kb = KernelBuilder::new("racy_last_writer");
+    let out = kb.buffer("out", Ty::I32, MemSpace::Global);
+    let s = kb.shared_array("s", Ty::I32, 1);
+    let tx = kb.let_("tx", KernelBuilder::thread_id_x());
+    let gid = kb.let_("gid", KernelBuilder::global_id_x());
+    kb.store(s, Expr::i32(0), tx);
+    kb.sync();
+    kb.store(out, gid, kb.load(s, Expr::i32(0)));
+    let kid = program.add_kernel(kb.finish());
+    (program, kid)
+}
+
+/// A benign kernel: each thread owns its own slots everywhere.
+fn benign_program() -> (Program, paraprox_ir::KernelId) {
+    let mut program = Program::new();
+    let mut kb = KernelBuilder::new("benign");
+    let input = kb.buffer("in", Ty::F32, MemSpace::Global);
+    let out = kb.buffer("out", Ty::F32, MemSpace::Global);
+    let s = kb.shared_array("s", Ty::F32, 32);
+    let tx = kb.let_("tx", KernelBuilder::thread_id_x());
+    let gid = kb.let_("gid", KernelBuilder::global_id_x());
+    kb.store(s, tx.clone(), kb.load(input, gid.clone()));
+    kb.sync();
+    kb.store(out, gid, kb.load(s, tx) * Expr::f32(2.0));
+    let kid = program.add_kernel(kb.finish());
+    (program, kid)
+}
+
+fn run_racy(seed: Option<u64>) -> Vec<i32> {
+    let (program, kid) = racy_program();
+    let mut device = device();
+    device.set_schedule_seed(seed);
+    let out = device.alloc_i32(MemSpace::Global, &[0; 32]);
+    device
+        .launch(
+            &program,
+            kid,
+            Dim2::linear(1),
+            Dim2::linear(32),
+            &[out.into()],
+        )
+        .unwrap();
+    device.read_i32(out).unwrap()
+}
+
+#[test]
+fn default_schedule_is_canonical_lane_order() {
+    // With no seed, the last lane's store wins — the historical behavior,
+    // bit for bit.
+    let out = run_racy(None);
+    assert_eq!(out, vec![31; 32]);
+}
+
+#[test]
+fn seeded_schedule_changes_the_race_winner() {
+    let baseline = run_racy(None);
+    let mut diverged = false;
+    for seed in 1..=4u64 {
+        if run_racy(Some(seed)) != baseline {
+            diverged = true;
+            break;
+        }
+    }
+    assert!(
+        diverged,
+        "permuting the store schedule should expose the racy last-writer"
+    );
+}
+
+#[test]
+fn benign_kernel_is_schedule_invariant() {
+    let (program, kid) = benign_program();
+    let data: Vec<f32> = (0..32).map(|i| i as f32 * 0.5).collect();
+    let mut outputs = Vec::new();
+    for seed in [None, Some(1), Some(2), Some(3)] {
+        let mut device = device();
+        device.set_schedule_seed(seed);
+        let input = device.alloc_f32(MemSpace::Global, &data);
+        let out = device.alloc_f32(MemSpace::Global, &[0.0; 32]);
+        device
+            .launch(
+                &program,
+                kid,
+                Dim2::linear(1),
+                Dim2::linear(32),
+                &[input.into(), out.into()],
+            )
+            .unwrap();
+        outputs.push(device.read_f32(out).unwrap());
+    }
+    assert!(
+        outputs.windows(2).all(|w| w[0] == w[1]),
+        "race-free kernels must be bit-identical under any store schedule"
+    );
+}

@@ -25,6 +25,11 @@ cargo test --workspace -q
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> paraprox-cli analyze smoke (13 apps, test scale)"
+for app in "Black" "Quasi" "Gamma" "Box" "HotSpot" "Convolution" "Gaussian" "Mean" "Matrix" "Image" "Naive" "Kernel Density" "Cumulative"; do
+  cargo run --release -q -p paraprox-cli -- analyze "$app" --scale test
+done
+
 echo "==> bench_interp --smoke (engine bit-identity)"
 (cd target && cargo run --release -p paraprox-bench --bin bench_interp -- --smoke)
 
