@@ -93,7 +93,7 @@ impl std::fmt::Debug for App {
 impl App {
     /// An input generator closure suitable for
     /// [`paraprox::DeviceApp::new`].
-    pub fn input_gen(&self, scale: Scale) -> Box<dyn FnMut(u64) -> Vec<BufferInit>> {
+    pub fn input_gen(&self, scale: Scale) -> Box<dyn FnMut(u64) -> Vec<BufferInit> + Send> {
         let f = self.gen_inputs;
         Box::new(move |seed| f(scale, seed))
     }

@@ -1,0 +1,190 @@
+//! Serving-engine benchmark: drive seeded request streams with a drift
+//! window through `paraprox-serve` for several tenant applications on
+//! both device profiles, and record throughput, latency percentiles, TOQ
+//! violations, and watchdog recalibrations (back-offs + re-promotions).
+//!
+//! ```sh
+//! cargo run --release -p paraprox-bench --bin bench_serve            # full
+//! cargo run --release -p paraprox-bench --bin bench_serve -- --smoke # quick
+//! ```
+//!
+//! Writes `BENCH_serve.json` into the current directory. The drift window
+//! scales every `f32` input buffer mid-stream, pushing inputs outside the
+//! ranges the approximate kernels were tuned on; the interesting output is
+//! the watchdog's reaction — how many checks violate the TOQ, how far the
+//! ladder backs off, and whether the tenant re-promotes once the window
+//! passes. The request stream is seeded, so reruns replay it exactly.
+
+use paraprox::{Device, DeviceApp};
+use paraprox_apps::Scale;
+use paraprox_bench::{both_devices, compile_app};
+use paraprox_runtime::{Toq, Tuner};
+use paraprox_serve::{
+    drift_inputs, run_closed_loop, Engine, LoadSpec, ServeConfig, TenantSnapshot,
+};
+
+struct BenchShape {
+    scale: Scale,
+    requests: u64,
+    drift_at: u64,
+    drift_len: u64,
+    check_every: u64,
+    promote_after: u64,
+}
+
+const DRIFT_GAIN: f32 = 8.0;
+const APPS: [&str; 4] = ["Black", "Gamma", "Mean", "Gaussian"];
+
+fn json_opt(q: Option<f64>) -> String {
+    q.map_or("null".to_string(), |v| format!("{v:.3}"))
+}
+
+fn tenant_json(t: &TenantSnapshot) -> String {
+    format!(
+        "        {{\n          \"app\": {:?},\n          \"served\": {},\n          \"errors\": {},\n          \"checks\": {},\n          \"violations\": {},\n          \"backoffs\": {},\n          \"promotions\": {},\n          \"recalibrations\": {},\n          \"final_rung\": {:?},\n          \"ladder_len\": {},\n          \"mean_quality\": {},\n          \"min_quality\": {},\n          \"service_p50_ms\": {:.3},\n          \"service_p99_ms\": {:.3},\n          \"queue_p50_ms\": {:.3},\n          \"queue_p99_ms\": {:.3}\n        }}",
+        t.name,
+        t.served,
+        t.errors,
+        t.checks,
+        t.violations,
+        t.backoffs,
+        t.promotions,
+        t.recalibrations(),
+        t.rung,
+        t.ladder_len,
+        json_opt(t.mean_quality),
+        json_opt(t.min_quality),
+        t.service_p50_ns as f64 / 1e6,
+        t.service_p99_ns as f64 / 1e6,
+        t.queue_p50_ns as f64 / 1e6,
+        t.queue_p99_ns as f64 / 1e6,
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let shape = if smoke {
+        BenchShape {
+            scale: Scale::Test,
+            requests: 24,
+            drift_at: 6,
+            drift_len: 8,
+            check_every: 4,
+            promote_after: 2,
+        }
+    } else {
+        BenchShape {
+            scale: Scale::Paper,
+            requests: 80,
+            drift_at: 25,
+            drift_len: 20,
+            check_every: 8,
+            promote_after: 2,
+        }
+    };
+    let toq = Toq::paper_default();
+    let spec = LoadSpec {
+        requests: shape.requests,
+        seed_base: 1000,
+        inflight: 8,
+    };
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "serving engine: {} scale, {} requests/tenant, drift {}..{} at {DRIFT_GAIN}x, check every {}, host has {host_cores} core(s)\n",
+        if smoke { "test (smoke)" } else { "paper" },
+        shape.requests,
+        shape.drift_at,
+        shape.drift_at + shape.drift_len,
+        shape.check_every,
+    );
+
+    let mut profile_entries = Vec::new();
+    for (tag, profile) in both_devices() {
+        println!("== {tag} ({}) ==", profile.name);
+        let mut builder = Engine::builder(ServeConfig {
+            queue_capacity: 64,
+            workers: 0,
+            toq,
+            check_every: shape.check_every,
+            promote_after: shape.promote_after,
+            quality_alpha: 0.25,
+        });
+        let mut tenants = Vec::new();
+        for name in APPS {
+            let app = paraprox_apps::find(name).expect("registered app");
+            let compiled = compile_app(&app, shape.scale, &profile, &Default::default());
+            let input_gen = drift_inputs(
+                app.input_gen(shape.scale),
+                spec.seed_base + shape.drift_at,
+                spec.seed_base + shape.drift_at + shape.drift_len,
+                DRIFT_GAIN,
+            );
+            let mut device_app = DeviceApp::new(Device::new(profile.clone()), &compiled, input_gen);
+            let report = Tuner {
+                toq,
+                training_seeds: (0..3).collect(),
+            }
+            .tune(&mut device_app)
+            .expect("tuning must succeed");
+            tenants.push(builder.register(app.spec.name, Box::new(device_app), &report));
+        }
+        let engine = builder.start();
+        let workers = engine.worker_count();
+        let load = run_closed_loop(&engine, &tenants, &spec, |_| {});
+        let snap = engine.shutdown();
+        assert_eq!(load.errors, 0, "no request may fail");
+
+        println!(
+            "{:>32} {:>6} {:>5} {:>7} {:>7} {:>7} {:>9} {:>9}",
+            "tenant", "served", "viol", "recal", "rung", "meanQ", "p50", "p99"
+        );
+        for t in &snap.tenants {
+            println!(
+                "{:>32} {:>6} {:>5} {:>7} {:>7} {:>6.1}% {:>7.2}ms {:>7.2}ms",
+                t.name,
+                t.served,
+                t.violations,
+                t.recalibrations(),
+                t.rung,
+                t.mean_quality.unwrap_or(100.0),
+                t.service_p50_ns as f64 / 1e6,
+                t.service_p99_ns as f64 / 1e6,
+            );
+        }
+        println!(
+            "throughput: {:.1} req/s over {:.2}s with {workers} worker(s)\n",
+            load.throughput_rps(),
+            load.wall_nanos as f64 / 1e9
+        );
+
+        profile_entries.push(format!(
+            "    {{\n      \"profile\": {tag:?},\n      \"device\": {:?},\n      \"workers\": {workers},\n      \"throughput_rps\": {:.2},\n      \"wall_s\": {:.3},\n      \"completed\": {},\n      \"retries\": {},\n      \"tenants\": [\n{}\n      ]\n    }}",
+            profile.name,
+            load.throughput_rps(),
+            load.wall_nanos as f64 / 1e9,
+            load.completed,
+            load.retries,
+            snap.tenants
+                .iter()
+                .map(tenant_json)
+                .collect::<Vec<_>>()
+                .join(",\n")
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"serving_engine\",\n  \"scale\": {:?},\n  \"toq\": {:.1},\n  \"check_every\": {},\n  \"promote_after\": {},\n  \"queue_capacity\": 64,\n  \"inflight\": {},\n  \"requests_per_tenant\": {},\n  \"seed_base\": {},\n  \"drift\": {{\"at\": {}, \"len\": {}, \"gain\": {DRIFT_GAIN:.1}}},\n  \"host_cores\": {host_cores},\n  \"note\": \"Closed-loop seeded request streams through the multi-tenant serving engine; the drift window scales f32 inputs mid-stream and the online watchdog backs off down the tuned ladder, then re-promotes after the configured clean streak. Decision traces are deterministic for a given stream regardless of worker count.\",\n  \"profiles\": [\n{}\n  ]\n}}\n",
+        if smoke { "test" } else { "paper" },
+        toq.percent(),
+        shape.check_every,
+        shape.promote_after,
+        spec.inflight,
+        shape.requests,
+        spec.seed_base,
+        shape.drift_at,
+        shape.drift_len,
+        profile_entries.join(",\n")
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+}

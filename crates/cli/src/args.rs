@@ -32,6 +32,19 @@ usage:
       uninitialized locals, dead stores) on an application's exact kernels
       under their real launch shapes. Exits nonzero when any finding has
       error severity.
+
+  paraprox serve [--apps <a,b,...>] [--device gpu|cpu] [--requests <n>]
+                 [--drift-at <k>] [--drift-len <n>] [--drift-gain <g>]
+                 [--workers <n>] [--queue <n>] [--inflight <n>]
+                 [--check-every <n>] [--promote-after <n>] [--toq <percent>]
+                 [--scale paper|test] [--seeds <n>]
+      Tune each listed application (comma-separated name prefixes; default
+      blackscholes,gamma,mean), register them as tenants of the serving
+      engine, and drive <n> requests per tenant through a closed-loop load
+      generator while the quality watchdog recalibrates online. --drift-at
+      scales f32 inputs by --drift-gain for requests k..k+len, forcing a
+      TOQ violation window; the per-tenant report shows back-offs and
+      re-promotions. --workers 0 uses every available core.
 ";
 
 /// Which device profile to use.
@@ -90,6 +103,43 @@ pub enum Command {
         /// Use the small test-scale inputs.
         test_scale: bool,
     },
+    /// `paraprox serve ...`
+    Serve {
+        /// Application names (prefix match), the engine's tenants.
+        apps: Vec<String>,
+        /// Device profile.
+        device: DeviceArg,
+        /// Requests per tenant.
+        requests: u64,
+        /// Inject input drift starting at this request index.
+        drift_at: Option<u64>,
+        /// Length of the drift window, in requests.
+        drift_len: u64,
+        /// Gain applied to `f32` inputs inside the drift window.
+        drift_gain: f64,
+        /// Worker threads (0 = all available cores).
+        workers: usize,
+        /// Admission-queue capacity.
+        queue: usize,
+        /// Closed-loop outstanding-request window.
+        inflight: usize,
+        /// Watchdog check cadence (every Nth served request).
+        check_every: u64,
+        /// Clean checks required before re-promotion (0 disables).
+        promote_after: u64,
+        /// Target output quality (percent).
+        toq: f64,
+        /// Use the small test-scale inputs.
+        test_scale: bool,
+        /// Training seeds for the offline tune.
+        seeds: usize,
+    },
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, String> {
+    let v = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    v.parse::<T>()
+        .map_err(|_| format!("bad {flag} value `{v}`"))
 }
 
 /// Parse an argument vector.
@@ -270,6 +320,121 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Analyze { app, test_scale })
         }
+        Some("serve") => {
+            let mut apps = vec![
+                "blackscholes".to_string(),
+                "gamma".to_string(),
+                "mean".to_string(),
+            ];
+            let mut device = DeviceArg::Gpu;
+            let mut requests = 120u64;
+            let mut drift_at = None;
+            let mut drift_len = 40u64;
+            let mut drift_gain = 8.0f64;
+            let mut workers = 0usize;
+            let mut queue = 64usize;
+            let mut inflight = 8usize;
+            let mut check_every = 10u64;
+            let mut promote_after = 3u64;
+            let mut toq = 90.0f64;
+            let mut test_scale = false;
+            let mut seeds = 3usize;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--apps" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| "--apps needs a value".to_string())?;
+                        apps = v
+                            .split(',')
+                            .map(|s| s.trim().to_string())
+                            .filter(|s| !s.is_empty())
+                            .collect();
+                        if apps.is_empty() {
+                            return Err("--apps needs at least one name".to_string());
+                        }
+                    }
+                    "--device" => {
+                        device = match it.next().map(String::as_str) {
+                            Some("gpu") => DeviceArg::Gpu,
+                            Some("cpu") => DeviceArg::Cpu,
+                            other => {
+                                return Err(format!("--device needs `gpu` or `cpu`, got {other:?}"))
+                            }
+                        };
+                    }
+                    "--requests" => {
+                        requests = parse_num(flag, it.next())?;
+                        if requests == 0 {
+                            return Err("--requests must be at least 1".to_string());
+                        }
+                    }
+                    "--drift-at" => drift_at = Some(parse_num(flag, it.next())?),
+                    "--drift-len" => drift_len = parse_num(flag, it.next())?,
+                    "--drift-gain" => drift_gain = parse_num(flag, it.next())?,
+                    "--workers" => workers = parse_num(flag, it.next())?,
+                    "--queue" => {
+                        queue = parse_num(flag, it.next())?;
+                        if queue == 0 {
+                            return Err("--queue must be at least 1".to_string());
+                        }
+                    }
+                    "--inflight" => {
+                        inflight = parse_num(flag, it.next())?;
+                        if inflight == 0 {
+                            return Err("--inflight must be at least 1".to_string());
+                        }
+                    }
+                    "--check-every" => {
+                        check_every = parse_num(flag, it.next())?;
+                        if check_every == 0 {
+                            return Err("--check-every must be at least 1".to_string());
+                        }
+                    }
+                    "--promote-after" => promote_after = parse_num(flag, it.next())?,
+                    "--toq" => {
+                        toq = parse_num(flag, it.next())?;
+                        if !(0.0..=100.0).contains(&toq) {
+                            return Err("--toq must be between 0 and 100".to_string());
+                        }
+                    }
+                    "--scale" => {
+                        test_scale = match it.next().map(String::as_str) {
+                            Some("paper") => false,
+                            Some("test") => true,
+                            other => {
+                                return Err(format!(
+                                    "--scale needs `paper` or `test`, got {other:?}"
+                                ))
+                            }
+                        };
+                    }
+                    "--seeds" => {
+                        seeds = parse_num(flag, it.next())?;
+                        if seeds == 0 {
+                            return Err("--seeds must be at least 1".to_string());
+                        }
+                    }
+                    other => return Err(format!("unknown option `{other}`")),
+                }
+            }
+            Ok(Command::Serve {
+                apps,
+                device,
+                requests,
+                drift_at,
+                drift_len,
+                drift_gain,
+                workers,
+                queue,
+                inflight,
+                check_every,
+                promote_after,
+                toq,
+                test_scale,
+                seeds,
+            })
+        }
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("no command given".to_string()),
     }
@@ -419,5 +584,111 @@ mod tests {
         assert!(parse(&v(&["analyze"])).is_err());
         assert!(parse(&v(&["analyze", "matmul", "--scale", "big"])).is_err());
         assert!(parse(&v(&["analyze", "matmul", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_with_defaults() {
+        let cmd = parse(&v(&["serve"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                apps: vec!["blackscholes".into(), "gamma".into(), "mean".into()],
+                device: DeviceArg::Gpu,
+                requests: 120,
+                drift_at: None,
+                drift_len: 40,
+                drift_gain: 8.0,
+                workers: 0,
+                queue: 64,
+                inflight: 8,
+                check_every: 10,
+                promote_after: 3,
+                toq: 90.0,
+                test_scale: false,
+                seeds: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_serve_with_options() {
+        let cmd = parse(&v(&[
+            "serve",
+            "--apps",
+            "hotspot, gaussian",
+            "--device",
+            "cpu",
+            "--requests",
+            "60",
+            "--drift-at",
+            "20",
+            "--drift-len",
+            "15",
+            "--drift-gain",
+            "16",
+            "--workers",
+            "4",
+            "--queue",
+            "32",
+            "--inflight",
+            "12",
+            "--check-every",
+            "5",
+            "--promote-after",
+            "2",
+            "--toq",
+            "95",
+            "--scale",
+            "test",
+            "--seeds",
+            "5",
+        ]))
+        .unwrap();
+        let Command::Serve {
+            apps,
+            device,
+            requests,
+            drift_at,
+            drift_len,
+            drift_gain,
+            workers,
+            queue,
+            inflight,
+            check_every,
+            promote_after,
+            toq,
+            test_scale,
+            seeds,
+        } = cmd
+        else {
+            panic!()
+        };
+        assert_eq!(apps, vec!["hotspot".to_string(), "gaussian".to_string()]);
+        assert_eq!(device, DeviceArg::Cpu);
+        assert_eq!(requests, 60);
+        assert_eq!(drift_at, Some(20));
+        assert_eq!(drift_len, 15);
+        assert_eq!(drift_gain, 16.0);
+        assert_eq!(workers, 4);
+        assert_eq!(queue, 32);
+        assert_eq!(inflight, 12);
+        assert_eq!(check_every, 5);
+        assert_eq!(promote_after, 2);
+        assert_eq!(toq, 95.0);
+        assert!(test_scale);
+        assert_eq!(seeds, 5);
+    }
+
+    #[test]
+    fn rejects_bad_serve_options() {
+        assert!(parse(&v(&["serve", "--apps", ""])).is_err());
+        assert!(parse(&v(&["serve", "--requests", "0"])).is_err());
+        assert!(parse(&v(&["serve", "--requests", "many"])).is_err());
+        assert!(parse(&v(&["serve", "--queue", "0"])).is_err());
+        assert!(parse(&v(&["serve", "--inflight", "0"])).is_err());
+        assert!(parse(&v(&["serve", "--check-every", "0"])).is_err());
+        assert!(parse(&v(&["serve", "--toq", "150"])).is_err());
+        assert!(parse(&v(&["serve", "--drift-at"])).is_err());
+        assert!(parse(&v(&["serve", "--bogus"])).is_err());
     }
 }

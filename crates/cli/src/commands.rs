@@ -5,8 +5,27 @@ use std::error::Error;
 use paraprox::{compile, latency_table_for, CompileOptions, Device, DeviceApp, DeviceProfile};
 use paraprox_apps::Scale;
 use paraprox_runtime::{Toq, Tuner};
+use paraprox_serve::{drift_inputs, run_closed_loop, Engine, LoadSpec, ServeConfig};
 
 use crate::args::{Command, DeviceArg};
+
+/// Options of the `serve` subcommand (mirrors [`Command::Serve`]).
+struct ServeOpts {
+    apps: Vec<String>,
+    device: DeviceArg,
+    requests: u64,
+    drift_at: Option<u64>,
+    drift_len: u64,
+    drift_gain: f64,
+    workers: usize,
+    queue: usize,
+    inflight: usize,
+    check_every: u64,
+    promote_after: u64,
+    toq: f64,
+    test_scale: bool,
+    seeds: usize,
+}
 
 pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
     match cmd {
@@ -31,6 +50,37 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
             effects,
         } => inspect(&file, bytecode.as_deref(), effects),
         Command::Analyze { app, test_scale } => analyze(&app, test_scale),
+        Command::Serve {
+            apps,
+            device,
+            requests,
+            drift_at,
+            drift_len,
+            drift_gain,
+            workers,
+            queue,
+            inflight,
+            check_every,
+            promote_after,
+            toq,
+            test_scale,
+            seeds,
+        } => serve(ServeOpts {
+            apps,
+            device,
+            requests,
+            drift_at,
+            drift_len,
+            drift_gain,
+            workers,
+            queue,
+            inflight,
+            check_every,
+            promote_after,
+            toq,
+            test_scale,
+            seeds,
+        }),
     }
 }
 
@@ -201,6 +251,139 @@ fn analyze(name: &str, test_scale: bool) -> Result<(), Box<dyn Error>> {
     );
     if errors > 0 {
         return Err(format!("static analysis found {errors} error(s)").into());
+    }
+    Ok(())
+}
+
+fn serve(o: ServeOpts) -> Result<(), Box<dyn Error>> {
+    let scale = if o.test_scale {
+        Scale::Test
+    } else {
+        Scale::Paper
+    };
+    let profile = profile_of(o.device);
+    let toq = Toq::new(o.toq)?;
+    // Serving seeds start well above the training seeds so deployed
+    // traffic never replays a tuning input.
+    let spec = LoadSpec {
+        requests: o.requests,
+        seed_base: 1000,
+        inflight: o.inflight,
+    };
+
+    let mut builder = Engine::builder(ServeConfig {
+        queue_capacity: o.queue,
+        workers: o.workers,
+        toq,
+        check_every: o.check_every,
+        promote_after: o.promote_after,
+        quality_alpha: 0.25,
+    });
+    println!(
+        "serving on {} (TOQ {:.0}%, check every {}, promote after {})",
+        profile.name, o.toq, o.check_every, o.promote_after
+    );
+    let mut tenants = Vec::new();
+    for name in &o.apps {
+        let app = paraprox_apps::find(name)
+            .ok_or_else(|| format!("no application matching `{name}` (try `paraprox list`)"))?;
+        let workload = (app.build)(scale, 0);
+        let compiled = compile(
+            &workload,
+            &latency_table_for(&profile),
+            &CompileOptions::default(),
+        )?;
+        let mut input_gen = app.input_gen(scale);
+        if let Some(k) = o.drift_at {
+            input_gen = drift_inputs(
+                input_gen,
+                spec.seed_base + k,
+                spec.seed_base + k + o.drift_len,
+                o.drift_gain as f32,
+            );
+        }
+        let mut device_app = DeviceApp::new(Device::new(profile.clone()), &compiled, input_gen);
+        let tuner = Tuner {
+            toq,
+            training_seeds: (0..o.seeds as u64).collect(),
+        };
+        let report = tuner.tune(&mut device_app)?;
+        let ladder: Vec<String> = report
+            .backoff_ladder()
+            .iter()
+            .map(|r| match r.variant() {
+                Some(i) => report.profiles[i].label.clone(),
+                None => "exact".to_string(),
+            })
+            .collect();
+        println!("  {:<32} ladder: {}", app.spec.name, ladder.join(" -> "));
+        tenants.push(builder.register(app.spec.name, Box::new(device_app), &report));
+    }
+
+    let engine = builder.start();
+    println!(
+        "\n{} worker(s), queue capacity {}, {} in flight; {} requests/tenant from seed {}",
+        engine.worker_count(),
+        o.queue,
+        o.inflight,
+        o.requests,
+        spec.seed_base
+    );
+    if let Some(k) = o.drift_at {
+        println!(
+            "drift window: requests {k}..{} at gain {}x",
+            k + o.drift_len,
+            o.drift_gain
+        );
+    }
+    println!();
+    let names = engine.tenant_names();
+    let load = run_closed_loop(&engine, &tenants, &spec, |r| {
+        if r.backed_off {
+            println!(
+                "  [{} #{}] TOQ violated at {:.1}% -> backed off",
+                names[r.tenant],
+                r.seq,
+                r.checked_quality.unwrap_or(0.0)
+            );
+        } else if r.promoted {
+            println!(
+                "  [{} #{}] quality recovered -> re-promoted",
+                names[r.tenant], r.seq
+            );
+        }
+    });
+    let snap = engine.shutdown();
+
+    println!(
+        "\n{:<32} {:>6} {:>6} {:>5} {:>8} {:>8} {:>7} {:>7} {:>10} {:>10}",
+        "tenant", "served", "checks", "viol", "backoff", "promote", "rung", "meanQ", "p50", "p99"
+    );
+    for t in &snap.tenants {
+        println!(
+            "{:<32} {:>6} {:>6} {:>5} {:>8} {:>8} {:>7} {:>6.1}% {:>8.2}ms {:>8.2}ms",
+            t.name,
+            t.served,
+            t.checks,
+            t.violations,
+            t.backoffs,
+            t.promotions,
+            t.rung,
+            t.mean_quality.unwrap_or(100.0),
+            t.service_p50_ns as f64 / 1e6,
+            t.service_p99_ns as f64 / 1e6
+        );
+    }
+    println!(
+        "\nthroughput: {:.1} req/s ({} requests in {:.2}s); {} rejected-with-retry, {} error(s)",
+        load.throughput_rps(),
+        load.completed,
+        load.wall_nanos as f64 / 1e9,
+        load.retries,
+        load.errors
+    );
+    if load.errors > 0 {
+        return Err(format!("{} request(s) failed", load.errors).into());
     }
     Ok(())
 }

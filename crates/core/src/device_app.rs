@@ -9,8 +9,9 @@ use paraprox_vgpu::{BufferInit, Device, Pipeline};
 use crate::compile::Compiled;
 
 /// An input generator: given a seed, produce fresh contents for each of the
-/// workload's declared input slots, in `input_slots` order.
-pub type InputGen = Box<dyn FnMut(u64) -> Vec<BufferInit>>;
+/// workload's declared input slots, in `input_slots` order. `Send` so a
+/// bound [`DeviceApp`] can be owned by a serving-engine worker thread.
+pub type InputGen = Box<dyn FnMut(u64) -> Vec<BufferInit> + Send>;
 
 /// A compiled workload bound to a device, exposing the
 /// [`Approximable`] interface for the runtime tuner and deployment.

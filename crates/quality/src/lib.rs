@@ -4,8 +4,11 @@
 //! metric (its Table 1): the relative L1 norm, the relative L2 norm, or the
 //! mean relative error. This crate implements those metrics, converts them
 //! to the paper's "output quality %" scale (`100 × (1 − error)`), computes
-//! per-element error distributions (the CDF of its Figure 13), and defines
-//! the [`Toq`] (target output quality) type that drives the runtime tuner.
+//! per-element error distributions (the CDF of its Figure 13), defines
+//! the [`Toq`] (target output quality) type that drives the runtime tuner,
+//! and provides [`QualityStream`] — a constant-space online estimator
+//! (running mean/variance, minimum, EWMA, violation bookkeeping) for
+//! serving engines that watch calibration checks indefinitely.
 //!
 //! # Example
 //!
@@ -24,8 +27,10 @@
 
 mod cdf;
 mod metric;
+mod stream;
 mod toq;
 
 pub use cdf::{per_element_errors, ErrorCdf};
 pub use metric::Metric;
+pub use stream::QualityStream;
 pub use toq::{Toq, ToqError};

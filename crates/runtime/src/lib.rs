@@ -6,10 +6,13 @@
 //! 1. **profiles** every candidate on training inputs,
 //! 2. **selects** the fastest candidate whose measured output quality meets
 //!    the user's target output quality (TOQ),
-//! 3. in deployment, **checks** quality every N-th invocation (the paper
-//!    cites 40–50 as keeping overhead under 5%, §5) and **backs off** to a
-//!    less aggressive candidate — ultimately exact execution — whenever the
-//!    TOQ is violated.
+//! 3. in deployment, **checks** quality every N-th served request (the
+//!    paper cites 40–50 as keeping overhead under 5%, §5) and **backs
+//!    off** to a less aggressive candidate — ultimately exact execution —
+//!    whenever the TOQ is violated; with re-promotion enabled
+//!    ([`DeploymentConfig::promote_after`]) a configurable streak of clean
+//!    checks climbs back up the ladder, so a long-running deployment
+//!    recovers once a quality drift passes.
 //!
 //! The runtime is deliberately independent of the simulator: anything that
 //! implements [`Approximable`] can be tuned, which also makes the policy
@@ -121,17 +124,58 @@ impl TuneReport {
             .unwrap_or(100.0)
     }
 
-    /// Qualifying candidates ordered most-aggressive (fastest) first — the
-    /// back-off ladder used by [`Deployment`].
-    pub fn backoff_ladder(&self) -> Vec<usize> {
-        let mut qualifying: Vec<&CandidateProfile> =
-            self.profiles.iter().filter(|p| p.meets_toq).collect();
+    /// The back-off ladder used by [`Deployment`]: qualifying candidates
+    /// (meeting the TOQ *and* faster than exact) ordered most-aggressive
+    /// (fastest) first, terminated by the exact kernel.
+    ///
+    /// The terminal [`Rung::Exact`] is always present, so the ladder is
+    /// never empty: with no candidates at all, or with every candidate
+    /// below the TOQ, the ladder is exactly `[Rung::Exact]` and a
+    /// deployment built from it serves exact execution from the first
+    /// request.
+    pub fn backoff_ladder(&self) -> Vec<Rung> {
+        let mut qualifying: Vec<&CandidateProfile> = self
+            .profiles
+            .iter()
+            .filter(|p| p.meets_toq && p.speedup > 1.0)
+            .collect();
         qualifying.sort_by(|a, b| {
             b.speedup
                 .partial_cmp(&a.speedup)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        qualifying.iter().map(|p| p.index).collect()
+        let mut ladder: Vec<Rung> = qualifying.iter().map(|p| Rung::Variant(p.index)).collect();
+        ladder.push(Rung::Exact);
+        ladder
+    }
+}
+
+/// One rung of the back-off ladder: an approximate variant, or the exact
+/// kernel (always the terminal rung).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rung {
+    /// Approximate variant by index.
+    Variant(usize),
+    /// Exact execution — the ladder's terminal rung.
+    Exact,
+}
+
+impl Rung {
+    /// The variant index, or `None` for exact execution.
+    pub fn variant(self) -> Option<usize> {
+        match self {
+            Rung::Variant(i) => Some(i),
+            Rung::Exact => None,
+        }
+    }
+}
+
+impl fmt::Display for Rung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rung::Variant(i) => write!(f, "v{i}"),
+            Rung::Exact => write!(f, "exact"),
+        }
     }
 }
 
@@ -240,50 +284,166 @@ pub struct InvokeResult {
     pub cycles: u64,
     /// The variant used (`None` = exact).
     pub variant: Option<usize>,
-    /// Measured quality when this invocation was a calibration check.
+    /// Measured quality when this invocation was a calibration check (or a
+    /// shadow probe of the promotion candidate while serving exact).
     pub checked_quality: Option<f64>,
     /// Whether this invocation triggered a back-off.
     pub backed_off: bool,
+    /// Whether this invocation triggered a re-promotion up the ladder.
+    pub promoted: bool,
+}
+
+/// Deployed-mode policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeploymentConfig {
+    /// Target output quality enforced by the watchdog.
+    pub toq: Toq,
+    /// Calibration cadence: every `check_every`-th served request is
+    /// checked against exact execution. The paper's §5 cites checks every
+    /// 40–50 invocations costing under 5%. Clamped to at least 1.
+    pub check_every: u64,
+    /// Number of *consecutive* clean checks at the current rung required
+    /// before re-promoting one rung up the ladder (hysteresis so variants
+    /// do not flap). `0` disables re-promotion: the deployment only ever
+    /// walks down, the pre-serving behaviour.
+    pub promote_after: u64,
+}
+
+impl DeploymentConfig {
+    /// Back-off-only policy (no re-promotion), the paper's §5 loop.
+    pub fn backoff_only(toq: Toq, check_every: u64) -> DeploymentConfig {
+        DeploymentConfig {
+            toq,
+            check_every,
+            promote_after: 0,
+        }
+    }
 }
 
 /// Deployed-mode execution: run the chosen kernel, periodically verify
-/// quality, and back off on TOQ violations.
+/// quality, back off on TOQ violations, and (when configured) re-promote
+/// after a clean streak.
 #[derive(Debug, Clone)]
 pub struct Deployment {
-    toq: Toq,
-    check_every: u64,
-    ladder: Vec<usize>,
-    /// Position in the ladder; `ladder.len()` means exact execution.
+    config: DeploymentConfig,
+    ladder: Vec<Rung>,
+    /// Index into `ladder`; the last rung is always [`Rung::Exact`].
     position: usize,
     invocations: u64,
+    /// Served requests since the last calibration check.
+    since_check: u64,
+    checks: u64,
+    violations: u64,
+    promotions: u64,
+    clean_streak: u64,
 }
 
 impl Deployment {
-    /// Create a deployment from a tune report.
+    /// Create a back-off-only deployment from a tune report (no
+    /// re-promotion; see [`Deployment::with_config`]).
     ///
     /// `check_every` controls calibration frequency; the paper's §5 cites
     /// checks every 40–50 invocations costing under 5%.
     pub fn new(report: &TuneReport, toq: Toq, check_every: u64) -> Deployment {
+        Deployment::with_config(report, DeploymentConfig::backoff_only(toq, check_every))
+    }
+
+    /// Create a deployment with an explicit policy, including re-promotion
+    /// hysteresis for long-running (serving) use.
+    pub fn with_config(report: &TuneReport, config: DeploymentConfig) -> Deployment {
         Deployment {
-            toq,
-            check_every: check_every.max(1),
+            config: DeploymentConfig {
+                check_every: config.check_every.max(1),
+                ..config
+            },
             ladder: report.backoff_ladder(),
             position: 0,
             invocations: 0,
+            since_check: 0,
+            checks: 0,
+            violations: 0,
+            promotions: 0,
+            clean_streak: 0,
         }
     }
 
     /// The variant the next invocation will use (`None` = exact).
     pub fn current_variant(&self) -> Option<usize> {
-        self.ladder.get(self.position).copied()
+        self.ladder[self.position].variant()
     }
 
-    /// Number of invocations executed so far.
+    /// The full back-off ladder (terminal rung is always [`Rung::Exact`]).
+    pub fn ladder(&self) -> &[Rung] {
+        &self.ladder
+    }
+
+    /// Current position in the ladder (0 = most aggressive).
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// The policy this deployment runs under.
+    pub fn config(&self) -> &DeploymentConfig {
+        &self.config
+    }
+
+    /// Number of served invocations so far. Calibration re-executions
+    /// (the exact run of a check, the variant run of a shadow probe) are
+    /// *not* counted: they are overhead, not served requests.
     pub fn invocations(&self) -> u64 {
         self.invocations
     }
 
+    /// Number of calibration checks (including shadow probes) performed.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Number of checks that violated the TOQ.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Number of re-promotions up the ladder.
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// Consecutive clean checks at the current rung.
+    pub fn clean_streak(&self) -> u64 {
+        self.clean_streak
+    }
+
+    fn promotion_enabled(&self) -> bool {
+        self.config.promote_after > 0
+    }
+
+    /// Register a clean check; promote when the streak reaches the
+    /// configured hysteresis threshold. Returns whether a promotion fired.
+    fn record_clean(&mut self) -> bool {
+        self.clean_streak += 1;
+        if self.promotion_enabled()
+            && self.position > 0
+            && self.clean_streak >= self.config.promote_after
+        {
+            self.position -= 1;
+            self.promotions += 1;
+            self.clean_streak = 0;
+            return true;
+        }
+        false
+    }
+
     /// Execute one invocation on the input derived from `seed`.
+    ///
+    /// Every `check_every`-th *served* request is a calibration check:
+    /// while serving an approximate variant, the same input is re-run
+    /// exactly and the measured quality drives back-off (on violation) or
+    /// the clean streak (toward re-promotion). While serving exact with a
+    /// non-trivial ladder and re-promotion enabled, the check instead
+    /// *shadow-probes* the next-better rung: the candidate variant runs on
+    /// the same input (the exact output is still the one served) and its
+    /// quality feeds the same clean-streak hysteresis.
     ///
     /// # Errors
     ///
@@ -294,6 +454,7 @@ impl Deployment {
         seed: u64,
     ) -> Result<InvokeResult, RuntimeError> {
         self.invocations += 1;
+        self.since_check += 1;
         let variant = self.current_variant();
         let run = match variant {
             Some(v) => app.run_variant(v, seed)?,
@@ -301,15 +462,46 @@ impl Deployment {
         };
         let mut checked_quality = None;
         let mut backed_off = false;
-        let is_check = variant.is_some() && self.invocations.is_multiple_of(self.check_every);
-        if is_check {
-            let exact = app.run_exact(seed)?;
-            let q = app.quality(&exact.output, &run.output);
-            checked_quality = Some(q);
-            if !self.toq.is_met(q) {
-                // Back off to the next less aggressive candidate.
-                self.position += 1;
-                backed_off = true;
+        let mut promoted = false;
+        if self.since_check >= self.config.check_every {
+            self.since_check = 0;
+            match variant {
+                Some(_) => {
+                    // Calibration check of the served variant.
+                    self.checks += 1;
+                    let exact = app.run_exact(seed)?;
+                    let q = app.quality(&exact.output, &run.output);
+                    checked_quality = Some(q);
+                    if self.config.toq.is_met(q) {
+                        promoted = self.record_clean();
+                    } else {
+                        self.violations += 1;
+                        // The terminal rung is Exact, so this never walks
+                        // past the end: variant.is_some() implies
+                        // position < ladder.len() - 1.
+                        self.position += 1;
+                        backed_off = true;
+                        self.clean_streak = 0;
+                    }
+                }
+                None if self.promotion_enabled() && self.position > 0 => {
+                    // Serving exact: shadow-probe the next-better rung so
+                    // the deployment can climb back once quality recovers.
+                    self.checks += 1;
+                    let Rung::Variant(candidate) = self.ladder[self.position - 1] else {
+                        unreachable!("only the terminal rung is exact")
+                    };
+                    let probe = app.run_variant(candidate, seed)?;
+                    let q = app.quality(&run.output, &probe.output);
+                    checked_quality = Some(q);
+                    if self.config.toq.is_met(q) {
+                        promoted = self.record_clean();
+                    } else {
+                        self.violations += 1;
+                        self.clean_streak = 0;
+                    }
+                }
+                None => {}
             }
         }
         Ok(InvokeResult {
@@ -318,6 +510,7 @@ impl Deployment {
             variant,
             checked_quality,
             backed_off,
+            promoted,
         })
     }
 }
@@ -327,13 +520,17 @@ mod tests {
     use super::*;
 
     /// A mock application whose variants have configurable (quality,
-    /// cycles); quality can degrade over time to exercise the watchdog.
+    /// cycles); quality can degrade over time (run-count based) or over a
+    /// seed window (for deterministic drift-and-recovery scenarios) to
+    /// exercise the watchdog.
     struct Mock {
         /// (quality, cycles) per variant.
         variants: Vec<(f64, u64)>,
         exact_cycles: u64,
         /// Quality drop applied after `drift_after` total runs.
         drift_after: Option<u64>,
+        /// Quality drop applied to seeds inside this window.
+        drift_seeds: Option<std::ops::Range<u64>>,
         runs: u64,
     }
 
@@ -343,6 +540,7 @@ mod tests {
                 variants,
                 exact_cycles: 1000,
                 drift_after: None,
+                drift_seeds: None,
                 runs: 0,
             }
         }
@@ -362,13 +560,16 @@ mod tests {
                 cycles: self.exact_cycles,
             })
         }
-        fn run_variant(&mut self, index: usize, _seed: u64) -> Result<RunOutcome, RuntimeError> {
+        fn run_variant(&mut self, index: usize, seed: u64) -> Result<RunOutcome, RuntimeError> {
             self.runs += 1;
             let (quality, cycles) = self.variants[index];
-            let effective = match self.drift_after {
-                Some(t) if self.runs > t => quality - 20.0,
-                _ => quality,
-            };
+            let mut effective = quality;
+            if matches!(self.drift_after, Some(t) if self.runs > t) {
+                effective -= 20.0;
+            }
+            if matches!(&self.drift_seeds, Some(w) if w.contains(&seed)) {
+                effective -= 20.0;
+            }
             // Encode quality as the output error: quality() below recovers it.
             Ok(RunOutcome {
                 output: vec![effective],
@@ -410,10 +611,68 @@ mod tests {
     }
 
     #[test]
-    fn backoff_ladder_orders_by_speedup() {
+    fn backoff_ladder_orders_by_speedup_and_terminates_in_exact() {
         let mut app = Mock::new(vec![(95.0, 800), (95.0, 200), (95.0, 400)]);
         let report = Tuner::paper_default().tune(&mut app).unwrap();
-        assert_eq!(report.backoff_ladder(), vec![1, 2, 0]);
+        assert_eq!(
+            report.backoff_ladder(),
+            vec![
+                Rung::Variant(1),
+                Rung::Variant(2),
+                Rung::Variant(0),
+                Rung::Exact
+            ]
+        );
+    }
+
+    #[test]
+    fn ladder_is_exact_only_for_empty_candidate_set() {
+        let mut app = Mock::new(vec![]);
+        let report = Tuner::paper_default().tune(&mut app).unwrap();
+        assert_eq!(report.backoff_ladder(), vec![Rung::Exact]);
+        // A deployment over the trivial ladder serves exact immediately and
+        // never checks.
+        let mut deploy = Deployment::new(&report, Toq::paper_default(), 1);
+        assert_eq!(deploy.current_variant(), None);
+        for seed in 0..5 {
+            let r = deploy.invoke(&mut app, seed).unwrap();
+            assert_eq!(r.variant, None);
+            assert!(r.checked_quality.is_none());
+            assert!(!r.backed_off && !r.promoted);
+        }
+        assert_eq!(deploy.checks(), 0);
+    }
+
+    #[test]
+    fn ladder_is_exact_only_when_every_candidate_is_below_toq() {
+        let mut app = Mock::new(vec![(50.0, 100), (60.0, 200)]);
+        let report = Tuner::paper_default().tune(&mut app).unwrap();
+        assert_eq!(report.backoff_ladder(), vec![Rung::Exact]);
+        let mut deploy = Deployment::new(&report, Toq::paper_default(), 1);
+        assert_eq!(deploy.current_variant(), None);
+        assert!(deploy
+            .invoke(&mut app, 0)
+            .unwrap()
+            .checked_quality
+            .is_none());
+    }
+
+    #[test]
+    fn ladder_excludes_qualifying_but_slower_than_exact_variants() {
+        // 99% quality but 2x the exact cycles: meets the TOQ yet must not
+        // appear on the ladder — backing off to it would serve a slower
+        // *and* approximate kernel.
+        let mut app = Mock::new(vec![(99.0, 2000), (95.0, 200)]);
+        let report = Tuner::paper_default().tune(&mut app).unwrap();
+        assert_eq!(report.backoff_ladder(), vec![Rung::Variant(1), Rung::Exact]);
+    }
+
+    #[test]
+    fn rung_accessors_and_display() {
+        assert_eq!(Rung::Variant(3).variant(), Some(3));
+        assert_eq!(Rung::Exact.variant(), None);
+        assert_eq!(Rung::Variant(3).to_string(), "v3");
+        assert_eq!(Rung::Exact.to_string(), "exact");
     }
 
     #[test]
@@ -475,6 +734,188 @@ mod tests {
             }
         }
         assert_eq!(checks, 5);
+    }
+
+    #[test]
+    fn check_cadence_counts_served_requests_not_calibration_reruns() {
+        // Regression: "check every Nth" must mean every Nth *served*
+        // request. The exact re-execution a check performs is calibration
+        // overhead, not a served request, and must not advance the cadence
+        // counter or the invocation count.
+        let mut app = Mock::new(vec![(95.0, 200)]);
+        let report = Tuner::paper_default().tune(&mut app).unwrap();
+        let runs_after_tune = app.runs;
+        let mut deploy = Deployment::new(&report, Toq::paper_default(), 3);
+        let mut check_invocations = Vec::new();
+        for i in 1..=12u64 {
+            if deploy
+                .invoke(&mut app, i)
+                .unwrap()
+                .checked_quality
+                .is_some()
+            {
+                check_invocations.push(i);
+            }
+        }
+        assert_eq!(check_invocations, vec![3, 6, 9, 12]);
+        assert_eq!(deploy.invocations(), 12);
+        assert_eq!(deploy.checks(), 4);
+        // 12 served runs + 4 exact calibration re-runs.
+        assert_eq!(app.runs - runs_after_tune, 12 + 4);
+    }
+
+    #[test]
+    fn cadence_stays_aligned_across_backoff() {
+        // Two qualifying variants; the first drifts over a seed window so a
+        // check fails mid-stream. The checks must keep firing every 3rd
+        // served request, unperturbed by the rung change.
+        let mut app = Mock::new(vec![(95.0, 200), (96.0, 500)]);
+        app.drift_seeds = Some(4..20);
+        let report = {
+            let mut clean = Mock::new(vec![(95.0, 200), (96.0, 500)]);
+            Tuner::paper_default().tune(&mut clean).unwrap()
+        };
+        // Promotion enabled (with a threshold the stream never reaches) so
+        // shadow probes keep firing on the same cadence once the ladder is
+        // exhausted to exact.
+        let mut deploy = Deployment::with_config(
+            &report,
+            DeploymentConfig {
+                toq: Toq::paper_default(),
+                check_every: 3,
+                promote_after: 100,
+            },
+        );
+        let mut check_invocations = Vec::new();
+        for i in 1..=15u64 {
+            // Seed == served-request index.
+            if deploy
+                .invoke(&mut app, i)
+                .unwrap()
+                .checked_quality
+                .is_some()
+            {
+                check_invocations.push(i);
+            }
+        }
+        assert_eq!(check_invocations, vec![3, 6, 9, 12, 15]);
+        assert!(deploy.violations() > 0, "the drift window must be caught");
+    }
+
+    #[test]
+    fn clean_streak_repromotes_after_recovery() {
+        let mut app = Mock::new(vec![(95.0, 200)]);
+        app.drift_seeds = Some(5..12);
+        let report = {
+            let mut clean = Mock::new(vec![(95.0, 200)]);
+            Tuner::paper_default().tune(&mut clean).unwrap()
+        };
+        let mut deploy = Deployment::with_config(
+            &report,
+            DeploymentConfig {
+                toq: Toq::paper_default(),
+                check_every: 2,
+                promote_after: 2,
+            },
+        );
+        let mut backed_off_at = None;
+        let mut promoted_at = None;
+        for i in 0..30u64 {
+            let r = deploy.invoke(&mut app, i).unwrap();
+            if r.backed_off {
+                assert!(backed_off_at.is_none(), "must back off exactly once");
+                backed_off_at = Some(i);
+            }
+            if r.promoted {
+                assert!(promoted_at.is_none(), "must promote exactly once");
+                promoted_at = Some(i);
+            }
+        }
+        // Checks land on seeds 1,3,5,...; the first drifted check is seed 5.
+        assert_eq!(backed_off_at, Some(5));
+        // Shadow probes at 7,9,11 are dirty; 13 and 15 are clean: streak of
+        // 2 reached at seed 15 -> promotion back to the variant.
+        assert_eq!(promoted_at, Some(15));
+        assert_eq!(deploy.current_variant(), Some(0));
+        assert_eq!(deploy.promotions(), 1);
+        // Violations: the serving check at 5 plus the dirty probes 7/9/11.
+        assert_eq!(deploy.violations(), 4);
+    }
+
+    #[test]
+    fn promotion_disabled_never_climbs_back() {
+        let mut app = Mock::new(vec![(95.0, 200)]);
+        app.drift_seeds = Some(3..8);
+        let report = {
+            let mut clean = Mock::new(vec![(95.0, 200)]);
+            Tuner::paper_default().tune(&mut clean).unwrap()
+        };
+        let mut deploy = Deployment::new(&report, Toq::paper_default(), 1);
+        for i in 0..20u64 {
+            let r = deploy.invoke(&mut app, i).unwrap();
+            assert!(!r.promoted);
+            // Once at exact, no checks fire at all (legacy behaviour).
+            if r.variant.is_none() {
+                assert!(r.checked_quality.is_none());
+            }
+        }
+        assert_eq!(deploy.current_variant(), None);
+        assert_eq!(deploy.promotions(), 0);
+    }
+
+    #[test]
+    fn hysteresis_blocks_flapping_candidates() {
+        // The variant's quality alternates clean/dirty per seed; with
+        // promote_after = 2 the streak never reaches 2, so once backed off
+        // the deployment must stay at exact instead of flapping.
+        struct Flapper;
+        impl Approximable for Flapper {
+            fn variant_count(&self) -> usize {
+                1
+            }
+            fn variant_label(&self, _: usize) -> String {
+                "flapper".into()
+            }
+            fn run_exact(&mut self, _seed: u64) -> Result<RunOutcome, RuntimeError> {
+                Ok(RunOutcome {
+                    output: vec![100.0],
+                    cycles: 1000,
+                })
+            }
+            fn run_variant(&mut self, _: usize, seed: u64) -> Result<RunOutcome, RuntimeError> {
+                let q = if seed.is_multiple_of(2) { 95.0 } else { 75.0 };
+                Ok(RunOutcome {
+                    output: vec![q],
+                    cycles: 100,
+                })
+            }
+            fn quality(&self, _exact: &[f64], approx: &[f64]) -> f64 {
+                approx[0]
+            }
+        }
+        let report = {
+            let mut clean = Mock::new(vec![(95.0, 100)]);
+            Tuner::paper_default().tune(&mut clean).unwrap()
+        };
+        let mut app = Flapper;
+        let mut deploy = Deployment::with_config(
+            &report,
+            DeploymentConfig {
+                toq: Toq::paper_default(),
+                check_every: 1,
+                promote_after: 2,
+            },
+        );
+        let mut promoted_any = false;
+        for seed in 0..40u64 {
+            let r = deploy.invoke(&mut app, seed).unwrap();
+            promoted_any |= r.promoted;
+        }
+        assert_eq!(deploy.current_variant(), None, "must settle at exact");
+        assert!(
+            !promoted_any,
+            "alternating quality must never clear hysteresis"
+        );
     }
 
     #[test]

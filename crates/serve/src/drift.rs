@@ -1,0 +1,94 @@
+//! Input-drift injection for serving experiments.
+//!
+//! The paper's watchdog exists because deployed inputs drift away from the
+//! training distribution. To exercise that online, [`drift_inputs`] wraps
+//! an input generator so that requests whose seed falls inside a window
+//! produce *scaled* inputs: `f32` buffers are multiplied by a gain,
+//! pushing values outside the ranges the approximate kernels (e.g.
+//! memoization tables) were trained on and degrading their output quality
+//! for real. Seeds outside the window pass through untouched, so a stream
+//! that leaves the window recovers — which is exactly what re-promotion
+//! hysteresis needs to demonstrate.
+
+use paraprox_vgpu::BufferInit;
+
+/// Wrap an input generator so seeds in `[from, until)` produce inputs
+/// with every `f32` buffer scaled by `gain` (integer buffers — typically
+/// sizes, indices or histogram bins — are left untouched). The wrapper is
+/// deterministic: the same seed always yields the same buffers.
+pub fn drift_inputs(
+    mut inner: Box<dyn FnMut(u64) -> Vec<BufferInit> + Send>,
+    from: u64,
+    until: u64,
+    gain: f32,
+) -> Box<dyn FnMut(u64) -> Vec<BufferInit> + Send> {
+    Box::new(move |seed| {
+        let mut buffers = inner(seed);
+        if (from..until).contains(&seed) {
+            for buffer in &mut buffers {
+                if let BufferInit::F32(data) = buffer {
+                    for v in data.iter_mut() {
+                        *v *= gain;
+                    }
+                }
+            }
+        }
+        buffers
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen() -> Box<dyn FnMut(u64) -> Vec<BufferInit> + Send> {
+        Box::new(|seed| {
+            vec![
+                BufferInit::F32(vec![1.0, 2.0, seed as f32]),
+                BufferInit::I32(vec![3, 4]),
+            ]
+        })
+    }
+
+    #[test]
+    fn scales_f32_only_inside_window() {
+        let mut g = drift_inputs(gen(), 10, 20, 2.0);
+        assert_eq!(
+            g(9),
+            vec![
+                BufferInit::F32(vec![1.0, 2.0, 9.0]),
+                BufferInit::I32(vec![3, 4])
+            ]
+        );
+        assert_eq!(
+            g(10),
+            vec![
+                BufferInit::F32(vec![2.0, 4.0, 20.0]),
+                BufferInit::I32(vec![3, 4])
+            ]
+        );
+        assert_eq!(
+            g(19),
+            vec![
+                BufferInit::F32(vec![2.0, 4.0, 38.0]),
+                BufferInit::I32(vec![3, 4])
+            ]
+        );
+        assert_eq!(
+            g(20),
+            vec![
+                BufferInit::F32(vec![1.0, 2.0, 20.0]),
+                BufferInit::I32(vec![3, 4])
+            ]
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = drift_inputs(gen(), 5, 8, 1.5);
+        let mut b = drift_inputs(gen(), 5, 8, 1.5);
+        for seed in 0..12 {
+            assert_eq!(a(seed), b(seed));
+        }
+    }
+}

@@ -1,0 +1,657 @@
+//! The serving engine: bounded admission, per-tenant actor scheduling,
+//! persistent workers, and the online quality watchdog.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use paraprox_quality::QualityStream;
+use paraprox_runtime::{Approximable, Deployment, DeploymentConfig, Toq, TuneReport};
+
+use crate::stats::{percentile, TenantSnapshot, TenantStats};
+
+/// Identifies a registered tenant (the index returned by
+/// [`EngineBuilder::register`]).
+pub type TenantId = usize;
+
+/// Engine policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Maximum number of admitted-but-incomplete requests (queued *and*
+    /// in flight) across all tenants. Submissions beyond this budget are
+    /// rejected with [`SubmitError::QueueFull`]. Clamped to at least 1.
+    pub queue_capacity: usize,
+    /// Worker threads; `0` means one per available CPU.
+    pub workers: usize,
+    /// Target output quality enforced by every tenant's watchdog.
+    pub toq: Toq,
+    /// Calibration cadence: check every `check_every`-th served request
+    /// (per tenant). The paper's §5 cites 40–50 as keeping overhead under
+    /// 5%; serving tests use smaller values to exercise the watchdog.
+    pub check_every: u64,
+    /// Consecutive clean checks required before re-promoting one rung up
+    /// the ladder. `0` disables re-promotion (back-off only).
+    pub promote_after: u64,
+    /// EWMA smoothing factor for the streaming quality estimate.
+    pub quality_alpha: f64,
+}
+
+impl ServeConfig {
+    /// Paper-flavoured defaults: TOQ 90%, check every 40th request,
+    /// re-promote after 3 clean checks, a 64-deep queue, auto workers.
+    pub fn paper_default() -> ServeConfig {
+        ServeConfig {
+            queue_capacity: 64,
+            workers: 0,
+            toq: Toq::paper_default(),
+            check_every: 40,
+            promote_after: 3,
+            quality_alpha: 0.25,
+        }
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission budget is exhausted. `retry_after` is the number of
+    /// admitted-but-incomplete requests ahead of the caller — a hint for
+    /// how many completions to wait for before resubmitting.
+    QueueFull {
+        /// Queue depth at rejection time (completions to wait for).
+        retry_after: usize,
+    },
+    /// No tenant with that id is registered.
+    UnknownTenant(TenantId),
+    /// The engine is shutting down and no longer admits work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { retry_after } => {
+                write!(f, "queue full: retry after {retry_after} completions")
+            }
+            SubmitError::UnknownTenant(id) => write!(f, "unknown tenant {id}"),
+            SubmitError::ShuttingDown => write!(f, "engine is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// The completed result of one admitted request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Tenant the request was for.
+    pub tenant: TenantId,
+    /// Per-tenant sequence number (0-based submission order).
+    pub seq: u64,
+    /// The request's input seed.
+    pub seed: u64,
+    /// Output values (empty when `error` is set).
+    pub output: Vec<f64>,
+    /// Simulated device cycles of the served execution.
+    pub cycles: u64,
+    /// The variant served (`None` = exact).
+    pub variant: Option<usize>,
+    /// Calibration quality when this request was a watchdog check.
+    pub checked_quality: Option<f64>,
+    /// Whether this request triggered a back-off.
+    pub backed_off: bool,
+    /// Whether this request triggered a re-promotion.
+    pub promoted: bool,
+    /// Time spent waiting for a worker, nanoseconds.
+    pub queue_nanos: u64,
+    /// Execution (service) time, nanoseconds.
+    pub service_nanos: u64,
+    /// Execution error, if the kernel failed.
+    pub error: Option<String>,
+}
+
+/// Handle to one admitted request; redeem it with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    /// Tenant the request was admitted for.
+    pub tenant: TenantId,
+    /// Per-tenant sequence number assigned at admission.
+    pub seq: u64,
+    rx: mpsc::Receiver<Response>,
+}
+
+impl Ticket {
+    /// Block until the request completes.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the engine's worker panicked before replying.
+    pub fn wait(self) -> Result<Response, mpsc::RecvError> {
+        self.rx.recv()
+    }
+}
+
+struct Request {
+    seq: u64,
+    seed: u64,
+    submitted_at: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+/// Everything a worker needs to serve one tenant. One mutex per tenant:
+/// the scheduler guarantees at most one worker holds a tenant at a time,
+/// so this lock is uncontended and exists only to move the state safely.
+struct Core {
+    app: Box<dyn Approximable + Send>,
+    deployment: Deployment,
+    stats: TenantStats,
+}
+
+/// Scheduler state, under a single short-held mutex.
+struct State {
+    /// Per-tenant FIFO of admitted requests.
+    pending: Vec<VecDeque<Request>>,
+    /// Whether the tenant is in `ready` or held by a worker.
+    scheduled: Vec<bool>,
+    /// Per-tenant next sequence number.
+    submitted: Vec<u64>,
+    /// Round-robin queue of tenants with work.
+    ready: VecDeque<TenantId>,
+    /// Admitted-but-incomplete requests (queued + in flight).
+    queued: usize,
+    /// Submissions rejected by admission control.
+    rejected: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    config: ServeConfig,
+    names: Vec<String>,
+    cores: Vec<Mutex<Core>>,
+    state: Mutex<State>,
+    /// Signals workers: work available, or shutdown drained.
+    work_cv: Condvar,
+}
+
+/// Registers tenants, then [`EngineBuilder::start`]s the worker set.
+pub struct EngineBuilder {
+    config: ServeConfig,
+    names: Vec<String>,
+    cores: Vec<Mutex<Core>>,
+}
+
+impl EngineBuilder {
+    /// Start building an engine with the given policy.
+    pub fn new(config: ServeConfig) -> EngineBuilder {
+        EngineBuilder {
+            config,
+            names: Vec::new(),
+            cores: Vec::new(),
+        }
+    }
+
+    /// Register a tenant: an application plus its offline tune report.
+    /// The engine builds the tenant's deployment (back-off ladder,
+    /// watchdog cadence, re-promotion hysteresis) from the engine config.
+    /// Returns the tenant's id, used with [`Engine::submit`].
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        app: Box<dyn Approximable + Send>,
+        report: &TuneReport,
+    ) -> TenantId {
+        let deployment = Deployment::with_config(
+            report,
+            DeploymentConfig {
+                toq: self.config.toq,
+                check_every: self.config.check_every,
+                promote_after: self.config.promote_after,
+            },
+        );
+        let stats = TenantStats::new(QualityStream::new(
+            self.config.toq,
+            self.config.quality_alpha,
+        ));
+        self.names.push(name.into());
+        self.cores.push(Mutex::new(Core {
+            app,
+            deployment,
+            stats,
+        }));
+        self.names.len() - 1
+    }
+
+    /// Spawn the persistent worker set and start serving.
+    pub fn start(self) -> Engine {
+        let tenants = self.names.len();
+        let workers = if self.config.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.config.workers
+        }
+        .max(1);
+        let shared = Arc::new(Shared {
+            config: ServeConfig {
+                queue_capacity: self.config.queue_capacity.max(1),
+                ..self.config
+            },
+            names: self.names,
+            cores: self.cores,
+            state: Mutex::new(State {
+                pending: (0..tenants).map(|_| VecDeque::new()).collect(),
+                scheduled: vec![false; tenants],
+                submitted: vec![0; tenants],
+                ready: VecDeque::new(),
+                queued: 0,
+                rejected: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Engine { shared, handles }
+    }
+}
+
+/// Point-in-time summary of the whole engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineSnapshot {
+    /// Submissions rejected by admission control.
+    pub rejected: u64,
+    /// Per-tenant summaries, in registration order.
+    pub tenants: Vec<TenantSnapshot>,
+}
+
+/// The running engine. Prefer [`Engine::shutdown`] (which returns the
+/// final summary); dropping the engine also drains and joins the workers.
+pub struct Engine {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        if self.handles.is_empty() {
+            return;
+        }
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Engine {
+    /// Build an engine. Register tenants, then `start()`.
+    pub fn builder(config: ServeConfig) -> EngineBuilder {
+        EngineBuilder::new(config)
+    }
+
+    /// The policy the engine runs under.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.config
+    }
+
+    /// Registered tenant names, in registration order.
+    pub fn tenant_names(&self) -> &[String] {
+        &self.shared.names
+    }
+
+    /// Number of worker threads serving requests.
+    pub fn worker_count(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Submit a request for `tenant` on the input derived from `seed`.
+    ///
+    /// Non-blocking admission: the request is either admitted — the
+    /// returned [`Ticket`] completes once a worker has served it — or
+    /// rejected immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when the admission budget is exhausted
+    /// (with a retry-after hint), [`SubmitError::UnknownTenant`] for an
+    /// unregistered id, [`SubmitError::ShuttingDown`] after shutdown
+    /// begins.
+    pub fn submit(&self, tenant: TenantId, seed: u64) -> Result<Ticket, SubmitError> {
+        if tenant >= self.shared.names.len() {
+            return Err(SubmitError::UnknownTenant(tenant));
+        }
+        let mut state = self.shared.state.lock().unwrap();
+        if state.shutdown {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if state.queued >= self.shared.config.queue_capacity {
+            state.rejected += 1;
+            return Err(SubmitError::QueueFull {
+                retry_after: state.queued,
+            });
+        }
+        let seq = state.submitted[tenant];
+        state.submitted[tenant] += 1;
+        state.queued += 1;
+        let (tx, rx) = mpsc::channel();
+        state.pending[tenant].push_back(Request {
+            seq,
+            seed,
+            submitted_at: Instant::now(),
+            reply: tx,
+        });
+        if !state.scheduled[tenant] {
+            state.scheduled[tenant] = true;
+            state.ready.push_back(tenant);
+            self.shared.work_cv.notify_one();
+        }
+        Ok(Ticket { tenant, seq, rx })
+    }
+
+    /// Point-in-time summary of every tenant. Taking a snapshot briefly
+    /// locks each tenant's core in turn; in-flight requests for a tenant
+    /// delay only that tenant's row.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let rejected = self.shared.state.lock().unwrap().rejected;
+        let tenants = self
+            .shared
+            .cores
+            .iter()
+            .zip(&self.shared.names)
+            .map(|(core, name)| snapshot_core(&core.lock().unwrap(), name))
+            .collect();
+        EngineSnapshot { rejected, tenants }
+    }
+
+    /// Stop admitting work, drain every already-admitted request, join
+    /// the workers, and return the final summary.
+    pub fn shutdown(mut self) -> EngineSnapshot {
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        self.snapshot()
+    }
+}
+
+fn snapshot_core(core: &Core, name: &str) -> TenantSnapshot {
+    let d = &core.deployment;
+    let s = &core.stats;
+    TenantSnapshot {
+        name: name.to_string(),
+        served: s.served,
+        errors: s.errors,
+        checks: d.checks(),
+        violations: d.violations(),
+        backoffs: s.backoffs,
+        promotions: s.promotions,
+        rung: d.ladder()[d.position()].to_string(),
+        position: d.position(),
+        ladder_len: d.ladder().len(),
+        mean_quality: s.quality.mean(),
+        min_quality: s.quality.min(),
+        ewma_quality: s.quality.ewma(),
+        cycles: s.cycles,
+        queue_p50_ns: percentile(&s.queue_ns, 50.0),
+        queue_p99_ns: percentile(&s.queue_ns, 99.0),
+        service_p50_ns: percentile(&s.service_ns, 50.0),
+        service_p99_ns: percentile(&s.service_ns, 99.0),
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        // Claim the next ready tenant, or exit once shutdown has drained.
+        let tenant = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if let Some(t) = state.ready.pop_front() {
+                    break t;
+                }
+                if state.shutdown && state.queued == 0 {
+                    return;
+                }
+                state = shared.work_cv.wait(state).unwrap();
+            }
+        };
+        // The tenant is scheduled (owned by this worker): pop its oldest
+        // request. It must exist — a tenant only enters `ready` with work.
+        let request = {
+            let mut state = shared.state.lock().unwrap();
+            state.pending[tenant]
+                .pop_front()
+                .expect("ready tenant has a pending request")
+        };
+        let queue_nanos = request.submitted_at.elapsed().as_nanos() as u64;
+
+        // Serve outside the scheduler lock. The per-tenant core mutex is
+        // uncontended (only snapshot() may briefly touch it).
+        let response = {
+            let mut core = shared.cores[tenant].lock().unwrap();
+            let core = &mut *core;
+            let started = Instant::now();
+            let outcome = core.deployment.invoke(core.app.as_mut(), request.seed);
+            let service_nanos = started.elapsed().as_nanos() as u64;
+            core.stats.served += 1;
+            core.stats.queue_ns.push(queue_nanos);
+            core.stats.service_ns.push(service_nanos);
+            match outcome {
+                Ok(r) => {
+                    core.stats.cycles += r.cycles;
+                    core.stats.backoffs += u64::from(r.backed_off);
+                    core.stats.promotions += u64::from(r.promoted);
+                    if let Some(q) = r.checked_quality {
+                        core.stats.quality.observe(q);
+                    }
+                    Response {
+                        tenant,
+                        seq: request.seq,
+                        seed: request.seed,
+                        output: r.output,
+                        cycles: r.cycles,
+                        variant: r.variant,
+                        checked_quality: r.checked_quality,
+                        backed_off: r.backed_off,
+                        promoted: r.promoted,
+                        queue_nanos,
+                        service_nanos,
+                        error: None,
+                    }
+                }
+                Err(e) => {
+                    core.stats.errors += 1;
+                    Response {
+                        tenant,
+                        seq: request.seq,
+                        seed: request.seed,
+                        output: Vec::new(),
+                        cycles: 0,
+                        variant: None,
+                        checked_quality: None,
+                        backed_off: false,
+                        promoted: false,
+                        queue_nanos,
+                        service_nanos,
+                        error: Some(e.to_string()),
+                    }
+                }
+            }
+        };
+        // The caller may have dropped the ticket; that is not an error.
+        let _ = request.reply.send(response);
+
+        // Completion bookkeeping: release or re-enqueue the tenant.
+        let mut state = shared.state.lock().unwrap();
+        state.queued -= 1;
+        if state.pending[tenant].is_empty() {
+            state.scheduled[tenant] = false;
+        } else {
+            // Back of the queue: round-robin fairness across tenants.
+            state.ready.push_back(tenant);
+            shared.work_cv.notify_one();
+        }
+        if state.shutdown && state.queued == 0 {
+            // Wake every idle worker so they observe the drained state.
+            shared.work_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paraprox_runtime::{RunOutcome, RuntimeError, Tuner};
+
+    /// Minimal deterministic app: one variant at fixed quality/cycles.
+    struct Fixed {
+        quality: f64,
+    }
+
+    impl Approximable for Fixed {
+        fn variant_count(&self) -> usize {
+            1
+        }
+        fn variant_label(&self, _: usize) -> String {
+            "fixed".into()
+        }
+        fn run_exact(&mut self, _seed: u64) -> Result<RunOutcome, RuntimeError> {
+            Ok(RunOutcome {
+                output: vec![100.0],
+                cycles: 1000,
+            })
+        }
+        fn run_variant(&mut self, _: usize, _seed: u64) -> Result<RunOutcome, RuntimeError> {
+            Ok(RunOutcome {
+                output: vec![self.quality],
+                cycles: 100,
+            })
+        }
+        fn quality(&self, _exact: &[f64], approx: &[f64]) -> f64 {
+            approx[0]
+        }
+    }
+
+    fn fixed_engine(config: ServeConfig) -> (Engine, TenantId) {
+        let report = Tuner::paper_default()
+            .tune(&mut Fixed { quality: 95.0 })
+            .unwrap();
+        let mut builder = Engine::builder(config);
+        let id = builder.register("fixed", Box::new(Fixed { quality: 95.0 }), &report);
+        (builder.start(), id)
+    }
+
+    #[test]
+    fn serves_and_snapshots() {
+        let (engine, id) = fixed_engine(ServeConfig {
+            workers: 2,
+            check_every: 5,
+            ..ServeConfig::paper_default()
+        });
+        assert_eq!(engine.tenant_names(), ["fixed".to_string()]);
+        assert_eq!(engine.worker_count(), 2);
+        let tickets: Vec<Ticket> = (0..20).map(|s| engine.submit(id, s).unwrap()).collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            assert_eq!(t.seq, i as u64);
+            let r = t.wait().unwrap();
+            assert_eq!(r.seq, i as u64);
+            assert_eq!(r.variant, Some(0));
+            assert!(r.error.is_none());
+            assert_eq!(r.output, vec![95.0]);
+        }
+        let snap = engine.shutdown();
+        assert_eq!(snap.rejected, 0);
+        let t = &snap.tenants[0];
+        assert_eq!(t.served, 20);
+        assert_eq!(t.checks, 4);
+        assert_eq!(t.violations, 0);
+        assert_eq!(t.rung, "v0");
+        assert_eq!(t.mean_quality, Some(95.0));
+        assert!(t.service_p99_ns >= t.service_p50_ns);
+    }
+
+    #[test]
+    fn unknown_tenant_rejected() {
+        let (engine, id) = fixed_engine(ServeConfig::paper_default());
+        assert_eq!(
+            engine.submit(id + 1, 0).unwrap_err(),
+            SubmitError::UnknownTenant(id + 1)
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_work_and_rejects_new() {
+        let (engine, id) = fixed_engine(ServeConfig {
+            workers: 1,
+            ..ServeConfig::paper_default()
+        });
+        let tickets: Vec<Ticket> = (0..10).map(|s| engine.submit(id, s).unwrap()).collect();
+        let snap = engine.shutdown();
+        assert_eq!(snap.tenants[0].served, 10, "shutdown must drain the queue");
+        for t in tickets {
+            assert!(t.wait().is_ok(), "admitted requests must complete");
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails() {
+        let (engine, id) = fixed_engine(ServeConfig::paper_default());
+        {
+            let mut state = engine.shared.state.lock().unwrap();
+            state.shutdown = true;
+        }
+        assert_eq!(engine.submit(id, 0).unwrap_err(), SubmitError::ShuttingDown);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn submit_error_display() {
+        assert!(SubmitError::QueueFull { retry_after: 3 }
+            .to_string()
+            .contains("retry after 3"));
+        assert!(SubmitError::UnknownTenant(7).to_string().contains('7'));
+        assert!(!SubmitError::ShuttingDown.to_string().is_empty());
+    }
+
+    #[test]
+    fn round_robin_across_tenants_is_fair() {
+        // Two tenants, one worker: completions must interleave rather than
+        // drain one tenant before the other.
+        let report = Tuner::paper_default()
+            .tune(&mut Fixed { quality: 95.0 })
+            .unwrap();
+        let mut builder = Engine::builder(ServeConfig {
+            workers: 1,
+            queue_capacity: 64,
+            ..ServeConfig::paper_default()
+        });
+        let a = builder.register("a", Box::new(Fixed { quality: 95.0 }), &report);
+        let b = builder.register("b", Box::new(Fixed { quality: 95.0 }), &report);
+        let engine = builder.start();
+        let mut tickets = Vec::new();
+        for s in 0..8 {
+            tickets.push(engine.submit(a, s).unwrap());
+            tickets.push(engine.submit(b, s).unwrap());
+        }
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let snap = engine.shutdown();
+        assert_eq!(snap.tenants[0].served, 8);
+        assert_eq!(snap.tenants[1].served, 8);
+        assert_eq!(snap.tenants[0].name, "a");
+    }
+}

@@ -1,0 +1,61 @@
+//! paraprox-serve: a multi-tenant approximate-kernel serving engine.
+//!
+//! The paper's runtime (§2, §5) tunes candidate kernels offline and then
+//! deploys the fastest one meeting the target output quality (TOQ),
+//! checking every N-th invocation against exact execution and backing off
+//! when quality drifts. That loop assumes a single caller invoking one
+//! deployment synchronously. This crate turns it into a *serving engine*:
+//! a long-running process that owns one [`paraprox_runtime::Deployment`]
+//! per registered application (a **tenant**), accepts kernel-invocation
+//! requests through a bounded submission queue, and dispatches them across
+//! a persistent set of worker threads while the quality watchdog runs
+//! online — sampling served requests on the configured cadence, walking
+//! down [`paraprox_runtime::TuneReport::backoff_ladder`] on TOQ
+//! violations, and re-promoting after a configurable streak of clean
+//! checks (hysteresis, so recovered tenants climb back up without
+//! flapping).
+//!
+//! # Architecture
+//!
+//! ```text
+//!  submit() ── admission ──▶ per-tenant FIFO ──▶ ready queue ──▶ workers
+//!     │        (bounded:          │                                │
+//!     ▼         reject with    strict seq            one worker owns a
+//!  QueueFull    retry-after    order per             tenant at a time:
+//!  when full)   when full)     tenant                deployment + stats
+//! ```
+//!
+//! Admission is a single bounded budget over *admitted-but-incomplete*
+//! requests (queued **and** in flight). When the budget is exhausted,
+//! [`Engine::submit`] fails fast with [`SubmitError::QueueFull`] carrying
+//! a retry-after hint instead of blocking the caller — classic
+//! reject-with-backpressure.
+//!
+//! Scheduling is per-tenant **actor style**: each tenant's requests are
+//! processed strictly in submission order by at most one worker at a time,
+//! and a tenant with pending work re-enters the ready queue at the back
+//! after every request (round-robin fairness). Because every watchdog
+//! decision depends only on the tenant's own request order — never on
+//! cross-tenant interleaving — the sequence of served variants, check
+//! qualities, back-offs and re-promotions is **deterministic for a given
+//! seeded request stream, independent of the worker count**. Tests and
+//! benchmarks exploit this: the same stream replayed on 1, 2 or 8 workers
+//! yields bit-identical decision traces.
+//!
+//! Everything is built on `std` threads, mutexes and condition variables —
+//! no external dependencies, in keeping with the rest of the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod drift;
+mod engine;
+mod loadgen;
+mod stats;
+
+pub use drift::drift_inputs;
+pub use engine::{
+    Engine, EngineBuilder, EngineSnapshot, Response, ServeConfig, SubmitError, TenantId, Ticket,
+};
+pub use loadgen::{run_closed_loop, LoadReport, LoadSpec};
+pub use stats::{percentile, TenantSnapshot, TenantStats};

@@ -1,0 +1,194 @@
+//! A closed-loop load generator for serving experiments.
+//!
+//! Drives an [`Engine`] the way the paper's measurement loops drive a
+//! deployment: a fixed number of seeded requests per tenant, submitted
+//! round-robin with a bounded number outstanding (closed loop, so the
+//! generator never outruns the engine by more than `inflight`). Admission
+//! rejections are honoured as designed: on [`SubmitError::QueueFull`] the
+//! generator waits for its oldest outstanding ticket — a completion *is*
+//! the retry-after signal — and resubmits.
+//!
+//! Seeds are `seed_base + sequence`, so a run is fully described by
+//! `(seed_base, requests)` and reproducible by construction; keeping
+//! `seed_base` above the tuner's training seeds ensures serving traffic
+//! never replays a training input.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use crate::engine::{Engine, Response, SubmitError, TenantId, Ticket};
+
+/// Shape of a closed-loop run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadSpec {
+    /// Requests per tenant.
+    pub requests: u64,
+    /// First request seed; request `i` of every tenant uses
+    /// `seed_base + i`. Keep this above the training seeds so serving
+    /// traffic is disjoint from tuning traffic.
+    pub seed_base: u64,
+    /// Maximum outstanding (admitted, not yet redeemed) tickets. Clamped
+    /// to at least 1.
+    pub inflight: usize,
+}
+
+impl LoadSpec {
+    /// `requests` per tenant from seed 1000, 8 outstanding.
+    pub fn new(requests: u64) -> LoadSpec {
+        LoadSpec {
+            requests,
+            seed_base: 1000,
+            inflight: 8,
+        }
+    }
+}
+
+/// What a closed-loop run observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Wall-clock duration of the whole run, nanoseconds.
+    pub wall_nanos: u64,
+    /// Responses redeemed (requests per tenant × tenants).
+    pub completed: u64,
+    /// Submissions rejected with `QueueFull` and retried to success.
+    pub retries: u64,
+    /// Responses carrying an execution error.
+    pub errors: u64,
+}
+
+impl LoadReport {
+    /// Completed requests per wall-clock second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / (self.wall_nanos as f64 / 1e9)
+    }
+}
+
+/// Drive `spec.requests` seeded requests per tenant through the engine,
+/// round-robin, redeeming every ticket. `on_response` sees each response
+/// as it is redeemed (per tenant, in sequence order).
+///
+/// # Panics
+///
+/// Panics if a tenant id is unknown, submission races shutdown, or a
+/// worker dies without replying — load generation is a harness, and
+/// harnesses want loud failures.
+pub fn run_closed_loop(
+    engine: &Engine,
+    tenants: &[TenantId],
+    spec: &LoadSpec,
+    mut on_response: impl FnMut(&Response),
+) -> LoadReport {
+    let inflight = spec.inflight.max(1);
+    let mut outstanding: VecDeque<Ticket> = VecDeque::with_capacity(inflight);
+    let mut report = LoadReport {
+        wall_nanos: 0,
+        completed: 0,
+        retries: 0,
+        errors: 0,
+    };
+    let mut redeem_oldest = |outstanding: &mut VecDeque<Ticket>, report: &mut LoadReport| {
+        let ticket = outstanding.pop_front().expect("an outstanding ticket");
+        let response = ticket.wait().expect("worker must reply");
+        report.completed += 1;
+        report.errors += u64::from(response.error.is_some());
+        on_response(&response);
+    };
+
+    let started = Instant::now();
+    for i in 0..spec.requests {
+        let seed = spec.seed_base + i;
+        for &tenant in tenants {
+            loop {
+                match engine.submit(tenant, seed) {
+                    Ok(ticket) => {
+                        outstanding.push_back(ticket);
+                        break;
+                    }
+                    Err(SubmitError::QueueFull { .. }) => {
+                        // Backpressure: drain one completion, then retry.
+                        report.retries += 1;
+                        redeem_oldest(&mut outstanding, &mut report);
+                    }
+                    Err(e) => panic!("submit failed: {e}"),
+                }
+            }
+            while outstanding.len() >= inflight {
+                redeem_oldest(&mut outstanding, &mut report);
+            }
+        }
+    }
+    while !outstanding.is_empty() {
+        redeem_oldest(&mut outstanding, &mut report);
+    }
+    report.wall_nanos = started.elapsed().as_nanos() as u64;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServeConfig;
+    use paraprox_runtime::{Approximable, RunOutcome, RuntimeError, Tuner};
+
+    struct Echo;
+
+    impl Approximable for Echo {
+        fn variant_count(&self) -> usize {
+            0
+        }
+        fn variant_label(&self, _: usize) -> String {
+            unreachable!()
+        }
+        fn run_exact(&mut self, seed: u64) -> Result<RunOutcome, RuntimeError> {
+            Ok(RunOutcome {
+                output: vec![seed as f64],
+                cycles: 1,
+            })
+        }
+        fn run_variant(&mut self, _: usize, _: u64) -> Result<RunOutcome, RuntimeError> {
+            unreachable!()
+        }
+        fn quality(&self, _: &[f64], _: &[f64]) -> f64 {
+            100.0
+        }
+    }
+
+    #[test]
+    fn closed_loop_completes_every_request_under_tiny_queue() {
+        let report = Tuner::paper_default().tune(&mut Echo).unwrap();
+        let mut builder = Engine::builder(ServeConfig {
+            // Queue smaller than inflight × tenants: the loop must absorb
+            // QueueFull rejections via retries and still finish.
+            queue_capacity: 2,
+            workers: 2,
+            ..ServeConfig::paper_default()
+        });
+        let a = builder.register("a", Box::new(Echo), &report);
+        let b = builder.register("b", Box::new(Echo), &report);
+        let engine = builder.start();
+        let spec = LoadSpec {
+            requests: 25,
+            seed_base: 1000,
+            inflight: 8,
+        };
+        let mut seen = Vec::new();
+        let load = run_closed_loop(&engine, &[a, b], &spec, |r| {
+            assert_eq!(r.output, vec![r.seed as f64]);
+            seen.push((r.tenant, r.seq, r.seed));
+        });
+        assert_eq!(load.completed, 50);
+        assert_eq!(load.errors, 0);
+        assert!(load.throughput_rps() > 0.0);
+        // Per tenant: all 25 seqs redeemed in order, seeds offset by base.
+        for t in [a, b] {
+            let seqs: Vec<u64> = seen.iter().filter(|x| x.0 == t).map(|x| x.1).collect();
+            assert_eq!(seqs, (0..25).collect::<Vec<u64>>());
+        }
+        assert!(seen.iter().all(|x| x.2 == 1000 + x.1));
+        let snap = engine.shutdown();
+        assert_eq!(snap.tenants[0].served + snap.tenants[1].served, 50);
+    }
+}

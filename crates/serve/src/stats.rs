@@ -1,0 +1,130 @@
+//! Per-tenant serving statistics and snapshots.
+
+use paraprox_quality::QualityStream;
+
+/// Nearest-rank percentile of a sample set, in the sample's unit.
+/// Returns 0 for an empty set; `p` is clamped into `[0, 100]`.
+pub fn percentile(samples: &[u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
+}
+
+/// Mutable per-tenant accounting, owned by whichever worker currently
+/// holds the tenant (so no atomics are needed).
+#[derive(Debug)]
+pub struct TenantStats {
+    /// Streaming estimate over calibration-check qualities.
+    pub quality: QualityStream,
+    /// Requests served (including failed ones).
+    pub served: u64,
+    /// Requests that failed with an execution error.
+    pub errors: u64,
+    /// Back-offs taken down the ladder.
+    pub backoffs: u64,
+    /// Re-promotions up the ladder.
+    pub promotions: u64,
+    /// Total simulated device cycles spent serving.
+    pub cycles: u64,
+    /// Per-request time spent waiting for a worker, nanoseconds.
+    pub queue_ns: Vec<u64>,
+    /// Per-request execution time, nanoseconds.
+    pub service_ns: Vec<u64>,
+}
+
+impl TenantStats {
+    /// Fresh accounting with the given streaming-quality estimator.
+    pub fn new(quality: QualityStream) -> TenantStats {
+        TenantStats {
+            quality,
+            served: 0,
+            errors: 0,
+            backoffs: 0,
+            promotions: 0,
+            cycles: 0,
+            queue_ns: Vec::new(),
+            service_ns: Vec::new(),
+        }
+    }
+}
+
+/// An immutable point-in-time summary of one tenant, as returned by
+/// [`crate::Engine::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSnapshot {
+    /// Tenant name as registered.
+    pub name: String,
+    /// Requests served so far.
+    pub served: u64,
+    /// Requests that failed with an execution error.
+    pub errors: u64,
+    /// Calibration checks performed (including shadow probes).
+    pub checks: u64,
+    /// Checks that violated the TOQ.
+    pub violations: u64,
+    /// Back-offs taken down the ladder.
+    pub backoffs: u64,
+    /// Re-promotions up the ladder.
+    pub promotions: u64,
+    /// The rung currently served ("v3" or "exact").
+    pub rung: String,
+    /// Position in the back-off ladder (0 = most aggressive).
+    pub position: usize,
+    /// Ladder length including the terminal exact rung.
+    pub ladder_len: usize,
+    /// Mean calibration quality, if any check has run.
+    pub mean_quality: Option<f64>,
+    /// Minimum calibration quality, if any check has run.
+    pub min_quality: Option<f64>,
+    /// Smoothed (EWMA) calibration quality, if any check has run.
+    pub ewma_quality: Option<f64>,
+    /// Total simulated device cycles spent serving.
+    pub cycles: u64,
+    /// Median queue wait, nanoseconds.
+    pub queue_p50_ns: u64,
+    /// 99th-percentile queue wait, nanoseconds.
+    pub queue_p99_ns: u64,
+    /// Median service time, nanoseconds.
+    pub service_p50_ns: u64,
+    /// 99th-percentile service time, nanoseconds.
+    pub service_p99_ns: u64,
+}
+
+impl TenantSnapshot {
+    /// Back-offs plus re-promotions: how often the watchdog recalibrated
+    /// the serving rung.
+    pub fn recalibrations(&self) -> u64 {
+        self.backoffs + self.promotions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let ns: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&ns, 50.0), 50);
+        assert_eq!(percentile(&ns, 99.0), 99);
+        assert_eq!(percentile(&ns, 100.0), 100);
+        assert_eq!(percentile(&ns, 0.0), 1);
+        // Unsorted input and duplicates.
+        assert_eq!(percentile(&[7, 3, 3, 9], 50.0), 3);
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[42], 99.0), 42);
+    }
+
+    #[test]
+    fn stats_start_empty() {
+        let s = TenantStats::new(QualityStream::paper_default());
+        assert_eq!(s.served, 0);
+        assert_eq!(s.quality.count(), 0);
+        assert!(s.queue_ns.is_empty());
+    }
+}

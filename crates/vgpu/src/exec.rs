@@ -327,6 +327,7 @@ pub(crate) fn run_launch(
     buffers: &mut Vec<BufferStorage>,
     l1: &mut Cache,
     constant_cache: &mut Cache,
+    image_pool: &mut Vec<Vec<BufferStorage>>,
 ) -> Result<LaunchStats, LaunchError> {
     let started = Instant::now();
     let total = launch.grid.count();
@@ -377,17 +378,26 @@ pub(crate) fn run_launch(
         let queue = WorkQueue::new(total, workers);
         let abort = AtomicBool::new(false);
         let mut first_err: Option<(usize, EvalError)> = None;
+        // Per-worker buffer images come from the device's pool: a repeated
+        // launch (tuning sweep, serving loop) refreshes the retained
+        // images in place — `BufferStorage::clone_from` reuses the heap
+        // blocks — instead of cloning the arena per worker per launch.
+        if image_pool.len() < workers {
+            image_pool.resize_with(workers, Vec::new);
+        }
         {
             let buffers_src: &Vec<BufferStorage> = buffers;
             let (l1_t, cc_t) = (&l1_template, &cc_template);
             let (queue_ref, abort_ref, iters_ref) = (&queue, &abort, &iterations);
             std::thread::scope(|s| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|w| {
-                        let mut image = buffers_src.clone();
+                let handles: Vec<_> = image_pool[..workers]
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(w, image)| {
                         s.spawn(move || {
+                            image.clone_from(buffers_src);
                             let mut worker = Worker {
-                                buffers: &mut image,
+                                buffers: image,
                                 log: Vec::new(),
                                 scratch: ScratchPool::default(),
                                 bc: crate::bytecode::BcScratch::default(),

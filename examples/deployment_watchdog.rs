@@ -62,8 +62,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             p.label, p.speedup, p.mean_quality
         );
     }
-    let ladder = report.backoff_ladder();
-    println!("back-off ladder: {ladder:?} then exact\n");
+    // The ladder already ends in its terminal exact rung.
+    let ladder: Vec<String> = report
+        .backoff_ladder()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    println!("back-off ladder: {}\n", ladder.join(" -> "));
 
     let mut deployment = Deployment::new(&report, Toq::paper_default(), 4);
     println!("deploying with a calibration check every 4th invocation;");

@@ -33,4 +33,13 @@ done
 echo "==> bench_interp --smoke (engine bit-identity)"
 (cd target && cargo run --release -p paraprox-bench --bin bench_interp -- --smoke)
 
+echo "==> paraprox-cli serve smoke (drift -> back-off -> re-promotion, both profiles)"
+for dev in gpu cpu; do
+  cargo run --release -q -p paraprox-cli -- serve --device "$dev" --scale test \
+    --requests 40 --drift-at 10 --drift-len 12 --check-every 4 --promote-after 2
+done
+
+echo "==> bench_serve --smoke (serving engine, both profiles)"
+(cd target && cargo run --release -p paraprox-bench --bin bench_serve -- --smoke)
+
 echo "==> verify OK"
