@@ -118,12 +118,22 @@ pub fn registry() -> Vec<App> {
     ]
 }
 
-/// Find a registered application by (case-insensitive) name prefix.
+/// Find a registered application by (case-insensitive) name prefix, or
+/// by the initials of a multi-word name (`kde` → Kernel Density
+/// Estimation, `cfh` → Cumulative Frequency Histogram).
 pub fn find(name: &str) -> Option<App> {
     let lower = name.to_lowercase();
-    registry()
-        .into_iter()
-        .find(|a| a.spec.name.to_lowercase().starts_with(&lower))
+    registry().into_iter().find(|a| {
+        let full = a.spec.name.to_lowercase();
+        if full.starts_with(&lower) {
+            return true;
+        }
+        let initials: String = full
+            .split_whitespace()
+            .filter_map(|w| w.chars().next())
+            .collect();
+        initials.len() > 1 && initials == lower
+    })
 }
 
 #[cfg(test)]
@@ -148,6 +158,17 @@ mod tests {
         assert!(find("black").is_some());
         assert!(find("HotSpot").is_some());
         assert!(find("nonexistent").is_none());
+    }
+
+    #[test]
+    fn find_by_initials() {
+        assert_eq!(find("kde").unwrap().spec.name, "Kernel Density Estimation");
+        assert_eq!(
+            find("cfh").unwrap().spec.name,
+            "Cumulative Frequency Histogram"
+        );
+        // Single letters are prefixes only, never initials.
+        assert_eq!(find("b").unwrap().spec.name, "BlackScholes");
     }
 
     #[test]

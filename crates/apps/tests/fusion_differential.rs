@@ -1,0 +1,102 @@
+//! Fused-vs-unfused differential over every benchmark application.
+//!
+//! Each app's pipeline runs twice on one device so the second pass
+//! dispatches the fused superinstruction artifacts produced by the first
+//! (profiling) pass, then the whole experiment repeats with fusion force
+//! disabled via [`Device::set_fusion`]. Both passes of both settings must
+//! be bit-identical to the tree-walking oracle — outputs, simulated
+//! cycles, and cache statistics — at 1, 2, and 4 workers, and fusion must
+//! actually have engaged (`fusions_hit > 0`) on the fused second pass of
+//! at least most apps.
+
+use paraprox_apps::{registry, Scale};
+use paraprox_vgpu::{Device, DeviceProfile, ExecEngine, PipelineRun};
+
+/// Run the pipeline twice on one device (pass 1 profiles and fuses, pass
+/// 2 dispatches fused ops when fusion is on).
+fn run_twice(workload: &paraprox::Workload, workers: usize, fusion: bool) -> [PipelineRun; 2] {
+    let mut device = Device::new(
+        DeviceProfile::gtx560()
+            .with_engine(ExecEngine::Bytecode)
+            .with_parallelism(workers),
+    );
+    device.set_fusion(fusion);
+    let mut runs = Vec::new();
+    for _ in 0..2 {
+        runs.push(
+            workload
+                .pipeline
+                .execute(&mut device, &workload.program)
+                .expect("pipeline must execute"),
+        );
+    }
+    let second = runs.pop().expect("two runs");
+    let first = runs.pop().expect("two runs");
+    [first, second]
+}
+
+fn assert_bit_identical(app: &str, setting: &str, reference: &PipelineRun, got: &PipelineRun) {
+    assert_eq!(
+        got.stats, reference.stats,
+        "{app}: stats diverged ({setting})"
+    );
+    assert_eq!(got.outputs.len(), reference.outputs.len(), "{app}: arity");
+    for (b, (r, g)) in reference.outputs.iter().zip(&got.outputs).enumerate() {
+        assert_eq!(r.len(), g.len(), "{app}: output {b} length ({setting})");
+        for (i, (x, y)) in r.iter().zip(g).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{app}: output {b}[{i}] bits diverged ({setting})"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_apps_fused_matches_unfused_and_oracle() {
+    let mut apps_with_fusion = 0usize;
+    let mut total = 0usize;
+    for app in registry() {
+        let workload = (app.build)(Scale::Test, 7);
+        let mut oracle_device =
+            Device::new(DeviceProfile::gtx560().with_engine(ExecEngine::TreeWalk));
+        let oracle = workload
+            .pipeline
+            .execute(&mut oracle_device, &workload.program)
+            .expect("oracle pipeline must execute");
+        total += 1;
+        let mut fused_anywhere = false;
+        for workers in [1usize, 2, 4] {
+            let fused = run_twice(&workload, workers, true);
+            let plain = run_twice(&workload, workers, false);
+            for (pass, (f, p)) in fused.iter().zip(&plain).enumerate() {
+                let setting = format!("x{workers} pass {pass}");
+                assert_bit_identical(app.spec.name, &setting, p, f);
+                assert_bit_identical(app.spec.name, &setting, &oracle, f);
+                assert_eq!(p.stats.fusions_hit, 0, "{}: disabled", app.spec.name);
+            }
+            // Second pass dispatches the fused artifact compiled from the
+            // first pass's profile; fewer dispatch-loop iterations, same
+            // simulated machine.
+            if fused[1].stats.fusions_hit > 0 {
+                fused_anywhere = true;
+                assert!(
+                    fused[1].stats.ops_dispatched < plain[1].stats.ops_dispatched,
+                    "{}: fusion should shrink dispatch count (x{workers})",
+                    app.spec.name
+                );
+            }
+        }
+        if fused_anywhere {
+            apps_with_fusion += 1;
+        }
+    }
+    // Fusable pairs (mul+add, load+cast, cmp+branch, bin+store) are
+    // ubiquitous in these kernels: fusion must engage broadly, not just
+    // on a lucky app.
+    assert!(
+        apps_with_fusion * 2 >= total,
+        "fusion engaged on only {apps_with_fusion}/{total} apps"
+    );
+}

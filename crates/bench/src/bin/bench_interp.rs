@@ -16,8 +16,11 @@
 //! Note: both engines charge identical simulated cycles by construction;
 //! the speedup reported here is *host* wall-clock only, and includes each
 //! app's one-time bytecode compilation (amortized across the runs by the
-//! per-device program cache). `--smoke` runs the small test-scale inputs
-//! once per engine, as a fast regression gate for CI.
+//! per-device program cache). The first bytecode run of each kernel also
+//! profiles op-pair frequencies; later runs dispatch the fused
+//! superinstruction artifact. `--smoke` runs the small test-scale inputs
+//! once per engine as a fast regression gate for CI, and exits non-zero
+//! if the bytecode engine drops below parity (geomean < 1.0x).
 
 use std::time::Instant;
 
@@ -26,8 +29,21 @@ use paraprox_vgpu::{Device, DeviceProfile, ExecEngine, PipelineRun};
 
 struct EngineRun {
     wall_ms_best: f64,
+    wall_ms_median: f64,
     wall_ms_all: Vec<f64>,
     run: PipelineRun,
+}
+
+/// Median of the run times (mean of the middle two for even counts).
+fn median(samples: &[f64]) -> f64 {
+    let mut v = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN run times"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
 }
 
 fn run_engine(workload: &paraprox::Workload, engine: ExecEngine, runs: usize) -> EngineRun {
@@ -35,7 +51,8 @@ fn run_engine(workload: &paraprox::Workload, engine: ExecEngine, runs: usize) ->
         .with_engine(engine)
         .with_parallelism(1);
     // One device per engine: the bytecode program cache persists across
-    // runs, exactly as it does under the tuner.
+    // runs, exactly as it does under the tuner — so run 1 profiles and
+    // fuses, and later runs execute the fused artifact.
     let mut device = Device::new(profile);
     let mut wall_ms_all = Vec::with_capacity(runs);
     let mut last = None;
@@ -51,6 +68,7 @@ fn run_engine(workload: &paraprox::Workload, engine: ExecEngine, runs: usize) ->
     let best = wall_ms_all.iter().copied().fold(f64::INFINITY, f64::min);
     EngineRun {
         wall_ms_best: best,
+        wall_ms_median: median(&wall_ms_all),
         wall_ms_all,
         run: last.expect("at least one run"),
     }
@@ -74,7 +92,7 @@ fn assert_identical(app: &str, tree: &PipelineRun, bc: &PipelineRun) {
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (scale, runs) = if smoke {
-        (Scale::Test, 1)
+        (Scale::Test, 2)
     } else {
         (Scale::Paper, 5)
     };
@@ -86,8 +104,8 @@ fn main() {
         if smoke { "test (smoke)" } else { "paper" }
     );
     println!(
-        "{:>32} {:>14} {:>14} {:>9} {:>12}",
-        "application", "tree-walk", "bytecode", "speedup", "cycles"
+        "{:>32} {:>14} {:>14} {:>9} {:>9} {:>12} {:>12}",
+        "application", "tree-walk", "bytecode", "best", "median", "ops", "fused"
     );
 
     let mut entries = Vec::new();
@@ -99,15 +117,18 @@ fn main() {
         let bc = run_engine(&workload, ExecEngine::Bytecode, runs);
         assert_identical(app.spec.name, &tree.run, &bc.run);
         let speedup = tree.wall_ms_best / bc.wall_ms_best;
+        let speedup_median = tree.wall_ms_median / bc.wall_ms_median;
         log_speedup_sum += speedup.ln();
         count += 1;
         println!(
-            "{:>32} {:>11.2} ms {:>11.2} ms {:>8.2}x {:>12}",
+            "{:>32} {:>11.2} ms {:>11.2} ms {:>8.2}x {:>8.2}x {:>12} {:>12}",
             app.spec.name,
             tree.wall_ms_best,
             bc.wall_ms_best,
             speedup,
-            bc.run.stats.total_cycles()
+            speedup_median,
+            bc.run.stats.ops_dispatched,
+            bc.run.stats.fusions_hit,
         );
         let fmt_runs = |v: &[f64]| {
             v.iter()
@@ -116,13 +137,18 @@ fn main() {
                 .join(", ")
         };
         entries.push(format!(
-            "    {{\n      \"app\": {:?},\n      \"tree_walk_ms_best\": {:.3},\n      \"tree_walk_ms_runs\": [{}],\n      \"bytecode_ms_best\": {:.3},\n      \"bytecode_ms_runs\": [{}],\n      \"speedup\": {:.3},\n      \"total_cycles\": {},\n      \"bit_identical\": true\n    }}",
+            "    {{\n      \"app\": {:?},\n      \"tree_walk_ms_best\": {:.3},\n      \"tree_walk_ms_median\": {:.3},\n      \"tree_walk_ms_runs\": [{}],\n      \"bytecode_ms_best\": {:.3},\n      \"bytecode_ms_median\": {:.3},\n      \"bytecode_ms_runs\": [{}],\n      \"speedup\": {:.3},\n      \"speedup_median\": {:.3},\n      \"ops_dispatched\": {},\n      \"fusions_hit\": {},\n      \"total_cycles\": {},\n      \"bit_identical\": true\n    }}",
             app.spec.name,
             tree.wall_ms_best,
+            tree.wall_ms_median,
             fmt_runs(&tree.wall_ms_all),
             bc.wall_ms_best,
+            bc.wall_ms_median,
             fmt_runs(&bc.wall_ms_all),
             speedup,
+            speedup_median,
+            bc.run.stats.ops_dispatched,
+            bc.run.stats.fusions_hit,
             bc.run.stats.total_cycles()
         ));
     }
@@ -131,10 +157,17 @@ fn main() {
     println!("\ngeomean bytecode speedup over tree-walk: {geomean:.2}x");
 
     let json = format!(
-        "{{\n  \"benchmark\": \"interpreter_engines\",\n  \"scale\": {:?},\n  \"profile\": \"gtx560\",\n  \"host_cores\": {host_cores},\n  \"runs_per_engine\": {runs},\n  \"geomean_speedup\": {geomean:.3},\n  \"note\": \"host wall-clock only; simulated cycles, buffers, and cache statistics are verified bit-identical between engines on every app. Bytecode timings include one-time kernel compilation, amortized by the per-device program cache.\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"interpreter_engines\",\n  \"scale\": {:?},\n  \"profile\": \"gtx560\",\n  \"host_cores\": {host_cores},\n  \"runs_per_engine\": {runs},\n  \"geomean_speedup\": {geomean:.3},\n  \"note\": \"host wall-clock only; simulated cycles, buffers, and cache statistics are verified bit-identical between engines on every app. Bytecode timings include one-time kernel compilation and first-run fusion profiling, amortized by the per-device program cache.\",\n  \"results\": [\n{}\n  ]\n}}\n",
         if smoke { "test" } else { "paper" },
         entries.join(",\n")
     );
     std::fs::write("BENCH_interp.json", &json).expect("write BENCH_interp.json");
     println!("wrote BENCH_interp.json");
+
+    if smoke && geomean < 1.0 {
+        eprintln!(
+            "FAIL: smoke geomean {geomean:.3}x < 1.0x — bytecode engine regressed below tree-walk parity"
+        );
+        std::process::exit(1);
+    }
 }

@@ -467,6 +467,20 @@ fn inspect(file: &str, bytecode: Option<&str>, effects: bool) -> Result<(), Box<
             profile.name
         );
         print!("{}", compiled.disassemble());
+        let fused = compiled.fuse_all();
+        let supers = fused.superinstructions();
+        if supers.is_empty() {
+            println!("\nno fusable op pairs in this kernel");
+        } else {
+            println!(
+                "\nfused superinstructions ({} of {} ops fusable; each line shows its constituent ops):",
+                supers.len(),
+                compiled.op_count()
+            );
+            for line in &supers {
+                println!("{line}");
+            }
+        }
     }
     Ok(())
 }

@@ -44,15 +44,20 @@
 //! bank: per-block read-only rows holding literals, scalar kernel
 //! arguments, and thread-coordinate specials.
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use paraprox_ir::{
     AtomicOp, BinOp, CmpOp, EvalError, Expr, Func, FuncId, Kernel, LoopCond, LoopStep, MemRef,
     Program, Scalar, Special, Stmt, Ty, UnOp,
 };
 
-use crate::exec::{all, any, ExecCtx, Lanes, Mask, FILLER, ITERATION_BUDGET};
+use crate::exec::{ExecCtx, FILLER, ITERATION_BUDGET};
+use crate::mask::LaneMask;
 use crate::profile::DeviceProfile;
+use crate::soa::{
+    bin_fast, bin_fast_eligible, bin_needs_divisor_scan, cast_fast, cmp_fast, cmp_one, has_zero,
+    tag_of_ty, tag_ty, un_fast, un_fast_eligible, RegRow, TAG_BOOL, TAG_MIXED,
+};
 
 /// Operand encodings at or above this value index the constant bank;
 /// below it they are window-relative register numbers.
@@ -102,7 +107,7 @@ struct FrameMeta {
 }
 
 /// Compiled metadata for one device function.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct FuncMeta {
     name: String,
     /// Entry pc of the function's body in the shared op stream.
@@ -118,7 +123,13 @@ struct FuncMeta {
 /// `dst`/`src`/`a`/`b`/`cond`/`idx`/`val`/`bound`/`amount` are operand
 /// encodings (register or [`BANK_FLAG`]-tagged bank index); jump targets
 /// (`skip*`/`exit`/`head`) are absolute pcs resolved at compile time.
-#[derive(Debug)]
+///
+/// The `Fused*` variants are superinstructions produced by
+/// [`CompiledKernel::fuse`]: one dispatch executes both constituent ops
+/// back to back with the exact charges, lane loops, and error order of
+/// the unfused pair, then advances the pc by two (the second op stays in
+/// the stream as unreachable padding so absolute jump targets survive).
+#[derive(Debug, Clone)]
 enum Op {
     /// Unary compute: charge `unop_lat`, then apply per active lane.
     Unary { m: u16, op: UnOp, dst: u16, a: u16 },
@@ -254,6 +265,50 @@ enum Op {
     Trap(Box<EvalError>),
     /// End of the kernel body.
     Halt,
+    /// Superinstruction: two dependent binaries (`dst2 <- (a1 OP1 b1) OP2
+    /// ...`, the fmadd-like shape) under one dispatch.
+    FusedBinBin {
+        m: u16,
+        op1: BinOp,
+        dst1: u16,
+        a1: u16,
+        b1: u16,
+        op2: BinOp,
+        dst2: u16,
+        a2: u16,
+        b2: u16,
+    },
+    /// Superinstruction: a comparison feeding the branch split that
+    /// consumes it (`if a OP b { .. }`).
+    FusedCmpIf {
+        m: u16,
+        op: CmpOp,
+        dst: u16,
+        a: u16,
+        b: u16,
+        t: u16,
+        f: u16,
+        skip_t: u32,
+    },
+    /// Superinstruction: a load whose value is immediately converted.
+    FusedLoadCast {
+        m: u16,
+        mem: MemRef,
+        idx: u16,
+        dst: u16,
+        ty: Ty,
+        dst2: u16,
+    },
+    /// Superinstruction: a binary whose result is immediately stored.
+    FusedBinStore {
+        m: u16,
+        op: BinOp,
+        dst: u16,
+        a: u16,
+        b: u16,
+        mem: MemRef,
+        idx: u16,
+    },
 }
 
 /// A kernel compiled to bytecode, shareable read-only across pool workers
@@ -266,6 +321,12 @@ pub struct CompiledKernel {
     frame: FrameMeta,
     funcs: Vec<FuncMeta>,
     name: String,
+    /// Per-pc flag: the op at pc and its successor form a fusable pair
+    /// (the executor profiles dynamic execution counts at exactly these
+    /// pcs; see [`CompiledKernel::fuse`]).
+    candidates: Vec<bool>,
+    /// True for artifacts produced by [`CompiledKernel::fuse`].
+    fused: bool,
 }
 
 impl CompiledKernel {
@@ -283,8 +344,9 @@ impl CompiledKernel {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "kernel `{}`: {} ops, regs={} masks={} locals={}",
+            "kernel `{}`{}: {} ops, regs={} masks={} locals={}",
             self.name,
+            if self.fused { " (fused)" } else { "" },
             self.ops.len(),
             self.frame.regs,
             self.frame.masks,
@@ -449,8 +511,247 @@ impl CompiledKernel {
             Op::FuncRet { func } => format!("ret      `{}`", self.funcs[*func as usize].name),
             Op::Trap(e) => format!("trap     {e}"),
             Op::Halt => "halt".to_string(),
+            Op::FusedBinBin {
+                m,
+                op1,
+                dst1,
+                a1,
+                b1,
+                op2,
+                dst2,
+                a2,
+                b2,
+            } => format!(
+                "{:<8} m{m} {} <- {} {} ; {} <- {} {}",
+                format!("{}+{}", op1.name(), op2.name()),
+                r(*dst1),
+                r(*a1),
+                r(*b1),
+                r(*dst2),
+                r(*a2),
+                r(*b2)
+            ),
+            Op::FusedCmpIf {
+                m,
+                op,
+                dst,
+                a,
+                b,
+                t,
+                f,
+                skip_t,
+            } => format!(
+                "{:<8} m{m} {} <- {} {} ; t=m{t} f=m{f} else@{skip_t}",
+                format!("{}+if", op.name()),
+                r(*dst),
+                r(*a),
+                r(*b)
+            ),
+            Op::FusedLoadCast {
+                m,
+                mem,
+                idx,
+                dst,
+                ty,
+                dst2,
+            } => format!(
+                "load+cast m{m} {} <- {mem}[{}] ; {} <- {ty}",
+                r(*dst),
+                r(*idx),
+                r(*dst2)
+            ),
+            Op::FusedBinStore {
+                m,
+                op,
+                dst,
+                a,
+                b,
+                mem,
+                idx,
+            } => format!(
+                "{:<8} m{m} {} <- {} {} ; {mem}[{}] <- {}",
+                format!("{}+store", op.name()),
+                r(*dst),
+                r(*a),
+                r(*b),
+                r(*idx),
+                r(*dst)
+            ),
         }
     }
+
+    /// Fuse every profiled pair whose dynamic execution count is non-zero
+    /// into a superinstruction, producing a new artifact that shares no
+    /// mutable state with `self`. The second op of each fused pair stays
+    /// in the stream as unreachable padding (the fused handler advances
+    /// the pc by two), so every absolute jump target stays valid.
+    pub(crate) fn fuse(&self, counts: &[u64]) -> CompiledKernel {
+        let mut ops = self.ops.clone();
+        let mut pc = 0;
+        while pc + 1 < ops.len() {
+            if self.candidates[pc] && counts.get(pc).copied().unwrap_or(0) > 0 {
+                if let Some(fused) = fuse_pair(&ops[pc], &ops[pc + 1]) {
+                    ops[pc] = fused;
+                    pc += 2;
+                    continue;
+                }
+            }
+            pc += 1;
+        }
+        let n = ops.len();
+        CompiledKernel {
+            ops,
+            bank: self.bank.clone(),
+            frame: self.frame,
+            funcs: self.funcs.clone(),
+            name: self.name.clone(),
+            candidates: vec![false; n],
+            fused: true,
+        }
+    }
+
+    /// Fuse every statically fusable pair, ignoring profile counts. Used
+    /// by the CLI disassembler to show what the profile-guided pass *can*
+    /// produce without running the kernel.
+    pub fn fuse_all(&self) -> CompiledKernel {
+        let ones = vec![1u64; self.ops.len()];
+        self.fuse(&ones)
+    }
+
+    /// The fused superinstructions of this artifact, one rendered line per
+    /// fused op showing both constituent operations.
+    pub fn superinstructions(&self) -> Vec<String> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| {
+                matches!(
+                    op,
+                    Op::FusedBinBin { .. }
+                        | Op::FusedCmpIf { .. }
+                        | Op::FusedLoadCast { .. }
+                        | Op::FusedBinStore { .. }
+                )
+            })
+            .map(|(pc, op)| format!("{pc:>5}  {}", self.render_op(op)))
+            .collect()
+    }
+}
+
+/// Statically fuse one adjacent pair, or `None` if the shapes don't line
+/// up. A pair is fusable when both ops run under the same mask slot and
+/// the second consumes the first's destination.
+fn fuse_pair(op1: &Op, op2: &Op) -> Option<Op> {
+    match (op1, op2) {
+        (
+            Op::Binary { m, op, dst, a, b },
+            Op::Binary {
+                m: m2,
+                op: op2,
+                dst: dst2,
+                a: a2,
+                b: b2,
+            },
+        ) if m2 == m && (a2 == dst || b2 == dst) => Some(Op::FusedBinBin {
+            m: *m,
+            op1: *op,
+            dst1: *dst,
+            a1: *a,
+            b1: *b,
+            op2: *op2,
+            dst2: *dst2,
+            a2: *a2,
+            b2: *b2,
+        }),
+        (
+            Op::Cmp { m, op, dst, a, b },
+            Op::IfSplit {
+                m: m2,
+                cond,
+                t,
+                f,
+                skip_t,
+            },
+        ) if m2 == m && cond == dst => Some(Op::FusedCmpIf {
+            m: *m,
+            op: *op,
+            dst: *dst,
+            a: *a,
+            b: *b,
+            t: *t,
+            f: *f,
+            skip_t: *skip_t,
+        }),
+        (
+            Op::Load { m, mem, idx, dst },
+            Op::Cast {
+                m: m2,
+                ty,
+                dst: dst2,
+                a,
+            },
+        ) if m2 == m && a == dst => Some(Op::FusedLoadCast {
+            m: *m,
+            mem: *mem,
+            idx: *idx,
+            dst: *dst,
+            ty: *ty,
+            dst2: *dst2,
+        }),
+        (
+            Op::Binary { m, op, dst, a, b },
+            Op::Store {
+                m: m2,
+                mem,
+                idx,
+                val,
+            },
+        ) if m2 == m && val == dst => Some(Op::FusedBinStore {
+            m: *m,
+            op: *op,
+            dst: *dst,
+            a: *a,
+            b: *b,
+            mem: *mem,
+            idx: *idx,
+        }),
+        _ => None,
+    }
+}
+
+/// Compute the per-pc fusion-candidate flags for a freshly compiled
+/// stream: pc is a candidate when `(ops[pc], ops[pc+1])` fuse statically
+/// and pc+1 is not a jump target (nothing may enter the middle of a
+/// superinstruction: branch/loop targets, call-return resume points, and
+/// function entries all disqualify the pair).
+fn fusion_candidates(ops: &[Op], funcs: &[FuncMeta]) -> Vec<bool> {
+    let mut is_target = vec![false; ops.len() + 1];
+    for f in funcs {
+        is_target[f.entry] = true;
+    }
+    for (pc, op) in ops.iter().enumerate() {
+        match op {
+            Op::IfSplit { skip_t, .. } | Op::SelSplit { skip_t, .. } => {
+                is_target[*skip_t as usize] = true;
+            }
+            Op::IfElse { skip, .. } | Op::SelElse { skip, .. } => {
+                is_target[*skip as usize] = true;
+            }
+            Op::ForPrep { exit, .. }
+            | Op::ForTest { exit, .. }
+            | Op::ForPrune { exit, .. }
+            | Op::Live { exit, .. } => is_target[*exit as usize] = true,
+            Op::ForStep { head, .. } => is_target[*head as usize] = true,
+            Op::Call { .. } => is_target[pc + 1] = true,
+            Op::FusedCmpIf { skip_t, .. } => is_target[*skip_t as usize] = true,
+            _ => {}
+        }
+    }
+    let mut cand = vec![false; ops.len()];
+    for pc in 0..ops.len().saturating_sub(1) {
+        cand[pc] = !is_target[pc + 1] && fuse_pair(&ops[pc], &ops[pc + 1]).is_some();
+    }
+    cand
 }
 
 // ---------------------------------------------------------------------------
@@ -599,12 +900,15 @@ pub fn compile_kernel(
         c.funcs[i].frame = ffr.into_meta();
         i += 1;
     }
+    let candidates = fusion_candidates(&c.ops, &c.funcs);
     CompiledKernel {
         ops: c.ops,
         bank: c.bank,
         frame,
         funcs: c.funcs,
         name: kernel.name.clone(),
+        candidates,
+        fused: false,
     }
 }
 
@@ -1222,24 +1526,30 @@ struct CallCtx {
 
 /// Per-worker executor scratch: the register-file arena, mask arena,
 /// constant-bank rows, and call stack. Reused across statements, blocks,
-/// and launches so steady-state execution allocates nothing.
+/// and launches so steady-state execution allocates nothing. Registers are
+/// structure-of-arrays [`RegRow`]s (contiguous lane-major `u32` strips)
+/// and masks are [`LaneMask`] bitsets, so converged ops run as typed slice
+/// loops over raw bit patterns.
 #[derive(Default)]
 pub(crate) struct BcScratch {
     /// Register rows, stacked per frame window.
-    regs: Vec<Lanes>,
+    regs: Vec<RegRow>,
     /// Runtime definite-init flag per register row (only local slots are
     /// consulted; mirrors the tree-walker's `Option<Lanes>` locals).
     init: Vec<bool>,
     /// Mask rows, stacked per frame window.
-    masks: Vec<Mask>,
+    masks: Vec<LaneMask>,
     /// Materialized constant-bank rows, refilled per block.
-    bank: Vec<Lanes>,
+    bank: Vec<RegRow>,
     /// In-flight call frames.
     calls: Vec<CallCtx>,
+    /// Recycled `u32` strip the typed full-mask loops write into before
+    /// the destination row adopts it.
+    fast: Vec<u32>,
 }
 
 /// Resolve an operand to its lane row (bank or register-window slot).
-fn row(s: &BcScratch, base: usize, r: u16) -> &Lanes {
+fn row(s: &BcScratch, base: usize, r: u16) -> &RegRow {
     if r & BANK_FLAG != 0 {
         &s.bank[(r & !BANK_FLAG) as usize]
     } else {
@@ -1247,118 +1557,409 @@ fn row(s: &BcScratch, base: usize, r: u16) -> &Lanes {
     }
 }
 
-/// Apply a unary op: full-lane fast path when converged, masked otherwise
-/// (identical loop structure to the tree-walker, including which lanes can
-/// raise errors). The helpers own preparing `out`: the converged path
-/// pushes results directly (no FILLER pre-fill), the masked path FILLERs
-/// inactive lanes. On error the row is left short, which is fine — the
-/// launch aborts and every row is rewritten before its next read.
-fn apply_unary(op: UnOp, va: &Lanes, mask: &Mask, out: &mut Lanes) -> Result<(), EvalError> {
-    out.clear();
-    if all(mask) {
-        for a in va {
-            out.push(op.apply(*a)?);
+/// Apply a unary op. Converged uniform rows take the typed strip loop
+/// (autovectorizable, infallible by [`un_fast_eligible`]); everything else
+/// falls back to the per-lane scalar path with the tree-walker's exact
+/// lane order, so error identity and position match the oracle.
+fn apply_unary(
+    op: UnOp,
+    va: &RegRow,
+    mask: &LaneMask,
+    out: &mut RegRow,
+    fast: &mut Vec<u32>,
+) -> Result<(), EvalError> {
+    let ta = va.uniform_tag();
+    if mask.all() && ta != TAG_MIXED && un_fast_eligible(op, ta) {
+        un_fast(op, ta, fast, va.bits());
+        out.adopt_uniform(fast, ta);
+        return Ok(());
+    }
+    let lanes = mask.lanes();
+    out.reset_filler(lanes);
+    if mask.all() {
+        for lane in 0..lanes {
+            out.set(lane, op.apply(va.get(lane))?);
         }
     } else {
-        out.resize(va.len(), FILLER);
-        for (lane, o) in out.iter_mut().enumerate() {
-            if mask[lane] {
-                *o = op.apply(va[lane])?;
-            }
+        for lane in mask.iter_set() {
+            out.set(lane, op.apply(va.get(lane))?);
         }
     }
+    out.normalize();
     Ok(())
 }
 
+/// Apply a binary op; typed fast path on converged equal-tag uniform rows
+/// (with a zero-divisor pre-scan where integer division could trap).
 fn apply_binary(
     op: BinOp,
-    va: &Lanes,
-    vb: &Lanes,
-    mask: &Mask,
-    out: &mut Lanes,
+    va: &RegRow,
+    vb: &RegRow,
+    mask: &LaneMask,
+    out: &mut RegRow,
+    fast: &mut Vec<u32>,
 ) -> Result<(), EvalError> {
-    out.clear();
-    if all(mask) {
-        for (a, b) in va.iter().zip(vb) {
-            out.push(op.apply(*a, *b)?);
+    let ta = va.uniform_tag();
+    if mask.all()
+        && ta != TAG_MIXED
+        && ta == vb.uniform_tag()
+        && bin_fast_eligible(op, ta)
+        && !(bin_needs_divisor_scan(op, ta) && has_zero(vb.bits()))
+    {
+        bin_fast(op, ta, fast, va.bits(), vb.bits());
+        out.adopt_uniform(fast, ta);
+        return Ok(());
+    }
+    let lanes = mask.lanes();
+    out.reset_filler(lanes);
+    if mask.all() {
+        for lane in 0..lanes {
+            out.set(lane, op.apply(va.get(lane), vb.get(lane))?);
         }
     } else {
-        out.resize(va.len(), FILLER);
-        for (lane, o) in out.iter_mut().enumerate() {
-            if mask[lane] {
-                *o = op.apply(va[lane], vb[lane])?;
-            }
+        for lane in mask.iter_set() {
+            out.set(lane, op.apply(va.get(lane), vb.get(lane))?);
         }
     }
+    out.normalize();
     Ok(())
 }
 
+/// Apply a comparison; the typed loop covers every converged equal-tag
+/// case (comparisons are infallible on equal types).
 fn apply_cmp(
     op: CmpOp,
-    va: &Lanes,
-    vb: &Lanes,
-    mask: &Mask,
-    out: &mut Lanes,
+    va: &RegRow,
+    vb: &RegRow,
+    mask: &LaneMask,
+    out: &mut RegRow,
+    fast: &mut Vec<u32>,
 ) -> Result<(), EvalError> {
-    out.clear();
-    if all(mask) {
-        for (a, b) in va.iter().zip(vb) {
-            out.push(op.apply(*a, *b)?);
+    let ta = va.uniform_tag();
+    if mask.all() && ta != TAG_MIXED && ta == vb.uniform_tag() {
+        cmp_fast(op, ta, fast, va.bits(), vb.bits());
+        out.adopt_uniform(fast, TAG_BOOL);
+        return Ok(());
+    }
+    let lanes = mask.lanes();
+    out.reset_filler(lanes);
+    if mask.all() {
+        for lane in 0..lanes {
+            out.set(lane, op.apply(va.get(lane), vb.get(lane))?);
         }
     } else {
-        out.resize(va.len(), FILLER);
-        for (lane, o) in out.iter_mut().enumerate() {
-            if mask[lane] {
-                *o = op.apply(va[lane], vb[lane])?;
-            }
+        for lane in mask.iter_set() {
+            out.set(lane, op.apply(va.get(lane), vb.get(lane))?);
         }
     }
+    out.normalize();
     Ok(())
+}
+
+/// Apply a cast (always infallible); typed loop on any converged uniform
+/// source row.
+fn apply_cast(ty: Ty, va: &RegRow, mask: &LaneMask, out: &mut RegRow, fast: &mut Vec<u32>) {
+    let ta = va.uniform_tag();
+    if mask.all() && ta != TAG_MIXED {
+        cast_fast(ty, ta, fast, va.bits());
+        out.adopt_uniform(fast, tag_of_ty(ty));
+        return;
+    }
+    let lanes = mask.lanes();
+    out.reset_filler(lanes);
+    if mask.all() {
+        for lane in 0..lanes {
+            out.set(lane, va.get(lane).cast(ty));
+        }
+    } else {
+        for lane in mask.iter_set() {
+            out.set(lane, va.get(lane).cast(ty));
+        }
+    }
+    out.normalize();
 }
 
 /// Split `m` by the boolean `cond` row into `t`/`f`, visiting lanes in
 /// order so `as_bool` type errors surface at the same lane the tree-walker
-/// reports.
+/// reports. Uniform-bool condition rows skip the per-lane decode.
 fn split_mask(
-    cond: &Lanes,
-    m: &Mask,
-    t: &mut Mask,
-    f: &mut Mask,
+    cond: &RegRow,
+    m: &LaneMask,
+    t: &mut LaneMask,
+    f: &mut LaneMask,
     lanes: usize,
 ) -> Result<(), EvalError> {
-    t.clear();
-    t.resize(lanes, false);
-    f.clear();
-    f.resize(lanes, false);
-    for lane in 0..lanes {
-        if m[lane] {
-            if cond[lane].as_bool()? {
-                t[lane] = true;
+    t.reset_empty(lanes);
+    f.reset_empty(lanes);
+    if cond.uniform_tag() == TAG_BOOL {
+        let bits = cond.bits();
+        for lane in m.iter_set() {
+            if bits[lane] != 0 {
+                t.set(lane, true);
             } else {
-                f[lane] = true;
+                f.set(lane, true);
             }
+        }
+        return Ok(());
+    }
+    for lane in m.iter_set() {
+        if cond.get(lane).as_bool()? {
+            t.set(lane, true);
+        } else {
+            f.set(lane, true);
         }
     }
     Ok(())
 }
 
+// ---- shared op bodies ----------------------------------------------------
+//
+// Each `exec_*` helper is the complete body of one unfused opcode —
+// charge, lane loop, and row bookkeeping. The fused superinstruction
+// handlers call the same helpers back to back, which makes fusion
+// bit-identical to the unfused sequence by construction.
+
+#[allow(clippy::too_many_arguments)]
+fn exec_unary(
+    ctx: &mut ExecCtx<'_>,
+    s: &mut BcScratch,
+    rb: usize,
+    mb: usize,
+    m: u16,
+    op: UnOp,
+    dst: u16,
+    a: u16,
+) -> Result<(), EvalError> {
+    ctx.charge_compute(ctx.profile.unop_lat(op), &s.masks[mb + m as usize]);
+    let dst_abs = rb + dst as usize;
+    let mut out = std::mem::take(&mut s.regs[dst_abs]);
+    let mut fast = std::mem::take(&mut s.fast);
+    let r = apply_unary(
+        op,
+        row(s, rb, a),
+        &s.masks[mb + m as usize],
+        &mut out,
+        &mut fast,
+    );
+    s.fast = fast;
+    s.regs[dst_abs] = out;
+    r
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_binary(
+    ctx: &mut ExecCtx<'_>,
+    s: &mut BcScratch,
+    rb: usize,
+    mb: usize,
+    m: u16,
+    op: BinOp,
+    dst: u16,
+    a: u16,
+    b: u16,
+) -> Result<(), EvalError> {
+    // Latency class from the first active lane of the LHS, like the
+    // tree-walker.
+    let float = row(s, rb, a).first_ty(&s.masks[mb + m as usize]) == Some(Ty::F32);
+    ctx.charge_compute(ctx.profile.binop_lat(op, float), &s.masks[mb + m as usize]);
+    let dst_abs = rb + dst as usize;
+    let mut out = std::mem::take(&mut s.regs[dst_abs]);
+    let mut fast = std::mem::take(&mut s.fast);
+    let r = apply_binary(
+        op,
+        row(s, rb, a),
+        row(s, rb, b),
+        &s.masks[mb + m as usize],
+        &mut out,
+        &mut fast,
+    );
+    s.fast = fast;
+    s.regs[dst_abs] = out;
+    r
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_cmp(
+    ctx: &mut ExecCtx<'_>,
+    s: &mut BcScratch,
+    rb: usize,
+    mb: usize,
+    m: u16,
+    op: CmpOp,
+    dst: u16,
+    a: u16,
+    b: u16,
+) -> Result<(), EvalError> {
+    ctx.charge_compute(ctx.profile.alu_lat, &s.masks[mb + m as usize]);
+    let dst_abs = rb + dst as usize;
+    let mut out = std::mem::take(&mut s.regs[dst_abs]);
+    let mut fast = std::mem::take(&mut s.fast);
+    let r = apply_cmp(
+        op,
+        row(s, rb, a),
+        row(s, rb, b),
+        &s.masks[mb + m as usize],
+        &mut out,
+        &mut fast,
+    );
+    s.fast = fast;
+    s.regs[dst_abs] = out;
+    r
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_cast(
+    ctx: &mut ExecCtx<'_>,
+    s: &mut BcScratch,
+    rb: usize,
+    mb: usize,
+    m: u16,
+    ty: Ty,
+    dst: u16,
+    a: u16,
+) -> Result<(), EvalError> {
+    ctx.charge_compute(ctx.profile.alu_lat, &s.masks[mb + m as usize]);
+    let dst_abs = rb + dst as usize;
+    let mut out = std::mem::take(&mut s.regs[dst_abs]);
+    let mut fast = std::mem::take(&mut s.fast);
+    apply_cast(
+        ty,
+        row(s, rb, a),
+        &s.masks[mb + m as usize],
+        &mut out,
+        &mut fast,
+    );
+    s.fast = fast;
+    s.regs[dst_abs] = out;
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_load(
+    ctx: &mut ExecCtx<'_>,
+    s: &mut BcScratch,
+    rb: usize,
+    mb: usize,
+    m: u16,
+    mem: MemRef,
+    idx: u16,
+    dst: u16,
+) -> Result<(), EvalError> {
+    let dst_abs = rb + dst as usize;
+    let mut out = std::mem::take(&mut s.regs[dst_abs]);
+    out.reset_filler(ctx.lanes);
+    let r = ctx.do_load_into(mem, row(s, rb, idx), &s.masks[mb + m as usize], &mut out);
+    // Loads of a uniformly-typed buffer demote the row lane by lane;
+    // recover the uniform tag so downstream ops can take the fast path.
+    out.normalize();
+    s.regs[dst_abs] = out;
+    r
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_store(
+    ctx: &mut ExecCtx<'_>,
+    s: &mut BcScratch,
+    rb: usize,
+    mb: usize,
+    m: u16,
+    mem: MemRef,
+    idx: u16,
+    val: u16,
+) -> Result<(), EvalError> {
+    ctx.do_store(
+        mem,
+        row(s, rb, idx),
+        row(s, rb, val),
+        &s.masks[mb + m as usize],
+    )
+}
+
+/// Split a branch mask and store the halves; returns whether the
+/// then-half is empty. The caller owns the branch charge and the jump.
+#[allow(clippy::too_many_arguments)]
+fn do_if_split(
+    s: &mut BcScratch,
+    rb: usize,
+    mb: usize,
+    lanes: usize,
+    m: u16,
+    cond: u16,
+    t: u16,
+    f: u16,
+) -> Result<bool, EvalError> {
+    let mut tm = std::mem::take(&mut s.masks[mb + t as usize]);
+    let mut fm = std::mem::take(&mut s.masks[mb + f as usize]);
+    let r = split_mask(
+        row(s, rb, cond),
+        &s.masks[mb + m as usize],
+        &mut tm,
+        &mut fm,
+        lanes,
+    );
+    let t_empty = !tm.any();
+    s.masks[mb + t as usize] = tm;
+    s.masks[mb + f as usize] = fm;
+    r?;
+    Ok(t_empty)
+}
+
+/// The loop-variable update `i = i OP amount`; `amt` is `None` for the
+/// self-aliasing `i OP= i` form. Typed strip loop when the loop mask is
+/// converged and both rows share a uniform tag.
+fn step_loop(
+    op: BinOp,
+    current: &mut RegRow,
+    amt: Option<&RegRow>,
+    lm: &LaneMask,
+    fast: &mut Vec<u32>,
+    lanes: usize,
+) -> Result<(), EvalError> {
+    let ct = current.uniform_tag();
+    let at = amt.map_or(ct, |a| a.uniform_tag());
+    if lm.all()
+        && ct != TAG_MIXED
+        && ct == at
+        && bin_fast_eligible(op, ct)
+        && !(bin_needs_divisor_scan(op, ct)
+            && has_zero(amt.map_or_else(|| current.bits(), |a| a.bits())))
+    {
+        {
+            let a_bits = current.bits();
+            let b_bits = amt.map_or(a_bits, |a| a.bits());
+            bin_fast(op, ct, fast, a_bits, b_bits);
+        }
+        current.adopt_uniform(fast, ct);
+        return Ok(());
+    }
+    for lane in 0..lanes {
+        if lm.get(lane) {
+            let x = current.get(lane);
+            let y = amt.map_or(x, |a| a.get(lane));
+            current.set(lane, op.apply(x, y)?);
+        }
+    }
+    current.normalize();
+    Ok(())
+}
+
 /// Fill the constant-bank rows for one block. Charge-free, exactly like
-/// the tree-walker's leaf evaluations; every row is filled on all lanes.
+/// the tree-walker's leaf evaluations; every row is filled on all lanes
+/// (and stays uniform, so bank operands always qualify for typed loops).
 fn fill_bank(ctx: &ExecCtx<'_>, prog: &CompiledKernel, s: &mut BcScratch) -> Result<(), EvalError> {
     use crate::device::ArgValue;
     let lanes = ctx.lanes;
     if s.bank.len() < prog.bank.len() {
-        s.bank.resize_with(prog.bank.len(), Vec::new);
+        s.bank.resize_with(prog.bank.len(), || RegRow::new(0));
     }
     for (i, e) in prog.bank.iter().enumerate() {
         let bank_row = &mut s.bank[i];
-        bank_row.clear();
         match e {
-            BankEntry::Const(v) => bank_row.resize(lanes, *v),
+            BankEntry::Const(v) => bank_row.fill(lanes, *v),
             // Launch validation guarantees declared scalar params resolve,
             // but keep the tree-walker's checks for defense in depth.
             BankEntry::ScalarParam(p) => match ctx.args.get(*p) {
-                Some(ArgValue::Scalar(v)) => bank_row.resize(lanes, *v),
+                Some(ArgValue::Scalar(v)) => bank_row.fill(lanes, *v),
                 Some(ArgValue::Buffer(_)) => {
                     return Err(EvalError::NotPure("buffer parameter read as a scalar"))
                 }
@@ -1370,6 +1971,7 @@ fn fill_bank(ctx: &ExecCtx<'_>, prog: &CompiledKernel, s: &mut BcScratch) -> Res
                 }
             },
             BankEntry::Special(sp) => {
+                bank_row.reset_filler(lanes);
                 for lane in 0..lanes {
                     let v = match sp {
                         Special::ThreadIdX => (lane % ctx.block.x) as i32,
@@ -1381,7 +1983,7 @@ fn fill_bank(ctx: &ExecCtx<'_>, prog: &CompiledKernel, s: &mut BcScratch) -> Res
                         Special::GridDimX => ctx.grid.x as i32,
                         Special::GridDimY => ctx.grid.y as i32,
                     };
-                    bank_row.push(Scalar::I32(v));
+                    bank_row.set(lane, Scalar::I32(v));
                 }
             }
         }
@@ -1391,10 +1993,15 @@ fn fill_bank(ctx: &ExecCtx<'_>, prog: &CompiledKernel, s: &mut BcScratch) -> Res
 
 /// Execute one block of `prog` against `ctx`. Charges and memory traffic
 /// are bit-identical to `ExecCtx::run_block` over the original AST.
+///
+/// When `counts` is present (the device's profiling launch), the executor
+/// bumps the dynamic execution counter of every fusion-candidate pc it
+/// dispatches; the device fuses the hot pairs afterwards.
 pub(crate) fn execute(
     ctx: &mut ExecCtx<'_>,
     prog: &CompiledKernel,
     s: &mut BcScratch,
+    counts: Option<&[AtomicU64]>,
 ) -> Result<(), EvalError> {
     let lanes = ctx.lanes;
     fill_bank(ctx, prog, s)?;
@@ -1407,99 +2014,42 @@ pub(crate) fn execute(
     // Sentinel: RetWrite/FuncRet never execute in the kernel frame.
     let mut cur_func = usize::MAX;
     if s.regs.len() < cur_regs {
-        s.regs.resize_with(cur_regs, Vec::new);
+        s.regs.resize_with(cur_regs, || RegRow::new(0));
     }
     if s.init.len() < cur_regs {
         s.init.resize(cur_regs, false);
     }
     if s.masks.len() < cur_masks.max(1) {
-        s.masks.resize_with(cur_masks.max(1), Vec::new);
+        s.masks.resize_with(cur_masks.max(1), LaneMask::default);
     }
     for flag in &mut s.init[..prog.frame.n_locals as usize] {
         *flag = false;
     }
-    s.masks[0].clear();
-    s.masks[0].resize(lanes, true);
+    s.masks[0].reset_full(lanes);
     s.calls.clear();
     // The kernel frame runs its statements unconditionally (the all-true
     // mask is never empty), matching `run_block`'s single entry check.
     let mut pc = 0usize;
 
     loop {
+        ctx.stats.ops_dispatched += 1;
+        if let Some(c) = counts {
+            if prog.candidates[pc] {
+                c[pc].fetch_add(1, Ordering::Relaxed);
+            }
+        }
         match &prog.ops[pc] {
             Op::Unary { m, op, dst, a } => {
-                ctx.charge_compute(ctx.profile.unop_lat(*op), &s.masks[mask_base + *m as usize]);
-                let dst_abs = reg_base + *dst as usize;
-                let mut out = std::mem::take(&mut s.regs[dst_abs]);
-                let r = apply_unary(
-                    *op,
-                    row(s, reg_base, *a),
-                    &s.masks[mask_base + *m as usize],
-                    &mut out,
-                );
-                s.regs[dst_abs] = out;
-                r?;
+                exec_unary(ctx, s, reg_base, mask_base, *m, *op, *dst, *a)?;
             }
             Op::Binary { m, op, dst, a, b } => {
-                let mask = &s.masks[mask_base + *m as usize];
-                let va = row(s, reg_base, *a);
-                // Latency class from the first active lane of the LHS,
-                // like the tree-walker.
-                let float = mask
-                    .iter()
-                    .position(|&x| x)
-                    .map(|l| va[l].ty() == Ty::F32)
-                    .unwrap_or(false);
-                ctx.charge_compute(
-                    ctx.profile.binop_lat(*op, float),
-                    &s.masks[mask_base + *m as usize],
-                );
-                let dst_abs = reg_base + *dst as usize;
-                let mut out = std::mem::take(&mut s.regs[dst_abs]);
-                let r = apply_binary(
-                    *op,
-                    row(s, reg_base, *a),
-                    row(s, reg_base, *b),
-                    &s.masks[mask_base + *m as usize],
-                    &mut out,
-                );
-                s.regs[dst_abs] = out;
-                r?;
+                exec_binary(ctx, s, reg_base, mask_base, *m, *op, *dst, *a, *b)?;
             }
             Op::Cmp { m, op, dst, a, b } => {
-                ctx.charge_compute(ctx.profile.alu_lat, &s.masks[mask_base + *m as usize]);
-                let dst_abs = reg_base + *dst as usize;
-                let mut out = std::mem::take(&mut s.regs[dst_abs]);
-                let r = apply_cmp(
-                    *op,
-                    row(s, reg_base, *a),
-                    row(s, reg_base, *b),
-                    &s.masks[mask_base + *m as usize],
-                    &mut out,
-                );
-                s.regs[dst_abs] = out;
-                r?;
+                exec_cmp(ctx, s, reg_base, mask_base, *m, *op, *dst, *a, *b)?;
             }
             Op::Cast { m, ty, dst, a } => {
-                ctx.charge_compute(ctx.profile.alu_lat, &s.masks[mask_base + *m as usize]);
-                let dst_abs = reg_base + *dst as usize;
-                let mut out = std::mem::take(&mut s.regs[dst_abs]);
-                out.clear();
-                let mask = &s.masks[mask_base + *m as usize];
-                let va = row(s, reg_base, *a);
-                if all(mask) {
-                    for v in va {
-                        out.push(v.cast(*ty));
-                    }
-                } else {
-                    out.resize(lanes, FILLER);
-                    for (lane, o) in out.iter_mut().enumerate() {
-                        if mask[lane] {
-                            *o = va[lane].cast(*ty);
-                        }
-                    }
-                }
-                s.regs[dst_abs] = out;
+                exec_cast(ctx, s, reg_base, mask_base, *m, *ty, *dst, *a)?;
             }
             Op::FoldedConst {
                 m,
@@ -1516,19 +2066,15 @@ pub(crate) fn execute(
                 let warps = ctx.warp_count(mask);
                 ctx.stats.compute_cycles += lat * warps;
                 ctx.stats.instructions += count * warps;
-                let dst_abs = reg_base + *dst as usize;
-                let mask = &s.masks[mask_base + *m as usize];
-                let out = &mut s.regs[dst_abs];
-                out.clear();
-                if all(mask) {
-                    out.resize(lanes, *value);
+                let out = &mut s.regs[reg_base + *dst as usize];
+                if mask.all() {
+                    out.fill(lanes, *value);
                 } else {
-                    out.resize(lanes, FILLER);
-                    for (lane, o) in out.iter_mut().enumerate() {
-                        if mask[lane] {
-                            *o = *value;
-                        }
+                    out.reset_filler(lanes);
+                    for lane in mask.iter_set() {
+                        out.set(lane, *value);
                     }
+                    out.normalize();
                 }
             }
             Op::GuardInit { local, var } => {
@@ -1542,27 +2088,22 @@ pub(crate) fn execute(
                 if *src & BANK_FLAG == 0 && *src == *local {
                     s.init[dst_abs] = true;
                 } else if !s.init[dst_abs] {
-                    // First write: store the whole vector, like the
+                    // First write: store the whole row, like the
                     // tree-walker moving the evaluated vector into the
                     // `None` slot (inactive lanes keep the source's
                     // filler/leaf values).
                     let mut out = std::mem::take(&mut s.regs[dst_abs]);
-                    out.clear();
-                    out.extend_from_slice(row(s, reg_base, *src));
+                    out.copy_from(row(s, reg_base, *src));
                     s.regs[dst_abs] = out;
                     s.init[dst_abs] = true;
                 } else {
                     let mut out = std::mem::take(&mut s.regs[dst_abs]);
                     let src_row = row(s, reg_base, *src);
                     let mask = &s.masks[mask_base + *m as usize];
-                    if all(mask) {
-                        out.copy_from_slice(src_row);
+                    if mask.all() {
+                        out.copy_from(src_row);
                     } else {
-                        for (lane, o) in out.iter_mut().enumerate() {
-                            if mask[lane] {
-                                *o = src_row[lane];
-                            }
-                        }
+                        out.copy_masked_from(src_row, mask);
                     }
                     s.regs[dst_abs] = out;
                 }
@@ -1575,26 +2116,13 @@ pub(crate) fn execute(
                 skip_t,
             } => {
                 ctx.charge_compute(ctx.profile.alu_lat, &s.masks[mask_base + *m as usize]);
-                let mut tm = std::mem::take(&mut s.masks[mask_base + *t as usize]);
-                let mut fm = std::mem::take(&mut s.masks[mask_base + *f as usize]);
-                let r = split_mask(
-                    row(s, reg_base, *cond),
-                    &s.masks[mask_base + *m as usize],
-                    &mut tm,
-                    &mut fm,
-                    lanes,
-                );
-                let t_empty = !any(&tm);
-                s.masks[mask_base + *t as usize] = tm;
-                s.masks[mask_base + *f as usize] = fm;
-                r?;
-                if t_empty {
+                if do_if_split(s, reg_base, mask_base, lanes, *m, *cond, *t, *f)? {
                     pc = *skip_t as usize;
                     continue;
                 }
             }
             Op::IfElse { f, skip } => {
-                if !any(&s.masks[mask_base + *f as usize]) {
+                if !s.masks[mask_base + *f as usize].any() {
                     pc = *skip as usize;
                     continue;
                 }
@@ -1608,22 +2136,8 @@ pub(crate) fn execute(
                 skip_t,
             } => {
                 ctx.charge_compute(ctx.profile.alu_lat, &s.masks[mask_base + *m as usize]);
-                let mut tm = std::mem::take(&mut s.masks[mask_base + *t as usize]);
-                let mut fm = std::mem::take(&mut s.masks[mask_base + *f as usize]);
-                let r = split_mask(
-                    row(s, reg_base, *cond),
-                    &s.masks[mask_base + *m as usize],
-                    &mut tm,
-                    &mut fm,
-                    lanes,
-                );
-                let t_empty = !any(&tm);
-                s.masks[mask_base + *t as usize] = tm;
-                s.masks[mask_base + *f as usize] = fm;
-                r?;
-                let out = &mut s.regs[reg_base + *dst as usize];
-                out.clear();
-                out.resize(lanes, FILLER);
+                let t_empty = do_if_split(s, reg_base, mask_base, lanes, *m, *cond, *t, *f)?;
+                s.regs[reg_base + *dst as usize].reset_filler(lanes);
                 if t_empty {
                     pc = *skip_t as usize;
                     continue;
@@ -1632,32 +2146,22 @@ pub(crate) fn execute(
             Op::SelMerge { m, dst, src } => {
                 let dst_abs = reg_base + *dst as usize;
                 let mut out = std::mem::take(&mut s.regs[dst_abs]);
-                let src_row = row(s, reg_base, *src);
-                let mask = &s.masks[mask_base + *m as usize];
-                for (lane, o) in out.iter_mut().enumerate() {
-                    if mask[lane] {
-                        *o = src_row[lane];
-                    }
-                }
+                out.copy_masked_from(row(s, reg_base, *src), &s.masks[mask_base + *m as usize]);
                 s.regs[dst_abs] = out;
             }
             Op::SelElse { f, skip } => {
-                if !any(&s.masks[mask_base + *f as usize]) {
+                if !s.masks[mask_base + *f as usize].any() {
                     pc = *skip as usize;
                     continue;
                 }
             }
             Op::ForPrep { m, ml, func, exit } => {
                 let mut lm = std::mem::take(&mut s.masks[mask_base + *ml as usize]);
-                lm.clear();
-                let base_mask = &s.masks[mask_base + *m as usize];
+                lm.copy_from(&s.masks[mask_base + *m as usize]);
                 if *func {
-                    let returned = &s.masks[mask_base + 1];
-                    lm.extend(base_mask.iter().zip(returned).map(|(&m, &r)| m && !r));
-                } else {
-                    lm.extend_from_slice(base_mask);
+                    lm.and_not_assign(&s.masks[mask_base + 1]);
                 }
-                let empty = !any(&lm);
+                let empty = !lm.any();
                 s.masks[mask_base + *ml as usize] = lm;
                 if empty {
                     pc = *exit as usize;
@@ -1680,22 +2184,38 @@ pub(crate) fn execute(
                 let mut lm = std::mem::take(&mut s.masks[mask_base + *ml as usize]);
                 let current = &s.regs[local_abs];
                 let bnd = row(s, reg_base, *bound);
+                let ct = current.uniform_tag();
                 let mut err = None;
-                for (lane, keep) in lm.iter_mut().enumerate() {
-                    if *keep {
-                        match cmp
-                            .apply(current[lane], bnd[lane])
-                            .and_then(|v| v.as_bool())
-                        {
-                            Ok(cont) => *keep = cont,
-                            Err(e) => {
-                                err = Some(e);
-                                break;
+                if ct != TAG_MIXED && ct == bnd.uniform_tag() {
+                    // Equal-tag comparisons are infallible: refine the mask
+                    // with the typed comparator, no per-lane decode.
+                    let (ca, cb) = (current.bits(), bnd.bits());
+                    for lane in 0..lanes {
+                        if lm.get(lane) && !cmp_one(*cmp, ct, ca[lane], cb[lane]) {
+                            lm.set(lane, false);
+                        }
+                    }
+                } else {
+                    for lane in 0..lanes {
+                        if lm.get(lane) {
+                            match cmp
+                                .apply(current.get(lane), bnd.get(lane))
+                                .and_then(|v| v.as_bool())
+                            {
+                                Ok(cont) => {
+                                    if !cont {
+                                        lm.set(lane, false);
+                                    }
+                                }
+                                Err(e) => {
+                                    err = Some(e);
+                                    break;
+                                }
                             }
                         }
                     }
                 }
-                let empty = !any(&lm);
+                let empty = !lm.any();
                 s.masks[mask_base + *ml as usize] = lm;
                 if let Some(e) = err {
                     return Err(e);
@@ -1711,11 +2231,8 @@ pub(crate) fn execute(
             }
             Op::ForPrune { ml, exit } => {
                 let mut lm = std::mem::take(&mut s.masks[mask_base + *ml as usize]);
-                let returned = &s.masks[mask_base + 1];
-                for (keep, &r) in lm.iter_mut().zip(returned) {
-                    *keep = *keep && !r;
-                }
-                let empty = !any(&lm);
+                lm.and_not_assign(&s.masks[mask_base + 1]);
+                let empty = !lm.any();
                 s.masks[mask_base + *ml as usize] = lm;
                 if empty {
                     pc = *exit as usize;
@@ -1735,60 +2252,29 @@ pub(crate) fn execute(
                 if !s.init[local_abs] {
                     return Err(EvalError::UninitializedVar(*var));
                 }
-                let lm_slot = mask_base + *ml as usize;
-                if *amount & BANK_FLAG == 0 && *amount == *local {
-                    // `i OP= i`: the amount row *is* the loop variable.
-                    let lm = std::mem::take(&mut s.masks[lm_slot]);
-                    let current = &mut s.regs[local_abs];
-                    let mut err = None;
-                    for (lane, c) in current.iter_mut().enumerate() {
-                        if lm[lane] {
-                            match op.apply(*c, *c) {
-                                Ok(v) => *c = v,
-                                Err(e) => {
-                                    err = Some(e);
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                    s.masks[lm_slot] = lm;
-                    if let Some(e) = err {
-                        return Err(e);
-                    }
-                } else {
-                    let mut current = std::mem::take(&mut s.regs[local_abs]);
-                    let amt = row(s, reg_base, *amount);
-                    let lm = &s.masks[lm_slot];
-                    let mut err = None;
-                    for (lane, c) in current.iter_mut().enumerate() {
-                        if lm[lane] {
-                            match op.apply(*c, amt[lane]) {
-                                Ok(v) => *c = v,
-                                Err(e) => {
-                                    err = Some(e);
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                    s.regs[local_abs] = current;
-                    if let Some(e) = err {
-                        return Err(e);
-                    }
-                }
+                let alias = *amount & BANK_FLAG == 0 && *amount == *local;
+                let mut current = std::mem::take(&mut s.regs[local_abs]);
+                let mut fast = std::mem::take(&mut s.fast);
+                let r = {
+                    let lm = &s.masks[mask_base + *ml as usize];
+                    let amt = if alias {
+                        None
+                    } else {
+                        Some(row(s, reg_base, *amount))
+                    };
+                    step_loop(*op, &mut current, amt, lm, &mut fast, lanes)
+                };
+                s.fast = fast;
+                s.regs[local_abs] = current;
+                r?;
                 pc = *head as usize;
                 continue;
             }
             Op::Live { base, live, exit } => {
                 let mut lv = std::mem::take(&mut s.masks[mask_base + *live as usize]);
-                lv.clear();
-                {
-                    let base_mask = &s.masks[mask_base + *base as usize];
-                    let returned = &s.masks[mask_base + 1];
-                    lv.extend(base_mask.iter().zip(returned).map(|(&m, &r)| m && !r));
-                }
-                let empty = !any(&lv);
+                lv.copy_from(&s.masks[mask_base + *base as usize]);
+                lv.and_not_assign(&s.masks[mask_base + 1]);
+                let empty = !lv.any();
                 s.masks[mask_base + *live as usize] = lv;
                 if empty {
                     pc = *exit as usize;
@@ -1796,21 +2282,10 @@ pub(crate) fn execute(
                 }
             }
             Op::Load { m, mem, idx, dst } => {
-                let dst_abs = reg_base + *dst as usize;
-                let mut out = std::mem::take(&mut s.regs[dst_abs]);
-                out.clear();
-                out.resize(lanes, FILLER);
-                let mask = std::mem::take(&mut s.masks[mask_base + *m as usize]);
-                let r = ctx.do_load_into(*mem, row(s, reg_base, *idx), &mask, &mut out);
-                s.masks[mask_base + *m as usize] = mask;
-                s.regs[dst_abs] = out;
-                r?;
+                exec_load(ctx, s, reg_base, mask_base, *m, *mem, *idx, *dst)?;
             }
             Op::Store { m, mem, idx, val } => {
-                let mask = std::mem::take(&mut s.masks[mask_base + *m as usize]);
-                let r = ctx.do_store(*mem, row(s, reg_base, *idx), row(s, reg_base, *val), &mask);
-                s.masks[mask_base + *m as usize] = mask;
-                r?;
+                exec_store(ctx, s, reg_base, mask_base, *m, *mem, *idx, *val)?;
             }
             Op::AtomicStmt {
                 m,
@@ -1819,19 +2294,16 @@ pub(crate) fn execute(
                 idx,
                 val,
             } => {
-                let mask = std::mem::take(&mut s.masks[mask_base + *m as usize]);
-                let r = ctx.do_atomic(
+                ctx.do_atomic(
                     *op,
                     *mem,
                     row(s, reg_base, *idx),
                     row(s, reg_base, *val),
-                    &mask,
-                );
-                s.masks[mask_base + *m as usize] = mask;
-                r?;
+                    &s.masks[mask_base + *m as usize],
+                )?;
             }
             Op::Sync { m } => {
-                if !all(&s.masks[mask_base + *m as usize]) {
+                if !s.masks[mask_base + *m as usize].all() {
                     return Err(EvalError::DivergentBarrier);
                 }
             }
@@ -1841,13 +2313,11 @@ pub(crate) fn execute(
                 let mut retv = std::mem::take(&mut s.regs[ret_abs]);
                 let mut returned = std::mem::take(&mut s.masks[mask_base + 1]);
                 let src_row = row(s, reg_base, *src);
-                let mask = &s.masks[mask_base + *m as usize];
-                for lane in 0..lanes {
-                    if mask[lane] {
-                        returned[lane] = true;
-                        retv[lane] = src_row[lane];
-                    }
+                for lane in s.masks[mask_base + *m as usize].iter_set() {
+                    returned.set(lane, true);
+                    retv.set(lane, src_row.get(lane));
                 }
+                retv.normalize();
                 s.regs[ret_abs] = retv;
                 s.masks[mask_base + 1] = returned;
             }
@@ -1855,15 +2325,29 @@ pub(crate) fn execute(
                 let meta = &prog.funcs[*func as usize];
                 // Per-parameter type check over active lanes, then the
                 // call-overhead charge — the tree-walker's exact order.
+                // Uniform rows check once for the whole strip.
                 {
                     let mask = &s.masks[mask_base + *m as usize];
                     for (a, ty) in args.iter().zip(meta.param_tys.iter()) {
                         let arg_row = row(s, reg_base, *a);
-                        for lane in 0..lanes {
-                            if mask[lane] && arg_row[lane].ty() != *ty {
+                        let ut = arg_row.uniform_tag();
+                        if ut == tag_of_ty(*ty) {
+                            continue;
+                        }
+                        if ut != TAG_MIXED {
+                            if mask.any() {
                                 return Err(EvalError::TypeMismatch {
                                     expected: *ty,
-                                    found: arg_row[lane].ty(),
+                                    found: tag_ty(ut),
+                                });
+                            }
+                            continue;
+                        }
+                        for lane in mask.iter_set() {
+                            if arg_row.ty_at(lane) != *ty {
+                                return Err(EvalError::TypeMismatch {
+                                    expected: *ty,
+                                    found: arg_row.ty_at(lane),
                                 });
                             }
                         }
@@ -1880,37 +2364,34 @@ pub(crate) fn execute(
                 let callee_locals = meta.frame.n_locals as usize;
                 let entry = meta.entry;
                 if s.regs.len() < new_rb + callee_regs {
-                    s.regs.resize_with(new_rb + callee_regs, Vec::new);
+                    s.regs.resize_with(new_rb + callee_regs, || RegRow::new(0));
                 }
                 if s.init.len() < new_rb + callee_regs {
                     s.init.resize(new_rb + callee_regs, false);
                 }
                 if s.masks.len() < new_mb + callee_masks.max(2) {
-                    s.masks.resize_with(new_mb + callee_masks.max(2), Vec::new);
+                    s.masks
+                        .resize_with(new_mb + callee_masks.max(2), LaneMask::default);
                 }
                 for flag in &mut s.init[new_rb..new_rb + callee_locals] {
                     *flag = false;
                 }
                 // Mask slot 0: the call mask; slot 1: returned lanes.
                 let mut cm = std::mem::take(&mut s.masks[new_mb]);
-                cm.clear();
-                cm.extend_from_slice(&s.masks[mask_base + *m as usize]);
+                cm.copy_from(&s.masks[mask_base + *m as usize]);
                 s.masks[new_mb] = cm;
-                s.masks[new_mb + 1].clear();
-                s.masks[new_mb + 1].resize(lanes, false);
-                // Copy argument vectors whole-lane into the callee's param
+                s.masks[new_mb + 1].reset_empty(lanes);
+                // Copy argument rows whole-lane into the callee's param
                 // slots (the tree-walker passes the full vectors too).
                 for (i, a) in args.iter().enumerate() {
                     let slot = new_rb + callee_locals + i;
                     let mut p = std::mem::take(&mut s.regs[slot]);
-                    p.clear();
-                    p.extend_from_slice(row(s, reg_base, *a));
+                    p.copy_from(row(s, reg_base, *a));
                     s.regs[slot] = p;
                 }
                 // Return-value slot starts as filler on every lane.
                 let ret_slot = new_rb + callee_locals + args.len();
-                s.regs[ret_slot].clear();
-                s.regs[ret_slot].resize(lanes, FILLER);
+                s.regs[ret_slot].reset_filler(lanes);
                 s.calls.push(CallCtx {
                     ret_pc: pc + 1,
                     ret_dst: reg_base + *dst as usize,
@@ -1933,8 +2414,8 @@ pub(crate) fn execute(
                 {
                     let cm = &s.masks[mask_base];
                     let returned = &s.masks[mask_base + 1];
-                    for lane in 0..lanes {
-                        if cm[lane] && !returned[lane] {
+                    for lane in cm.iter_set() {
+                        if !returned.get(lane) {
                             return Err(EvalError::MissingReturn(meta.name.clone()));
                         }
                     }
@@ -1942,8 +2423,7 @@ pub(crate) fn execute(
                 let cc = s.calls.pop().expect("FuncRet outside a call");
                 let ret_abs = reg_base + (meta.frame.n_locals + meta.frame.n_params) as usize;
                 let mut out = std::mem::take(&mut s.regs[cc.ret_dst]);
-                out.clear();
-                out.extend_from_slice(&s.regs[ret_abs]);
+                out.copy_from(&s.regs[ret_abs]);
                 s.regs[cc.ret_dst] = out;
                 reg_base = cc.prev_reg_base;
                 mask_base = cc.prev_mask_base;
@@ -1955,6 +2435,72 @@ pub(crate) fn execute(
             }
             Op::Trap(e) => return Err((**e).clone()),
             Op::Halt => return Ok(()),
+            Op::FusedBinBin {
+                m,
+                op1,
+                dst1,
+                a1,
+                b1,
+                op2,
+                dst2,
+                a2,
+                b2,
+            } => {
+                ctx.stats.fusions_hit += 1;
+                exec_binary(ctx, s, reg_base, mask_base, *m, *op1, *dst1, *a1, *b1)?;
+                exec_binary(ctx, s, reg_base, mask_base, *m, *op2, *dst2, *a2, *b2)?;
+                pc += 2;
+                continue;
+            }
+            Op::FusedCmpIf {
+                m,
+                op,
+                dst,
+                a,
+                b,
+                t,
+                f,
+                skip_t,
+            } => {
+                ctx.stats.fusions_hit += 1;
+                exec_cmp(ctx, s, reg_base, mask_base, *m, *op, *dst, *a, *b)?;
+                ctx.charge_compute(ctx.profile.alu_lat, &s.masks[mask_base + *m as usize]);
+                if do_if_split(s, reg_base, mask_base, lanes, *m, *dst, *t, *f)? {
+                    pc = *skip_t as usize;
+                } else {
+                    pc += 2;
+                }
+                continue;
+            }
+            Op::FusedLoadCast {
+                m,
+                mem,
+                idx,
+                dst,
+                ty,
+                dst2,
+            } => {
+                ctx.stats.fusions_hit += 1;
+                exec_load(ctx, s, reg_base, mask_base, *m, *mem, *idx, *dst)?;
+                exec_cast(ctx, s, reg_base, mask_base, *m, *ty, *dst2, *dst)?;
+                pc += 2;
+                continue;
+            }
+            Op::FusedBinStore {
+                m,
+                op,
+                dst,
+                a,
+                b,
+                mem,
+                idx,
+            } => {
+                ctx.stats.fusions_hit += 1;
+                exec_binary(ctx, s, reg_base, mask_base, *m, *op, *dst, *a, *b)?;
+                exec_store(ctx, s, reg_base, mask_base, *m, *mem, *idx, *dst)?;
+                pc += 2;
+                continue;
+            }
         }
         pc += 1;
     }

@@ -3,6 +3,7 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use paraprox_ir::{Func, Kernel, KernelId, MemSpace, Program, Scalar, Ty};
@@ -115,13 +116,32 @@ impl Clone for BufferStorage {
 const PROGRAM_CACHE_CAP: usize = 1024;
 
 /// One verified entry of the compiled-program cache: the structural key
-/// (kernel plus every function of its program, cloned at insert time) and
-/// the shared compiled artifact.
+/// (kernel plus every function of its program, cloned at insert time), the
+/// shared compiled artifact, the per-pc dynamic execution counters the
+/// profiling launch fills, and — once a profiled launch has completed —
+/// the fused superinstruction artifact every later launch runs.
 #[derive(Debug)]
 struct CacheEntry {
     kernel: Kernel,
     funcs: Vec<Func>,
     compiled: Arc<CompiledKernel>,
+    /// Dynamic execution count per pc, bumped (for fusion-candidate pcs
+    /// only) during the first launch of this entry.
+    counts: Arc<Vec<AtomicU64>>,
+    /// Profile-guided fused artifact, built after the first successful
+    /// launch. `None` until then.
+    fused: Option<Arc<CompiledKernel>>,
+}
+
+/// One cache entry borrowed out for a single launch: the artifacts plus
+/// the `(key, idx)` handle needed to store a freshly fused artifact back
+/// after the profiling launch completes.
+struct ProgramHandle {
+    key: u64,
+    idx: usize,
+    compiled: Arc<CompiledKernel>,
+    counts: Arc<Vec<AtomicU64>>,
+    fused: Option<Arc<CompiledKernel>>,
 }
 
 /// Per-device cache of bytecode-compiled kernels, keyed by *structural*
@@ -148,7 +168,7 @@ impl ProgramCache {
         program: &Program,
         kernel: &Kernel,
         profile: &DeviceProfile,
-    ) -> Arc<CompiledKernel> {
+    ) -> ProgramHandle {
         let mut h = DefaultHasher::new();
         kernel.hash(&mut h);
         for (_, f) in program.funcs() {
@@ -156,28 +176,59 @@ impl ProgramCache {
         }
         let key = h.finish();
         if let Some(list) = self.entries.get(&key) {
-            for e in list {
+            for (idx, e) in list.iter().enumerate() {
                 if e.kernel == *kernel
                     && e.funcs.len() == program.func_count()
                     && program.funcs().all(|(id, f)| e.funcs[id.0] == *f)
                 {
-                    return Arc::clone(&e.compiled);
+                    return ProgramHandle {
+                        key,
+                        idx,
+                        compiled: Arc::clone(&e.compiled),
+                        counts: Arc::clone(&e.counts),
+                        fused: e.fused.as_ref().map(Arc::clone),
+                    };
                 }
             }
         }
         let compiled = Arc::new(bytecode::compile_kernel(program, kernel, profile));
+        let counts: Arc<Vec<AtomicU64>> = Arc::new(
+            (0..compiled.op_count())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        );
         self.compiles += 1;
         if self.len >= PROGRAM_CACHE_CAP {
             self.entries.clear();
             self.len = 0;
         }
-        self.entries.entry(key).or_default().push(CacheEntry {
+        let list = self.entries.entry(key).or_default();
+        list.push(CacheEntry {
             kernel: kernel.clone(),
             funcs: program.funcs().map(|(_, f)| f.clone()).collect(),
             compiled: Arc::clone(&compiled),
+            counts: Arc::clone(&counts),
+            fused: None,
         });
+        let idx = list.len() - 1;
         self.len += 1;
-        compiled
+        ProgramHandle {
+            key,
+            idx,
+            compiled,
+            counts,
+            fused: None,
+        }
+    }
+
+    /// Attach the fused artifact produced after a profiling launch. The
+    /// `(key, idx)` handle is stable for the duration of one launch call
+    /// (entries are only removed by the wholesale cap clear, which cannot
+    /// run mid-launch); the defensive lookups cover the theoretical miss.
+    fn store_fused(&mut self, key: u64, idx: usize, fused: Arc<CompiledKernel>) {
+        if let Some(e) = self.entries.get_mut(&key).and_then(|l| l.get_mut(idx)) {
+            e.fused = Some(fused);
+        }
     }
 }
 
@@ -194,6 +245,10 @@ pub struct Device {
     /// When set, intra-block store *application order* is permuted
     /// per-block (see [`Device::set_schedule_seed`]).
     schedule_seed: Option<u64>,
+    /// Profile-guided superinstruction fusion for the bytecode engine
+    /// (default on; disabled by the `PARAPROX_NO_FUSE` environment
+    /// variable or [`Device::set_fusion`]).
+    fusion: bool,
     /// Per-worker buffer images, retained across launches so a serving
     /// loop reuses the allocations instead of cloning the arena per
     /// launch (see [`Device::pooled_images`]).
@@ -213,8 +268,18 @@ impl Device {
             constant_cache,
             programs: ProgramCache::default(),
             schedule_seed: None,
+            fusion: fusion_from_env(),
             image_pool: Vec::new(),
         }
+    }
+
+    /// Enable or disable profile-guided superinstruction fusion for the
+    /// bytecode engine. The default comes from the `PARAPROX_NO_FUSE`
+    /// environment variable (set it non-empty and not `0` to disable).
+    /// Fusion never changes results: fused and unfused execution are
+    /// bit-identical in buffers, simulated cycles, and cache statistics.
+    pub fn set_fusion(&mut self, on: bool) {
+        self.fusion = on;
     }
 
     /// Number of per-worker buffer images currently pooled. Parallel
@@ -524,9 +589,20 @@ impl Device {
                 available: self.profile.shared_mem_bytes,
             });
         }
-        let compiled = match crate::profile::resolve_engine(self.profile.engine) {
+        let handle = match crate::profile::resolve_engine(self.profile.engine) {
             ExecEngine::Bytecode => Some(self.programs.get_or_compile(program, k, &self.profile)),
             ExecEngine::TreeWalk => None,
+        };
+        // Pick the artifact: the fused one when available, otherwise the
+        // base artifact — profiling pair frequencies on the way when this
+        // is the entry's first (fusion-enabled) launch.
+        let (compiled, profiling): (Option<&CompiledKernel>, bool) = match &handle {
+            Some(h) if !self.fusion => (Some(&h.compiled), false),
+            Some(h) => match &h.fused {
+                Some(f) => (Some(f), false),
+                None => (Some(&h.compiled), true),
+            },
+            None => (None, false),
         };
         let launch = Launch {
             profile: &self.profile,
@@ -535,16 +611,48 @@ impl Device {
             args,
             grid,
             block,
-            compiled: compiled.as_deref(),
+            compiled,
             schedule_seed: self.schedule_seed,
+            profile_counts: match (&handle, profiling) {
+                (Some(h), true) => Some(&h.counts[..]),
+                _ => None,
+            },
         };
-        exec::run_launch(
+        let result = exec::run_launch(
             &launch,
             &mut self.buffers,
             &mut self.l1,
             &mut self.constant_cache,
             &mut self.image_pool,
-        )
+        );
+        // After a successful profiling launch, fuse the hot pairs and
+        // cache the artifact; every later launch of this entry dispatches
+        // the superinstructions. Errored launches skip fusing (their
+        // counts may cover only a prefix of execution). The atomic counts
+        // are worker-count independent: the *set* of executed pcs is
+        // deterministic, and fusion only asks which counts are non-zero.
+        if result.is_ok() && profiling {
+            if let Some(h) = &handle {
+                let snapshot: Vec<u64> =
+                    h.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+                let fused = Arc::new(h.compiled.fuse(&snapshot));
+                self.programs.store_fused(h.key, h.idx, fused);
+            }
+        }
+        result
+    }
+}
+
+/// Fusion default from the environment: `PARAPROX_NO_FUSE` set to a
+/// non-empty value other than `0` disables fusion (same trim/ignore idiom
+/// as `PARAPROX_ENGINE`/`PARAPROX_THREADS`).
+fn fusion_from_env() -> bool {
+    match std::env::var("PARAPROX_NO_FUSE") {
+        Ok(v) => {
+            let t = v.trim();
+            t.is_empty() || t == "0"
+        }
+        Err(_) => true,
     }
 }
 

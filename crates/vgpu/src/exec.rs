@@ -54,6 +54,7 @@ use paraprox_ir::{
 use crate::cache::Cache;
 use crate::device::{ArgValue, BufferStorage, Dim2};
 use crate::error::LaunchError;
+use crate::mask::LaneMask;
 use crate::pool::{self, WorkQueue};
 use crate::profile::DeviceProfile;
 use crate::stats::LaunchStats;
@@ -63,27 +64,21 @@ use crate::stats::LaunchStats;
 /// in malformed IR.
 pub(crate) const ITERATION_BUDGET: u64 = 1 << 33;
 
-pub(crate) type Mask = Vec<bool>;
-
-pub(crate) fn any(mask: &Mask) -> bool {
-    mask.iter().any(|&b| b)
-}
-
-pub(crate) fn all(mask: &Mask) -> bool {
-    mask.iter().all(|&b| b)
-}
+/// Divergence masks are per-warp `u64` bitsets, shared by both engines.
+pub(crate) type Mask = LaneMask;
 
 /// Iterate warp lane-ranges that contain at least one active lane, without
-/// allocating.
-pub(crate) fn active_warps(
+/// allocating. One shift-and-mask per warp (see [`LaneMask::warp_bits`]).
+pub(crate) fn active_warp_ranges(
     warp_width: usize,
     lanes: usize,
-    mask: &[bool],
+    mask: &Mask,
 ) -> impl Iterator<Item = (usize, usize)> + '_ {
+    let w = warp_width.max(1);
     (0..lanes)
-        .step_by(warp_width.max(1))
-        .map(move |start| (start, (start + warp_width).min(lanes)))
-        .filter(move |&(start, end)| mask[start..end].iter().any(|&b| b))
+        .step_by(w)
+        .filter(move |&start| mask.warp_bits(start, w) != 0)
+        .map(move |start| (start, (start + w).min(lanes)))
 }
 
 /// Lane-indexed values; entries for inactive lanes hold an arbitrary filler.
@@ -91,13 +86,56 @@ pub(crate) type Lanes = Vec<Scalar>;
 
 pub(crate) const FILLER: Scalar = Scalar::I32(0);
 
-/// Reusable lane/mask vectors: the interpreter churns through short-lived
-/// per-statement vectors, so each worker keeps a small free list instead of
-/// hitting the allocator per expression.
+/// Read access to one lane of a lane-indexed value container. Implemented
+/// by the tree-walker's `Vec<Scalar>` and the bytecode engine's
+/// [`crate::soa::RegRow`], so the memory pipeline (loads, stores, atomics,
+/// coalescing/bank-conflict charging) is single-sourced across engines.
+pub(crate) trait LaneGet {
+    /// Scalar value of lane `i`.
+    fn lane(&self, i: usize) -> Scalar;
+}
+
+impl LaneGet for Vec<Scalar> {
+    #[inline(always)]
+    fn lane(&self, i: usize) -> Scalar {
+        self[i]
+    }
+}
+
+impl LaneGet for crate::soa::RegRow {
+    #[inline(always)]
+    fn lane(&self, i: usize) -> Scalar {
+        self.get(i)
+    }
+}
+
+/// Write access to one lane of a lane-indexed value container.
+pub(crate) trait LaneSet {
+    /// Store `v` into lane `i`.
+    fn set_lane(&mut self, i: usize, v: Scalar);
+}
+
+impl LaneSet for Vec<Scalar> {
+    #[inline(always)]
+    fn set_lane(&mut self, i: usize, v: Scalar) {
+        self[i] = v;
+    }
+}
+
+impl LaneSet for crate::soa::RegRow {
+    #[inline(always)]
+    fn set_lane(&mut self, i: usize, v: Scalar) {
+        self.set(i, v);
+    }
+}
+
+/// Reusable lane vectors: the interpreter churns through short-lived
+/// per-statement vectors, so each worker keeps a small free list instead
+/// of hitting the allocator per expression. (Masks are packed bitsets now
+/// — one or two words for typical block sizes — and no longer pooled.)
 #[derive(Default)]
 pub(crate) struct ScratchPool {
     lanes: Vec<Lanes>,
-    masks: Vec<Mask>,
 }
 
 /// Cap on pooled vectors; beyond this they are simply dropped.
@@ -129,26 +167,9 @@ impl ScratchPool {
         }
     }
 
-    fn take_mask(&mut self, n: usize, fill: bool) -> Mask {
-        match self.masks.pop() {
-            Some(mut v) => {
-                v.clear();
-                v.resize(n, fill);
-                v
-            }
-            None => vec![fill; n],
-        }
-    }
-
     fn put_lanes(&mut self, v: Lanes) {
         if self.lanes.len() < SCRATCH_POOL_CAP {
             self.lanes.push(v);
-        }
-    }
-
-    fn put_mask(&mut self, v: Mask) {
-        if self.masks.len() < SCRATCH_POOL_CAP {
-            self.masks.push(v);
         }
     }
 }
@@ -239,7 +260,7 @@ impl<'v> Frame<'v> {
         Frame {
             args: FrameArgs::Func(args),
             locals: vec![None; local_count],
-            returned: Some((vec![false; lanes], vec![FILLER; lanes])),
+            returned: Some((LaneMask::empty(lanes), vec![FILLER; lanes])),
         }
     }
 }
@@ -258,6 +279,11 @@ pub(crate) struct Launch<'a> {
     /// Seed for per-block store-application-order permutation (None =
     /// canonical lane order).
     pub schedule_seed: Option<u64>,
+    /// Per-pc dynamic execution counters for the profile-guided fusion
+    /// pass (bytecode engine only; indexed like `compiled`'s op stream).
+    /// Atomic so concurrent pool workers can bump them racelessly — the
+    /// summed counts are deterministic for any worker count.
+    pub profile_counts: Option<&'a [AtomicU64]>,
 }
 
 /// Everything one block finished with; folded in ascending `block` order.
@@ -523,9 +549,9 @@ fn exec_block(
     ctx.stats.warps = lanes.div_ceil(ctx.profile.warp_width) as u64;
     ctx.stats.overhead_cycles = ctx.profile.block_overhead;
     match launch.compiled {
-        Some(prog) => crate::bytecode::execute(&mut ctx, prog, bc)?,
+        Some(prog) => crate::bytecode::execute(&mut ctx, prog, bc, launch.profile_counts)?,
         None => {
-            let mask = vec![true; lanes];
+            let mask = LaneMask::full(lanes);
             let mut frame = Frame::for_kernel(ctx.kernel.locals.len());
             ctx.run_block(&launch.kernel.body, &mask, &mut frame)?;
         }
@@ -564,14 +590,10 @@ pub(crate) struct ExecCtx<'a> {
 impl ExecCtx<'_> {
     // ---- cost charging ------------------------------------------------
 
-    /// Number of warps with at least one active lane. Fully-converged
-    /// masks (the common case) skip the per-lane scan.
+    /// Number of warps with at least one active lane — a word-wise bitset
+    /// query, one shift-and-mask per warp.
     pub(crate) fn warp_count(&self, mask: &Mask) -> u64 {
-        if all(mask) {
-            self.lanes.div_ceil(self.profile.warp_width) as u64
-        } else {
-            active_warps(self.profile.warp_width, self.lanes, mask).count() as u64
-        }
+        mask.active_warps(self.profile.warp_width) as u64
     }
 
     pub(crate) fn charge_compute(&mut self, lat: u64, mask: &Mask) {
@@ -641,15 +663,13 @@ impl ExecCtx<'_> {
                 let va = self.eval(a, mask, frame)?;
                 self.charge_compute(self.profile.unop_lat(*op), mask);
                 let mut out = self.scratch.take_lanes(self.lanes, FILLER);
-                if all(mask) {
+                if mask.all() {
                     for lane in 0..self.lanes {
                         out[lane] = op.apply(va[lane])?;
                     }
                 } else {
-                    for lane in 0..self.lanes {
-                        if mask[lane] {
-                            out[lane] = op.apply(va[lane])?;
-                        }
+                    for lane in mask.iter_set() {
+                        out[lane] = op.apply(va[lane])?;
                     }
                 }
                 self.scratch.put_lanes(va);
@@ -659,21 +679,19 @@ impl ExecCtx<'_> {
                 let va = self.eval(a, mask, frame)?;
                 let vb = self.eval(b, mask, frame)?;
                 let float = mask
-                    .iter()
-                    .position(|&m| m)
+                    .iter_set()
+                    .next()
                     .map(|l| va[l].ty() == Ty::F32)
                     .unwrap_or(false);
                 self.charge_compute(self.profile.binop_lat(*op, float), mask);
                 let mut out = self.scratch.take_lanes(self.lanes, FILLER);
-                if all(mask) {
+                if mask.all() {
                     for lane in 0..self.lanes {
                         out[lane] = op.apply(va[lane], vb[lane])?;
                     }
                 } else {
-                    for lane in 0..self.lanes {
-                        if mask[lane] {
-                            out[lane] = op.apply(va[lane], vb[lane])?;
-                        }
+                    for lane in mask.iter_set() {
+                        out[lane] = op.apply(va[lane], vb[lane])?;
                     }
                 }
                 self.scratch.put_lanes(va);
@@ -685,15 +703,13 @@ impl ExecCtx<'_> {
                 let vb = self.eval(b, mask, frame)?;
                 self.charge_compute(self.profile.alu_lat, mask);
                 let mut out = self.scratch.take_lanes(self.lanes, FILLER);
-                if all(mask) {
+                if mask.all() {
                     for lane in 0..self.lanes {
                         out[lane] = op.apply(va[lane], vb[lane])?;
                     }
                 } else {
-                    for lane in 0..self.lanes {
-                        if mask[lane] {
-                            out[lane] = op.apply(va[lane], vb[lane])?;
-                        }
+                    for lane in mask.iter_set() {
+                        out[lane] = op.apply(va[lane], vb[lane])?;
                     }
                 }
                 self.scratch.put_lanes(va);
@@ -707,54 +723,44 @@ impl ExecCtx<'_> {
             } => {
                 let c = self.eval(cond, mask, frame)?;
                 self.charge_compute(self.profile.alu_lat, mask);
-                let mut t_mask = self.scratch.take_mask(self.lanes, false);
-                let mut f_mask = self.scratch.take_mask(self.lanes, false);
-                for lane in 0..self.lanes {
-                    if mask[lane] {
-                        if c[lane].as_bool()? {
-                            t_mask[lane] = true;
-                        } else {
-                            f_mask[lane] = true;
-                        }
+                let mut t_mask = LaneMask::empty(self.lanes);
+                let mut f_mask = LaneMask::empty(self.lanes);
+                for lane in mask.iter_set() {
+                    if c[lane].as_bool()? {
+                        t_mask.set(lane, true);
+                    } else {
+                        f_mask.set(lane, true);
                     }
                 }
                 self.scratch.put_lanes(c);
                 let mut out = self.scratch.take_lanes(self.lanes, FILLER);
-                if any(&t_mask) {
+                if t_mask.any() {
                     let tv = self.eval(if_true, &t_mask, frame)?;
-                    for lane in 0..self.lanes {
-                        if t_mask[lane] {
-                            out[lane] = tv[lane];
-                        }
+                    for lane in t_mask.iter_set() {
+                        out[lane] = tv[lane];
                     }
                     self.scratch.put_lanes(tv);
                 }
-                if any(&f_mask) {
+                if f_mask.any() {
                     let fv = self.eval(if_false, &f_mask, frame)?;
-                    for lane in 0..self.lanes {
-                        if f_mask[lane] {
-                            out[lane] = fv[lane];
-                        }
+                    for lane in f_mask.iter_set() {
+                        out[lane] = fv[lane];
                     }
                     self.scratch.put_lanes(fv);
                 }
-                self.scratch.put_mask(t_mask);
-                self.scratch.put_mask(f_mask);
                 Ok(out)
             }
             Expr::Cast(ty, a) => {
                 let va = self.eval(a, mask, frame)?;
                 self.charge_compute(self.profile.alu_lat, mask);
                 let mut out = self.scratch.take_lanes(self.lanes, FILLER);
-                if all(mask) {
+                if mask.all() {
                     for lane in 0..self.lanes {
                         out[lane] = va[lane].cast(*ty);
                     }
                 } else {
-                    for lane in 0..self.lanes {
-                        if mask[lane] {
-                            out[lane] = va[lane].cast(*ty);
-                        }
+                    for lane in mask.iter_set() {
+                        out[lane] = va[lane].cast(*ty);
                     }
                 }
                 self.scratch.put_lanes(va);
@@ -797,8 +803,8 @@ impl ExecCtx<'_> {
             });
         }
         for (arg, param) in args.iter().zip(&func.params) {
-            for lane in 0..self.lanes {
-                if mask[lane] && arg[lane].ty() != param.ty() {
+            for lane in mask.iter_set() {
+                if arg[lane].ty() != param.ty() {
                     return Err(EvalError::TypeMismatch {
                         expected: param.ty(),
                         found: arg[lane].ty(),
@@ -811,8 +817,8 @@ impl ExecCtx<'_> {
         let mut frame = Frame::for_func(args, func.locals.len(), self.lanes);
         self.run_block(&func.body, mask, &mut frame)?;
         let (returned, values) = frame.returned.expect("function frame has returned set");
-        for lane in 0..self.lanes {
-            if mask[lane] && !returned[lane] {
+        for lane in mask.iter_set() {
+            if !returned.get(lane) {
                 return Err(EvalError::MissingReturn(func.name.clone()));
             }
         }
@@ -830,7 +836,7 @@ impl ExecCtx<'_> {
         if frame.returned.is_none() {
             // Kernel frames never return, so the live mask is the incoming
             // mask for every statement — no per-statement bookkeeping.
-            if !any(mask) {
+            if !mask.any() {
                 return Ok(());
             }
             for stmt in stmts {
@@ -838,19 +844,15 @@ impl ExecCtx<'_> {
             }
             return Ok(());
         }
+        let mut live = LaneMask::empty(self.lanes);
         for stmt in stmts {
-            let mut live = self.scratch.take_mask(self.lanes, false);
             let (returned, _) = frame.returned.as_ref().expect("checked above");
-            for lane in 0..self.lanes {
-                live[lane] = mask[lane] && !returned[lane];
-            }
-            if !any(&live) {
-                self.scratch.put_mask(live);
+            live.copy_from(mask);
+            live.and_not_assign(returned);
+            if !live.any() {
                 break;
             }
-            let result = self.run_stmt(stmt, &live, frame);
-            self.scratch.put_mask(live);
-            result?;
+            self.run_stmt(stmt, &live, frame)?;
         }
         Ok(())
     }
@@ -866,13 +868,11 @@ impl ExecCtx<'_> {
                 let v = self.eval(init, mask, frame)?;
                 match &mut frame.locals[var.index()] {
                     Some(existing) => {
-                        if all(mask) {
+                        if mask.all() {
                             existing.copy_from_slice(&v);
                         } else {
-                            for lane in 0..self.lanes {
-                                if mask[lane] {
-                                    existing[lane] = v[lane];
-                                }
+                            for lane in mask.iter_set() {
+                                existing[lane] = v[lane];
                             }
                         }
                         self.scratch.put_lanes(v);
@@ -915,26 +915,22 @@ impl ExecCtx<'_> {
             } => {
                 let c = self.eval(cond, mask, frame)?;
                 self.charge_compute(self.profile.alu_lat, mask); // branch
-                let mut t_mask = self.scratch.take_mask(self.lanes, false);
-                let mut f_mask = self.scratch.take_mask(self.lanes, false);
-                for lane in 0..self.lanes {
-                    if mask[lane] {
-                        if c[lane].as_bool()? {
-                            t_mask[lane] = true;
-                        } else {
-                            f_mask[lane] = true;
-                        }
+                let mut t_mask = LaneMask::empty(self.lanes);
+                let mut f_mask = LaneMask::empty(self.lanes);
+                for lane in mask.iter_set() {
+                    if c[lane].as_bool()? {
+                        t_mask.set(lane, true);
+                    } else {
+                        f_mask.set(lane, true);
                     }
                 }
                 self.scratch.put_lanes(c);
-                if any(&t_mask) {
+                if t_mask.any() {
                     self.run_block(then_body, &t_mask, frame)?;
                 }
-                if any(&f_mask) {
+                if f_mask.any() {
                     self.run_block(else_body, &f_mask, frame)?;
                 }
-                self.scratch.put_mask(t_mask);
-                self.scratch.put_mask(f_mask);
                 Ok(())
             }
             Stmt::For {
@@ -947,10 +943,8 @@ impl ExecCtx<'_> {
                 let init_v = self.eval(init, mask, frame)?;
                 match &mut frame.locals[var.index()] {
                     Some(existing) => {
-                        for lane in 0..self.lanes {
-                            if mask[lane] {
-                                existing[lane] = init_v[lane];
-                            }
+                        for lane in mask.iter_set() {
+                            existing[lane] = init_v[lane];
                         }
                         self.scratch.put_lanes(init_v);
                     }
@@ -969,17 +963,12 @@ impl ExecCtx<'_> {
                     LoopStep::Shl(_) => BinOp::Shl,
                     LoopStep::Shr(_) => BinOp::Shr,
                 };
-                let mut loop_mask = self.scratch.take_mask(self.lanes, false);
-                match &frame.returned {
-                    Some((returned, _)) => {
-                        for lane in 0..self.lanes {
-                            loop_mask[lane] = mask[lane] && !returned[lane];
-                        }
-                    }
-                    None => loop_mask.copy_from_slice(mask),
+                let mut loop_mask = mask.clone();
+                if let Some((returned, _)) = &frame.returned {
+                    loop_mask.and_not_assign(returned);
                 }
                 loop {
-                    if !any(&loop_mask) {
+                    if !loop_mask.any() {
                         break;
                     }
                     // Evaluate the continuation condition for lanes still in
@@ -989,16 +978,15 @@ impl ExecCtx<'_> {
                     let current = frame.locals[var.index()]
                         .as_ref()
                         .ok_or(EvalError::UninitializedVar(var.0))?;
-                    let mut next_mask = self.scratch.take_mask(self.lanes, false);
-                    for lane in 0..self.lanes {
-                        if loop_mask[lane] && cmp_op.apply(current[lane], bound[lane])?.as_bool()? {
-                            next_mask[lane] = true;
+                    let mut next_mask = LaneMask::empty(self.lanes);
+                    for lane in loop_mask.iter_set() {
+                        if cmp_op.apply(current[lane], bound[lane])?.as_bool()? {
+                            next_mask.set(lane, true);
                         }
                     }
                     self.scratch.put_lanes(bound);
-                    self.scratch
-                        .put_mask(std::mem::replace(&mut loop_mask, next_mask));
-                    if !any(&loop_mask) {
+                    loop_mask = next_mask;
+                    if !loop_mask.any() {
                         break;
                     }
                     // The iteration budget is launch-wide: one shared
@@ -1011,11 +999,9 @@ impl ExecCtx<'_> {
                     self.run_block(body, &loop_mask, frame)?;
                     // Lanes that returned inside the body leave the loop.
                     if let Some((returned, _)) = &frame.returned {
-                        for lane in 0..self.lanes {
-                            loop_mask[lane] = loop_mask[lane] && !returned[lane];
-                        }
+                        loop_mask.and_not_assign(returned);
                     }
-                    if !any(&loop_mask) {
+                    if !loop_mask.any() {
                         break;
                     }
                     let amount = self.eval(step.amount(), &loop_mask, frame)?;
@@ -1023,21 +1009,18 @@ impl ExecCtx<'_> {
                     let current = frame.locals[var.index()]
                         .as_mut()
                         .ok_or(EvalError::UninitializedVar(var.0))?;
-                    for lane in 0..self.lanes {
-                        if loop_mask[lane] {
-                            current[lane] = step_op.apply(current[lane], amount[lane])?;
-                        }
+                    for lane in loop_mask.iter_set() {
+                        current[lane] = step_op.apply(current[lane], amount[lane])?;
                     }
                     self.scratch.put_lanes(amount);
                 }
-                self.scratch.put_mask(loop_mask);
                 Ok(())
             }
             Stmt::Sync => {
                 if matches!(frame.args, FrameArgs::Func(_)) {
                     return Err(EvalError::NotPure("sync"));
                 }
-                if all(mask) {
+                if mask.all() {
                     Ok(())
                 } else {
                     Err(EvalError::DivergentBarrier)
@@ -1049,11 +1032,9 @@ impl ExecCtx<'_> {
                 }
                 let v = self.eval(e, mask, frame)?;
                 let (returned, values) = frame.returned.as_mut().expect("checked above");
-                for lane in 0..self.lanes {
-                    if mask[lane] {
-                        returned[lane] = true;
-                        values[lane] = v[lane];
-                    }
+                for lane in mask.iter_set() {
+                    returned.set(lane, true);
+                    values[lane] = v[lane];
                 }
                 self.scratch.put_lanes(v);
                 Ok(())
@@ -1098,13 +1079,14 @@ impl ExecCtx<'_> {
 
     /// Perform a load into `out`, which the caller has pre-filled with
     /// [`FILLER`] (inactive lanes keep the filler, exactly like the
-    /// tree-walker's fresh scratch vector).
-    pub(crate) fn do_load_into(
+    /// tree-walker's fresh scratch vector). Generic over the lane
+    /// containers so both engines share one memory pipeline.
+    pub(crate) fn do_load_into<I: LaneGet, O: LaneSet>(
         &mut self,
         mem: MemRef,
-        idx: &Lanes,
+        idx: &I,
         mask: &Mask,
-        out: &mut Lanes,
+        out: &mut O,
     ) -> Result<(), EvalError> {
         match mem {
             MemRef::Shared(sid) => {
@@ -1114,14 +1096,12 @@ impl ExecCtx<'_> {
                     .map(|s| s.len())
                     .ok_or(EvalError::UnknownFunc(sid.index()))?;
                 // Values first (immutable borrow of shared).
-                for lane in 0..self.lanes {
-                    if mask[lane] {
-                        let i = Self::index_to_i64(idx[lane])?;
-                        if i < 0 || i as usize >= len {
-                            return Err(EvalError::OutOfBounds { index: i, len });
-                        }
-                        out[lane] = self.shared[sid.index()][i as usize];
+                for lane in mask.iter_set() {
+                    let i = Self::index_to_i64(idx.lane(lane))?;
+                    if i < 0 || i as usize >= len {
+                        return Err(EvalError::OutOfBounds { index: i, len });
                     }
+                    out.set_lane(lane, self.shared[sid.index()][i as usize]);
                 }
                 self.charge_shared_access(idx, mask)?;
             }
@@ -1130,14 +1110,12 @@ impl ExecCtx<'_> {
                 let space = self.buffers[b].space;
                 let base = self.buffers[b].base_addr;
                 let len = self.buffers[b].data.len();
-                for lane in 0..self.lanes {
-                    if mask[lane] {
-                        let i = Self::index_to_i64(idx[lane])?;
-                        if i < 0 || i as usize >= len {
-                            return Err(EvalError::OutOfBounds { index: i, len });
-                        }
-                        out[lane] = self.buffers[b].data[i as usize];
+                for lane in mask.iter_set() {
+                    let i = Self::index_to_i64(idx.lane(lane))?;
+                    if i < 0 || i as usize >= len {
+                        return Err(EvalError::OutOfBounds { index: i, len });
                     }
+                    out.set_lane(lane, self.buffers[b].data[i as usize]);
                 }
                 match space {
                     MemSpace::Global | MemSpace::Shared => {
@@ -1152,16 +1130,16 @@ impl ExecCtx<'_> {
         Ok(())
     }
 
-    fn charge_shared_access(&mut self, idx: &Lanes, mask: &Mask) -> Result<(), EvalError> {
+    fn charge_shared_access<I: LaneGet>(&mut self, idx: &I, mask: &Mask) -> Result<(), EvalError> {
         const BANKS: usize = 32;
         let (w, lanes) = (self.profile.warp_width, self.lanes);
-        for (start, end) in active_warps(w, lanes, mask) {
+        for (start, end) in active_warp_ranges(w, lanes, mask) {
             // Conflict degree: max number of *distinct word addresses*
             // mapping to the same bank within the warp.
             let mut per_bank: Vec<Vec<i64>> = vec![Vec::new(); BANKS];
             for lane in start..end {
-                if mask[lane] {
-                    let word = Self::index_to_i64(idx[lane])?;
+                if mask.get(lane) {
+                    let word = Self::index_to_i64(idx.lane(lane))?;
                     let bank = (word.rem_euclid(BANKS as i64)) as usize;
                     if !per_bank[bank].contains(&word) {
                         per_bank[bank].push(word);
@@ -1177,14 +1155,19 @@ impl ExecCtx<'_> {
         Ok(())
     }
 
-    fn charge_global_load(&mut self, base: u64, idx: &Lanes, mask: &Mask) -> Result<(), EvalError> {
+    fn charge_global_load<I: LaneGet>(
+        &mut self,
+        base: u64,
+        idx: &I,
+        mask: &Mask,
+    ) -> Result<(), EvalError> {
         let line = self.l1.line() as u64;
         let (w, lanes) = (self.profile.warp_width, self.lanes);
-        for (start, end) in active_warps(w, lanes, mask) {
+        for (start, end) in active_warp_ranges(w, lanes, mask) {
             let mut segments: Vec<u64> = Vec::new();
             for lane in start..end {
-                if mask[lane] {
-                    let i = Self::index_to_i64(idx[lane])?;
+                if mask.get(lane) {
+                    let i = Self::index_to_i64(idx.lane(lane))?;
                     let addr = base + (i as u64) * 4;
                     let seg = addr / line;
                     if !segments.contains(&seg) {
@@ -1225,21 +1208,21 @@ impl ExecCtx<'_> {
         Ok(())
     }
 
-    fn charge_constant_load(
+    fn charge_constant_load<I: LaneGet>(
         &mut self,
         base: u64,
-        idx: &Lanes,
+        idx: &I,
         mask: &Mask,
     ) -> Result<(), EvalError> {
         let line = self.constant_cache.line() as u64;
         let (w, lanes) = (self.profile.warp_width, self.lanes);
-        for (start, end) in active_warps(w, lanes, mask) {
+        for (start, end) in active_warp_ranges(w, lanes, mask) {
             // The constant cache broadcasts one word per cycle: distinct
             // word addresses within a warp serialize.
             let mut words: Vec<u64> = Vec::new();
             for lane in start..end {
-                if mask[lane] {
-                    let i = Self::index_to_i64(idx[lane])?;
+                if mask.get(lane) {
+                    let i = Self::index_to_i64(idx.lane(lane))?;
                     let addr = base + (i as u64) * 4;
                     if !words.contains(&addr) {
                         words.push(addr);
@@ -1278,11 +1261,11 @@ impl ExecCtx<'_> {
         Ok(())
     }
 
-    pub(crate) fn do_store(
+    pub(crate) fn do_store<I: LaneGet, V: LaneGet>(
         &mut self,
         mem: MemRef,
-        idx: &Lanes,
-        val: &Lanes,
+        idx: &I,
+        val: &V,
         mask: &Mask,
     ) -> Result<(), EvalError> {
         match mem {
@@ -1297,20 +1280,21 @@ impl ExecCtx<'_> {
                         Some(order) => order[k],
                         None => k,
                     };
-                    if mask[lane] {
-                        let i = Self::index_to_i64(idx[lane])?;
+                    if mask.get(lane) {
+                        let i = Self::index_to_i64(idx.lane(lane))?;
                         if i < 0 || i as usize >= len {
                             return Err(EvalError::OutOfBounds { index: i, len });
                         }
+                        let v = val.lane(lane);
                         let arr = &mut self.shared[sid.index()];
                         let expected = arr[i as usize].ty();
-                        if val[lane].ty() != expected {
+                        if v.ty() != expected {
                             return Err(EvalError::TypeMismatch {
                                 expected,
-                                found: val[lane].ty(),
+                                found: v.ty(),
                             });
                         }
-                        arr[i as usize] = val[lane];
+                        arr[i as usize] = v;
                     }
                 }
                 self.charge_shared_access(idx, mask)?;
@@ -1329,15 +1313,16 @@ impl ExecCtx<'_> {
                         Some(order) => order[k],
                         None => k,
                     };
-                    if mask[lane] {
-                        let i = Self::index_to_i64(idx[lane])?;
+                    if mask.get(lane) {
+                        let i = Self::index_to_i64(idx.lane(lane))?;
                         if i < 0 || i as usize >= len {
                             return Err(EvalError::OutOfBounds { index: i, len });
                         }
-                        if val[lane].ty() != elem_ty {
+                        let v = val.lane(lane);
+                        if v.ty() != elem_ty {
                             return Err(EvalError::TypeMismatch {
                                 expected: elem_ty,
-                                found: val[lane].ty(),
+                                found: v.ty(),
                             });
                         }
                         if let Some(log) = self.log.as_mut() {
@@ -1345,21 +1330,21 @@ impl ExecCtx<'_> {
                                 buf: b,
                                 index: i as usize,
                                 old: self.buffers[b].data[i as usize],
-                                new: val[lane],
+                                new: v,
                             });
                         }
-                        self.buffers[b].data[i as usize] = val[lane];
+                        self.buffers[b].data[i as usize] = v;
                     }
                 }
                 // Coalescing for stores: one transaction per distinct line.
                 let line = self.l1.line() as u64;
                 let (w, lanes) = (self.profile.warp_width, self.lanes);
                 let store_lat = self.profile.store_lat;
-                for (start, end) in active_warps(w, lanes, mask) {
+                for (start, end) in active_warp_ranges(w, lanes, mask) {
                     let mut segments: Vec<u64> = Vec::new();
                     for lane in start..end {
-                        if mask[lane] {
-                            let i = Self::index_to_i64(idx[lane])?;
+                        if mask.get(lane) {
+                            let i = Self::index_to_i64(idx.lane(lane))?;
                             let addr = base + (i as u64) * 4;
                             let seg = addr / line;
                             if !segments.contains(&seg) {
@@ -1376,55 +1361,53 @@ impl ExecCtx<'_> {
         Ok(())
     }
 
-    pub(crate) fn do_atomic(
+    pub(crate) fn do_atomic<I: LaneGet, V: LaneGet>(
         &mut self,
         op: paraprox_ir::AtomicOp,
         mem: MemRef,
-        idx: &Lanes,
-        val: &Lanes,
+        idx: &I,
+        val: &V,
         mask: &Mask,
     ) -> Result<(), EvalError> {
         let bin = op.to_bin_op();
         let mut active = 0u64;
-        for lane in 0..self.lanes {
-            if mask[lane] {
-                active += 1;
-                let i = Self::index_to_i64(idx[lane])?;
-                match mem {
-                    MemRef::Shared(sid) => {
-                        let arr = self
-                            .shared
-                            .get_mut(sid.index())
-                            .ok_or(EvalError::UnknownFunc(sid.index()))?;
-                        let len = arr.len();
-                        if i < 0 || i as usize >= len {
-                            return Err(EvalError::OutOfBounds { index: i, len });
-                        }
-                        let old = arr[i as usize];
-                        arr[i as usize] = bin.apply(old, val[lane])?;
+        for lane in mask.iter_set() {
+            active += 1;
+            let i = Self::index_to_i64(idx.lane(lane))?;
+            match mem {
+                MemRef::Shared(sid) => {
+                    let arr = self
+                        .shared
+                        .get_mut(sid.index())
+                        .ok_or(EvalError::UnknownFunc(sid.index()))?;
+                    let len = arr.len();
+                    if i < 0 || i as usize >= len {
+                        return Err(EvalError::OutOfBounds { index: i, len });
                     }
-                    MemRef::Param(_) => {
-                        let b = self.resolve_buffer(mem)?;
-                        if self.buffers[b].space == MemSpace::Constant {
-                            return Err(EvalError::NotPure("atomic on constant memory"));
-                        }
-                        let len = self.buffers[b].data.len();
-                        if i < 0 || i as usize >= len {
-                            return Err(EvalError::OutOfBounds { index: i, len });
-                        }
-                        let old = self.buffers[b].data[i as usize];
-                        let new = bin.apply(old, val[lane])?;
-                        if let Some(log) = self.log.as_mut() {
-                            log.push(LoggedWrite::Atomic {
-                                buf: b,
-                                index: i as usize,
-                                op: bin,
-                                operand: val[lane],
-                                old,
-                            });
-                        }
-                        self.buffers[b].data[i as usize] = new;
+                    let old = arr[i as usize];
+                    arr[i as usize] = bin.apply(old, val.lane(lane))?;
+                }
+                MemRef::Param(_) => {
+                    let b = self.resolve_buffer(mem)?;
+                    if self.buffers[b].space == MemSpace::Constant {
+                        return Err(EvalError::NotPure("atomic on constant memory"));
                     }
+                    let len = self.buffers[b].data.len();
+                    if i < 0 || i as usize >= len {
+                        return Err(EvalError::OutOfBounds { index: i, len });
+                    }
+                    let old = self.buffers[b].data[i as usize];
+                    let new = bin.apply(old, val.lane(lane))?;
+                    if let Some(log) = self.log.as_mut() {
+                        log.push(LoggedWrite::Atomic {
+                            buf: b,
+                            index: i as usize,
+                            op: bin,
+                            operand: val.lane(lane),
+                            old,
+                        });
+                    }
+                    self.buffers[b].data[i as usize] = new;
                 }
             }
         }

@@ -70,9 +70,11 @@ mod cache;
 mod device;
 mod error;
 mod exec;
+mod mask;
 mod plan;
 mod pool;
 mod profile;
+mod soa;
 mod stats;
 
 pub use bytecode::{compile_kernel, CompiledKernel};

@@ -54,11 +54,20 @@ pub struct LaunchStats {
     /// Host worker threads used for the launch (also excluded from
     /// equality).
     pub workers: u64,
+    /// Bytecode ops dispatched by the interpreter inner loop (a fused
+    /// superinstruction counts once). Zero on the tree-walking engine.
+    /// Engine-dependent host-side diagnostic: excluded from equality.
+    pub ops_dispatched: u64,
+    /// Fused superinstructions executed. Zero on the tree-walking engine
+    /// and on unfused bytecode; excluded from equality.
+    pub fusions_hit: u64,
 }
 
-/// Equality covers every *simulated* counter; `wall_nanos` and `workers`
-/// are host-side measurements and deliberately ignored, so stats from runs
-/// at different parallelism levels compare equal iff the simulation agreed.
+/// Equality covers every *simulated* counter; `wall_nanos`, `workers`,
+/// `ops_dispatched`, and `fusions_hit` are host-side measurements (the
+/// last two depend on the engine and fusion state, not on the simulated
+/// machine) and deliberately ignored, so stats from runs at different
+/// parallelism levels or engines compare equal iff the simulation agreed.
 impl PartialEq for LaunchStats {
     fn eq(&self, other: &LaunchStats) -> bool {
         self.compute_cycles == other.compute_cycles
@@ -140,6 +149,8 @@ impl AddAssign for LaunchStats {
         // count takes the maximum seen across the accumulated launches.
         self.wall_nanos += rhs.wall_nanos;
         self.workers = self.workers.max(rhs.workers);
+        self.ops_dispatched += rhs.ops_dispatched;
+        self.fusions_hit += rhs.fusions_hit;
     }
 }
 
@@ -211,6 +222,8 @@ mod tests {
             blocks: 17,
             wall_nanos: 18,
             workers: 19,
+            ops_dispatched: 20,
+            fusions_hit: 21,
         };
         a += a;
         assert_eq!(a.compute_cycles, 2);
@@ -218,6 +231,8 @@ mod tests {
         assert_eq!(a.bank_conflict_extra, 30);
         assert_eq!(a.wall_nanos, 36);
         assert_eq!(a.workers, 19); // max, not sum
+        assert_eq!(a.ops_dispatched, 40);
+        assert_eq!(a.fusions_hit, 42);
     }
 
     #[test]
@@ -232,6 +247,8 @@ mod tests {
             compute_cycles: 7,
             wall_nanos: 999,
             workers: 8,
+            ops_dispatched: 123,
+            fusions_hit: 45,
             ..Default::default()
         };
         assert_eq!(a, b);

@@ -1,0 +1,212 @@
+//! Fused-vs-unfused differential tests for the bytecode engine.
+//!
+//! Profile-guided superinstruction fusion rewrites hot op pairs into
+//! single fused ops after the first launch of a cached program. These
+//! tests force fusion off via [`Device::set_fusion`] and assert that
+//! fused and unfused execution are bit-identical — buffers, simulated
+//! cycles, and cache statistics — on divergence-heavy fixtures, across
+//! worker counts 1/2/4 and several store-schedule seeds, and that both
+//! match the tree-walking oracle. The `fusions_hit` / `ops_dispatched`
+//! diagnostics are probed directly: fusion must actually engage on the
+//! second launch when enabled and stay at zero when disabled.
+
+use paraprox_ir::{Expr, KernelBuilder, KernelId, MemSpace, Program, Ty};
+use paraprox_vgpu::{Device, DeviceProfile, Dim2, ExecEngine, LaunchStats};
+
+/// A racy kernel (same shape as `schedule.rs`): every lane stores to
+/// shared slot 0, then reads it back — the store-schedule seed picks the
+/// winner, and fused execution must pick the *same* winner.
+fn racy_program() -> (Program, KernelId) {
+    let mut program = Program::new();
+    let mut kb = KernelBuilder::new("racy_last_writer");
+    let out = kb.buffer("out", Ty::I32, MemSpace::Global);
+    let s = kb.shared_array("s", Ty::I32, 1);
+    let tx = kb.let_("tx", KernelBuilder::thread_id_x());
+    let gid = kb.let_("gid", KernelBuilder::global_id_x());
+    kb.store(s, Expr::i32(0), tx);
+    kb.sync();
+    kb.store(out, gid, kb.load(s, Expr::i32(0)));
+    let kid = program.add_kernel(kb.finish());
+    (program, kid)
+}
+
+/// A divergence-heavy kernel exercising every fusion pattern: `x*2 + 1`
+/// (mul+add), an odd/even branch under a compare (cmp+if with both arms
+/// populated), a lane-dependent loop trip count, and a fused binary+store
+/// tail.
+fn divergent_program() -> (Program, KernelId) {
+    let mut program = Program::new();
+    let mut kb = KernelBuilder::new("divergent");
+    let input = kb.buffer("in", Ty::F32, MemSpace::Global);
+    let out = kb.buffer("out", Ty::F32, MemSpace::Global);
+    let tid = kb.let_("tid", KernelBuilder::thread_id_x());
+    let gid = kb.let_("gid", KernelBuilder::global_id_x());
+    let x = kb.let_("x", kb.load(input, gid.clone()));
+    let acc = kb.let_mut("acc", Ty::F32, x.clone() * Expr::f32(2.0) + Expr::f32(1.0));
+    kb.if_else(
+        tid.clone().rem(Expr::i32(2)).eq_(Expr::i32(0)),
+        |kb| kb.assign(acc, Expr::Var(acc) * Expr::f32(3.0) + x.clone()),
+        |kb| kb.assign(acc, Expr::Var(acc) - x.clone() * Expr::f32(0.5)),
+    );
+    kb.for_up(
+        "i",
+        Expr::i32(0),
+        tid.clone().rem(Expr::i32(4)) + Expr::i32(1),
+        Expr::i32(1),
+        |kb, i| {
+            kb.assign(acc, Expr::Var(acc) + i.cast(Ty::F32) * Expr::f32(0.25));
+        },
+    );
+    kb.store(out, gid, Expr::Var(acc) * Expr::f32(1.5) + Expr::f32(0.125));
+    let kid = program.add_kernel(kb.finish());
+    (program, kid)
+}
+
+fn bytecode_device(workers: usize, seed: Option<u64>, fusion: bool) -> Device {
+    let mut d = Device::new(
+        DeviceProfile::gtx560()
+            .with_engine(ExecEngine::Bytecode)
+            .with_parallelism(workers),
+    );
+    d.set_schedule_seed(seed);
+    d.set_fusion(fusion);
+    d
+}
+
+/// Launch the divergent kernel twice on one device (launch 1 profiles,
+/// launch 2 runs fused when fusion is on); return both outputs as bits
+/// plus both stats.
+fn run_divergent(device: &mut Device) -> (Vec<Vec<u32>>, Vec<LaunchStats>) {
+    let (program, kid) = divergent_program();
+    let data: Vec<f32> = (0..128).map(|i| (i as f32 - 61.0) * 0.37).collect();
+    let mut outs = Vec::new();
+    let mut stats = Vec::new();
+    for _ in 0..2 {
+        let input = device.alloc_f32(MemSpace::Global, &data);
+        let out = device.alloc_f32(MemSpace::Global, &[0.0; 128]);
+        let s = device
+            .launch(
+                &program,
+                kid,
+                Dim2::linear(4),
+                Dim2::linear(32),
+                &[input.into(), out.into()],
+            )
+            .unwrap();
+        outs.push(
+            device
+                .read_f32(out)
+                .unwrap()
+                .into_iter()
+                .map(f32::to_bits)
+                .collect(),
+        );
+        stats.push(s);
+    }
+    (outs, stats)
+}
+
+fn run_racy(device: &mut Device) -> (Vec<Vec<i32>>, Vec<LaunchStats>) {
+    let (program, kid) = racy_program();
+    let mut outs = Vec::new();
+    let mut stats = Vec::new();
+    for _ in 0..2 {
+        let out = device.alloc_i32(MemSpace::Global, &[0; 32]);
+        let s = device
+            .launch(
+                &program,
+                kid,
+                Dim2::linear(1),
+                Dim2::linear(32),
+                &[out.into()],
+            )
+            .unwrap();
+        outs.push(device.read_i32(out).unwrap());
+        stats.push(s);
+    }
+    (outs, stats)
+}
+
+#[test]
+fn fused_matches_unfused_and_oracle_across_workers_and_seeds() {
+    // Tree-walk oracle reference (fusion setting is irrelevant there).
+    let mut oracle = Device::new(DeviceProfile::gtx560().with_engine(ExecEngine::TreeWalk));
+    oracle.set_schedule_seed(None);
+    let (oracle_outs, oracle_stats) = run_divergent(&mut oracle);
+
+    for workers in [1usize, 2, 4] {
+        for seed in [None, Some(1u64), Some(2), Some(3), Some(4)] {
+            let (fused_outs, fused_stats) =
+                run_divergent(&mut bytecode_device(workers, seed, true));
+            let (plain_outs, plain_stats) =
+                run_divergent(&mut bytecode_device(workers, seed, false));
+            assert_eq!(
+                fused_outs, plain_outs,
+                "workers={workers} seed={seed:?}: fused and unfused buffers diverged"
+            );
+            assert_eq!(
+                fused_stats, plain_stats,
+                "workers={workers} seed={seed:?}: fused and unfused stats diverged"
+            );
+            // The divergent kernel is race-free, so every configuration
+            // must also match the serial tree-walk oracle bit for bit.
+            assert_eq!(fused_outs, oracle_outs, "workers={workers} seed={seed:?}");
+            assert_eq!(fused_stats[1], oracle_stats[1]);
+            // Fusion must actually engage on the second launch (the first
+            // one profiles), and never when disabled.
+            assert_eq!(
+                fused_stats[0].fusions_hit, 0,
+                "first launch profiles unfused"
+            );
+            assert!(
+                fused_stats[1].fusions_hit > 0,
+                "workers={workers} seed={seed:?}: second launch should dispatch superinstructions"
+            );
+            assert!(plain_stats.iter().all(|s| s.fusions_hit == 0));
+            assert!(fused_stats.iter().all(|s| s.ops_dispatched > 0));
+            // Fusing shrinks the dispatch count without changing the
+            // simulated instruction count (stats equality above).
+            assert!(fused_stats[1].ops_dispatched < plain_stats[1].ops_dispatched);
+        }
+    }
+}
+
+#[test]
+fn racy_kernel_race_winner_is_fusion_invariant() {
+    // The racy fixture's output depends on the store schedule; fusion
+    // must not perturb which lane wins under any seed or worker count.
+    for workers in [1usize, 2, 4] {
+        for seed in [None, Some(1u64), Some(2), Some(3), Some(4)] {
+            let (fused_outs, fused_stats) = run_racy(&mut bytecode_device(workers, seed, true));
+            let (plain_outs, plain_stats) = run_racy(&mut bytecode_device(workers, seed, false));
+            assert_eq!(
+                fused_outs, plain_outs,
+                "workers={workers} seed={seed:?}: fusion changed the race winner"
+            );
+            assert_eq!(fused_stats, plain_stats);
+        }
+    }
+}
+
+#[test]
+fn tree_walker_reports_zero_dispatches() {
+    let mut device = Device::new(DeviceProfile::gtx560().with_engine(ExecEngine::TreeWalk));
+    let (_, stats) = run_divergent(&mut device);
+    assert!(stats.iter().all(|s| s.ops_dispatched == 0));
+    assert!(stats.iter().all(|s| s.fusions_hit == 0));
+}
+
+#[test]
+fn set_fusion_reenables_profiling_for_cached_programs() {
+    // Disabling fusion skips profiling entirely; re-enabling it on the
+    // same device lets the *same cache entry* profile and fuse, because
+    // the profile counts live on the entry rather than the launch.
+    let mut device = bytecode_device(1, None, false);
+    let (_, stats_off) = run_divergent(&mut device);
+    assert!(stats_off.iter().all(|s| s.fusions_hit == 0));
+    device.set_fusion(true);
+    let (_, stats_on) = run_divergent(&mut device);
+    // Launch 1 after re-enabling profiles; launch 2 runs fused.
+    assert_eq!(stats_on[0].fusions_hit, 0);
+    assert!(stats_on[1].fusions_hit > 0);
+}

@@ -1,0 +1,93 @@
+//! `PARAPROX_NO_FUSE` environment knob.
+//!
+//! This lives in its own test binary: the knob is read at
+//! `Device::new` time from process-global environment state, so it
+//! cannot safely share a process with tests that assume the default.
+//! The single test covers the whole knob surface sequentially.
+
+use paraprox_ir::{Expr, KernelBuilder, KernelId, MemSpace, Program, Ty};
+use paraprox_vgpu::{Device, DeviceProfile, Dim2, ExecEngine};
+
+fn saxpy_like() -> (Program, KernelId) {
+    let mut program = Program::new();
+    let mut kb = KernelBuilder::new("fma");
+    let input = kb.buffer("in", Ty::F32, MemSpace::Global);
+    let out = kb.buffer("out", Ty::F32, MemSpace::Global);
+    let gid = kb.let_("gid", KernelBuilder::global_id_x());
+    let x = kb.let_("x", kb.load(input, gid.clone()));
+    kb.store(out, gid, x * Expr::f32(3.0) + Expr::f32(1.0));
+    let kid = program.add_kernel(kb.finish());
+    (program, kid)
+}
+
+/// Two launches on a fresh bytecode device; the second launch's
+/// `fusions_hit` tells whether fusion engaged.
+fn second_launch_fusions() -> u64 {
+    let (program, kid) = saxpy_like();
+    let mut device = Device::new(DeviceProfile::gtx560().with_engine(ExecEngine::Bytecode));
+    let mut last = 0;
+    for _ in 0..2 {
+        let input = device.alloc_f32(MemSpace::Global, &[1.5; 64]);
+        let out = device.alloc_f32(MemSpace::Global, &[0.0; 64]);
+        let stats = device
+            .launch(
+                &program,
+                kid,
+                Dim2::linear(2),
+                Dim2::linear(32),
+                &[input.into(), out.into()],
+            )
+            .unwrap();
+        last = stats.fusions_hit;
+    }
+    last
+}
+
+#[test]
+fn no_fuse_env_disables_fusion() {
+    // Serialized scenarios, one process: unset (default on), set to a
+    // truthy value (off), set to ignored values (still on), then the
+    // programmatic override beating the environment.
+    std::env::remove_var("PARAPROX_NO_FUSE");
+    assert!(
+        second_launch_fusions() > 0,
+        "default: fusion should engage on the second launch"
+    );
+
+    std::env::set_var("PARAPROX_NO_FUSE", "1");
+    assert_eq!(second_launch_fusions(), 0, "PARAPROX_NO_FUSE=1 disables");
+
+    std::env::set_var("PARAPROX_NO_FUSE", "  yes  ");
+    assert_eq!(second_launch_fusions(), 0, "any trimmed non-`0` disables");
+
+    for ignored in ["", "   ", "0", " 0 "] {
+        std::env::set_var("PARAPROX_NO_FUSE", ignored);
+        assert!(
+            second_launch_fusions() > 0,
+            "PARAPROX_NO_FUSE={ignored:?} should be ignored (same idiom as PARAPROX_ENGINE)"
+        );
+    }
+
+    // set_fusion overrides the environment default in either direction.
+    std::env::set_var("PARAPROX_NO_FUSE", "1");
+    let (program, kid) = saxpy_like();
+    let mut device = Device::new(DeviceProfile::gtx560().with_engine(ExecEngine::Bytecode));
+    device.set_fusion(true);
+    let mut last = 0;
+    for _ in 0..2 {
+        let input = device.alloc_f32(MemSpace::Global, &[1.5; 64]);
+        let out = device.alloc_f32(MemSpace::Global, &[0.0; 64]);
+        last = device
+            .launch(
+                &program,
+                kid,
+                Dim2::linear(2),
+                Dim2::linear(32),
+                &[input.into(), out.into()],
+            )
+            .unwrap()
+            .fusions_hit;
+    }
+    assert!(last > 0, "set_fusion(true) overrides the environment");
+    std::env::remove_var("PARAPROX_NO_FUSE");
+}
