@@ -35,7 +35,8 @@ usage:
 
   paraprox serve [--apps <a,b,...>] [--device gpu|cpu] [--requests <n>]
                  [--drift-at <k>] [--drift-len <n>] [--drift-gain <g>]
-                 [--workers <n>] [--queue <n>] [--inflight <n>]
+                 [--shards <n>] [--workers <n>] [--batch-window <k>]
+                 [--queue <n>] [--inflight <n>]
                  [--check-every <n>] [--promote-after <n>] [--toq <percent>]
                  [--scale paper|test] [--seeds <n>]
       Tune each listed application (comma-separated name prefixes; default
@@ -44,7 +45,11 @@ usage:
       generator while the quality watchdog recalibrates online. --drift-at
       scales f32 inputs by --drift-gain for requests k..k+len, forcing a
       TOQ violation window; the per-tenant report shows back-offs and
-      re-promotions. --workers 0 uses every available core.
+      re-promotions. The engine runs --shards device shards (tenant
+      affinity by id, idle shards steal) of --workers threads each
+      (0 = every available core), coalescing up to --batch-window queued
+      requests per tenant into one fused device batch; the watchdog's
+      decision trace is identical for every shard/worker/window setting.
 ";
 
 /// Which device profile to use.
@@ -117,8 +122,12 @@ pub enum Command {
         drift_len: u64,
         /// Gain applied to `f32` inputs inside the drift window.
         drift_gain: f64,
-        /// Worker threads (0 = all available cores).
+        /// Device shards (tenant affinity by id; idle shards steal).
+        shards: usize,
+        /// Worker threads per shard (0 = all available cores).
         workers: usize,
+        /// Max requests coalesced into one fused device batch.
+        batch_window: usize,
         /// Admission-queue capacity.
         queue: usize,
         /// Closed-loop outstanding-request window.
@@ -331,7 +340,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut drift_at = None;
             let mut drift_len = 40u64;
             let mut drift_gain = 8.0f64;
+            let mut shards = 1usize;
             let mut workers = 0usize;
+            let mut batch_window = 8usize;
             let mut queue = 64usize;
             let mut inflight = 8usize;
             let mut check_every = 10u64;
@@ -372,7 +383,19 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     "--drift-at" => drift_at = Some(parse_num(flag, it.next())?),
                     "--drift-len" => drift_len = parse_num(flag, it.next())?,
                     "--drift-gain" => drift_gain = parse_num(flag, it.next())?,
+                    "--shards" => {
+                        shards = parse_num(flag, it.next())?;
+                        if shards == 0 {
+                            return Err("--shards must be at least 1".to_string());
+                        }
+                    }
                     "--workers" => workers = parse_num(flag, it.next())?,
+                    "--batch-window" => {
+                        batch_window = parse_num(flag, it.next())?;
+                        if batch_window == 0 {
+                            return Err("--batch-window must be at least 1".to_string());
+                        }
+                    }
                     "--queue" => {
                         queue = parse_num(flag, it.next())?;
                         if queue == 0 {
@@ -425,7 +448,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 drift_at,
                 drift_len,
                 drift_gain,
+                shards,
                 workers,
+                batch_window,
                 queue,
                 inflight,
                 check_every,
@@ -598,7 +623,9 @@ mod tests {
                 drift_at: None,
                 drift_len: 40,
                 drift_gain: 8.0,
+                shards: 1,
                 workers: 0,
+                batch_window: 8,
                 queue: 64,
                 inflight: 8,
                 check_every: 10,
@@ -626,8 +653,12 @@ mod tests {
             "15",
             "--drift-gain",
             "16",
+            "--shards",
+            "2",
             "--workers",
             "4",
+            "--batch-window",
+            "16",
             "--queue",
             "32",
             "--inflight",
@@ -651,7 +682,9 @@ mod tests {
             drift_at,
             drift_len,
             drift_gain,
+            shards,
             workers,
+            batch_window,
             queue,
             inflight,
             check_every,
@@ -669,7 +702,9 @@ mod tests {
         assert_eq!(drift_at, Some(20));
         assert_eq!(drift_len, 15);
         assert_eq!(drift_gain, 16.0);
+        assert_eq!(shards, 2);
         assert_eq!(workers, 4);
+        assert_eq!(batch_window, 16);
         assert_eq!(queue, 32);
         assert_eq!(inflight, 12);
         assert_eq!(check_every, 5);
@@ -684,6 +719,8 @@ mod tests {
         assert!(parse(&v(&["serve", "--apps", ""])).is_err());
         assert!(parse(&v(&["serve", "--requests", "0"])).is_err());
         assert!(parse(&v(&["serve", "--requests", "many"])).is_err());
+        assert!(parse(&v(&["serve", "--shards", "0"])).is_err());
+        assert!(parse(&v(&["serve", "--batch-window", "0"])).is_err());
         assert!(parse(&v(&["serve", "--queue", "0"])).is_err());
         assert!(parse(&v(&["serve", "--inflight", "0"])).is_err());
         assert!(parse(&v(&["serve", "--check-every", "0"])).is_err());

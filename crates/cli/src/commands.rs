@@ -17,7 +17,9 @@ struct ServeOpts {
     drift_at: Option<u64>,
     drift_len: u64,
     drift_gain: f64,
+    shards: usize,
     workers: usize,
+    batch_window: usize,
     queue: usize,
     inflight: usize,
     check_every: u64,
@@ -57,7 +59,9 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
             drift_at,
             drift_len,
             drift_gain,
+            shards,
             workers,
+            batch_window,
             queue,
             inflight,
             check_every,
@@ -72,7 +76,9 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
             drift_at,
             drift_len,
             drift_gain,
+            shards,
             workers,
+            batch_window,
             queue,
             inflight,
             check_every,
@@ -273,7 +279,9 @@ fn serve(o: ServeOpts) -> Result<(), Box<dyn Error>> {
 
     let mut builder = Engine::builder(ServeConfig {
         queue_capacity: o.queue,
+        shards: o.shards,
         workers: o.workers,
+        batch_window: o.batch_window,
         toq,
         check_every: o.check_every,
         promote_after: o.promote_after,
@@ -322,8 +330,11 @@ fn serve(o: ServeOpts) -> Result<(), Box<dyn Error>> {
 
     let engine = builder.start();
     println!(
-        "\n{} worker(s), queue capacity {}, {} in flight; {} requests/tenant from seed {}",
-        engine.worker_count(),
+        "\n{} shard(s) x {} worker(s), batch window {}, queue capacity {}, {} in flight; \
+         {} requests/tenant from seed {}",
+        engine.shard_count(),
+        engine.worker_count() / engine.shard_count(),
+        o.batch_window,
         o.queue,
         o.inflight,
         o.requests,
@@ -356,12 +367,27 @@ fn serve(o: ServeOpts) -> Result<(), Box<dyn Error>> {
     let snap = engine.shutdown();
 
     println!(
-        "\n{:<32} {:>6} {:>6} {:>5} {:>8} {:>8} {:>7} {:>7} {:>10} {:>10}",
-        "tenant", "served", "checks", "viol", "backoff", "promote", "rung", "meanQ", "p50", "p99"
+        "\n{:<32} {:>6} {:>6} {:>5} {:>8} {:>8} {:>7} {:>7} {:>5} {:>9} {:>10} {:>10}",
+        "tenant",
+        "served",
+        "checks",
+        "viol",
+        "backoff",
+        "promote",
+        "rung",
+        "meanQ",
+        "depth",
+        "batch",
+        "p50",
+        "p99"
     );
+    let mut ops_dispatched = 0u64;
+    let mut fusions_hit = 0u64;
     for t in &snap.tenants {
+        ops_dispatched += t.ops_dispatched;
+        fusions_hit += t.fusions_hit;
         println!(
-            "{:<32} {:>6} {:>6} {:>5} {:>8} {:>8} {:>7} {:>6.1}% {:>8.2}ms {:>8.2}ms",
+            "{:<32} {:>6} {:>6} {:>5} {:>8} {:>8} {:>7} {:>6.1}% {:>5} {:>5.1}/{:<3} {:>8.2}ms {:>8.2}ms",
             t.name,
             t.served,
             t.checks,
@@ -370,6 +396,9 @@ fn serve(o: ServeOpts) -> Result<(), Box<dyn Error>> {
             t.promotions,
             t.rung,
             t.mean_quality.unwrap_or(100.0),
+            t.peak_queue_depth,
+            t.mean_batch(),
+            t.peak_batch,
             t.service_p50_ns as f64 / 1e6,
             t.service_p99_ns as f64 / 1e6
         );
@@ -381,6 +410,10 @@ fn serve(o: ServeOpts) -> Result<(), Box<dyn Error>> {
         load.wall_nanos as f64 / 1e9,
         load.retries,
         load.errors
+    );
+    println!(
+        "device: {} op(s) dispatched, {} fusion hit(s), {} cross-shard steal(s)",
+        ops_dispatched, fusions_hit, snap.steals
     );
     if load.errors > 0 {
         return Err(format!("{} request(s) failed", load.errors).into());

@@ -3,8 +3,8 @@
 use std::sync::Arc;
 
 use paraprox_quality::Metric;
-use paraprox_runtime::{Approximable, RunOutcome, RuntimeError};
-use paraprox_vgpu::{BufferInit, Device, Pipeline};
+use paraprox_runtime::{Approximable, BatchRun, EngineDiagnostics, RunOutcome, RuntimeError};
+use paraprox_vgpu::{execute_fused, BufferInit, Device, FusedJob, Pipeline};
 
 use crate::compile::Compiled;
 
@@ -22,6 +22,7 @@ pub struct DeviceApp {
     exact: (Arc<paraprox_ir::Program>, Pipeline),
     variants: Vec<(String, Arc<paraprox_ir::Program>, Pipeline)>,
     input_gen: InputGen,
+    diagnostics: EngineDiagnostics,
 }
 
 impl std::fmt::Debug for DeviceApp {
@@ -60,6 +61,7 @@ impl DeviceApp {
                 })
                 .collect(),
             input_gen,
+            diagnostics: EngineDiagnostics::default(),
         }
     }
 
@@ -69,12 +71,20 @@ impl DeviceApp {
         &mut self.device
     }
 
-    fn run(
+    /// The (program, pipeline) pair for a rung, with this seed's inputs
+    /// baked into a cloned pipeline.
+    fn prepare(
         &mut self,
-        program_pipeline: (Arc<paraprox_ir::Program>, Pipeline),
+        variant: Option<usize>,
         seed: u64,
-    ) -> Result<RunOutcome, RuntimeError> {
-        let (program, mut pipeline) = program_pipeline;
+    ) -> Result<(Arc<paraprox_ir::Program>, Pipeline), RuntimeError> {
+        let (program, mut pipeline) = match variant {
+            Some(v) => {
+                let (_, program, pipeline) = &self.variants[v];
+                (Arc::clone(program), pipeline.clone())
+            }
+            None => (Arc::clone(&self.exact.0), self.exact.1.clone()),
+        };
         let inputs = (self.input_gen)(seed);
         if !inputs.is_empty() {
             if inputs.len() != self.input_slots.len() {
@@ -88,6 +98,11 @@ impl DeviceApp {
                 pipeline.set_input(slot, init);
             }
         }
+        Ok((program, pipeline))
+    }
+
+    fn run(&mut self, variant: Option<usize>, seed: u64) -> Result<RunOutcome, RuntimeError> {
+        let (program, pipeline) = self.prepare(variant, seed)?;
         // Each invocation gets a fresh buffer arena (and cold caches, as a
         // new launch context would): reclaim afterwards so long tuning and
         // deployment loops do not grow device memory without bound.
@@ -97,6 +112,8 @@ impl DeviceApp {
             .map_err(|e| RuntimeError(e.to_string()));
         self.device.reclaim_buffers(mark);
         let run = result?;
+        self.diagnostics.ops_dispatched += run.stats.ops_dispatched;
+        self.diagnostics.fusions_hit += run.stats.fusions_hit;
         Ok(RunOutcome {
             output: run.flat_output(),
             cycles: run.stats.total_cycles(),
@@ -114,18 +131,60 @@ impl Approximable for DeviceApp {
     }
 
     fn run_exact(&mut self, seed: u64) -> Result<RunOutcome, RuntimeError> {
-        // Arc clone: the program itself is shared, not copied.
-        let pair = (Arc::clone(&self.exact.0), self.exact.1.clone());
-        self.run(pair, seed)
+        self.run(None, seed)
     }
 
     fn run_variant(&mut self, index: usize, seed: u64) -> Result<RunOutcome, RuntimeError> {
-        let (_, program, pipeline) = &self.variants[index];
-        let pair = (Arc::clone(program), pipeline.clone());
-        self.run(pair, seed)
+        self.run(Some(index), seed)
     }
 
     fn quality(&self, exact: &[f64], approx: &[f64]) -> f64 {
         self.metric.quality(exact, approx)
+    }
+
+    /// Fused batch execution: every run of the batch becomes one job of a
+    /// single fused device dispatch ([`paraprox_vgpu::execute_fused`]),
+    /// so the per-request launch overhead — validation, program-cache
+    /// lookups, worker-scope setup, per-worker arena clones — is paid
+    /// once per batch. Each invocation of [`DeviceApp`] starts from a
+    /// cold launch context (see [`DeviceApp::run`]'s reclaim), making
+    /// runs history-independent; the fused path preserves each job's
+    /// addresses and cache chain exactly, so outcomes are bit-identical
+    /// to the sequential path (asserted by the `batch_differential`
+    /// suite in `crates/apps`).
+    fn run_batch(&mut self, runs: &[BatchRun]) -> Result<Vec<RunOutcome>, RuntimeError> {
+        if runs.len() <= 1 {
+            // Degenerate batch: the per-request path is cheaper.
+            return runs.iter().map(|r| self.run(r.variant, r.seed)).collect();
+        }
+        // Bake inputs in batch order (the same input-generator call order
+        // the sequential path produces).
+        let mut prepared = Vec::with_capacity(runs.len());
+        for r in runs {
+            prepared.push(self.prepare(r.variant, r.seed)?);
+        }
+        let jobs: Vec<FusedJob<'_>> = prepared
+            .iter()
+            .map(|(program, pipeline)| FusedJob { program, pipeline })
+            .collect();
+        let batch = execute_fused(&mut self.device, &jobs).map_err(|e| RuntimeError(e.to_string()));
+        // Keep the steady-state invariant of the sequential path: the
+        // device's caches are cold after every invocation.
+        self.device.flush_caches();
+        Ok(batch?
+            .into_iter()
+            .map(|run| {
+                self.diagnostics.ops_dispatched += run.stats.ops_dispatched;
+                self.diagnostics.fusions_hit += run.stats.fusions_hit;
+                RunOutcome {
+                    output: run.flat_output(),
+                    cycles: run.stats.total_cycles(),
+                }
+            })
+            .collect())
+    }
+
+    fn engine_diagnostics(&self) -> EngineDiagnostics {
+        self.diagnostics
     }
 }

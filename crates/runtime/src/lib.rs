@@ -47,6 +47,27 @@ pub struct RunOutcome {
     pub cycles: u64,
 }
 
+/// One execution a batched invocation needs: which rung to run (`None` =
+/// exact) on the input derived from `seed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchRun {
+    /// Variant to run (`None` = exact execution).
+    pub variant: Option<usize>,
+    /// Input seed.
+    pub seed: u64,
+}
+
+/// Host-side executor diagnostics an [`Approximable`] may expose:
+/// cumulative bytecode ops dispatched and superinstruction fusions hit
+/// (zero for backends that do not track them).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineDiagnostics {
+    /// Bytecode operations dispatched across all runs so far.
+    pub ops_dispatched: u64,
+    /// Fused superinstructions dispatched across all runs so far.
+    pub fusions_hit: u64,
+}
+
 /// An application with one exact implementation and a set of approximate
 /// variants, runnable on seeded inputs.
 pub trait Approximable {
@@ -76,6 +97,36 @@ pub trait Approximable {
 
     /// Output quality (%) of `approx` relative to `exact`.
     fn quality(&self, exact: &[f64], approx: &[f64]) -> f64;
+
+    /// Execute a batch of runs and return their outcomes in order.
+    ///
+    /// The default loops over [`Approximable::run_variant`] /
+    /// [`Approximable::run_exact`] in batch order — the *same call order*
+    /// a sequence of [`Deployment::invoke`] calls would produce, so even
+    /// order-sensitive (stateful) implementations behave identically
+    /// under batched and sequential invocation. Backends whose runs are
+    /// history-independent (e.g. a device app that starts every request
+    /// cold) may override this with a fused execution path; the override
+    /// must keep every outcome bit-identical to the default.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution failures; on error the whole batch is
+    /// abandoned.
+    fn run_batch(&mut self, runs: &[BatchRun]) -> Result<Vec<RunOutcome>, RuntimeError> {
+        runs.iter()
+            .map(|r| match r.variant {
+                Some(v) => self.run_variant(v, r.seed),
+                None => self.run_exact(r.seed),
+            })
+            .collect()
+    }
+
+    /// Cumulative executor diagnostics (see [`EngineDiagnostics`]);
+    /// backends without instrumentation return the zero default.
+    fn engine_diagnostics(&self) -> EngineDiagnostics {
+        EngineDiagnostics::default()
+    }
 }
 
 /// Profiling results for one candidate.
@@ -513,6 +564,211 @@ impl Deployment {
             promoted,
         })
     }
+
+    /// Plan the next batch of at most `available` served requests.
+    ///
+    /// The rung can only change at a calibration boundary, so the
+    /// requests *between* boundaries are rung-stable and can run fused:
+    /// the plan's length is `min(available, requests until the next
+    /// boundary)` and every request runs at the current rung. When the
+    /// batch ends exactly on the boundary, the plan also names the
+    /// calibration re-execution the check needs ([`Calibration`]), to run
+    /// on the boundary (last) seed.
+    ///
+    /// Because the plan never crosses a boundary, committing it replays
+    /// exactly the state transitions the equivalent [`Deployment::invoke`]
+    /// sequence performs — the decision trace is independent of how many
+    /// requests were available, i.e. of batch-formation timing.
+    pub fn plan_batch(&self, available: usize) -> BatchPlan {
+        let span = self.config.check_every - self.since_check;
+        let len = available.min(usize::try_from(span).unwrap_or(usize::MAX));
+        let variant = self.current_variant();
+        let at_boundary = len as u64 >= span;
+        let calibration = if at_boundary && len > 0 {
+            match variant {
+                Some(_) => Some(Calibration::Exact),
+                None if self.promotion_enabled() && self.position > 0 => {
+                    let Rung::Variant(candidate) = self.ladder[self.position - 1] else {
+                        unreachable!("only the terminal rung is exact")
+                    };
+                    Some(Calibration::Probe(candidate))
+                }
+                None => None,
+            }
+        } else {
+            None
+        };
+        BatchPlan {
+            len,
+            variant,
+            calibration,
+        }
+    }
+
+    /// Commit the outcomes of an executed batch plan: advance the
+    /// invocation counters and, at a calibration boundary, drive the
+    /// back-off / clean-streak policy exactly as the equivalent
+    /// [`Deployment::invoke`] sequence would. Returns one
+    /// [`InvokeResult`] per served request; only the boundary (last)
+    /// request can carry check fields.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the outcome counts do not match the plan, or when the
+    /// deployment state changed between plan and commit (the plan is
+    /// stale).
+    pub fn commit_batch(
+        &mut self,
+        app: &dyn Approximable,
+        plan: &BatchPlan,
+        served: Vec<RunOutcome>,
+        calibration: Option<RunOutcome>,
+    ) -> Result<Vec<InvokeResult>, RuntimeError> {
+        if served.len() != plan.len {
+            return Err(RuntimeError(format!(
+                "batch commit: {} outcomes for a plan of {}",
+                served.len(),
+                plan.len
+            )));
+        }
+        if plan.variant != self.current_variant() {
+            return Err(RuntimeError(
+                "batch commit: plan is stale (rung changed since planning)".to_string(),
+            ));
+        }
+        if calibration.is_some() != plan.calibration.is_some() {
+            return Err(RuntimeError(
+                "batch commit: calibration outcome does not match the plan".to_string(),
+            ));
+        }
+        if plan.len == 0 {
+            return Ok(Vec::new());
+        }
+        self.invocations += plan.len as u64;
+        self.since_check += plan.len as u64;
+        let mut results: Vec<InvokeResult> = served
+            .into_iter()
+            .map(|run| InvokeResult {
+                output: run.output,
+                cycles: run.cycles,
+                variant: plan.variant,
+                checked_quality: None,
+                backed_off: false,
+                promoted: false,
+            })
+            .collect();
+        if self.since_check >= self.config.check_every {
+            self.since_check = 0;
+            let last = results.last_mut().expect("plan.len > 0");
+            match (&plan.calibration, calibration) {
+                (Some(Calibration::Exact), Some(exact)) => {
+                    self.checks += 1;
+                    let q = app.quality(&exact.output, &last.output);
+                    last.checked_quality = Some(q);
+                    if self.config.toq.is_met(q) {
+                        last.promoted = self.record_clean();
+                    } else {
+                        self.violations += 1;
+                        self.position += 1;
+                        last.backed_off = true;
+                        self.clean_streak = 0;
+                    }
+                }
+                (Some(Calibration::Probe(_)), Some(probe)) => {
+                    self.checks += 1;
+                    let q = app.quality(&last.output, &probe.output);
+                    last.checked_quality = Some(q);
+                    if self.config.toq.is_met(q) {
+                        last.promoted = self.record_clean();
+                    } else {
+                        self.violations += 1;
+                        self.clean_streak = 0;
+                    }
+                }
+                (None, None) => {}
+                _ => unreachable!("calibration presence validated above"),
+            }
+        }
+        Ok(results)
+    }
+
+    /// Serve `seeds` through the batched path: repeatedly plan a
+    /// rung-stable chunk, execute it (plus any calibration re-execution)
+    /// via [`Approximable::run_batch`], and commit. The returned results
+    /// — and the deployment's decision trace — are identical to invoking
+    /// each seed individually, for any `seeds.len()`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution failures; the failing chunk is not committed.
+    pub fn invoke_batch(
+        &mut self,
+        app: &mut dyn Approximable,
+        seeds: &[u64],
+    ) -> Result<Vec<InvokeResult>, RuntimeError> {
+        let mut out = Vec::with_capacity(seeds.len());
+        let mut rest = seeds;
+        while !rest.is_empty() {
+            let plan = self.plan_batch(rest.len());
+            let (chunk, tail) = rest.split_at(plan.len);
+            rest = tail;
+            let mut runs: Vec<BatchRun> = chunk
+                .iter()
+                .map(|&seed| BatchRun {
+                    variant: plan.variant,
+                    seed,
+                })
+                .collect();
+            if let Some(c) = &plan.calibration {
+                let boundary = *chunk.last().expect("plan.len > 0 with calibration");
+                runs.push(BatchRun {
+                    variant: match c {
+                        Calibration::Exact => None,
+                        Calibration::Probe(v) => Some(*v),
+                    },
+                    seed: boundary,
+                });
+            }
+            let mut outcomes = app.run_batch(&runs)?;
+            if outcomes.len() != runs.len() {
+                return Err(RuntimeError(format!(
+                    "run_batch returned {} outcomes for {} runs",
+                    outcomes.len(),
+                    runs.len()
+                )));
+            }
+            let cal = plan
+                .calibration
+                .is_some()
+                .then(|| outcomes.pop().expect("outcome count checked above"));
+            out.extend(self.commit_batch(app, &plan, outcomes, cal)?);
+        }
+        Ok(out)
+    }
+}
+
+/// What one planned batch will execute (see [`Deployment::plan_batch`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchPlan {
+    /// Number of served requests in this batch (rung-stable by
+    /// construction).
+    pub len: usize,
+    /// The rung every request of this batch runs at (`None` = exact).
+    pub variant: Option<usize>,
+    /// Calibration re-execution the batch's final request requires, when
+    /// the batch ends on a check boundary.
+    pub calibration: Option<Calibration>,
+}
+
+/// The calibration re-execution a batch boundary needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Calibration {
+    /// Re-run the boundary input exactly (the deployment is serving a
+    /// variant; the check compares the served output against it).
+    Exact,
+    /// Shadow-probe this candidate variant on the boundary input (the
+    /// deployment is serving exact; the probe feeds re-promotion).
+    Probe(usize),
 }
 
 #[cfg(test)]
@@ -916,6 +1172,136 @@ mod tests {
             !promoted_any,
             "alternating quality must never clear hysteresis"
         );
+    }
+
+    /// Drive the same seeded stream through sequential `invoke` and
+    /// through `invoke_batch` at the given window, and assert the
+    /// results and final deployment state are identical.
+    fn assert_batch_matches_sequential(
+        make_app: impl Fn() -> Mock,
+        config: DeploymentConfig,
+        requests: u64,
+        window: usize,
+    ) {
+        let report = {
+            let mut clean = Mock::new(vec![(95.0, 200), (96.0, 500)]);
+            Tuner::paper_default().tune(&mut clean).unwrap()
+        };
+        let seeds: Vec<u64> = (0..requests).collect();
+
+        let mut seq_app = make_app();
+        let mut seq = Deployment::with_config(&report, config);
+        let expected: Vec<InvokeResult> = seeds
+            .iter()
+            .map(|&s| seq.invoke(&mut seq_app, s).unwrap())
+            .collect();
+
+        let mut bat_app = make_app();
+        let mut bat = Deployment::with_config(&report, config);
+        let mut got = Vec::new();
+        for chunk in seeds.chunks(window) {
+            got.extend(bat.invoke_batch(&mut bat_app, chunk).unwrap());
+        }
+
+        assert_eq!(got, expected, "results diverged (window={window})");
+        assert_eq!(bat.invocations(), seq.invocations());
+        assert_eq!(bat.checks(), seq.checks());
+        assert_eq!(bat.violations(), seq.violations());
+        assert_eq!(bat.promotions(), seq.promotions());
+        assert_eq!(bat.clean_streak(), seq.clean_streak());
+        assert_eq!(bat.position(), seq.position());
+        // The apps saw the exact same call sequence, so even their
+        // order-sensitive internal state matches.
+        assert_eq!(bat_app.runs, seq_app.runs, "call counts (window={window})");
+    }
+
+    #[test]
+    fn batched_invocation_is_trace_identical_to_sequential() {
+        // Drift over a seed window: the stream backs off mid-way and
+        // re-promotes after recovery, so the trace exercises every
+        // decision kind across every batch window.
+        let make_app = || {
+            let mut app = Mock::new(vec![(95.0, 200), (96.0, 500)]);
+            app.drift_seeds = Some(10..30);
+            app
+        };
+        for window in [1, 2, 3, 5, 8, 64] {
+            assert_batch_matches_sequential(
+                make_app,
+                DeploymentConfig {
+                    toq: Toq::paper_default(),
+                    check_every: 4,
+                    promote_after: 2,
+                },
+                60,
+                window,
+            );
+        }
+    }
+
+    #[test]
+    fn batched_invocation_matches_for_stateful_drift() {
+        // Run-count based drift is order-sensitive: identical traces here
+        // prove the batched path preserves the exact call order of the
+        // sequential path (served runs in sequence order, calibration
+        // immediately after its boundary request).
+        let make_app = || {
+            let mut app = Mock::new(vec![(95.0, 200), (96.0, 500)]);
+            app.drift_after = Some(25);
+            app
+        };
+        for window in [1, 4, 7, 32] {
+            assert_batch_matches_sequential(
+                make_app,
+                DeploymentConfig {
+                    toq: Toq::paper_default(),
+                    check_every: 5,
+                    promote_after: 0,
+                },
+                40,
+                window,
+            );
+        }
+    }
+
+    #[test]
+    fn plan_batch_never_crosses_a_check_boundary() {
+        let mut app = Mock::new(vec![(95.0, 200)]);
+        let report = Tuner::paper_default().tune(&mut app).unwrap();
+        let mut deploy = Deployment::new(&report, Toq::paper_default(), 5);
+        // Fresh deployment: 5 requests until the boundary.
+        let plan = deploy.plan_batch(100);
+        assert_eq!(plan.len, 5);
+        assert_eq!(plan.variant, Some(0));
+        assert_eq!(plan.calibration, Some(Calibration::Exact));
+        // Short of the boundary: no calibration.
+        let plan = deploy.plan_batch(3);
+        assert_eq!(plan.len, 3);
+        assert_eq!(plan.calibration, None);
+        // After two served requests, only 3 remain until the boundary.
+        deploy.invoke(&mut app, 0).unwrap();
+        deploy.invoke(&mut app, 1).unwrap();
+        assert_eq!(deploy.plan_batch(100).len, 3);
+        assert_eq!(deploy.plan_batch(0).len, 0);
+    }
+
+    #[test]
+    fn commit_batch_rejects_mismatched_outcomes() {
+        let mut app = Mock::new(vec![(95.0, 200)]);
+        let report = Tuner::paper_default().tune(&mut app).unwrap();
+        let mut deploy = Deployment::new(&report, Toq::paper_default(), 5);
+        let plan = deploy.plan_batch(2);
+        assert_eq!(plan.calibration, None);
+        // Wrong outcome count.
+        assert!(deploy.commit_batch(&app, &plan, vec![], None).is_err());
+        // Unexpected calibration outcome.
+        let run = RunOutcome {
+            output: vec![95.0],
+            cycles: 200,
+        };
+        assert!(deploy
+            .commit_batch(&app, &plan, vec![run.clone(), run.clone()], Some(run))
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! The batcher: coalesce a claimed tenant's queued requests into fused
+//! deployment batches.
+//!
+//! A worker that claims a tenant pops up to `batch_window` consecutive
+//! requests (the tenant's FIFO order) and serves them here as one *batch*.
+//! The batch is split into rung-stable chunks by
+//! [`Deployment::plan_batch`] — a chunk never crosses a calibration
+//! boundary, so the watchdog sees exactly the per-request sequence it
+//! would have seen — and each chunk executes through the application's
+//! [`Approximable::run_batch`], which device-backed apps fuse into a
+//! single multi-block launch over the worker-image pool. The per-request
+//! decision trace (variants served, check qualities, back-offs,
+//! re-promotions) is bit-identical to serving the same stream one request
+//! at a time; only wall-clock cost changes.
+//!
+//! A batch of one request takes the classic [`Deployment::invoke`] path,
+//! so a `batch_window` of 1 reproduces the pre-batching engine exactly —
+//! that is the baseline the benchmarks compare against.
+
+use std::sync::mpsc;
+use std::time::Instant;
+
+use paraprox_runtime::{
+    Approximable, BatchRun, Calibration, Deployment, InvokeResult, RuntimeError,
+};
+
+use crate::engine::{Response, TenantId};
+use crate::stats::TenantStats;
+
+/// Everything a worker needs to serve one tenant. One mutex per tenant:
+/// the scheduler guarantees at most one worker holds a tenant at a time,
+/// so this lock is uncontended and exists only to move the state safely.
+pub(crate) struct Core {
+    pub app: Box<dyn Approximable + Send>,
+    pub deployment: Deployment,
+    pub stats: TenantStats,
+}
+
+/// One popped request, ready to serve.
+pub(crate) struct BatchItem {
+    pub seq: u64,
+    pub seed: u64,
+    /// Time the request waited in the tenant FIFO, nanoseconds.
+    pub queue_nanos: u64,
+    pub reply: mpsc::Sender<Response>,
+}
+
+/// Serve a claimed tenant's popped requests and reply to each ticket.
+/// Returns the number of requests completed (always `items.len()`).
+pub(crate) fn serve_claimed(tenant: TenantId, core: &mut Core, items: Vec<BatchItem>) -> usize {
+    let count = items.len();
+    if count == 0 {
+        return 0;
+    }
+    core.stats.batches += 1;
+    core.stats.peak_batch = core.stats.peak_batch.max(count as u64);
+    if count == 1 {
+        serve_single(tenant, core, items.into_iter().next().expect("one item"));
+        return 1;
+    }
+    let mut rest = items.as_slice();
+    while !rest.is_empty() {
+        let plan = core.deployment.plan_batch(rest.len());
+        let (chunk, tail) = rest.split_at(plan.len);
+        rest = tail;
+        let started = Instant::now();
+        let outcome = run_chunk(core, &plan, chunk);
+        let service_nanos = started.elapsed().as_nanos() as u64;
+        match outcome {
+            Ok(results) => {
+                for (item, r) in chunk.iter().zip(results) {
+                    record(core, item, service_nanos, Ok(r), tenant);
+                }
+            }
+            Err(e) => {
+                // The chunk failed as a unit: every request in it gets the
+                // error, the deployment is left unchanged, and the next
+                // chunk proceeds (requests are independent submissions).
+                for item in chunk {
+                    record(core, item, service_nanos, Err(&e), tenant);
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Execute one rung-stable chunk: served runs plus the boundary
+/// calibration re-execution, fused into a single `run_batch` call, then
+/// committed to the deployment.
+fn run_chunk(
+    core: &mut Core,
+    plan: &paraprox_runtime::BatchPlan,
+    chunk: &[BatchItem],
+) -> Result<Vec<InvokeResult>, RuntimeError> {
+    let mut runs: Vec<BatchRun> = chunk
+        .iter()
+        .map(|item| BatchRun {
+            variant: plan.variant,
+            seed: item.seed,
+        })
+        .collect();
+    if let Some(c) = &plan.calibration {
+        let boundary = chunk.last().expect("calibration implies a non-empty chunk");
+        runs.push(BatchRun {
+            variant: match c {
+                Calibration::Exact => None,
+                Calibration::Probe(v) => Some(*v),
+            },
+            seed: boundary.seed,
+        });
+    }
+    let mut outcomes = core.app.run_batch(&runs)?;
+    if outcomes.len() != runs.len() {
+        return Err(RuntimeError(format!(
+            "run_batch returned {} outcomes for {} runs",
+            outcomes.len(),
+            runs.len()
+        )));
+    }
+    let calibration = plan.calibration.as_ref().map(|_| {
+        outcomes
+            .pop()
+            .expect("calibration outcome appended to the batch")
+    });
+    core.deployment
+        .commit_batch(core.app.as_ref(), plan, outcomes, calibration)
+}
+
+/// The classic one-request path ([`Deployment::invoke`]): used for
+/// degenerate batches so a window of 1 behaves exactly like the
+/// pre-batching engine.
+fn serve_single(tenant: TenantId, core: &mut Core, item: BatchItem) {
+    let started = Instant::now();
+    let outcome = core.deployment.invoke(core.app.as_mut(), item.seed);
+    let service_nanos = started.elapsed().as_nanos() as u64;
+    match outcome {
+        Ok(r) => record(core, &item, service_nanos, Ok(r), tenant),
+        Err(e) => record(core, &item, service_nanos, Err(&e), tenant),
+    }
+}
+
+/// Account one completed request in the tenant's stats and reply to its
+/// ticket. A dropped ticket is not an error.
+fn record(
+    core: &mut Core,
+    item: &BatchItem,
+    service_nanos: u64,
+    outcome: Result<InvokeResult, &RuntimeError>,
+    tenant: TenantId,
+) {
+    core.stats.served += 1;
+    core.stats.queue_ns.push(item.queue_nanos);
+    core.stats.service_ns.push(service_nanos);
+    let response = match outcome {
+        Ok(r) => {
+            core.stats.cycles += r.cycles;
+            core.stats.backoffs += u64::from(r.backed_off);
+            core.stats.promotions += u64::from(r.promoted);
+            if let Some(q) = r.checked_quality {
+                core.stats.quality.observe(q);
+            }
+            Response {
+                tenant,
+                seq: item.seq,
+                seed: item.seed,
+                output: r.output,
+                cycles: r.cycles,
+                variant: r.variant,
+                checked_quality: r.checked_quality,
+                backed_off: r.backed_off,
+                promoted: r.promoted,
+                queue_nanos: item.queue_nanos,
+                service_nanos,
+                error: None,
+            }
+        }
+        Err(e) => {
+            core.stats.errors += 1;
+            Response {
+                tenant,
+                seq: item.seq,
+                seed: item.seed,
+                output: Vec::new(),
+                cycles: 0,
+                variant: None,
+                checked_quality: None,
+                backed_off: false,
+                promoted: false,
+                queue_nanos: item.queue_nanos,
+                service_nanos,
+                error: Some(e.to_string()),
+            }
+        }
+    };
+    let _ = item.reply.send(response);
+}

@@ -1,5 +1,5 @@
-//! The serving engine: bounded admission, per-tenant actor scheduling,
-//! persistent workers, and the online quality watchdog.
+//! The serving engine: bounded admission, a request batcher, and a farm
+//! of work-stealing device shards running the online quality watchdog.
 
 use std::collections::VecDeque;
 use std::sync::mpsc;
@@ -10,6 +10,8 @@ use std::time::Instant;
 use paraprox_quality::QualityStream;
 use paraprox_runtime::{Approximable, Deployment, DeploymentConfig, Toq, TuneReport};
 
+use crate::batch::{serve_claimed, BatchItem, Core};
+use crate::shard::ShardSet;
 use crate::stats::{percentile, TenantSnapshot, TenantStats};
 
 /// Identifies a registered tenant (the index returned by
@@ -23,8 +25,16 @@ pub struct ServeConfig {
     /// in flight) across all tenants. Submissions beyond this budget are
     /// rejected with [`SubmitError::QueueFull`]. Clamped to at least 1.
     pub queue_capacity: usize,
-    /// Worker threads; `0` means one per available CPU.
+    /// Worker threads *per shard*; `0` means one per available CPU.
     pub workers: usize,
+    /// Device shards. Tenants have affinity to shard `tenant % shards`;
+    /// idle shards steal ready tenants from busy ones. Clamped to at
+    /// least 1 — one shard reproduces the pre-sharding engine.
+    pub shards: usize,
+    /// Maximum consecutive requests of one tenant coalesced into a single
+    /// fused batch. Clamped to at least 1; a window of 1 disables
+    /// batching (every request takes the classic per-request path).
+    pub batch_window: usize,
     /// Target output quality enforced by every tenant's watchdog.
     pub toq: Toq,
     /// Calibration cadence: check every `check_every`-th served request
@@ -40,11 +50,14 @@ pub struct ServeConfig {
 
 impl ServeConfig {
     /// Paper-flavoured defaults: TOQ 90%, check every 40th request,
-    /// re-promote after 3 clean checks, a 64-deep queue, auto workers.
+    /// re-promote after 3 clean checks, a 64-deep queue, auto workers,
+    /// one shard, no batching.
     pub fn paper_default() -> ServeConfig {
         ServeConfig {
             queue_capacity: 64,
             workers: 0,
+            shards: 1,
+            batch_window: 1,
             toq: Toq::paper_default(),
             check_every: 40,
             promote_after: 3,
@@ -106,7 +119,8 @@ pub struct Response {
     pub promoted: bool,
     /// Time spent waiting for a worker, nanoseconds.
     pub queue_nanos: u64,
-    /// Execution (service) time, nanoseconds.
+    /// Execution (service) time, nanoseconds. Requests fused into one
+    /// chunk share the chunk's wall-clock time: they complete together.
     pub service_nanos: u64,
     /// Execution error, if the kernel failed.
     pub error: Option<String>,
@@ -140,25 +154,19 @@ struct Request {
     reply: mpsc::Sender<Response>,
 }
 
-/// Everything a worker needs to serve one tenant. One mutex per tenant:
-/// the scheduler guarantees at most one worker holds a tenant at a time,
-/// so this lock is uncontended and exists only to move the state safely.
-struct Core {
-    app: Box<dyn Approximable + Send>,
-    deployment: Deployment,
-    stats: TenantStats,
-}
-
 /// Scheduler state, under a single short-held mutex.
 struct State {
     /// Per-tenant FIFO of admitted requests.
     pending: Vec<VecDeque<Request>>,
-    /// Whether the tenant is in `ready` or held by a worker.
+    /// Whether the tenant is in a ready queue or held by a worker.
     scheduled: Vec<bool>,
     /// Per-tenant next sequence number.
     submitted: Vec<u64>,
-    /// Round-robin queue of tenants with work.
-    ready: VecDeque<TenantId>,
+    /// Deepest each tenant's FIFO has been.
+    peak_depth: Vec<usize>,
+    /// Per-shard ready queues (round-robin within a shard, stealing
+    /// across shards).
+    ready: ShardSet,
     /// Admitted-but-incomplete requests (queued + in flight).
     queued: usize,
     /// Submissions rejected by admission control.
@@ -223,10 +231,12 @@ impl EngineBuilder {
         self.names.len() - 1
     }
 
-    /// Spawn the persistent worker set and start serving.
+    /// Spawn the persistent worker set — `shards × workers` threads, each
+    /// pinned to one shard — and start serving.
     pub fn start(self) -> Engine {
         let tenants = self.names.len();
-        let workers = if self.config.workers == 0 {
+        let shards = self.config.shards.max(1);
+        let per_shard = if self.config.workers == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
             self.config.workers
@@ -235,6 +245,8 @@ impl EngineBuilder {
         let shared = Arc::new(Shared {
             config: ServeConfig {
                 queue_capacity: self.config.queue_capacity.max(1),
+                shards,
+                batch_window: self.config.batch_window.max(1),
                 ..self.config
             },
             names: self.names,
@@ -243,17 +255,19 @@ impl EngineBuilder {
                 pending: (0..tenants).map(|_| VecDeque::new()).collect(),
                 scheduled: vec![false; tenants],
                 submitted: vec![0; tenants],
-                ready: VecDeque::new(),
+                peak_depth: vec![0; tenants],
+                ready: ShardSet::new(shards),
                 queued: 0,
                 rejected: 0,
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
         });
-        let handles = (0..workers)
-            .map(|_| {
+        let handles = (0..shards * per_shard)
+            .map(|i| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                let shard = i % shards;
+                std::thread::spawn(move || worker_loop(&shared, shard))
             })
             .collect();
         Engine { shared, handles }
@@ -265,6 +279,8 @@ impl EngineBuilder {
 pub struct EngineSnapshot {
     /// Submissions rejected by admission control.
     pub rejected: u64,
+    /// Tenant claims satisfied by stealing from another shard's queue.
+    pub steals: u64,
     /// Per-tenant summaries, in registration order.
     pub tenants: Vec<TenantSnapshot>,
 }
@@ -308,9 +324,14 @@ impl Engine {
         &self.shared.names
     }
 
-    /// Number of worker threads serving requests.
+    /// Number of worker threads serving requests (across all shards).
     pub fn worker_count(&self) -> usize {
         self.handles.len()
+    }
+
+    /// Number of device shards.
+    pub fn shard_count(&self) -> usize {
+        self.shared.config.shards
     }
 
     /// Submit a request for `tenant` on the input derived from `seed`.
@@ -349,9 +370,10 @@ impl Engine {
             submitted_at: Instant::now(),
             reply: tx,
         });
+        state.peak_depth[tenant] = state.peak_depth[tenant].max(state.pending[tenant].len());
         if !state.scheduled[tenant] {
             state.scheduled[tenant] = true;
-            state.ready.push_back(tenant);
+            state.ready.push(tenant);
             self.shared.work_cv.notify_one();
         }
         Ok(Ticket { tenant, seq, rx })
@@ -361,15 +383,23 @@ impl Engine {
     /// locks each tenant's core in turn; in-flight requests for a tenant
     /// delay only that tenant's row.
     pub fn snapshot(&self) -> EngineSnapshot {
-        let rejected = self.shared.state.lock().unwrap().rejected;
+        let (rejected, steals, peaks) = {
+            let state = self.shared.state.lock().unwrap();
+            (state.rejected, state.ready.steals, state.peak_depth.clone())
+        };
         let tenants = self
             .shared
             .cores
             .iter()
             .zip(&self.shared.names)
-            .map(|(core, name)| snapshot_core(&core.lock().unwrap(), name))
+            .zip(&peaks)
+            .map(|((core, name), &peak)| snapshot_core(&core.lock().unwrap(), name, peak))
             .collect();
-        EngineSnapshot { rejected, tenants }
+        EngineSnapshot {
+            rejected,
+            steals,
+            tenants,
+        }
     }
 
     /// Stop admitting work, drain every already-admitted request, join
@@ -387,9 +417,10 @@ impl Engine {
     }
 }
 
-fn snapshot_core(core: &Core, name: &str) -> TenantSnapshot {
+fn snapshot_core(core: &Core, name: &str, peak_depth: usize) -> TenantSnapshot {
     let d = &core.deployment;
     let s = &core.stats;
+    let diag = core.app.engine_diagnostics();
     TenantSnapshot {
         name: name.to_string(),
         served: s.served,
@@ -405,6 +436,11 @@ fn snapshot_core(core: &Core, name: &str) -> TenantSnapshot {
         min_quality: s.quality.min(),
         ewma_quality: s.quality.ewma(),
         cycles: s.cycles,
+        batches: s.batches,
+        peak_batch: s.peak_batch,
+        peak_queue_depth: peak_depth,
+        ops_dispatched: diag.ops_dispatched,
+        fusions_hit: diag.fusions_hit,
         queue_p50_ns: percentile(&s.queue_ns, 50.0),
         queue_p99_ns: percentile(&s.queue_ns, 99.0),
         service_p50_ns: percentile(&s.service_ns, 50.0),
@@ -412,95 +448,56 @@ fn snapshot_core(core: &Core, name: &str) -> TenantSnapshot {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, shard: usize) {
     loop {
-        // Claim the next ready tenant, or exit once shutdown has drained.
-        let tenant = {
+        // Claim the next ready tenant — own shard first, then steal —
+        // or exit once shutdown has drained. While the tenant is claimed,
+        // pop up to `batch_window` consecutive requests: the batch.
+        let (tenant, items) = {
             let mut state = shared.state.lock().unwrap();
-            loop {
-                if let Some(t) = state.ready.pop_front() {
+            let tenant = loop {
+                if let Some(t) = state.ready.claim(shard) {
                     break t;
                 }
                 if state.shutdown && state.queued == 0 {
                     return;
                 }
                 state = shared.work_cv.wait(state).unwrap();
+            };
+            let window = shared.config.batch_window;
+            let mut items = Vec::with_capacity(window.min(state.pending[tenant].len()));
+            while items.len() < window {
+                let Some(request) = state.pending[tenant].pop_front() else {
+                    break;
+                };
+                items.push(BatchItem {
+                    seq: request.seq,
+                    seed: request.seed,
+                    queue_nanos: request.submitted_at.elapsed().as_nanos() as u64,
+                    reply: request.reply,
+                });
             }
+            // A tenant only enters a ready queue with pending work.
+            assert!(!items.is_empty(), "ready tenant has a pending request");
+            (tenant, items)
         };
-        // The tenant is scheduled (owned by this worker): pop its oldest
-        // request. It must exist — a tenant only enters `ready` with work.
-        let request = {
-            let mut state = shared.state.lock().unwrap();
-            state.pending[tenant]
-                .pop_front()
-                .expect("ready tenant has a pending request")
-        };
-        let queue_nanos = request.submitted_at.elapsed().as_nanos() as u64;
+        let count = items.len();
 
         // Serve outside the scheduler lock. The per-tenant core mutex is
         // uncontended (only snapshot() may briefly touch it).
-        let response = {
+        {
             let mut core = shared.cores[tenant].lock().unwrap();
-            let core = &mut *core;
-            let started = Instant::now();
-            let outcome = core.deployment.invoke(core.app.as_mut(), request.seed);
-            let service_nanos = started.elapsed().as_nanos() as u64;
-            core.stats.served += 1;
-            core.stats.queue_ns.push(queue_nanos);
-            core.stats.service_ns.push(service_nanos);
-            match outcome {
-                Ok(r) => {
-                    core.stats.cycles += r.cycles;
-                    core.stats.backoffs += u64::from(r.backed_off);
-                    core.stats.promotions += u64::from(r.promoted);
-                    if let Some(q) = r.checked_quality {
-                        core.stats.quality.observe(q);
-                    }
-                    Response {
-                        tenant,
-                        seq: request.seq,
-                        seed: request.seed,
-                        output: r.output,
-                        cycles: r.cycles,
-                        variant: r.variant,
-                        checked_quality: r.checked_quality,
-                        backed_off: r.backed_off,
-                        promoted: r.promoted,
-                        queue_nanos,
-                        service_nanos,
-                        error: None,
-                    }
-                }
-                Err(e) => {
-                    core.stats.errors += 1;
-                    Response {
-                        tenant,
-                        seq: request.seq,
-                        seed: request.seed,
-                        output: Vec::new(),
-                        cycles: 0,
-                        variant: None,
-                        checked_quality: None,
-                        backed_off: false,
-                        promoted: false,
-                        queue_nanos,
-                        service_nanos,
-                        error: Some(e.to_string()),
-                    }
-                }
-            }
-        };
-        // The caller may have dropped the ticket; that is not an error.
-        let _ = request.reply.send(response);
+            serve_claimed(tenant, &mut core, items);
+        }
 
         // Completion bookkeeping: release or re-enqueue the tenant.
         let mut state = shared.state.lock().unwrap();
-        state.queued -= 1;
+        state.queued -= count;
         if state.pending[tenant].is_empty() {
             state.scheduled[tenant] = false;
         } else {
-            // Back of the queue: round-robin fairness across tenants.
-            state.ready.push_back(tenant);
+            // Back of the home queue: round-robin fairness across tenants.
+            state.ready.push(tenant);
             shared.work_cv.notify_one();
         }
         if state.shutdown && state.queued == 0 {
@@ -562,6 +559,7 @@ mod tests {
         });
         assert_eq!(engine.tenant_names(), ["fixed".to_string()]);
         assert_eq!(engine.worker_count(), 2);
+        assert_eq!(engine.shard_count(), 1);
         let tickets: Vec<Ticket> = (0..20).map(|s| engine.submit(id, s).unwrap()).collect();
         for (i, t) in tickets.into_iter().enumerate() {
             assert_eq!(t.seq, i as u64);
@@ -573,6 +571,7 @@ mod tests {
         }
         let snap = engine.shutdown();
         assert_eq!(snap.rejected, 0);
+        assert_eq!(snap.steals, 0, "one shard never steals");
         let t = &snap.tenants[0];
         assert_eq!(t.served, 20);
         assert_eq!(t.checks, 4);
@@ -580,6 +579,118 @@ mod tests {
         assert_eq!(t.rung, "v0");
         assert_eq!(t.mean_quality, Some(95.0));
         assert!(t.service_p99_ns >= t.service_p50_ns);
+        assert_eq!(t.batches, 20, "window 1: every request is its own batch");
+        assert_eq!(t.peak_batch, 1);
+        assert!(t.peak_queue_depth >= 1);
+    }
+
+    /// An app that blocks on a gate before completing, so the test can
+    /// pile up a deep queue behind the first request deterministically.
+    struct Gated {
+        gate: mpsc::Receiver<()>,
+    }
+
+    impl Approximable for Gated {
+        fn variant_count(&self) -> usize {
+            0
+        }
+        fn variant_label(&self, _: usize) -> String {
+            unreachable!("no variants")
+        }
+        fn run_exact(&mut self, _seed: u64) -> Result<RunOutcome, RuntimeError> {
+            self.gate.recv().map_err(|e| RuntimeError(e.to_string()))?;
+            Ok(RunOutcome {
+                output: vec![1.0],
+                cycles: 10,
+            })
+        }
+        fn run_variant(&mut self, _: usize, _: u64) -> Result<RunOutcome, RuntimeError> {
+            unreachable!("no variants")
+        }
+        fn quality(&self, _: &[f64], _: &[f64]) -> f64 {
+            100.0
+        }
+    }
+
+    #[test]
+    fn batching_coalesces_queued_requests() {
+        let (gate_tx, gate_rx) = mpsc::channel();
+        let report = Tuner::paper_default()
+            .tune(&mut Gated {
+                gate: {
+                    let (tx, rx) = mpsc::channel();
+                    for _ in 0..10 {
+                        tx.send(()).unwrap();
+                    }
+                    rx
+                },
+            })
+            .unwrap();
+        let mut builder = Engine::builder(ServeConfig {
+            workers: 1,
+            batch_window: 8,
+            queue_capacity: 256,
+            ..ServeConfig::paper_default()
+        });
+        let id = builder.register("gated", Box::new(Gated { gate: gate_rx }), &report);
+        let engine = builder.start();
+        // The worker blocks on the gate inside its first batch, so the
+        // remaining submissions pile up in the tenant FIFO.
+        let tickets: Vec<Ticket> = (0..40).map(|s| engine.submit(id, s).unwrap()).collect();
+        for _ in 0..40 {
+            gate_tx.send(()).unwrap();
+        }
+        for (i, t) in tickets.into_iter().enumerate() {
+            let r = t.wait().unwrap();
+            assert_eq!(r.seq, i as u64, "batching preserves per-tenant order");
+            assert!(r.error.is_none());
+        }
+        let snap = engine.shutdown();
+        let t = &snap.tenants[0];
+        assert_eq!(t.served, 40);
+        // The first batch holds 1..=8 requests (a race with submission);
+        // everything after it was already queued, so the window is full:
+        // at most 1 + ceil(39 / 8) = 6 dispatches for 40 requests.
+        assert!(
+            t.batches <= 6,
+            "expected coalescing, got {} batches for 40 requests",
+            t.batches
+        );
+        assert_eq!(t.peak_batch, 8, "a full window must have formed");
+        assert!(t.peak_queue_depth >= 32, "queue built up behind the gate");
+    }
+
+    #[test]
+    fn sharded_engine_drains_all_tenants() {
+        let report = Tuner::paper_default()
+            .tune(&mut Fixed { quality: 95.0 })
+            .unwrap();
+        let mut builder = Engine::builder(ServeConfig {
+            workers: 1,
+            shards: 4,
+            batch_window: 4,
+            queue_capacity: 256,
+            ..ServeConfig::paper_default()
+        });
+        let tenants: Vec<TenantId> = (0..3)
+            .map(|i| builder.register(format!("t{i}"), Box::new(Fixed { quality: 95.0 }), &report))
+            .collect();
+        let engine = builder.start();
+        assert_eq!(engine.worker_count(), 4, "one worker per shard");
+        assert_eq!(engine.shard_count(), 4);
+        let mut tickets = Vec::new();
+        for s in 0..10 {
+            for &t in &tenants {
+                tickets.push(engine.submit(t, s).unwrap());
+            }
+        }
+        for t in tickets {
+            assert!(t.wait().unwrap().error.is_none());
+        }
+        let snap = engine.shutdown();
+        for t in &snap.tenants {
+            assert_eq!(t.served, 10);
+        }
     }
 
     #[test]

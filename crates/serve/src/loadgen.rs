@@ -1,22 +1,35 @@
-//! A closed-loop load generator for serving experiments.
+//! Load generators for serving experiments: closed-loop and open-loop.
 //!
-//! Drives an [`Engine`] the way the paper's measurement loops drive a
-//! deployment: a fixed number of seeded requests per tenant, submitted
-//! round-robin with a bounded number outstanding (closed loop, so the
-//! generator never outruns the engine by more than `inflight`). Admission
-//! rejections are honoured as designed: on [`SubmitError::QueueFull`] the
-//! generator waits for its oldest outstanding ticket — a completion *is*
-//! the retry-after signal — and resubmits.
+//! **Closed loop** ([`run_closed_loop`]) drives an [`Engine`] the way the
+//! paper's measurement loops drive a deployment: a fixed number of seeded
+//! requests per tenant, submitted round-robin with a bounded number
+//! outstanding (so the generator never outruns the engine by more than
+//! `inflight`). Admission rejections are honoured as designed: on
+//! [`SubmitError::QueueFull`] the generator waits for its oldest
+//! outstanding ticket — a completion *is* the retry-after signal — and
+//! resubmits. A closed loop measures *capacity*: the engine is never
+//! starved, so completed/wall-clock is saturation throughput.
 //!
-//! Seeds are `seed_base + sequence`, so a run is fully described by
-//! `(seed_base, requests)` and reproducible by construction; keeping
-//! `seed_base` above the tuner's training seeds ensures serving traffic
-//! never replays a training input.
+//! **Open loop** ([`run_open_loop`]) submits on a precomputed arrival
+//! schedule — exponential inter-arrival gaps drawn deterministically from
+//! a SplitMix64 stream — regardless of how fast the engine drains. The
+//! schedule depends only on `(schedule_seed, rate_rps, requests)`, never
+//! on observed service times, so two engines under comparison face the
+//! *same* offered stream. Requests the admission queue rejects are
+//! *dropped* (counted, not retried): an open-loop generator models
+//! independent outside arrivals, and sweeping `rate_rps` past capacity
+//! traces the throughput/latency saturation curve.
+//!
+//! Seeds are `seed_base + sequence`, so a run is fully described by its
+//! spec and reproducible by construction; keeping `seed_base` above the
+//! tuner's training seeds ensures serving traffic never replays a
+//! training input.
 
 use std::collections::VecDeque;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::engine::{Engine, Response, SubmitError, TenantId, Ticket};
+use crate::stats::percentile;
 
 /// Shape of a closed-loop run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,6 +140,148 @@ pub fn run_closed_loop(
     report
 }
 
+/// Shape of an open-loop run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpenLoopSpec {
+    /// Total requests across all tenants (assigned round-robin).
+    pub requests: u64,
+    /// Offered load, requests per second across all tenants. Arrival gaps
+    /// are exponential with this rate (a Poisson arrival process).
+    pub rate_rps: f64,
+    /// First request seed; request `i` of every tenant uses
+    /// `seed_base + i` (the same seed-per-sequence convention as
+    /// [`LoadSpec`]).
+    pub seed_base: u64,
+    /// Seed of the arrival schedule's SplitMix64 stream. The schedule is
+    /// a pure function of `(schedule_seed, rate_rps, requests)`.
+    pub schedule_seed: u64,
+}
+
+impl OpenLoopSpec {
+    /// `requests` arrivals at `rate_rps`, seeds from 1000, schedule 7.
+    pub fn new(requests: u64, rate_rps: f64) -> OpenLoopSpec {
+        OpenLoopSpec {
+            requests,
+            rate_rps,
+            seed_base: 1000,
+            schedule_seed: 7,
+        }
+    }
+
+    /// The arrival schedule: nanosecond offsets from the run's start, one
+    /// per request, strictly derived from the spec (service times never
+    /// feed back into it). Gaps are `-ln(u)/rate` with `u` uniform in
+    /// `(0, 1]` from SplitMix64 — exponential inter-arrivals.
+    pub fn arrival_offsets_ns(&self) -> Vec<u64> {
+        let rate = self.rate_rps.max(1e-9);
+        let mut state = self.schedule_seed;
+        let mut at_ns = 0.0f64;
+        (0..self.requests)
+            .map(|_| {
+                let bits = paraprox_prng::splitmix64(&mut state);
+                // Uniform in (0, 1]: never 0, so ln(u) is finite.
+                let u = ((bits >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+                at_ns += -u.ln() / rate * 1e9;
+                at_ns as u64
+            })
+            .collect()
+    }
+}
+
+/// What an open-loop run observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopReport {
+    /// Wall-clock duration of the whole run (last redemption included),
+    /// nanoseconds.
+    pub wall_nanos: u64,
+    /// Requests offered (the spec's `requests`).
+    pub offered: u64,
+    /// Requests admitted and completed.
+    pub completed: u64,
+    /// Requests dropped at admission (`QueueFull`).
+    pub dropped: u64,
+    /// Completed responses carrying an execution error.
+    pub errors: u64,
+    /// End-to-end latency of each completed request (queue wait plus
+    /// service), nanoseconds, in completion-redemption order.
+    pub latency_ns: Vec<u64>,
+}
+
+impl OpenLoopReport {
+    /// Completed requests per wall-clock second (achieved throughput; at
+    /// most the offered rate, less once the engine saturates and drops).
+    pub fn achieved_rps(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / (self.wall_nanos as f64 / 1e9)
+    }
+
+    /// Nearest-rank latency percentile, nanoseconds.
+    pub fn latency_p(&self, p: f64) -> u64 {
+        percentile(&self.latency_ns, p)
+    }
+
+    /// Dropped / offered.
+    pub fn drop_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.dropped as f64 / self.offered as f64
+    }
+}
+
+/// Offer `spec.requests` arrivals to the engine on the spec's
+/// deterministic schedule, round-robin across `tenants`, then redeem
+/// every admitted ticket. Submission never blocks on completions: the
+/// generator sleeps until each arrival time and submits, dropping the
+/// request if admission rejects it. Latency is measured engine-side
+/// (queue wait + service) per completed request.
+///
+/// # Panics
+///
+/// Panics if a tenant id is unknown, submission races shutdown, or a
+/// worker dies without replying.
+pub fn run_open_loop(engine: &Engine, tenants: &[TenantId], spec: &OpenLoopSpec) -> OpenLoopReport {
+    assert!(!tenants.is_empty(), "open loop needs at least one tenant");
+    let offsets = spec.arrival_offsets_ns();
+    let mut report = OpenLoopReport {
+        wall_nanos: 0,
+        offered: spec.requests,
+        completed: 0,
+        dropped: 0,
+        errors: 0,
+        latency_ns: Vec::new(),
+    };
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(offsets.len());
+    let mut next_seq = vec![0u64; tenants.len()];
+    let started = Instant::now();
+    for (i, &at_ns) in offsets.iter().enumerate() {
+        let elapsed = started.elapsed().as_nanos() as u64;
+        if at_ns > elapsed {
+            std::thread::sleep(Duration::from_nanos(at_ns - elapsed));
+        }
+        let slot = i % tenants.len();
+        let seed = spec.seed_base + next_seq[slot];
+        next_seq[slot] += 1;
+        match engine.submit(tenants[slot], seed) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(SubmitError::QueueFull { .. }) => report.dropped += 1,
+            Err(e) => panic!("submit failed: {e}"),
+        }
+    }
+    for ticket in tickets {
+        let response = ticket.wait().expect("worker must reply");
+        report.completed += 1;
+        report.errors += u64::from(response.error.is_some());
+        report
+            .latency_ns
+            .push(response.queue_nanos + response.service_nanos);
+    }
+    report.wall_nanos = started.elapsed().as_nanos() as u64;
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,5 +345,127 @@ mod tests {
         assert!(seen.iter().all(|x| x.2 == 1000 + x.1));
         let snap = engine.shutdown();
         assert_eq!(snap.tenants[0].served + snap.tenants[1].served, 50);
+    }
+
+    #[test]
+    fn arrival_schedule_is_deterministic_and_monotone() {
+        let spec = OpenLoopSpec::new(500, 10_000.0);
+        let a = spec.arrival_offsets_ns();
+        let b = spec.arrival_offsets_ns();
+        assert_eq!(a, b, "schedule is a pure function of the spec");
+        assert_eq!(a.len(), 500);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "offsets are sorted");
+        // Mean gap of exponential(rate) is 1/rate: 100µs at 10k rps. The
+        // 500-arrival sample mean should be within a factor of two.
+        let mean_gap = a.last().unwrap() / 500;
+        assert!(
+            (50_000..200_000).contains(&mean_gap),
+            "mean gap {mean_gap}ns far from 100µs"
+        );
+        // A different schedule seed yields a different schedule.
+        let other = OpenLoopSpec {
+            schedule_seed: 8,
+            ..spec
+        };
+        assert_ne!(other.arrival_offsets_ns(), a);
+    }
+
+    #[test]
+    fn open_loop_completes_offered_load_below_capacity() {
+        let report = Tuner::paper_default().tune(&mut Echo).unwrap();
+        let mut builder = Engine::builder(ServeConfig {
+            queue_capacity: 64,
+            workers: 2,
+            ..ServeConfig::paper_default()
+        });
+        let a = builder.register("a", Box::new(Echo), &report);
+        let b = builder.register("b", Box::new(Echo), &report);
+        let engine = builder.start();
+        // Echo is near-instant: 2k rps is far below capacity, so nothing
+        // should be dropped.
+        let spec = OpenLoopSpec::new(40, 2_000.0);
+        let load = run_open_loop(&engine, &[a, b], &spec);
+        assert_eq!(load.offered, 40);
+        assert_eq!(load.completed, 40);
+        assert_eq!(load.dropped, 0);
+        assert_eq!(load.errors, 0);
+        assert_eq!(load.drop_rate(), 0.0);
+        assert_eq!(load.latency_ns.len(), 40);
+        assert!(load.achieved_rps() > 0.0);
+        assert!(load.latency_p(99.0) >= load.latency_p(50.0));
+        let snap = engine.shutdown();
+        assert_eq!(snap.tenants[0].served + snap.tenants[1].served, 40);
+    }
+
+    #[test]
+    fn open_loop_drops_rather_than_blocking_when_the_queue_is_full() {
+        // A gate the test never opens until after submission: with a
+        // 2-deep queue, an instantaneous burst must drop the overflow
+        // instead of retrying (open-loop semantics).
+        use std::sync::mpsc;
+        struct Gated {
+            gate: mpsc::Receiver<()>,
+        }
+        impl Approximable for Gated {
+            fn variant_count(&self) -> usize {
+                0
+            }
+            fn variant_label(&self, _: usize) -> String {
+                unreachable!()
+            }
+            fn run_exact(&mut self, _: u64) -> Result<RunOutcome, RuntimeError> {
+                self.gate.recv().map_err(|e| RuntimeError(e.to_string()))?;
+                Ok(RunOutcome {
+                    output: vec![1.0],
+                    cycles: 1,
+                })
+            }
+            fn run_variant(&mut self, _: usize, _: u64) -> Result<RunOutcome, RuntimeError> {
+                unreachable!()
+            }
+            fn quality(&self, _: &[f64], _: &[f64]) -> f64 {
+                100.0
+            }
+        }
+        let (gate_tx, gate_rx) = mpsc::channel();
+        let report = Tuner::paper_default()
+            .tune(&mut Gated {
+                gate: {
+                    let (tx, rx) = mpsc::channel();
+                    for _ in 0..10 {
+                        tx.send(()).unwrap();
+                    }
+                    rx
+                },
+            })
+            .unwrap();
+        let mut builder = Engine::builder(ServeConfig {
+            queue_capacity: 2,
+            workers: 1,
+            ..ServeConfig::paper_default()
+        });
+        let id = builder.register("gated", Box::new(Gated { gate: gate_rx }), &report);
+        let engine = builder.start();
+        // Effectively-infinite rate: all 10 arrivals are due immediately,
+        // but only 2 fit the admission budget while the worker is gated.
+        let spec = OpenLoopSpec::new(10, 1e12);
+        let handle = std::thread::spawn({
+            move || {
+                for _ in 0..10 {
+                    // Feed the gate until the run's admitted requests have
+                    // all been served (extra sends are never received).
+                    if gate_tx.send(()).is_err() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        });
+        let load = run_open_loop(&engine, &[id], &spec);
+        assert_eq!(load.completed + load.dropped, 10);
+        assert!(load.dropped > 0, "burst over a 2-deep queue must drop");
+        assert!(load.drop_rate() > 0.0);
+        engine.shutdown();
+        let _ = handle.join();
     }
 }

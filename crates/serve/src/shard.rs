@@ -1,0 +1,118 @@
+//! Device shards: per-shard ready queues with tenant affinity and work
+//! stealing.
+//!
+//! The engine partitions its workers into *shards*. Every tenant has a
+//! home shard (`tenant % shards`), and a tenant with pending work waits in
+//! its home shard's ready queue — so under steady load, a tenant's
+//! requests are served by the same small worker set, keeping its
+//! device-side working state (program caches, pooled worker images) on one
+//! shard. When a shard's own queue runs dry its workers *steal*: they scan
+//! the other shards' queues round-robin, starting after their own shard,
+//! and claim the oldest ready tenant they find. Stealing trades affinity
+//! for utilization exactly when affinity is worthless (the home shard has
+//! nothing to run).
+//!
+//! Stealing never reorders a single tenant's requests — a tenant is
+//! claimed *whole* (the scheduler's one-owner-at-a-time invariant is
+//! unchanged), so which worker serves a batch affects wall-clock placement
+//! only, never the watchdog's decision trace.
+
+use std::collections::VecDeque;
+
+use crate::engine::TenantId;
+
+/// The per-shard ready queues. Lives inside the engine's scheduler state,
+/// under the scheduler mutex; methods are O(shards) at worst.
+#[derive(Debug)]
+pub(crate) struct ShardSet {
+    queues: Vec<VecDeque<TenantId>>,
+    /// Claims satisfied from another shard's queue.
+    pub steals: u64,
+}
+
+impl ShardSet {
+    /// `shards` empty ready queues (clamped to at least one).
+    pub fn new(shards: usize) -> ShardSet {
+        ShardSet {
+            queues: (0..shards.max(1)).map(|_| VecDeque::new()).collect(),
+            steals: 0,
+        }
+    }
+
+    /// A tenant's home shard.
+    pub fn home(&self, tenant: TenantId) -> usize {
+        tenant % self.queues.len()
+    }
+
+    /// Enqueue a ready tenant on its home shard.
+    pub fn push(&mut self, tenant: TenantId) {
+        let home = self.home(tenant);
+        self.queues[home].push_back(tenant);
+    }
+
+    /// Claim the next ready tenant for a worker on `shard`: the shard's
+    /// own queue first, then the other shards' queues round-robin
+    /// (stealing). Returns `None` when every queue is empty.
+    pub fn claim(&mut self, shard: usize) -> Option<TenantId> {
+        let n = self.queues.len();
+        debug_assert!(shard < n);
+        if let Some(t) = self.queues[shard].pop_front() {
+            return Some(t);
+        }
+        for step in 1..n {
+            let victim = (shard + step) % n;
+            if let Some(t) = self.queues[victim].pop_front() {
+                self.steals += 1;
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn home_shard_is_tenant_modulo_shards() {
+        let set = ShardSet::new(3);
+        assert_eq!(set.home(0), 0);
+        assert_eq!(set.home(4), 1);
+        assert_eq!(set.home(5), 2);
+    }
+
+    #[test]
+    fn claim_prefers_own_queue() {
+        let mut set = ShardSet::new(2);
+        set.push(0); // home shard 0
+        set.push(1); // home shard 1
+        assert_eq!(set.claim(0), Some(0));
+        assert_eq!(set.steals, 0);
+        assert_eq!(set.claim(1), Some(1));
+        assert_eq!(set.steals, 0);
+        assert_eq!(set.claim(0), None);
+    }
+
+    #[test]
+    fn empty_shard_steals_round_robin() {
+        let mut set = ShardSet::new(3);
+        set.push(1); // home shard 1
+        set.push(2); // home shard 2
+                     // Shard 0 is empty: it must steal from shard 1 first (next in the
+                     // round-robin scan), then shard 2.
+        assert_eq!(set.claim(0), Some(1));
+        assert_eq!(set.claim(0), Some(2));
+        assert_eq!(set.steals, 2);
+        assert_eq!(set.claim(0), None);
+        assert_eq!(set.steals, 2, "failed claims are not steals");
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let mut set = ShardSet::new(0);
+        assert_eq!(set.home(7), 0, "every tenant homes on the only shard");
+        set.push(7);
+        assert_eq!(set.claim(0), Some(7));
+    }
+}

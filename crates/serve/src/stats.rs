@@ -31,6 +31,11 @@ pub struct TenantStats {
     pub promotions: u64,
     /// Total simulated device cycles spent serving.
     pub cycles: u64,
+    /// Dispatches: each time a worker claimed this tenant and served a
+    /// coalesced run of its requests (a batch of 1 under a unit window).
+    pub batches: u64,
+    /// Largest batch served in one dispatch.
+    pub peak_batch: u64,
     /// Per-request time spent waiting for a worker, nanoseconds.
     pub queue_ns: Vec<u64>,
     /// Per-request execution time, nanoseconds.
@@ -47,6 +52,8 @@ impl TenantStats {
             backoffs: 0,
             promotions: 0,
             cycles: 0,
+            batches: 0,
+            peak_batch: 0,
             queue_ns: Vec::new(),
             service_ns: Vec::new(),
         }
@@ -85,6 +92,17 @@ pub struct TenantSnapshot {
     pub ewma_quality: Option<f64>,
     /// Total simulated device cycles spent serving.
     pub cycles: u64,
+    /// Dispatches (coalesced batches, including batches of one).
+    pub batches: u64,
+    /// Largest batch served in one dispatch.
+    pub peak_batch: u64,
+    /// Deepest the tenant's request FIFO has been.
+    pub peak_queue_depth: usize,
+    /// Bytecode operations the tenant's executor dispatched (0 for
+    /// backends that do not track them).
+    pub ops_dispatched: u64,
+    /// Fused superinstructions the tenant's executor hit.
+    pub fusions_hit: u64,
     /// Median queue wait, nanoseconds.
     pub queue_p50_ns: u64,
     /// 99th-percentile queue wait, nanoseconds.
@@ -100,6 +118,15 @@ impl TenantSnapshot {
     /// the serving rung.
     pub fn recalibrations(&self) -> u64 {
         self.backoffs + self.promotions
+    }
+
+    /// Mean batch occupancy: requests served per dispatch (1.0 under a
+    /// unit batch window, up to the window under saturation).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.served as f64 / self.batches as f64
     }
 }
 
@@ -121,10 +148,84 @@ mod tests {
     }
 
     #[test]
+    fn percentile_single_sample_is_that_sample_at_every_rank() {
+        // n = 1: nearest rank is 1 for every p, including the p = 0 and
+        // p = 100 extremes.
+        for p in [0.0, 0.1, 50.0, 99.9, 100.0] {
+            assert_eq!(percentile(&[42], p), 42, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn percentile_all_ties_collapse_to_the_tied_value() {
+        let ties = [7u64; 64];
+        for p in [0.0, 25.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&ties, p), 7, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn percentile_extremes_are_min_and_max() {
+        let ns: Vec<u64> = (1..=10).rev().collect();
+        assert_eq!(percentile(&ns, 0.0), 1, "p0 is the minimum");
+        assert_eq!(percentile(&ns, 100.0), 10, "p100 is the maximum");
+        // Out-of-range p clamps rather than panicking or extrapolating.
+        assert_eq!(percentile(&ns, -5.0), 1);
+        assert_eq!(percentile(&ns, 250.0), 10);
+    }
+
+    #[test]
+    fn percentile_fractional_ranks_round_up() {
+        // Nearest-rank uses ceil: with 10 samples, p = 0.1 already selects
+        // rank 1 and p = 90.1 selects rank 10.
+        let ns: Vec<u64> = (1..=10).collect();
+        assert_eq!(percentile(&ns, 0.1), 1);
+        assert_eq!(percentile(&ns, 10.0), 1);
+        assert_eq!(percentile(&ns, 10.1), 2);
+        assert_eq!(percentile(&ns, 90.0), 9);
+        assert_eq!(percentile(&ns, 90.1), 10);
+        assert_eq!(percentile(&ns, 99.9), 10);
+    }
+
+    #[test]
     fn stats_start_empty() {
         let s = TenantStats::new(QualityStream::paper_default());
         assert_eq!(s.served, 0);
         assert_eq!(s.quality.count(), 0);
         assert!(s.queue_ns.is_empty());
+        assert_eq!(s.batches, 0);
+        assert_eq!(s.peak_batch, 0);
+    }
+
+    #[test]
+    fn mean_batch_occupancy() {
+        let snap = |served, batches| TenantSnapshot {
+            name: "t".into(),
+            served,
+            errors: 0,
+            checks: 0,
+            violations: 0,
+            backoffs: 0,
+            promotions: 0,
+            rung: "exact".into(),
+            position: 0,
+            ladder_len: 1,
+            mean_quality: None,
+            min_quality: None,
+            ewma_quality: None,
+            cycles: 0,
+            batches,
+            peak_batch: 0,
+            peak_queue_depth: 0,
+            ops_dispatched: 0,
+            fusions_hit: 0,
+            queue_p50_ns: 0,
+            queue_p99_ns: 0,
+            service_p50_ns: 0,
+            service_p99_ns: 0,
+        };
+        assert_eq!(snap(0, 0).mean_batch(), 0.0, "no dispatches yet");
+        assert_eq!(snap(40, 5).mean_batch(), 8.0);
+        assert_eq!(snap(20, 20).mean_batch(), 1.0);
     }
 }

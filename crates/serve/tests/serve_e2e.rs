@@ -55,9 +55,15 @@ struct Decision {
     promoted: bool,
 }
 
-/// Serve `requests` seeded requests to three drifting tenants on `workers`
-/// workers and return each tenant's decision trace in sequence order.
-fn run_drift_stream(workers: usize, requests: u64) -> Vec<Vec<Decision>> {
+/// Serve `requests` seeded requests to three drifting tenants on a
+/// `shards × workers` farm coalescing up to `batch_window` requests per
+/// dispatch, and return each tenant's decision trace in sequence order.
+fn run_drift_stream(
+    shards: usize,
+    workers: usize,
+    batch_window: usize,
+    requests: u64,
+) -> Vec<Vec<Decision>> {
     let drifting = || Drifting {
         clean_quality: 95.0,
         drift_quality: 70.0,
@@ -67,8 +73,10 @@ fn run_drift_stream(workers: usize, requests: u64) -> Vec<Vec<Decision>> {
     };
     let report = Tuner::paper_default().tune(&mut drifting()).unwrap();
     let mut builder = Engine::builder(ServeConfig {
-        queue_capacity: 256,
+        queue_capacity: 1024,
         workers,
+        shards,
+        batch_window,
         check_every: 4,
         promote_after: 2,
         ..ServeConfig::paper_default()
@@ -77,7 +85,8 @@ fn run_drift_stream(workers: usize, requests: u64) -> Vec<Vec<Decision>> {
         .map(|i| builder.register(format!("tenant{i}"), Box::new(drifting()), &report))
         .collect();
     let engine = builder.start();
-    assert_eq!(engine.worker_count(), workers);
+    assert_eq!(engine.worker_count(), shards * workers);
+    assert_eq!(engine.shard_count(), shards);
 
     let mut tickets: Vec<Vec<Ticket>> = (0..tenants.len()).map(|_| Vec::new()).collect();
     for seq in 0..requests {
@@ -111,7 +120,9 @@ fn run_drift_stream(workers: usize, requests: u64) -> Vec<Vec<Decision>> {
 #[test]
 fn drift_backs_off_and_repromotes_deterministically_across_worker_counts() {
     let requests = 60;
-    let reference = run_drift_stream(1, requests);
+    // Reference: the original single-actor path — one shard, one worker,
+    // no batching.
+    let reference = run_drift_stream(1, 1, 1, requests);
 
     for trace in &reference {
         // Per-tenant FIFO: responses arrive in submission order.
@@ -152,8 +163,36 @@ fn drift_backs_off_and_repromotes_deterministically_across_worker_counts() {
     // The decision trace is a pure function of the request stream: more
     // workers must not change a single decision.
     for workers in [2, 4] {
-        let trace = run_drift_stream(workers, requests);
+        let trace = run_drift_stream(1, workers, 1, requests);
         assert_eq!(trace, reference, "{workers} workers diverged from 1");
+    }
+}
+
+/// The tentpole guarantee: the per-tenant watchdog decision trace is
+/// bit-identical at **any** shard count, worker count, and batch window.
+/// Every cell of the {shards} × {workers} × {windows} matrix must replay
+/// the single-actor reference exactly — batch formation is timing-
+/// dependent (a worker pops whatever is queued, up to the window), so
+/// this asserts that *when* requests coalesce cannot leak into *what*
+/// the watchdog decides.
+#[test]
+fn decision_trace_is_identical_across_shards_workers_and_batch_windows() {
+    let requests = 60;
+    let reference = run_drift_stream(1, 1, 1, requests);
+    for shards in [1, 2, 4] {
+        for workers in [1, 2, 4] {
+            for window in [1, 8] {
+                if (shards, workers, window) == (1, 1, 1) {
+                    continue;
+                }
+                let trace = run_drift_stream(shards, workers, window, requests);
+                assert_eq!(
+                    trace, reference,
+                    "shards={shards} workers={workers} window={window} \
+                     diverged from the single-actor reference"
+                );
+            }
+        }
     }
 }
 

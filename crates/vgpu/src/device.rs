@@ -136,12 +136,22 @@ struct CacheEntry {
 /// One cache entry borrowed out for a single launch: the artifacts plus
 /// the `(key, idx)` handle needed to store a freshly fused artifact back
 /// after the profiling launch completes.
-struct ProgramHandle {
+#[derive(Clone)]
+pub(crate) struct ProgramHandle {
     key: u64,
     idx: usize,
-    compiled: Arc<CompiledKernel>,
-    counts: Arc<Vec<AtomicU64>>,
-    fused: Option<Arc<CompiledKernel>>,
+    pub(crate) compiled: Arc<CompiledKernel>,
+    pub(crate) counts: Arc<Vec<AtomicU64>>,
+    pub(crate) fused: Option<Arc<CompiledKernel>>,
+}
+
+impl ProgramHandle {
+    /// Stable identity of the cache entry this handle points at, used to
+    /// deduplicate post-launch fusion across the segments of a fused
+    /// batch.
+    pub(crate) fn entry_id(&self) -> (u64, usize) {
+        (self.key, self.idx)
+    }
 }
 
 /// Per-device cache of bytecode-compiled kernels, keyed by *structural*
@@ -236,23 +246,23 @@ impl ProgramCache {
 /// [`DeviceProfile`], and executes kernel launches.
 #[derive(Debug)]
 pub struct Device {
-    profile: DeviceProfile,
-    buffers: Vec<BufferStorage>,
+    pub(crate) profile: DeviceProfile,
+    pub(crate) buffers: Vec<BufferStorage>,
     next_addr: u64,
     l1: Cache,
     constant_cache: Cache,
     programs: ProgramCache,
     /// When set, intra-block store *application order* is permuted
     /// per-block (see [`Device::set_schedule_seed`]).
-    schedule_seed: Option<u64>,
+    pub(crate) schedule_seed: Option<u64>,
     /// Profile-guided superinstruction fusion for the bytecode engine
     /// (default on; disabled by the `PARAPROX_NO_FUSE` environment
     /// variable or [`Device::set_fusion`]).
-    fusion: bool,
+    pub(crate) fusion: bool,
     /// Per-worker buffer images, retained across launches so a serving
     /// loop reuses the allocations instead of cloning the arena per
     /// launch (see [`Device::pooled_images`]).
-    image_pool: Vec<Vec<BufferStorage>>,
+    pub(crate) image_pool: Vec<Vec<BufferStorage>>,
 }
 
 impl Device {
@@ -355,12 +365,32 @@ impl Device {
     }
 
     fn alloc_scalars(&mut self, space: MemSpace, ty: Ty, data: Vec<Scalar>) -> BufferId {
+        let mut next = self.next_addr;
+        let id = self.alloc_scalars_at(space, ty, data, &mut next);
+        self.next_addr = next;
+        id
+    }
+
+    /// Allocate a buffer whose simulated address comes from an external
+    /// counter instead of the device's own `next_addr`. A fused batch
+    /// gives every job its *own* counter, seeded from the device's current
+    /// `next_addr`, so each job sees exactly the base addresses (and hence
+    /// the cache-set behavior) it would have seen running alone — jobs
+    /// have private simulated caches, so overlapping address spaces are
+    /// unobservable.
+    pub(crate) fn alloc_scalars_at(
+        &mut self,
+        space: MemSpace,
+        ty: Ty,
+        data: Vec<Scalar>,
+        next_addr: &mut u64,
+    ) -> BufferId {
         let id = BufferId(self.buffers.len());
         // Align each buffer to a 256-byte boundary so buffers never share
         // cache lines.
         let bytes = (data.len() as u64) * 4;
-        let base_addr = self.next_addr;
-        self.next_addr = (base_addr + bytes + 255) & !255;
+        let base_addr = *next_addr;
+        *next_addr = (base_addr + bytes + 255) & !255;
         self.buffers.push(BufferStorage {
             ty,
             space,
@@ -523,6 +553,67 @@ impl Device {
         args: &[ArgValue],
     ) -> Result<LaunchStats, LaunchError> {
         let k = program.kernel(kernel);
+        self.validate_launch(k, grid, block, args)?;
+        let handle = match crate::profile::resolve_engine(self.profile.engine) {
+            ExecEngine::Bytecode => Some(self.programs.get_or_compile(program, k, &self.profile)),
+            ExecEngine::TreeWalk => None,
+        };
+        // Pick the artifact: the fused one when available, otherwise the
+        // base artifact — profiling pair frequencies on the way when this
+        // is the entry's first (fusion-enabled) launch.
+        let (compiled, profiling): (Option<&CompiledKernel>, bool) = match &handle {
+            Some(h) if !self.fusion => (Some(&h.compiled), false),
+            Some(h) => match &h.fused {
+                Some(f) => (Some(f), false),
+                None => (Some(&h.compiled), true),
+            },
+            None => (None, false),
+        };
+        let launch = Launch {
+            profile: &self.profile,
+            program,
+            kernel: k,
+            args,
+            grid,
+            block,
+            compiled,
+            schedule_seed: self.schedule_seed,
+            profile_counts: match (&handle, profiling) {
+                (Some(h), true) => Some(&h.counts[..]),
+                _ => None,
+            },
+        };
+        let result = exec::run_launch(
+            &launch,
+            &mut self.buffers,
+            &mut self.l1,
+            &mut self.constant_cache,
+            &mut self.image_pool,
+        );
+        // After a successful profiling launch, fuse the hot pairs and
+        // cache the artifact; every later launch of this entry dispatches
+        // the superinstructions. Errored launches skip fusing (their
+        // counts may cover only a prefix of execution). The atomic counts
+        // are worker-count independent: the *set* of executed pcs is
+        // deterministic, and fusion only asks which counts are non-zero.
+        if result.is_ok() && profiling {
+            if let Some(h) = &handle {
+                self.store_fused_from_counts(h);
+            }
+        }
+        result
+    }
+
+    /// Validate a launch shape and argument list against a kernel's
+    /// signature and this device's buffers and limits — the same checks
+    /// [`Device::launch`] performs, shared with the fused batch executor.
+    pub(crate) fn validate_launch(
+        &self,
+        k: &Kernel,
+        grid: Dim2,
+        block: Dim2,
+        args: &[ArgValue],
+    ) -> Result<(), LaunchError> {
         if grid.count() == 0 || block.count() == 0 {
             return Err(LaunchError::EmptyLaunch);
         }
@@ -589,57 +680,29 @@ impl Device {
                 available: self.profile.shared_mem_bytes,
             });
         }
-        let handle = match crate::profile::resolve_engine(self.profile.engine) {
+        Ok(())
+    }
+
+    /// Look up (or compile) the bytecode artifact for `kernel` of
+    /// `program` under the device's resolved engine. `None` means the
+    /// tree-walking engine is active.
+    pub(crate) fn program_handle(
+        &mut self,
+        program: &Program,
+        k: &Kernel,
+    ) -> Option<ProgramHandle> {
+        match crate::profile::resolve_engine(self.profile.engine) {
             ExecEngine::Bytecode => Some(self.programs.get_or_compile(program, k, &self.profile)),
             ExecEngine::TreeWalk => None,
-        };
-        // Pick the artifact: the fused one when available, otherwise the
-        // base artifact — profiling pair frequencies on the way when this
-        // is the entry's first (fusion-enabled) launch.
-        let (compiled, profiling): (Option<&CompiledKernel>, bool) = match &handle {
-            Some(h) if !self.fusion => (Some(&h.compiled), false),
-            Some(h) => match &h.fused {
-                Some(f) => (Some(f), false),
-                None => (Some(&h.compiled), true),
-            },
-            None => (None, false),
-        };
-        let launch = Launch {
-            profile: &self.profile,
-            program,
-            kernel: k,
-            args,
-            grid,
-            block,
-            compiled,
-            schedule_seed: self.schedule_seed,
-            profile_counts: match (&handle, profiling) {
-                (Some(h), true) => Some(&h.counts[..]),
-                _ => None,
-            },
-        };
-        let result = exec::run_launch(
-            &launch,
-            &mut self.buffers,
-            &mut self.l1,
-            &mut self.constant_cache,
-            &mut self.image_pool,
-        );
-        // After a successful profiling launch, fuse the hot pairs and
-        // cache the artifact; every later launch of this entry dispatches
-        // the superinstructions. Errored launches skip fusing (their
-        // counts may cover only a prefix of execution). The atomic counts
-        // are worker-count independent: the *set* of executed pcs is
-        // deterministic, and fusion only asks which counts are non-zero.
-        if result.is_ok() && profiling {
-            if let Some(h) = &handle {
-                let snapshot: Vec<u64> =
-                    h.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
-                let fused = Arc::new(h.compiled.fuse(&snapshot));
-                self.programs.store_fused(h.key, h.idx, fused);
-            }
         }
-        result
+    }
+
+    /// Build the fused superinstruction artifact from a handle's filled
+    /// profiling counters and store it on the cache entry.
+    pub(crate) fn store_fused_from_counts(&mut self, h: &ProgramHandle) {
+        let snapshot: Vec<u64> = h.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        let fused = Arc::new(h.compiled.fuse(&snapshot));
+        self.programs.store_fused(h.key, h.idx, fused);
     }
 }
 

@@ -492,6 +492,245 @@ pub(crate) fn run_launch(
     Ok(stats)
 }
 
+/// One segment of a fused multi-launch: an independent launch plus the
+/// simulated cache state it enters with. Segments must touch disjoint
+/// buffers (each serving request allocates its own); their simulated
+/// address spaces may overlap freely because every segment carries
+/// private caches.
+pub(crate) struct FusedSegment<'a> {
+    pub launch: Launch<'a>,
+    pub l1: Cache,
+    pub constant_cache: Cache,
+}
+
+/// What one fused segment finished with: its summed stats and exit
+/// caches (counters advanced past the entry values, exactly as
+/// [`run_launch`] leaves the device caches).
+pub(crate) struct SegmentOutcome {
+    pub stats: LaunchStats,
+    pub l1: Cache,
+    pub constant_cache: Cache,
+}
+
+/// Execute several independent launches as one fused dispatch over a
+/// single worker pool.
+///
+/// Semantically this is exactly `for segment { run_launch(segment) }` —
+/// every segment's buffer contents, simulated cycles, and cache
+/// statistics are bit-identical to running it alone — but the host cost
+/// is paid once per *batch*: one scope of pooled workers, one shared
+/// work queue spanning every segment's blocks, and one arena clone per
+/// worker (instead of per launch).
+///
+/// Determinism follows the [`run_launch`] argument segment-wise: each
+/// block is a pure function of its segment's entry state, and folding
+/// (stats, write replay, exit caches) happens per segment in ascending
+/// `(segment, block)` order. The iteration budget stays per-segment so a
+/// runaway kernel is charged like it would be alone.
+pub(crate) fn run_fused(
+    segments: Vec<FusedSegment<'_>>,
+    buffers: &mut Vec<BufferStorage>,
+    image_pool: &mut Vec<Vec<BufferStorage>>,
+) -> Result<Vec<SegmentOutcome>, LaunchError> {
+    let started = Instant::now();
+    struct Seg<'a> {
+        launch: Launch<'a>,
+        l1_template: Cache,
+        cc_template: Cache,
+        entry_l1: (u64, u64),
+        entry_cc: (u64, u64),
+        start: usize,
+        iterations: AtomicU64,
+    }
+    let mut segs: Vec<Seg<'_>> = Vec::with_capacity(segments.len());
+    let mut total = 0usize;
+    for fs in segments {
+        let FusedSegment {
+            launch,
+            mut l1,
+            mut constant_cache,
+        } = fs;
+        let entry_l1 = (l1.hits(), l1.misses());
+        let entry_cc = (constant_cache.hits(), constant_cache.misses());
+        l1.reset_counters();
+        constant_cache.reset_counters();
+        let start = total;
+        total += launch.grid.count();
+        segs.push(Seg {
+            launch,
+            l1_template: l1,
+            cc_template: constant_cache,
+            entry_l1,
+            entry_cc,
+            start,
+            iterations: AtomicU64::new(0),
+        });
+    }
+    if segs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let workers = pool::resolve_workers(segs[0].launch.profile.parallelism)
+        .min(total)
+        .max(1);
+    let eval_err = |seg: &Seg<'_>, source: EvalError| LaunchError::Eval {
+        kernel: seg.launch.kernel.name.clone(),
+        source,
+    };
+    // Fold one segment's sorted outcomes exactly like run_launch folds a
+    // whole launch.
+    let fold = |seg: &Seg<'_>,
+                outcomes: Vec<BlockOutcome>,
+                buffers: &mut Vec<BufferStorage>|
+     -> Result<SegmentOutcome, LaunchError> {
+        let mut stats = LaunchStats::default();
+        for outcome in &outcomes {
+            stats += outcome.stats;
+        }
+        let mut outcomes = outcomes;
+        for outcome in &outcomes {
+            replay_writes(buffers, &outcome.log).map_err(|e| eval_err(seg, e))?;
+        }
+        let last = outcomes.pop().expect("segment has at least one block");
+        let mut l1 = last.l1;
+        let mut constant_cache = last.constant_cache;
+        l1.set_counters(
+            seg.entry_l1.0 + stats.l1_hits,
+            seg.entry_l1.1 + stats.l1_misses,
+        );
+        constant_cache.set_counters(
+            seg.entry_cc.0 + stats.const_hits,
+            seg.entry_cc.1 + stats.const_misses,
+        );
+        stats.workers = workers as u64;
+        Ok(SegmentOutcome {
+            stats,
+            l1,
+            constant_cache,
+        })
+    };
+
+    let mut results: Vec<SegmentOutcome> = Vec::with_capacity(segs.len());
+    if workers == 1 {
+        // Serial path: segments run back-to-back against the device's
+        // buffers, each with the same isolation rules run_launch applies.
+        let mut worker = Worker {
+            buffers,
+            log: Vec::new(),
+            scratch: ScratchPool::default(),
+            bc: crate::bytecode::BcScratch::default(),
+        };
+        for seg in &segs {
+            let blocks = seg.launch.grid.count();
+            let mut outcomes = Vec::with_capacity(blocks);
+            for block_id in 0..blocks {
+                let outcome = worker
+                    .run_block(
+                        &seg.launch,
+                        block_id,
+                        &seg.l1_template,
+                        &seg.cc_template,
+                        &seg.iterations,
+                        blocks > 1,
+                    )
+                    .map_err(|e| eval_err(seg, e))?;
+                outcomes.push(outcome);
+            }
+            results.push(fold(seg, outcomes, &mut *worker.buffers)?);
+        }
+    } else {
+        // Parallel path: one shared queue over every segment's blocks; a
+        // global index maps back to (segment, local block) through the
+        // segment start offsets.
+        let queue = WorkQueue::new(total, workers);
+        let abort = AtomicBool::new(false);
+        let mut first_err: Option<(usize, usize, EvalError)> = None;
+        let mut tagged: Vec<(usize, BlockOutcome)> = Vec::with_capacity(total);
+        if image_pool.len() < workers {
+            image_pool.resize_with(workers, Vec::new);
+        }
+        {
+            let buffers_src: &Vec<BufferStorage> = buffers;
+            let segs_ref = &segs;
+            let (queue_ref, abort_ref) = (&queue, &abort);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = image_pool[..workers]
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(w, image)| {
+                        s.spawn(move || {
+                            image.clone_from(buffers_src);
+                            let mut worker = Worker {
+                                buffers: image,
+                                log: Vec::new(),
+                                scratch: ScratchPool::default(),
+                                bc: crate::bytecode::BcScratch::default(),
+                            };
+                            let mut done = Vec::new();
+                            let mut err = None;
+                            while let Some(global) = queue_ref.pop(w) {
+                                if abort_ref.load(Ordering::Relaxed) {
+                                    break;
+                                }
+                                let si = segs_ref.partition_point(|s| s.start <= global) - 1;
+                                let seg = &segs_ref[si];
+                                let block_id = global - seg.start;
+                                match worker.run_block(
+                                    &seg.launch,
+                                    block_id,
+                                    &seg.l1_template,
+                                    &seg.cc_template,
+                                    &seg.iterations,
+                                    true,
+                                ) {
+                                    Ok(outcome) => done.push((si, outcome)),
+                                    Err(e) => {
+                                        err = Some((si, block_id, e));
+                                        abort_ref.store(true, Ordering::Relaxed);
+                                        break;
+                                    }
+                                }
+                            }
+                            (done, err)
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    let (done, err) = handle.join().expect("executor worker panicked");
+                    tagged.extend(done);
+                    if let Some((si, block_id, e)) = err {
+                        // Deterministic-ish selection: lowest (segment,
+                        // block) among observed failures.
+                        if first_err
+                            .as_ref()
+                            .is_none_or(|(s0, b0, _)| (si, block_id) < (*s0, *b0))
+                        {
+                            first_err = Some((si, block_id, e));
+                        }
+                    }
+                }
+            });
+        }
+        if let Some((si, _, source)) = first_err {
+            return Err(eval_err(&segs[si], source));
+        }
+        tagged.sort_by_key(|(si, o)| (*si, o.block));
+        debug_assert_eq!(tagged.len(), total);
+        let mut iter = tagged.into_iter().peekable();
+        for (si, seg) in segs.iter().enumerate() {
+            let mut outcomes = Vec::with_capacity(seg.launch.grid.count());
+            while iter.peek().is_some_and(|(s, _)| *s == si) {
+                outcomes.push(iter.next().expect("peeked").1);
+            }
+            results.push(fold(seg, outcomes, &mut *buffers)?);
+        }
+    }
+    let wall = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    for r in &mut results {
+        r.stats.wall_nanos = wall;
+    }
+    Ok(results)
+}
+
 /// Fisher-Yates permutation of `0..lanes`, seeded per block so different
 /// blocks shuffle independently.
 fn store_permutation(seed: u64, block_id: u64, lanes: usize) -> Vec<usize> {

@@ -70,6 +70,7 @@ mod cache;
 mod device;
 mod error;
 mod exec;
+mod fused;
 mod mask;
 mod plan;
 mod pool;
@@ -81,6 +82,7 @@ pub use bytecode::{compile_kernel, CompiledKernel};
 pub use cache::{Cache, CacheConfig};
 pub use device::{ArgValue, BufferId, Device, Dim2};
 pub use error::LaunchError;
+pub use fused::{execute_fused, FusedJob};
 pub use plan::{BufferInit, BufferSpec, LaunchPlan, Pipeline, PipelineRun, PlanArg};
 pub use profile::{DeviceKind, DeviceProfile, ExecEngine};
 pub use stats::LaunchStats;

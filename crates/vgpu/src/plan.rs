@@ -57,6 +57,43 @@ pub struct BufferSpec {
 }
 
 impl BufferSpec {
+    /// Materialize the initial contents as scalars, enforcing that a data
+    /// init's element type matches the declared buffer type — the same
+    /// checks [`Pipeline::execute`] applies, shared with the fused batch
+    /// executor.
+    pub(crate) fn init_scalars(&self) -> Result<Vec<Scalar>, LaunchError> {
+        match &self.init {
+            BufferInit::Zeroed(n) => Ok(vec![Scalar::zero(self.ty); *n]),
+            BufferInit::F32(data) => {
+                if self.ty != Ty::F32 {
+                    return Err(LaunchError::BufferTypeMismatch {
+                        expected: self.ty,
+                        found: Ty::F32,
+                    });
+                }
+                Ok(data.iter().map(|&v| Scalar::F32(v)).collect())
+            }
+            BufferInit::I32(data) => {
+                if self.ty != Ty::I32 {
+                    return Err(LaunchError::BufferTypeMismatch {
+                        expected: self.ty,
+                        found: Ty::I32,
+                    });
+                }
+                Ok(data.iter().map(|&v| Scalar::I32(v)).collect())
+            }
+            BufferInit::U32(data) => {
+                if self.ty != Ty::U32 {
+                    return Err(LaunchError::BufferTypeMismatch {
+                        expected: self.ty,
+                        found: Ty::U32,
+                    });
+                }
+                Ok(data.iter().map(|&v| Scalar::U32(v)).collect())
+            }
+        }
+    }
+
     /// A zeroed global `f32` buffer.
     pub fn zeroed_f32(name: &str, len: usize) -> BufferSpec {
         BufferSpec {

@@ -39,10 +39,15 @@ echo "==> bench_interp --smoke (engine bit-identity + perf gate: geomean >= 1.0x
 echo "==> paraprox-cli serve smoke (drift -> back-off -> re-promotion, both profiles)"
 for dev in gpu cpu; do
   cargo run --release -q -p paraprox-cli -- serve --device "$dev" --scale test \
-    --requests 40 --drift-at 10 --drift-len 12 --check-every 4 --promote-after 2
+    --requests 40 --drift-at 10 --drift-len 12 --check-every 4 --promote-after 2 \
+    --shards 2 --batch-window 8
 done
 
-echo "==> bench_serve --smoke (serving engine, both profiles)"
+echo "==> bench_serve --smoke (serving engine perf gate: batched >= unbatched)"
+# bench_serve --smoke exits non-zero when the sharded+batched engine's
+# closed-loop throughput drops below the single-shard unbatched baseline
+# on the same seeded stream, so a serving-path performance regression
+# fails verification here.
 (cd target && cargo run --release -p paraprox-bench --bin bench_serve -- --smoke)
 
 echo "==> verify OK"
