@@ -52,10 +52,16 @@ fn mul(a: Interval, b: Interval) -> Interval {
         a.1.saturating_mul(b.0),
         a.1.saturating_mul(b.1),
     ];
-    Some((
-        products.iter().copied().min().unwrap(),
-        products.iter().copied().max().unwrap(),
-    ))
+    // Fold instead of `min()/max().unwrap()`: an empty corner set (can only
+    // happen if the array above ever becomes dynamic, e.g. under a
+    // degenerate launch dim) must degrade to "unknown", not panic.
+    products
+        .iter()
+        .copied()
+        .fold(None, |acc: Option<(i64, i64)>, p| match acc {
+            None => Some((p, p)),
+            Some((lo, hi)) => Some((lo.min(p), hi.max(p))),
+        })
 }
 
 fn union(a: Interval, b: Interval) -> Interval {
@@ -462,6 +468,32 @@ fn negate(op: CmpOp) -> CmpOp {
 
 /// Run the bounds lint on one kernel under a concrete launch context.
 pub fn check_bounds(kernel: &Kernel, id: KernelId, ctx: &LaunchContext, out: &mut Vec<Diagnostic>) {
+    // A zero launch dimension launches no work at all: every special
+    // becomes unknown (see `eval`), silently disabling the whole lint.
+    // Surface that as a finding instead of analyzing blind.
+    for (dim, val) in [
+        ("grid.x", ctx.grid.0),
+        ("grid.y", ctx.grid.1),
+        ("block.x", ctx.block.0),
+        ("block.y", ctx.block.1),
+    ] {
+        if val == 0 {
+            push_unique(
+                out,
+                Diagnostic::new(
+                    Severity::Warning,
+                    id,
+                    &kernel.name,
+                    &[],
+                    "launch",
+                    format!(
+                        "degenerate launch: {dim} is 0, no threads run and bounds \
+                         analysis is vacuous"
+                    ),
+                ),
+            );
+        }
+    }
     let mut b = Bounds {
         kernel,
         id,

@@ -44,7 +44,7 @@ pub struct Diagnostic {
     /// Flattened child-index path to the offending statement.
     pub path: Vec<usize>,
     /// Stable lint code (`race`, `oob`, `uninit`, `dead-store`,
-    /// `barrier-divergence`, `type`).
+    /// `barrier-divergence`, `type`, `launch`, `approx-placement`).
     pub code: &'static str,
     /// Human-readable explanation.
     pub message: String,

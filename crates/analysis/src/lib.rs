@@ -15,6 +15,10 @@
 //! 4. **Effect summaries and type inference** ([`effects`]) — the
 //!    replacement for the bespoke purity walk in `paraprox-patterns` and
 //!    the guessing type inference in `paraprox-approx`.
+//! 5. **Buffer-criticality partitioning** ([`partition`]) — interprocedural
+//!    taint analysis classifying each buffer as Critical (addresses,
+//!    predicates, sync) or Tolerant (payload), gating placement in the
+//!    approximate memory space.
 //!
 //! The affine index decomposition ([`affine`]) lives here too, shared by
 //! the stencil detector (re-exported from `paraprox-patterns`) and the
@@ -33,6 +37,7 @@ mod context;
 pub mod dataflow;
 mod diag;
 pub mod effects;
+pub mod partition;
 pub mod race;
 
 pub use context::LaunchContext;
@@ -40,6 +45,10 @@ pub use diag::{Diagnostic, Severity};
 pub use effects::{
     infer_expr_ty, summarize_func, summarize_kernel, summarize_stmts, EffectSummary, TyScope,
     TypeError,
+};
+pub use partition::{
+    check_placements, partition_kernel, partition_program, BufferVerdict, Criticality,
+    KernelPartition,
 };
 pub use race::{check_races, shared_access_set, shared_reads_covered, SharedAccessSet};
 

@@ -279,3 +279,121 @@ fn loop_carried_value_is_not_a_dead_store() {
     });
     assert!(diags.is_empty(), "unexpected: {:?}", codes(&diags));
 }
+
+#[test]
+fn value_assigned_on_one_arm_only_is_flagged() {
+    // Both arms exist, but only the then-arm assigns: the merge is the
+    // intersection of the two arm states, so the read after the `If`
+    // must be flagged as possibly uninitialized.
+    let diags = analyze(|kb| {
+        let out = kb.buffer("out", Ty::I32, MemSpace::Global);
+        let tx = kb.let_("tx", KernelBuilder::thread_id_x());
+        let mut slot: Option<VarId> = None;
+        kb.if_else(
+            tx.clone().lt(Expr::i32(16)),
+            |kb| {
+                slot = Some(kb.let_mut("slot", Ty::I32, Expr::i32(1)));
+            },
+            |kb| {
+                // The else-arm touches other state but never `slot`.
+                let _ = kb.let_("unrelated", Expr::i32(0));
+            },
+        );
+        kb.store(out, tx, Expr::Var(slot.unwrap()));
+    });
+    assert!(
+        diags.iter().any(|d| d.code == "uninit"),
+        "got: {:?}",
+        codes(&diags)
+    );
+}
+
+#[test]
+fn value_assigned_on_both_arms_is_accepted() {
+    // The minimally-different twin: the else-arm also assigns, so the
+    // intersection join sees the local defined on every path.
+    let diags = analyze(|kb| {
+        let out = kb.buffer("out", Ty::I32, MemSpace::Global);
+        let tx = kb.let_("tx", KernelBuilder::thread_id_x());
+        let slot = kb.let_mut("slot", Ty::I32, Expr::i32(0));
+        kb.if_else(
+            tx.clone().lt(Expr::i32(16)),
+            |kb| kb.assign(slot, Expr::Var(slot) + Expr::i32(1)),
+            |kb| kb.assign(slot, Expr::i32(2)),
+        );
+        kb.store(out, tx, Expr::Var(slot));
+    });
+    assert!(diags.is_empty(), "unexpected: {:?}", codes(&diags));
+}
+
+#[test]
+fn store_shadowed_across_a_barrier_is_dead() {
+    // The write before the barrier is never read on any path: the
+    // barrier itself must not count as a use of thread-local state.
+    let diags = analyze(|kb| {
+        let out = kb.buffer("out", Ty::I32, MemSpace::Global);
+        let tx = kb.let_("tx", KernelBuilder::thread_id_x());
+        let v = kb.let_mut("v", Ty::I32, Expr::i32(1));
+        kb.sync();
+        kb.assign(v, Expr::i32(2)); // shadows the init across the barrier
+        kb.store(out, tx, Expr::Var(v));
+    });
+    assert!(
+        diags.iter().any(|d| d.code == "dead-store"),
+        "got: {:?}",
+        codes(&diags)
+    );
+}
+
+#[test]
+fn store_consumed_before_the_barrier_is_live() {
+    // Twin: staging the value into shared memory before the barrier
+    // consumes the first write, so nothing is dead.
+    let diags = analyze(|kb| {
+        let out = kb.buffer("out", Ty::I32, MemSpace::Global);
+        let s = kb.shared_array("s", Ty::I32, 32);
+        let tx = kb.let_("tx", KernelBuilder::thread_id_x());
+        let v = kb.let_mut("v", Ty::I32, Expr::i32(1));
+        kb.store(s, tx.clone(), Expr::Var(v));
+        kb.sync();
+        kb.assign(v, Expr::i32(2));
+        kb.store(out, tx.clone(), Expr::Var(v) + kb.load(s, tx));
+    });
+    assert!(diags.is_empty(), "unexpected: {:?}", codes(&diags));
+}
+
+// ---------------------------------------------------------------------------
+// Launch sanity
+// ---------------------------------------------------------------------------
+
+#[test]
+fn degenerate_launch_dim_is_a_warning_not_a_panic() {
+    // A zero block dimension used to silently disable the bounds lint
+    // (every special evaluates to "unknown"); it must now surface as a
+    // `launch` warning — and must never panic inside interval math.
+    let mut program = Program::new();
+    let mut kb = KernelBuilder::new("degenerate");
+    let out = kb.buffer("out", Ty::I32, MemSpace::Global);
+    let gid = kb.let_("gid", KernelBuilder::global_id_x());
+    kb.store(out, gid.clone() * gid, Expr::i32(1));
+    let kid = program.add_kernel(kb.finish());
+    let mut ctx = LaunchContext::with_dims((1, 1), (0, 1));
+    ctx.buffer_len.push(Some(32));
+    let diags = analyze_kernel(&program, kid, Some(&ctx));
+    let launch = diags
+        .iter()
+        .find(|d| d.code == "launch")
+        .expect("degenerate dim must be reported");
+    assert_eq!(launch.severity, Severity::Warning);
+    assert!(launch.message.contains("block.x"), "{}", launch.message);
+
+    // The healthy twin launch stays clean.
+    let mut ok = LaunchContext::with_dims((1, 1), (32, 1));
+    ok.buffer_len.push(Some(32 * 32));
+    let diags = analyze_kernel(&program, kid, Some(&ok));
+    assert!(
+        diags.iter().all(|d| d.code != "launch"),
+        "unexpected: {:?}",
+        codes(&diags)
+    );
+}

@@ -1,0 +1,144 @@
+//! Approximate-memory sweep: place every partition-Tolerant buffer of
+//! every benchmark application into `MemSpace::Approx` and sweep the
+//! injected bit-flip rate, recording simulated cycles and output quality
+//! at each point.
+//!
+//! ```sh
+//! cargo run --release -p paraprox-bench --bin bench_approxmem            # full
+//! cargo run --release -p paraprox-bench --bin bench_approxmem -- --smoke # gate
+//! ```
+//!
+//! Writes `BENCH_approxmem.json` into the current directory. The placement
+//! is exactly what the auto-placer computes: buffer slots classified
+//! Tolerant by the interprocedural criticality partition in every launch
+//! they feed ([`paraprox::tolerant_buffer_slots`]). Critical buffers stay
+//! exact, so the sweep can only perturb payload data — addresses, branch
+//! predicates, and atomic targets are never corrupted.
+//!
+//! Two invariants are asserted on every app and treated as benchmark
+//! failures:
+//!
+//! * **Rate 0 is bit-identical to the all-exact run.** Approximate
+//!   placement with the injector off changes modeled timing only.
+//! * **The placement passes the partition lint.** `analyze_workload` on
+//!   the re-spaced pipeline reports no `approx-placement` finding.
+//!
+//! `--smoke` runs test-scale inputs over a two-point sweep as a CI gate
+//! and exits non-zero if either invariant fails.
+
+use paraprox_apps::{registry, Scale};
+use paraprox_vgpu::{Device, DeviceProfile, PipelineRun};
+
+const FULL_RATES: [f64; 4] = [0.0, 1e-4, 1e-3, 1e-2];
+const SMOKE_RATES: [f64; 2] = [0.0, 1e-2];
+
+fn run_at(workload: &paraprox::Workload, rate: f64) -> PipelineRun {
+    // Fresh device per point: identical cold caches at every rate, so the
+    // cycle deltas isolate the approximate-memory path.
+    let mut device = Device::new(DeviceProfile::gtx560().with_parallelism(1));
+    device.set_approx_rate(rate);
+    device.set_approx_seed(0x5EED);
+    workload
+        .pipeline
+        .execute(&mut device, &workload.program)
+        .expect("pipeline must execute")
+}
+
+fn bit_identical(a: &PipelineRun, b: &PipelineRun) -> bool {
+    a.outputs.len() == b.outputs.len()
+        && a.outputs.iter().zip(&b.outputs).all(|(x, y)| {
+            x.len() == y.len() && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
+        })
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { Scale::Test } else { Scale::Paper };
+    let rates: &[f64] = if smoke { &SMOKE_RATES } else { &FULL_RATES };
+    println!(
+        "approximate-memory sweep: {} scale, rates {rates:?}, profile gtx560\n",
+        if smoke { "test (smoke)" } else { "paper" }
+    );
+    println!(
+        "{:>32} {:>9} {:>10} {:>12} {:>10} {:>10} {:>10}",
+        "application", "tolerant", "rate", "cycles", "speedup", "quality", "flips"
+    );
+
+    let mut entries = Vec::new();
+    let mut failures = 0usize;
+    for app in registry() {
+        let mut workload = (app.build)(scale, 0);
+        let partition = paraprox::partition_program(&workload.program);
+        let slots = paraprox::tolerant_buffer_slots(&workload, &partition);
+        let exact = run_at(&workload, 0.0);
+        for &slot in &slots {
+            workload.pipeline.buffers[slot] = workload.pipeline.buffers[slot]
+                .clone()
+                .with_space(paraprox_ir::MemSpace::Approx);
+        }
+
+        // The auto-placement must itself pass the partition lint.
+        let misplaced = paraprox::analyze_workload(&workload)
+            .iter()
+            .filter(|d| d.code == "approx-placement")
+            .count();
+        if misplaced > 0 {
+            eprintln!(
+                "FAIL: {}: auto-placement tripped {misplaced} approx-placement finding(s)",
+                app.spec.name
+            );
+            failures += 1;
+        }
+
+        let mut points = Vec::new();
+        for &rate in rates {
+            let run = run_at(&workload, rate);
+            if rate == 0.0 && !bit_identical(&run, &exact) {
+                eprintln!(
+                    "FAIL: {}: rate-0 approximate placement is not bit-identical to exact",
+                    app.spec.name
+                );
+                failures += 1;
+            }
+            let quality = workload
+                .metric
+                .quality(&exact.flat_output(), &run.flat_output());
+            let cycles = run.stats.total_cycles();
+            let speedup = exact.stats.total_cycles() as f64 / cycles as f64;
+            println!(
+                "{:>32} {:>9} {:>10.0e} {:>12} {:>9.3}x {:>9.2}% {:>10}",
+                app.spec.name,
+                slots.len(),
+                rate,
+                cycles,
+                speedup,
+                quality,
+                run.stats.bit_flips
+            );
+            points.push(format!(
+                "        {{ \"rate\": {rate:e}, \"cycles\": {cycles}, \"speedup\": {speedup:.4}, \"quality\": {quality:.4}, \"approx_loads\": {}, \"bit_flips\": {} }}",
+                run.stats.approx_loads, run.stats.bit_flips
+            ));
+        }
+        entries.push(format!(
+            "    {{\n      \"app\": {:?},\n      \"tolerant_slots\": {},\n      \"exact_cycles\": {},\n      \"misplaced\": {misplaced},\n      \"points\": [\n{}\n      ]\n    }}",
+            app.spec.name,
+            slots.len(),
+            exact.stats.total_cycles(),
+            points.join(",\n")
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"approx_memory_sweep\",\n  \"scale\": {:?},\n  \"profile\": \"gtx560\",\n  \"seed\": \"0x5EED\",\n  \"note\": \"Tolerant buffer slots (interprocedural criticality partition) placed in MemSpace::Approx; seeded deterministic bit-flip injection on loads at each swept rate. Rate 0 is asserted bit-identical to the all-exact run; quality is the app metric vs the exact output.\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        if smoke { "test" } else { "paper" },
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_approxmem.json", &json).expect("write BENCH_approxmem.json");
+    println!("\nwrote BENCH_approxmem.json");
+
+    if failures > 0 {
+        eprintln!("FAIL: {failures} approximate-memory invariant violation(s)");
+        std::process::exit(1);
+    }
+}

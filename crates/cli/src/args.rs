@@ -13,25 +13,33 @@ usage:
       ones.
 
   paraprox run <app> [--device gpu|cpu] [--scale paper|test] [--threads <n>]
+               [--approx-mem <rate>]
       Execute an application's exact pipeline once and print the launch
       report: blocks, warps, occupancy, host workers, and wall-clock time.
       --threads 0 (the default) uses every available core; the
       PARAPROX_THREADS environment variable overrides the flag. Results are
-      bit-identical for every thread count.
+      bit-identical for every thread count. --approx-mem re-places every
+      Tolerant global buffer (per the criticality partition) in the
+      approximate memory space and injects bit flips at the given error
+      rate (0..=1); the report then includes per-buffer placements and
+      injected-flip counts. Rate 0 is bit-identical to exact.
 
-  paraprox inspect <file.cu> [--bytecode <kernel>] [--effects]
+  paraprox inspect <file.cu> [--bytecode <kernel>] [--effects] [--partition]
       Parse CUDA-flavored kernel source and report the data-parallel
       patterns Paraprox detects in each kernel. --bytecode additionally
       prints the register-machine bytecode the virtual device compiles the
       named kernel (prefix match) into; --effects prints each kernel's
       side-effect summary (loads/stores/atomics/barriers) next to the
-      pattern report.
+      pattern report; --partition prints each kernel's buffer-criticality
+      partition (critical vs tolerant, with witness chains).
 
-  paraprox analyze <app> [--scale paper|test]
+  paraprox analyze <app> [--scale paper|test] [--json] [--partition]
       Run the full static-analysis lint suite (shared-memory races, bounds,
-      uninitialized locals, dead stores) on an application's exact kernels
-      under their real launch shapes. Exits nonzero when any finding has
-      error severity.
+      uninitialized locals, dead stores, approximate-placement) on an
+      application's exact kernels under their real launch shapes. Exits
+      nonzero when any finding has error severity. --partition additionally
+      prints the buffer-criticality partition; --json emits the findings
+      and the partition table as machine-readable JSON.
 
   paraprox serve [--apps <a,b,...>] [--device gpu|cpu] [--requests <n>]
                  [--drift-at <k>] [--drift-len <n>] [--drift-gain <g>]
@@ -91,6 +99,9 @@ pub enum Command {
         test_scale: bool,
         /// Host worker threads (0 = all available cores).
         threads: usize,
+        /// Serve Tolerant global buffers from approximate memory at this
+        /// bit-error rate.
+        approx_mem: Option<f64>,
     },
     /// `paraprox inspect <file>`
     Inspect {
@@ -100,6 +111,8 @@ pub enum Command {
         bytecode: Option<String>,
         /// Print per-kernel side-effect summaries.
         effects: bool,
+        /// Print per-kernel buffer-criticality partitions.
+        partition: bool,
     },
     /// `paraprox analyze <app>`
     Analyze {
@@ -107,6 +120,10 @@ pub enum Command {
         app: String,
         /// Use the small test-scale inputs.
         test_scale: bool,
+        /// Emit machine-readable JSON instead of the human report.
+        json: bool,
+        /// Include the buffer-criticality partition in the report.
+        partition: bool,
     },
     /// `paraprox serve ...`
     Serve {
@@ -239,6 +256,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut device = DeviceArg::Gpu;
             let mut test_scale = false;
             let mut threads = 0usize;
+            let mut approx_mem = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--device" => {
@@ -269,6 +287,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                             .parse::<usize>()
                             .map_err(|_| format!("bad --threads value `{v}`"))?;
                     }
+                    "--approx-mem" => {
+                        let rate: f64 = parse_num(flag, it.next())?;
+                        if !(0.0..=1.0).contains(&rate) {
+                            return Err("--approx-mem must be between 0 and 1".to_string());
+                        }
+                        approx_mem = Some(rate);
+                    }
                     other => return Err(format!("unknown option `{other}`")),
                 }
             }
@@ -277,6 +302,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 device,
                 test_scale,
                 threads,
+                approx_mem,
             })
         }
         Some("inspect") => {
@@ -286,6 +312,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 .clone();
             let mut bytecode = None;
             let mut effects = false;
+            let mut partition = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--bytecode" => {
@@ -296,6 +323,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         );
                     }
                     "--effects" => effects = true,
+                    "--partition" => partition = true,
                     other => return Err(format!("unknown option `{other}`")),
                 }
             }
@@ -303,6 +331,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 file,
                 bytecode,
                 effects,
+                partition,
             })
         }
         Some("analyze") => {
@@ -311,6 +340,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 .ok_or_else(|| "`analyze` needs an application name".to_string())?
                 .clone();
             let mut test_scale = false;
+            let mut json = false;
+            let mut partition = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--scale" => {
@@ -324,10 +355,17 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                             }
                         };
                     }
+                    "--json" => json = true,
+                    "--partition" => partition = true,
                     other => return Err(format!("unknown option `{other}`")),
                 }
             }
-            Ok(Command::Analyze { app, test_scale })
+            Ok(Command::Analyze {
+                app,
+                test_scale,
+                json,
+                partition,
+            })
         }
         Some("serve") => {
             let mut apps = vec![
@@ -541,6 +579,7 @@ mod tests {
                 device: DeviceArg::Gpu,
                 test_scale: false,
                 threads: 0,
+                approx_mem: None,
             }
         );
         let cmd = parse(&v(&[
@@ -552,6 +591,8 @@ mod tests {
             "test",
             "--threads",
             "4",
+            "--approx-mem",
+            "0.001",
         ]))
         .unwrap();
         assert_eq!(
@@ -561,10 +602,14 @@ mod tests {
                 device: DeviceArg::Cpu,
                 test_scale: true,
                 threads: 4,
+                approx_mem: Some(0.001),
             }
         );
         assert!(parse(&v(&["run"])).is_err());
         assert!(parse(&v(&["run", "x", "--threads", "many"])).is_err());
+        assert!(parse(&v(&["run", "x", "--approx-mem", "2"])).is_err());
+        assert!(parse(&v(&["run", "x", "--approx-mem", "-0.5"])).is_err());
+        assert!(parse(&v(&["run", "x", "--approx-mem"])).is_err());
     }
 
     #[test]
@@ -575,14 +620,24 @@ mod tests {
                 file: "k.cu".into(),
                 bytecode: None,
                 effects: false,
+                partition: false,
             }
         );
         assert_eq!(
-            parse(&v(&["inspect", "k.cu", "--bytecode", "conv", "--effects"])).unwrap(),
+            parse(&v(&[
+                "inspect",
+                "k.cu",
+                "--bytecode",
+                "conv",
+                "--effects",
+                "--partition"
+            ]))
+            .unwrap(),
             Command::Inspect {
                 file: "k.cu".into(),
                 bytecode: Some("conv".into()),
                 effects: true,
+                partition: true,
             }
         );
         assert!(parse(&v(&["inspect"])).is_err());
@@ -597,13 +652,25 @@ mod tests {
             Command::Analyze {
                 app: "matmul".into(),
                 test_scale: false,
+                json: false,
+                partition: false,
             }
         );
         assert_eq!(
-            parse(&v(&["analyze", "matmul", "--scale", "test"])).unwrap(),
+            parse(&v(&[
+                "analyze",
+                "matmul",
+                "--scale",
+                "test",
+                "--json",
+                "--partition"
+            ]))
+            .unwrap(),
             Command::Analyze {
                 app: "matmul".into(),
                 test_scale: true,
+                json: true,
+                partition: true,
             }
         );
         assert!(parse(&v(&["analyze"])).is_err());

@@ -45,13 +45,20 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
             device,
             test_scale,
             threads,
-        } => run_app(&app, device, test_scale, threads),
+            approx_mem,
+        } => run_app(&app, device, test_scale, threads, approx_mem),
         Command::Inspect {
             file,
             bytecode,
             effects,
-        } => inspect(&file, bytecode.as_deref(), effects),
-        Command::Analyze { app, test_scale } => analyze(&app, test_scale),
+            partition,
+        } => inspect(&file, bytecode.as_deref(), effects, partition),
+        Command::Analyze {
+            app,
+            test_scale,
+            json,
+            partition,
+        } => analyze(&app, test_scale, json, partition),
         Command::Serve {
             apps,
             device,
@@ -180,6 +187,7 @@ fn run_app(
     device: DeviceArg,
     test_scale: bool,
     threads: usize,
+    approx_mem: Option<f64>,
 ) -> Result<(), Box<dyn Error>> {
     let app = paraprox_apps::find(name)
         .ok_or_else(|| format!("no application matching `{name}` (try `paraprox list`)"))?;
@@ -189,10 +197,36 @@ fn run_app(
         Scale::Paper
     };
     let profile = profile_of(device).with_parallelism(threads);
-    println!("{} on {} (exact pipeline)", app.spec.name, profile.name);
-
-    let workload = (app.build)(scale, 0);
+    let mut workload = (app.build)(scale, 0);
     let mut dev = Device::new(profile.clone());
+    if let Some(rate) = approx_mem {
+        println!(
+            "{} on {} (exact pipeline, approx memory at rate {rate:e})",
+            app.spec.name, profile.name
+        );
+        let partition = paraprox::partition_program(&workload.program);
+        let slots = paraprox::tolerant_buffer_slots(&workload, &partition);
+        println!("\nbuffer placements");
+        for (i, spec) in workload.pipeline.buffers.iter().enumerate() {
+            println!(
+                "  {:<20} {}",
+                spec.name,
+                if slots.contains(&i) {
+                    "approx (tolerant)"
+                } else {
+                    "exact"
+                }
+            );
+        }
+        for &slot in &slots {
+            workload.pipeline.buffers[slot] = workload.pipeline.buffers[slot]
+                .clone()
+                .with_space(paraprox_ir::MemSpace::Approx);
+        }
+        dev.set_approx_rate(rate);
+    } else {
+        println!("{} on {} (exact pipeline)", app.spec.name, profile.name);
+    }
     let run = workload.pipeline.execute(&mut dev, &workload.program)?;
     let s = &run.stats;
 
@@ -214,6 +248,10 @@ fn run_app(
         s.overhead_cycles
     );
     println!("  l1 hit rate     {:>11.1}%", s.l1_hit_rate() * 100.0);
+    if approx_mem.is_some() {
+        println!("  approx loads    {:>12}", s.approx_loads);
+        println!("  bit flips       {:>12}", s.bit_flips);
+    }
     println!("  host workers    {:>12}", s.workers);
     println!(
         "  wall time       {:>12}",
@@ -222,7 +260,47 @@ fn run_app(
     Ok(())
 }
 
-fn analyze(name: &str, test_scale: bool) -> Result<(), Box<dyn Error>> {
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render the partition table of one kernel, human-readable.
+fn print_partition(part: &paraprox_analysis::KernelPartition) {
+    println!("kernel `{}` partition:", part.kernel_name);
+    for v in &part.verdicts {
+        println!(
+            "  {:<20} {:<9} ({})",
+            v.name,
+            v.criticality.to_string(),
+            v.declared
+        );
+        for step in &v.witness {
+            println!("      {step}");
+        }
+    }
+}
+
+fn analyze(
+    name: &str,
+    test_scale: bool,
+    json: bool,
+    partition: bool,
+) -> Result<(), Box<dyn Error>> {
     let app = paraprox_apps::find(name)
         .ok_or_else(|| format!("no application matching `{name}` (try `paraprox list`)"))?;
     let scale = if test_scale {
@@ -231,24 +309,95 @@ fn analyze(name: &str, test_scale: bool) -> Result<(), Box<dyn Error>> {
         Scale::Paper
     };
     let workload = (app.build)(scale, 0);
+    let diags = paraprox::analyze_workload(&workload);
+    let parts = paraprox::partition_program(&workload.program);
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == paraprox::Severity::Error)
+        .count();
+    let misplaced = diags
+        .iter()
+        .filter(|d| d.code == "approx-placement")
+        .count();
+
+    if json {
+        let findings: Vec<String> = diags
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"severity\":{},\"code\":{},\"kernel\":{},\"path\":{},\"message\":{}}}",
+                    json_str(match d.severity {
+                        paraprox::Severity::Error => "error",
+                        paraprox::Severity::Warning => "warning",
+                    }),
+                    json_str(d.code),
+                    json_str(&d.kernel_name),
+                    json_str(&d.path_string()),
+                    json_str(&d.message)
+                )
+            })
+            .collect();
+        let partitions: Vec<String> = parts
+            .iter()
+            .map(|p| {
+                let buffers: Vec<String> = p
+                    .verdicts
+                    .iter()
+                    .map(|v| {
+                        let witness: Vec<String> =
+                            v.witness.iter().map(|w| json_str(w)).collect();
+                        format!(
+                            "{{\"name\":{},\"mem\":{},\"declared\":{},\"criticality\":{},\"witness\":[{}]}}",
+                            json_str(&v.name),
+                            json_str(&v.mem.to_string()),
+                            json_str(&v.declared.to_string()),
+                            json_str(&v.criticality.to_string()),
+                            witness.join(",")
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"kernel\":{},\"buffers\":[{}]}}",
+                    json_str(&p.kernel_name),
+                    buffers.join(",")
+                )
+            })
+            .collect();
+        println!(
+            "{{\"app\":{},\"kernels\":{},\"launches\":{},\"findings\":[{}],\"errors\":{},\"warnings\":{},\"misplaced\":{},\"partition\":[{}]}}",
+            json_str(app.spec.name),
+            workload.program.kernel_count(),
+            workload.pipeline.launches.len(),
+            findings.join(","),
+            errors,
+            diags.len() - errors,
+            misplaced,
+            partitions.join(",")
+        );
+        if errors > 0 {
+            return Err(format!("static analysis found {errors} error(s)").into());
+        }
+        return Ok(());
+    }
+
     println!(
         "{}: {} kernel(s), {} launch(es)",
         app.spec.name,
         workload.program.kernel_count(),
         workload.pipeline.launches.len()
     );
-    let diags = paraprox::analyze_workload(&workload);
+    if partition {
+        for p in &parts {
+            print_partition(p);
+        }
+    }
     if diags.is_empty() {
-        println!("no findings: races, bounds, and dataflow lints are all clean");
+        println!("no findings: races, bounds, dataflow, and placement lints are all clean");
         return Ok(());
     }
     for d in &diags {
         println!("{d}");
     }
-    let errors = diags
-        .iter()
-        .filter(|d| d.severity == paraprox::Severity::Error)
-        .count();
     println!(
         "{} finding(s), {} error(s), {} warning(s)",
         diags.len(),
@@ -421,7 +570,12 @@ fn serve(o: ServeOpts) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-fn inspect(file: &str, bytecode: Option<&str>, effects: bool) -> Result<(), Box<dyn Error>> {
+fn inspect(
+    file: &str,
+    bytecode: Option<&str>,
+    effects: bool,
+    partition: bool,
+) -> Result<(), Box<dyn Error>> {
     let source = std::fs::read_to_string(file)?;
     let program = paraprox_lang::parse_program(&source)?;
     println!(
@@ -443,6 +597,20 @@ fn inspect(file: &str, bytecode: Option<&str>, effects: bool) -> Result<(), Box<
                 "  effects: {}",
                 paraprox_analysis::summarize_kernel(&program, kp.kernel)
             );
+        }
+        if partition {
+            let part = paraprox_analysis::partition_kernel(&program, kp.kernel);
+            for v in &part.verdicts {
+                println!(
+                    "  buffer {:<16} {:<9} ({})",
+                    v.name,
+                    v.criticality.to_string(),
+                    v.declared
+                );
+                for step in &v.witness {
+                    println!("      {step}");
+                }
+            }
         }
         if kp.instances.is_empty() {
             println!("  (no approximable patterns)");

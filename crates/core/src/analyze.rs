@@ -8,8 +8,8 @@
 //! element counts, scalar argument values) and runs every lint on every
 //! kernel under every launch it appears in.
 
-use paraprox_analysis::{analyze_program, Diagnostic, LaunchContext};
-use paraprox_ir::KernelId;
+use paraprox_analysis::{analyze_program, check_placements, Diagnostic, LaunchContext};
+use paraprox_ir::{KernelId, MemSpace};
 
 use crate::workload::Workload;
 
@@ -42,10 +42,73 @@ pub fn launch_contexts(workload: &Workload) -> Vec<(KernelId, LaunchContext)> {
         .collect()
 }
 
+/// Every `(kernel, parameter index)` pair the workload's pipeline serves
+/// from an [`MemSpace::Approx`]-placed buffer. These are *placements*, not
+/// declarations: the kernels still declare the parameters global.
+pub fn approx_placements(workload: &Workload) -> Vec<(KernelId, usize)> {
+    let pipeline = &workload.pipeline;
+    let mut placements = Vec::new();
+    for launch in &pipeline.launches {
+        for (pi, arg) in launch.args.iter().enumerate() {
+            if let paraprox_vgpu::PlanArg::Buffer(slot) = arg {
+                let placed = pipeline
+                    .buffers
+                    .get(*slot)
+                    .is_some_and(|b| b.space == MemSpace::Approx);
+                if placed && !placements.contains(&(launch.kernel, pi)) {
+                    placements.push((launch.kernel, pi));
+                }
+            }
+        }
+    }
+    placements
+}
+
+/// Pipeline buffer slots of the workload that are declared global and
+/// classified Tolerant in *every* launch they feed — the set the
+/// approximate-memory auto-placer may move. A slot passed to several
+/// launches (or several parameter positions) must be Tolerant in all of
+/// them. `partition` comes from
+/// [`paraprox_analysis::partition_program`] on the workload's program.
+pub fn tolerant_buffer_slots(
+    workload: &Workload,
+    partition: &[paraprox_analysis::KernelPartition],
+) -> Vec<usize> {
+    use paraprox_analysis::Criticality;
+    use paraprox_ir::MemRef;
+    let pipeline = &workload.pipeline;
+    let mut tolerant = vec![true; pipeline.buffers.len()];
+    let mut used = vec![false; pipeline.buffers.len()];
+    for launch in &pipeline.launches {
+        let part = partition.iter().find(|p| p.kernel == launch.kernel);
+        for (pi, arg) in launch.args.iter().enumerate() {
+            if let paraprox_vgpu::PlanArg::Buffer(slot) = arg {
+                used[*slot] = true;
+                let ok = pipeline.buffers[*slot].space == MemSpace::Global
+                    && part.is_some_and(|p| {
+                        p.verdict(MemRef::Param(pi))
+                            .is_some_and(|v| v.criticality == Criticality::Tolerant)
+                    });
+                if !ok {
+                    tolerant[*slot] = false;
+                }
+            }
+        }
+    }
+    (0..pipeline.buffers.len())
+        .filter(|&i| used[i] && tolerant[i])
+        .collect()
+}
+
 /// Run the full lint suite on a workload's exact program, one pass per
 /// (kernel, launch) pair. Kernels never launched by the pipeline are
-/// analyzed without launch facts.
+/// analyzed without launch facts. Any pipeline buffer already placed in
+/// approximate memory is checked against the criticality partition: a
+/// Critical placement is an error-severity `approx-placement` finding,
+/// which [`crate::compile`] turns into a refusal.
 pub fn analyze_workload(workload: &Workload) -> Vec<Diagnostic> {
     let contexts = launch_contexts(workload);
-    analyze_program(&workload.program, &contexts)
+    let mut out = analyze_program(&workload.program, &contexts);
+    check_placements(&workload.program, &approx_placements(workload), &mut out);
+    out
 }

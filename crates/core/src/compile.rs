@@ -129,6 +129,9 @@ pub struct Compiled {
     /// Static-analysis findings on the exact program (warnings only — an
     /// error-severity finding aborts compilation instead).
     pub diagnostics: Vec<paraprox_analysis::Diagnostic>,
+    /// Buffer-criticality partition of the exact program, one entry per
+    /// kernel: which buffers may be served from approximate memory.
+    pub partition: Vec<paraprox_analysis::KernelPartition>,
 }
 
 impl Compiled {
@@ -144,6 +147,22 @@ impl Compiled {
             }
         }
         names
+    }
+
+    /// The partition verdicts for one kernel of the exact program.
+    pub fn partition_for(
+        &self,
+        kernel: paraprox_ir::KernelId,
+    ) -> Option<&paraprox_analysis::KernelPartition> {
+        self.partition.iter().find(|p| p.kernel == kernel)
+    }
+
+    /// Pipeline buffer slots of the exact workload that are declared
+    /// global and classified Tolerant in *every* launch they feed — the
+    /// set the approximate-memory auto-placer may move. A slot passed to
+    /// several launches must be Tolerant in all of them.
+    pub fn tolerant_buffer_slots(&self) -> Vec<usize> {
+        crate::analyze::tolerant_buffer_slots(&self.workload, &self.partition)
     }
 }
 
@@ -435,10 +454,12 @@ pub fn compile(
             }
         }
     }
+    let partition = paraprox_analysis::partition_program(&workload.program);
     Ok(Compiled {
         workload: workload.clone(),
         patterns,
         variants,
         diagnostics,
+        partition,
     })
 }

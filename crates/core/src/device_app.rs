@@ -21,6 +21,12 @@ pub struct DeviceApp {
     input_slots: Vec<usize>,
     exact: (Arc<paraprox_ir::Program>, Pipeline),
     variants: Vec<(String, Arc<paraprox_ir::Program>, Pipeline)>,
+    /// Approximate-memory rungs: label, bit-error rate, and the *exact*
+    /// pipeline with every Tolerant global buffer re-placed in
+    /// [`paraprox_ir::MemSpace::Approx`]. Exposed after the rewrite
+    /// variants in the rung numbering, so the TOQ back-off ladder treats
+    /// the error rate as one more knob dimension.
+    approx: Vec<(String, f64, Pipeline)>,
     input_gen: InputGen,
     diagnostics: EngineDiagnostics,
 }
@@ -60,9 +66,40 @@ impl DeviceApp {
                     )
                 })
                 .collect(),
+            approx: Vec::new(),
             input_gen,
             diagnostics: EngineDiagnostics::default(),
         }
+    }
+
+    /// Add approximate-memory rungs: one per error rate, each running the
+    /// *exact* program with every pipeline buffer from
+    /// [`Compiled::tolerant_buffer_slots`] re-placed in approximate
+    /// memory. Critical buffers never move — the placement set comes from
+    /// the compile-time criticality partition, so this cannot introduce
+    /// address, control-flow, or synchronization corruption. Rates are
+    /// clamped to `[0, 1]`; with no tolerant buffer, no rung is added.
+    pub fn with_approx_memory(mut self, compiled: &Compiled, rates: &[f64]) -> DeviceApp {
+        let slots = compiled.tolerant_buffer_slots();
+        if slots.is_empty() {
+            return self;
+        }
+        let mut pipeline = self.exact.1.clone();
+        for &slot in &slots {
+            pipeline.buffers[slot] = pipeline.buffers[slot]
+                .clone()
+                .with_space(paraprox_ir::MemSpace::Approx);
+        }
+        for &rate in rates {
+            let rate = if rate.is_finite() {
+                rate.clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            self.approx
+                .push((format!("approx-mem@{rate:e}"), rate, pipeline.clone()));
+        }
+        self
     }
 
     /// Access the underlying device (e.g. to flush caches between
@@ -71,19 +108,25 @@ impl DeviceApp {
         &mut self.device
     }
 
-    /// The (program, pipeline) pair for a rung, with this seed's inputs
-    /// baked into a cloned pipeline.
+    /// The (program, pipeline, error-rate) triple for a rung, with this
+    /// seed's inputs baked into a cloned pipeline. The rate is nonzero
+    /// only for approximate-memory rungs (rewrite variants and the exact
+    /// rung always run with injection off).
     fn prepare(
         &mut self,
         variant: Option<usize>,
         seed: u64,
-    ) -> Result<(Arc<paraprox_ir::Program>, Pipeline), RuntimeError> {
-        let (program, mut pipeline) = match variant {
+    ) -> Result<(Arc<paraprox_ir::Program>, Pipeline, f64), RuntimeError> {
+        let (program, mut pipeline, rate) = match variant {
+            Some(v) if v >= self.variants.len() => {
+                let (_, rate, pipeline) = &self.approx[v - self.variants.len()];
+                (Arc::clone(&self.exact.0), pipeline.clone(), *rate)
+            }
             Some(v) => {
                 let (_, program, pipeline) = &self.variants[v];
-                (Arc::clone(program), pipeline.clone())
+                (Arc::clone(program), pipeline.clone(), 0.0)
             }
-            None => (Arc::clone(&self.exact.0), self.exact.1.clone()),
+            None => (Arc::clone(&self.exact.0), self.exact.1.clone(), 0.0),
         };
         let inputs = (self.input_gen)(seed);
         if !inputs.is_empty() {
@@ -98,36 +141,48 @@ impl DeviceApp {
                 pipeline.set_input(slot, init);
             }
         }
-        Ok((program, pipeline))
+        Ok((program, pipeline, rate))
     }
 
     fn run(&mut self, variant: Option<usize>, seed: u64) -> Result<RunOutcome, RuntimeError> {
-        let (program, pipeline) = self.prepare(variant, seed)?;
+        let (program, pipeline, rate) = self.prepare(variant, seed)?;
         // Each invocation gets a fresh buffer arena (and cold caches, as a
         // new launch context would): reclaim afterwards so long tuning and
         // deployment loops do not grow device memory without bound.
         let mark = self.device.buffer_mark();
+        self.device.set_approx_rate(rate);
         let result = pipeline
             .execute(&mut self.device, &program)
             .map_err(|e| RuntimeError(e.to_string()));
+        self.device.set_approx_rate(0.0);
         self.device.reclaim_buffers(mark);
         let run = result?;
-        self.diagnostics.ops_dispatched += run.stats.ops_dispatched;
-        self.diagnostics.fusions_hit += run.stats.fusions_hit;
+        self.absorb_stats(&run.stats);
         Ok(RunOutcome {
             output: run.flat_output(),
             cycles: run.stats.total_cycles(),
         })
     }
+
+    fn absorb_stats(&mut self, stats: &paraprox_vgpu::LaunchStats) {
+        self.diagnostics.ops_dispatched += stats.ops_dispatched;
+        self.diagnostics.fusions_hit += stats.fusions_hit;
+        self.diagnostics.approx_loads += stats.approx_loads;
+        self.diagnostics.bit_flips += stats.bit_flips;
+    }
 }
 
 impl Approximable for DeviceApp {
     fn variant_count(&self) -> usize {
-        self.variants.len()
+        self.variants.len() + self.approx.len()
     }
 
     fn variant_label(&self, index: usize) -> String {
-        self.variants[index].0.clone()
+        if index >= self.variants.len() {
+            self.approx[index - self.variants.len()].0.clone()
+        } else {
+            self.variants[index].0.clone()
+        }
     }
 
     fn run_exact(&mut self, seed: u64) -> Result<RunOutcome, RuntimeError> {
@@ -157,31 +212,49 @@ impl Approximable for DeviceApp {
             // Degenerate batch: the per-request path is cheaper.
             return runs.iter().map(|r| self.run(r.variant, r.seed)).collect();
         }
+        // The fault injector's rate is device-global, so a fused dispatch
+        // can carry at most one *distinct* nonzero error rate (jobs whose
+        // pipelines place nothing in approximate memory are unaffected by
+        // the rate). Mixed-rate batches fall back to the sequential path,
+        // which is bit-identical by the fused-path contract.
+        let rates: Vec<f64> = runs
+            .iter()
+            .filter_map(|r| match r.variant {
+                Some(v) if v >= self.variants.len() => Some(self.approx[v - self.variants.len()].1),
+                _ => None,
+            })
+            .collect();
+        let mixed = rates.windows(2).any(|w| w[0].to_bits() != w[1].to_bits());
+        if mixed {
+            return runs.iter().map(|r| self.run(r.variant, r.seed)).collect();
+        }
+        let batch_rate = rates.first().copied().unwrap_or(0.0);
         // Bake inputs in batch order (the same input-generator call order
         // the sequential path produces).
         let mut prepared = Vec::with_capacity(runs.len());
         for r in runs {
-            prepared.push(self.prepare(r.variant, r.seed)?);
+            let (program, pipeline, _) = self.prepare(r.variant, r.seed)?;
+            prepared.push((program, pipeline));
         }
         let jobs: Vec<FusedJob<'_>> = prepared
             .iter()
             .map(|(program, pipeline)| FusedJob { program, pipeline })
             .collect();
+        self.device.set_approx_rate(batch_rate);
         let batch = execute_fused(&mut self.device, &jobs).map_err(|e| RuntimeError(e.to_string()));
+        self.device.set_approx_rate(0.0);
         // Keep the steady-state invariant of the sequential path: the
         // device's caches are cold after every invocation.
         self.device.flush_caches();
-        Ok(batch?
-            .into_iter()
-            .map(|run| {
-                self.diagnostics.ops_dispatched += run.stats.ops_dispatched;
-                self.diagnostics.fusions_hit += run.stats.fusions_hit;
-                RunOutcome {
-                    output: run.flat_output(),
-                    cycles: run.stats.total_cycles(),
-                }
-            })
-            .collect())
+        let mut outcomes = Vec::with_capacity(runs.len());
+        for run in batch? {
+            self.absorb_stats(&run.stats);
+            outcomes.push(RunOutcome {
+                output: run.flat_output(),
+                cycles: run.stats.total_cycles(),
+            });
+        }
+        Ok(outcomes)
     }
 
     fn engine_diagnostics(&self) -> EngineDiagnostics {

@@ -33,7 +33,7 @@ mod error;
 mod latency;
 mod workload;
 
-pub use analyze::{analyze_workload, launch_contexts};
+pub use analyze::{analyze_workload, approx_placements, launch_contexts, tolerant_buffer_slots};
 pub use compile::{compile, CompileOptions, Compiled, Knob, Variant};
 pub use device_app::DeviceApp;
 pub use error::CompileError;
@@ -42,7 +42,10 @@ pub use workload::Workload;
 
 // The pieces users need to build and run workloads, re-exported for
 // one-import ergonomics.
-pub use paraprox_analysis::{Diagnostic, LaunchContext, Severity};
+pub use paraprox_analysis::{
+    check_placements, partition_kernel, partition_program, BufferVerdict, Criticality, Diagnostic,
+    KernelPartition, LaunchContext, Severity,
+};
 pub use paraprox_quality::{Metric, Toq};
 pub use paraprox_runtime::{Deployment, Tuner};
 pub use paraprox_vgpu::{Device, DeviceProfile};

@@ -23,7 +23,7 @@ impl fmt::Display for SharedId {
 }
 
 /// A reference to an addressable memory object.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum MemRef {
     /// A buffer parameter of the enclosing kernel, by parameter index.
     /// The parameter's declaration supplies the memory space.

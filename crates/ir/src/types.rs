@@ -240,6 +240,26 @@ pub enum MemSpace {
     /// On-chip per-block scratchpad (declared per kernel, not a parameter
     /// space; listed here so rewrites can target it uniformly).
     Shared,
+    /// Approximate (low-refresh / low-voltage) global memory: cheaper
+    /// access cycles, but reads may suffer seeded bit flips at the
+    /// device's configured error rate. A *placement*, not a kernel-visible
+    /// space: buffers allocated here bind to parameters declared
+    /// [`MemSpace::Global`] — kernels cannot demand approximate storage,
+    /// only launch plans may place tolerant data there.
+    Approx,
+}
+
+impl MemSpace {
+    /// True when a buffer living in `self` may bind to a parameter
+    /// declared as `declared`. Exact match always binds; an [`Approx`]
+    /// buffer additionally satisfies a [`Global`] declaration, since
+    /// approximate memory is a placement of global data.
+    ///
+    /// [`Approx`]: MemSpace::Approx
+    /// [`Global`]: MemSpace::Global
+    pub fn binds_to(self, declared: MemSpace) -> bool {
+        self == declared || (self == MemSpace::Approx && declared == MemSpace::Global)
+    }
 }
 
 impl fmt::Display for MemSpace {
@@ -248,6 +268,7 @@ impl fmt::Display for MemSpace {
             MemSpace::Global => "global",
             MemSpace::Constant => "constant",
             MemSpace::Shared => "shared",
+            MemSpace::Approx => "approx",
         };
         f.write_str(s)
     }
@@ -328,8 +349,22 @@ mod tests {
         for t in [Ty::F32, Ty::I32, Ty::U32, Ty::Bool] {
             assert!(!t.to_string().is_empty());
         }
-        for m in [MemSpace::Global, MemSpace::Constant, MemSpace::Shared] {
+        for m in [
+            MemSpace::Global,
+            MemSpace::Constant,
+            MemSpace::Shared,
+            MemSpace::Approx,
+        ] {
             assert!(!m.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn approx_binds_only_to_global() {
+        assert!(MemSpace::Approx.binds_to(MemSpace::Global));
+        assert!(MemSpace::Global.binds_to(MemSpace::Global));
+        assert!(!MemSpace::Approx.binds_to(MemSpace::Constant));
+        assert!(!MemSpace::Approx.binds_to(MemSpace::Shared));
+        assert!(!MemSpace::Global.binds_to(MemSpace::Approx));
     }
 }

@@ -58,14 +58,18 @@ pub struct BatchRun {
 }
 
 /// Host-side executor diagnostics an [`Approximable`] may expose:
-/// cumulative bytecode ops dispatched and superinstruction fusions hit
-/// (zero for backends that do not track them).
+/// cumulative bytecode ops dispatched, superinstruction fusions hit, and
+/// approximate-memory traffic (zero for backends that do not track them).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineDiagnostics {
     /// Bytecode operations dispatched across all runs so far.
     pub ops_dispatched: u64,
     /// Fused superinstructions dispatched across all runs so far.
     pub fusions_hit: u64,
+    /// Lane-loads served from approximate memory across all runs so far.
+    pub approx_loads: u64,
+    /// Bit flips injected into approximate loads across all runs so far.
+    pub bit_flips: u64,
 }
 
 /// An application with one exact implementation and a set of approximate

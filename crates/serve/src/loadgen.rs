@@ -122,8 +122,17 @@ pub fn run_closed_loop(
                     }
                     Err(SubmitError::QueueFull { .. }) => {
                         // Backpressure: drain one completion, then retry.
+                        // The admission counter releases a batch's slots
+                        // only after the whole batch is served, so the
+                        // queue can read full for a moment after our last
+                        // ticket has already been redeemed — with nothing
+                        // left to drain, just yield until a slot frees.
                         report.retries += 1;
-                        redeem_oldest(&mut outstanding, &mut report);
+                        if outstanding.is_empty() {
+                            std::thread::yield_now();
+                        } else {
+                            redeem_oldest(&mut outstanding, &mut report);
+                        }
                     }
                     Err(e) => panic!("submit failed: {e}"),
                 }

@@ -263,6 +263,13 @@ pub struct Device {
     /// loop reuses the allocations instead of cloning the arena per
     /// launch (see [`Device::pooled_images`]).
     pub(crate) image_pool: Vec<Vec<BufferStorage>>,
+    /// Probability in `[0, 1]` that a lane-load from a
+    /// [`MemSpace::Approx`] buffer suffers a single-bit flip (see
+    /// [`Device::set_approx_rate`]). 0.0 — the default — injects nothing.
+    pub(crate) approx_rate: f64,
+    /// Seed for the deterministic bit-flip stream (see
+    /// [`Device::set_approx_seed`]).
+    pub(crate) approx_seed: u64,
 }
 
 impl Device {
@@ -280,7 +287,38 @@ impl Device {
             schedule_seed: None,
             fusion: fusion_from_env(),
             image_pool: Vec::new(),
+            approx_rate: 0.0,
+            approx_seed: 0,
         }
+    }
+
+    /// Set the bit-error rate of buffers placed in [`MemSpace::Approx`]:
+    /// the probability, per lane-load, that the loaded value suffers one
+    /// flipped bit. Injection is deterministic — derived from the approx
+    /// seed, the block id, and a per-block access counter — so results are
+    /// bit-identical at any worker count, and rate `0.0` (the default) is
+    /// bit-identical to exact memory. Values are clamped to `[0, 1]`;
+    /// non-finite rates are treated as 0.
+    ///
+    /// Buffers in every other space are never touched, whatever the rate.
+    pub fn set_approx_rate(&mut self, rate: f64) {
+        self.approx_rate = if rate.is_finite() {
+            rate.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+    }
+
+    /// The current approximate-memory bit-error rate.
+    pub fn approx_rate(&self) -> f64 {
+        self.approx_rate
+    }
+
+    /// Seed the deterministic bit-flip stream for approximate memory.
+    /// Different seeds draw different (still deterministic) error
+    /// patterns; the default is 0.
+    pub fn set_approx_seed(&mut self, seed: u64) {
+        self.approx_seed = seed;
     }
 
     /// Enable or disable profile-guided superinstruction fusion for the
@@ -507,6 +545,18 @@ impl Device {
             .ok_or(LaunchError::UnknownBuffer(id.0))
     }
 
+    /// The memory space a buffer was allocated in.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the buffer id is unknown.
+    pub fn buffer_space(&self, id: BufferId) -> Result<MemSpace, LaunchError> {
+        self.buffers
+            .get(id.0)
+            .map(|b| b.space)
+            .ok_or(LaunchError::UnknownBuffer(id.0))
+    }
+
     /// An opaque marker of the current buffer arena, for
     /// [`Device::reclaim_buffers`].
     pub fn buffer_mark(&self) -> (usize, u64) {
@@ -582,6 +632,8 @@ impl Device {
                 (Some(h), true) => Some(&h.counts[..]),
                 _ => None,
             },
+            approx_threshold: exec::approx_threshold(self.approx_rate),
+            approx_seed: self.approx_seed,
         };
         let result = exec::run_launch(
             &launch,
@@ -641,7 +693,7 @@ impl Device {
                             ),
                         });
                     }
-                    if buf.space != *space {
+                    if !buf.space.binds_to(*space) {
                         return Err(LaunchError::ArgMismatch {
                             kernel: k.name.clone(),
                             index: i,

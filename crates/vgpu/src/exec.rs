@@ -284,6 +284,25 @@ pub(crate) struct Launch<'a> {
     /// Atomic so concurrent pool workers can bump them racelessly — the
     /// summed counts are deterministic for any worker count.
     pub profile_counts: Option<&'a [AtomicU64]>,
+    /// Bit-flip probability for [`MemSpace::Approx`] loads, pre-scaled to
+    /// a `u64` threshold (`rate * 2^64`, saturating); 0 disables
+    /// injection entirely. See [`approx_threshold`].
+    pub approx_threshold: u64,
+    /// Seed of the deterministic flip stream; mixed with the block id so
+    /// each block draws an independent, worker-count-invariant stream.
+    pub approx_seed: u64,
+}
+
+/// Scale an error rate in `[0, 1]` to the `u64` comparison threshold the
+/// executor uses: a flip happens when a uniform 64-bit draw is below
+/// `rate * 2^64`. Rate 0 maps to 0 (no draws at all); rates at or above 1
+/// saturate to `u64::MAX` (`f64 as u64` saturates), flipping every load.
+pub(crate) fn approx_threshold(rate: f64) -> u64 {
+    if rate > 0.0 {
+        (rate * (u64::MAX as f64)) as u64
+    } else {
+        0
+    }
 }
 
 /// Everything one block finished with; folded in ascending `block` order.
@@ -731,6 +750,18 @@ pub(crate) fn run_fused(
     Ok(results)
 }
 
+/// Flip one bit of a scalar's 32-bit representation. Booleans carry a
+/// single logical bit, so any flip negates them.
+fn flip_bit(v: Scalar, bit: u32) -> Scalar {
+    let m = 1u32 << (bit % 32);
+    match v {
+        Scalar::F32(f) => Scalar::F32(f32::from_bits(f.to_bits() ^ m)),
+        Scalar::I32(i) => Scalar::I32(i ^ m as i32),
+        Scalar::U32(u) => Scalar::U32(u ^ m),
+        Scalar::Bool(b) => Scalar::Bool(!b),
+    }
+}
+
 /// Fisher-Yates permutation of `0..lanes`, seeded per block so different
 /// blocks shuffle independently.
 fn store_permutation(seed: u64, block_id: u64, lanes: usize) -> Vec<usize> {
@@ -783,6 +814,10 @@ fn exec_block(
         store_order: launch
             .schedule_seed
             .map(|seed| store_permutation(seed, block_id as u64, lanes)),
+        approx_threshold: launch.approx_threshold,
+        approx_rng: launch.approx_seed
+            ^ (block_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ 0x5851_F42D_4C95_7F2D,
     };
     ctx.stats.blocks = 1;
     ctx.stats.warps = lanes.div_ceil(ctx.profile.warp_width) as u64;
@@ -824,6 +859,15 @@ pub(crate) struct ExecCtx<'a> {
     /// k-th. Only the *application order* of [`ExecCtx::do_store`] is
     /// permuted — cost accounting and atomics are order-independent.
     pub(crate) store_order: Option<Vec<usize>>,
+    /// Flip threshold for [`MemSpace::Approx`] loads (0 = off); see
+    /// [`approx_threshold`].
+    pub(crate) approx_threshold: u64,
+    /// Block-private flip stream state. Blocks execute their lane-loads
+    /// in a deterministic sequence (ascending lanes within each access,
+    /// program order across accesses, identical in both engines), so
+    /// advancing this splitmix64 state per approx lane-load yields the
+    /// same flips whatever the worker count or engine.
+    pub(crate) approx_rng: u64,
 }
 
 impl ExecCtx<'_> {
@@ -1349,16 +1393,32 @@ impl ExecCtx<'_> {
                 let space = self.buffers[b].space;
                 let base = self.buffers[b].base_addr;
                 let len = self.buffers[b].data.len();
+                let inject = space == MemSpace::Approx && self.approx_threshold > 0;
                 for lane in mask.iter_set() {
                     let i = Self::index_to_i64(idx.lane(lane))?;
                     if i < 0 || i as usize >= len {
                         return Err(EvalError::OutOfBounds { index: i, len });
                     }
-                    out.set_lane(lane, self.buffers[b].data[i as usize]);
+                    let mut v = self.buffers[b].data[i as usize];
+                    if space == MemSpace::Approx {
+                        self.stats.approx_loads += 1;
+                        if inject
+                            && paraprox_prng::splitmix64(&mut self.approx_rng)
+                                < self.approx_threshold
+                        {
+                            let bit = (paraprox_prng::splitmix64(&mut self.approx_rng) % 32) as u32;
+                            v = flip_bit(v, bit);
+                            self.stats.bit_flips += 1;
+                        }
+                    }
+                    out.set_lane(lane, v);
                 }
                 match space {
                     MemSpace::Global | MemSpace::Shared => {
                         self.charge_global_load(base, idx, mask)?;
+                    }
+                    MemSpace::Approx => {
+                        self.charge_approx_load(base, idx, mask)?;
                     }
                     MemSpace::Constant => {
                         self.charge_constant_load(base, idx, mask)?;
@@ -1400,6 +1460,34 @@ impl ExecCtx<'_> {
         idx: &I,
         mask: &Mask,
     ) -> Result<(), EvalError> {
+        let (miss_lat, miss_issue) = (self.profile.mem_lat, self.profile.mem_issue);
+        self.charge_cached_load(base, idx, mask, miss_lat, miss_issue)
+    }
+
+    /// The approximate region sits behind the same L1 as exact global
+    /// memory — cache state, transaction counts, and hit costs are
+    /// identical — but a miss goes to the cheaper (lower-voltage) DRAM
+    /// timings, so only the charged latency differs.
+    fn charge_approx_load<I: LaneGet>(
+        &mut self,
+        base: u64,
+        idx: &I,
+        mask: &Mask,
+    ) -> Result<(), EvalError> {
+        let (miss_lat, miss_issue) = (self.profile.approx_lat, self.profile.approx_issue);
+        self.charge_cached_load(base, idx, mask, miss_lat, miss_issue)
+    }
+
+    /// Shared L1-backed load costing, parametrized by the miss timings of
+    /// the backing region (exact vs approximate DRAM).
+    fn charge_cached_load<I: LaneGet>(
+        &mut self,
+        base: u64,
+        idx: &I,
+        mask: &Mask,
+        miss_lat: u64,
+        miss_issue: u64,
+    ) -> Result<(), EvalError> {
         let line = self.l1.line() as u64;
         let (w, lanes) = (self.profile.warp_width, self.lanes);
         for (start, end) in active_warp_ranges(w, lanes, mask) {
@@ -1434,13 +1522,13 @@ impl ExecCtx<'_> {
             // pipelined issue cost for every further transaction —
             // memory-level parallelism overlaps their latencies.
             let (base, first_issue) = if misses > 0 {
-                (self.profile.mem_lat, self.profile.mem_issue)
+                (miss_lat, miss_issue)
             } else if hits > 0 {
                 (self.profile.l1_hit_lat, self.profile.l1_issue)
             } else {
                 (0, 0)
             };
-            let issue = hits * self.profile.l1_issue + misses * self.profile.mem_issue;
+            let issue = hits * self.profile.l1_issue + misses * miss_issue;
             let exposed = base / self.profile.latency_hiding.max(1);
             self.stats.memory_cycles += exposed + issue.saturating_sub(first_issue);
         }
@@ -1576,9 +1664,15 @@ impl ExecCtx<'_> {
                     }
                 }
                 // Coalescing for stores: one transaction per distinct line.
+                // Writes to the approximate region are exact (errors are a
+                // read phenomenon) but land in the cheaper DRAM.
                 let line = self.l1.line() as u64;
                 let (w, lanes) = (self.profile.warp_width, self.lanes);
-                let store_lat = self.profile.store_lat;
+                let store_lat = if self.buffers[b].space == MemSpace::Approx {
+                    self.profile.approx_store_lat
+                } else {
+                    self.profile.store_lat
+                };
                 for (start, end) in active_warp_ranges(w, lanes, mask) {
                     let mut segments: Vec<u64> = Vec::new();
                     for lane in start..end {
@@ -1650,7 +1744,11 @@ impl ExecCtx<'_> {
                 }
             }
         }
-        // Atomics fully serialize across active lanes.
+        // Atomics fully serialize across active lanes. They are also
+        // always exact, even on an `Approx`-placed buffer: the partition
+        // analysis marks atomic targets Critical, so auto-placement never
+        // routes them here, and a forced placement still keeps its
+        // read-modify-write cycle flip-free at exact timing.
         self.stats.atomics += active;
         self.stats.memory_cycles += self.profile.atomic_lat * active;
         self.stats.instructions += self.warp_count(mask);

@@ -177,6 +177,8 @@ fn execute_fused_inner(
                             (Some(h), true) => Some(&h.counts[..]),
                             _ => None,
                         },
+                        approx_threshold: exec::approx_threshold(device.approx_rate),
+                        approx_seed: device.approx_seed,
                     },
                     l1: caches[p.job].0.clone(),
                     constant_cache: caches[p.job].1.clone(),

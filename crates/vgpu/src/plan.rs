@@ -123,6 +123,14 @@ impl BufferSpec {
             init: BufferInit::I32(data),
         }
     }
+
+    /// The same spec placed in another memory space (used by the
+    /// approximate-memory auto-placer to move Tolerant globals to
+    /// [`MemSpace::Approx`]).
+    pub fn with_space(mut self, space: MemSpace) -> BufferSpec {
+        self.space = space;
+        self
+    }
 }
 
 /// An argument of a planned launch.

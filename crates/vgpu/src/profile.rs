@@ -103,6 +103,17 @@ pub struct DeviceProfile {
     pub const_hit_lat: u64,
     /// Latency of a store transaction (write-through, fire-and-forget).
     pub store_lat: u64,
+    /// Miss latency of an access to the *approximate* memory region
+    /// ([`paraprox_ir::MemSpace::Approx`]): a low-voltage, reduced-refresh
+    /// DRAM class with relaxed timing margins, so a miss resolves in fewer
+    /// cycles than `mem_lat` — the modeled payoff that makes tolerating
+    /// bit errors worthwhile.
+    pub approx_lat: u64,
+    /// Per-transaction issue cost for an approximate-memory miss (cheaper
+    /// controller path than `mem_issue`).
+    pub approx_issue: u64,
+    /// Latency of a store transaction into approximate memory.
+    pub approx_store_lat: u64,
     /// Latency of one atomic operation (each active lane serializes).
     pub atomic_lat: u64,
     /// Fixed overhead charged per launched block (scheduling).
@@ -149,6 +160,9 @@ impl DeviceProfile {
             mem_issue: 48,
             const_hit_lat: 4,
             store_lat: 12,
+            approx_lat: 180,
+            approx_issue: 20,
+            approx_store_lat: 6,
             atomic_lat: 120,
             block_overhead: 200,
             latency_hiding: 4, // dozens of resident warps per SM
@@ -178,6 +192,9 @@ impl DeviceProfile {
             mem_issue: 40, // fewer outstanding misses than a GPU
             const_hit_lat: 5,
             store_lat: 5,
+            approx_lat: 55,
+            approx_issue: 18,
+            approx_store_lat: 3,
             atomic_lat: 24,
             block_overhead: 60,
             latency_hiding: 2, // two hardware threads per core
@@ -252,6 +269,11 @@ mod tests {
         assert!(gpu.atomic_lat > cpu.atomic_lat);
         // Memory latency gap larger on GPU.
         assert!(gpu.mem_lat > cpu.mem_lat);
+        // Approximate memory is cheaper than exact DRAM on both devices.
+        assert!(gpu.approx_lat < gpu.mem_lat && gpu.approx_issue < gpu.mem_issue);
+        assert!(cpu.approx_lat < cpu.mem_lat && cpu.approx_issue < cpu.mem_issue);
+        assert!(gpu.approx_store_lat < gpu.store_lat);
+        assert!(cpu.approx_store_lat < cpu.store_lat);
         assert_eq!(gpu.kind, DeviceKind::Gpu);
         assert_eq!(cpu.kind, DeviceKind::Cpu);
     }

@@ -61,13 +61,23 @@ pub struct LaunchStats {
     /// Fused superinstructions executed. Zero on the tree-walking engine
     /// and on unfused bytecode; excluded from equality.
     pub fusions_hit: u64,
+    /// Lane-loads served from buffers placed in [`MemSpace::Approx`]
+    /// (per lane, not per warp). Placement diagnostic: excluded from
+    /// equality, like `wall_nanos`.
+    ///
+    /// [`MemSpace::Approx`]: paraprox_ir::MemSpace::Approx
+    pub approx_loads: u64,
+    /// Bit flips injected into approximate-memory loads. Always zero at
+    /// error rate 0; excluded from equality like `approx_loads`.
+    pub bit_flips: u64,
 }
 
 /// Equality covers every *simulated* counter; `wall_nanos`, `workers`,
-/// `ops_dispatched`, and `fusions_hit` are host-side measurements (the
-/// last two depend on the engine and fusion state, not on the simulated
-/// machine) and deliberately ignored, so stats from runs at different
-/// parallelism levels or engines compare equal iff the simulation agreed.
+/// `ops_dispatched`, `fusions_hit`, `approx_loads`, and `bit_flips` are
+/// diagnostics (the middle two depend on the engine and fusion state, the
+/// last two on buffer placement, not on the simulated machine) and
+/// deliberately ignored, so stats from runs at different parallelism
+/// levels or engines compare equal iff the simulation agreed.
 impl PartialEq for LaunchStats {
     fn eq(&self, other: &LaunchStats) -> bool {
         self.compute_cycles == other.compute_cycles
@@ -151,6 +161,8 @@ impl AddAssign for LaunchStats {
         self.workers = self.workers.max(rhs.workers);
         self.ops_dispatched += rhs.ops_dispatched;
         self.fusions_hit += rhs.fusions_hit;
+        self.approx_loads += rhs.approx_loads;
+        self.bit_flips += rhs.bit_flips;
     }
 }
 
@@ -224,6 +236,8 @@ mod tests {
             workers: 19,
             ops_dispatched: 20,
             fusions_hit: 21,
+            approx_loads: 22,
+            bit_flips: 23,
         };
         a += a;
         assert_eq!(a.compute_cycles, 2);
@@ -233,6 +247,8 @@ mod tests {
         assert_eq!(a.workers, 19); // max, not sum
         assert_eq!(a.ops_dispatched, 40);
         assert_eq!(a.fusions_hit, 42);
+        assert_eq!(a.approx_loads, 44);
+        assert_eq!(a.bit_flips, 46);
     }
 
     #[test]
@@ -249,6 +265,8 @@ mod tests {
             workers: 8,
             ops_dispatched: 123,
             fusions_hit: 45,
+            approx_loads: 6,
+            bit_flips: 2,
             ..Default::default()
         };
         assert_eq!(a, b);

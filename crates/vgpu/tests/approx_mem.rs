@@ -1,0 +1,197 @@
+//! The approximate memory space: placement, injection determinism, and
+//! cost model.
+//!
+//! `MemSpace::Approx` is a *placement* — kernels still declare their
+//! buffers `Global`; the device binds an Approx-placed allocation to a
+//! Global parameter (`MemSpace::binds_to`). The contract under test:
+//!
+//! * **Rate 0 is bit-identical to exact.** Approx placement with the
+//!   injector off changes modeled *timing* only, never data. Cache
+//!   behavior (probes, hits, transactions) is identical, so the only
+//!   stats that may differ are `memory_cycles` (cheaper) and the
+//!   equality-excluded diagnostics counters.
+//! * **Injection is deterministic.** The flip stream is seeded per block
+//!   from the device's approx seed, and lane-loads draw from it in a
+//!   worker-count- and engine-independent order: 1, 2, and 4 host
+//!   workers, tree-walk and bytecode, all produce the same flips.
+//! * **Approx loads are cheaper.** The profile's `approx_lat/approx_issue`
+//!   must undercut the DRAM path on a miss-heavy workload.
+
+use paraprox_ir::{Expr, KernelBuilder, KernelId, MemSpace, Program, Ty};
+use paraprox_vgpu::{ArgValue, Device, DeviceProfile, Dim2, ExecEngine, LaunchStats};
+
+const N: usize = 256;
+
+/// A payload-streaming kernel: out[gid] = in[gid] * 2 + 1.
+fn payload_program() -> (Program, KernelId) {
+    let mut p = Program::new();
+    let mut kb = KernelBuilder::new("stream");
+    let input = kb.buffer("in", Ty::F32, MemSpace::Global);
+    let output = kb.buffer("out", Ty::F32, MemSpace::Global);
+    let gid = kb.let_("gid", KernelBuilder::global_id_x());
+    let x = kb.let_("x", kb.load(input, gid.clone()));
+    kb.store(output, gid, x * Expr::f32(2.0) + Expr::f32(1.0));
+    let kid = p.add_kernel(kb.finish());
+    (p, kid)
+}
+
+fn inputs() -> Vec<f32> {
+    (0..N).map(|i| (i as f32) * 0.25 - 13.0).collect()
+}
+
+/// Launch with the input buffer in `space`, at the given error rate and
+/// worker count; return (output bits, stats).
+fn run(profile: DeviceProfile, space: MemSpace, rate: f64, seed: u64) -> (Vec<u32>, LaunchStats) {
+    let (program, kid) = payload_program();
+    let mut d = Device::new(profile);
+    d.set_approx_rate(rate);
+    d.set_approx_seed(seed);
+    let in_b = d.alloc_f32(space, &inputs());
+    let out_b = d.alloc_f32(MemSpace::Global, &vec![0.0; N]);
+    let stats = d
+        .launch(
+            &program,
+            kid,
+            Dim2::linear(N / 32),
+            Dim2::linear(32),
+            &[ArgValue::Buffer(in_b), ArgValue::Buffer(out_b)],
+        )
+        .expect("launch");
+    let bits = d
+        .read_f32(out_b)
+        .unwrap()
+        .into_iter()
+        .map(f32::to_bits)
+        .collect();
+    (bits, stats)
+}
+
+#[test]
+fn approx_binds_to_global_params() {
+    // The kernel declares `in` Global; an Approx-placed buffer must bind,
+    // and every other mismatch must still be refused.
+    let (program, kid) = payload_program();
+    let mut d = Device::new(DeviceProfile::gtx560());
+    let in_b = d.alloc_f32(MemSpace::Approx, &inputs());
+    let out_b = d.alloc_f32(MemSpace::Global, &vec![0.0; N]);
+    assert_eq!(d.buffer_space(in_b).unwrap(), MemSpace::Approx);
+    d.launch(
+        &program,
+        kid,
+        Dim2::linear(N / 32),
+        Dim2::linear(32),
+        &[ArgValue::Buffer(in_b), ArgValue::Buffer(out_b)],
+    )
+    .expect("approx placement binds to a global param");
+
+    let const_b = d.alloc_f32(MemSpace::Constant, &inputs());
+    assert!(
+        d.launch(
+            &program,
+            kid,
+            Dim2::linear(N / 32),
+            Dim2::linear(32),
+            &[ArgValue::Buffer(const_b), ArgValue::Buffer(out_b)],
+        )
+        .is_err(),
+        "constant placement must still be refused for a global param"
+    );
+}
+
+#[test]
+fn rate_zero_is_bit_identical_to_exact() {
+    for profile in [DeviceProfile::gtx560(), DeviceProfile::core_i7_965()] {
+        let (exact_bits, exact_stats) = run(profile.clone(), MemSpace::Global, 0.0, 7);
+        for workers in [1usize, 2, 4] {
+            for engine in [ExecEngine::TreeWalk, ExecEngine::Bytecode] {
+                let p = profile
+                    .clone()
+                    .with_parallelism(workers)
+                    .with_engine(engine);
+                let (bits, stats) = run(p, MemSpace::Approx, 0.0, 7);
+                assert_eq!(
+                    bits, exact_bits,
+                    "rate-0 approx output diverged ({engine:?}, {workers} workers)"
+                );
+                assert_eq!(stats.bit_flips, 0);
+                assert_eq!(stats.approx_loads as usize, N);
+                // Same cache behavior, cheaper memory time.
+                assert_eq!(stats.l1_hits, exact_stats.l1_hits);
+                assert_eq!(stats.l1_misses, exact_stats.l1_misses);
+                assert!(
+                    stats.memory_cycles < exact_stats.memory_cycles,
+                    "approx placement must be cheaper: {} vs {}",
+                    stats.memory_cycles,
+                    exact_stats.memory_cycles
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn injection_is_worker_and_engine_invariant() {
+    let profile = DeviceProfile::gtx560();
+    let (ref_bits, ref_stats) = run(
+        profile.clone().with_parallelism(1),
+        MemSpace::Approx,
+        0.05,
+        42,
+    );
+    assert!(
+        ref_stats.bit_flips > 0,
+        "a 5% rate over {N} loads should flip something"
+    );
+    // Flips must corrupt the output relative to exact.
+    let (exact_bits, _) = run(profile.clone(), MemSpace::Global, 0.0, 42);
+    assert_ne!(ref_bits, exact_bits, "flips must be observable");
+    for workers in [2usize, 4] {
+        for engine in [ExecEngine::TreeWalk, ExecEngine::Bytecode] {
+            let p = profile
+                .clone()
+                .with_parallelism(workers)
+                .with_engine(engine);
+            let (bits, stats) = run(p, MemSpace::Approx, 0.05, 42);
+            assert_eq!(
+                bits, ref_bits,
+                "flip stream diverged ({engine:?}, {workers} workers)"
+            );
+            assert_eq!(stats.bit_flips, ref_stats.bit_flips);
+            assert_eq!(stats.approx_loads, ref_stats.approx_loads);
+        }
+    }
+}
+
+#[test]
+fn distinct_seeds_give_distinct_flip_patterns() {
+    let profile = DeviceProfile::gtx560();
+    let (a, _) = run(profile.clone(), MemSpace::Approx, 0.05, 1);
+    let (b, _) = run(profile, MemSpace::Approx, 0.05, 2);
+    assert_ne!(a, b, "different approx seeds must flip different bits");
+}
+
+#[test]
+fn rate_is_clamped_and_resettable() {
+    let mut d = Device::new(DeviceProfile::gtx560());
+    d.set_approx_rate(3.5);
+    assert_eq!(d.approx_rate(), 1.0);
+    d.set_approx_rate(-2.0);
+    assert_eq!(d.approx_rate(), 0.0);
+    d.set_approx_rate(f64::NAN);
+    assert_eq!(d.approx_rate(), 0.0);
+    d.set_approx_rate(0.25);
+    assert_eq!(d.approx_rate(), 0.25);
+}
+
+#[test]
+fn higher_rates_flip_more() {
+    let profile = DeviceProfile::gtx560();
+    let (_, lo) = run(profile.clone(), MemSpace::Approx, 0.01, 9);
+    let (_, hi) = run(profile, MemSpace::Approx, 0.5, 9);
+    assert!(
+        hi.bit_flips > lo.bit_flips,
+        "rate 0.5 ({} flips) should flip more than rate 0.01 ({} flips)",
+        hi.bit_flips,
+        lo.bit_flips
+    );
+}

@@ -25,9 +25,21 @@ cargo test --workspace -q
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> paraprox-cli analyze smoke (13 apps, test scale)"
+echo "==> paraprox-cli analyze smoke (13 apps, test scale, JSON partition gate)"
+# Machine-readable pass over every app: the analyze command itself exits
+# non-zero on error-severity findings, and the JSON is additionally
+# asserted to report zero findings of any severity and zero Critical
+# buffers placed in approximate memory.
 for app in "Black" "Quasi" "Gamma" "Box" "HotSpot" "Convolution" "Gaussian" "Mean" "Matrix" "Image" "Naive" "Kernel Density" "Cumulative"; do
-  cargo run --release -q -p paraprox-cli -- analyze "$app" --scale test
+  out="$(cargo run --release -q -p paraprox-cli -- analyze "$app" --scale test --json)"
+  case "$out" in
+    *'"findings":[],"errors":0,"warnings":0,"misplaced":0'*) ;;
+    *)
+      echo "FAIL: analyze --json for '$app' reports findings or misplacements:" >&2
+      echo "$out" >&2
+      exit 1
+      ;;
+  esac
 done
 
 echo "==> bench_interp --smoke (engine bit-identity + perf gate: geomean >= 1.0x)"
@@ -36,6 +48,14 @@ echo "==> bench_interp --smoke (engine bit-identity + perf gate: geomean >= 1.0x
 # performance regression fails verification here.
 (cd target && cargo run --release -p paraprox-bench --bin bench_interp -- --smoke)
 
+echo "==> bench_approxmem --smoke (tolerant auto-placement lint-clean + rate-0 bit-identity)"
+# bench_approxmem --smoke exits non-zero when the partition-driven
+# auto-placement trips the approx-placement lint on any app, or when the
+# approximate placement at rate 0 is not bit-identical to the all-exact
+# run — either would mean the criticality partition or the injection
+# path regressed.
+(cd target && cargo run --release -p paraprox-bench --bin bench_approxmem -- --smoke)
+
 echo "==> paraprox-cli serve smoke (drift -> back-off -> re-promotion, both profiles)"
 for dev in gpu cpu; do
   cargo run --release -q -p paraprox-cli -- serve --device "$dev" --scale test \
@@ -43,10 +63,11 @@ for dev in gpu cpu; do
     --shards 2 --batch-window 8
 done
 
-echo "==> bench_serve --smoke (serving engine perf gate: batched >= unbatched)"
+echo "==> bench_serve --smoke (serving engine perf gate: batched >= 0.90x unbatched)"
 # bench_serve --smoke exits non-zero when the sharded+batched engine's
-# closed-loop throughput drops below the single-shard unbatched baseline
-# on the same seeded stream, so a serving-path performance regression
+# closed-loop throughput drops below 0.90x of the single-shard unbatched
+# baseline on the same seeded stream — headroom for wall-clock noise on
+# small hosts, while a real serving-path performance regression still
 # fails verification here.
 (cd target && cargo run --release -p paraprox-bench --bin bench_serve -- --smoke)
 
