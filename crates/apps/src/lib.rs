@@ -37,15 +37,18 @@ pub mod gaussian_filter;
 pub mod hotspot;
 pub mod image_denoising;
 pub mod inputs;
+pub mod jacobi;
 pub mod kde;
 pub mod matmul;
 pub mod mean_filter;
 pub mod naive_bayes;
 pub mod quasirandom;
+pub mod sobel_flow;
 
 use paraprox::Workload;
+use paraprox_iter::{ConvergenceSpec, IterError, IterModel, IterativeApp};
 use paraprox_quality::Metric;
-use paraprox_vgpu::BufferInit;
+use paraprox_vgpu::{BufferInit, Device};
 
 /// Problem-size scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,6 +139,71 @@ pub fn find(name: &str) -> Option<App> {
     })
 }
 
+/// A registered *iterative* application: a loop-of-stencil-reduce job
+/// ([`paraprox_iter::IterativeApp`]) rather than a one-shot pipeline.
+/// These are the convergence-driven counterparts of the Table-1 stencil
+/// workloads; their knob is the approximation *schedule*, not a single
+/// kernel rewrite.
+#[derive(Clone)]
+pub struct IterApp {
+    /// Application name.
+    pub name: &'static str,
+    /// Domain, in Table-1 style.
+    pub domain: &'static str,
+    /// Input-size description (at [`Scale::Paper`]).
+    pub input_desc: &'static str,
+    /// Error metric comparing converged fields.
+    pub metric: Metric,
+    /// Build the device-independent iterative model for a scale.
+    pub build: fn(Scale) -> IterModel,
+    /// Convergence criteria for a scale.
+    pub spec: fn(Scale) -> ConvergenceSpec,
+    /// Regenerate the initial field for a scale and seed.
+    pub gen_field: fn(Scale, u64) -> Vec<f32>,
+}
+
+impl std::fmt::Debug for IterApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IterApp")
+            .field("name", &self.name)
+            .field("domain", &self.domain)
+            .finish_non_exhaustive()
+    }
+}
+
+impl IterApp {
+    /// Bind the app to a device with the full preset schedule ladder
+    /// admitted (every rung gated through the analysis suite).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IterError`] when the model or any preset schedule
+    /// fails the safety gate.
+    pub fn instantiate(&self, scale: Scale, device: Device) -> Result<IterativeApp, IterError> {
+        let gen = self.field_gen(scale);
+        IterativeApp::new(device, (self.build)(scale), (self.spec)(scale), gen)?.with_presets()
+    }
+
+    /// A boxed field generator for [`paraprox_iter::IterativeApp::new`].
+    pub fn field_gen(&self, scale: Scale) -> paraprox_iter::FieldGen {
+        let f = self.gen_field;
+        Box::new(move |seed| f(scale, seed))
+    }
+}
+
+/// The iterative applications, in registry order.
+pub fn iter_registry() -> Vec<IterApp> {
+    vec![jacobi::app(), sobel_flow::app()]
+}
+
+/// Find an iterative application by (case-insensitive) name prefix.
+pub fn find_iter(name: &str) -> Option<IterApp> {
+    let lower = name.to_lowercase();
+    iter_registry()
+        .into_iter()
+        .find(|a| a.name.to_lowercase().starts_with(&lower))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +272,47 @@ mod tests {
             let c = (app.gen_inputs)(Scale::Test, 8);
             assert_eq!(a, b, "{}: same seed must reproduce", app.spec.name);
             assert_ne!(a, c, "{}: different seed must differ", app.spec.name);
+        }
+    }
+
+    #[test]
+    fn iter_registry_lists_both_apps_and_finds_by_prefix() {
+        let apps = iter_registry();
+        assert_eq!(apps.len(), 2);
+        assert_eq!(find_iter("jac").unwrap().name, "Jacobi");
+        assert_eq!(find_iter("sobel").unwrap().name, "Sobel Flow");
+        assert!(find_iter("nonexistent").is_none());
+    }
+
+    #[test]
+    fn every_iter_app_instantiates_and_converges_exactly() {
+        use paraprox_iter::IterSchedule;
+        use paraprox_vgpu::DeviceProfile;
+        for app in iter_registry() {
+            let mut job = app
+                .instantiate(Scale::Test, Device::new(DeviceProfile::gtx560()))
+                .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+            // Exact presets minus the exact rung were admitted.
+            assert!(job.schedules().len() >= 3, "{}", app.name);
+            let out = job.run_schedule(&IterSchedule::exact(), 5).unwrap();
+            let run = job.last_run().unwrap();
+            assert!(run.converged, "{}: {run:?}", app.name);
+            assert!(
+                run.iterations < (app.spec)(Scale::Test).max_iters,
+                "{run:?}"
+            );
+            assert_eq!(out.output.len(), job.model().elems());
+        }
+    }
+
+    #[test]
+    fn iter_fields_are_deterministic_per_seed() {
+        for app in iter_registry() {
+            let a = (app.gen_field)(Scale::Test, 7);
+            let b = (app.gen_field)(Scale::Test, 7);
+            let c = (app.gen_field)(Scale::Test, 8);
+            assert_eq!(a, b, "{}: same seed must reproduce", app.name);
+            assert_ne!(a, c, "{}: different seed must differ", app.name);
         }
     }
 }

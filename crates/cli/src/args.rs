@@ -13,7 +13,7 @@ usage:
       ones.
 
   paraprox run <app> [--device gpu|cpu] [--scale paper|test] [--threads <n>]
-               [--approx-mem <rate>]
+               [--approx-mem <rate>] [--iters <n>] [--schedule <name>]
       Execute an application's exact pipeline once and print the launch
       report: blocks, warps, occupancy, host workers, and wall-clock time.
       --threads 0 (the default) uses every available core; the
@@ -22,16 +22,28 @@ usage:
       Tolerant global buffer (per the criticality partition) in the
       approximate memory space and injects bit flips at the given error
       rate (0..=1); the report then includes per-buffer placements and
-      injected-flip counts. Rate 0 is bit-identical to exact.
+      injected-flip counts. Rate 0 is bit-identical to exact. --iters
+      switches to the *iterative* registry (Jacobi, Sobel Flow): the app's
+      loop-of-stencil-reduce job runs to convergence under the exact
+      schedule and every preset approximation schedule, capped at <n>
+      iterations (0 = the app's default), and the report compares
+      iterations, residuals, cycles, and quality per schedule. --schedule
+      restricts the sweep to one named rung (requires --iters).
 
   paraprox inspect <file.cu> [--bytecode <kernel>] [--effects] [--partition]
+  paraprox inspect <app> --schedule <name> [--iters <n>] [--scale paper|test]
       Parse CUDA-flavored kernel source and report the data-parallel
       patterns Paraprox detects in each kernel. --bytecode additionally
       prints the register-machine bytecode the virtual device compiles the
       named kernel (prefix match) into; --effects prints each kernel's
       side-effect summary (loads/stores/atomics/barriers) next to the
       pattern report; --partition prints each kernel's buffer-criticality
-      partition (critical vs tolerant, with witness chains).
+      partition (critical vs tolerant, with witness chains). With
+      --schedule the positional names an *iterative* application instead
+      of a file: the named preset schedule's per-iteration plan is printed
+      (stencil stages, residual cadence, predictor), followed by the
+      safety gate's verdict for it under the loop's launch contexts;
+      --iters overrides the iteration cap the plan spans.
 
   paraprox analyze <app> [--scale paper|test] [--json] [--partition]
       Run the full static-analysis lint suite (shared-memory races, bounds,
@@ -102,10 +114,16 @@ pub enum Command {
         /// Serve Tolerant global buffers from approximate memory at this
         /// bit-error rate.
         approx_mem: Option<f64>,
+        /// Run the app as an iterative convergence loop capped at this
+        /// many iterations (0 = the app's default cap).
+        iters: Option<u32>,
+        /// Restrict the iterative sweep to one named schedule.
+        schedule: Option<String>,
     },
-    /// `paraprox inspect <file>`
+    /// `paraprox inspect <file>` (or `inspect <app> --schedule <name>`)
     Inspect {
-        /// Path to the kernel source file.
+        /// Path to the kernel source file (or an iterative application
+        /// name when `schedule` is set).
         file: String,
         /// Kernel name (prefix match) to disassemble to vGPU bytecode.
         bytecode: Option<String>,
@@ -113,6 +131,14 @@ pub enum Command {
         effects: bool,
         /// Print per-kernel buffer-criticality partitions.
         partition: bool,
+        /// Describe this preset schedule for the named iterative app and
+        /// print the safety gate's verdict.
+        schedule: Option<String>,
+        /// Iteration cap the schedule plan spans (0 = app default; only
+        /// with `schedule`).
+        iters: u32,
+        /// Use the small test-scale inputs (only with `schedule`).
+        test_scale: bool,
     },
     /// `paraprox analyze <app>`
     Analyze {
@@ -257,6 +283,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut test_scale = false;
             let mut threads = 0usize;
             let mut approx_mem = None;
+            let mut iters = None;
+            let mut schedule = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--device" => {
@@ -294,8 +322,22 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         }
                         approx_mem = Some(rate);
                     }
+                    "--iters" => iters = Some(parse_num(flag, it.next())?),
+                    "--schedule" => {
+                        schedule = Some(
+                            it.next()
+                                .ok_or_else(|| "--schedule needs a name".to_string())?
+                                .clone(),
+                        );
+                    }
                     other => return Err(format!("unknown option `{other}`")),
                 }
+            }
+            if iters.is_some() && approx_mem.is_some() {
+                return Err("--iters and --approx-mem cannot be combined".to_string());
+            }
+            if schedule.is_some() && iters.is_none() {
+                return Err("--schedule requires --iters".to_string());
             }
             Ok(Command::Run {
                 app,
@@ -303,6 +345,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 test_scale,
                 threads,
                 approx_mem,
+                iters,
+                schedule,
             })
         }
         Some("inspect") => {
@@ -313,6 +357,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut bytecode = None;
             let mut effects = false;
             let mut partition = false;
+            let mut schedule = None;
+            let mut iters = 0u32;
+            let mut test_scale = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--bytecode" => {
@@ -324,14 +371,46 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     }
                     "--effects" => effects = true,
                     "--partition" => partition = true,
+                    "--schedule" => {
+                        schedule = Some(
+                            it.next()
+                                .ok_or_else(|| "--schedule needs a name".to_string())?
+                                .clone(),
+                        );
+                    }
+                    "--iters" => iters = parse_num(flag, it.next())?,
+                    "--scale" => {
+                        test_scale = match it.next().map(String::as_str) {
+                            Some("paper") => false,
+                            Some("test") => true,
+                            other => {
+                                return Err(format!(
+                                    "--scale needs `paper` or `test`, got {other:?}"
+                                ))
+                            }
+                        };
+                    }
                     other => return Err(format!("unknown option `{other}`")),
                 }
+            }
+            if schedule.is_some() && (bytecode.is_some() || effects || partition) {
+                return Err(
+                    "--schedule inspects an iterative app; it cannot be combined with \
+                     --bytecode/--effects/--partition"
+                        .to_string(),
+                );
+            }
+            if schedule.is_none() && (iters != 0 || test_scale) {
+                return Err("--iters/--scale on `inspect` require --schedule".to_string());
             }
             Ok(Command::Inspect {
                 file,
                 bytecode,
                 effects,
                 partition,
+                schedule,
+                iters,
+                test_scale,
             })
         }
         Some("analyze") => {
@@ -580,6 +659,8 @@ mod tests {
                 test_scale: false,
                 threads: 0,
                 approx_mem: None,
+                iters: None,
+                schedule: None,
             }
         );
         let cmd = parse(&v(&[
@@ -603,6 +684,8 @@ mod tests {
                 test_scale: true,
                 threads: 4,
                 approx_mem: Some(0.001),
+                iters: None,
+                schedule: None,
             }
         );
         assert!(parse(&v(&["run"])).is_err());
@@ -610,6 +693,43 @@ mod tests {
         assert!(parse(&v(&["run", "x", "--approx-mem", "2"])).is_err());
         assert!(parse(&v(&["run", "x", "--approx-mem", "-0.5"])).is_err());
         assert!(parse(&v(&["run", "x", "--approx-mem"])).is_err());
+    }
+
+    #[test]
+    fn parses_run_iters() {
+        let cmd = parse(&v(&[
+            "run",
+            "jacobi",
+            "--iters",
+            "40",
+            "--schedule",
+            "trend-exit",
+            "--scale",
+            "test",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                app: "jacobi".into(),
+                device: DeviceArg::Gpu,
+                test_scale: true,
+                threads: 0,
+                approx_mem: None,
+                iters: Some(40),
+                schedule: Some("trend-exit".into()),
+            }
+        );
+        // --iters 0 means "the app's default cap", still iterative mode.
+        let Command::Run { iters, .. } = parse(&v(&["run", "jacobi", "--iters", "0"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(iters, Some(0));
+        assert!(parse(&v(&["run", "x", "--iters"])).is_err());
+        assert!(parse(&v(&["run", "x", "--iters", "many"])).is_err());
+        assert!(parse(&v(&["run", "x", "--schedule", "exact"])).is_err());
+        assert!(parse(&v(&["run", "x", "--iters", "4", "--approx-mem", "0.1"])).is_err());
     }
 
     #[test]
@@ -621,6 +741,9 @@ mod tests {
                 bytecode: None,
                 effects: false,
                 partition: false,
+                schedule: None,
+                iters: 0,
+                test_scale: false,
             }
         );
         assert_eq!(
@@ -638,11 +761,46 @@ mod tests {
                 bytecode: Some("conv".into()),
                 effects: true,
                 partition: true,
+                schedule: None,
+                iters: 0,
+                test_scale: false,
             }
         );
         assert!(parse(&v(&["inspect"])).is_err());
         assert!(parse(&v(&["inspect", "k.cu", "--bytecode"])).is_err());
         assert!(parse(&v(&["inspect", "k.cu", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parses_inspect_schedule() {
+        assert_eq!(
+            parse(&v(&[
+                "inspect",
+                "jacobi",
+                "--schedule",
+                "reach-ramp",
+                "--iters",
+                "24",
+                "--scale",
+                "test"
+            ]))
+            .unwrap(),
+            Command::Inspect {
+                file: "jacobi".into(),
+                bytecode: None,
+                effects: false,
+                partition: false,
+                schedule: Some("reach-ramp".into()),
+                iters: 24,
+                test_scale: true,
+            }
+        );
+        // Schedule mode excludes the source-file flags, and the
+        // schedule-only flags need --schedule.
+        assert!(parse(&v(&["inspect", "jacobi", "--schedule", "x", "--effects"])).is_err());
+        assert!(parse(&v(&["inspect", "k.cu", "--iters", "5"])).is_err());
+        assert!(parse(&v(&["inspect", "k.cu", "--scale", "test"])).is_err());
+        assert!(parse(&v(&["inspect", "jacobi", "--schedule"])).is_err());
     }
 
     #[test]

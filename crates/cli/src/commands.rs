@@ -46,13 +46,24 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
             test_scale,
             threads,
             approx_mem,
-        } => run_app(&app, device, test_scale, threads, approx_mem),
+            iters,
+            schedule,
+        } => match iters {
+            Some(cap) => run_iter_app(&app, device, test_scale, threads, cap, schedule.as_deref()),
+            None => run_app(&app, device, test_scale, threads, approx_mem),
+        },
         Command::Inspect {
             file,
             bytecode,
             effects,
             partition,
-        } => inspect(&file, bytecode.as_deref(), effects, partition),
+            schedule,
+            iters,
+            test_scale,
+        } => match schedule {
+            Some(name) => inspect_schedule(&file, &name, iters, test_scale),
+            None => inspect(&file, bytecode.as_deref(), effects, partition),
+        },
         Command::Analyze {
             app,
             test_scale,
@@ -258,6 +269,171 @@ fn run_app(
         format!("{:.3} ms", s.wall_nanos as f64 / 1e6)
     );
     Ok(())
+}
+
+/// Look up an iterative app and a preset schedule by (prefix) name, with
+/// error messages that list what exists.
+fn find_iter_app(name: &str) -> Result<paraprox_apps::IterApp, String> {
+    paraprox_apps::find_iter(name).ok_or_else(|| {
+        let names: Vec<&str> = paraprox_apps::iter_registry()
+            .iter()
+            .map(|a| a.name)
+            .collect();
+        format!(
+            "no iterative application matching `{name}` (available: {})",
+            names.join(", ")
+        )
+    })
+}
+
+fn find_schedule(name: &str, max_iters: u32) -> Result<paraprox_iter::IterSchedule, String> {
+    let presets = paraprox_iter::IterSchedule::presets(max_iters);
+    let lower = name.to_lowercase();
+    presets
+        .iter()
+        .find(|s| s.label.starts_with(&lower))
+        .cloned()
+        .ok_or_else(|| {
+            let labels: Vec<&str> = presets.iter().map(|s| s.label.as_str()).collect();
+            format!(
+                "no preset schedule matching `{name}` (available: {})",
+                labels.join(", ")
+            )
+        })
+}
+
+/// `run <app> --iters <n>`: drive the iterative loop-of-stencil-reduce
+/// job to convergence under each (or one named) schedule and compare.
+fn run_iter_app(
+    name: &str,
+    device: DeviceArg,
+    test_scale: bool,
+    threads: usize,
+    cap: u32,
+    only: Option<&str>,
+) -> Result<(), Box<dyn Error>> {
+    let app = find_iter_app(name)?;
+    let scale = if test_scale {
+        Scale::Test
+    } else {
+        Scale::Paper
+    };
+    let profile = profile_of(device).with_parallelism(threads);
+    let mut spec = (app.spec)(scale);
+    if cap > 0 {
+        spec.max_iters = cap;
+    }
+    let model = (app.build)(scale);
+    println!(
+        "{} on {} ({}x{} field, tol {:.0e} abs / {}% rel, cap {} iters)",
+        app.name,
+        profile.name,
+        model.width,
+        model.height,
+        spec.tol_abs,
+        spec.tol_rel * 100.0,
+        spec.max_iters
+    );
+    let mut job =
+        paraprox_iter::IterativeApp::new(Device::new(profile), model, spec, app.field_gen(scale))?
+            .with_presets()?;
+
+    let mut schedules = vec![paraprox_iter::IterSchedule::exact()];
+    schedules.extend(job.schedules().iter().cloned());
+    if let Some(only) = only {
+        let wanted = find_schedule(only, spec.max_iters)?;
+        schedules.retain(|s| s.label == wanted.label || s.is_exact());
+    }
+
+    // Deployment seed, past the tuner's training range.
+    let seed = 1000u64;
+    println!(
+        "\n{:<16} {:>6} {:>7} {:>11} {:>10} {:>9} {:>8}  outcome",
+        "schedule", "iters", "checks", "residual", "cycles", "speedup", "quality"
+    );
+    let mut exact_out: Option<paraprox_runtime::RunOutcome> = None;
+    for schedule in &schedules {
+        let out = job.run_schedule(schedule, seed)?;
+        let run = job.last_run().cloned().ok_or("loop recorded no run")?;
+        let (speedup, quality) = match &exact_out {
+            None => (1.0, 100.0),
+            Some(e) => (
+                e.cycles as f64 / out.cycles.max(1) as f64,
+                paraprox_runtime::Approximable::quality(&job, &e.output, &out.output),
+            ),
+        };
+        println!(
+            "{:<16} {:>6} {:>7} {:>11.4e} {:>10} {:>8.2}x {:>7.2}%  {}",
+            run.schedule,
+            run.iterations,
+            run.checks,
+            run.residual,
+            out.cycles,
+            speedup,
+            quality,
+            if run.predicted {
+                "converged (predicted)"
+            } else if run.converged {
+                "converged"
+            } else {
+                "iteration cap"
+            }
+        );
+        if schedule.is_exact() {
+            exact_out = Some(out);
+        }
+    }
+    Ok(())
+}
+
+/// `inspect <app> --schedule <name>`: print the schedule's plan and the
+/// safety gate's verdict under the loop's launch contexts.
+fn inspect_schedule(
+    name: &str,
+    schedule: &str,
+    cap: u32,
+    test_scale: bool,
+) -> Result<(), Box<dyn Error>> {
+    let app = find_iter_app(name)?;
+    let scale = if test_scale {
+        Scale::Test
+    } else {
+        Scale::Paper
+    };
+    let mut spec = (app.spec)(scale);
+    if cap > 0 {
+        spec.max_iters = cap;
+    }
+    let sched = find_schedule(schedule, spec.max_iters)?;
+    let model = (app.build)(scale);
+    println!(
+        "{} ({}x{} field, {} metric)\n",
+        app.name, model.width, model.height, app.metric
+    );
+    println!("{}", sched.describe(spec.max_iters));
+    let contexts = paraprox_iter::iter_launch_contexts(&model, &sched);
+    println!(
+        "\ngate: {} launch context(s) per stage program",
+        contexts.len()
+    );
+    match paraprox_iter::gate_schedule(&model, &sched) {
+        Ok(stages) => {
+            println!(
+                "gate: admitted — {} stage program(s) passed the effect contract and \
+                 the full lint suite",
+                stages.len()
+            );
+            Ok(())
+        }
+        Err(paraprox_iter::IterError::Refused { label, reasons }) => {
+            println!("gate: REFUSED schedule `{label}`:");
+            for r in &reasons {
+                println!("  - {r}");
+            }
+            Err(format!("schedule `{label}` refused by the safety gate").into())
+        }
+        Err(e) => Err(e.into()),
+    }
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).

@@ -28,7 +28,12 @@ pub struct DeviceApp {
     /// the error rate as one more knob dimension.
     approx: Vec<(String, f64, Pipeline)>,
     input_gen: InputGen,
-    diagnostics: EngineDiagnostics,
+    /// Every launch's counters, summed with [`LaunchStats::accumulate`];
+    /// [`Approximable::engine_diagnostics`] projects the diagnostic fields
+    /// out of this total.
+    ///
+    /// [`LaunchStats::accumulate`]: paraprox_vgpu::LaunchStats::accumulate
+    total_stats: paraprox_vgpu::LaunchStats,
 }
 
 impl std::fmt::Debug for DeviceApp {
@@ -68,7 +73,7 @@ impl DeviceApp {
                 .collect(),
             approx: Vec::new(),
             input_gen,
-            diagnostics: EngineDiagnostics::default(),
+            total_stats: paraprox_vgpu::LaunchStats::default(),
         }
     }
 
@@ -165,10 +170,7 @@ impl DeviceApp {
     }
 
     fn absorb_stats(&mut self, stats: &paraprox_vgpu::LaunchStats) {
-        self.diagnostics.ops_dispatched += stats.ops_dispatched;
-        self.diagnostics.fusions_hit += stats.fusions_hit;
-        self.diagnostics.approx_loads += stats.approx_loads;
-        self.diagnostics.bit_flips += stats.bit_flips;
+        self.total_stats.accumulate(stats);
     }
 }
 
@@ -258,6 +260,11 @@ impl Approximable for DeviceApp {
     }
 
     fn engine_diagnostics(&self) -> EngineDiagnostics {
-        self.diagnostics
+        EngineDiagnostics {
+            ops_dispatched: self.total_stats.ops_dispatched,
+            fusions_hit: self.total_stats.fusions_hit,
+            approx_loads: self.total_stats.approx_loads,
+            bit_flips: self.total_stats.bit_flips,
+        }
     }
 }

@@ -193,6 +193,88 @@ mod tests {
     }
 
     #[test]
+    fn welford_stays_stable_over_a_hundred_thousand_updates() {
+        // Catastrophic-cancellation stress: 100k samples oscillating by
+        // one part in 1e8 around 90. A naive sum-of-squares accumulator
+        // loses the variance entirely at this magnitude ratio; Welford
+        // must keep the mean exact to ~1e-9 and the (tiny) standard
+        // deviation positive, finite, and near the analytic value.
+        let mut s = QualityStream::paper_default();
+        let (lo, hi) = (90.0f64, 90.0 + 9e-7);
+        for i in 0..100_000u64 {
+            s.observe(if i % 2 == 0 { lo } else { hi });
+        }
+        assert_eq!(s.count(), 100_000);
+        let mean = s.mean().unwrap();
+        assert!(
+            (mean - (lo + hi) / 2.0).abs() < 1e-9,
+            "mean drifted: {mean}"
+        );
+        let sd = s.std_dev().unwrap();
+        let expected_sd = (hi - lo) / 2.0;
+        assert!(sd.is_finite() && sd > 0.0);
+        assert!(
+            (sd - expected_sd).abs() < expected_sd * 1e-3,
+            "std dev {sd} vs analytic {expected_sd}"
+        );
+        assert_eq!(s.min(), Some(lo));
+        assert_eq!(s.violations(), 0);
+        assert_eq!(s.clean_streak(), 100_000);
+    }
+
+    #[test]
+    fn ewma_lag_on_a_long_monotone_ramp_converges_to_the_analytic_value() {
+        // On a linear ramp q_t = t*d the EWMA's steady-state lag behind
+        // the signal is d*(1-alpha)/alpha. After thousands of steps the
+        // transient is gone; the iterative predictor leans on this lag
+        // being bounded (the trend estimate trails, never overshoots).
+        let alpha = 0.25;
+        let d = 0.001;
+        let mut s = QualityStream::new(Toq::new(0.0).unwrap(), alpha);
+        let mut last_q = 0.0;
+        let mut prev_ewma = f64::NEG_INFINITY;
+        for t in 0..20_000u64 {
+            last_q = t as f64 * d;
+            s.observe(last_q);
+            let e = s.ewma().unwrap();
+            assert!(e >= prev_ewma, "EWMA must be monotone on a monotone ramp");
+            assert!(e <= last_q, "EWMA must trail a rising signal");
+            prev_ewma = e;
+        }
+        let lag = last_q - s.ewma().unwrap();
+        let analytic = d * (1.0 - alpha) / alpha;
+        assert!(
+            (lag - analytic).abs() < analytic * 1e-6,
+            "lag {lag} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn ewma_of_contracting_ratios_stays_inside_the_observation_hull() {
+        // The residual-trend predictor feeds decay ratios r_t/r_{t-1}
+        // into the EWMA and extrapolates with ewma^horizon, so the
+        // estimate must never escape [min observed, max observed] — an
+        // EWMA below every observed ratio would predict convergence that
+        // the data does not support. Drive 10k monotonically decreasing
+        // ratios and check the hull and monotonicity at every step.
+        let mut s = QualityStream::new(Toq::new(0.0).unwrap(), 0.4);
+        let mut prev = f64::INFINITY;
+        for t in 0..10_000u64 {
+            // Decreasing from ~0.999 toward 0.5, always in (0, 1).
+            let ratio = 0.5 + 0.499 / (1.0 + t as f64 * 0.01);
+            s.observe(ratio);
+            let e = s.ewma().unwrap();
+            assert!(e <= prev, "EWMA must decrease on a decreasing stream");
+            assert!(
+                e >= ratio,
+                "EWMA {e} escaped below the smallest observation {ratio}"
+            );
+            assert!(e < 1.0, "contracting trend must read as contracting");
+            prev = e;
+        }
+    }
+
+    #[test]
     fn alpha_is_sanitized() {
         let mut s = QualityStream::new(Toq::paper_default(), f64::NAN);
         s.observe(50.0);

@@ -270,6 +270,9 @@ pub struct Device {
     /// Seed for the deterministic bit-flip stream (see
     /// [`Device::set_approx_seed`]).
     pub(crate) approx_seed: u64,
+    /// Worker-image refresh accounting (see
+    /// [`Device::image_refresh_copies`]).
+    refresh: exec::RefreshCounters,
 }
 
 impl Device {
@@ -289,6 +292,7 @@ impl Device {
             image_pool: Vec::new(),
             approx_rate: 0.0,
             approx_seed: 0,
+            refresh: exec::RefreshCounters::default(),
         }
     }
 
@@ -602,8 +606,78 @@ impl Device {
         block: Dim2,
         args: &[ArgValue],
     ) -> Result<LaunchStats, LaunchError> {
+        self.launch_overwriting(program, kernel, grid, block, args, &[])
+    }
+
+    /// Per-buffer data copies performed while refreshing pooled worker
+    /// images, cumulative over the device's lifetime. Together with
+    /// [`Device::image_refresh_skips`] this exposes the cost of the
+    /// parallel path's per-launch arena refresh; serial launches (one
+    /// worker) never refresh and count nothing.
+    pub fn image_refresh_copies(&self) -> u64 {
+        self.refresh
+            .copies
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Per-buffer data copies *skipped* during pooled worker-image
+    /// refresh because the launch declared the buffer input-overwritten
+    /// (see [`Device::launch_overwriting`]), cumulative.
+    pub fn image_refresh_skips(&self) -> u64 {
+        self.refresh
+            .skips
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// [`Device::launch`], plus a declaration that the buffers bound to
+    /// the parameter indices in `overwritten_params` are
+    /// *input-overwritten*: the kernel writes them without ever reading
+    /// them, so their pre-launch contents are unobservable. Repeated
+    /// launches of the same compiled program (a convergence loop's
+    /// ping-pong buffers, a serving loop's output buffers) then skip the
+    /// redundant per-worker image copy for those buffers.
+    ///
+    /// The declaration is *verified*, not trusted: a parameter whose
+    /// buffer the kernel loads from — or targets with an atomic, which
+    /// reads — is rejected with [`LaunchError::ArgMismatch`], as is an
+    /// index that is out of range or names a scalar parameter. Results
+    /// are always bit-identical to [`Device::launch`].
+    pub fn launch_overwriting(
+        &mut self,
+        program: &Program,
+        kernel: KernelId,
+        grid: Dim2,
+        block: Dim2,
+        args: &[ArgValue],
+        overwritten_params: &[usize],
+    ) -> Result<LaunchStats, LaunchError> {
         let k = program.kernel(kernel);
         self.validate_launch(k, grid, block, args)?;
+        let mut overwritten = Vec::with_capacity(overwritten_params.len());
+        for &pi in overwritten_params {
+            let reject = |reason: String| {
+                Err(LaunchError::ArgMismatch {
+                    kernel: k.name.clone(),
+                    index: pi,
+                    reason,
+                })
+            };
+            if pi >= k.params.len() {
+                return reject(format!(
+                    "overwritten declaration names parameter {pi} of a {}-parameter kernel",
+                    k.params.len()
+                ));
+            }
+            let ArgValue::Buffer(id) = args[pi] else {
+                return reject("overwritten declaration names a scalar parameter".to_string());
+            };
+            if kernel_reads_param(k, pi) {
+                return reject(format!(
+                    "parameter {pi} is declared input-overwritten but the kernel reads it"
+                ));
+            }
+            overwritten.push(id.0);
+        }
         let handle = match crate::profile::resolve_engine(self.profile.engine) {
             ExecEngine::Bytecode => Some(self.programs.get_or_compile(program, k, &self.profile)),
             ExecEngine::TreeWalk => None,
@@ -634,6 +708,7 @@ impl Device {
             },
             approx_threshold: exec::approx_threshold(self.approx_rate),
             approx_seed: self.approx_seed,
+            overwritten: &overwritten,
         };
         let result = exec::run_launch(
             &launch,
@@ -641,6 +716,7 @@ impl Device {
             &mut self.l1,
             &mut self.constant_cache,
             &mut self.image_pool,
+            &self.refresh,
         );
         // After a successful profiling launch, fuse the hot pairs and
         // cache the artifact; every later launch of this entry dispatches
@@ -756,6 +832,35 @@ impl Device {
         let fused = Arc::new(h.compiled.fuse(&snapshot));
         self.programs.store_fused(h.key, h.idx, fused);
     }
+}
+
+/// Whether a kernel ever *reads* buffer parameter `pi`: a load from it,
+/// or an atomic targeting it (atomics read-modify-write). Device
+/// functions take scalar arguments only, so a walk over the kernel body
+/// — including loop bounds and branch conditions, which
+/// [`paraprox_ir::visit::for_each_expr_in_stmts`] covers — is complete.
+fn kernel_reads_param(k: &Kernel, pi: usize) -> bool {
+    use paraprox_ir::{for_each_expr_in_stmts, for_each_stmt, Expr, MemRef, Stmt};
+    let mut reads = false;
+    for_each_expr_in_stmts(&k.body, &mut |e| {
+        if let Expr::Load {
+            mem: MemRef::Param(i),
+            ..
+        } = e
+        {
+            reads |= *i == pi;
+        }
+    });
+    for_each_stmt(&k.body, &mut |s| {
+        if let Stmt::Atomic {
+            mem: MemRef::Param(i),
+            ..
+        } = s
+        {
+            reads |= *i == pi;
+        }
+    });
+    reads
 }
 
 /// Fusion default from the environment: `PARAPROX_NO_FUSE` set to a
@@ -954,6 +1059,120 @@ mod tests {
         assert_eq!(serial.read_f32(sb).unwrap(), vec![1.0; 64]);
         par.clear_image_pool();
         assert_eq!(par.pooled_images(), 0);
+    }
+
+    #[test]
+    fn overwritten_declaration_skips_image_refresh() {
+        // Ping-pong copy kernel: reads `src`, writes `dst`, never reads
+        // `dst` — the loop-carried shape a convergence loop launches every
+        // iteration.
+        let mut program = Program::new();
+        let mut kb = KernelBuilder::new("pingpong");
+        let src = kb.buffer("src", Ty::F32, MemSpace::Global);
+        let dst = kb.buffer("dst", Ty::F32, MemSpace::Global);
+        let gid = kb.let_("gid", KernelBuilder::global_id_x());
+        let v = kb.let_("v", kb.load(src, gid.clone()));
+        kb.store(dst, gid, v + Expr::f32(1.0));
+        let kid = program.add_kernel(kb.finish());
+
+        let mut d = Device::new(DeviceProfile::gtx560().with_parallelism(3));
+        let a = d.alloc_f32(MemSpace::Global, &[0.0; 64]);
+        let b = d.alloc_f32(MemSpace::Global, &[0.0; 64]);
+        let mut bufs = [a, b];
+        for round in 1..=4u32 {
+            let [cur, next] = bufs;
+            d.launch_overwriting(
+                &program,
+                kid,
+                Dim2::linear(4),
+                Dim2::linear(16),
+                &[cur.into(), next.into()],
+                &[1],
+            )
+            .unwrap();
+            assert_eq!(d.pooled_images(), 3, "pool must not grow past workers");
+            assert_eq!(d.read_f32(next).unwrap(), vec![round as f32; 64]);
+            bufs.swap(0, 1);
+        }
+        // First launch clones the whole arena into each of the 3 fresh
+        // images (2 buffers each); the 3 later launches skip the declared
+        // buffer and copy only the other one.
+        assert_eq!(d.image_refresh_copies(), 3 * 2 + 3 * 3);
+        assert_eq!(d.image_refresh_skips(), 3 * 3);
+
+        // The skip is metadata-only: results match a plain-launch run.
+        let mut exact = Device::new(DeviceProfile::gtx560().with_parallelism(3));
+        let ea = exact.alloc_f32(MemSpace::Global, &[0.0; 64]);
+        let eb = exact.alloc_f32(MemSpace::Global, &[0.0; 64]);
+        let mut ebufs = [ea, eb];
+        for _ in 0..4 {
+            let [cur, next] = ebufs;
+            exact
+                .launch(
+                    &program,
+                    kid,
+                    Dim2::linear(4),
+                    Dim2::linear(16),
+                    &[cur.into(), next.into()],
+                )
+                .unwrap();
+            ebufs.swap(0, 1);
+        }
+        assert_eq!(exact.image_refresh_skips(), 0);
+        assert_eq!(
+            d.read_f32(bufs[0]).unwrap(),
+            exact.read_f32(ebufs[0]).unwrap()
+        );
+        assert_eq!(
+            d.read_f32(bufs[1]).unwrap(),
+            exact.read_f32(ebufs[1]).unwrap()
+        );
+    }
+
+    #[test]
+    fn overwritten_declaration_is_verified() {
+        // In-place kernel: reads and writes the same buffer, so declaring
+        // it overwritten must be rejected; so must out-of-range and scalar
+        // parameter indices.
+        let mut program = Program::new();
+        let mut kb = KernelBuilder::new("inplace");
+        let buf = kb.buffer("b", Ty::F32, MemSpace::Global);
+        let _n = kb.scalar("n", Ty::I32);
+        let gid = kb.let_("gid", KernelBuilder::global_id_x());
+        let v = kb.let_("v", kb.load(buf, gid.clone()));
+        kb.store(buf, gid, v + Expr::f32(1.0));
+        let kid = program.add_kernel(kb.finish());
+
+        let mut d = Device::new(DeviceProfile::gtx560().with_parallelism(2));
+        let b = d.alloc_f32(MemSpace::Global, &[0.0; 32]);
+        let args = [b.into(), Scalar::I32(32).into()];
+        let shape = (Dim2::linear(1), Dim2::linear(32));
+        for bad in [&[0usize][..], &[1], &[2]] {
+            assert!(matches!(
+                d.launch_overwriting(&program, kid, shape.0, shape.1, &args, bad),
+                Err(LaunchError::ArgMismatch { .. })
+            ));
+        }
+        // An atomic target counts as a read too.
+        let mut program2 = Program::new();
+        let mut kb = KernelBuilder::new("atomic");
+        let out = kb.buffer("out", Ty::I32, MemSpace::Global);
+        kb.atomic(paraprox_ir::AtomicOp::Add, out, Expr::i32(0), Expr::i32(1));
+        let kid2 = program2.add_kernel(kb.finish());
+        let o = d.alloc_i32(MemSpace::Global, &[0; 4]);
+        assert!(matches!(
+            d.launch_overwriting(
+                &program2,
+                kid2,
+                Dim2::linear(1),
+                Dim2::linear(4),
+                &[o.into()],
+                &[0]
+            ),
+            Err(LaunchError::ArgMismatch { .. })
+        ));
+        // A rejected declaration leaves the device usable.
+        d.launch(&program, kid, shape.0, shape.1, &args).unwrap();
     }
 
     #[test]

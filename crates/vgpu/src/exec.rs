@@ -291,6 +291,59 @@ pub(crate) struct Launch<'a> {
     /// Seed of the deterministic flip stream; mixed with the block id so
     /// each block draws an independent, worker-count-invariant stream.
     pub approx_seed: u64,
+    /// Buffer arena indices this launch declares *input-overwritten*: the
+    /// kernel never reads them (verified by
+    /// [`crate::Device::launch_overwriting`]), so their contents at launch
+    /// entry are unobservable and the per-worker image refresh may keep
+    /// whatever bytes the pooled image already holds. Loop-carried
+    /// ping-pong buffers hit this every iteration.
+    pub overwritten: &'a [usize],
+}
+
+/// Counters for the pooled worker-image refresh: how many per-buffer
+/// copies were performed and how many were skipped because the launch
+/// declared the buffer input-overwritten. Atomic because the refresh runs
+/// on the pool's worker threads; the totals are deterministic for a fixed
+/// launch sequence and worker count.
+#[derive(Debug, Default)]
+pub(crate) struct RefreshCounters {
+    pub copies: AtomicU64,
+    pub skips: AtomicU64,
+}
+
+/// Refresh one pooled worker image from the master arena, skipping the
+/// data copy for buffers the launch declared input-overwritten (metadata
+/// is still synchronized so addresses and spaces stay coherent). A skip
+/// is only taken when the pooled buffer already has the right type and
+/// length — the first launch after an arena change always copies.
+fn refresh_image(
+    image: &mut Vec<BufferStorage>,
+    src: &[BufferStorage],
+    overwritten: &[usize],
+    counters: &RefreshCounters,
+) {
+    if image.len() != src.len() {
+        image.clear();
+        image.extend(src.iter().cloned());
+        counters
+            .copies
+            .fetch_add(src.len() as u64, Ordering::Relaxed);
+        return;
+    }
+    let mut copies = 0u64;
+    let mut skips = 0u64;
+    for (i, (dst, s)) in image.iter_mut().zip(src).enumerate() {
+        if overwritten.contains(&i) && dst.ty == s.ty && dst.data.len() == s.data.len() {
+            dst.space = s.space;
+            dst.base_addr = s.base_addr;
+            skips += 1;
+        } else {
+            dst.clone_from(s);
+            copies += 1;
+        }
+    }
+    counters.copies.fetch_add(copies, Ordering::Relaxed);
+    counters.skips.fetch_add(skips, Ordering::Relaxed);
 }
 
 /// Scale an error rate in `[0, 1]` to the `u64` comparison threshold the
@@ -373,6 +426,7 @@ pub(crate) fn run_launch(
     l1: &mut Cache,
     constant_cache: &mut Cache,
     image_pool: &mut Vec<Vec<BufferStorage>>,
+    refresh: &RefreshCounters,
 ) -> Result<LaunchStats, LaunchError> {
     let started = Instant::now();
     let total = launch.grid.count();
@@ -440,7 +494,7 @@ pub(crate) fn run_launch(
                     .enumerate()
                     .map(|(w, image)| {
                         s.spawn(move || {
-                            image.clone_from(buffers_src);
+                            refresh_image(image, buffers_src, launch.overwritten, refresh);
                             let mut worker = Worker {
                                 buffers: image,
                                 log: Vec::new(),

@@ -179,6 +179,7 @@ fn execute_fused_inner(
                         },
                         approx_threshold: exec::approx_threshold(device.approx_rate),
                         approx_seed: device.approx_seed,
+                        overwritten: &[],
                     },
                     l1: caches[p.job].0.clone(),
                     constant_cache: caches[p.job].1.clone(),

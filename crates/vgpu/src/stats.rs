@@ -134,10 +134,13 @@ impl LaunchStats {
     pub fn speedup_vs(&self, baseline: &LaunchStats) -> f64 {
         baseline.total_cycles() as f64 / self.total_cycles().max(1) as f64
     }
-}
 
-impl AddAssign for LaunchStats {
-    fn add_assign(&mut self, rhs: LaunchStats) {
+    /// Fold another launch's counters into this one — the single
+    /// aggregation rule for multi-launch jobs (pipelines, fused batches,
+    /// convergence loops): every simulated counter and every diagnostic
+    /// counter sums, except `workers`, which takes the maximum seen (the
+    /// launches shared one pool; summing would overcount it).
+    pub fn accumulate(&mut self, rhs: &LaunchStats) {
         self.compute_cycles += rhs.compute_cycles;
         self.memory_cycles += rhs.memory_cycles;
         self.overhead_cycles += rhs.overhead_cycles;
@@ -155,14 +158,18 @@ impl AddAssign for LaunchStats {
         self.bank_conflict_extra += rhs.bank_conflict_extra;
         self.warps += rhs.warps;
         self.blocks += rhs.blocks;
-        // Host-side measurements: wall time adds (total CPU work), worker
-        // count takes the maximum seen across the accumulated launches.
         self.wall_nanos += rhs.wall_nanos;
         self.workers = self.workers.max(rhs.workers);
         self.ops_dispatched += rhs.ops_dispatched;
         self.fusions_hit += rhs.fusions_hit;
         self.approx_loads += rhs.approx_loads;
         self.bit_flips += rhs.bit_flips;
+    }
+}
+
+impl AddAssign for LaunchStats {
+    fn add_assign(&mut self, rhs: LaunchStats) {
+        self.accumulate(&rhs);
     }
 }
 
@@ -249,6 +256,42 @@ mod tests {
         assert_eq!(a.fusions_hit, 42);
         assert_eq!(a.approx_loads, 44);
         assert_eq!(a.bit_flips, 46);
+    }
+
+    #[test]
+    fn accumulate_sums_equality_excluded_diagnostics() {
+        // The diagnostic fields that `PartialEq` deliberately ignores must
+        // still aggregate across the launches of a multi-launch job:
+        // everything sums except `workers` (max).
+        let mut total = LaunchStats {
+            wall_nanos: 10,
+            workers: 4,
+            ops_dispatched: 100,
+            fusions_hit: 20,
+            approx_loads: 7,
+            bit_flips: 1,
+            ..Default::default()
+        };
+        let step = LaunchStats {
+            wall_nanos: 5,
+            workers: 2,
+            ops_dispatched: 50,
+            fusions_hit: 3,
+            approx_loads: 9,
+            bit_flips: 4,
+            ..Default::default()
+        };
+        total.accumulate(&step);
+        total.accumulate(&step);
+        assert_eq!(total.wall_nanos, 20);
+        assert_eq!(total.workers, 4); // max, not 8
+        assert_eq!(total.ops_dispatched, 200);
+        assert_eq!(total.fusions_hit, 26);
+        assert_eq!(total.approx_loads, 25);
+        assert_eq!(total.bit_flips, 9);
+        // The two accumulated stats compare equal to the original despite
+        // the diagnostic drift: nothing simulated changed.
+        assert_eq!(total, LaunchStats::default());
     }
 
     #[test]

@@ -56,6 +56,24 @@ echo "==> bench_approxmem --smoke (tolerant auto-placement lint-clean + rate-0 b
 # path regressed.
 (cd target && cargo run --release -p paraprox-bench --bin bench_approxmem -- --smoke)
 
+echo "==> paraprox-cli inspect-schedule smoke (iterative apps: every preset admitted by the gate)"
+# inspect --schedule prints the per-iteration plan and then runs the
+# static-analysis gate under the loop's launch contexts; it exits
+# non-zero on a refusal, so a gating regression on any preset rung of
+# any iterative app fails verification here.
+for app in jacobi sobel; do
+  for sched in exact sampled-check reach-ramp trend-exit aggressive; do
+    cargo run --release -q -p paraprox-cli -- inspect "$app" --schedule "$sched" --scale test >/dev/null
+  done
+done
+
+echo "==> bench_iter --smoke (iterative loops: exact converges + replays bit-identical, best schedule >= 1.3x within TOQ)"
+# bench_iter --smoke exits non-zero when the exact convergence loop hits
+# the iteration cap, when replaying a schedule on the same seed is not
+# bit-identical, or when no approximate schedule reaches 1.3x fewer
+# cycles than the exact loop within the default 90% TOQ.
+(cd target && cargo run --release -p paraprox-bench --bin bench_iter -- --smoke)
+
 echo "==> paraprox-cli serve smoke (drift -> back-off -> re-promotion, both profiles)"
 for dev in gpu cpu; do
   cargo run --release -q -p paraprox-cli -- serve --device "$dev" --scale test \

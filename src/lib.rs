@@ -11,6 +11,7 @@ pub use paraprox;
 pub use paraprox_approx as approx;
 pub use paraprox_apps as apps;
 pub use paraprox_ir as ir;
+pub use paraprox_iter as iter;
 pub use paraprox_lang as lang;
 pub use paraprox_patterns as patterns;
 pub use paraprox_quality as quality;
