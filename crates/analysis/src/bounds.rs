@@ -26,54 +26,7 @@ use paraprox_ir::{BinOp, CmpOp, Expr, Kernel, KernelId, MemRef, Scalar, Special,
 
 use crate::context::LaunchContext;
 use crate::diag::{push_unique, Diagnostic, Severity};
-
-/// Inclusive integer interval; `None` = unknown.
-type Interval = Option<(i64, i64)>;
-
-fn exact(v: i64) -> Interval {
-    Some((v, v))
-}
-
-fn add(a: Interval, b: Interval) -> Interval {
-    let (a, b) = (a?, b?);
-    Some((a.0.saturating_add(b.0), a.1.saturating_add(b.1)))
-}
-
-fn sub(a: Interval, b: Interval) -> Interval {
-    let (a, b) = (a?, b?);
-    Some((a.0.saturating_sub(b.1), a.1.saturating_sub(b.0)))
-}
-
-fn mul(a: Interval, b: Interval) -> Interval {
-    let (a, b) = (a?, b?);
-    let products = [
-        a.0.saturating_mul(b.0),
-        a.0.saturating_mul(b.1),
-        a.1.saturating_mul(b.0),
-        a.1.saturating_mul(b.1),
-    ];
-    // Fold instead of `min()/max().unwrap()`: an empty corner set (can only
-    // happen if the array above ever becomes dynamic, e.g. under a
-    // degenerate launch dim) must degrade to "unknown", not panic.
-    products
-        .iter()
-        .copied()
-        .fold(None, |acc: Option<(i64, i64)>, p| match acc {
-            None => Some((p, p)),
-            Some((lo, hi)) => Some((lo.min(p), hi.max(p))),
-        })
-}
-
-fn union(a: Interval, b: Interval) -> Interval {
-    let (a, b) = (a?, b?);
-    Some((a.0.min(b.0), a.1.max(b.1)))
-}
-
-fn intersect(a: (i64, i64), b: (i64, i64)) -> Option<(i64, i64)> {
-    let lo = a.0.max(b.0);
-    let hi = a.1.min(b.1);
-    (lo <= hi).then_some((lo, hi))
-}
+use crate::interval::{add, exact, meet, mul, shl, sub, union, Interval};
 
 struct Bounds<'a> {
     kernel: &'a Kernel,
@@ -144,8 +97,11 @@ impl Bounds<'_> {
                     }
                     BinOp::Shl => {
                         let (a, b) = (ra?, rb?);
+                        // Saturating shift via the shared domain: a known
+                        // huge operand pins at i64::MAX instead of wrapping
+                        // into a spuriously small (in-bounds) range.
                         (b.0 == b.1 && (0..=31).contains(&b.0) && a.0 >= 0)
-                            .then(|| (a.0 << b.0, a.1 << b.0))
+                            .then(|| shl(a, b.0 as u32))
                     }
                     BinOp::Shr => {
                         let (a, b) = (ra?, rb?);
@@ -238,7 +194,9 @@ impl Bounds<'_> {
             CmpOp::Ne => return,
         };
         let refined = match current {
-            Some(c) => intersect(c, bound),
+            // Empty meet (disjoint guard) means the path is infeasible; we
+            // conservatively keep the current interval rather than refining.
+            Some(c) => meet(c, bound),
             None => (bound.0 != i64::MIN && bound.1 != i64::MAX).then_some(bound),
         };
         if let Some(r) = refined {
@@ -503,4 +461,108 @@ pub fn check_bounds(kernel: &Kernel, id: KernelId, ctx: &LaunchContext, out: &mu
         path: Vec::new(),
     };
     b.walk(&kernel.body, 0, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paraprox_ir::{KernelBuilder, MemSpace, Program};
+
+    /// Render every bounds finding for a 1×1-grid, 32×1-block launch over
+    /// 32-element buffers, as the exact `Display` lines users see.
+    fn golden(build: impl FnOnce(&mut KernelBuilder)) -> Vec<String> {
+        let mut program = Program::new();
+        let mut kb = KernelBuilder::new("golden");
+        build(&mut kb);
+        let kid = program.add_kernel(kb.finish());
+        let k = program.kernel(kid);
+        let mut ctx = LaunchContext::with_dims((1, 1), (32, 1));
+        for _ in &k.params {
+            ctx.buffer_len.push(Some(32));
+            ctx.scalar.push(None);
+        }
+        let mut out = Vec::new();
+        check_bounds(k, kid, &ctx, &mut out);
+        out.iter().map(|d| d.to_string()).collect()
+    }
+
+    /// The migration onto the shared `interval` domain must not move a
+    /// single byte of the rendered diagnostics: the definite-error and
+    /// may-exceed messages are pinned here verbatim.
+    #[test]
+    fn rendered_diagnostics_are_byte_stable() {
+        let definite = golden(|kb| {
+            let out = kb.buffer("out", Ty::I32, MemSpace::Global);
+            let gid = kb.let_("gid", KernelBuilder::global_id_x());
+            kb.store(out, gid + Expr::i32(32), Expr::i32(1));
+        });
+        assert_eq!(
+            definite,
+            vec![
+                "error[oob]: golden @ stmt 1: index range [32, 63] of buffer `out` \
+                 lies entirely outside its extent 32"
+                    .to_string()
+            ]
+        );
+
+        let partial = golden(|kb| {
+            let out = kb.buffer("out", Ty::I32, MemSpace::Global);
+            let gid = kb.let_("gid", KernelBuilder::global_id_x());
+            kb.store(out, gid + Expr::i32(1), Expr::i32(1));
+        });
+        assert_eq!(
+            partial,
+            vec![
+                "warning[oob]: golden @ stmt 1: index range [1, 32] of buffer `out` \
+                 may exceed its extent 32"
+                    .to_string()
+            ]
+        );
+    }
+
+    /// A shift whose result exceeds `i64` must pin at `i64::MAX` (the
+    /// shared domain saturates) rather than wrapping into a spuriously
+    /// small, silently in-bounds range — and the saturated bound itself
+    /// is part of the pinned message.
+    #[test]
+    fn saturating_shift_renders_the_pinned_maximum() {
+        let diags = golden(|kb| {
+            let out = kb.buffer("out", Ty::I32, MemSpace::Global);
+            let gid = kb.let_("gid", KernelBuilder::global_id_x());
+            let x = kb.let_("x", gid * Expr::i32(2_000_000_000));
+            let idx = Expr::Binary(BinOp::Shl, Box::new(x), Box::new(Expr::i32(31)));
+            kb.store(out, idx, Expr::i32(1));
+        });
+        assert_eq!(
+            diags,
+            vec![
+                "warning[oob]: golden @ stmt 2: index range [0, 9223372036854775807] \
+                 of buffer `out` may exceed its extent 32"
+                    .to_string()
+            ]
+        );
+    }
+
+    /// An infeasible guard (`gid < 0` for a non-negative `gid`) used to
+    /// produce an empty meet; the refinement now conservatively keeps the
+    /// current interval, so the guarded access still reports against the
+    /// unrefined range — pinned here including the negative lower bound.
+    #[test]
+    fn infeasible_guard_keeps_the_outer_interval() {
+        let diags = golden(|kb| {
+            let out = kb.buffer("out", Ty::I32, MemSpace::Global);
+            let gid = kb.let_("gid", KernelBuilder::global_id_x());
+            kb.if_(gid.clone().lt(Expr::i32(0)), |kb| {
+                kb.store(out, gid.clone() - Expr::i32(1), Expr::i32(1));
+            });
+        });
+        assert_eq!(
+            diags,
+            vec![
+                "warning[oob]: golden @ stmt 1.0: index range [-1, 30] of buffer \
+                 `out` may exceed its extent 32"
+                    .to_string()
+            ]
+        );
+    }
 }

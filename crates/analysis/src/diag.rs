@@ -98,6 +98,18 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// Every lint code that can be emitted at [`Severity::Error`].
+///
+/// This is the registry `scripts/check_lint_fixtures.sh` reads: each code
+/// listed here must have a `// lint-fixture: <code> positive` and a
+/// `// lint-fixture: <code> negative` marker in
+/// `crates/analysis/tests/lints.rs`, or verify.sh fails the build. Keep
+/// it in sync with the `Severity::Error` emission sites — a new
+/// error-severity lint that is not listed here ships untested.
+pub fn error_lint_codes() -> &'static [&'static str] {
+    &["race", "oob", "approx-placement", "errorprop"]
+}
+
 /// Push `diag` unless an equal finding is already present.
 pub(crate) fn push_unique(out: &mut Vec<Diagnostic>, diag: Diagnostic) {
     if !out.contains(&diag) {

@@ -1,0 +1,312 @@
+//! The shared abstract-value domains of the analysis suite.
+//!
+//! Two lattices live here:
+//!
+//! - [`Interval`], the inclusive *integer* interval domain the bounds
+//!   lint evaluates index expressions over. `None` is ⊤ (unknown); every
+//!   arithmetic helper saturates at the `i64` rim so a huge-but-known
+//!   range never wraps into a spuriously *small* one (wrapping would be
+//!   unsound: a wrapped upper bound can certify an out-of-bounds access
+//!   as in-bounds). The meet of two disjoint intervals is *empty* —
+//!   [`meet`] makes that case explicit instead of every caller
+//!   re-deriving it.
+//! - [`VRange`], the *floating-point* value range the error-propagation
+//!   analysis pairs with an absolute-error bound. ⊤ is `(-∞, +∞)`;
+//!   arithmetic is outward-rounding in spirit (IEEE corner evaluation
+//!   with NaN collapsing to ⊤), which keeps every operation sound for
+//!   range containment.
+//!
+//! Both domains order by containment: `a ⊑ b` iff `a`'s concretization
+//! is a subset of `b`'s. Join is interval hull ([`union`] /
+//! [`VRange::join`]); the integer meet is intersection-or-empty.
+
+/// Inclusive integer interval; `None` = unknown (⊤).
+pub type Interval = Option<(i64, i64)>;
+
+/// The singleton interval `[v, v]`.
+pub fn exact(v: i64) -> Interval {
+    Some((v, v))
+}
+
+/// Saturating interval addition.
+pub fn add(a: Interval, b: Interval) -> Interval {
+    let (a, b) = (a?, b?);
+    Some((a.0.saturating_add(b.0), a.1.saturating_add(b.1)))
+}
+
+/// Saturating interval subtraction.
+pub fn sub(a: Interval, b: Interval) -> Interval {
+    let (a, b) = (a?, b?);
+    Some((a.0.saturating_sub(b.1), a.1.saturating_sub(b.0)))
+}
+
+/// Saturating interval multiplication (corner evaluation).
+pub fn mul(a: Interval, b: Interval) -> Interval {
+    let (a, b) = (a?, b?);
+    let products = [
+        a.0.saturating_mul(b.0),
+        a.0.saturating_mul(b.1),
+        a.1.saturating_mul(b.0),
+        a.1.saturating_mul(b.1),
+    ];
+    // Fold instead of `min()/max().unwrap()`: an empty corner set (can only
+    // happen if the array above ever becomes dynamic, e.g. under a
+    // degenerate launch dim) must degrade to "unknown", not panic.
+    products
+        .iter()
+        .copied()
+        .fold(None, |acc: Option<(i64, i64)>, p| match acc {
+            None => Some((p, p)),
+            Some((lo, hi)) => Some((lo.min(p), hi.max(p))),
+        })
+}
+
+/// Join (interval hull); unknown absorbs.
+pub fn union(a: Interval, b: Interval) -> Interval {
+    let (a, b) = (a?, b?);
+    Some((a.0.min(b.0), a.1.max(b.1)))
+}
+
+/// Meet of two *known* intervals: their intersection, or `None` when they
+/// are disjoint (the empty interval ⊥ — the guarded path is infeasible).
+/// Callers must treat the empty meet as "no refinement possible", never
+/// as ⊤: conflating ⊥ with unknown silently widens an infeasible path
+/// back into the analysis.
+pub fn meet(a: (i64, i64), b: (i64, i64)) -> Option<(i64, i64)> {
+    let lo = a.0.max(b.0);
+    let hi = a.1.min(b.1);
+    (lo <= hi).then_some((lo, hi))
+}
+
+/// Saturating left shift of a single non-negative value: shifting any bit
+/// past the sign position pins the result to `i64::MAX` instead of
+/// wrapping negative (the overflow-saturation fix the shared domain
+/// makes uniform — `<<` on `i64` silently discards overflowed bits).
+pub fn shl_sat(v: i64, s: u32) -> i64 {
+    debug_assert!(v >= 0, "shl_sat is defined for non-negative values");
+    if v == 0 {
+        return 0;
+    }
+    if s >= 63 || v > (i64::MAX >> s) {
+        i64::MAX
+    } else {
+        v << s
+    }
+}
+
+/// Saturating interval left-shift by a known non-negative amount, for
+/// non-negative intervals.
+pub fn shl(a: (i64, i64), s: u32) -> (i64, i64) {
+    (shl_sat(a.0, s), shl_sat(a.1, s))
+}
+
+/// A closed floating-point range `[lo, hi]`; ⊤ is `(-∞, +∞)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VRange {
+    /// Lower bound (may be `-∞`).
+    pub lo: f64,
+    /// Upper bound (may be `+∞`).
+    pub hi: f64,
+}
+
+impl VRange {
+    /// The unknown range (⊤).
+    pub fn top() -> VRange {
+        VRange {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+        }
+    }
+
+    /// The singleton range `[v, v]` (⊤ for non-finite `v`).
+    pub fn exact(v: f64) -> VRange {
+        if v.is_finite() {
+            VRange { lo: v, hi: v }
+        } else {
+            VRange::top()
+        }
+    }
+
+    /// A range from explicit bounds, normalized: NaN ⇒ ⊤, inverted
+    /// bounds reordered.
+    pub fn new(lo: f64, hi: f64) -> VRange {
+        if lo.is_nan() || hi.is_nan() {
+            return VRange::top();
+        }
+        VRange {
+            lo: lo.min(hi),
+            hi: lo.max(hi),
+        }
+    }
+
+    /// Whether both bounds are finite.
+    pub fn is_finite(&self) -> bool {
+        self.lo.is_finite() && self.hi.is_finite()
+    }
+
+    /// Join: the hull of both ranges.
+    pub fn join(self, other: VRange) -> VRange {
+        VRange {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Width `hi - lo` (∞ for unbounded ranges).
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Largest absolute magnitude in the range (∞ for unbounded).
+    pub fn max_abs(&self) -> f64 {
+        self.lo.abs().max(self.hi.abs())
+    }
+
+    /// Smallest absolute magnitude in the range (0 when it straddles 0).
+    pub fn min_abs(&self) -> f64 {
+        if self.lo <= 0.0 && self.hi >= 0.0 {
+            0.0
+        } else {
+            self.lo.abs().min(self.hi.abs())
+        }
+    }
+
+    /// The range dilated by an absolute error `e` on both sides.
+    pub fn dilate(self, e: f64) -> VRange {
+        if e == 0.0 {
+            return self;
+        }
+        VRange::new(self.lo - e, self.hi + e)
+    }
+
+    fn corners(a: VRange, b: VRange, f: impl Fn(f64, f64) -> f64) -> VRange {
+        let cs = [f(a.lo, b.lo), f(a.lo, b.hi), f(a.hi, b.lo), f(a.hi, b.hi)];
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for c in cs {
+            if c.is_nan() {
+                return VRange::top();
+            }
+            lo = lo.min(c);
+            hi = hi.max(c);
+        }
+        VRange { lo, hi }
+    }
+
+    /// Elementwise minimum.
+    pub fn min_r(self, b: VRange) -> VRange {
+        VRange::new(self.lo.min(b.lo), self.hi.min(b.hi))
+    }
+
+    /// Elementwise maximum.
+    pub fn max_r(self, b: VRange) -> VRange {
+        VRange::new(self.lo.max(b.lo), self.hi.max(b.hi))
+    }
+}
+
+/// Range addition.
+impl std::ops::Add for VRange {
+    type Output = VRange;
+    fn add(self, b: VRange) -> VRange {
+        VRange::new(self.lo + b.lo, self.hi + b.hi)
+    }
+}
+
+/// Range subtraction.
+impl std::ops::Sub for VRange {
+    type Output = VRange;
+    fn sub(self, b: VRange) -> VRange {
+        VRange::new(self.lo - b.hi, self.hi - b.lo)
+    }
+}
+
+/// Range multiplication (corner evaluation; `0 × ∞` collapses to ⊤).
+impl std::ops::Mul for VRange {
+    type Output = VRange;
+    fn mul(self, b: VRange) -> VRange {
+        VRange::corners(self, b, |x, y| x * y)
+    }
+}
+
+/// Range division; ⊤ whenever the divisor range can touch 0.
+impl std::ops::Div for VRange {
+    type Output = VRange;
+    fn div(self, b: VRange) -> VRange {
+        if b.lo <= 0.0 && b.hi >= 0.0 {
+            return VRange::top();
+        }
+        VRange::corners(self, b, |x, y| x / y)
+    }
+}
+
+/// Negation.
+impl std::ops::Neg for VRange {
+    type Output = VRange;
+    fn neg(self) -> VRange {
+        VRange::new(-self.hi, -self.lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shl_saturates_instead_of_wrapping() {
+        // `(1 << 62) << 1` wraps negative under plain `<<`; the shared
+        // domain must pin it at the rim so a huge known index can never
+        // masquerade as a small (in-bounds) one.
+        assert_eq!(shl_sat(1 << 62, 1), i64::MAX);
+        assert_eq!(shl_sat(1, 62), 1 << 62);
+        assert_eq!(shl_sat(1, 63), i64::MAX);
+        assert_eq!(shl_sat(0, 63), 0);
+        assert_eq!(shl_sat(3, 2), 12);
+        assert_eq!(shl((0, i64::MAX / 2 + 1), 1), (0, i64::MAX));
+    }
+
+    #[test]
+    fn meet_of_disjoint_intervals_is_empty() {
+        assert_eq!(meet((0, 3), (5, 9)), None);
+        assert_eq!(meet((0, 5), (5, 9)), Some((5, 5)));
+        assert_eq!(meet((0, 10), (2, 4)), Some((2, 4)));
+    }
+
+    #[test]
+    fn saturating_arith_never_wraps() {
+        assert_eq!(add(exact(i64::MAX), exact(1)), Some((i64::MAX, i64::MAX)));
+        assert_eq!(sub(exact(i64::MIN), exact(1)), Some((i64::MIN, i64::MIN)));
+        assert_eq!(
+            mul(exact(i64::MAX / 2 + 1), exact(2)),
+            Some((i64::MAX, i64::MAX))
+        );
+        assert_eq!(add(None, exact(1)), None);
+        assert_eq!(union(exact(1), exact(5)), Some((1, 5)));
+    }
+
+    #[test]
+    fn vrange_basics() {
+        let r = VRange::new(-2.0, 3.0);
+        assert_eq!(r.width(), 5.0);
+        assert_eq!(r.max_abs(), 3.0);
+        assert_eq!(r.min_abs(), 0.0);
+        assert_eq!(VRange::new(2.0, 3.0).min_abs(), 2.0);
+        assert_eq!(VRange::new(-3.0, -2.0).min_abs(), 2.0);
+        assert!(VRange::top() == VRange::exact(f64::NAN));
+        // Inverted bounds normalize.
+        assert_eq!(VRange::new(3.0, -2.0), r.join(VRange::exact(0.0)));
+    }
+
+    #[test]
+    fn vrange_arith_is_containing() {
+        let a = VRange::new(1.0, 2.0);
+        let b = VRange::new(-1.0, 3.0);
+        let m = a * b;
+        assert!(m.lo <= -2.0 && m.hi >= 6.0);
+        // Division by a zero-straddling range is unknown.
+        assert_eq!(a / b, VRange::top());
+        assert_eq!(a / VRange::new(2.0, 4.0), VRange::new(0.25, 1.0));
+        assert_eq!(a.dilate(0.5), VRange::new(0.5, 2.5));
+        // 0 × ∞ collapses to ⊤ rather than NaN.
+        assert_eq!(VRange::exact(0.0) * VRange::top(), VRange::top());
+    }
+}

@@ -37,15 +37,19 @@ mod context;
 pub mod dataflow;
 mod diag;
 pub mod effects;
+pub mod errorprop;
+pub mod interval;
 pub mod partition;
 pub mod race;
 
 pub use context::LaunchContext;
-pub use diag::{Diagnostic, Severity};
+pub use diag::{error_lint_codes, Diagnostic, Severity};
 pub use effects::{
     infer_expr_ty, summarize_func, summarize_kernel, summarize_stmts, EffectSummary, TyScope,
     TypeError,
 };
+pub use errorprop::{propagate, propagate_kernel, ErrMag, Injection, LaunchModel, SlotState};
+pub use interval::VRange;
 pub use partition::{
     check_placements, partition_kernel, partition_program, BufferVerdict, Criticality,
     KernelPartition,

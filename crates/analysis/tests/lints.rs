@@ -2,8 +2,11 @@
 //! minimally-different twin that does not. These pin down both directions
 //! of each check — the bug is caught, and the idiomatic fix is accepted.
 
-use paraprox_analysis::{analyze_kernel, check_races, LaunchContext, Severity};
-use paraprox_ir::{Expr, Kernel, KernelBuilder, MemSpace, Program, Ty, VarId};
+use paraprox_analysis::{
+    analyze_kernel, check_placements, check_races, propagate_kernel, ErrMag, Injection,
+    LaunchContext, Severity,
+};
+use paraprox_ir::{Expr, Kernel, KernelBuilder, MemRef, MemSpace, Program, Ty, VarId};
 
 /// A 1×1-grid, 32×1-block launch with one 32-element buffer per kernel
 /// param (enough for every fixture here).
@@ -50,6 +53,7 @@ fn reversal(kb: &mut KernelBuilder, with_sync: bool) {
     kb.store(out, gid, kb.load(s, Expr::i32(31) - tx));
 }
 
+// lint-fixture: race positive
 #[test]
 fn missing_barrier_race_is_an_error_with_a_witness() {
     let diags = analyze(|kb| reversal(kb, false));
@@ -65,6 +69,7 @@ fn missing_barrier_race_is_an_error_with_a_witness() {
     );
 }
 
+// lint-fixture: race negative
 #[test]
 fn barrier_separated_reversal_is_clean() {
     let diags = analyze(|kb| reversal(kb, true));
@@ -158,6 +163,7 @@ fn divergent_barrier_is_flagged_even_without_a_launch() {
 // Bounds lint
 // ---------------------------------------------------------------------------
 
+// lint-fixture: oob positive
 #[test]
 fn off_by_one_store_past_the_buffer_is_flagged() {
     // gid ranges over [0, 31]; gid + 1 reaches 32 — one past the end.
@@ -173,6 +179,7 @@ fn off_by_one_store_past_the_buffer_is_flagged() {
     );
 }
 
+// lint-fixture: oob negative
 #[test]
 fn guarded_negative_offset_is_accepted() {
     // `s[tx - 1]` alone would reach index -1, but the enclosing
@@ -395,5 +402,122 @@ fn degenerate_launch_dim_is_a_warning_not_a_panic() {
         diags.iter().all(|d| d.code != "launch"),
         "unexpected: {:?}",
         codes(&diags)
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Approximate-placement refusals
+// ---------------------------------------------------------------------------
+
+/// A gather kernel: `idx` feeds load addresses (Critical), `src` feeds
+/// only stored data (Tolerant). The same program backs both directions
+/// of the placement lint.
+fn gather_program() -> (Program, paraprox_ir::KernelId) {
+    let mut program = Program::new();
+    let mut kb = KernelBuilder::new("gather");
+    let idx = kb.buffer("idx", Ty::I32, MemSpace::Global);
+    let src = kb.buffer("src", Ty::F32, MemSpace::Global);
+    let out = kb.buffer("out", Ty::F32, MemSpace::Global);
+    let gid = kb.let_("gid", KernelBuilder::global_id_x());
+    let j = kb.let_("j", kb.load(idx, gid.clone()));
+    kb.store(out, gid, kb.load(src, j));
+    let kid = program.add_kernel(kb.finish());
+    (program, kid)
+}
+
+// lint-fixture: approx-placement positive
+#[test]
+fn placing_an_index_buffer_in_approx_memory_is_refused() {
+    let (program, kid) = gather_program();
+    let mut diags = Vec::new();
+    check_placements(&program, &[(kid, 0)], &mut diags);
+    let d = diags
+        .iter()
+        .find(|d| d.code == "approx-placement")
+        .expect("placing the index buffer must be refused");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(
+        d.message.contains("Critical"),
+        "refusal should cite the criticality witness: {}",
+        d.message
+    );
+}
+
+// lint-fixture: approx-placement negative
+#[test]
+fn placing_a_data_only_buffer_in_approx_memory_is_accepted() {
+    // Twin placement on the same kernel: `src` (param 1) feeds stored
+    // data only, so the partition calls it Tolerant and the plan passes.
+    let (program, kid) = gather_program();
+    let mut diags = Vec::new();
+    check_placements(&program, &[(kid, 1)], &mut diags);
+    assert!(diags.is_empty(), "unexpected: {:?}", codes(&diags));
+}
+
+// ---------------------------------------------------------------------------
+// Error-propagation refusals
+// ---------------------------------------------------------------------------
+
+/// A kernel whose loaded value is used either as a store *address*
+/// (scatter) or as plain stored *data* (copy); error injected on the
+/// load must be refused in the first shape and bounded in the second.
+fn value_use_program(as_address: bool) -> (Program, paraprox_ir::KernelId) {
+    let mut program = Program::new();
+    let mut kb = KernelBuilder::new(if as_address { "scatter" } else { "copy" });
+    let input = kb.buffer("in", Ty::I32, MemSpace::Global);
+    let out = kb.buffer("out", Ty::I32, MemSpace::Global);
+    let tx = kb.let_("tx", KernelBuilder::thread_id_x());
+    let v = kb.let_("v", kb.load(input, tx.clone()));
+    if as_address {
+        kb.store(out, v, Expr::i32(1));
+    } else {
+        kb.store(out, tx, v);
+    }
+    let kid = program.add_kernel(kb.finish());
+    (program, kid)
+}
+
+// lint-fixture: errorprop positive
+#[test]
+fn injected_error_reaching_a_store_address_is_refused() {
+    let (program, kid) = value_use_program(true);
+    let ctx = ctx_for(program.kernel(kid));
+    let injections = [Injection::Load {
+        kernel: kid,
+        mem: MemRef::Param(0),
+        mag: ErrMag::Abs(1.0),
+    }];
+    let (_, diags) = propagate_kernel(&program, kid, &ctx, &[None, None], &injections);
+    let d = diags
+        .iter()
+        .find(|d| d.code == "errorprop" && d.severity == Severity::Error)
+        .expect("error used as a store address must be a refusal");
+    assert!(
+        d.message.contains("address") || d.message.contains("index"),
+        "refusal should name the Critical sink: {}",
+        d.message
+    );
+}
+
+// lint-fixture: errorprop negative
+#[test]
+fn injected_error_flowing_to_stored_data_is_bounded_not_refused() {
+    let (program, kid) = value_use_program(false);
+    let ctx = ctx_for(program.kernel(kid));
+    let injections = [Injection::Load {
+        kernel: kid,
+        mem: MemRef::Param(0),
+        mag: ErrMag::Abs(1.0),
+    }];
+    let (post, diags) = propagate_kernel(&program, kid, &ctx, &[None, None], &injections);
+    assert!(
+        diags.iter().all(|d| d.severity != Severity::Error),
+        "data-only flow must not be refused: {:?}",
+        codes(&diags)
+    );
+    let out_err = post[1].err;
+    assert!(
+        out_err.is_finite() && out_err > 0.0,
+        "output buffer should carry the finite injected bound, got {out_err}"
     );
 }

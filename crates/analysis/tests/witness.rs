@@ -1,0 +1,201 @@
+//! Witness-chain contract tests for the criticality partition.
+//!
+//! Every Critical verdict carries a witness chain explaining *why* the
+//! buffer must stay exact. Downstream consumers — the `analyze --json`
+//! schema, the serving engine's per-worker re-partitioning, and the
+//! error-propagation refusal messages — compare these chains textually,
+//! so two properties are load-bearing:
+//!
+//! * **minimal** — exactly one entry per memory-mediated hop between the
+//!   buffer and its sink, with the direct sink reached in a single
+//!   entry; and
+//! * **stable** — byte-identical chains no matter which program the
+//!   kernel is embedded in, what unrelated kernels surround it (each
+//!   serving worker partitions its own copy of the program), or what
+//!   unrelated work rides along in the kernel body.
+
+use std::collections::BTreeMap;
+
+use paraprox_analysis::{partition_kernel, Criticality};
+use paraprox_ir::{Expr, KernelBuilder, MemSpace, Program, Ty};
+
+/// How the fixture kernel is embedded when partitioned.
+#[derive(Clone, Copy, Debug)]
+enum Perm {
+    /// The kernel is the only one in its program.
+    Alone,
+    /// Unrelated kernels are registered before and after it — the shape
+    /// each serving worker sees when tenants share one program.
+    AmongOtherKernels,
+    /// Unrelated trailing statements ride along inside the kernel body.
+    WithTrailingDecoys,
+}
+
+const PERMS: [Perm; 3] = [
+    Perm::Alone,
+    Perm::AmongOtherKernels,
+    Perm::WithTrailingDecoys,
+];
+
+fn unrelated_kernel(name: &str) -> paraprox_ir::Kernel {
+    let mut kb = KernelBuilder::new(name);
+    let a = kb.buffer("a", Ty::F32, MemSpace::Global);
+    let b = kb.buffer("b", Ty::F32, MemSpace::Global);
+    let gid = kb.let_("gid", KernelBuilder::global_id_x());
+    kb.store(b, gid.clone(), kb.load(a, gid));
+    kb.finish()
+}
+
+/// Independent copy between two decoy buffers, appended after the real
+/// body so it shifts no statement path the witnesses mention.
+fn trailing_decoys(kb: &mut KernelBuilder) {
+    let din = kb.buffer("decoy_in", Ty::F32, MemSpace::Global);
+    let dout = kb.buffer("decoy_out", Ty::F32, MemSpace::Global);
+    let gid = kb.let_("decoy_gid", KernelBuilder::global_id_x());
+    kb.store(dout, gid.clone(), kb.load(din, gid));
+}
+
+/// Partition the fixture under one embedding and collect each non-decoy
+/// buffer's verdict and full witness chain, keyed by buffer name.
+fn partition_with(
+    perm: Perm,
+    build: &dyn Fn(&mut KernelBuilder),
+) -> BTreeMap<String, (Criticality, Vec<String>)> {
+    let mut program = Program::new();
+    if matches!(perm, Perm::AmongOtherKernels) {
+        program.add_kernel(unrelated_kernel("warmup"));
+        program.add_kernel(unrelated_kernel("prefetch"));
+    }
+    let mut kb = KernelBuilder::new("fixture");
+    build(&mut kb);
+    if matches!(perm, Perm::WithTrailingDecoys) {
+        trailing_decoys(&mut kb);
+    }
+    let kid = program.add_kernel(kb.finish());
+    if matches!(perm, Perm::AmongOtherKernels) {
+        program.add_kernel(unrelated_kernel("drain"));
+    }
+    let part = partition_kernel(&program, kid);
+    part.verdicts
+        .iter()
+        .filter(|v| !v.name.starts_with("decoy_"))
+        .map(|v| (v.name.clone(), (v.criticality, v.witness.clone())))
+        .collect()
+}
+
+/// Assert the fixture's verdicts and witness chains are byte-identical
+/// under every embedding (and across repeated runs), then hand the
+/// canonical map back for per-fixture minimality assertions.
+fn stable_chains(
+    build: &dyn Fn(&mut KernelBuilder),
+) -> BTreeMap<String, (Criticality, Vec<String>)> {
+    let base = partition_with(Perm::Alone, build);
+    assert_eq!(
+        partition_with(Perm::Alone, build),
+        base,
+        "repeated partitioning must be deterministic"
+    );
+    for perm in PERMS {
+        assert_eq!(
+            partition_with(perm, build),
+            base,
+            "witness chains drifted under {perm:?}"
+        );
+    }
+    base
+}
+
+fn chain<'m>(map: &'m BTreeMap<String, (Criticality, Vec<String>)>, name: &str) -> &'m [String] {
+    let (c, w) = &map[name];
+    assert_eq!(*c, Criticality::Critical, "`{name}` should be Critical");
+    w
+}
+
+/// Fixture 1 — gather: `idx` feeds a load address directly. The witness
+/// must be a single entry naming the sink; no intermediate hops exist,
+/// so none may be reported.
+#[test]
+fn direct_index_witness_is_one_minimal_entry() {
+    let build = |kb: &mut KernelBuilder| {
+        let idx = kb.buffer("idx", Ty::I32, MemSpace::Global);
+        let src = kb.buffer("src", Ty::F32, MemSpace::Global);
+        let dst = kb.buffer("dst", Ty::F32, MemSpace::Global);
+        let gid = kb.let_("gid", KernelBuilder::global_id_x());
+        let i = kb.let_("i", kb.load(idx, gid.clone()));
+        let v = kb.let_("v", kb.load(src, i));
+        kb.store(dst, gid, v);
+    };
+    let map = stable_chains(&build);
+    let w = chain(&map, "idx");
+    assert_eq!(w.len(), 1, "direct sink needs exactly one hop: {w:?}");
+    assert!(w[0].contains("index of a load from `src`"), "{w:?}");
+    assert_eq!(map["src"].0, Criticality::Tolerant);
+    assert_eq!(map["dst"].0, Criticality::Tolerant);
+}
+
+/// Fixture 2 — staged gather: `src` flows through `stage` before
+/// indexing `lut`. `stage` sits one hop from the sink, `src` exactly
+/// two — the memory-mediated closure must prepend precisely one edge.
+#[test]
+fn staged_index_witness_is_two_minimal_hops() {
+    let build = |kb: &mut KernelBuilder| {
+        let src = kb.buffer("src", Ty::I32, MemSpace::Global);
+        let stage = kb.buffer("stage", Ty::I32, MemSpace::Global);
+        let lut = kb.buffer("lut", Ty::F32, MemSpace::Global);
+        let dst = kb.buffer("dst", Ty::F32, MemSpace::Global);
+        let gid = kb.let_("gid", KernelBuilder::global_id_x());
+        let v = kb.let_("v", kb.load(src, gid.clone()));
+        kb.store(stage, gid.clone(), v);
+        let i = kb.let_("i", kb.load(stage, gid.clone()));
+        let w = kb.let_("w", kb.load(lut, i));
+        kb.store(dst, gid, w);
+    };
+    let map = stable_chains(&build);
+    let stage_w = chain(&map, "stage");
+    assert_eq!(
+        stage_w.len(),
+        1,
+        "stage is one hop from the sink: {stage_w:?}"
+    );
+    let src_w = chain(&map, "src");
+    assert_eq!(src_w.len(), 2, "src is exactly two hops away: {src_w:?}");
+    assert!(src_w[0].contains("stored into `stage`"), "{src_w:?}");
+    assert_eq!(
+        src_w[1], stage_w[0],
+        "src's tail must be stage's own chain, unchanged"
+    );
+    assert_eq!(map["lut"].0, Criticality::Tolerant);
+}
+
+/// Fixture 3 — control flow: `pred` guards a branch and `counts` bounds
+/// a loop. Each is a direct sink with its own single-entry witness, and
+/// neither chain may leak into the other's.
+#[test]
+fn branch_and_loop_bound_witnesses_stay_separate_and_minimal() {
+    let build = |kb: &mut KernelBuilder| {
+        let pred = kb.buffer("pred", Ty::Bool, MemSpace::Global);
+        let counts = kb.buffer("counts", Ty::I32, MemSpace::Global);
+        let dst = kb.buffer("dst", Ty::F32, MemSpace::Global);
+        let gid = kb.let_("gid", KernelBuilder::global_id_x());
+        let c = kb.let_("c", kb.load(pred, gid.clone()));
+        let n = kb.let_("n", kb.load(counts, gid.clone()));
+        kb.if_(c, |kb| {
+            kb.store(dst, gid.clone(), Expr::f32(1.0));
+        });
+        kb.for_up("j", Expr::i32(0), n, Expr::i32(1), |kb, _j| {
+            kb.store(dst, gid.clone(), Expr::f32(2.0));
+        });
+    };
+    let map = stable_chains(&build);
+    let pred_w = chain(&map, "pred");
+    assert_eq!(pred_w.len(), 1, "{pred_w:?}");
+    assert!(pred_w[0].contains("branch"), "{pred_w:?}");
+    let counts_w = chain(&map, "counts");
+    assert_eq!(counts_w.len(), 1, "{counts_w:?}");
+    assert!(counts_w[0].contains("loop"), "{counts_w:?}");
+    assert!(
+        !pred_w[0].contains("loop") && !counts_w[0].contains("branch"),
+        "chains must not cross: {pred_w:?} vs {counts_w:?}"
+    );
+    assert_eq!(map["dst"].0, Criticality::Tolerant);
+}

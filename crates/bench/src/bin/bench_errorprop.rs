@@ -1,0 +1,277 @@
+//! Static error-propagation validation: for every application and every
+//! auto-generated rung, the *measured* output error must never exceed the
+//! static bound computed by `paraprox_analysis::errorprop` — and the
+//! static table must actually pay for itself by pruning calibration
+//! launches in the tuner.
+//!
+//! ```sh
+//! cargo run --release -p paraprox-bench --bin bench_errorprop            # full
+//! cargo run --release -p paraprox-bench --bin bench_errorprop -- --smoke # gate
+//! ```
+//!
+//! Three checks, each a benchmark failure:
+//!
+//! * **Soundness.** For every rung the static analysis did not refuse,
+//!   `metric.error(exact, rung)` ≤ `StaticQuality::error_bound` on every
+//!   measured seed. Refused rungs claim no bound and are exempt.
+//! * **Usefulness.** Across the registry, at least one app prunes at
+//!   least one rung (`TuneReport::calibration_launches_saved > 0`
+//!   somewhere) — otherwise the static table is dead weight.
+//! * **No lost deployments.** Whenever the dynamic tuner (no static
+//!   table) finds a qualifying rung, the statically-pruned tune must
+//!   also find one — pruning may cost some speedup (a mispredicted rung
+//!   goes unmeasured), but must never push a tunable app back to exact.
+//!
+//! Prunes that disagree with the dynamic tuner's own choice are reported
+//! per app as `false_prunes` (a speedup cost, not a quality bug — the
+//! design intentionally trades mispredictions for calibration savings).
+//!
+//! Also reports, per app, the Spearman rank correlation between the
+//! static `predicted_quality` and the measured mean quality over the
+//! app's rungs — the signal that makes the predicted-quality ladder
+//! ordering better than speedup order alone.
+//!
+//! Writes `BENCH_errorprop.json` into the current directory.
+
+use paraprox::{CompileOptions, Device, DeviceApp, DeviceProfile};
+use paraprox_apps::{registry, Scale};
+use paraprox_bench::compile_app;
+use paraprox_runtime::{Approximable, Tuner};
+
+/// Approximate-memory rungs appended after the rewrite variants: a
+/// DRAM-refresh-plausible rate (kept) and an aggressive one the static
+/// table should prune.
+const APPROX_RATES: [f64; 2] = [1e-7, 1e-2];
+
+/// Slack for float accumulation in the metric itself.
+const SOUNDNESS_EPS: f64 = 1e-9;
+
+/// Spearman rank correlation (average ranks for ties); `None` when either
+/// side is constant or fewer than two points exist.
+fn spearman(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let rank = |v: &[f64]| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&i, &j| v[i].partial_cmp(&v[j]).unwrap_or(std::cmp::Ordering::Equal));
+        let mut ranks = vec![0.0; v.len()];
+        let mut i = 0;
+        while i < idx.len() {
+            let mut j = i;
+            while j + 1 < idx.len() && v[idx[j + 1]] == v[idx[i]] {
+                j += 1;
+            }
+            let avg = (i + j) as f64 / 2.0 + 1.0;
+            for &k in &idx[i..=j] {
+                ranks[k] = avg;
+            }
+            i = j + 1;
+        }
+        ranks
+    };
+    let (ra, rb) = (rank(a), rank(b));
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (ma, mb) = (mean(&ra), mean(&rb));
+    let cov: f64 = ra.iter().zip(&rb).map(|(x, y)| (x - ma) * (y - mb)).sum();
+    let (va, vb): (f64, f64) = (
+        ra.iter().map(|x| (x - ma) * (x - ma)).sum(),
+        rb.iter().map(|y| (y - mb) * (y - mb)).sum(),
+    );
+    if va == 0.0 || vb == 0.0 {
+        return None;
+    }
+    Some(cov / (va * vb).sqrt())
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { Scale::Test } else { Scale::Paper };
+    let measure_seeds: u64 = if smoke { 2 } else { 5 };
+    let tune_seeds: u64 = if smoke { 3 } else { 10 };
+    let profile = DeviceProfile::gtx560();
+    println!(
+        "static error-propagation validation: {} scale, {measure_seeds} measurement seed(s), profile gtx560\n",
+        if smoke { "test (smoke)" } else { "paper" }
+    );
+
+    let mut entries = Vec::new();
+    let mut failures = 0usize;
+    let mut total_saved = 0u64;
+    let mut apps_pruning = 0usize;
+    let mut correlations = Vec::new();
+
+    for app in registry() {
+        let compiled = compile_app(&app, scale, &profile, &CompileOptions::default());
+        let mut dapp = DeviceApp::new(
+            Device::new(profile.clone()),
+            &compiled,
+            app.input_gen(scale),
+        )
+        .with_approx_memory(&compiled, &APPROX_RATES);
+        let statics = dapp.static_quality().to_vec();
+        let metric = compiled.workload.metric;
+        let rungs = dapp.variant_count();
+        assert_eq!(
+            statics.len(),
+            rungs,
+            "static table must cover every rung of {}",
+            app.spec.name
+        );
+
+        // Soundness gate: measure every rung against its static bound.
+        // A rung that fails to execute (e.g. a shared-placement table
+        // exceeding the device's shared memory at this scale) cannot be
+        // measured; the tuner treats it as non-qualifying, we exempt it.
+        let mut max_err = vec![0.0f64; rungs];
+        let mut mean_quality = vec![0.0f64; rungs];
+        let mut ran = vec![true; rungs];
+        for seed in 0..measure_seeds {
+            let exact = dapp.run_exact(seed).expect("exact run");
+            for (i, sq) in statics.iter().enumerate() {
+                let Ok(run) = dapp.run_variant(i, seed) else {
+                    ran[i] = false;
+                    continue;
+                };
+                let err = metric.error(&exact.output, &run.output);
+                max_err[i] = max_err[i].max(err);
+                mean_quality[i] += metric.quality(&exact.output, &run.output);
+                if !sq.refused && err > sq.error_bound + SOUNDNESS_EPS {
+                    eprintln!(
+                        "FAIL: {}: rung {} ({}): measured error {err:.6} exceeds static bound {:.6} (seed {seed})",
+                        app.spec.name, i, sq.label, sq.error_bound
+                    );
+                    failures += 1;
+                }
+            }
+        }
+        for q in &mut mean_quality {
+            *q /= measure_seeds as f64;
+        }
+
+        // Rank correlation: static prediction vs measured quality, over
+        // the rungs that actually ran.
+        let (predicted, measured): (Vec<f64>, Vec<f64>) = statics
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| ran[*i])
+            .map(|(i, s)| {
+                (
+                    if s.refused { 0.0 } else { s.predicted_quality },
+                    mean_quality[i],
+                )
+            })
+            .unzip();
+        let rho = spearman(&predicted, &measured);
+        if let Some(r) = rho {
+            correlations.push(r);
+        }
+
+        // Tuner pruning: calibration launches saved by the static table.
+        let tuner = Tuner {
+            toq: paraprox::Toq::paper_default(),
+            training_seeds: (0..tune_seeds).collect(),
+        };
+        let report = tuner
+            .tune_with_static(&mut dapp, &statics)
+            .expect("tune with static table");
+        let pruned: Vec<usize> = report
+            .profiles
+            .iter()
+            .filter(|p| p.pruned)
+            .map(|p| p.index)
+            .collect();
+        total_saved += report.calibration_launches_saved;
+        if !pruned.is_empty() {
+            apps_pruning += 1;
+        }
+
+        // Compare against the purely dynamic tune: pruning must never
+        // cost the deployment entirely, and prunes that contradict the
+        // dynamic choice are reported as mispredictions.
+        let dynamic = tuner.tune(&mut dapp).expect("dynamic tune");
+        let false_prunes = dynamic
+            .chosen
+            .map_or(0, |c| usize::from(pruned.contains(&c)));
+        if dynamic.chosen.is_some() && report.chosen.is_none() {
+            eprintln!(
+                "FAIL: {}: static pruning left no qualifying rung, but the dynamic tuner found one",
+                app.spec.name
+            );
+            failures += 1;
+        }
+
+        println!(
+            "{:>32}: {} rungs, {} pruned ({} mispredicted), {} launches saved, rank corr {}",
+            app.spec.name,
+            rungs,
+            pruned.len(),
+            false_prunes,
+            report.calibration_launches_saved,
+            rho.map_or("n/a".to_string(), |r| format!("{r:.3}")),
+        );
+
+        let rung_rows: Vec<String> = statics
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                format!(
+                    "        {{ \"rung\": {i}, \"label\": {:?}, \"error_bound\": {}, \"quality_floor\": {:.4}, \"predicted_quality\": {:.4}, \"refused\": {}, \"measured_error_max\": {}, \"measured_quality_mean\": {}, \"pruned\": {} }}",
+                    s.label,
+                    json_num(s.error_bound),
+                    s.quality_floor,
+                    s.predicted_quality,
+                    s.refused,
+                    json_num(max_err[i]),
+                    json_num(mean_quality[i]),
+                    pruned.contains(&i)
+                )
+            })
+            .collect();
+        entries.push(format!(
+            "    {{\n      \"app\": {:?},\n      \"rungs\": {},\n      \"pruned_rungs\": {},\n      \"false_prunes\": {false_prunes},\n      \"calibration_launches_saved\": {},\n      \"rank_correlation\": {},\n      \"per_rung\": [\n{}\n      ]\n    }}",
+            app.spec.name,
+            rungs,
+            pruned.len(),
+            report.calibration_launches_saved,
+            rho.map_or("null".to_string(), |r| format!("{r:.4}")),
+            rung_rows.join(",\n")
+        ));
+    }
+
+    if apps_pruning == 0 {
+        eprintln!("FAIL: no app pruned any rung — the static table saved nothing");
+        failures += 1;
+    }
+    let mean_rho = if correlations.is_empty() {
+        None
+    } else {
+        Some(correlations.iter().sum::<f64>() / correlations.len() as f64)
+    };
+    println!(
+        "\ntotal: {total_saved} calibration launches saved, {apps_pruning} app(s) pruning, mean rank corr {}",
+        mean_rho.map_or("n/a".to_string(), |r| format!("{r:.3}"))
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"errorprop_validation\",\n  \"scale\": {:?},\n  \"profile\": \"gtx560\",\n  \"measure_seeds\": {measure_seeds},\n  \"tune_seeds\": {tune_seeds},\n  \"note\": \"Per-rung static error bounds (abstract interpretation with injected knob errors) validated against measured metric error; soundness requires measured <= bound on every non-refused rung. calibration_launches_saved counts tuner launches skipped by static pruning.\",\n  \"total_calibration_launches_saved\": {total_saved},\n  \"apps_with_pruning\": {apps_pruning},\n  \"mean_rank_correlation\": {},\n  \"soundness_violations\": {failures},\n  \"results\": [\n{}\n  ]\n}}\n",
+        if smoke { "test" } else { "paper" },
+        mean_rho.map_or("null".to_string(), |r| format!("{r:.4}")),
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_errorprop.json", &json).expect("write BENCH_errorprop.json");
+    println!("wrote BENCH_errorprop.json");
+
+    if failures > 0 {
+        eprintln!("FAIL: {failures} static-bound violation(s)");
+        std::process::exit(1);
+    }
+}

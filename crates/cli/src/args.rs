@@ -32,6 +32,7 @@ usage:
 
   paraprox inspect <file.cu> [--bytecode <kernel>] [--effects] [--partition]
   paraprox inspect <app> --schedule <name> [--iters <n>] [--scale paper|test]
+  paraprox inspect <app> --rungs [--scale paper|test]
       Parse CUDA-flavored kernel source and report the data-parallel
       patterns Paraprox detects in each kernel. --bytecode additionally
       prints the register-machine bytecode the virtual device compiles the
@@ -43,15 +44,24 @@ usage:
       of a file: the named preset schedule's per-iteration plan is printed
       (stencil stages, residual cadence, predictor), followed by the
       safety gate's verdict for it under the loop's launch contexts;
-      --iters overrides the iteration cap the plan spans.
+      --iters overrides the iteration cap the plan spans. With --rungs the
+      positional names a registry application: every auto-generated rung
+      is listed with its static error bound and predicted quality next to
+      the quality actually measured on the device — the static table vs
+      the ground truth, side by side.
 
   paraprox analyze <app> [--scale paper|test] [--json] [--partition]
+                   [--error-bounds]
       Run the full static-analysis lint suite (shared-memory races, bounds,
       uninitialized locals, dead stores, approximate-placement) on an
       application's exact kernels under their real launch shapes. Exits
       nonzero when any finding has error severity. --partition additionally
-      prints the buffer-criticality partition; --json emits the findings
-      and the partition table as machine-readable JSON.
+      prints the buffer-criticality partition; --error-bounds compiles the
+      approximate variants and prints each rung's static error bound,
+      quality floor, and predicted quality (with refusal reasons where the
+      error-propagation analysis refused to bound a rung); --json emits the
+      findings, the partition table, and the per-rung error bounds as
+      machine-readable JSON (schema documented in DESIGN.md).
 
   paraprox serve [--apps <a,b,...>] [--device gpu|cpu] [--requests <n>]
                  [--drift-at <k>] [--drift-len <n>] [--drift-gain <g>]
@@ -137,7 +147,11 @@ pub enum Command {
         /// Iteration cap the schedule plan spans (0 = app default; only
         /// with `schedule`).
         iters: u32,
-        /// Use the small test-scale inputs (only with `schedule`).
+        /// Print every rung of the named registry application: static
+        /// error bound vs measured quality, side by side.
+        rungs: bool,
+        /// Use the small test-scale inputs (only with `schedule` or
+        /// `rungs`).
         test_scale: bool,
     },
     /// `paraprox analyze <app>`
@@ -150,6 +164,8 @@ pub enum Command {
         json: bool,
         /// Include the buffer-criticality partition in the report.
         partition: bool,
+        /// Include the per-rung static error bounds in the report.
+        error_bounds: bool,
     },
     /// `paraprox serve ...`
     Serve {
@@ -359,6 +375,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut partition = false;
             let mut schedule = None;
             let mut iters = 0u32;
+            let mut rungs = false;
             let mut test_scale = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
@@ -371,6 +388,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     }
                     "--effects" => effects = true,
                     "--partition" => partition = true,
+                    "--rungs" => rungs = true,
                     "--schedule" => {
                         schedule = Some(
                             it.next()
@@ -400,8 +418,18 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         .to_string(),
                 );
             }
-            if schedule.is_none() && (iters != 0 || test_scale) {
-                return Err("--iters/--scale on `inspect` require --schedule".to_string());
+            if rungs && (bytecode.is_some() || effects || partition || schedule.is_some()) {
+                return Err(
+                    "--rungs inspects a registry app; it cannot be combined with \
+                     --bytecode/--effects/--partition/--schedule"
+                        .to_string(),
+                );
+            }
+            if schedule.is_none() && iters != 0 {
+                return Err("--iters on `inspect` requires --schedule".to_string());
+            }
+            if schedule.is_none() && !rungs && test_scale {
+                return Err("--scale on `inspect` requires --schedule or --rungs".to_string());
             }
             Ok(Command::Inspect {
                 file,
@@ -410,6 +438,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 partition,
                 schedule,
                 iters,
+                rungs,
                 test_scale,
             })
         }
@@ -421,6 +450,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut test_scale = false;
             let mut json = false;
             let mut partition = false;
+            let mut error_bounds = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--scale" => {
@@ -436,6 +466,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     }
                     "--json" => json = true,
                     "--partition" => partition = true,
+                    "--error-bounds" => error_bounds = true,
                     other => return Err(format!("unknown option `{other}`")),
                 }
             }
@@ -444,6 +475,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 test_scale,
                 json,
                 partition,
+                error_bounds,
             })
         }
         Some("serve") => {
@@ -743,6 +775,7 @@ mod tests {
                 partition: false,
                 schedule: None,
                 iters: 0,
+                rungs: false,
                 test_scale: false,
             }
         );
@@ -763,6 +796,7 @@ mod tests {
                 partition: true,
                 schedule: None,
                 iters: 0,
+                rungs: false,
                 test_scale: false,
             }
         );
@@ -792,6 +826,7 @@ mod tests {
                 partition: false,
                 schedule: Some("reach-ramp".into()),
                 iters: 24,
+                rungs: false,
                 test_scale: true,
             }
         );
@@ -812,6 +847,7 @@ mod tests {
                 test_scale: false,
                 json: false,
                 partition: false,
+                error_bounds: false,
             }
         );
         assert_eq!(
@@ -821,7 +857,8 @@ mod tests {
                 "--scale",
                 "test",
                 "--json",
-                "--partition"
+                "--partition",
+                "--error-bounds"
             ]))
             .unwrap(),
             Command::Analyze {
@@ -829,6 +866,7 @@ mod tests {
                 test_scale: true,
                 json: true,
                 partition: true,
+                error_bounds: true,
             }
         );
         assert!(parse(&v(&["analyze"])).is_err());

@@ -59,17 +59,20 @@ pub fn run(cmd: Command) -> Result<(), Box<dyn Error>> {
             partition,
             schedule,
             iters,
+            rungs,
             test_scale,
-        } => match schedule {
-            Some(name) => inspect_schedule(&file, &name, iters, test_scale),
-            None => inspect(&file, bytecode.as_deref(), effects, partition),
+        } => match (schedule, rungs) {
+            (Some(name), _) => inspect_schedule(&file, &name, iters, test_scale),
+            (None, true) => inspect_rungs(&file, test_scale),
+            (None, false) => inspect(&file, bytecode.as_deref(), effects, partition),
         },
         Command::Analyze {
             app,
             test_scale,
             json,
             partition,
-        } => analyze(&app, test_scale, json, partition),
+            error_bounds,
+        } => analyze(&app, test_scale, json, partition, error_bounds),
         Command::Serve {
             apps,
             device,
@@ -164,7 +167,8 @@ fn tune(
         toq,
         training_seeds: (0..seeds as u64).collect(),
     };
-    let report = tuner.tune(&mut device_app)?;
+    let statics = device_app.static_quality().to_vec();
+    let report = tuner.tune_with_static(&mut device_app, &statics)?;
     println!(
         "\n{:<30} {:>8} {:>9}  status",
         "variant", "quality", "speedup"
@@ -178,7 +182,13 @@ fn tune(
             p.label,
             p.mean_quality,
             p.speedup,
-            if p.meets_toq { "ok" } else { "below TOQ" }
+            if p.pruned {
+                "pruned (static bound below TOQ)"
+            } else if p.meets_toq {
+                "ok"
+            } else {
+                "below TOQ"
+            }
         );
     }
     match report.chosen {
@@ -189,6 +199,13 @@ fn tune(
             report.chosen_quality()
         ),
         None => println!("\nno variant met the TOQ with a speedup; exact execution retained"),
+    }
+    if report.calibration_launches_saved > 0 {
+        println!(
+            "static error bounds pruned {} rung(s) before measurement, skipping {} calibration launch(es)",
+            report.profiles.iter().filter(|p| p.pruned).count(),
+            report.calibration_launches_saved
+        );
     }
     Ok(())
 }
@@ -436,6 +453,92 @@ fn inspect_schedule(
     }
 }
 
+/// `inspect <app> --rungs`: compile every auto-generated rung of a
+/// registry application and print the static error-propagation table next
+/// to the quality actually measured on the device.
+fn inspect_rungs(name: &str, test_scale: bool) -> Result<(), Box<dyn Error>> {
+    use paraprox_runtime::Approximable;
+
+    /// Bit-error rates for the appended approximate-memory rungs
+    /// (mirrors `bench_errorprop`: one plausible, one the static table
+    /// should reject).
+    const APPROX_RATES: [f64; 2] = [1e-7, 1e-2];
+    const MEASURE_SEEDS: u64 = 2;
+
+    let app = paraprox_apps::find(name)
+        .ok_or_else(|| format!("no application matching `{name}` (try `paraprox list`)"))?;
+    let scale = if test_scale {
+        Scale::Test
+    } else {
+        Scale::Paper
+    };
+    let profile = DeviceProfile::gtx560();
+    let workload = (app.build)(scale, 0);
+    let compiled = compile(
+        &workload,
+        &latency_table_for(&profile),
+        &CompileOptions::default(),
+    )?;
+    let mut dapp = DeviceApp::new(
+        Device::new(profile.clone()),
+        &compiled,
+        app.input_gen(scale),
+    )
+    .with_approx_memory(&compiled, &APPROX_RATES);
+    let statics = dapp.static_quality().to_vec();
+    println!(
+        "{} on {}: {} rung(s); static bound vs quality measured over {} seed(s)\n",
+        app.spec.name,
+        profile.name,
+        statics.len(),
+        MEASURE_SEEDS
+    );
+    println!(
+        "{:<30} {:>12} {:>10} {:>10}  status",
+        "rung", "static bound", "predicted", "measured"
+    );
+    for (i, s) in statics.iter().enumerate() {
+        let mut quality = 0.0f64;
+        let mut failed = None;
+        for seed in 0..MEASURE_SEEDS {
+            let exact = dapp.run_exact(seed)?;
+            match dapp.run_variant(i, seed) {
+                Ok(run) => quality += dapp.quality(&exact.output, &run.output),
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
+        let bound = if s.error_bound.is_finite() {
+            format!("{:.4}", s.error_bound)
+        } else {
+            "unbounded".to_string()
+        };
+        let (measured, status) = match &failed {
+            Some(e) => ("-".to_string(), format!("did not run: {e}")),
+            None => (
+                format!("{:.2}%", quality / MEASURE_SEEDS as f64),
+                if s.refused {
+                    "refused (measure dynamically)".to_string()
+                } else if s.predictive {
+                    "bound".to_string()
+                } else {
+                    "no claim (widened to +inf)".to_string()
+                },
+            ),
+        };
+        println!(
+            "{:<30} {:>12} {:>9.2}% {:>10}  {}",
+            s.label, bound, s.predicted_quality, measured, status
+        );
+        for r in &s.refusals {
+            println!("    {r}");
+        }
+    }
+    Ok(())
+}
+
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -471,11 +574,151 @@ fn print_partition(part: &paraprox_analysis::KernelPartition) {
     }
 }
 
+/// A finite f64 as a JSON number, non-finite as `null` (JSON has no
+/// infinity; an unbounded static error bound serializes as `null`).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// The version of the `analyze --json` schema emitted by
+/// [`analyze_json_report`]; bumped on any breaking field change. The full
+/// schema is documented in DESIGN.md.
+const ANALYZE_SCHEMA_VERSION: u32 = 2;
+
+/// Render the complete `analyze --json` document (see DESIGN.md for the
+/// schema). Factored out of [`analyze`] so tests can round-trip it.
+fn analyze_json_report(
+    app_name: &str,
+    workload: &paraprox::Workload,
+    diags: &[paraprox::Diagnostic],
+    parts: &[paraprox_analysis::KernelPartition],
+    statics: &[paraprox::StaticQuality],
+) -> String {
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == paraprox::Severity::Error)
+        .count();
+    let misplaced = diags
+        .iter()
+        .filter(|d| d.code == "approx-placement")
+        .count();
+    let findings: Vec<String> = diags
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"severity\":{},\"code\":{},\"kernel\":{},\"path\":{},\"message\":{}}}",
+                json_str(match d.severity {
+                    paraprox::Severity::Error => "error",
+                    paraprox::Severity::Warning => "warning",
+                }),
+                json_str(d.code),
+                json_str(&d.kernel_name),
+                json_str(&d.path_string()),
+                json_str(&d.message)
+            )
+        })
+        .collect();
+    let partitions: Vec<String> = parts
+        .iter()
+        .map(|p| {
+            let buffers: Vec<String> = p
+                .verdicts
+                .iter()
+                .map(|v| {
+                    let witness: Vec<String> = v.witness.iter().map(|w| json_str(w)).collect();
+                    format!(
+                        "{{\"name\":{},\"mem\":{},\"declared\":{},\"criticality\":{},\"witness\":[{}]}}",
+                        json_str(&v.name),
+                        json_str(&v.mem.to_string()),
+                        json_str(&v.declared.to_string()),
+                        json_str(&v.criticality.to_string()),
+                        witness.join(",")
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"kernel\":{},\"buffers\":[{}]}}",
+                json_str(&p.kernel_name),
+                buffers.join(",")
+            )
+        })
+        .collect();
+    let bounds: Vec<String> = statics
+        .iter()
+        .map(|s| {
+            let refusals: Vec<String> = s.refusals.iter().map(|r| json_str(r)).collect();
+            format!(
+                "{{\"label\":{},\"error_bound\":{},\"quality_floor\":{},\"predicted_quality\":{},\"predictive\":{},\"refused\":{},\"refusals\":[{}]}}",
+                json_str(&s.label),
+                json_f64(s.error_bound),
+                json_f64(s.quality_floor),
+                json_f64(s.predicted_quality),
+                s.predictive,
+                s.refused,
+                refusals.join(",")
+            )
+        })
+        .collect();
+    format!(
+        "{{\"schema\":{ANALYZE_SCHEMA_VERSION},\"app\":{},\"kernels\":{},\"launches\":{},\"findings\":[{}],\"errors\":{},\"warnings\":{},\"misplaced\":{},\"partition\":[{}],\"error_bounds\":[{}]}}",
+        json_str(app_name),
+        workload.program.kernel_count(),
+        workload.pipeline.launches.len(),
+        findings.join(","),
+        errors,
+        diags.len() - errors,
+        misplaced,
+        partitions.join(","),
+        bounds.join(",")
+    )
+}
+
+/// Print the per-rung static error-bound table, human-readable.
+fn print_error_bounds(statics: &[paraprox::StaticQuality]) {
+    println!(
+        "\nper-rung static error bounds ({} auto-generated rung(s)):",
+        statics.len()
+    );
+    println!(
+        "{:<30} {:>12} {:>8} {:>10}  status",
+        "rung", "error bound", "floor", "predicted"
+    );
+    for s in statics {
+        let bound = if s.error_bound.is_finite() {
+            format!("{:.4}", s.error_bound)
+        } else {
+            "unbounded".to_string()
+        };
+        println!(
+            "{:<30} {:>12} {:>7.2}% {:>9.2}%  {}",
+            s.label,
+            bound,
+            s.quality_floor,
+            s.predicted_quality,
+            if s.refused {
+                "refused"
+            } else if s.predictive {
+                "bound"
+            } else {
+                "no claim (widened to +inf)"
+            }
+        );
+        for r in &s.refusals {
+            println!("    {r}");
+        }
+    }
+}
+
 fn analyze(
     name: &str,
     test_scale: bool,
     json: bool,
     partition: bool,
+    error_bounds: bool,
 ) -> Result<(), Box<dyn Error>> {
     let app = paraprox_apps::find(name)
         .ok_or_else(|| format!("no application matching `{name}` (try `paraprox list`)"))?;
@@ -491,64 +734,23 @@ fn analyze(
         .iter()
         .filter(|d| d.severity == paraprox::Severity::Error)
         .count();
-    let misplaced = diags
-        .iter()
-        .filter(|d| d.code == "approx-placement")
-        .count();
+    // The JSON report always carries the per-rung error bounds; the human
+    // report only pays for variant generation when asked.
+    let statics = if json || error_bounds {
+        let compiled = compile(
+            &workload,
+            &latency_table_for(&DeviceProfile::gtx560()),
+            &CompileOptions::default(),
+        )?;
+        compiled.static_quality
+    } else {
+        Vec::new()
+    };
 
     if json {
-        let findings: Vec<String> = diags
-            .iter()
-            .map(|d| {
-                format!(
-                    "{{\"severity\":{},\"code\":{},\"kernel\":{},\"path\":{},\"message\":{}}}",
-                    json_str(match d.severity {
-                        paraprox::Severity::Error => "error",
-                        paraprox::Severity::Warning => "warning",
-                    }),
-                    json_str(d.code),
-                    json_str(&d.kernel_name),
-                    json_str(&d.path_string()),
-                    json_str(&d.message)
-                )
-            })
-            .collect();
-        let partitions: Vec<String> = parts
-            .iter()
-            .map(|p| {
-                let buffers: Vec<String> = p
-                    .verdicts
-                    .iter()
-                    .map(|v| {
-                        let witness: Vec<String> =
-                            v.witness.iter().map(|w| json_str(w)).collect();
-                        format!(
-                            "{{\"name\":{},\"mem\":{},\"declared\":{},\"criticality\":{},\"witness\":[{}]}}",
-                            json_str(&v.name),
-                            json_str(&v.mem.to_string()),
-                            json_str(&v.declared.to_string()),
-                            json_str(&v.criticality.to_string()),
-                            witness.join(",")
-                        )
-                    })
-                    .collect();
-                format!(
-                    "{{\"kernel\":{},\"buffers\":[{}]}}",
-                    json_str(&p.kernel_name),
-                    buffers.join(",")
-                )
-            })
-            .collect();
         println!(
-            "{{\"app\":{},\"kernels\":{},\"launches\":{},\"findings\":[{}],\"errors\":{},\"warnings\":{},\"misplaced\":{},\"partition\":[{}]}}",
-            json_str(app.spec.name),
-            workload.program.kernel_count(),
-            workload.pipeline.launches.len(),
-            findings.join(","),
-            errors,
-            diags.len() - errors,
-            misplaced,
-            partitions.join(",")
+            "{}",
+            analyze_json_report(app.spec.name, &workload, &diags, &parts, &statics)
         );
         if errors > 0 {
             return Err(format!("static analysis found {errors} error(s)").into());
@@ -566,6 +768,9 @@ fn analyze(
         for p in &parts {
             print_partition(p);
         }
+    }
+    if error_bounds {
+        print_error_bounds(&statics);
     }
     if diags.is_empty() {
         println!("no findings: races, bounds, dataflow, and placement lints are all clean");
@@ -640,7 +845,8 @@ fn serve(o: ServeOpts) -> Result<(), Box<dyn Error>> {
             toq,
             training_seeds: (0..o.seeds as u64).collect(),
         };
-        let report = tuner.tune(&mut device_app)?;
+        let statics = device_app.static_quality().to_vec();
+        let report = tuner.tune_with_static(&mut device_app, &statics)?;
         let ladder: Vec<String> = report
             .backoff_ladder()
             .iter()
@@ -692,7 +898,7 @@ fn serve(o: ServeOpts) -> Result<(), Box<dyn Error>> {
     let snap = engine.shutdown();
 
     println!(
-        "\n{:<32} {:>6} {:>6} {:>5} {:>8} {:>8} {:>7} {:>7} {:>5} {:>9} {:>10} {:>10}",
+        "\n{:<32} {:>6} {:>6} {:>5} {:>8} {:>8} {:>7} {:>5} {:>7} {:>5} {:>9} {:>10} {:>10}",
         "tenant",
         "served",
         "checks",
@@ -700,6 +906,7 @@ fn serve(o: ServeOpts) -> Result<(), Box<dyn Error>> {
         "backoff",
         "promote",
         "rung",
+        "start",
         "meanQ",
         "depth",
         "batch",
@@ -712,7 +919,7 @@ fn serve(o: ServeOpts) -> Result<(), Box<dyn Error>> {
         ops_dispatched += t.ops_dispatched;
         fusions_hit += t.fusions_hit;
         println!(
-            "{:<32} {:>6} {:>6} {:>5} {:>8} {:>8} {:>7} {:>6.1}% {:>5} {:>5.1}/{:<3} {:>8.2}ms {:>8.2}ms",
+            "{:<32} {:>6} {:>6} {:>5} {:>8} {:>8} {:>7} {:>5} {:>6.1}% {:>5} {:>5.1}/{:<3} {:>8.2}ms {:>8.2}ms",
             t.name,
             t.served,
             t.checks,
@@ -720,6 +927,7 @@ fn serve(o: ServeOpts) -> Result<(), Box<dyn Error>> {
             t.backoffs,
             t.promotions,
             t.rung,
+            t.seeded_position,
             t.mean_quality.unwrap_or(100.0),
             t.peak_queue_depth,
             t.mean_batch(),
@@ -860,4 +1068,244 @@ fn inspect(
         }
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal JSON value and recursive-descent parser — just enough to
+    /// deserialize the `analyze --json` document and prove the schema
+    /// round-trips without an external serde dependency.
+    #[derive(Debug, Clone, PartialEq)]
+    enum Json {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Json>),
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        fn get(&self, key: &str) -> Option<&Json> {
+            match self {
+                Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        fn to_json(&self) -> String {
+            match self {
+                Json::Null => "null".to_string(),
+                Json::Bool(b) => b.to_string(),
+                Json::Num(n) => format!("{n}"),
+                Json::Str(s) => json_str(s),
+                Json::Arr(items) => {
+                    let inner: Vec<String> = items.iter().map(Json::to_json).collect();
+                    format!("[{}]", inner.join(","))
+                }
+                Json::Obj(fields) => {
+                    let inner: Vec<String> = fields
+                        .iter()
+                        .map(|(k, v)| format!("{}:{}", json_str(k), v.to_json()))
+                        .collect();
+                    format!("{{{}}}", inner.join(","))
+                }
+            }
+        }
+    }
+
+    fn parse_value(s: &[u8], mut i: usize) -> Result<(Json, usize), String> {
+        while i < s.len() && s[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        match *s.get(i).ok_or("unexpected end of input")? {
+            b'n' => expect(s, i, "null").map(|i| (Json::Null, i)),
+            b't' => expect(s, i, "true").map(|i| (Json::Bool(true), i)),
+            b'f' => expect(s, i, "false").map(|i| (Json::Bool(false), i)),
+            b'"' => parse_string(s, i).map(|(v, i)| (Json::Str(v), i)),
+            b'[' => {
+                i += 1;
+                let mut items = Vec::new();
+                loop {
+                    while i < s.len() && s[i].is_ascii_whitespace() {
+                        i += 1;
+                    }
+                    if s.get(i) == Some(&b']') {
+                        return Ok((Json::Arr(items), i + 1));
+                    }
+                    if !items.is_empty() {
+                        if s.get(i) != Some(&b',') {
+                            return Err(format!("expected `,` or `]` at byte {i}"));
+                        }
+                        i += 1;
+                    }
+                    let (v, next) = parse_value(s, i)?;
+                    items.push(v);
+                    i = next;
+                }
+            }
+            b'{' => {
+                i += 1;
+                let mut fields = Vec::new();
+                loop {
+                    while i < s.len() && s[i].is_ascii_whitespace() {
+                        i += 1;
+                    }
+                    if s.get(i) == Some(&b'}') {
+                        return Ok((Json::Obj(fields), i + 1));
+                    }
+                    if !fields.is_empty() {
+                        if s.get(i) != Some(&b',') {
+                            return Err(format!("expected `,` or `}}` at byte {i}"));
+                        }
+                        i += 1;
+                        while i < s.len() && s[i].is_ascii_whitespace() {
+                            i += 1;
+                        }
+                    }
+                    let (key, next) = parse_string(s, i)?;
+                    i = next;
+                    while i < s.len() && s[i].is_ascii_whitespace() {
+                        i += 1;
+                    }
+                    if s.get(i) != Some(&b':') {
+                        return Err(format!("expected `:` at byte {i}"));
+                    }
+                    let (v, next) = parse_value(s, i + 1)?;
+                    fields.push((key, v));
+                    i = next;
+                }
+            }
+            c if c == b'-' || c.is_ascii_digit() => {
+                let start = i;
+                while i < s.len()
+                    && (s[i].is_ascii_digit() || matches!(s[i], b'-' | b'+' | b'.' | b'e' | b'E'))
+                {
+                    i += 1;
+                }
+                let text = std::str::from_utf8(&s[start..i]).map_err(|e| e.to_string())?;
+                let n: f64 = text.parse().map_err(|_| format!("bad number `{text}`"))?;
+                Ok((Json::Num(n), i))
+            }
+            c => Err(format!("unexpected byte {c:?} at {i}")),
+        }
+    }
+
+    fn expect(s: &[u8], i: usize, word: &str) -> Result<usize, String> {
+        if s[i..].starts_with(word.as_bytes()) {
+            Ok(i + word.len())
+        } else {
+            Err(format!("expected `{word}` at byte {i}"))
+        }
+    }
+
+    fn parse_string(s: &[u8], mut i: usize) -> Result<(String, usize), String> {
+        if s.get(i) != Some(&b'"') {
+            return Err(format!("expected string at byte {i}"));
+        }
+        i += 1;
+        let mut out = String::new();
+        while let Some(&c) = s.get(i) {
+            match c {
+                b'"' => return Ok((out, i + 1)),
+                b'\\' => {
+                    let esc = *s.get(i + 1).ok_or("unterminated escape")?;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = s
+                                .get(i + 2..i + 6)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("bad \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            i += 4;
+                        }
+                        other => return Err(format!("unknown escape `\\{}`", other as char)),
+                    }
+                    i += 2;
+                }
+                _ => {
+                    // Multi-byte UTF-8 sequences pass through untouched.
+                    let rest = std::str::from_utf8(&s[i..]).map_err(|e| e.to_string())?;
+                    let ch = rest.chars().next().ok_or("unexpected end of string")?;
+                    out.push(ch);
+                    i += ch.len_utf8();
+                }
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn parse_json(text: &str) -> Result<Json, String> {
+        let (v, end) = parse_value(text.as_bytes(), 0)?;
+        if text.as_bytes()[end..]
+            .iter()
+            .any(|b| !b.is_ascii_whitespace())
+        {
+            return Err(format!("trailing garbage after byte {end}"));
+        }
+        Ok(v)
+    }
+
+    #[test]
+    fn analyze_json_round_trips() {
+        let app = paraprox_apps::find("gamma").expect("registry app");
+        let workload = (app.build)(Scale::Test, 0);
+        let diags = paraprox::analyze_workload(&workload);
+        let parts = paraprox::partition_program(&workload.program);
+        let compiled = compile(
+            &workload,
+            &latency_table_for(&DeviceProfile::gtx560()),
+            &CompileOptions::default(),
+        )
+        .expect("compile");
+        let text = analyze_json_report(
+            app.spec.name,
+            &workload,
+            &diags,
+            &parts,
+            &compiled.static_quality,
+        );
+
+        // Deserialize, check the versioned schema, then re-serialize and
+        // re-parse: the document must survive a full round trip.
+        let doc = parse_json(&text).expect("analyze --json output parses");
+        assert_eq!(doc.get("schema"), Some(&Json::Num(2.0)));
+        assert_eq!(doc.get("app"), Some(&Json::Str(app.spec.name.to_string())));
+        assert_eq!(doc.get("errors"), Some(&Json::Num(0.0)));
+        assert_eq!(doc.get("findings"), Some(&Json::Arr(Vec::new())));
+        let Some(Json::Arr(bounds)) = doc.get("error_bounds") else {
+            panic!("error_bounds must be an array");
+        };
+        assert_eq!(
+            bounds.len(),
+            compiled.static_quality.len(),
+            "one entry per auto-generated rung"
+        );
+        for (entry, sq) in bounds.iter().zip(&compiled.static_quality) {
+            assert_eq!(entry.get("label"), Some(&Json::Str(sq.label.clone())));
+            assert_eq!(entry.get("refused"), Some(&Json::Bool(sq.refused)));
+            match entry.get("error_bound") {
+                Some(Json::Num(n)) => assert!((n - sq.error_bound).abs() < 1e-12),
+                Some(Json::Null) => assert!(!sq.error_bound.is_finite()),
+                other => panic!("error_bound must be a number or null, got {other:?}"),
+            }
+        }
+        let reparsed = parse_json(&doc.to_json()).expect("re-serialized JSON parses");
+        assert_eq!(reparsed, doc, "round trip is lossless");
+    }
+
+    #[test]
+    fn json_f64_maps_non_finite_to_null() {
+        assert_eq!(json_f64(0.25), "0.25");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
 }

@@ -132,6 +132,11 @@ pub struct Compiled {
     /// Buffer-criticality partition of the exact program, one entry per
     /// kernel: which buffers may be served from approximate memory.
     pub partition: Vec<paraprox_analysis::KernelPartition>,
+    /// Static per-variant quality bounds from the error-propagation
+    /// analysis, in [`Compiled::variants`] order (see
+    /// [`crate::errorbounds`]). The runtime tuner prunes calibration
+    /// launches and orders the back-off ladder with this table.
+    pub static_quality: Vec<paraprox_runtime::StaticQuality>,
 }
 
 impl Compiled {
@@ -306,7 +311,7 @@ fn stencil_variants(
 /// *innermost* loops — when a nested pair of loops both reduce the same
 /// accumulator (tiled matmul), perforating both would square the sampling
 /// rate.
-fn innermost_reduction_groups(
+pub(crate) fn innermost_reduction_groups(
     loops: &[paraprox_patterns::ReductionLoop],
 ) -> Vec<Vec<paraprox_patterns::ReductionLoop>> {
     let is_prefix = |outer: &paraprox_patterns::StmtPath, inner: &paraprox_patterns::StmtPath| {
@@ -455,11 +460,13 @@ pub fn compile(
         }
     }
     let partition = paraprox_analysis::partition_program(&workload.program);
+    let static_quality = crate::errorbounds::static_quality(workload, &patterns, &variants);
     Ok(Compiled {
         workload: workload.clone(),
         patterns,
         variants,
         diagnostics,
         partition,
+        static_quality,
     })
 }

@@ -27,6 +27,10 @@ pub struct DeviceApp {
     /// variants in the rung numbering, so the TOQ back-off ladder treats
     /// the error rate as one more knob dimension.
     approx: Vec<(String, f64, Pipeline)>,
+    /// Static per-rung quality table, aligned with the rung numbering
+    /// ([`DeviceApp::variants`] then [`DeviceApp::approx`]); see
+    /// [`crate::errorbounds`].
+    statics: Vec<paraprox_runtime::StaticQuality>,
     input_gen: InputGen,
     /// Every launch's counters, summed with [`LaunchStats::accumulate`];
     /// [`Approximable::engine_diagnostics`] projects the diagnostic fields
@@ -72,9 +76,19 @@ impl DeviceApp {
                 })
                 .collect(),
             approx: Vec::new(),
+            statics: compiled.static_quality.clone(),
             input_gen,
             total_stats: paraprox_vgpu::LaunchStats::default(),
         }
+    }
+
+    /// The static per-rung quality table, in rung order (rewrite variants
+    /// first, then approximate-memory rungs). Pass to
+    /// [`paraprox_runtime::Tuner::tune_with_static`] to prune calibration
+    /// launches, and let [`paraprox_runtime::Deployment`] seed its
+    /// starting rung from it.
+    pub fn static_quality(&self) -> &[paraprox_runtime::StaticQuality] {
+        &self.statics
     }
 
     /// Add approximate-memory rungs: one per error rate, each running the
@@ -101,8 +115,14 @@ impl DeviceApp {
             } else {
                 0.0
             };
-            self.approx
-                .push((format!("approx-mem@{rate:e}"), rate, pipeline.clone()));
+            let label = format!("approx-mem@{rate:e}");
+            self.statics
+                .push(crate::errorbounds::approx_mem_static_quality(
+                    &label,
+                    self.metric,
+                    rate,
+                ));
+            self.approx.push((label, rate, pipeline.clone()));
         }
         self
     }

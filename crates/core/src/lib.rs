@@ -30,6 +30,7 @@ mod analyze;
 mod compile;
 mod device_app;
 mod error;
+pub mod errorbounds;
 mod latency;
 mod workload;
 
@@ -47,5 +48,5 @@ pub use paraprox_analysis::{
     KernelPartition, LaunchContext, Severity,
 };
 pub use paraprox_quality::{Metric, Toq};
-pub use paraprox_runtime::{Deployment, Tuner};
+pub use paraprox_runtime::{Deployment, StaticQuality, Tuner};
 pub use paraprox_vgpu::{Device, DeviceProfile};

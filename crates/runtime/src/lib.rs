@@ -133,6 +133,60 @@ pub trait Approximable {
     }
 }
 
+/// Static quality prediction for one rung, produced by the compiler's
+/// error-propagation analysis (`paraprox-analysis::errorprop`) before any
+/// calibration launch runs.
+///
+/// Two numbers matter and they play different roles:
+///
+/// - `quality_floor` is the *sound* certificate: output quality can never
+///   fall below it (it is `100·(1 − error_bound)` for the app's metric).
+///   Empirical error must never exceed `error_bound` — `bench_errorprop`
+///   asserts exactly that across every app × rung.
+/// - `predicted_quality` is the *heuristic* point estimate used for
+///   calibration avoidance: pruning rungs from the tuning pass and
+///   ordering the back-off ladder. It is allowed to be wrong (a pruned
+///   rung is merely not measured — never served unsafely, because only
+///   measured rungs enter the ladder).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticQuality {
+    /// Rung label (matches [`Approximable::variant_label`]).
+    pub label: String,
+    /// Sound upper bound on metric-space output error (`+∞` = unbounded,
+    /// e.g. for unbounded metrics or refused rungs).
+    pub error_bound: f64,
+    /// Sound lower bound on output quality (%), `100·(1 − error_bound)`
+    /// clamped to `[0, 100]`; 0 when the bound is unbounded.
+    pub quality_floor: f64,
+    /// Heuristic point estimate of output quality (%), used for pruning
+    /// and ladder ordering.
+    pub predicted_quality: f64,
+    /// Whether `predicted_quality` is an *affirmative* claim (backed by a
+    /// finite propagated bound or an explicit error-rate model). When the
+    /// analysis refused the rung or widened its bound to `+∞`, the
+    /// prediction carries no pruning weight: the rung must be measured
+    /// dynamically, exactly as without a static table.
+    pub predictive: bool,
+    /// Whether the analysis *refused* this rung: injected error reached a
+    /// Critical sink (address, branch, loop bound, Critical buffer) and
+    /// no bound exists.
+    pub refused: bool,
+    /// Refusal reasons (rendered diagnostics), empty unless `refused`.
+    pub refusals: Vec<String>,
+}
+
+impl StaticQuality {
+    /// Whether this rung may skip calibration-free pruning checks: `true`
+    /// unless the table makes an affirmative finite prediction below
+    /// `toq`. A refusal or a precision loss (`predictive == false`) means
+    /// "no claim" — the rung is measured dynamically, never pruned, so an
+    /// imprecise analysis can only cost launches it would have cost
+    /// anyway.
+    pub fn predicts_met(&self, toq: Toq) -> bool {
+        !self.predictive || self.predicted_quality >= toq.percent()
+    }
+}
+
 /// Profiling results for one candidate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CandidateProfile {
@@ -148,6 +202,9 @@ pub struct CandidateProfile {
     pub speedup: f64,
     /// Whether the candidate met the TOQ on every training input.
     pub meets_toq: bool,
+    /// Whether the candidate was pruned by the static error-propagation
+    /// table and never measured (its qualities/speedup are zeroed).
+    pub pruned: bool,
 }
 
 /// The outcome of a tuning pass.
@@ -160,6 +217,12 @@ pub struct TuneReport {
     pub chosen: Option<usize>,
     /// Mean exact cycles over the training seeds (the speedup baseline).
     pub exact_cycles: f64,
+    /// Static per-rung quality table, when the tune ran with one (empty
+    /// otherwise). Indexed like `profiles` by variant index.
+    pub statics: Vec<StaticQuality>,
+    /// Calibration launches skipped thanks to static pruning (pruned
+    /// rungs × training seeds).
+    pub calibration_launches_saved: u64,
 }
 
 impl TuneReport {
@@ -200,6 +263,25 @@ impl TuneReport {
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         let mut ladder: Vec<Rung> = qualifying.iter().map(|p| Rung::Variant(p.index)).collect();
+        // With a static quality table, order the *fallback* rungs (after
+        // the chosen fastest) by predicted quality, best first: backing
+        // off then lands on the rung most likely to repair quality rather
+        // than merely the next-fastest one.
+        if !self.statics.is_empty() && ladder.len() > 2 {
+            let predicted = |r: &Rung| match r {
+                Rung::Variant(i) => self
+                    .statics
+                    .get(*i)
+                    .map(|s| if s.refused { 0.0 } else { s.predicted_quality })
+                    .unwrap_or(0.0),
+                Rung::Exact => 100.0,
+            };
+            ladder[1..].sort_by(|a, b| {
+                predicted(b)
+                    .partial_cmp(&predicted(a))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
         ladder.push(Rung::Exact);
         ladder
     }
@@ -260,6 +342,29 @@ impl Tuner {
     /// fails to execute is treated as non-qualifying rather than aborting
     /// the tune.
     pub fn tune(&self, app: &mut dyn Approximable) -> Result<TuneReport, RuntimeError> {
+        self.tune_with_static(app, &[])
+    }
+
+    /// [`Tuner::tune`] with a static per-rung quality table: rungs whose
+    /// static prediction already fails the TOQ — or that the analysis
+    /// refused outright — are *pruned*: their calibration launches are
+    /// skipped entirely and their profiles zeroed with
+    /// [`CandidateProfile::pruned`] set. The skipped launches are counted
+    /// in [`TuneReport::calibration_launches_saved`].
+    ///
+    /// Pruning is a calibration-avoidance heuristic, not a soundness
+    /// gate: a mispredicted prune costs speedup (the rung is just never
+    /// measured), never quality — unmeasured rungs cannot enter the
+    /// back-off ladder.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Tuner::tune`].
+    pub fn tune_with_static(
+        &self,
+        app: &mut dyn Approximable,
+        statics: &[StaticQuality],
+    ) -> Result<TuneReport, RuntimeError> {
         if self.training_seeds.is_empty() {
             return Err(RuntimeError("no training seeds".to_string()));
         }
@@ -270,9 +375,25 @@ impl Tuner {
         let exact_cycles =
             exact_runs.iter().map(|r| r.cycles as f64).sum::<f64>() / exact_runs.len() as f64;
 
+        let mut calibration_launches_saved = 0u64;
         let mut profiles = Vec::with_capacity(app.variant_count());
         for index in 0..app.variant_count() {
             let label = app.variant_label(index);
+            if let Some(sq) = statics.get(index) {
+                if !sq.predicts_met(self.toq) {
+                    calibration_launches_saved += self.training_seeds.len() as u64;
+                    profiles.push(CandidateProfile {
+                        index,
+                        label,
+                        mean_quality: 0.0,
+                        min_quality: 0.0,
+                        speedup: 0.0,
+                        meets_toq: false,
+                        pruned: true,
+                    });
+                    continue;
+                }
+            }
             let mut qualities = Vec::new();
             let mut cycles = Vec::new();
             let mut failed = false;
@@ -296,6 +417,7 @@ impl Tuner {
                     min_quality: 0.0,
                     speedup: 0.0,
                     meets_toq: false,
+                    pruned: false,
                 }
             } else {
                 let mean_quality = qualities.iter().sum::<f64>() / qualities.len() as f64;
@@ -309,6 +431,7 @@ impl Tuner {
                     min_quality,
                     speedup,
                     meets_toq: qualities.iter().all(|&q| self.toq.is_met(q)),
+                    pruned: false,
                 }
             };
             profiles.push(profile);
@@ -326,6 +449,8 @@ impl Tuner {
             profiles,
             chosen,
             exact_cycles,
+            statics: statics.to_vec(),
+            calibration_launches_saved,
         })
     }
 }
@@ -384,6 +509,10 @@ pub struct Deployment {
     ladder: Vec<Rung>,
     /// Index into `ladder`; the last rung is always [`Rung::Exact`].
     position: usize,
+    /// The ladder index this deployment started at (non-zero when the
+    /// static error-propagation table predicted the leading rungs would
+    /// miss the TOQ for this policy's threshold).
+    seeded_position: usize,
     invocations: u64,
     /// Served requests since the last calibration check.
     since_check: u64,
@@ -405,14 +534,35 @@ impl Deployment {
 
     /// Create a deployment with an explicit policy, including re-promotion
     /// hysteresis for long-running (serving) use.
+    ///
+    /// When the report carries a static quality table, the starting rung
+    /// is *seeded*: leading ladder rungs whose static prediction misses
+    /// this policy's TOQ are skipped, so the first served invocations do
+    /// not have to discover (and pay for) a doomed rung dynamically.
     pub fn with_config(report: &TuneReport, config: DeploymentConfig) -> Deployment {
+        let ladder = report.backoff_ladder();
+        let seeded_position = if report.statics.is_empty() {
+            0
+        } else {
+            ladder
+                .iter()
+                .position(|r| match r {
+                    Rung::Exact => true,
+                    Rung::Variant(v) => report
+                        .statics
+                        .get(*v)
+                        .is_none_or(|s| s.predicts_met(config.toq)),
+                })
+                .unwrap_or(ladder.len() - 1)
+        };
         Deployment {
             config: DeploymentConfig {
                 check_every: config.check_every.max(1),
                 ..config
             },
-            ladder: report.backoff_ladder(),
-            position: 0,
+            ladder,
+            position: seeded_position,
+            seeded_position,
             invocations: 0,
             since_check: 0,
             checks: 0,
@@ -435,6 +585,13 @@ impl Deployment {
     /// Current position in the ladder (0 = most aggressive).
     pub fn position(&self) -> usize {
         self.position
+    }
+
+    /// The ladder index this deployment started at. Zero unless the tune
+    /// report carried a static quality table that disqualified the
+    /// leading rungs for this policy's TOQ.
+    pub fn seeded_position(&self) -> usize {
+        self.seeded_position
     }
 
     /// The policy this deployment runs under.
@@ -883,6 +1040,105 @@ mod tests {
                 Rung::Exact
             ]
         );
+    }
+
+    fn sq(predicted: f64, refused: bool) -> StaticQuality {
+        StaticQuality {
+            label: String::new(),
+            error_bound: if refused { f64::INFINITY } else { 0.0 },
+            quality_floor: if refused { 0.0 } else { predicted },
+            predicted_quality: if refused { 0.0 } else { predicted },
+            predictive: !refused,
+            refused,
+            refusals: if refused {
+                vec!["error reaches Critical sink".to_string()]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    #[test]
+    fn static_table_prunes_rungs_and_counts_saved_launches() {
+        // v2's affirmative prediction is below the 90% TOQ: it may not
+        // consume calibration launches. v1 and v3 make no claim (refusal
+        // / widened bound) — they are measured like any other rung.
+        let mut app = Mock::new(vec![(95.0, 200), (95.0, 100), (70.0, 100), (95.0, 400)]);
+        let no_claim = StaticQuality {
+            predictive: false,
+            ..sq(0.0, false)
+        };
+        let statics = [sq(95.0, false), sq(99.0, true), sq(70.0, false), no_claim];
+        let tuner = Tuner::paper_default();
+        let report = tuner.tune_with_static(&mut app, &statics).unwrap();
+        assert_eq!(report.chosen, Some(1));
+        assert!(!report.profiles[0].pruned);
+        assert!(!report.profiles[1].pruned, "refusal is not a prune");
+        assert!(report.profiles[2].pruned && !report.profiles[2].meets_toq);
+        assert!(!report.profiles[3].pruned, "no-claim rungs are measured");
+        assert_eq!(
+            report.calibration_launches_saved,
+            tuner.training_seeds.len() as u64
+        );
+        // Exact runs plus three measured variants.
+        assert_eq!(app.runs, 4 * tuner.training_seeds.len() as u64);
+        // The pruned rung never reaches the ladder.
+        assert!(!report.backoff_ladder().contains(&Rung::Variant(2)));
+    }
+
+    #[test]
+    fn tune_without_statics_prunes_nothing() {
+        let mut app = Mock::new(vec![(95.0, 200), (70.0, 100)]);
+        let report = Tuner::paper_default().tune(&mut app).unwrap();
+        assert!(report.profiles.iter().all(|p| !p.pruned));
+        assert_eq!(report.calibration_launches_saved, 0);
+        assert!(report.statics.is_empty());
+    }
+
+    #[test]
+    fn static_table_orders_fallback_rungs_by_predicted_quality() {
+        // Speedup order would be v1, v2, v0; with a static table the
+        // fallback rungs (after the chosen fastest) reorder by predicted
+        // quality so backing off lands on the best repair first.
+        let mut app = Mock::new(vec![(95.0, 800), (95.0, 200), (95.0, 400)]);
+        let statics = [sq(99.0, false), sq(93.0, false), sq(91.0, false)];
+        let report = Tuner::paper_default()
+            .tune_with_static(&mut app, &statics)
+            .unwrap();
+        assert_eq!(
+            report.backoff_ladder(),
+            vec![
+                Rung::Variant(1),
+                Rung::Variant(0),
+                Rung::Variant(2),
+                Rung::Exact
+            ]
+        );
+    }
+
+    #[test]
+    fn deployment_seeds_starting_rung_from_static_table() {
+        let mut app = Mock::new(vec![(95.0, 800), (95.0, 200), (95.0, 400)]);
+        // Without statics the deployment starts at position 0.
+        let report = Tuner::paper_default().tune(&mut app).unwrap();
+        let deploy = Deployment::new(&report, Toq::paper_default(), 10);
+        assert_eq!(deploy.seeded_position(), 0);
+
+        // With a static table predicting the chosen rung misses a
+        // *stricter* deployment TOQ, the start seeds past it.
+        let statics = [sq(99.0, false), sq(93.0, false), sq(98.0, false)];
+        let report = Tuner::paper_default()
+            .tune_with_static(&mut app, &statics)
+            .unwrap();
+        // Ladder: v1 (fastest), then v2, v0 by predicted quality... but a
+        // 97% TOQ deployment skips rungs predicted below 97.
+        let deploy = Deployment::new(&report, Toq::new(97.0).unwrap(), 10);
+        let ladder = deploy.ladder().to_vec();
+        assert_eq!(ladder[0], Rung::Variant(1));
+        assert!(deploy.seeded_position() > 0);
+        let seeded = ladder[deploy.seeded_position()];
+        assert!(matches!(seeded, Rung::Variant(0) | Rung::Variant(2)));
+        assert_eq!(deploy.position(), deploy.seeded_position());
     }
 
     #[test]

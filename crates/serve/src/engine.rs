@@ -431,6 +431,7 @@ fn snapshot_core(core: &Core, name: &str, peak_depth: usize) -> TenantSnapshot {
         promotions: s.promotions,
         rung: d.ladder()[d.position()].to_string(),
         position: d.position(),
+        seeded_position: d.seeded_position(),
         ladder_len: d.ladder().len(),
         mean_quality: s.quality.mean(),
         min_quality: s.quality.min(),
@@ -582,6 +583,87 @@ mod tests {
         assert_eq!(t.batches, 20, "window 1: every request is its own batch");
         assert_eq!(t.peak_batch, 1);
         assert!(t.peak_queue_depth >= 1);
+    }
+
+    /// Two rungs — v0 fast at quality 95, v1 slower at quality 99. With a
+    /// static table attached to the tune report and a serving TOQ of 97%,
+    /// the deployment must seed its starting rung past v0 (predicted 95)
+    /// straight onto v1, and the snapshot must report where it started.
+    struct Stepped;
+
+    impl Approximable for Stepped {
+        fn variant_count(&self) -> usize {
+            2
+        }
+        fn variant_label(&self, i: usize) -> String {
+            format!("v{i}")
+        }
+        fn run_exact(&mut self, _seed: u64) -> Result<RunOutcome, RuntimeError> {
+            Ok(RunOutcome {
+                output: vec![100.0],
+                cycles: 1000,
+            })
+        }
+        fn run_variant(&mut self, i: usize, _seed: u64) -> Result<RunOutcome, RuntimeError> {
+            Ok(RunOutcome {
+                output: vec![[95.0, 99.0][i]],
+                cycles: [100, 200][i],
+            })
+        }
+        fn quality(&self, _exact: &[f64], approx: &[f64]) -> f64 {
+            approx[0]
+        }
+    }
+
+    #[test]
+    fn static_table_seeds_tenant_starting_rung() {
+        let sq = |predicted: f64| paraprox_runtime::StaticQuality {
+            label: String::new(),
+            error_bound: 1.0 - predicted / 100.0,
+            quality_floor: predicted,
+            predicted_quality: predicted,
+            predictive: true,
+            refused: false,
+            refusals: Vec::new(),
+        };
+        // Tune at the paper TOQ (90%): both rungs qualify, ladder is
+        // [v0, v1, exact] by speedup.
+        let statics = vec![sq(95.0), sq(99.0)];
+        let report = Tuner::paper_default()
+            .tune_with_static(&mut Stepped, &statics)
+            .unwrap();
+        // Serve at a stricter TOQ (97%): the static table disqualifies v0
+        // up front, so the tenant starts on v1 without ever serving (and
+        // then backing off from) the doomed rung.
+        let mut builder = Engine::builder(ServeConfig {
+            workers: 1,
+            toq: Toq::new(97.0).unwrap(),
+            check_every: 4,
+            ..ServeConfig::paper_default()
+        });
+        let id = builder.register("stepped", Box::new(Stepped), &report);
+        let engine = builder.start();
+        let tickets: Vec<Ticket> = (0..8).map(|s| engine.submit(id, s).unwrap()).collect();
+        for t in tickets {
+            let r = t.wait().unwrap();
+            assert_eq!(
+                r.variant,
+                Some(1),
+                "every request served from the seeded rung"
+            );
+            assert_eq!(r.output, vec![99.0]);
+            assert!(!r.backed_off);
+        }
+        let snap = engine.shutdown();
+        let t = &snap.tenants[0];
+        assert_eq!(t.seeded_position, 1, "v0 statically disqualified at TOQ 97");
+        assert_eq!(
+            t.position, 1,
+            "no violations at 99 quality: still on the seed"
+        );
+        assert_eq!(t.rung, "v1");
+        assert_eq!(t.backoffs, 0);
+        assert_eq!(t.violations, 0);
     }
 
     /// An app that blocks on a gate before completing, so the test can

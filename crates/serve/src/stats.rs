@@ -82,6 +82,11 @@ pub struct TenantSnapshot {
     pub rung: String,
     /// Position in the back-off ladder (0 = most aggressive).
     pub position: usize,
+    /// Ladder position the tenant *started* at: 0 unless its tune report
+    /// carried a static error-propagation table that disqualified the
+    /// leading rungs for the engine's TOQ (see
+    /// [`paraprox_runtime::Deployment::seeded_position`]).
+    pub seeded_position: usize,
     /// Ladder length including the terminal exact rung.
     pub ladder_len: usize,
     /// Mean calibration quality, if any check has run.
@@ -209,6 +214,7 @@ mod tests {
             promotions: 0,
             rung: "exact".into(),
             position: 0,
+            seeded_position: 0,
             ladder_len: 1,
             mean_quality: None,
             min_quality: None,

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Meta-lint: every error-severity lint code registered in
+# error_lint_codes() (crates/analysis/src/diag.rs) must ship with both a
+# positive and a negative fixture in crates/analysis/tests/lints.rs,
+# marked by `// lint-fixture: <code> positive` / `... negative` comments
+# on the covering tests. A lint that can fail a build must itself be
+# pinned in both directions before it ships.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+registry=crates/analysis/src/diag.rs
+fixtures=crates/analysis/tests/lints.rs
+
+# Extract the string literals from the error_lint_codes() body.
+codes=$(sed -n '/pub fn error_lint_codes/,/^}/p' "$registry" |
+    grep -o '"[a-z][a-z-]*"' | tr -d '"')
+if [ -z "$codes" ]; then
+    echo "check_lint_fixtures: failed to parse any codes from $registry" >&2
+    exit 1
+fi
+
+fail=0
+for code in $codes; do
+    for side in positive negative; do
+        if ! grep -q "^// lint-fixture: $code $side\$" "$fixtures"; then
+            echo "check_lint_fixtures: error lint \`$code\` has no $side" \
+                "fixture marker in $fixtures" >&2
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "check_lint_fixtures: FAIL — every error-severity lint needs a" \
+        "tripping fixture and a minimally-different clean twin" >&2
+    exit 1
+fi
+echo "check_lint_fixtures: OK ($(echo "$codes" | wc -w) codes, both directions)"

@@ -10,6 +10,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> check_lint_fixtures (every error-severity lint has a fixture pair)"
+# Meta-lint: each code in error_lint_codes() must have a positive and a
+# negative fixture marker in crates/analysis/tests/lints.rs, so an
+# error-severity lint can never ship untested in either direction.
+scripts/check_lint_fixtures.sh
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -55,6 +61,15 @@ echo "==> bench_approxmem --smoke (tolerant auto-placement lint-clean + rate-0 b
 # run — either would mean the criticality partition or the injection
 # path regressed.
 (cd target && cargo run --release -p paraprox-bench --bin bench_approxmem -- --smoke)
+
+echo "==> bench_errorprop --smoke (static bounds sound on all apps, >= 1 app prunes calibration)"
+# bench_errorprop --smoke exits non-zero when any measured rung error
+# exceeds its static error-propagation bound (a soundness violation of
+# the abstract interpreter), when a static prune would lose a rung that
+# dynamic tuning deploys, or when no app prunes at least one rung before
+# measurement — the analysis must stay sound *and* keep paying for
+# itself in skipped calibration launches.
+(cd target && cargo run --release -p paraprox-bench --bin bench_errorprop -- --smoke)
 
 echo "==> paraprox-cli inspect-schedule smoke (iterative apps: every preset admitted by the gate)"
 # inspect --schedule prints the per-iteration plan and then runs the
